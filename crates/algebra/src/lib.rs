@@ -1,0 +1,36 @@
+//! # pvc-algebra
+//!
+//! Algebraic foundations for probabilistic databases with aggregation:
+//! commutative **monoids** (the aggregation operations), commutative **semirings**
+//! (tuple annotations / provenance), and **semimodules** (aggregated values
+//! conditioned on annotations), following §2.2 of
+//! *"Aggregation in Probabilistic Databases via Knowledge Compilation"*
+//! (Fink, Han, Olteanu, VLDB 2012).
+//!
+//! The crate exposes two parallel formulations:
+//!
+//! * **Generic traits** ([`Semiring`], [`CommutativeMonoid`], [`Semimodule`]) with
+//!   several concrete instances (Booleans, naturals, provenance polynomials
+//!   [`Polynomial`], positive Boolean expressions [`PosBool`], the access-control
+//!   semiring [`Clearance`]). These are law-checked by unit and property tests and
+//!   demonstrate the generality the paper claims for pvc-tables.
+//! * **Dynamic value types** ([`SemiringValue`], [`MonoidValue`], [`AggOp`],
+//!   [`CmpOp`]) used by the expression, decomposition-tree and relational layers,
+//!   where a single table may mix monoids and semirings at run time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monoid;
+pub mod polynomial;
+pub mod posbool;
+pub mod semimodule;
+pub mod semiring;
+pub mod value;
+
+pub use monoid::{AggOp, CommutativeMonoid, MaxExt, MinExt, ProdNat, SumNat, ALL_AGG_OPS};
+pub use polynomial::{Monomial, PolyVar, Polynomial};
+pub use posbool::PosBool;
+pub use semimodule::{check_semimodule_laws, Semimodule};
+pub use semiring::{check_semiring_laws, Clearance, Semiring, Viterbi};
+pub use value::{CmpOp, MonoidValue, SemiringKind, SemiringValue};

@@ -1,0 +1,288 @@
+//! Commutative monoids for aggregation (§2.2 of the paper).
+//!
+//! Aggregation over a column fixes a domain of values and a commutative, associative
+//! binary operation with a neutral element:
+//!
+//! * `SUM   = (N, +, 0)`
+//! * `PROD  = (N, ·, 1)`
+//! * `COUNT = (N, +, 0)` (a special case of SUM where every contribution is `1`)
+//! * `MIN   = (N ∪ {±∞}, min, +∞)`
+//! * `MAX   = (N ∪ {±∞}, max, −∞)`
+//!
+//! Two formulations coexist:
+//!
+//! * [`CommutativeMonoid`] — the generic trait used for law checking and for the
+//!   provenance-polynomial machinery.
+//! * [`AggOp`] — the *dynamic* aggregation operator used by the expression and
+//!   decomposition-tree layers, operating on [`MonoidValue`].
+
+use crate::value::{MonoidValue, SemiringValue};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A commutative monoid `(M, +, 0)` (Definition 2 of the paper).
+pub trait CommutativeMonoid: Clone + PartialEq + fmt::Debug {
+    /// The neutral element `0_M`.
+    fn zero() -> Self;
+
+    /// The monoid operation. Must be commutative and associative with [`Self::zero`]
+    /// as neutral element.
+    fn plus(&self, other: &Self) -> Self;
+
+    /// Fold an iterator of monoid elements.
+    fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self
+    where
+        Self: Sized,
+    {
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.plus(&x))
+    }
+}
+
+/// The additive monoid of natural numbers, `(N, +, 0)` — SUM / COUNT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SumNat(pub u64);
+
+impl CommutativeMonoid for SumNat {
+    fn zero() -> Self {
+        SumNat(0)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        SumNat(self.0 + other.0)
+    }
+}
+
+/// The multiplicative monoid of natural numbers, `(N, ·, 1)` — PROD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProdNat(pub u64);
+
+impl CommutativeMonoid for ProdNat {
+    fn zero() -> Self {
+        ProdNat(1)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        ProdNat(self.0 * other.0)
+    }
+}
+
+/// The MIN monoid over the extended integers, `(Z ∪ {±∞}, min, +∞)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MinExt(pub MonoidValue);
+
+impl CommutativeMonoid for MinExt {
+    fn zero() -> Self {
+        MinExt(MonoidValue::PosInf)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        MinExt(self.0.min(other.0))
+    }
+}
+
+/// The MAX monoid over the extended integers, `(Z ∪ {±∞}, max, −∞)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MaxExt(pub MonoidValue);
+
+impl CommutativeMonoid for MaxExt {
+    fn zero() -> Self {
+        MaxExt(MonoidValue::NegInf)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        MaxExt(self.0.max(other.0))
+    }
+}
+
+/// A dynamic aggregation operator: which monoid a semimodule expression is summed in.
+///
+/// This is the `op` non-terminal of the Fig. 2 grammar
+/// (`op ::= min | max | count | sum | prod`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggOp {
+    /// MIN aggregation — monoid `(Z ∪ {±∞}, min, +∞)`.
+    Min,
+    /// MAX aggregation — monoid `(Z ∪ {±∞}, max, −∞)`.
+    Max,
+    /// SUM aggregation — monoid `(Z, +, 0)`.
+    Sum,
+    /// COUNT aggregation — SUM over the constant value `1`.
+    Count,
+    /// PROD aggregation — monoid `(Z, ·, 1)`.
+    Prod,
+}
+
+/// All aggregation operators, in a stable order (useful for sweeps and tests).
+pub const ALL_AGG_OPS: [AggOp; 5] = [AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::Count, AggOp::Prod];
+
+impl AggOp {
+    /// The neutral element `0_M` of this monoid.
+    pub fn identity(&self) -> MonoidValue {
+        match self {
+            AggOp::Min => MonoidValue::PosInf,
+            AggOp::Max => MonoidValue::NegInf,
+            AggOp::Sum | AggOp::Count => MonoidValue::Fin(0),
+            AggOp::Prod => MonoidValue::Fin(1),
+        }
+    }
+
+    /// The monoid operation `+_M` on two values.
+    pub fn combine(&self, a: &MonoidValue, b: &MonoidValue) -> MonoidValue {
+        match self {
+            AggOp::Min => (*a).min(*b),
+            AggOp::Max => (*a).max(*b),
+            AggOp::Sum | AggOp::Count => a.saturating_add(b),
+            AggOp::Prod => a.saturating_mul(b),
+        }
+    }
+
+    /// Fold an iterator of monoid values.
+    pub fn fold<I: IntoIterator<Item = MonoidValue>>(&self, iter: I) -> MonoidValue {
+        iter.into_iter()
+            .fold(self.identity(), |acc, v| self.combine(&acc, &v))
+    }
+
+    /// The semimodule scalar action `s ⊗ m` for a semiring value `s` and monoid value
+    /// `m` (Definition 4 of the paper).
+    ///
+    /// For the Boolean semiring, `⊥ ⊗ m = 0_M` and `⊤ ⊗ m = m`. For the semiring `N`,
+    /// `n ⊗ m` is the `n`-fold monoid sum of `m` (so `n·m` for SUM, `m` for MIN/MAX
+    /// when `n > 0`, and `m^n` for PROD).
+    pub fn scalar_action(&self, s: &SemiringValue, m: &MonoidValue) -> MonoidValue {
+        let n = s.as_multiplicity();
+        if n == 0 {
+            return self.identity();
+        }
+        match self {
+            AggOp::Min | AggOp::Max => *m,
+            AggOp::Sum | AggOp::Count => match m {
+                MonoidValue::Fin(v) => MonoidValue::Fin(v * n as i64),
+                other => *other,
+            },
+            AggOp::Prod => match m {
+                MonoidValue::Fin(v) => {
+                    let mut acc: i64 = 1;
+                    for _ in 0..n {
+                        acc *= v;
+                    }
+                    MonoidValue::Fin(acc)
+                }
+                other => *other,
+            },
+        }
+    }
+
+    /// Whether the size of the distribution of a sum in this monoid is bounded by the
+    /// number of distinct leaf values (true for MIN and MAX, cf. Proposition 2).
+    pub fn is_selective(&self) -> bool {
+        matches!(self, AggOp::Min | AggOp::Max)
+    }
+
+    /// Whether this operator aggregates the constant `1` per tuple (COUNT) rather than
+    /// a column value.
+    pub fn is_count(&self) -> bool {
+        matches!(self, AggOp::Count)
+    }
+}
+
+impl fmt::Display for AggOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggOp::Min => "MIN",
+            AggOp::Max => "MAX",
+            AggOp::Sum => "SUM",
+            AggOp::Count => "COUNT",
+            AggOp::Prod => "PROD",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::MonoidValue::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(AggOp::Min.identity(), PosInf);
+        assert_eq!(AggOp::Max.identity(), NegInf);
+        assert_eq!(AggOp::Sum.identity(), Fin(0));
+        assert_eq!(AggOp::Count.identity(), Fin(0));
+        assert_eq!(AggOp::Prod.identity(), Fin(1));
+    }
+
+    #[test]
+    fn combine_matches_semantics() {
+        assert_eq!(AggOp::Min.combine(&Fin(3), &Fin(7)), Fin(3));
+        assert_eq!(AggOp::Max.combine(&Fin(3), &Fin(7)), Fin(7));
+        assert_eq!(AggOp::Sum.combine(&Fin(3), &Fin(7)), Fin(10));
+        assert_eq!(AggOp::Prod.combine(&Fin(3), &Fin(7)), Fin(21));
+        assert_eq!(AggOp::Min.combine(&PosInf, &Fin(7)), Fin(7));
+        assert_eq!(AggOp::Max.combine(&NegInf, &Fin(7)), Fin(7));
+    }
+
+    #[test]
+    fn fold_example_from_paper() {
+        // min(10, 11) from the introduction's Example 1.
+        let vals = vec![Fin(10), Fin(11)];
+        assert_eq!(AggOp::Min.fold(vals), Fin(10));
+        // Empty group folds to the neutral element.
+        assert_eq!(AggOp::Min.fold(Vec::new()), PosInf);
+        assert_eq!(AggOp::Sum.fold(Vec::new()), Fin(0));
+    }
+
+    #[test]
+    fn scalar_action_boolean() {
+        let t = SemiringValue::Bool(true);
+        let f = SemiringValue::Bool(false);
+        for op in ALL_AGG_OPS {
+            assert_eq!(op.scalar_action(&f, &Fin(42)), op.identity(), "{op}");
+            assert_eq!(op.scalar_action(&t, &Fin(42)), Fin(42), "{op}");
+        }
+    }
+
+    #[test]
+    fn scalar_action_natural_multiplicities() {
+        // Example 6 of the paper: 6 ⊗ 5 in the MIN monoid is 5 ⊕min ... ⊕min 5 = 5.
+        let six = SemiringValue::Nat(6);
+        assert_eq!(AggOp::Min.scalar_action(&six, &Fin(5)), Fin(5));
+        // In SUM, n ⊗ m is the n-fold sum n·m.
+        assert_eq!(AggOp::Sum.scalar_action(&six, &Fin(5)), Fin(30));
+        // In PROD, n ⊗ m is m^n.
+        assert_eq!(AggOp::Prod.scalar_action(&SemiringValue::Nat(3), &Fin(2)), Fin(8));
+        // Zero multiplicity always yields the neutral element.
+        assert_eq!(AggOp::Sum.scalar_action(&SemiringValue::Nat(0), &Fin(5)), Fin(0));
+    }
+
+    #[test]
+    fn generic_monoids_satisfy_laws_on_samples() {
+        fn check<M: CommutativeMonoid>(samples: &[M]) {
+            for a in samples {
+                assert_eq!(a.plus(&M::zero()), *a);
+                assert_eq!(M::zero().plus(a), *a);
+                for b in samples {
+                    assert_eq!(a.plus(b), b.plus(a));
+                    for c in samples {
+                        assert_eq!(a.plus(b).plus(c), a.plus(&b.plus(c)));
+                    }
+                }
+            }
+        }
+        check(&[SumNat(0), SumNat(1), SumNat(5), SumNat(17)]);
+        check(&[ProdNat(1), ProdNat(2), ProdNat(3)]);
+        check(&[MinExt(Fin(1)), MinExt(PosInf), MinExt(Fin(-4))]);
+        check(&[MaxExt(Fin(1)), MaxExt(NegInf), MaxExt(Fin(-4))]);
+    }
+
+    #[test]
+    fn selective_flags() {
+        assert!(AggOp::Min.is_selective());
+        assert!(AggOp::Max.is_selective());
+        assert!(!AggOp::Sum.is_selective());
+        assert!(!AggOp::Count.is_selective());
+        assert!(AggOp::Count.is_count());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AggOp::Sum.to_string(), "SUM");
+        assert_eq!(AggOp::Count.to_string(), "COUNT");
+    }
+}

@@ -1,0 +1,286 @@
+//! Provenance polynomials: the free commutative semiring `N[X]` over a set of
+//! variables (§2.2 of the paper, "the most general semirings are those generated over
+//! a set of variables").
+//!
+//! Elements are multivariate polynomials with natural-number coefficients, kept in a
+//! canonical sum-of-monomials form so that structural equality coincides with semiring
+//! equality. A valuation of the variables into any other commutative semiring extends
+//! uniquely to a semiring homomorphism ([`Polynomial::eval`]), which is the formal
+//! backbone of "each valuation defines a possible world".
+
+use crate::semiring::Semiring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable identifier in the generated semiring.
+///
+/// Kept deliberately small and `Copy`; the expression layer (`pvc-expr`) has its own
+/// interned variable type — this one exists so that the algebra crate is
+/// self-contained and usable on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PolyVar(pub u32);
+
+/// A monomial: a multiset of variables, represented as variable → exponent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Monomial(BTreeMap<PolyVar, u32>);
+
+impl Monomial {
+    /// The empty monomial `1`.
+    pub fn one() -> Self {
+        Monomial(BTreeMap::new())
+    }
+
+    /// The monomial consisting of a single variable.
+    pub fn var(v: PolyVar) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(v, 1);
+        Monomial(m)
+    }
+
+    /// Product of two monomials (exponent-wise sum).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = self.0.clone();
+        for (v, e) in &other.0 {
+            *out.entry(*v).or_insert(0) += e;
+        }
+        Monomial(out)
+    }
+
+    /// Total degree of the monomial.
+    pub fn degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// The variables occurring in this monomial.
+    pub fn vars(&self) -> impl Iterator<Item = PolyVar> + '_ {
+        self.0.keys().copied()
+    }
+
+    /// Evaluate under a valuation of variables into a semiring.
+    pub fn eval<S: Semiring>(&self, valuation: &impl Fn(PolyVar) -> S) -> S {
+        let mut acc = S::one();
+        for (v, e) in &self.0 {
+            let val = valuation(*v);
+            for _ in 0..*e {
+                acc = acc.mul(&val);
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (v, e) in &self.0 {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if *e == 1 {
+                write!(f, "x{}", v.0)?;
+            } else {
+                write!(f, "x{}^{}", v.0, e)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A provenance polynomial: a canonical sum of monomials with `u64` coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial(BTreeMap<Monomial, u64>);
+
+impl Polynomial {
+    /// The constant polynomial for a natural number.
+    pub fn constant(c: u64) -> Self {
+        let mut p = BTreeMap::new();
+        if c != 0 {
+            p.insert(Monomial::one(), c);
+        }
+        Polynomial(p)
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: PolyVar) -> Self {
+        let mut p = BTreeMap::new();
+        p.insert(Monomial::var(v), 1);
+        Polynomial(p)
+    }
+
+    /// Number of monomials with non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The set of variables occurring in the polynomial.
+    pub fn vars(&self) -> Vec<PolyVar> {
+        let mut vs: Vec<PolyVar> = self.0.keys().flat_map(|m| m.vars()).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Total degree (maximum monomial degree), or 0 for the zero polynomial.
+    pub fn degree(&self) -> u32 {
+        self.0.keys().map(|m| m.degree()).max().unwrap_or(0)
+    }
+
+    /// Evaluate the polynomial under a valuation into any commutative semiring.
+    ///
+    /// This is the unique semiring homomorphism extending the valuation — the formal
+    /// device behind possible-world semantics.
+    pub fn eval<S: Semiring>(&self, valuation: &impl Fn(PolyVar) -> S) -> S {
+        let mut acc = S::zero();
+        for (mono, coeff) in &self.0 {
+            let mut term = mono.eval(valuation);
+            // coeff-fold sum of the monomial's value.
+            let mut repeated = S::zero();
+            for _ in 0..*coeff {
+                repeated = repeated.add(&term);
+            }
+            term = repeated;
+            acc = acc.add(&term);
+        }
+        acc
+    }
+
+    fn normalized(mut self) -> Self {
+        self.0.retain(|_, c| *c != 0);
+        self
+    }
+}
+
+impl Semiring for Polynomial {
+    fn zero() -> Self {
+        Polynomial(BTreeMap::new())
+    }
+
+    fn one() -> Self {
+        Polynomial::constant(1)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (m, c) in &other.0 {
+            *out.entry(m.clone()).or_insert(0) += c;
+        }
+        Polynomial(out).normalized()
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut out: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (m1, c1) in &self.0 {
+            for (m2, c2) in &other.0 {
+                *out.entry(m1.mul(m2)).or_insert(0) += c1 * c2;
+            }
+        }
+        Polynomial(out).normalized()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.0 {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if *c == 1 && !m.0.is_empty() {
+                write!(f, "{m}")?;
+            } else if m.0.is_empty() {
+                write!(f, "{c}")?;
+            } else {
+                write!(f, "{c}·{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_semiring_laws;
+
+    fn x(i: u32) -> Polynomial {
+        Polynomial::var(PolyVar(i))
+    }
+
+    #[test]
+    fn distributivity_identifies_expressions() {
+        // The paper: x1(x2 + x3) equals x1x2 + x1x3 by the distributivity law.
+        let lhs = x(1).mul(&x(2).add(&x(3)));
+        let rhs = x(1).mul(&x(2)).add(&x(1).mul(&x(3)));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn polynomial_semiring_laws_on_samples() {
+        let samples = [
+            Polynomial::zero(),
+            Polynomial::one(),
+            x(1),
+            x(2),
+            x(1).add(&x(2)),
+            x(1).mul(&x(2)).add(&Polynomial::constant(3)),
+        ];
+        for a in &samples {
+            for b in &samples {
+                for c in &samples {
+                    check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_is_a_homomorphism_into_naturals() {
+        let p = x(1).mul(&x(2).add(&x(3))).add(&Polynomial::constant(2));
+        let q = x(2).mul(&x(2)).add(&x(1));
+        let valuation = |v: PolyVar| -> u64 { (v.0 as u64) + 1 };
+        // hom(p + q) = hom(p) + hom(q) and hom(p·q) = hom(p)·hom(q).
+        assert_eq!(p.add(&q).eval(&valuation), p.eval(&valuation) + q.eval(&valuation));
+        assert_eq!(p.mul(&q).eval(&valuation), p.eval(&valuation) * q.eval(&valuation));
+        // Spot-check the actual value: x1=2, x2=3, x3=4 ⇒ 2·(3+4)+2 = 16.
+        assert_eq!(p.eval(&valuation), 16);
+    }
+
+    #[test]
+    fn eval_into_booleans_gives_set_semantics() {
+        // x1(x2 + x3): present iff x1 and at least one of x2, x3 are present.
+        let p = x(1).mul(&x(2).add(&x(3)));
+        let world = |present: &[u32]| {
+            let present = present.to_vec();
+            move |v: PolyVar| present.contains(&v.0)
+        };
+        assert!(p.eval(&world(&[1, 2])));
+        assert!(p.eval(&world(&[1, 3])));
+        assert!(!p.eval(&world(&[2, 3])));
+        assert!(!p.eval(&world(&[1])));
+    }
+
+    #[test]
+    fn degree_terms_and_vars() {
+        let p = x(1).mul(&x(1)).add(&x(2)).add(&Polynomial::constant(5));
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.num_terms(), 3);
+        assert_eq!(p.vars(), vec![PolyVar(1), PolyVar(2)]);
+        assert_eq!(Polynomial::zero().degree(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Polynomial::zero().to_string(), "0");
+        assert_eq!(Polynomial::constant(3).to_string(), "3");
+        let p = x(1).mul(&x(2)).add(&x(1));
+        assert_eq!(p.to_string(), "x1 + x1·x2");
+    }
+}

@@ -1,0 +1,207 @@
+//! The semiring `PosBool(X)` of positive Boolean expressions over a variable set `X`
+//! (§2.2 of the paper), kept in canonical *irredundant monotone DNF* form.
+//!
+//! Elements are sets of clauses (each clause a set of variables); absorption
+//! (`c ⊆ c' ⇒ drop c'`) keeps the representation canonical so that structural equality
+//! coincides with logical equivalence of monotone formulas. This gives an executable
+//! witness for the paper's claim that `x1(x2 + x3)` and `x1x2 + x1x3` denote the same
+//! semiring element.
+
+use crate::polynomial::PolyVar;
+use crate::semiring::Semiring;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A positive Boolean expression in canonical irredundant monotone DNF.
+///
+/// `⊥` is the empty clause set; `⊤` is the set containing the empty clause.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PosBool {
+    clauses: BTreeSet<BTreeSet<PolyVar>>,
+}
+
+impl PosBool {
+    /// The expression consisting of a single variable.
+    pub fn var(v: PolyVar) -> Self {
+        let mut clause = BTreeSet::new();
+        clause.insert(v);
+        let mut clauses = BTreeSet::new();
+        clauses.insert(clause);
+        PosBool { clauses }
+    }
+
+    /// The constant `⊤`.
+    pub fn top() -> Self {
+        let mut clauses = BTreeSet::new();
+        clauses.insert(BTreeSet::new());
+        PosBool { clauses }
+    }
+
+    /// The constant `⊥`.
+    pub fn bottom() -> Self {
+        PosBool::default()
+    }
+
+    /// The clauses of the canonical DNF.
+    pub fn clauses(&self) -> impl Iterator<Item = &BTreeSet<PolyVar>> {
+        self.clauses.iter()
+    }
+
+    /// The variables occurring in the expression.
+    pub fn vars(&self) -> BTreeSet<PolyVar> {
+        self.clauses.iter().flatten().copied().collect()
+    }
+
+    /// Evaluate under a truth assignment of the variables.
+    pub fn eval(&self, truth: &impl Fn(PolyVar) -> bool) -> bool {
+        self.clauses
+            .iter()
+            .any(|clause| clause.iter().all(|v| truth(*v)))
+    }
+
+    /// Remove clauses that are supersets of other clauses (absorption law).
+    fn absorb(mut self) -> Self {
+        let clauses: Vec<_> = self.clauses.iter().cloned().collect();
+        self.clauses.retain(|c| {
+            !clauses
+                .iter()
+                .any(|other| other != c && other.is_subset(c))
+        });
+        self
+    }
+}
+
+impl Semiring for PosBool {
+    fn zero() -> Self {
+        PosBool::bottom()
+    }
+
+    fn one() -> Self {
+        PosBool::top()
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        let mut clauses = self.clauses.clone();
+        clauses.extend(other.clauses.iter().cloned());
+        PosBool { clauses }.absorb()
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut clauses = BTreeSet::new();
+        for c1 in &self.clauses {
+            for c2 in &other.clauses {
+                let mut c = c1.clone();
+                c.extend(c2.iter().copied());
+                clauses.insert(c);
+            }
+        }
+        PosBool { clauses }.absorb()
+    }
+}
+
+impl fmt::Display for PosBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊥");
+        }
+        let mut first_clause = true;
+        for clause in &self.clauses {
+            if !first_clause {
+                write!(f, " + ")?;
+            }
+            first_clause = false;
+            if clause.is_empty() {
+                write!(f, "⊤")?;
+            } else {
+                let mut first_var = true;
+                for v in clause {
+                    if !first_var {
+                        write!(f, "·")?;
+                    }
+                    first_var = false;
+                    write!(f, "x{}", v.0)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_semiring_laws;
+
+    fn x(i: u32) -> PosBool {
+        PosBool::var(PolyVar(i))
+    }
+
+    #[test]
+    fn distributivity_is_structural_equality() {
+        // The paper: x1(x2 + x3) = x1x2 + x1x3 in PosBool(X).
+        let lhs = x(1).mul(&x(2).add(&x(3)));
+        let rhs = x(1).mul(&x(2)).add(&x(1).mul(&x(3)));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn absorption() {
+        // x1 + x1·x2 = x1.
+        let e = x(1).add(&x(1).mul(&x(2)));
+        assert_eq!(e, x(1));
+        // Idempotence of + and ·.
+        assert_eq!(x(1).add(&x(1)), x(1));
+        assert_eq!(x(1).mul(&x(1)), x(1));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(x(1).mul(&PosBool::top()), x(1));
+        assert_eq!(x(1).mul(&PosBool::bottom()), PosBool::bottom());
+        assert_eq!(x(1).add(&PosBool::bottom()), x(1));
+        // ⊤ absorbs everything under +.
+        assert_eq!(x(1).add(&PosBool::top()), PosBool::top());
+    }
+
+    #[test]
+    fn semiring_laws_on_samples() {
+        let samples = [
+            PosBool::bottom(),
+            PosBool::top(),
+            x(1),
+            x(2),
+            x(1).add(&x(2)),
+            x(1).mul(&x(2)).add(&x(3)),
+        ];
+        for a in &samples {
+            for b in &samples {
+                for c in &samples {
+                    check_semiring_laws(a, b, c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_respects_logical_equivalence() {
+        // Two structurally different ways to write the same monotone function.
+        let e1 = x(1).mul(&x(2).add(&x(3))).add(&x(2).mul(&x(3)));
+        let e2 = x(1)
+            .mul(&x(2))
+            .add(&x(1).mul(&x(3)))
+            .add(&x(2).mul(&x(3)));
+        assert_eq!(e1, e2);
+        // And evaluation agrees on all assignments of the three variables.
+        for bits in 0..8u32 {
+            let truth = move |v: PolyVar| bits & (1 << v.0) != 0;
+            assert_eq!(e1.eval(&truth), e2.eval(&truth));
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PosBool::bottom().to_string(), "⊥");
+        assert_eq!(PosBool::top().to_string(), "⊤");
+        assert_eq!(x(1).mul(&x(2)).to_string(), "x1·x2");
+    }
+}

@@ -1,0 +1,254 @@
+//! Commutative semirings for tuple annotations (§2.2, Definition 3 of the paper).
+//!
+//! Semirings are the canonical algebraic structure for tuple annotations
+//! (provenance semirings, Green et al.): annotations from the Boolean semiring yield
+//! set semantics, annotations from `N` yield bag semantics, and more exotic semirings
+//! (security levels, provenance polynomials) capture richer provenance.
+//!
+//! The trait [`Semiring`] is the generic formulation; the engine's dynamic values live
+//! in [`crate::value`].
+
+use std::fmt;
+
+/// A commutative semiring `(S, +, 0, ·, 1)` (Definition 3 of the paper).
+///
+/// Laws (checked by property tests in this crate):
+/// * `(S, +, 0)` and `(S, ·, 1)` are commutative monoids;
+/// * `·` distributes over `+`;
+/// * `0` annihilates: `0 · s = s · 0 = 0`.
+pub trait Semiring: Clone + PartialEq + fmt::Debug {
+    /// The additive neutral element `0_S`.
+    fn zero() -> Self;
+    /// The multiplicative neutral element `1_S`.
+    fn one() -> Self;
+    /// Semiring addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Semiring multiplication.
+    fn mul(&self, other: &Self) -> Self;
+
+    /// True if this element equals `0_S`.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// True if this element equals `1_S`.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// Sum of an iterator of semiring elements.
+    fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self
+    where
+        Self: Sized,
+    {
+        iter.into_iter().fold(Self::zero(), |a, b| a.add(&b))
+    }
+
+    /// Product of an iterator of semiring elements.
+    fn product<I: IntoIterator<Item = Self>>(iter: I) -> Self
+    where
+        Self: Sized,
+    {
+        iter.into_iter().fold(Self::one(), |a, b| a.mul(&b))
+    }
+}
+
+/// The Boolean semiring `(B, ∨, ⊥, ∧, ⊤)` — set semantics.
+impl Semiring for bool {
+    fn zero() -> Self {
+        false
+    }
+    fn one() -> Self {
+        true
+    }
+    fn add(&self, other: &Self) -> Self {
+        *self || *other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        *self && *other
+    }
+}
+
+/// The semiring of natural numbers `(N, +, 0, ·, 1)` — bag semantics.
+impl Semiring for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+}
+
+/// The probability / Viterbi-style semiring over `[0, 1]` with `max` as addition and
+/// `·` as multiplication. Included as an additional concrete semiring exercising the
+/// generic machinery (it is *not* how probabilities are computed in this system —
+/// exact probabilities come from convolution over distributions, cf. `pvc-prob`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viterbi(pub f64);
+
+impl Semiring for Viterbi {
+    fn zero() -> Self {
+        Viterbi(0.0)
+    }
+    fn one() -> Self {
+        Viterbi(1.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Viterbi(self.0.max(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Viterbi(self.0 * other.0)
+    }
+}
+
+/// The access-control ("security") semiring mentioned in §2.2: annotations constrain
+/// who may see a query result, with `add = min` (most permissive alternative) and
+/// `mul = max` (most restrictive joint requirement) over an ordered set of clearance
+/// levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Clearance {
+    /// Anyone may see the tuple.
+    Public,
+    /// Confidential clearance required.
+    Confidential,
+    /// Secret clearance required.
+    Secret,
+    /// Top-secret clearance required.
+    TopSecret,
+    /// Nobody may see the tuple (the additive neutral element).
+    Never,
+}
+
+impl Semiring for Clearance {
+    fn zero() -> Self {
+        Clearance::Never
+    }
+    fn one() -> Self {
+        Clearance::Public
+    }
+    fn add(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+}
+
+/// Check all commutative-semiring laws on a triple of sample elements.
+///
+/// Returns `Err` with a description of the first violated law, which makes property
+/// tests and doc examples read naturally.
+pub fn check_semiring_laws<S: Semiring>(a: &S, b: &S, c: &S) -> Result<(), String> {
+    let err = |law: &str| Err(format!("semiring law violated: {law}"));
+    // Additive commutative monoid.
+    if a.add(&b.add(c)) != a.add(b).add(c) {
+        return err("additive associativity");
+    }
+    if a.add(b) != b.add(a) {
+        return err("additive commutativity");
+    }
+    if a.add(&S::zero()) != *a || S::zero().add(a) != *a {
+        return err("additive identity");
+    }
+    // Multiplicative commutative monoid.
+    if a.mul(&b.mul(c)) != a.mul(b).mul(c) {
+        return err("multiplicative associativity");
+    }
+    if a.mul(b) != b.mul(a) {
+        return err("multiplicative commutativity");
+    }
+    if a.mul(&S::one()) != *a || S::one().mul(a) != *a {
+        return err("multiplicative identity");
+    }
+    // Distributivity and annihilation.
+    if a.mul(&b.add(c)) != a.mul(b).add(&a.mul(c)) {
+        return err("left distributivity");
+    }
+    if a.add(b).mul(c) != a.mul(c).add(&b.mul(c)) {
+        return err("right distributivity");
+    }
+    if !a.mul(&S::zero()).is_zero() || !S::zero().mul(a).is_zero() {
+        return err("annihilation by zero");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_semiring_laws() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    check_semiring_laws(&a, &b, &c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn natural_semiring_laws() {
+        let samples = [0u64, 1, 2, 3, 7, 11];
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    check_semiring_laws(&a, &b, &c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clearance_semiring_laws() {
+        use Clearance::*;
+        let samples = [Public, Confidential, Secret, TopSecret, Never];
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    check_semiring_laws(&a, &b, &c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clearance_semantics() {
+        use Clearance::*;
+        // Joint use of a Public and a Secret tuple requires Secret clearance.
+        assert_eq!(Public.mul(&Secret), Secret);
+        // Alternative derivations take the weaker requirement.
+        assert_eq!(Public.add(&Secret), Public);
+        // A tuple that can never be seen annihilates joins.
+        assert_eq!(Never.mul(&Public), Never);
+    }
+
+    #[test]
+    fn viterbi_is_a_semiring_on_unit_interval_samples() {
+        let samples = [0.0, 0.25, 0.5, 1.0];
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    check_semiring_laws(&Viterbi(a), &Viterbi(b), &Viterbi(c)).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sums_and_products() {
+        assert_eq!(u64::sum([1, 2, 3]), 6);
+        assert_eq!(u64::product([2, 3, 4]), 24);
+        assert_eq!(bool::sum([false, false, true]), true);
+        assert_eq!(bool::product([true, true, false]), false);
+        assert!(u64::sum(std::iter::empty::<u64>()).is_zero());
+        assert!(u64::product(std::iter::empty::<u64>()).is_one());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the algebraic laws (Definitions 2–4 of the paper) on
+//! randomly generated elements.
+
+use proptest::prelude::*;
+use pvc_algebra::{
+    check_semimodule_laws, check_semiring_laws, CommutativeMonoid, MaxExt, MinExt,
+    MonoidValue, PolyVar, Polynomial, PosBool, Semiring, SemiringValue, SumNat, ALL_AGG_OPS,
+};
+
+fn small_poly() -> impl Strategy<Value = Polynomial> {
+    // Random polynomial: sum of up to 4 monomials of up to 3 variables from x0..x4.
+    prop::collection::vec(
+        (prop::collection::vec(0u32..5, 0..3), 1u64..3),
+        0..4,
+    )
+    .prop_map(|terms| {
+        let mut acc = Polynomial::zero();
+        for (vars, coeff) in terms {
+            let mut mono = Polynomial::constant(coeff);
+            for v in vars {
+                mono = mono.mul(&Polynomial::var(PolyVar(v)));
+            }
+            acc = acc.add(&mono);
+        }
+        acc
+    })
+}
+
+fn small_posbool() -> impl Strategy<Value = PosBool> {
+    prop::collection::vec(prop::collection::vec(0u32..5, 0..3), 0..4).prop_map(|clauses| {
+        let mut acc = PosBool::zero();
+        for clause in clauses {
+            let mut term = PosBool::one();
+            for v in clause {
+                term = term.mul(&PosBool::var(PolyVar(v)));
+            }
+            acc = acc.add(&term);
+        }
+        acc
+    })
+}
+
+proptest! {
+    #[test]
+    fn natural_semiring_laws(a in 0u64..50, b in 0u64..50, c in 0u64..50) {
+        prop_assert!(check_semiring_laws(&a, &b, &c).is_ok());
+    }
+
+    #[test]
+    fn polynomial_semiring_laws(a in small_poly(), b in small_poly(), c in small_poly()) {
+        prop_assert!(check_semiring_laws(&a, &b, &c).is_ok());
+    }
+
+    #[test]
+    fn posbool_semiring_laws(a in small_posbool(), b in small_posbool(), c in small_posbool()) {
+        prop_assert!(check_semiring_laws(&a, &b, &c).is_ok());
+    }
+
+    #[test]
+    fn polynomial_eval_is_homomorphism(
+        a in small_poly(),
+        b in small_poly(),
+        vals in prop::collection::vec(0u64..5, 5),
+    ) {
+        let valuation = |v: PolyVar| vals[v.0 as usize % vals.len()];
+        prop_assert_eq!(a.add(&b).eval(&valuation), a.eval(&valuation) + b.eval(&valuation));
+        prop_assert_eq!(a.mul(&b).eval(&valuation), a.eval(&valuation) * b.eval(&valuation));
+    }
+
+    #[test]
+    fn posbool_eval_agrees_with_polynomial_support(
+        a in small_posbool(),
+        bits in 0u32..32,
+    ) {
+        // Evaluating the canonical DNF is monotone: adding true variables never
+        // turns a true expression false.
+        let truth = |v: PolyVar| bits & (1 << v.0) != 0;
+        let all_true = |_: PolyVar| true;
+        if a.eval(&truth) {
+            prop_assert!(a.eval(&all_true));
+        }
+    }
+
+    #[test]
+    fn semimodule_laws_sum_nat(s1 in 0u64..10, s2 in 0u64..10, m1 in 0u64..10, m2 in 0u64..10) {
+        prop_assert!(
+            check_semimodule_laws(&s1, &s2, &SumNat(m1), &SumNat(m2)).is_ok()
+        );
+    }
+
+    #[test]
+    fn semimodule_laws_min_max_bool(
+        s1 in any::<bool>(), s2 in any::<bool>(), m1 in -20i64..20, m2 in -20i64..20,
+    ) {
+        prop_assert!(check_semimodule_laws(
+            &s1, &s2, &MinExt(MonoidValue::Fin(m1)), &MinExt(MonoidValue::Fin(m2))).is_ok());
+        prop_assert!(check_semimodule_laws(
+            &s1, &s2, &MaxExt(MonoidValue::Fin(m1)), &MaxExt(MonoidValue::Fin(m2))).is_ok());
+    }
+
+    #[test]
+    fn agg_op_monoid_laws(
+        op_idx in 0usize..5,
+        a in -20i64..20,
+        b in -20i64..20,
+        c in -20i64..20,
+    ) {
+        let op = ALL_AGG_OPS[op_idx];
+        let (a, b, c) = (MonoidValue::Fin(a), MonoidValue::Fin(b), MonoidValue::Fin(c));
+        // Commutativity, associativity, identity.
+        prop_assert_eq!(op.combine(&a, &b), op.combine(&b, &a));
+        prop_assert_eq!(
+            op.combine(&op.combine(&a, &b), &c),
+            op.combine(&a, &op.combine(&b, &c))
+        );
+        prop_assert_eq!(op.combine(&a, &op.identity()), a);
+    }
+
+    #[test]
+    fn scalar_action_distributes_over_semiring_sum(
+        op_idx in 0usize..5,
+        n1 in 0u64..5,
+        n2 in 0u64..5,
+        m in -10i64..10,
+    ) {
+        // (s1 +S s2) ⊗ m  =  s1 ⊗ m  +M  s2 ⊗ m  for the N-semimodules.
+        let op = ALL_AGG_OPS[op_idx];
+        let m = MonoidValue::Fin(m);
+        let s1 = SemiringValue::Nat(n1);
+        let s2 = SemiringValue::Nat(n2);
+        let lhs = op.scalar_action(&s1.add(&s2), &m);
+        let rhs = op.combine(&op.scalar_action(&s1, &m), &op.scalar_action(&s2, &m));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn scalar_action_compatible_with_semiring_product(
+        op_idx in 0usize..5,
+        n1 in 0u64..4,
+        n2 in 0u64..4,
+        m in -6i64..6,
+    ) {
+        // (s1 ·S s2) ⊗ m = s1 ⊗ (s2 ⊗ m).
+        let op = ALL_AGG_OPS[op_idx];
+        let m = MonoidValue::Fin(m);
+        let s1 = SemiringValue::Nat(n1);
+        let s2 = SemiringValue::Nat(n2);
+        let lhs = op.scalar_action(&s1.mul(&s2), &m);
+        let rhs = op.scalar_action(&s1, &op.scalar_action(&s2, &m));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn generic_monoid_fold_matches_iterated_plus(values in prop::collection::vec(0u64..30, 0..8)) {
+        let folded = SumNat::sum(values.iter().map(|v| SumNat(*v)));
+        prop_assert_eq!(folded.0, values.iter().sum::<u64>());
+    }
+}

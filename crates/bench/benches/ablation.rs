@@ -1,0 +1,70 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md: the structural
+//! decomposition rules vs pure Shannon expansion, and pruning on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_core::{CompileOptions, Compiler};
+use pvc_workload::{ExprGenParams, ExprGenerator, GeneratedExpr};
+
+fn confidence_with(gen: &GeneratedExpr, options: CompileOptions) -> f64 {
+    let mut compiler = Compiler::with_options(&gen.vars, SemiringKind::Bool, options);
+    let tree = compiler.compile_semiring(&gen.condition).unwrap();
+    tree.semiring_distribution(&gen.vars, SemiringKind::Bool)
+        .unwrap()
+        .iter()
+        .filter(|(v, _)| !v.is_zero())
+        .map(|(_, p)| p)
+        .sum()
+}
+
+fn bench_rules_vs_shannon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rules");
+    group.sample_size(10);
+    let params = ExprGenParams {
+        agg_left: AggOp::Min,
+        theta: CmpOp::Le,
+        constant: 120,
+        left_terms: 40,
+        num_vars: 14,
+        clauses_per_term: 2,
+        literals_per_clause: 2,
+        ..ExprGenParams::default()
+    };
+    let gen = ExprGenerator::new(params, 3).generate();
+    group.bench_with_input(BenchmarkId::new("full_rules", 40), &gen, |b, gen| {
+        b.iter(|| confidence_with(gen, CompileOptions::default()))
+    });
+    group.bench_with_input(BenchmarkId::new("shannon_only", 40), &gen, |b, gen| {
+        b.iter(|| confidence_with(gen, CompileOptions::shannon_only()))
+    });
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pruning");
+    group.sample_size(10);
+    let params = ExprGenParams {
+        agg_left: AggOp::Min,
+        theta: CmpOp::Le,
+        constant: 20,
+        left_terms: 60,
+        num_vars: 16,
+        max_value: 200,
+        ..ExprGenParams::default()
+    };
+    let gen = ExprGenerator::new(params, 5).generate();
+    let no_pruning = CompileOptions {
+        pruning: false,
+        ..CompileOptions::default()
+    };
+    group.bench_with_input(BenchmarkId::new("pruning_on", 60), &gen, |b, gen| {
+        b.iter(|| confidence_with(gen, CompileOptions::default()))
+    });
+    group.bench_with_input(BenchmarkId::new("pruning_off", 60), &gen, |b, gen| {
+        b.iter(|| confidence_with(gen, no_pruning.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules_vs_shannon, bench_pruning);
+criterion_main!(benches);

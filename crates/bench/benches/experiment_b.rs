@@ -1,0 +1,31 @@
+//! Criterion bench for Experiment B (Figure 8b): varying the number of terms at a
+//! fixed number of variables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_workload::{ExprGenParams, ExprGenerator};
+
+fn bench_experiment_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_b");
+    group.sample_size(10);
+    for agg in [AggOp::Min, AggOp::Max] {
+        for terms in [25usize, 100, 400] {
+            let params = ExprGenParams {
+                agg_left: agg,
+                theta: CmpOp::Eq,
+                constant: 100,
+                left_terms: terms,
+                num_vars: 14,
+                ..ExprGenParams::default()
+            };
+            let gen = ExprGenerator::new(params, 11).generate();
+            group.bench_with_input(BenchmarkId::new(format!("{agg}"), terms), &gen, |b, gen| {
+                b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_b);
+criterion_main!(benches);

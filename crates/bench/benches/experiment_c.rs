@@ -1,0 +1,32 @@
+//! Criterion bench for Experiment C (Figure 8a): the easy/hard/easy phase transition
+//! when varying the number of distinct variables at fixed expression size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_workload::{ExprGenParams, ExprGenerator};
+
+fn bench_experiment_c(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_c");
+    group.sample_size(10);
+    for num_vars in [6usize, 14, 32, 64] {
+        let params = ExprGenParams {
+            agg_left: AggOp::Min,
+            theta: CmpOp::Eq,
+            constant: 3,
+            max_value: 5,
+            left_terms: 40,
+            clauses_per_term: 2,
+            literals_per_clause: 2,
+            num_vars,
+            ..ExprGenParams::default()
+        };
+        let gen = ExprGenerator::new(params, 13).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(num_vars), &gen, |b, gen| {
+            b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_c);
+criterion_main!(benches);

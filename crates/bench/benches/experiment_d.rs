@@ -1,0 +1,46 @@
+//! Criterion bench for Experiment D (Figure 9): varying the number of literals per
+//! clause and clauses per term.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_workload::{ExprGenParams, ExprGenerator};
+
+fn bench_experiment_d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_d");
+    group.sample_size(10);
+    let base = ExprGenParams {
+        agg_left: AggOp::Min,
+        theta: CmpOp::Le,
+        constant: 3,
+        max_value: 5,
+        left_terms: 40,
+        num_vars: 14,
+        ..ExprGenParams::default()
+    };
+    for literals in [1usize, 3, 8] {
+        let params = ExprGenParams {
+            clauses_per_term: 3,
+            literals_per_clause: literals,
+            ..base.clone()
+        };
+        let gen = ExprGenerator::new(params, 17).generate();
+        group.bench_with_input(BenchmarkId::new("literals", literals), &gen, |b, gen| {
+            b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+        });
+    }
+    for clauses in [1usize, 3, 8] {
+        let params = ExprGenParams {
+            clauses_per_term: clauses,
+            literals_per_clause: 3,
+            ..base.clone()
+        };
+        let gen = ExprGenerator::new(params, 19).generate();
+        group.bench_with_input(BenchmarkId::new("clauses", clauses), &gen, |b, gen| {
+            b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_d);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Experiment E (Figure 10): two-sided expressions with different
+//! aggregation monoids on each side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_workload::{ExprGenParams, ExprGenerator};
+
+fn bench_experiment_e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_e");
+    group.sample_size(10);
+    for (agg_l, agg_r) in [
+        (AggOp::Min, AggOp::Max),
+        (AggOp::Min, AggOp::Count),
+        (AggOp::Max, AggOp::Sum),
+    ] {
+        for left_terms in [10usize, 40, 120] {
+            let params = ExprGenParams {
+                agg_left: agg_l,
+                agg_right: agg_r,
+                left_terms,
+                right_terms: 30,
+                theta: CmpOp::Le,
+                constant: 100,
+                max_value: 200,
+                clauses_per_term: 2,
+                literals_per_clause: 2,
+                num_vars: 12,
+                ..ExprGenParams::default()
+            };
+            let gen = ExprGenerator::new(params, 23).generate();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{agg_l}_{agg_r}"), left_terms),
+                &gen,
+                |b, gen| {
+                    b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_e);
+criterion_main!(benches);

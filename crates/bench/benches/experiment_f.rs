@@ -1,0 +1,43 @@
+//! Criterion bench for Experiment F (Figure 11): TPC-H-like queries Q1 and Q2,
+//! separating expression construction (⟦·⟧) from probability computation (P(·)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvc_db::{evaluate, tuple_confidences};
+use pvc_tpch::{generate, q1, q2, TpchConfig};
+
+fn bench_experiment_f(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_f");
+    group.sample_size(10);
+    for sf in [0.005f64, 0.02] {
+        let db = generate(&TpchConfig {
+            scale_factor: sf,
+            ..TpchConfig::default()
+        });
+        let query = q1(1_800);
+        group.bench_with_input(BenchmarkId::new("q1_rewrite", sf), &db, |b, db| {
+            b.iter(|| evaluate(db, &query))
+        });
+        let table = evaluate(&db, &query);
+        group.bench_with_input(BenchmarkId::new("q1_probability", sf), &db, |b, db| {
+            b.iter(|| tuple_confidences(db, &table))
+        });
+    }
+    for sf in [0.1f64, 0.25] {
+        let db = generate(&TpchConfig {
+            scale_factor: sf,
+            ..TpchConfig::default()
+        });
+        let query = q2("ASIA", 25);
+        group.bench_with_input(BenchmarkId::new("q2_rewrite", sf), &db, |b, db| {
+            b.iter(|| evaluate(db, &query))
+        });
+        let table = evaluate(&db, &query);
+        group.bench_with_input(BenchmarkId::new("q2_probability", sf), &db, |b, db| {
+            b.iter(|| tuple_confidences(db, &table))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiment_f);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the core building blocks: convolution, read-once compilation,
+//! Shannon expansion and the Figure 1 end-to-end query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvc_algebra::{AggOp, MonoidValue, SemiringKind};
+use pvc_expr::{SemimoduleExpr, SemiringExpr, VarTable};
+use pvc_prob::Dist;
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolution");
+    for size in [16usize, 64, 256] {
+        let a: Dist<i64> = Dist::from_pairs((0..size as i64).map(|v| (v, 1.0 / size as f64)));
+        let b = a.clone();
+        group.bench_with_input(BenchmarkId::new("sum", size), &(a, b), |bench, (a, b)| {
+            bench.iter(|| a.convolve(b, |x, y| x + y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_once_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_once_compile");
+    for groups in [10usize, 50, 200] {
+        // Hierarchical provenance: x_i (y_{i,1} + y_{i,2} + y_{i,3}).
+        let mut vars = VarTable::new();
+        let mut summands = Vec::new();
+        for i in 0..groups {
+            let x = vars.boolean(format!("x{i}"), 0.5);
+            for j in 0..3 {
+                let y = vars.boolean(format!("y{i}_{j}"), 0.5);
+                summands.push(SemiringExpr::Var(x) * SemiringExpr::Var(y));
+            }
+        }
+        let expr = SemiringExpr::sum(summands);
+        group.bench_with_input(BenchmarkId::from_parameter(groups), &(expr, vars), |b, (expr, vars)| {
+            b.iter(|| pvc_core::confidence(expr, vars, SemiringKind::Bool))
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_aggregate_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_aggregate_distribution");
+    for terms in [50usize, 200, 800] {
+        let mut vars = VarTable::new();
+        let expr = SemimoduleExpr::from_terms(
+            AggOp::Min,
+            (0..terms)
+                .map(|i| {
+                    let v = vars.boolean(format!("t{i}"), 0.5);
+                    (SemiringExpr::Var(v), MonoidValue::Fin((i % 97) as i64))
+                })
+                .collect(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(terms), &(expr, vars), |b, (expr, vars)| {
+            b.iter(|| pvc_core::semimodule_distribution(expr, vars, SemiringKind::Bool))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_convolution,
+    bench_read_once_compilation,
+    bench_min_aggregate_distribution
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Runs every experiment (A–F) in sequence and prints all tables. This is the
+//! one-shot driver used to populate EXPERIMENTS.md.
+
+fn main() {
+    let scale = pvc_bench::Scale::from_env();
+    for (name, rows) in [
+        ("Experiment A (Figure 7)", pvc_bench::experiment_a(scale)),
+        ("Experiment B (Figure 8b)", pvc_bench::experiment_b(scale)),
+        ("Experiment C (Figure 8a)", pvc_bench::experiment_c(scale)),
+        ("Experiment D (Figure 9)", pvc_bench::experiment_d(scale)),
+        ("Experiment E (Figure 10)", pvc_bench::experiment_e(scale)),
+    ] {
+        println!("\n== {name} ==");
+        let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
+        pvc_bench::print_table(&pvc_bench::experiments::SWEEP_HEADER, &cells);
+    }
+    println!("\n== Experiment F (Figure 11) ==");
+    let rows = pvc_bench::experiment_f(scale);
+    let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
+    pvc_bench::print_table(&pvc_bench::experiments::TPCH_HEADER, &cells);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Experiment C of the paper (see EXPERIMENTS.md for the figure
+//! mapping). Set `PVC_BENCH_FULL=1` for paper-scale parameters.
+
+fn main() {
+    let scale = pvc_bench::Scale::from_env();
+    eprintln!("running experiment C at {scale:?} scale ...");
+    let rows = pvc_bench::experiment_c(scale);
+    let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
+    pvc_bench::print_table(&pvc_bench::experiments::SWEEP_HEADER, &cells);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Experiment F (Figure 11): TPC-H-like queries Q1 and Q2 across scale
+//! factors, reporting the deterministic baseline, expression construction and
+//! probability computation times. Set `PVC_BENCH_FULL=1` for the larger sweep.
+
+fn main() {
+    let scale = pvc_bench::Scale::from_env();
+    eprintln!("running experiment F at {scale:?} scale ...");
+    let rows = pvc_bench::experiment_f(scale);
+    let cells: Vec<Vec<String>> = rows.iter().map(|r| r.cells()).collect();
+    pvc_bench::print_table(&pvc_bench::experiments::TPCH_HEADER, &cells);
+}

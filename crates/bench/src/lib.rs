@@ -1,0 +1,29 @@
+//! # pvc-bench
+//!
+//! The benchmark harness that regenerates every figure of the paper's experimental
+//! evaluation (§7): Experiments A–E on randomly generated expressions (Figures 7–10)
+//! and Experiment F on TPC-H-like data (Figure 11), plus micro- and ablation
+//! benchmarks that are not in the paper but quantify the design choices called out in
+//! `DESIGN.md`.
+//!
+//! Each experiment is a function returning the rows of the corresponding figure's
+//! series; the `exp_*` binaries print them as aligned tables (and CSV), and the
+//! Criterion benches time representative points of the same sweeps.
+//!
+//! The default parameter sets are scaled down from the paper's so that the whole
+//! harness completes in minutes on a laptop; set the environment variable
+//! `PVC_BENCH_FULL=1` to run closer to the paper's parameters. The *shape* of every
+//! curve (who wins, where run time saturates, where the phase transitions sit) is
+//! preserved at either scale; absolute times are not comparable to the paper's 2012
+//! hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+
+pub use experiments::{
+    experiment_a, experiment_b, experiment_c, experiment_d, experiment_e, experiment_f, Scale,
+};
+pub use stats::{mean_std, print_table, Measurement};

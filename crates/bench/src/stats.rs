@@ -1,0 +1,107 @@
+//! Small measurement utilities shared by the experiment drivers: repeated timing with
+//! outlier trimming (the paper reports averages over `#runs` with the slowest and
+//! fastest runs discarded) and aligned table printing.
+
+use std::time::Instant;
+
+/// A timing measurement aggregated over several runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Mean wall-clock seconds (after trimming the fastest and slowest run).
+    pub mean_seconds: f64,
+    /// Estimated standard deviation of the trimmed runs.
+    pub std_seconds: f64,
+    /// Number of runs that entered the mean.
+    pub runs: usize,
+}
+
+/// Mean and standard deviation of a slice.
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples
+        .iter()
+        .map(|s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / samples.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Run `f` once per seed in `seeds`, timing each run, and aggregate the timings the
+/// way the paper does: discard the slowest and the fastest run (when there are more
+/// than two runs) and report mean and standard deviation of the rest.
+pub fn timed_over_seeds(seeds: impl IntoIterator<Item = u64>, mut f: impl FnMut(u64)) -> Measurement {
+    let mut times: Vec<f64> = Vec::new();
+    for seed in seeds {
+        let start = Instant::now();
+        f(seed);
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let trimmed: &[f64] = if times.len() > 2 {
+        &times[1..times.len() - 1]
+    } else {
+        &times
+    };
+    let (mean_seconds, std_seconds) = mean_std(trimmed);
+    Measurement {
+        mean_seconds,
+        std_seconds,
+        runs: trimmed.len(),
+    }
+}
+
+/// Print rows as an aligned text table with a header.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn timing_trims_extremes() {
+        let mut calls = 0;
+        let m = timed_over_seeds(0..5, |_| calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(m.runs, 3);
+        assert!(m.mean_seconds >= 0.0);
+    }
+
+    #[test]
+    fn timing_with_two_runs_keeps_both() {
+        let m = timed_over_seeds(0..2, |_| {});
+        assert_eq!(m.runs, 2);
+    }
+}

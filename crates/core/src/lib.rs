@@ -1,0 +1,119 @@
+//! # pvc-core
+//!
+//! The paper's primary contribution: **decomposition trees (d-trees)** and the
+//! compilation of arbitrary semiring / semimodule expressions into them
+//! (Algorithm 1), with bottom-up probability computation, pruning of conditional
+//! expressions, and joint-distribution compilation.
+//!
+//! The typical end-to-end use is one of the convenience functions:
+//!
+//! ```
+//! use pvc_algebra::{AggOp, MonoidValue, SemiringKind};
+//! use pvc_core::{confidence, semimodule_distribution};
+//! use pvc_expr::{SemimoduleExpr, SemiringExpr, VarTable};
+//!
+//! // Two uncertain price offers; what is the distribution of the minimum price?
+//! let mut vars = VarTable::new();
+//! let offer_a = vars.boolean("offer_a", 0.8);
+//! let offer_b = vars.boolean("offer_b", 0.5);
+//! let min_price = SemimoduleExpr::from_terms(
+//!     AggOp::Min,
+//!     vec![
+//!         (SemiringExpr::Var(offer_a), MonoidValue::Fin(10)),
+//!         (SemiringExpr::Var(offer_b), MonoidValue::Fin(7)),
+//!     ],
+//! );
+//! let dist = semimodule_distribution(&min_price, &vars, SemiringKind::Bool);
+//! assert!((dist.prob(&MonoidValue::Fin(7)) - 0.5).abs() < 1e-9);
+//!
+//! // The probability that at least one offer exists.
+//! let any = SemiringExpr::Var(offer_a) + SemiringExpr::Var(offer_b);
+//! assert!((confidence(&any, &vars, SemiringKind::Bool) - 0.9).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod joint;
+pub mod node;
+pub mod prune;
+
+pub use compile::{
+    compile_semimodule, compile_semiring, BudgetExceeded, CompileOptions, CompileStats, Compiler,
+};
+pub use joint::{joint_distribution, ratio_distribution};
+pub use node::{DTree, DTreeError};
+pub use prune::{prune_against_constant, prune_conditional, PruneResult};
+
+use pvc_algebra::SemiringKind;
+use pvc_expr::{SemimoduleExpr, SemiringExpr, VarTable};
+use pvc_prob::{MonoidDist, SemiringDist};
+
+/// Compile a semiring expression and compute its exact probability distribution.
+pub fn semiring_distribution(
+    expr: &SemiringExpr,
+    table: &VarTable,
+    kind: SemiringKind,
+) -> SemiringDist {
+    compile_semiring(expr, table, kind)
+        .semiring_distribution(table, kind)
+        .expect("compiled semiring tree yields semiring values")
+}
+
+/// Compile a semimodule expression and compute its exact probability distribution.
+pub fn semimodule_distribution(
+    expr: &SemimoduleExpr,
+    table: &VarTable,
+    kind: SemiringKind,
+) -> MonoidDist {
+    compile_semimodule(expr, table, kind)
+        .monoid_distribution(table, kind)
+        .expect("compiled semimodule tree yields monoid values")
+}
+
+/// The probability that a semiring expression does not evaluate to `0_S` — the tuple
+/// confidence of a pvc-table tuple annotated with this expression.
+pub fn confidence(expr: &SemiringExpr, table: &VarTable, kind: SemiringKind) -> f64 {
+    semiring_distribution(expr, table, kind)
+        .iter()
+        .filter(|(v, _)| !v.is_zero())
+        .map(|(_, p)| p)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::{AggOp, MonoidValue::Fin};
+    use pvc_expr::oracle;
+
+    #[test]
+    fn convenience_wrappers_agree_with_oracle() {
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", 0.2);
+        let b = vt.boolean("b", 0.7);
+        let c = vt.boolean("c", 0.5);
+        let expr = SemiringExpr::Var(a) * (SemiringExpr::Var(b) + SemiringExpr::Var(c));
+        let dist = semiring_distribution(&expr, &vt, SemiringKind::Bool);
+        let oracle_dist = oracle::semiring_dist_by_enumeration(&expr, &vt, SemiringKind::Bool);
+        assert!(dist.approx_eq(&oracle_dist, 1e-9));
+        assert!(
+            (confidence(&expr, &vt, SemiringKind::Bool)
+                - oracle::confidence_by_enumeration(&expr, &vt, SemiringKind::Bool))
+            .abs()
+                < 1e-9
+        );
+
+        let alpha = SemimoduleExpr::from_terms(
+            AggOp::Max,
+            vec![
+                (SemiringExpr::Var(a), Fin(3)),
+                (SemiringExpr::Var(b), Fin(8)),
+            ],
+        );
+        let dist = semimodule_distribution(&alpha, &vt, SemiringKind::Bool);
+        let oracle_dist = oracle::semimodule_dist_by_enumeration(&alpha, &vt, SemiringKind::Bool);
+        assert!(dist.approx_eq(&oracle_dist, 1e-9));
+    }
+}

@@ -1,0 +1,433 @@
+//! Decomposition trees (d-trees): the knowledge-compilation target of the paper
+//! (§5, Definition 7).
+//!
+//! A d-tree is a tree whose inner nodes are `⊕` (independent sum), `⊙` (independent
+//! product), `⊗` (independent scalar action), `[θ]` (comparison of independent
+//! expressions) and `⊔_x` (exhaustive, mutually exclusive case split on the value of a
+//! variable), and whose leaves are variables or constants. The probability
+//! distribution of a d-tree is computed bottom-up in one pass, using convolution at
+//! the first four node kinds (Eqs. 4–9) and weighted mixing at `⊔` nodes (Eq. 10) —
+//! in time `O(Π_i |p_i|)` over the node distributions (Theorem 2).
+
+use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
+use pvc_expr::{Var, VarTable};
+use pvc_prob::{Dist, DistValue, MixedDist, MonoidDist, SemiringDist};
+use std::fmt;
+
+/// A decomposition tree over semiring and semimodule expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DTree {
+    /// Leaf: a random variable `x ∈ X`, carrying its own distribution.
+    VarLeaf(Var),
+    /// Leaf: a semiring constant `s ∈ S` (distribution `{(s, 1)}`).
+    SConst(SemiringValue),
+    /// Leaf: a monoid constant `m ∈ M` (distribution `{(m, 1)}`).
+    MConst(MonoidValue),
+    /// `⊕` over two independent *semiring* expressions (Eq. 4).
+    SumS(Box<DTree>, Box<DTree>),
+    /// `⊕` over two independent *semimodule* expressions in the given monoid (Eq. 6).
+    SumM(AggOp, Box<DTree>, Box<DTree>),
+    /// `⊙` — product of two independent semiring expressions (Eq. 5).
+    Prod(Box<DTree>, Box<DTree>),
+    /// `⊗` — scalar action of an independent semiring expression on a semimodule
+    /// expression in the given monoid (Eq. 7).
+    Tensor(AggOp, Box<DTree>, Box<DTree>),
+    /// `[θ]` — comparison of two independent expressions, both semiring or both
+    /// semimodule (Eqs. 8–9). The result is a semiring value.
+    Cmp(CmpOp, Box<DTree>, Box<DTree>),
+    /// `⊔_x` — mutually exclusive split on the value of variable `x`: one child per
+    /// support value `s` with `P_x[s] ≠ 0` (Eq. 10).
+    Exclusive(Var, Vec<(SemiringValue, DTree)>),
+}
+
+/// Errors raised while evaluating a d-tree's distribution.
+///
+/// These indicate a malformed tree (e.g. a `⊙` node over a semimodule child); trees
+/// produced by the compiler in this crate never trigger them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DTreeError {
+    /// A child produced monoid values where semiring values were required.
+    ExpectedSemiring(&'static str),
+    /// A child produced semiring values where monoid values were required.
+    ExpectedMonoid(&'static str),
+    /// A comparison node mixed semiring and monoid children.
+    MixedComparison,
+}
+
+impl fmt::Display for DTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DTreeError::ExpectedSemiring(ctx) => {
+                write!(f, "expected a semiring-valued child at {ctx}")
+            }
+            DTreeError::ExpectedMonoid(ctx) => {
+                write!(f, "expected a monoid-valued child at {ctx}")
+            }
+            DTreeError::MixedComparison => {
+                write!(f, "comparison node mixes semiring and monoid children")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DTreeError {}
+
+fn as_semiring(d: &MixedDist, ctx: &'static str) -> Result<SemiringDist, DTreeError> {
+    let mut out = Vec::with_capacity(d.support_size());
+    for (v, p) in d.iter() {
+        match v {
+            DistValue::S(s) => out.push((*s, p)),
+            DistValue::M(_) => return Err(DTreeError::ExpectedSemiring(ctx)),
+        }
+    }
+    Ok(Dist::from_pairs(out))
+}
+
+fn as_monoid(d: &MixedDist, ctx: &'static str) -> Result<MonoidDist, DTreeError> {
+    let mut out = Vec::with_capacity(d.support_size());
+    for (v, p) in d.iter() {
+        match v {
+            DistValue::M(m) => out.push((*m, p)),
+            DistValue::S(_) => return Err(DTreeError::ExpectedMonoid(ctx)),
+        }
+    }
+    Ok(Dist::from_pairs(out))
+}
+
+fn lift_s(d: SemiringDist) -> MixedDist {
+    d.map(|v| DistValue::S(*v))
+}
+
+fn lift_m(d: MonoidDist) -> MixedDist {
+    d.map(|v| DistValue::M(*v))
+}
+
+impl DTree {
+    /// Compute the probability distribution represented by this d-tree, bottom-up in
+    /// a single pass (Theorem 2 of the paper).
+    ///
+    /// `kind` fixes the ambient annotation semiring used for the `0_S`/`1_S` outcomes
+    /// of comparison nodes.
+    pub fn distribution(
+        &self,
+        table: &VarTable,
+        kind: SemiringKind,
+    ) -> Result<MixedDist, DTreeError> {
+        match self {
+            DTree::VarLeaf(v) => Ok(lift_s(table.dist(*v).clone())),
+            DTree::SConst(s) => Ok(Dist::point(DistValue::S(*s))),
+            DTree::MConst(m) => Ok(Dist::point(DistValue::M(*m))),
+            DTree::SumS(a, b) => {
+                let da = as_semiring(&a.distribution(table, kind)?, "⊕(semiring)")?;
+                let db = as_semiring(&b.distribution(table, kind)?, "⊕(semiring)")?;
+                Ok(lift_s(da.convolve(&db, |x, y| x.add(y))))
+            }
+            DTree::Prod(a, b) => {
+                let da = as_semiring(&a.distribution(table, kind)?, "⊙")?;
+                let db = as_semiring(&b.distribution(table, kind)?, "⊙")?;
+                Ok(lift_s(da.convolve(&db, |x, y| x.mul(y))))
+            }
+            DTree::SumM(op, a, b) => {
+                let da = as_monoid(&a.distribution(table, kind)?, "⊕(semimodule)")?;
+                let db = as_monoid(&b.distribution(table, kind)?, "⊕(semimodule)")?;
+                Ok(lift_m(da.convolve(&db, |x, y| op.combine(x, y))))
+            }
+            DTree::Tensor(op, scalar, value) => {
+                let ds = as_semiring(&scalar.distribution(table, kind)?, "⊗ scalar")?;
+                let dm = as_monoid(&value.distribution(table, kind)?, "⊗ value")?;
+                Ok(lift_m(ds.convolve(&dm, |s, m| op.scalar_action(s, m))))
+            }
+            DTree::Cmp(theta, a, b) => {
+                let da = a.distribution(table, kind)?;
+                let db = b.distribution(table, kind)?;
+                // Both sides must be of the same sort; detect from the supports.
+                let a_is_semiring = da.support().next().map(|v| v.as_semiring().is_some());
+                let b_is_semiring = db.support().next().map(|v| v.as_semiring().is_some());
+                match (a_is_semiring, b_is_semiring) {
+                    (Some(true), Some(true)) => {
+                        let (da, db) = (as_semiring(&da, "[θ]")?, as_semiring(&db, "[θ]")?);
+                        Ok(lift_s(da.convolve(&db, |x, y| {
+                            if theta.eval(x, y) {
+                                kind.one()
+                            } else {
+                                kind.zero()
+                            }
+                        })))
+                    }
+                    (Some(false), Some(false)) => {
+                        let (da, db) = (as_monoid(&da, "[θ]")?, as_monoid(&db, "[θ]")?);
+                        Ok(lift_s(da.convolve(&db, |x, y| {
+                            if theta.eval(x, y) {
+                                kind.one()
+                            } else {
+                                kind.zero()
+                            }
+                        })))
+                    }
+                    (None, _) | (_, None) => Ok(Dist::empty()),
+                    _ => Err(DTreeError::MixedComparison),
+                }
+            }
+            DTree::Exclusive(var, branches) => {
+                let var_dist = table.dist(*var);
+                let mut acc: MixedDist = Dist::empty();
+                for (value, child) in branches {
+                    let weight = var_dist.prob(value);
+                    if weight <= 0.0 {
+                        continue;
+                    }
+                    let child_dist = child.distribution(table, kind)?;
+                    acc = acc.mix(&child_dist.scale(weight));
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// The distribution as a semiring distribution (for d-trees of semiring
+    /// expressions).
+    pub fn semiring_distribution(
+        &self,
+        table: &VarTable,
+        kind: SemiringKind,
+    ) -> Result<SemiringDist, DTreeError> {
+        as_semiring(&self.distribution(table, kind)?, "root")
+    }
+
+    /// The distribution as a monoid distribution (for d-trees of semimodule
+    /// expressions).
+    pub fn monoid_distribution(
+        &self,
+        table: &VarTable,
+        kind: SemiringKind,
+    ) -> Result<MonoidDist, DTreeError> {
+        as_monoid(&self.distribution(table, kind)?, "root")
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            DTree::VarLeaf(_) | DTree::SConst(_) | DTree::MConst(_) => 1,
+            DTree::SumS(a, b)
+            | DTree::SumM(_, a, b)
+            | DTree::Prod(a, b)
+            | DTree::Tensor(_, a, b)
+            | DTree::Cmp(_, a, b) => 1 + a.num_nodes() + b.num_nodes(),
+            DTree::Exclusive(_, branches) => {
+                1 + branches.iter().map(|(_, c)| c.num_nodes()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of `⊔` (mutually exclusive case split) nodes — the measure of how often
+    /// the compiler had to fall back to Shannon expansion.
+    pub fn num_exclusive_nodes(&self) -> usize {
+        match self {
+            DTree::VarLeaf(_) | DTree::SConst(_) | DTree::MConst(_) => 0,
+            DTree::SumS(a, b)
+            | DTree::SumM(_, a, b)
+            | DTree::Prod(a, b)
+            | DTree::Tensor(_, a, b)
+            | DTree::Cmp(_, a, b) => a.num_exclusive_nodes() + b.num_exclusive_nodes(),
+            DTree::Exclusive(_, branches) => {
+                1 + branches
+                    .iter()
+                    .map(|(_, c)| c.num_exclusive_nodes())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Height of the tree (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            DTree::VarLeaf(_) | DTree::SConst(_) | DTree::MConst(_) => 1,
+            DTree::SumS(a, b)
+            | DTree::SumM(_, a, b)
+            | DTree::Prod(a, b)
+            | DTree::Tensor(_, a, b)
+            | DTree::Cmp(_, a, b) => 1 + a.depth().max(b.depth()),
+            DTree::Exclusive(_, branches) => {
+                1 + branches.iter().map(|(_, c)| c.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            DTree::VarLeaf(_) | DTree::SConst(_) | DTree::MConst(_) => 1,
+            DTree::SumS(a, b)
+            | DTree::SumM(_, a, b)
+            | DTree::Prod(a, b)
+            | DTree::Tensor(_, a, b)
+            | DTree::Cmp(_, a, b) => a.num_leaves() + b.num_leaves(),
+            DTree::Exclusive(_, branches) => {
+                branches.iter().map(|(_, c)| c.num_leaves()).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for DTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DTree::VarLeaf(v) => write!(f, "{v}"),
+            DTree::SConst(s) => write!(f, "{s}"),
+            DTree::MConst(m) => write!(f, "{m}"),
+            DTree::SumS(a, b) => write!(f, "({a} ⊕ {b})"),
+            DTree::SumM(op, a, b) => write!(f, "({a} ⊕{op} {b})"),
+            DTree::Prod(a, b) => write!(f, "({a} ⊙ {b})"),
+            DTree::Tensor(op, a, b) => write!(f, "({a} ⊗{op} {b})"),
+            DTree::Cmp(op, a, b) => write!(f, "[{a} {op} {b}]"),
+            DTree::Exclusive(v, branches) => {
+                write!(f, "⊔{v}(")?;
+                for (i, (val, child)) in branches.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{v}←{val}: {child}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::MonoidValue::Fin;
+
+    fn table_abc(pa: f64, pb: f64, pc: f64) -> (VarTable, Var, Var, Var) {
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", pa);
+        let b = vt.boolean("b", pb);
+        let c = vt.boolean("c", pc);
+        (vt, a, b, c)
+    }
+
+    #[test]
+    fn leaf_distributions() {
+        let (vt, a, _, _) = table_abc(0.3, 0.5, 0.5);
+        let kind = SemiringKind::Bool;
+        let d = DTree::VarLeaf(a).semiring_distribution(&vt, kind).unwrap();
+        assert!((d.prob(&SemiringValue::Bool(true)) - 0.3).abs() < 1e-12);
+        let d = DTree::SConst(SemiringValue::Nat(4))
+            .semiring_distribution(&vt, SemiringKind::Nat)
+            .unwrap();
+        assert_eq!(d.support_size(), 1);
+        let d = DTree::MConst(Fin(9)).monoid_distribution(&vt, kind).unwrap();
+        assert!((d.prob(&Fin(9)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_node_is_conjunction() {
+        let (vt, a, b, _) = table_abc(0.3, 0.5, 0.5);
+        let tree = DTree::Prod(Box::new(DTree::VarLeaf(a)), Box::new(DTree::VarLeaf(b)));
+        let d = tree.semiring_distribution(&vt, SemiringKind::Bool).unwrap();
+        assert!((d.prob(&SemiringValue::Bool(true)) - 0.15).abs() < 1e-12);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn sum_node_is_disjunction() {
+        let (vt, a, b, _) = table_abc(0.3, 0.5, 0.5);
+        let tree = DTree::SumS(Box::new(DTree::VarLeaf(a)), Box::new(DTree::VarLeaf(b)));
+        let d = tree.semiring_distribution(&vt, SemiringKind::Bool).unwrap();
+        assert!((d.prob(&SemiringValue::Bool(true)) - (1.0 - 0.7 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_and_monoid_sum() {
+        // a⊗10 +min b⊗20.
+        let (vt, a, b, _) = table_abc(0.5, 0.5, 0.5);
+        let t1 = DTree::Tensor(
+            AggOp::Min,
+            Box::new(DTree::VarLeaf(a)),
+            Box::new(DTree::MConst(Fin(10))),
+        );
+        let t2 = DTree::Tensor(
+            AggOp::Min,
+            Box::new(DTree::VarLeaf(b)),
+            Box::new(DTree::MConst(Fin(20))),
+        );
+        let tree = DTree::SumM(AggOp::Min, Box::new(t1), Box::new(t2));
+        let d = tree.monoid_distribution(&vt, SemiringKind::Bool).unwrap();
+        assert!((d.prob(&Fin(10)) - 0.5).abs() < 1e-12);
+        assert!((d.prob(&Fin(20)) - 0.25).abs() < 1e-12);
+        assert!((d.prob(&MonoidValue::PosInf) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_node() {
+        let (vt, a, _, _) = table_abc(0.4, 0.5, 0.5);
+        // [a⊗10 ≤ 15] — true iff always (min of {10,+∞}... wait: a absent gives +∞).
+        let alpha = DTree::Tensor(
+            AggOp::Min,
+            Box::new(DTree::VarLeaf(a)),
+            Box::new(DTree::MConst(Fin(10))),
+        );
+        let tree = DTree::Cmp(CmpOp::Le, Box::new(alpha), Box::new(DTree::MConst(Fin(15))));
+        let d = tree.semiring_distribution(&vt, SemiringKind::Bool).unwrap();
+        assert!((d.prob(&SemiringValue::Bool(true)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusive_node_mixes_branches() {
+        let (vt, a, b, _) = table_abc(0.3, 0.6, 0.5);
+        // ⊔a with children: a←⊥ gives b, a←⊤ gives ⊤ (i.e. the expression a + b).
+        let tree = DTree::Exclusive(
+            a,
+            vec![
+                (SemiringValue::Bool(false), DTree::VarLeaf(b)),
+                (SemiringValue::Bool(true), DTree::SConst(SemiringValue::Bool(true))),
+            ],
+        );
+        let d = tree.semiring_distribution(&vt, SemiringKind::Bool).unwrap();
+        let expected = 0.3 + 0.7 * 0.6;
+        assert!((d.prob(&SemiringValue::Bool(true)) - expected).abs() < 1e-12);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn malformed_trees_report_errors() {
+        let (vt, a, _, _) = table_abc(0.3, 0.5, 0.5);
+        // ⊙ over a monoid child.
+        let bad = DTree::Prod(Box::new(DTree::MConst(Fin(1))), Box::new(DTree::VarLeaf(a)));
+        assert!(bad.distribution(&vt, SemiringKind::Bool).is_err());
+        // Mixed comparison.
+        let bad = DTree::Cmp(
+            CmpOp::Le,
+            Box::new(DTree::MConst(Fin(1))),
+            Box::new(DTree::VarLeaf(a)),
+        );
+        assert_eq!(
+            bad.distribution(&vt, SemiringKind::Bool),
+            Err(DTreeError::MixedComparison)
+        );
+    }
+
+    #[test]
+    fn size_statistics() {
+        let (_, a, b, _) = table_abc(0.5, 0.5, 0.5);
+        let tree = DTree::SumS(
+            Box::new(DTree::Prod(
+                Box::new(DTree::VarLeaf(a)),
+                Box::new(DTree::VarLeaf(b)),
+            )),
+            Box::new(DTree::SConst(SemiringValue::Bool(false))),
+        );
+        assert_eq!(tree.num_nodes(), 5);
+        assert_eq!(tree.num_leaves(), 3);
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.num_exclusive_nodes(), 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let (_, a, b, _) = table_abc(0.5, 0.5, 0.5);
+        let tree = DTree::SumS(Box::new(DTree::VarLeaf(a)), Box::new(DTree::VarLeaf(b)));
+        assert_eq!(tree.to_string(), "(v0 ⊕ v1)");
+    }
+}

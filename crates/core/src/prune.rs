@@ -1,0 +1,398 @@
+//! Pruning rules for conditional expressions (§5, "Pruning Conditional Expressions").
+//!
+//! Before compiling a conditional `[α θ β]` the engine rewrites it into a simpler but
+//! equivalent conditional in which terms that cannot influence the truth value are
+//! removed, or the whole conditional is replaced by a constant. Pruning is what makes
+//! the MIN/MAX curves of Experiment A flat for small thresholds and what avoids
+//! materialising exponential SUM distributions when the bound already decides the
+//! comparison.
+//!
+//! Only *equivalence-preserving* rules are applied; every rule is validated against
+//! the brute-force oracle in the tests below.
+
+use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind};
+use pvc_expr::{SemimoduleExpr, SemiringExpr};
+
+/// The outcome of pruning a conditional expression `[α θ m]` against a constant bound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneResult {
+    /// The conditional is always true: replace it by `1_S`.
+    AlwaysTrue,
+    /// The conditional is always false: replace it by `0_S`.
+    AlwaysFalse,
+    /// The conditional was (possibly) simplified to a new left-hand side.
+    Simplified(SemimoduleExpr),
+}
+
+/// Prune a conditional `[α θ m]` whose right-hand side is the constant `m`.
+///
+/// Rules implemented (symmetric MAX variants mirror the MIN ones):
+///
+/// * **MIN, θ ∈ {≤, <, =}**: terms whose value exceeds the bound can never be the
+///   minimum that decides the comparison, so they are dropped
+///   (`[Σ_i Φ_i⊗m_i ≤ m] ≡ [Σ_{i: m_i ≤ m} Φ_i⊗m_i ≤ m]`).
+/// * **MAX, θ ∈ {≥, >, =}**: dually, terms below the bound are dropped.
+/// * **SUM/COUNT with non-negative term values**: if even the sum of *all* values
+///   satisfies (resp. cannot reach) the bound, the conditional is constantly true
+///   (resp. false).
+pub fn prune_against_constant(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneResult {
+    if alpha.terms.is_empty() {
+        // The empty sum is the monoid's neutral element; the comparison is ground.
+        return if theta.eval(&alpha.op.identity(), &bound) {
+            PruneResult::AlwaysTrue
+        } else {
+            PruneResult::AlwaysFalse
+        };
+    }
+    match alpha.op {
+        AggOp::Min => prune_min(alpha, theta, bound),
+        AggOp::Max => prune_max(alpha, theta, bound),
+        AggOp::Sum | AggOp::Count => prune_sum(alpha, theta, bound),
+        AggOp::Prod => PruneResult::Simplified(alpha.clone()),
+    }
+}
+
+fn keep_terms(alpha: &SemimoduleExpr, keep: impl Fn(&MonoidValue) -> bool) -> SemimoduleExpr {
+    SemimoduleExpr {
+        op: alpha.op,
+        terms: alpha
+            .terms
+            .iter()
+            .filter(|t| keep(&t.value))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// The values of terms whose coefficient is a non-zero constant (`1_S` after
+/// simplification): these terms contribute their value in *every* possible world and
+/// can therefore decide a comparison outright.
+fn guaranteed_values(alpha: &SemimoduleExpr) -> Vec<MonoidValue> {
+    alpha
+        .terms
+        .iter()
+        .filter(|t| t.coeff.as_const().map(|c| !c.is_zero()).unwrap_or(false))
+        .map(|t| t.value)
+        .collect()
+}
+
+fn prune_min(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneResult {
+    let guaranteed = guaranteed_values(alpha);
+    match theta {
+        // min ≤ m: only terms with value ≤ m can witness the comparison; the others
+        // never lower the minimum below themselves. Equivalent per the paper's rule.
+        // A guaranteed term that already satisfies the bound decides the comparison.
+        CmpOp::Le | CmpOp::Lt => {
+            if guaranteed.iter().any(|v| theta.eval(v, &bound)) {
+                return PruneResult::AlwaysTrue;
+            }
+            let kept = keep_terms(alpha, |v| theta.eval(v, &bound));
+            if kept.terms.is_empty() {
+                // Every remaining term exceeds the bound, so the minimum does too
+                // (or the group is empty and the minimum is +∞).
+                return PruneResult::AlwaysFalse;
+            }
+            PruneResult::Simplified(kept)
+        }
+        // min = m: a guaranteed term strictly below m forces the minimum below m.
+        // Terms above m are irrelevant.
+        CmpOp::Eq => {
+            if guaranteed.iter().any(|v| *v < bound) {
+                return PruneResult::AlwaysFalse;
+            }
+            PruneResult::Simplified(keep_terms(alpha, |v| *v <= bound))
+        }
+        _ => PruneResult::Simplified(alpha.clone()),
+    }
+}
+
+fn prune_max(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneResult {
+    let guaranteed = guaranteed_values(alpha);
+    match theta {
+        CmpOp::Ge | CmpOp::Gt => {
+            if guaranteed.iter().any(|v| theta.eval(v, &bound)) {
+                return PruneResult::AlwaysTrue;
+            }
+            let kept = keep_terms(alpha, |v| theta.eval(v, &bound));
+            if kept.terms.is_empty() {
+                return PruneResult::AlwaysFalse;
+            }
+            PruneResult::Simplified(kept)
+        }
+        CmpOp::Eq => {
+            if guaranteed.iter().any(|v| *v > bound) {
+                return PruneResult::AlwaysFalse;
+            }
+            PruneResult::Simplified(keep_terms(alpha, |v| *v >= bound))
+        }
+        _ => PruneResult::Simplified(alpha.clone()),
+    }
+}
+
+fn prune_sum(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneResult {
+    // Only applicable when every term value is a non-negative finite number, so that
+    // the sum over any subset of terms lies between 0 and the total.
+    let mut total: i64 = 0;
+    for t in &alpha.terms {
+        match t.value {
+            MonoidValue::Fin(v) if v >= 0 => total += v,
+            _ => return PruneResult::Simplified(alpha.clone()),
+        }
+    }
+    let bound_v = match bound {
+        MonoidValue::Fin(v) => v,
+        MonoidValue::PosInf => {
+            return match theta {
+                CmpOp::Le | CmpOp::Lt | CmpOp::Ne => PruneResult::AlwaysTrue,
+                CmpOp::Ge | CmpOp::Gt | CmpOp::Eq => PruneResult::AlwaysFalse,
+            }
+        }
+        MonoidValue::NegInf => {
+            return match theta {
+                CmpOp::Ge | CmpOp::Gt | CmpOp::Ne => PruneResult::AlwaysTrue,
+                CmpOp::Le | CmpOp::Lt | CmpOp::Eq => PruneResult::AlwaysFalse,
+            }
+        }
+    };
+    // Baseline: the sum of the values of guaranteed terms (non-zero constant
+    // coefficients); it is a lower bound on the sum in every possible world.
+    let baseline: i64 = guaranteed_values(alpha)
+        .iter()
+        .filter_map(|v| v.finite())
+        .sum();
+    match theta {
+        CmpOp::Le if total <= bound_v => PruneResult::AlwaysTrue,
+        CmpOp::Lt if total < bound_v => PruneResult::AlwaysTrue,
+        CmpOp::Ge if total < bound_v => PruneResult::AlwaysFalse,
+        CmpOp::Gt if total <= bound_v => PruneResult::AlwaysFalse,
+        CmpOp::Eq if total < bound_v => PruneResult::AlwaysFalse,
+        CmpOp::Ge if baseline >= bound_v => PruneResult::AlwaysTrue,
+        CmpOp::Gt if baseline > bound_v => PruneResult::AlwaysTrue,
+        CmpOp::Le if baseline > bound_v => PruneResult::AlwaysFalse,
+        CmpOp::Lt if baseline >= bound_v => PruneResult::AlwaysFalse,
+        CmpOp::Eq if baseline > bound_v => PruneResult::AlwaysFalse,
+        CmpOp::Ge if bound_v <= 0 => PruneResult::AlwaysTrue,
+        CmpOp::Gt if bound_v < 0 => PruneResult::AlwaysTrue,
+        CmpOp::Lt if bound_v <= 0 => PruneResult::AlwaysFalse,
+        CmpOp::Le if bound_v < 0 => PruneResult::AlwaysFalse,
+        _ => PruneResult::Simplified(alpha.clone()),
+    }
+}
+
+/// Prune a general conditional semiring expression `[α θ β]`, returning an equivalent
+/// (possibly simplified) semiring expression. Conditionals whose right-hand side is
+/// not a constant are left untouched; constants on the left are handled by flipping
+/// the comparison.
+pub fn prune_conditional(expr: &SemiringExpr, kind: SemiringKind) -> SemiringExpr {
+    let SemiringExpr::CmpMM(theta, lhs, rhs) = expr else {
+        return expr.clone();
+    };
+    // Normalise so the constant (if any) is on the right.
+    let (alpha, theta, bound) = if let Some(b) = rhs.as_const() {
+        ((**lhs).clone(), *theta, b)
+    } else if let Some(b) = lhs.as_const() {
+        ((**rhs).clone(), theta.flip(), b)
+    } else {
+        return expr.clone();
+    };
+    match prune_against_constant(&alpha, theta, bound) {
+        PruneResult::AlwaysTrue => SemiringExpr::Const(kind.one()),
+        PruneResult::AlwaysFalse => SemiringExpr::Const(kind.zero()),
+        PruneResult::Simplified(simplified) => SemiringExpr::cmp_mm(
+            theta,
+            simplified,
+            SemimoduleExpr::constant_in(alpha.op, bound, kind),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::MonoidValue::Fin;
+    use pvc_expr::oracle::confidence_by_enumeration;
+    use pvc_expr::{VarTable};
+
+    /// Build the paper's running example `[x⊗10 +min y⊗20 ≤ 15]`.
+    fn min_example() -> (VarTable, SemimoduleExpr) {
+        let mut vt = VarTable::new();
+        let x = vt.boolean("x", 0.35);
+        let y = vt.boolean("y", 0.8);
+        let alpha = SemimoduleExpr::from_terms(
+            AggOp::Min,
+            vec![
+                (SemiringExpr::Var(x), Fin(10)),
+                (SemiringExpr::Var(y), Fin(20)),
+            ],
+        );
+        (vt, alpha)
+    }
+
+    #[test]
+    fn min_le_drops_large_terms() {
+        let (_, alpha) = min_example();
+        match prune_against_constant(&alpha, CmpOp::Le, Fin(15)) {
+            PruneResult::Simplified(s) => {
+                assert_eq!(s.num_terms(), 1);
+                assert_eq!(s.terms[0].value, Fin(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruning_preserves_probability() {
+        // The paper's claim: P[Φ = 1_S] is unchanged by pruning (it equals 1 − P_x[0]).
+        let (vt, alpha) = min_example();
+        for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+            for bound in [0, 10, 15, 20, 25] {
+                let original = SemiringExpr::cmp_mm(
+                    theta,
+                    alpha.clone(),
+                    SemimoduleExpr::constant(AggOp::Min, Fin(bound)),
+                );
+                let pruned = prune_conditional(&original, SemiringKind::Bool);
+                let p0 = confidence_by_enumeration(&original, &vt, SemiringKind::Bool);
+                let p1 = confidence_by_enumeration(&pruned, &vt, SemiringKind::Bool);
+                assert!(
+                    (p0 - p1).abs() < 1e-9,
+                    "pruning changed probability for θ={theta:?}, bound={bound}: {p0} vs {p1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_pruning_preserves_probability() {
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", 0.3);
+        let b = vt.boolean("b", 0.6);
+        let c = vt.boolean("c", 0.5);
+        let alpha = SemimoduleExpr::from_terms(
+            AggOp::Max,
+            vec![
+                (SemiringExpr::Var(a), Fin(5)),
+                (SemiringExpr::Var(b), Fin(50)),
+                (SemiringExpr::Var(c), Fin(100)),
+            ],
+        );
+        for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+            for bound in [0, 5, 49, 50, 100, 150] {
+                let original = SemiringExpr::cmp_mm(
+                    theta,
+                    alpha.clone(),
+                    SemimoduleExpr::constant(AggOp::Max, Fin(bound)),
+                );
+                let pruned = prune_conditional(&original, SemiringKind::Bool);
+                let p0 = confidence_by_enumeration(&original, &vt, SemiringKind::Bool);
+                let p1 = confidence_by_enumeration(&pruned, &vt, SemiringKind::Bool);
+                assert!((p0 - p1).abs() < 1e-9, "θ={theta:?}, bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_short_circuits() {
+        // Σ of all values is 30; comparing against 50 with ≤ is always true.
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", 0.5);
+        let b = vt.boolean("b", 0.5);
+        let alpha = SemimoduleExpr::from_terms(
+            AggOp::Sum,
+            vec![
+                (SemiringExpr::Var(a), Fin(10)),
+                (SemiringExpr::Var(b), Fin(20)),
+            ],
+        );
+        assert_eq!(
+            prune_against_constant(&alpha, CmpOp::Le, Fin(50)),
+            PruneResult::AlwaysTrue
+        );
+        assert_eq!(
+            prune_against_constant(&alpha, CmpOp::Ge, Fin(31)),
+            PruneResult::AlwaysFalse
+        );
+        assert_eq!(
+            prune_against_constant(&alpha, CmpOp::Gt, Fin(-1)),
+            PruneResult::AlwaysTrue
+        );
+        assert_eq!(
+            prune_against_constant(&alpha, CmpOp::Lt, Fin(0)),
+            PruneResult::AlwaysFalse
+        );
+        // In-range bounds are left alone.
+        assert!(matches!(
+            prune_against_constant(&alpha, CmpOp::Le, Fin(15)),
+            PruneResult::Simplified(_)
+        ));
+    }
+
+    #[test]
+    fn sum_pruning_preserves_probability() {
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", 0.4);
+        let b = vt.boolean("b", 0.7);
+        let alpha = SemimoduleExpr::from_terms(
+            AggOp::Sum,
+            vec![
+                (SemiringExpr::Var(a), Fin(10)),
+                (SemiringExpr::Var(b), Fin(20)),
+            ],
+        );
+        for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+            for bound in [-5, 0, 10, 15, 30, 40] {
+                let original = SemiringExpr::cmp_mm(
+                    theta,
+                    alpha.clone(),
+                    SemimoduleExpr::constant(AggOp::Sum, Fin(bound)),
+                );
+                let pruned = prune_conditional(&original, SemiringKind::Bool);
+                let p0 = confidence_by_enumeration(&original, &vt, SemiringKind::Bool);
+                let p1 = confidence_by_enumeration(&pruned, &vt, SemiringKind::Bool);
+                assert!((p0 - p1).abs() < 1e-9, "θ={theta:?}, bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_bounds() {
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", 0.5);
+        let alpha = SemimoduleExpr::tensor(AggOp::Count, SemiringExpr::Var(a), Fin(1));
+        assert_eq!(
+            prune_against_constant(&alpha, CmpOp::Le, MonoidValue::PosInf),
+            PruneResult::AlwaysTrue
+        );
+        assert_eq!(
+            prune_against_constant(&alpha, CmpOp::Ge, MonoidValue::PosInf),
+            PruneResult::AlwaysFalse
+        );
+        assert_eq!(
+            prune_against_constant(&alpha, CmpOp::Ge, MonoidValue::NegInf),
+            PruneResult::AlwaysTrue
+        );
+    }
+
+    #[test]
+    fn constant_on_left_is_flipped() {
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", 0.5);
+        let alpha = SemimoduleExpr::tensor(AggOp::Min, SemiringExpr::Var(a), Fin(10));
+        // [5 ≤ α] should be treated as [α ≥ 5].
+        let e = SemiringExpr::cmp_mm(
+            CmpOp::Le,
+            SemimoduleExpr::constant(AggOp::Min, Fin(5)),
+            alpha,
+        );
+        let pruned = prune_conditional(&e, SemiringKind::Bool);
+        let p0 = confidence_by_enumeration(&e, &vt, SemiringKind::Bool);
+        let p1 = confidence_by_enumeration(&pruned, &vt, SemiringKind::Bool);
+        assert!((p0 - p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_conditional_expressions_pass_through() {
+        let e = SemiringExpr::Const(pvc_algebra::SemiringValue::Bool(true));
+        assert_eq!(prune_conditional(&e, SemiringKind::Bool), e);
+    }
+}

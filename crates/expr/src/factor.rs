@@ -1,0 +1,200 @@
+//! Factorisation helpers used by the compiler's independent-product and ⊗ rules:
+//! extracting factors common to every summand of a sum, which is how read-once
+//! expressions (and the provenance of hierarchical queries, Example 14 of the paper)
+//! are decomposed without Shannon expansion.
+
+use crate::semiring_expr::SemiringExpr;
+use crate::vars::{Var, VarSet};
+use std::collections::BTreeSet;
+
+/// The variables that appear as *top-level multiplicative factors* of an expression.
+///
+/// For `Var(x)` this is `{x}`; for a product it is the union of the factor variables
+/// of its children that are plain variables; for anything else it is empty. Only such
+/// "guaranteed factors" can be pulled out of a sum without algebraic rewriting beyond
+/// associativity/commutativity/distributivity.
+pub fn top_level_factor_vars(expr: &SemiringExpr) -> BTreeSet<Var> {
+    match expr {
+        SemiringExpr::Var(v) => std::iter::once(*v).collect(),
+        SemiringExpr::Mul(children) => children
+            .iter()
+            .filter_map(|c| match c {
+                SemiringExpr::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect(),
+        _ => BTreeSet::new(),
+    }
+}
+
+/// The set of variables that occur as a top-level factor in *every* one of the given
+/// expressions. Pulling these out of a sum `Σ_i Φ_i` yields the factorisation
+/// `(Π common) · Σ_i (Φ_i / common)`.
+pub fn common_factor_vars(exprs: &[SemiringExpr]) -> VarSet {
+    let mut iter = exprs.iter();
+    let first = match iter.next() {
+        Some(e) => top_level_factor_vars(e),
+        None => return VarSet::new(),
+    };
+    let common = iter.fold(first, |acc, e| {
+        let fv = top_level_factor_vars(e);
+        acc.intersection(&fv).copied().collect()
+    });
+    common.into_iter().collect()
+}
+
+/// Divide an expression by a set of variables that are known to be top-level factors
+/// of it (one occurrence each is removed). Returns `None` when nothing remains, i.e.
+/// the quotient is the constant `1_S`.
+///
+/// Precondition: every variable of `divisors` is a top-level factor of `expr`
+/// (as reported by [`top_level_factor_vars`]); this is checked with a debug assertion.
+pub fn divide_by_vars(expr: &SemiringExpr, divisors: &VarSet) -> Option<SemiringExpr> {
+    if divisors.is_empty() {
+        return Some(expr.clone());
+    }
+    match expr {
+        SemiringExpr::Var(v) => {
+            debug_assert!(divisors.contains(*v), "divisor {v:?} is not a factor");
+            None
+        }
+        SemiringExpr::Mul(children) => {
+            let mut remaining: Vec<SemiringExpr> = Vec::with_capacity(children.len());
+            let mut to_remove: Vec<Var> = divisors.iter().collect();
+            for c in children {
+                match c {
+                    SemiringExpr::Var(v) => {
+                        if let Some(pos) = to_remove.iter().position(|d| d == v) {
+                            to_remove.swap_remove(pos);
+                        } else {
+                            remaining.push(c.clone());
+                        }
+                    }
+                    _ => remaining.push(c.clone()),
+                }
+            }
+            debug_assert!(to_remove.is_empty(), "divisors {to_remove:?} were not factors");
+            match remaining.len() {
+                0 => None,
+                1 => Some(remaining.pop().unwrap()),
+                _ => Some(SemiringExpr::Mul(remaining)),
+            }
+        }
+        _ => {
+            debug_assert!(false, "divide_by_vars called on a non-product expression");
+            Some(expr.clone())
+        }
+    }
+}
+
+/// Factor a sum's children by their common variables: returns `(common, quotients)`
+/// where `common` is the set of variables occurring as a factor in every child and
+/// `quotients[i]` is `children[i]` with those factors removed (`None` = `1_S`).
+///
+/// Returns `None` if there is no common factor (the sum cannot be factored this way).
+pub fn factor_sum(children: &[SemiringExpr]) -> Option<(VarSet, Vec<Option<SemiringExpr>>)> {
+    if children.len() < 2 {
+        return None;
+    }
+    let common = common_factor_vars(children);
+    if common.is_empty() {
+        return None;
+    }
+    let quotients = children.iter().map(|c| divide_by_vars(c, &common)).collect();
+    Some((common, quotients))
+}
+
+/// A conservative syntactic read-once check: an expression is *read-once* if every
+/// variable occurs at most once in it. Read-once expressions always admit d-trees of
+/// linear size built with the first three decomposition rules only (§5 / [18]).
+pub fn is_read_once(expr: &SemiringExpr) -> bool {
+    let mut occ = std::collections::BTreeMap::new();
+    expr.count_occurrences(&mut occ);
+    occ.values().all(|&n| n <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> SemiringExpr {
+        SemiringExpr::Var(Var(i))
+    }
+
+    #[test]
+    fn top_level_factors() {
+        assert_eq!(top_level_factor_vars(&v(1)), [Var(1)].into());
+        let prod = v(1) * v(2) * (v(3) + v(4));
+        assert_eq!(top_level_factor_vars(&prod), [Var(1), Var(2)].into());
+        let sum = v(1) + v(2);
+        assert!(top_level_factor_vars(&sum).is_empty());
+    }
+
+    #[test]
+    fn common_factors_across_summands() {
+        // x1·y11 and x1·y12 share the factor x1 (Example 14 shape).
+        let children = vec![v(1) * v(11), v(1) * v(12)];
+        let common = common_factor_vars(&children);
+        assert_eq!(common.as_slice(), &[Var(1)]);
+
+        // No factor shared by all three.
+        let children = vec![v(1) * v(11), v(1) * v(12), v(2) * v(21)];
+        assert!(common_factor_vars(&children).is_empty());
+    }
+
+    #[test]
+    fn divide_removes_one_occurrence() {
+        let prod = v(1) * v(2) * v(3);
+        let quot = divide_by_vars(&prod, &VarSet::singleton(Var(2))).unwrap();
+        assert_eq!(quot.vars().as_slice(), &[Var(1), Var(3)]);
+        // Dividing a single variable by itself leaves nothing.
+        assert!(divide_by_vars(&v(5), &VarSet::singleton(Var(5))).is_none());
+        // Dividing by the empty set is the identity.
+        assert_eq!(divide_by_vars(&prod, &VarSet::new()), Some(prod));
+    }
+
+    #[test]
+    fn divide_keeps_repeated_variables() {
+        // x·x divided by x leaves x.
+        let prod = SemiringExpr::Mul(vec![v(1), v(1)]);
+        let quot = divide_by_vars(&prod, &VarSet::singleton(Var(1))).unwrap();
+        assert_eq!(quot, v(1));
+    }
+
+    #[test]
+    fn factor_sum_factors_read_once_provenance() {
+        // x1·y11 + x1·y12  ⇒  x1 · (y11 + y12).
+        let children = vec![v(1) * v(11), v(1) * v(12)];
+        let (common, quotients) = factor_sum(&children).unwrap();
+        assert_eq!(common.as_slice(), &[Var(1)]);
+        assert_eq!(quotients.len(), 2);
+        assert_eq!(quotients[0], Some(v(11)));
+        assert_eq!(quotients[1], Some(v(12)));
+    }
+
+    #[test]
+    fn factor_sum_none_when_unfactorable() {
+        let children = vec![v(1) * v(11), v(2) * v(12)];
+        assert!(factor_sum(&children).is_none());
+        assert!(factor_sum(&[v(1)]).is_none());
+    }
+
+    #[test]
+    fn factor_sum_with_unit_quotient() {
+        // x + x·y ⇒ x · (1 + y): first quotient is None (the unit).
+        let children = vec![v(1), v(1) * v(2)];
+        let (common, quotients) = factor_sum(&children).unwrap();
+        assert_eq!(common.as_slice(), &[Var(1)]);
+        assert_eq!(quotients[0], None);
+        assert_eq!(quotients[1], Some(v(2)));
+    }
+
+    #[test]
+    fn read_once_detection() {
+        assert!(is_read_once(&(v(1) * (v(2) + v(3)))));
+        assert!(!is_read_once(&(v(1) * v(2) + v(1) * v(3))));
+        assert!(is_read_once(&SemiringExpr::Const(
+            pvc_algebra::SemiringValue::Bool(true)
+        )));
+    }
+}

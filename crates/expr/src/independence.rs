@@ -1,0 +1,205 @@
+//! Syntactic independence analysis: partitioning the summands of an expression into
+//! groups that share no variables (§5 of the paper).
+//!
+//! Two expressions are (syntactically) independent if their variable sets are
+//! disjoint; independent expressions denote independent random variables, which is
+//! what justifies the convolution rules at ⊕/⊙/⊗ nodes of a decomposition tree. The
+//! compiler's first rule splits a sum by the connected components of the *variable
+//! co-occurrence graph* over its summands, implemented here with a union–find.
+
+use crate::vars::{Var, VarSet};
+use std::collections::BTreeMap;
+
+/// A classic union–find (disjoint-set) structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Find the representative of `i`, with path compression.
+    pub fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    /// Union the sets containing `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+
+    /// Group the elements `0..n` by representative.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            let root = self.find(i);
+            by_root.entry(root).or_default().push(i);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+/// Partition the indices `0..sets.len()` into connected components of the variable
+/// co-occurrence graph: indices `i` and `j` are connected if `sets[i]` and `sets[j]`
+/// share a variable (possibly transitively).
+///
+/// Runs in `O(Σ|sets[i]| · α)` — each variable links its occurrences together — rather
+/// than comparing all pairs of sets.
+pub fn connected_components(sets: &[VarSet]) -> Vec<Vec<usize>> {
+    let n = sets.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mut uf = UnionFind::new(n);
+    let mut first_seen: BTreeMap<Var, usize> = BTreeMap::new();
+    for (i, set) in sets.iter().enumerate() {
+        for v in set.iter() {
+            match first_seen.get(&v) {
+                Some(&j) => uf.union(i, j),
+                None => {
+                    first_seen.insert(v, i);
+                }
+            }
+        }
+    }
+    uf.groups()
+}
+
+/// True if the variable sets are pairwise disjoint (i.e. every index is its own
+/// component).
+pub fn all_independent(sets: &[VarSet]) -> bool {
+    connected_components(sets).len() == sets.len()
+}
+
+/// Split a list of items into independent groups according to their variable sets.
+///
+/// Returns one `Vec` of items per connected component, preserving the original
+/// relative order inside each group.
+pub fn group_by_independence<T>(items: Vec<T>, var_set_of: impl Fn(&T) -> VarSet) -> Vec<Vec<T>> {
+    let sets: Vec<VarSet> = items.iter().map(&var_set_of).collect();
+    let components = connected_components(&sets);
+    if components.len() <= 1 {
+        return vec![items];
+    }
+    // Map index -> component id.
+    let mut comp_of = vec![0usize; items.len()];
+    for (cid, comp) in components.iter().enumerate() {
+        for &i in comp {
+            comp_of[i] = cid;
+        }
+    }
+    let mut out: Vec<Vec<T>> = (0..components.len()).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[comp_of[i]].push(item);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(ids: &[u32]) -> VarSet {
+        ids.iter().map(|i| Var(*i)).collect()
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn components_of_disjoint_sets() {
+        let sets = vec![vs(&[1, 2]), vs(&[3]), vs(&[4, 5])];
+        let comps = connected_components(&sets);
+        assert_eq!(comps.len(), 3);
+        assert!(all_independent(&sets));
+    }
+
+    #[test]
+    fn components_of_chained_sets() {
+        // {1,2}, {2,3}, {3,4} are all one component; {9} is separate.
+        let sets = vec![vs(&[1, 2]), vs(&[2, 3]), vs(&[3, 4]), vs(&[9])];
+        let comps = connected_components(&sets);
+        assert_eq!(comps.len(), 2);
+        let big = comps.iter().find(|c| c.len() == 3).unwrap();
+        assert_eq!(*big, vec![0, 1, 2]);
+        assert!(!all_independent(&sets));
+    }
+
+    #[test]
+    fn paper_query_annotation_splits_per_supplier() {
+        // x1y11 + x1y12 + x2y21 + x2y22 + x3y33 + x3y34 (Example 14): three components,
+        // one per supplier variable x1, x2, x3.
+        let sets = vec![
+            vs(&[1, 11]),
+            vs(&[1, 12]),
+            vs(&[2, 21]),
+            vs(&[2, 22]),
+            vs(&[3, 33]),
+            vs(&[3, 34]),
+        ];
+        let comps = connected_components(&sets);
+        assert_eq!(comps.len(), 3);
+        for c in comps {
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_sets_are_isolated() {
+        let sets = vec![vs(&[]), vs(&[1]), vs(&[])];
+        let comps = connected_components(&sets);
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn group_by_independence_preserves_items() {
+        let items = vec![(vs(&[1]), "a"), (vs(&[2]), "b"), (vs(&[1, 2]), "c")];
+        let grouped = group_by_independence(items, |(s, _)| s.clone());
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(grouped[0].len(), 3);
+
+        let items = vec![(vs(&[1]), "a"), (vs(&[2]), "b")];
+        let grouped = group_by_independence(items, |(s, _)| s.clone());
+        assert_eq!(grouped.len(), 2);
+        let labels: Vec<&str> = grouped.iter().map(|g| g[0].1).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn no_items() {
+        let comps = connected_components(&[]);
+        assert!(comps.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # pvc-expr
+//!
+//! Semiring and semimodule **expressions** over independent random variables — the
+//! annotation language of pvc-tables (Fig. 2 of the paper) — together with the
+//! syntactic analyses the knowledge compiler is built on:
+//!
+//! * [`VarTable`] / [`Var`] — the registry of random variables and their
+//!   distributions (the induced probability space of §2.1);
+//! * [`SemiringExpr`] — expressions `Φ ::= x | Φ+Φ | Φ·Φ | [αθα] | [ΦθΦ] | s`;
+//! * [`SemimoduleExpr`] — expressions `α ::= Φ⊗m {+op Φ⊗m} | m`;
+//! * substitution `Φ|x←s`, evaluation under valuations (the semiring/monoid
+//!   homomorphisms of §3), variable-occurrence counting;
+//! * [`independence`] — connected components of the variable co-occurrence graph;
+//! * [`factor`] — common-factor extraction / read-once detection;
+//! * [`oracle`] — brute-force possible-world enumeration (the correctness oracle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod factor;
+pub mod independence;
+pub mod oracle;
+pub mod semimodule_expr;
+pub mod semiring_expr;
+pub mod vars;
+
+pub use semimodule_expr::{SemimoduleExpr, SmTerm};
+pub use semiring_expr::SemiringExpr;
+pub use vars::{Var, VarSet, VarTable};

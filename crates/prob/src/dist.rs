@@ -1,0 +1,302 @@
+//! Sparse discrete probability distributions (§2.1 of the paper).
+//!
+//! A distribution is represented by its set of pairs of unique values with their
+//! non-zero probabilities, `{(s, P[s]) | P[s] > 0}`; the *size* of a distribution is
+//! the size of this set. This is exactly the representation the paper's complexity
+//! analysis counts (Theorem 2, Propositions 2–3).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Numerical tolerance used when comparing probabilities and checking normalisation.
+pub const PROB_EPS: f64 = 1e-9;
+
+/// A sparse discrete probability (sub-)distribution over values of type `T`.
+///
+/// Invariants maintained by every constructor and combinator:
+/// * every stored probability is strictly positive (entries below [`PROB_EPS`] are
+///   dropped);
+/// * values are unique (duplicates are merged by summing their probabilities).
+///
+/// The total mass is usually 1, but sub-distributions (mass < 1) are permitted — they
+/// arise naturally while partitioning by valuations of a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dist<T: Ord + Clone> {
+    entries: BTreeMap<T, f64>,
+}
+
+impl<T: Ord + Clone> Default for Dist<T> {
+    fn default() -> Self {
+        Dist {
+            entries: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: Ord + Clone> Dist<T> {
+    /// The empty sub-distribution (total mass 0).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The point distribution putting all mass on a single value.
+    pub fn point(value: T) -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(value, 1.0);
+        Dist { entries }
+    }
+
+    /// Build a distribution from `(value, probability)` pairs, merging duplicate
+    /// values and dropping non-positive probabilities.
+    pub fn from_pairs<I: IntoIterator<Item = (T, f64)>>(pairs: I) -> Self {
+        let mut entries: BTreeMap<T, f64> = BTreeMap::new();
+        for (v, p) in pairs {
+            if p > PROB_EPS {
+                *entries.entry(v).or_insert(0.0) += p;
+            }
+        }
+        entries.retain(|_, p| *p > PROB_EPS);
+        Dist { entries }
+    }
+
+    /// A Bernoulli-style two-point distribution; useful for Boolean variables.
+    pub fn two_point(a: T, pa: f64, b: T, pb: f64) -> Self {
+        Self::from_pairs([(a, pa), (b, pb)])
+    }
+
+    /// Number of values with non-zero probability (the paper's "size of a
+    /// distribution").
+    pub fn support_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no value has non-zero probability.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The probability of a particular value (0 if absent).
+    pub fn prob(&self, value: &T) -> f64 {
+        self.entries.get(value).copied().unwrap_or(0.0)
+    }
+
+    /// Total probability mass.
+    pub fn total_mass(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// True if the total mass is 1 up to [`PROB_EPS`].
+    pub fn is_normalized(&self) -> bool {
+        (self.total_mass() - 1.0).abs() < 1e-6
+    }
+
+    /// Iterate over `(value, probability)` pairs in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.entries.iter().map(|(v, p)| (v, *p))
+    }
+
+    /// The support (values with non-zero probability) in order.
+    pub fn support(&self) -> impl Iterator<Item = &T> {
+        self.entries.keys()
+    }
+
+    /// Insert additional mass on a value.
+    pub fn add_mass(&mut self, value: T, p: f64) {
+        if p > PROB_EPS {
+            *self.entries.entry(value).or_insert(0.0) += p;
+        }
+    }
+
+    /// Multiply every probability by a constant factor (e.g. `P[x ← s]` when
+    /// partitioning on a variable, Eq. 10 of the paper).
+    pub fn scale(&self, factor: f64) -> Self {
+        Dist::from_pairs(self.entries.iter().map(|(v, p)| (v.clone(), p * factor)))
+    }
+
+    /// Pointwise mixture: the sum of two sub-distributions.
+    ///
+    /// Used to combine the mutually exclusive branches of a `⊔x` node
+    /// (Eq. 10 of the paper).
+    pub fn mix(&self, other: &Self) -> Self {
+        Dist::from_pairs(
+            self.entries
+                .iter()
+                .chain(other.entries.iter())
+                .map(|(v, p)| (v.clone(), *p)),
+        )
+    }
+
+    /// Apply a function to every value, merging collisions.
+    pub fn map<U: Ord + Clone>(&self, f: impl Fn(&T) -> U) -> Dist<U> {
+        Dist::from_pairs(self.entries.iter().map(|(v, p)| (f(v), *p)))
+    }
+
+    /// Keep only values satisfying the predicate (a sub-distribution).
+    pub fn filter(&self, keep: impl Fn(&T) -> bool) -> Self {
+        Dist::from_pairs(
+            self.entries
+                .iter()
+                .filter(|(v, _)| keep(v))
+                .map(|(v, p)| (v.clone(), *p)),
+        )
+    }
+
+    /// Renormalise to total mass 1. Returns the empty distribution if the mass is 0.
+    pub fn normalize(&self) -> Self {
+        let mass = self.total_mass();
+        if mass <= PROB_EPS {
+            Self::empty()
+        } else {
+            self.scale(1.0 / mass)
+        }
+    }
+
+    /// The probability-weighted convolution of two *independent* distributions with
+    /// respect to an arbitrary binary operation (Proposition 1, Eq. 1 of the paper):
+    ///
+    /// `P_{x•y}[c] = Σ_{a•b=c} P_x[a]·P_y[b]`.
+    ///
+    /// The result size is at most `|self| · |other|`; computation takes
+    /// `O(|self| · |other| · log)` time.
+    pub fn convolve<U: Ord + Clone, V: Ord + Clone>(
+        &self,
+        other: &Dist<U>,
+        op: impl Fn(&T, &U) -> V,
+    ) -> Dist<V> {
+        let mut out: BTreeMap<V, f64> = BTreeMap::new();
+        for (a, pa) in &self.entries {
+            for (b, pb) in &other.entries {
+                let c = op(a, b);
+                *out.entry(c).or_insert(0.0) += pa * pb;
+            }
+        }
+        out.retain(|_, p| *p > PROB_EPS);
+        Dist { entries: out }
+    }
+
+    /// Check that two distributions coincide up to a probability tolerance.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        let keys: std::collections::BTreeSet<&T> =
+            self.entries.keys().chain(other.entries.keys()).collect();
+        keys.into_iter()
+            .all(|k| (self.prob(k) - other.prob(k)).abs() <= tol)
+    }
+}
+
+impl<T: Ord + Clone + fmt::Display> fmt::Display for Dist<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (v, p) in &self.entries {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "({v}, {p:.4})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<(T, f64)> for Dist<T> {
+    fn from_iter<I: IntoIterator<Item = (T, f64)>>(iter: I) -> Self {
+        Dist::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distribution() {
+        let d = Dist::point(5u32);
+        assert_eq!(d.support_size(), 1);
+        assert_eq!(d.prob(&5), 1.0);
+        assert_eq!(d.prob(&6), 0.0);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn from_pairs_merges_and_drops() {
+        let d = Dist::from_pairs([(1u32, 0.2), (1, 0.3), (2, 0.5), (3, 0.0)]);
+        assert_eq!(d.support_size(), 2);
+        assert!((d.prob(&1) - 0.5).abs() < 1e-12);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn convolution_of_integer_sum() {
+        // The §2.1 example: P[x + y = 4] = Σ_k P[x=k]·P[y=4−k].
+        let x = Dist::from_pairs([(0u32, 0.5), (1, 0.3), (2, 0.2)]);
+        let y = Dist::from_pairs([(2u32, 0.4), (3, 0.6)]);
+        let sum = x.convolve(&y, |a, b| a + b);
+        assert!((sum.prob(&4) - (0.3 * 0.6 + 0.2 * 0.4)).abs() < 1e-12);
+        assert!(sum.is_normalized());
+        assert_eq!(sum.support_size(), 4); // values 2,3,4,5
+    }
+
+    #[test]
+    fn convolution_of_disjunction_matches_closed_form() {
+        // Example 2 of the paper: P[Φ∨Ψ = ⊤] = 1 − (1 − PΦ)(1 − PΨ).
+        let p_phi = 0.3;
+        let p_psi = 0.7;
+        let phi = Dist::two_point(true, p_phi, false, 1.0 - p_phi);
+        let psi = Dist::two_point(true, p_psi, false, 1.0 - p_psi);
+        let or = phi.convolve(&psi, |a, b| *a || *b);
+        assert!((or.prob(&true) - (1.0 - (1.0 - p_phi) * (1.0 - p_psi))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_sizes_are_bounded_by_product() {
+        let a = Dist::from_pairs((0..5).map(|i| (i, 0.2)));
+        let b = Dist::from_pairs((0..7).map(|i| (i, 1.0 / 7.0)));
+        let c = a.convolve(&b, |x, y| x * 100 + y);
+        assert_eq!(c.support_size(), 35);
+        let d = a.convolve(&b, |_, _| 0u32);
+        assert_eq!(d.support_size(), 1);
+    }
+
+    #[test]
+    fn scale_and_mix_implement_case_analysis() {
+        // P_Φ = Σ_s P_x[s] · P_{Φ|x←s}: scaling then mixing branches.
+        let branch1 = Dist::from_pairs([(10u32, 0.5), (20, 0.5)]);
+        let branch2 = Dist::from_pairs([(10u32, 1.0)]);
+        let combined = branch1.scale(0.4).mix(&branch2.scale(0.6));
+        assert!((combined.prob(&10) - (0.4 * 0.5 + 0.6)).abs() < 1e-12);
+        assert!((combined.prob(&20) - 0.2).abs() < 1e-12);
+        assert!(combined.is_normalized());
+    }
+
+    #[test]
+    fn map_and_filter() {
+        let d = Dist::from_pairs([(1u32, 0.25), (2, 0.25), (3, 0.5)]);
+        let parity = d.map(|v| v % 2);
+        assert!((parity.prob(&1) - 0.75).abs() < 1e-12);
+        let odd = d.filter(|v| v % 2 == 1);
+        assert!((odd.total_mass() - 0.75).abs() < 1e-12);
+        assert!(odd.normalize().is_normalized());
+    }
+
+    #[test]
+    fn normalize_empty_is_empty() {
+        let d: Dist<u32> = Dist::empty();
+        assert!(d.normalize().is_empty());
+        assert_eq!(d.total_mass(), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_errors() {
+        let a = Dist::from_pairs([(1u32, 0.5), (2, 0.5)]);
+        let b = Dist::from_pairs([(1u32, 0.5 + 1e-12), (2, 0.5 - 1e-12)]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = Dist::from_pairs([(1u32, 0.6), (2, 0.4)]);
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+
+    #[test]
+    fn display_is_ordered() {
+        let d = Dist::from_pairs([(2u32, 0.5), (1, 0.5)]);
+        assert_eq!(d.to_string(), "{(1, 0.5000), (2, 0.5000)}");
+    }
+}

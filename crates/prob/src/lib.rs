@@ -1,0 +1,22 @@
+//! # pvc-prob
+//!
+//! Sparse discrete probability distributions, convolution with respect to arbitrary
+//! binary operations (Proposition 1 / Eqs. 4–9 of the paper), induced probability
+//! spaces with possible-world enumeration (the correctness oracle), and distribution
+//! summaries.
+//!
+//! Everything in this crate is purely about probability bookkeeping; the knowledge
+//! compilation that makes these computations tractable lives in `pvc-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod moments;
+pub mod space;
+pub mod values;
+
+pub use dist::{Dist, PROB_EPS};
+pub use moments::{cdf, expectation, moments, quantile, Moments};
+pub use space::{ProbabilitySpace, World};
+pub use values::{make, ops, DistValue, MixedDist, MonoidDist, SemiringDist};

@@ -1,0 +1,257 @@
+//! Distributions over the engine's dynamic value types, and the mixed value type
+//! produced when computing the distribution of a decomposition tree.
+
+use crate::dist::Dist;
+use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
+use std::fmt;
+
+/// A value drawn from either the annotation semiring or an aggregation monoid.
+///
+/// Decomposition trees mix semiring sub-expressions and semimodule sub-expressions,
+/// so the distribution at a d-tree node ranges over this sum type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DistValue {
+    /// An element of the annotation semiring.
+    S(SemiringValue),
+    /// An element of an aggregation monoid.
+    M(MonoidValue),
+}
+
+impl DistValue {
+    /// The semiring element, if this is a semiring value.
+    pub fn as_semiring(&self) -> Option<SemiringValue> {
+        match self {
+            DistValue::S(s) => Some(*s),
+            DistValue::M(_) => None,
+        }
+    }
+
+    /// The monoid element, if this is a monoid value.
+    pub fn as_monoid(&self) -> Option<MonoidValue> {
+        match self {
+            DistValue::M(m) => Some(*m),
+            DistValue::S(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for DistValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistValue::S(s) => write!(f, "{s}"),
+            DistValue::M(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<SemiringValue> for DistValue {
+    fn from(s: SemiringValue) -> Self {
+        DistValue::S(s)
+    }
+}
+
+impl From<MonoidValue> for DistValue {
+    fn from(m: MonoidValue) -> Self {
+        DistValue::M(m)
+    }
+}
+
+/// A distribution over semiring values.
+pub type SemiringDist = Dist<SemiringValue>;
+/// A distribution over monoid values.
+pub type MonoidDist = Dist<MonoidValue>;
+/// A distribution over mixed values (at a d-tree node).
+pub type MixedDist = Dist<DistValue>;
+
+/// Convenience constructors for the distributions that appear constantly in the
+/// engine: Boolean tuple-presence variables and small integer-valued variables.
+pub mod make {
+    use super::*;
+
+    /// The distribution of a Boolean tuple-presence random variable with
+    /// `P[⊤] = p_true`.
+    pub fn bernoulli(p_true: f64) -> SemiringDist {
+        Dist::two_point(
+            SemiringValue::Bool(true),
+            p_true,
+            SemiringValue::Bool(false),
+            1.0 - p_true,
+        )
+    }
+
+    /// A uniform distribution over the natural numbers `lo..=hi` (bag multiplicity).
+    pub fn uniform_nat(lo: u64, hi: u64) -> SemiringDist {
+        let n = (hi - lo + 1) as f64;
+        Dist::from_pairs((lo..=hi).map(|v| (SemiringValue::Nat(v), 1.0 / n)))
+    }
+
+    /// A point distribution on a semiring constant.
+    pub fn certain(value: SemiringValue) -> SemiringDist {
+        Dist::point(value)
+    }
+
+    /// The distribution of a deterministic monoid value.
+    pub fn certain_monoid(value: MonoidValue) -> MonoidDist {
+        Dist::point(value)
+    }
+}
+
+/// Convolution wrappers specialised to the value types, mirroring Eqs. (4)–(9) of the
+/// paper. They exist so that call sites read like the equations.
+pub mod ops {
+    use super::*;
+
+    /// Eq. (4): `P_{Φ+Ψ}` — semiring addition of independent semiring expressions.
+    pub fn add_semiring(a: &SemiringDist, b: &SemiringDist) -> SemiringDist {
+        a.convolve(b, |x, y| x.add(y))
+    }
+
+    /// Eq. (5): `P_{Φ·Ψ}` — semiring multiplication of independent expressions.
+    pub fn mul_semiring(a: &SemiringDist, b: &SemiringDist) -> SemiringDist {
+        a.convolve(b, |x, y| x.mul(y))
+    }
+
+    /// Eq. (6): `P_{α+β}` — monoid sum of independent semimodule expressions.
+    pub fn add_monoid(op: AggOp, a: &MonoidDist, b: &MonoidDist) -> MonoidDist {
+        a.convolve(b, |x, y| op.combine(x, y))
+    }
+
+    /// Eq. (7): `P_{Φ⊗α}` — scalar action of an independent semiring expression on a
+    /// semimodule expression.
+    pub fn tensor(op: AggOp, scalar: &SemiringDist, value: &MonoidDist) -> MonoidDist {
+        scalar.convolve(value, |s, m| op.scalar_action(s, m))
+    }
+
+    /// Eq. (8): `P_{[αθβ]}` — comparison of independent semimodule expressions,
+    /// yielding a semiring value in the given semiring.
+    pub fn compare_monoid(
+        kind: SemiringKind,
+        theta: CmpOp,
+        a: &MonoidDist,
+        b: &MonoidDist,
+    ) -> SemiringDist {
+        a.convolve(b, |x, y| {
+            if theta.eval(x, y) {
+                kind.one()
+            } else {
+                kind.zero()
+            }
+        })
+    }
+
+    /// Eq. (9): `P_{[ΦθΨ]}` — comparison of independent semiring expressions.
+    pub fn compare_semiring(
+        kind: SemiringKind,
+        theta: CmpOp,
+        a: &SemiringDist,
+        b: &SemiringDist,
+    ) -> SemiringDist {
+        a.convolve(b, |x, y| {
+            if theta.eval(x, y) {
+                kind.one()
+            } else {
+                kind.zero()
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::MonoidValue::Fin;
+
+    #[test]
+    fn bernoulli_is_normalised() {
+        let d = make::bernoulli(0.3);
+        assert!(d.is_normalized());
+        assert!((d.prob(&SemiringValue::Bool(true)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_nat_support() {
+        let d = make::uniform_nat(1, 4);
+        assert_eq!(d.support_size(), 4);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn example_11_tensor_distribution() {
+        // Example 11 of the paper: Φ = x with Px = {(0,0.3),(1,0.3),(2,0.4)},
+        // α = y⊗5 with Py = {(1,0.4),(2,0.4),(3,0.2)}  ⇒  Pα = {(5,.4),(10,.4),(15,.2)}
+        // and P_{Φ⊗α}[10] = Px[1]·Pα[10] + Px[2]·Pα[5].
+        let px = Dist::from_pairs([
+            (SemiringValue::Nat(0), 0.3),
+            (SemiringValue::Nat(1), 0.3),
+            (SemiringValue::Nat(2), 0.4),
+        ]);
+        let py = Dist::from_pairs([
+            (SemiringValue::Nat(1), 0.4),
+            (SemiringValue::Nat(2), 0.4),
+            (SemiringValue::Nat(3), 0.2),
+        ]);
+        let alpha = ops::tensor(AggOp::Sum, &py, &make::certain_monoid(Fin(5)));
+        assert!((alpha.prob(&Fin(5)) - 0.4).abs() < 1e-12);
+        assert!((alpha.prob(&Fin(10)) - 0.4).abs() < 1e-12);
+        assert!((alpha.prob(&Fin(15)) - 0.2).abs() < 1e-12);
+
+        let result = ops::tensor(AggOp::Sum, &px, &alpha);
+        let expected_10 = 0.3 * 0.4 + 0.4 * 0.4;
+        assert!((result.prob(&Fin(10)) - expected_10).abs() < 1e-12);
+        // Possible outcomes listed in the paper: 0, 5, 10, 15, 20, 30 (and 45, 60 via
+        // x=2,y=3 ⇒ 2·3·5=30; x=2,y=2 ⇒ 20 ...). Check 0 and 30 are present.
+        assert!(result.prob(&Fin(0)) > 0.0);
+        assert!(result.prob(&Fin(30)) > 0.0);
+        assert!(result.is_normalized());
+    }
+
+    #[test]
+    fn example_11_boolean_case() {
+        // Boolean case of Example 11: outcomes 0 and 5 with
+        // P[5] = Px[⊤]·Py[⊤].
+        let px = make::bernoulli(0.3);
+        let py = make::bernoulli(0.4);
+        let alpha = ops::tensor(AggOp::Sum, &py, &make::certain_monoid(Fin(5)));
+        let result = ops::tensor(AggOp::Sum, &px, &alpha);
+        assert!((result.prob(&Fin(5)) - 0.3 * 0.4).abs() < 1e-12);
+        assert!((result.prob(&Fin(0)) - (1.0 - 0.12)).abs() < 1e-12);
+        assert_eq!(result.support_size(), 2);
+    }
+
+    #[test]
+    fn comparisons_produce_semiring_values() {
+        let a = Dist::from_pairs([(Fin(10), 0.5), (Fin(60), 0.5)]);
+        let b = make::certain_monoid(Fin(50));
+        let le = ops::compare_monoid(SemiringKind::Bool, CmpOp::Le, &a, &b);
+        assert!((le.prob(&SemiringValue::Bool(true)) - 0.5).abs() < 1e-12);
+        let eq = ops::compare_semiring(
+            SemiringKind::Bool,
+            CmpOp::Eq,
+            &make::bernoulli(0.25),
+            &Dist::point(SemiringValue::Bool(true)),
+        );
+        assert!((eq.prob(&SemiringValue::Bool(true)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_monoid_addition_is_selective() {
+        let a = Dist::from_pairs([(Fin(10), 0.5), (MonoidValue::PosInf, 0.5)]);
+        let b = Dist::from_pairs([(Fin(20), 0.5), (MonoidValue::PosInf, 0.5)]);
+        let min = ops::add_monoid(AggOp::Min, &a, &b);
+        // Support only holds values from the operand supports.
+        assert!(min.support().all(|v| matches!(v, Fin(10) | Fin(20) | MonoidValue::PosInf)));
+        assert!((min.prob(&Fin(10)) - 0.5).abs() < 1e-12);
+        assert!((min.prob(&MonoidValue::PosInf) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_value_ordering_and_accessors() {
+        let s = DistValue::S(SemiringValue::Bool(true));
+        let m = DistValue::M(Fin(4));
+        assert!(s.as_semiring().is_some());
+        assert!(s.as_monoid().is_none());
+        assert!(m.as_monoid().is_some());
+        assert_eq!(m.to_string(), "4");
+        assert_eq!(s.to_string(), "⊤");
+    }
+}

@@ -1,0 +1,35 @@
+//! # pvc-db
+//!
+//! **pvc-tables** (probabilistic value-conditioned tables, §3 of the paper) and a
+//! positive relational algebra with grouping/aggregation over them:
+//!
+//! * [`PvcTable`] / [`Database`] — relations with an annotation column of semiring
+//!   expressions and (after aggregation) semimodule expressions as values;
+//! * [`Query`] — the query language `Q` of Definition 5, with well-formedness checks;
+//! * [`exec::evaluate`] — step I of query evaluation: the rewriting `⟦·⟧` of Fig. 4,
+//!   computing result tuples together with their annotations;
+//! * [`prob_eval::evaluate_with_probabilities`] — step II: compiling every annotation
+//!   and aggregate into a decomposition tree (via `pvc-core`) and computing exact
+//!   tuple confidences and aggregate distributions;
+//! * [`tractable`] — the syntactic tractability classes `Q_ind` / `Q_hie` of §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod exec;
+pub mod prob_eval;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod tractable;
+pub mod value;
+
+pub use database::Database;
+pub use exec::evaluate;
+pub use prob_eval::{evaluate_with_probabilities, tuple_confidences, ProbTuple, QueryResult};
+pub use query::{AggSpec, Predicate, Query, QueryError};
+pub use relation::{PvcTable, Tuple};
+pub use schema::{Column, Schema};
+pub use tractable::{classify, flatten_spj, QueryClass, SpjBlock};
+pub use value::{KeyValue, Value};

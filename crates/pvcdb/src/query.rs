@@ -1,0 +1,459 @@
+//! The query language `Q` (§2.3, Definition 5 of the paper): positive relational
+//! algebra (rename, selection, projection, product, union) extended with the `$`
+//! operator for grouping and aggregation, subject to the restriction that projection,
+//! union and grouping are never applied to aggregation attributes.
+
+use crate::database::Database;
+use crate::schema::{Column, Schema};
+use crate::value::Value;
+use pvc_algebra::{AggOp, CmpOp};
+use std::fmt;
+
+/// One aggregation `alias ← AGG(column)` inside a `$` operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregation monoid.
+    pub op: AggOp,
+    /// The aggregated column. `None` for COUNT (which aggregates the constant 1).
+    pub column: Option<String>,
+    /// The name of the resulting aggregation attribute.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// `alias ← AGG(column)`.
+    pub fn new(op: AggOp, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggSpec {
+            op,
+            column: Some(column.into()),
+            alias: alias.into(),
+        }
+    }
+
+    /// `alias ← COUNT(*)`.
+    pub fn count(alias: impl Into<String>) -> Self {
+        AggSpec {
+            op: AggOp::Count,
+            column: None,
+            alias: alias.into(),
+        }
+    }
+}
+
+/// Selection predicates. Predicates over data columns filter tuples; predicates that
+/// involve aggregation attributes become conditional expressions multiplied onto the
+/// annotation (the `σ` rule of Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `A = B` on data columns.
+    ColEqCol(String, String),
+    /// `A θ c` on a data column and a constant.
+    ColCmpConst(String, CmpOp, Value),
+    /// `α θ c` where `α` is an aggregation attribute and `c` an integer constant.
+    AggCmpConst(String, CmpOp, i64),
+    /// `α θ β` where both sides are aggregation attributes.
+    AggCmpAgg(String, CmpOp, String),
+    /// `α θ A` where `α` is an aggregation attribute and `A` a data column.
+    AggCmpCol(String, CmpOp, String),
+    /// Conjunction of predicates.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor `A = B`.
+    pub fn eq_col(a: impl Into<String>, b: impl Into<String>) -> Self {
+        Predicate::ColEqCol(a.into(), b.into())
+    }
+
+    /// Convenience constructor `A = c`.
+    pub fn eq_const(a: impl Into<String>, c: impl Into<Value>) -> Self {
+        Predicate::ColCmpConst(a.into(), CmpOp::Eq, c.into())
+    }
+
+    /// The columns this predicate references.
+    pub fn columns(&self) -> Vec<&str> {
+        match self {
+            Predicate::ColEqCol(a, b) | Predicate::AggCmpAgg(a, _, b) | Predicate::AggCmpCol(a, _, b) => {
+                vec![a, b]
+            }
+            Predicate::ColCmpConst(a, _, _) | Predicate::AggCmpConst(a, _, _) => vec![a],
+            Predicate::And(ps) => ps.iter().flat_map(|p| p.columns()).collect(),
+        }
+    }
+}
+
+/// A query in the language `Q`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A base relation.
+    Table(String),
+    /// `σ_φ(Q)`.
+    Select(Predicate, Box<Query>),
+    /// `π_{A̅}(Q)` (duplicate-eliminating; annotations of merged tuples are summed).
+    Project(Vec<String>, Box<Query>),
+    /// `Q1 × Q2`.
+    Product(Box<Query>, Box<Query>),
+    /// `Q1 ∪ Q2`.
+    Union(Box<Query>, Box<Query>),
+    /// `δ_{B←A}(Q)` — rename columns (old name → new name pairs).
+    Rename(Vec<(String, String)>, Box<Query>),
+    /// `$_{A̅; α1←AGG1(B1), …}(Q)` — group by `A̅` and aggregate.
+    GroupAgg {
+        /// Group-by attributes `A̅` (may be empty).
+        group_by: Vec<String>,
+        /// The aggregations to compute.
+        aggs: Vec<AggSpec>,
+        /// The input query.
+        input: Box<Query>,
+    },
+}
+
+/// Errors raised when a query violates the well-formedness rules of Definition 5 or
+/// references unknown tables/columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A referenced base table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist in the operand schema.
+    UnknownColumn(String),
+    /// Projection or grouping on an aggregation attribute (violates constraint 1).
+    ProjectionOnAggregate(String),
+    /// Union over operands containing aggregation attributes (violates constraint 2).
+    UnionOnAggregate(String),
+    /// Union operands have different schemas.
+    UnionSchemaMismatch,
+    /// An aggregation references an aggregation attribute as its input column.
+    AggregationOfAggregate(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            QueryError::ProjectionOnAggregate(c) => {
+                write!(f, "projection/grouping on aggregation attribute `{c}`")
+            }
+            QueryError::UnionOnAggregate(c) => {
+                write!(f, "union operand contains aggregation attribute `{c}`")
+            }
+            QueryError::UnionSchemaMismatch => write!(f, "union operands have different schemas"),
+            QueryError::AggregationOfAggregate(c) => {
+                write!(f, "aggregation over aggregation attribute `{c}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl Query {
+    /// A base-table scan.
+    pub fn table(name: impl Into<String>) -> Self {
+        Query::Table(name.into())
+    }
+
+    /// `σ_φ(self)`.
+    pub fn select(self, predicate: Predicate) -> Self {
+        Query::Select(predicate, Box::new(self))
+    }
+
+    /// `π_{columns}(self)`.
+    pub fn project<S: Into<String>>(self, columns: impl IntoIterator<Item = S>) -> Self {
+        Query::Project(columns.into_iter().map(Into::into).collect(), Box::new(self))
+    }
+
+    /// `self × other`.
+    pub fn product(self, other: Query) -> Self {
+        Query::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Equi-join: `σ_{a=b}(self × other)`.
+    pub fn join(self, other: Query, on: &[(&str, &str)]) -> Self {
+        let product = self.product(other);
+        let preds: Vec<Predicate> = on
+            .iter()
+            .map(|(a, b)| Predicate::eq_col(*a, *b))
+            .collect();
+        product.select(Predicate::And(preds))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: Query) -> Self {
+        Query::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `δ` — rename columns.
+    pub fn rename(self, mapping: &[(&str, &str)]) -> Self {
+        Query::Rename(
+            mapping
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            Box::new(self),
+        )
+    }
+
+    /// `$_{group_by; aggs}(self)`.
+    pub fn group_agg<S: Into<String>>(
+        self,
+        group_by: impl IntoIterator<Item = S>,
+        aggs: Vec<AggSpec>,
+    ) -> Self {
+        Query::GroupAgg {
+            group_by: group_by.into_iter().map(Into::into).collect(),
+            aggs,
+            input: Box::new(self),
+        }
+    }
+
+    /// The base tables referenced by the query, with multiplicity.
+    pub fn base_tables(&self) -> Vec<&str> {
+        match self {
+            Query::Table(name) => vec![name],
+            Query::Select(_, q) | Query::Project(_, q) | Query::Rename(_, q) => q.base_tables(),
+            Query::GroupAgg { input, .. } => input.base_tables(),
+            Query::Product(a, b) | Query::Union(a, b) => {
+                let mut v = a.base_tables();
+                v.extend(b.base_tables());
+                v
+            }
+        }
+    }
+
+    /// True if no base relation occurs more than once (the *non-repeating* property
+    /// assumed by the tractability results of §6).
+    pub fn is_non_repeating(&self) -> bool {
+        let mut tables = self.base_tables();
+        tables.sort_unstable();
+        let before = tables.len();
+        tables.dedup();
+        tables.len() == before
+    }
+
+    /// Validate the query against a database and compute its output schema,
+    /// enforcing the constraints of Definition 5.
+    pub fn output_schema(&self, db: &Database) -> Result<Schema, QueryError> {
+        match self {
+            Query::Table(name) => db
+                .table(name)
+                .map(|t| t.schema.clone())
+                .ok_or_else(|| QueryError::UnknownTable(name.clone())),
+            Query::Rename(mapping, input) => {
+                let mut schema = input.output_schema(db)?;
+                for (old, new) in mapping {
+                    if schema.index_of(old).is_none() {
+                        return Err(QueryError::UnknownColumn(old.clone()));
+                    }
+                    schema = schema.rename(old, new);
+                }
+                Ok(schema)
+            }
+            Query::Select(pred, input) => {
+                let schema = input.output_schema(db)?;
+                for col in pred.columns() {
+                    if schema.index_of(col).is_none() {
+                        return Err(QueryError::UnknownColumn(col.to_string()));
+                    }
+                }
+                Ok(schema)
+            }
+            Query::Project(cols, input) => {
+                let schema = input.output_schema(db)?;
+                for c in cols {
+                    match schema.index_of(c) {
+                        None => return Err(QueryError::UnknownColumn(c.clone())),
+                        Some(_) if schema.is_aggregation(c) => {
+                            return Err(QueryError::ProjectionOnAggregate(c.clone()))
+                        }
+                        Some(_) => {}
+                    }
+                }
+                Ok(schema.project(cols))
+            }
+            Query::Product(a, b) => {
+                let sa = a.output_schema(db)?;
+                let sb = b.output_schema(db)?;
+                Ok(sa.concat(&sb))
+            }
+            Query::Union(a, b) => {
+                let sa = a.output_schema(db)?;
+                let sb = b.output_schema(db)?;
+                for c in sa.columns().iter().chain(sb.columns()) {
+                    if c.is_aggregation {
+                        return Err(QueryError::UnionOnAggregate(c.name.clone()));
+                    }
+                }
+                if sa.names() != sb.names() {
+                    return Err(QueryError::UnionSchemaMismatch);
+                }
+                Ok(sa)
+            }
+            Query::GroupAgg {
+                group_by,
+                aggs,
+                input,
+            } => {
+                let schema = input.output_schema(db)?;
+                for c in group_by {
+                    match schema.index_of(c) {
+                        None => return Err(QueryError::UnknownColumn(c.clone())),
+                        Some(_) if schema.is_aggregation(c) => {
+                            return Err(QueryError::ProjectionOnAggregate(c.clone()))
+                        }
+                        Some(_) => {}
+                    }
+                }
+                for a in aggs {
+                    if let Some(col) = &a.column {
+                        match schema.index_of(col) {
+                            None => return Err(QueryError::UnknownColumn(col.clone())),
+                            Some(_) if schema.is_aggregation(col) => {
+                                return Err(QueryError::AggregationOfAggregate(col.clone()))
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                let mut columns: Vec<Column> = group_by
+                    .iter()
+                    .map(|c| schema.columns()[schema.expect_index(c)].clone())
+                    .collect();
+                columns.extend(aggs.iter().map(|a| Column::aggregation(a.alias.clone())));
+                Ok(Schema::from_columns(columns))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table("S", Schema::new(["sid", "shop"]));
+        db.create_table("PS", Schema::new(["psid", "pid", "price"]));
+        db
+    }
+
+    #[test]
+    fn builders_compose() {
+        let q = Query::table("S")
+            .join(Query::table("PS"), &[("sid", "psid")])
+            .project(["shop", "price"]);
+        assert_eq!(q.base_tables(), vec!["S", "PS"]);
+        assert!(q.is_non_repeating());
+        let schema = q.output_schema(&sample_db()).unwrap();
+        assert_eq!(schema.names(), vec!["shop", "price"]);
+    }
+
+    #[test]
+    fn repeated_tables_detected() {
+        let q = Query::table("S").product(Query::table("S").rename(&[("sid", "sid2"), ("shop", "shop2")]));
+        assert!(!q.is_non_repeating());
+    }
+
+    #[test]
+    fn group_agg_schema_marks_aggregation_columns() {
+        let q = Query::table("PS").group_agg(
+            ["pid"],
+            vec![AggSpec::new(AggOp::Min, "price", "min_price"), AggSpec::count("cnt")],
+        );
+        let schema = q.output_schema(&sample_db()).unwrap();
+        assert_eq!(schema.names(), vec!["pid", "min_price", "cnt"]);
+        assert!(schema.is_aggregation("min_price"));
+        assert!(schema.is_aggregation("cnt"));
+        assert!(!schema.is_aggregation("pid"));
+    }
+
+    #[test]
+    fn definition5_constraint_1_projection() {
+        // Projecting on the aggregation attribute is rejected.
+        let q = Query::table("PS")
+            .group_agg(["pid"], vec![AggSpec::new(AggOp::Sum, "price", "total")])
+            .project(["total"]);
+        assert_eq!(
+            q.output_schema(&sample_db()),
+            Err(QueryError::ProjectionOnAggregate("total".to_string()))
+        );
+        // Grouping by an aggregation attribute is rejected too.
+        let q = Query::table("PS")
+            .group_agg(["pid"], vec![AggSpec::new(AggOp::Sum, "price", "total")])
+            .group_agg(["total"], vec![AggSpec::count("c")]);
+        assert!(matches!(
+            q.output_schema(&sample_db()),
+            Err(QueryError::ProjectionOnAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn definition5_constraint_2_union() {
+        // The paper's example: R ∪ $_{A; β←SUM(B)}(S) is not in Q.
+        let mut db = Database::new();
+        db.create_table("R", Schema::new(["pid", "beta"]));
+        db.create_table("S2", Schema::new(["pid", "b"]));
+        let q = Query::table("R").union(
+            Query::table("S2").group_agg(["pid"], vec![AggSpec::new(AggOp::Sum, "b", "beta")]),
+        );
+        assert!(matches!(
+            q.output_schema(&db),
+            Err(QueryError::UnionOnAggregate(_))
+        ));
+        // But projecting both sides to data attributes first is valid.
+        let q = Query::table("R").project(["pid"]).union(
+            Query::table("S2")
+                .group_agg(["pid"], vec![AggSpec::new(AggOp::Sum, "b", "beta")])
+                .select(Predicate::AggCmpConst("beta".into(), CmpOp::Ge, 5))
+                .project(["pid"]),
+        );
+        assert!(q.output_schema(&db).is_ok());
+    }
+
+    #[test]
+    fn unknown_references_are_reported() {
+        let db = sample_db();
+        assert_eq!(
+            Query::table("missing").output_schema(&db),
+            Err(QueryError::UnknownTable("missing".to_string()))
+        );
+        assert_eq!(
+            Query::table("S").project(["nope"]).output_schema(&db),
+            Err(QueryError::UnknownColumn("nope".to_string()))
+        );
+        assert_eq!(
+            Query::table("S")
+                .select(Predicate::eq_const("nope", 1i64))
+                .output_schema(&db),
+            Err(QueryError::UnknownColumn("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn union_schema_mismatch() {
+        let db = sample_db();
+        let q = Query::table("S").union(Query::table("PS"));
+        assert_eq!(q.output_schema(&db), Err(QueryError::UnionSchemaMismatch));
+    }
+
+    #[test]
+    fn aggregation_of_aggregate_rejected() {
+        let db = sample_db();
+        let q = Query::table("PS")
+            .group_agg(["pid"], vec![AggSpec::new(AggOp::Sum, "price", "total")])
+            .group_agg(["pid"], vec![AggSpec::new(AggOp::Max, "total", "m")]);
+        assert!(matches!(
+            q.output_schema(&db),
+            Err(QueryError::AggregationOfAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn predicate_columns() {
+        let p = Predicate::And(vec![
+            Predicate::eq_col("a", "b"),
+            Predicate::AggCmpConst("g".into(), CmpOp::Le, 5),
+        ]);
+        assert_eq!(p.columns(), vec!["a", "b", "g"]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Relation schemas: named columns, flagged as data or aggregation attributes.
+
+use std::fmt;
+
+/// A single column of a pvc-table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (qualified names such as `s_suppkey` are just plain strings).
+    pub name: String,
+    /// True if the column holds semimodule expressions (an aggregation attribute
+    /// produced by the `$` operator). The query language restricts how such columns
+    /// may be used (Definition 5 of the paper).
+    pub is_aggregation: bool,
+}
+
+impl Column {
+    /// A data (non-aggregation) column.
+    pub fn data(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            is_aggregation: false,
+        }
+    }
+
+    /// An aggregation column.
+    pub fn aggregation(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            is_aggregation: true,
+        }
+    }
+}
+
+/// The schema of a pvc-table: an ordered list of named columns.
+///
+/// The annotation column `Φ` is *not* part of the schema; it is stored separately on
+/// every tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// A schema of data columns with the given names.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        Schema {
+            columns: names.into_iter().map(|n| Column::data(n)).collect(),
+        }
+    }
+
+    /// A schema from explicit columns.
+    pub fn from_columns(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The index of a column, panicking with a helpful message if absent.
+    pub fn expect_index(&self, name: &str) -> usize {
+        self.index_of(name).unwrap_or_else(|| {
+            panic!(
+                "column `{name}` not found; available columns: {:?}",
+                self.columns.iter().map(|c| &c.name).collect::<Vec<_>>()
+            )
+        })
+    }
+
+    /// True if the named column exists and is an aggregation column.
+    pub fn is_aggregation(&self, name: &str) -> bool {
+        self.index_of(name)
+            .map(|i| self.columns[i].is_aggregation)
+            .unwrap_or(false)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Concatenate two schemas (for the product operator). Panics on duplicate column
+    /// names — rename columns first.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        for c in &other.columns {
+            assert!(
+                self.index_of(&c.name).is_none(),
+                "duplicate column `{}` in product; rename one side first",
+                c.name
+            );
+        }
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// The schema restricted to the given columns (in the given order).
+    pub fn project(&self, names: &[String]) -> Schema {
+        Schema {
+            columns: names
+                .iter()
+                .map(|n| self.columns[self.expect_index(n)].clone())
+                .collect(),
+        }
+    }
+
+    /// Rename a column.
+    pub fn rename(&self, old: &str, new: &str) -> Schema {
+        let mut columns = self.columns.clone();
+        let idx = self.expect_index(old);
+        columns[idx].name = new.to_string();
+        Schema { columns }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.name)?;
+            if c.is_aggregation {
+                write!(f, "*")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let s = Schema::new(["sid", "shop"]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("shop"), Some(1));
+        assert_eq!(s.index_of("price"), None);
+        assert!(!s.is_aggregation("shop"));
+        assert_eq!(s.names(), vec!["sid", "shop"]);
+    }
+
+    #[test]
+    fn aggregation_columns() {
+        let s = Schema::from_columns(vec![Column::data("shop"), Column::aggregation("total")]);
+        assert!(s.is_aggregation("total"));
+        assert!(!s.is_aggregation("shop"));
+        assert_eq!(s.to_string(), "(shop, total*)");
+    }
+
+    #[test]
+    fn concat_project_rename() {
+        let a = Schema::new(["sid", "shop"]);
+        let b = Schema::new(["pid", "price"]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 4);
+        let p = c.project(&["shop".to_string(), "price".to_string()]);
+        assert_eq!(p.names(), vec!["shop", "price"]);
+        let r = c.rename("price", "cost");
+        assert_eq!(r.index_of("cost"), Some(3));
+        assert_eq!(r.index_of("price"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn concat_with_duplicates_panics() {
+        let a = Schema::new(["sid"]);
+        let b = Schema::new(["sid"]);
+        a.concat(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not found")]
+    fn missing_column_panics() {
+        Schema::new(["a"]).expect_index("b");
+    }
+}

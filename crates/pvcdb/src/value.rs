@@ -1,0 +1,163 @@
+//! Cell values of pvc-tables.
+//!
+//! A pvc-table cell holds either a constant (string or integer) or a semimodule
+//! expression (an aggregated value conditioned on random variables), cf. Definition 6
+//! of the paper.
+
+use pvc_algebra::MonoidValue;
+use pvc_expr::SemimoduleExpr;
+use std::fmt;
+
+/// A value stored in a pvc-table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string constant.
+    Str(String),
+    /// An integer constant.
+    Int(i64),
+    /// A semimodule expression (only present in aggregation columns).
+    Agg(SemimoduleExpr),
+}
+
+impl Value {
+    /// The string payload, if this is a string constant.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The semimodule expression, if this is an aggregation value.
+    pub fn as_agg(&self) -> Option<&SemimoduleExpr> {
+        match self {
+            Value::Agg(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as a monoid value (used when aggregating this column).
+    pub fn as_monoid_value(&self) -> Option<MonoidValue> {
+        self.as_int().map(MonoidValue::Fin)
+    }
+
+    /// True if the value is a constant (not a semimodule expression).
+    pub fn is_constant(&self) -> bool {
+        !matches!(self, Value::Agg(_))
+    }
+
+    /// A hashable/orderable key for grouping and duplicate elimination.
+    ///
+    /// Panics on aggregation values: the query language `Q` (Definition 5) forbids
+    /// grouping, projecting or unioning on aggregation attributes, and the executor
+    /// enforces that restriction before calling this.
+    pub fn key(&self) -> KeyValue {
+        match self {
+            Value::Str(s) => KeyValue::Str(s.clone()),
+            Value::Int(i) => KeyValue::Int(*i),
+            Value::Agg(_) => panic!("aggregation values cannot be used as grouping keys"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Agg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<SemimoduleExpr> for Value {
+    fn from(e: SemimoduleExpr) -> Self {
+        Value::Agg(e)
+    }
+}
+
+/// A constant cell value usable as a grouping / comparison key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KeyValue {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(String),
+}
+
+impl fmt::Display for KeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyValue::Int(i) => write!(f, "{i}"),
+            KeyValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::AggOp;
+
+    #[test]
+    fn accessors() {
+        let s = Value::from("M&S");
+        let i = Value::from(42i64);
+        assert_eq!(s.as_str(), Some("M&S"));
+        assert_eq!(i.as_int(), Some(42));
+        assert!(s.as_int().is_none());
+        assert!(i.as_str().is_none());
+        assert!(s.is_constant());
+        assert_eq!(i.as_monoid_value(), Some(MonoidValue::Fin(42)));
+    }
+
+    #[test]
+    fn agg_values() {
+        let e = SemimoduleExpr::constant(AggOp::Sum, MonoidValue::Fin(3));
+        let v = Value::from(e.clone());
+        assert!(!v.is_constant());
+        assert_eq!(v.as_agg(), Some(&e));
+    }
+
+    #[test]
+    fn keys_order_and_display() {
+        let a = Value::from("a").key();
+        let b = Value::from("b").key();
+        assert!(a < b);
+        assert_eq!(Value::from(7i64).key(), KeyValue::Int(7));
+        assert_eq!(a.to_string(), "a");
+        assert_eq!(Value::from(7i64).to_string(), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "grouping keys")]
+    fn agg_key_panics() {
+        Value::from(SemimoduleExpr::zero(AggOp::Min)).key();
+    }
+}

@@ -1,0 +1,320 @@
+//! A seeded, scaled-down TPC-H-like data generator over pvc-tables.
+//!
+//! The paper evaluates on tuple-independent TPC-H databases of up to 1 GB produced by
+//! the official `dbgen`. That tool (and gigabyte-scale data) is substituted here by a
+//! from-scratch generator that preserves the properties Experiment F depends on:
+//!
+//! * the eight-table star/snowflake schema with the same key relationships
+//!   (region ← nation ← supplier/customer, part & supplier ← partsupp,
+//!   customer ← orders ← lineitem);
+//! * table cardinalities that scale linearly with the scale factor while the join
+//!   fan-out *per group* stays constant (so annotation sizes per result tuple stay
+//!   constant as the database grows — the property behind the polynomial overhead in
+//!   Figure 11);
+//! * uniformly distributed attribute values (return flags, ship dates, supply costs).
+//!
+//! The base cardinalities are 1/1000 of TPC-H's (scale factor 1.0 here ≈ 1 MB of
+//! data), which keeps the benchmark harness runnable on a laptop; the sweep over scale
+//! factors reproduces the *shape* of the paper's Figure 11, not its absolute numbers.
+
+use pvc_db::{Database, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the TPC-H-like generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpchConfig {
+    /// Scale factor; 1.0 yields roughly one thousandth of the TPC-H SF-1 row counts.
+    pub scale_factor: f64,
+    /// RNG seed (the same seed and scale factor always produce the same database).
+    pub seed: u64,
+    /// Probability assigned to every generated tuple (tuple-independent tables).
+    pub tuple_probability: f64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: 0.1,
+            seed: 20120827, // VLDB 2012 started on 27 August 2012.
+            tuple_probability: 0.5,
+        }
+    }
+}
+
+/// Row counts derived from the scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cardinalities {
+    /// Number of regions (fixed at 5, as in TPC-H).
+    pub regions: usize,
+    /// Number of nations (fixed at 25, as in TPC-H).
+    pub nations: usize,
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Number of part–supplier offers.
+    pub partsupps: usize,
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of orders.
+    pub orders: usize,
+    /// Number of lineitems.
+    pub lineitems: usize,
+}
+
+impl Cardinalities {
+    /// Derive cardinalities from a scale factor (1/1000 of the TPC-H base counts).
+    pub fn for_scale(scale_factor: f64) -> Self {
+        let scaled = |base: f64| ((base * scale_factor).round() as usize).max(1);
+        Cardinalities {
+            regions: 5,
+            nations: 25,
+            suppliers: scaled(10.0),
+            parts: scaled(200.0),
+            partsupps: scaled(800.0),
+            customers: scaled(150.0),
+            orders: scaled(1500.0),
+            lineitems: scaled(6000.0),
+        }
+    }
+
+    /// Total number of generated tuples.
+    pub fn total(&self) -> usize {
+        self.regions
+            + self.nations
+            + self.suppliers
+            + self.parts
+            + self.partsupps
+            + self.customers
+            + self.orders
+            + self.lineitems
+    }
+}
+
+const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+const LINE_STATUS: [&str; 2] = ["O", "F"];
+
+/// Generate a tuple-independent TPC-H-like pvc-database.
+pub fn generate(config: &TpchConfig) -> Database {
+    let cards = Cardinalities::for_scale(config.scale_factor);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new();
+    let p = config.tuple_probability;
+
+    // region(r_regionkey, r_name)
+    db.create_table("region", Schema::new(["r_regionkey", "r_name"]));
+    {
+        let (t, vars) = db.table_and_vars_mut("region");
+        for (k, name) in REGION_NAMES.iter().enumerate().take(cards.regions) {
+            t.push_independent(vec![(k as i64).into(), (*name).into()], p, vars);
+        }
+    }
+
+    // nation(n_nationkey, n_regionkey, n_name)
+    db.create_table(
+        "nation",
+        Schema::new(["n_nationkey", "n_regionkey", "n_name"]),
+    );
+    {
+        let (t, vars) = db.table_and_vars_mut("nation");
+        for k in 0..cards.nations {
+            let region = (k % cards.regions) as i64;
+            t.push_independent(
+                vec![(k as i64).into(), region.into(), format!("NATION{k}").into()],
+                p,
+                vars,
+            );
+        }
+    }
+
+    // supplier(s_suppkey, s_nationkey, s_acctbal)
+    db.create_table(
+        "supplier",
+        Schema::new(["s_suppkey", "s_nationkey", "s_acctbal"]),
+    );
+    {
+        let (t, vars) = db.table_and_vars_mut("supplier");
+        for k in 0..cards.suppliers {
+            let nation = rng.gen_range(0..cards.nations) as i64;
+            let acctbal = rng.gen_range(0..10_000) as i64;
+            t.push_independent(
+                vec![(k as i64).into(), nation.into(), acctbal.into()],
+                p,
+                vars,
+            );
+        }
+    }
+
+    // part(p_partkey, p_size, p_retailprice)
+    db.create_table("part", Schema::new(["p_partkey", "p_size", "p_retailprice"]));
+    {
+        let (t, vars) = db.table_and_vars_mut("part");
+        for k in 0..cards.parts {
+            let size = rng.gen_range(1..=50) as i64;
+            let price = rng.gen_range(900..2_000) as i64;
+            t.push_independent(vec![(k as i64).into(), size.into(), price.into()], p, vars);
+        }
+    }
+
+    // partsupp(ps_partkey, ps_suppkey, ps_supplycost, ps_availqty)
+    db.create_table(
+        "partsupp",
+        Schema::new(["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"]),
+    );
+    {
+        let (t, vars) = db.table_and_vars_mut("partsupp");
+        for k in 0..cards.partsupps {
+            // Every part gets offers from a bounded number of suppliers, mirroring
+            // TPC-H's 4 offers per part: fan-out stays constant as the data scales.
+            let part = (k % cards.parts) as i64;
+            let supp = rng.gen_range(0..cards.suppliers) as i64;
+            let cost = rng.gen_range(1..1_000) as i64;
+            let qty = rng.gen_range(1..10_000) as i64;
+            t.push_independent(
+                vec![part.into(), supp.into(), cost.into(), qty.into()],
+                p,
+                vars,
+            );
+        }
+    }
+
+    // customer(c_custkey, c_nationkey)
+    db.create_table("customer", Schema::new(["c_custkey", "c_nationkey"]));
+    {
+        let (t, vars) = db.table_and_vars_mut("customer");
+        for k in 0..cards.customers {
+            let nation = rng.gen_range(0..cards.nations) as i64;
+            t.push_independent(vec![(k as i64).into(), nation.into()], p, vars);
+        }
+    }
+
+    // orders(o_orderkey, o_custkey, o_orderdate)
+    db.create_table("orders", Schema::new(["o_orderkey", "o_custkey", "o_orderdate"]));
+    {
+        let (t, vars) = db.table_and_vars_mut("orders");
+        for k in 0..cards.orders {
+            let cust = rng.gen_range(0..cards.customers) as i64;
+            let date = rng.gen_range(0..2_557) as i64; // days within the 7-year window
+            t.push_independent(vec![(k as i64).into(), cust.into(), date.into()], p, vars);
+        }
+    }
+
+    // lineitem(l_orderkey, l_partkey, l_quantity, l_extendedprice, l_shipdate,
+    //          l_returnflag, l_linestatus)
+    db.create_table(
+        "lineitem",
+        Schema::new([
+            "l_orderkey",
+            "l_partkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_shipdate",
+            "l_returnflag",
+            "l_linestatus",
+        ]),
+    );
+    {
+        let (t, vars) = db.table_and_vars_mut("lineitem");
+        for k in 0..cards.lineitems {
+            let order = (k % cards.orders) as i64; // ~4 lineitems per order
+            let part = rng.gen_range(0..cards.parts) as i64;
+            let quantity = rng.gen_range(1..=50) as i64;
+            let price = rng.gen_range(900..100_000) as i64;
+            let shipdate = rng.gen_range(0..2_557) as i64;
+            let flag = RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())];
+            let status = LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())];
+            t.push_independent(
+                vec![
+                    order.into(),
+                    part.into(),
+                    quantity.into(),
+                    price.into(),
+                    shipdate.into(),
+                    flag.into(),
+                    status.into(),
+                ],
+                p,
+                vars,
+            );
+        }
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale_linearly() {
+        let small = Cardinalities::for_scale(0.1);
+        let large = Cardinalities::for_scale(1.0);
+        assert_eq!(small.regions, 5);
+        assert_eq!(large.nations, 25);
+        assert_eq!(large.lineitems, 6000);
+        assert_eq!(small.lineitems, 600);
+        assert!(large.total() > small.total());
+        // Minimum of one row per table even at tiny scale factors.
+        let tiny = Cardinalities::for_scale(0.001);
+        assert!(tiny.suppliers >= 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_tuple_independent() {
+        let config = TpchConfig {
+            scale_factor: 0.01,
+            ..TpchConfig::default()
+        };
+        let db1 = generate(&config);
+        let db2 = generate(&config);
+        assert_eq!(db1.total_tuples(), db2.total_tuples());
+        assert!(db1.is_tuple_independent());
+        assert_eq!(db1.vars.len(), db1.total_tuples());
+        // Same seed ⇒ same data.
+        let l1 = db1.expect_table("lineitem");
+        let l2 = db2.expect_table("lineitem");
+        assert_eq!(l1.tuples[0].values, l2.tuples[0].values);
+    }
+
+    #[test]
+    fn schema_and_referential_structure() {
+        let db = generate(&TpchConfig {
+            scale_factor: 0.02,
+            ..TpchConfig::default()
+        });
+        let cards = Cardinalities::for_scale(0.02);
+        assert_eq!(db.expect_table("lineitem").len(), cards.lineitems);
+        assert_eq!(db.expect_table("orders").len(), cards.orders);
+        // Every lineitem references an existing order and part.
+        let lineitem = db.expect_table("lineitem");
+        for t in lineitem.iter() {
+            let order = t.values[0].as_int().unwrap();
+            let part = t.values[1].as_int().unwrap();
+            assert!((order as usize) < cards.orders);
+            assert!((part as usize) < cards.parts);
+        }
+        // Every nation references an existing region.
+        let nation = db.expect_table("nation");
+        for t in nation.iter() {
+            assert!((t.values[1].as_int().unwrap() as usize) < cards.regions);
+        }
+    }
+
+    #[test]
+    fn tuple_probability_is_applied() {
+        let db = generate(&TpchConfig {
+            scale_factor: 0.01,
+            tuple_probability: 0.25,
+            ..TpchConfig::default()
+        });
+        let region = db.expect_table("region");
+        let first_var = match &region.tuples[0].annotation {
+            pvc_expr::SemiringExpr::Var(v) => *v,
+            other => panic!("unexpected annotation {other:?}"),
+        };
+        assert!((db.vars.prob_true(first_var) - 0.25).abs() < 1e-12);
+    }
+}

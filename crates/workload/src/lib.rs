@@ -1,0 +1,339 @@
+//! # pvc-workload
+//!
+//! The random-expression workload of the paper's §7.1: conditional expressions of the
+//! two forms of Eq. (11),
+//!
+//! ```text
+//! [ Σ_AGGL Φ_i ⊗ v_i   θ   Σ_AGGR Ψ_j ⊗ w_j ]      (two-sided, R > 0)
+//! [ Σ_AGGL Φ_i ⊗ v_i   θ   c ]                      (one-sided, R = 0)
+//! ```
+//!
+//! where each `Φ_i` is a small positive DNF (the provenance of one tuple of a
+//! conjunctive query under projection): a sum of `#cl` clauses, each a product of `#l`
+//! Boolean random variables drawn from a pool of `#v` distinct variables. Values `v_i`
+//! and `w_j` are drawn uniformly from `[0, maxv]`.
+//!
+//! The generator is deterministic given a seed, so every experiment run regenerates
+//! the same expressions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pvc_algebra::{AggOp, CmpOp, MonoidValue};
+use pvc_expr::{SemimoduleExpr, SemiringExpr, Var, VarTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic expression workload (the knobs of Experiments A–E).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExprGenParams {
+    /// Number of semimodule terms on the left-hand side of θ (`L`).
+    pub left_terms: usize,
+    /// Number of semimodule terms on the right-hand side of θ (`R`); 0 selects the
+    /// one-sided form compared against the constant `c`.
+    pub right_terms: usize,
+    /// Aggregation monoid of the left side (`AGG_L`).
+    pub agg_left: AggOp,
+    /// Aggregation monoid of the right side (`AGG_R`), used when `right_terms > 0`.
+    pub agg_right: AggOp,
+    /// Number of distinct Boolean random variables (`#v`).
+    pub num_vars: usize,
+    /// Clauses per term (`#cl`).
+    pub clauses_per_term: usize,
+    /// Positive literals per clause (`#l`).
+    pub literals_per_clause: usize,
+    /// Aggregated values are drawn uniformly from `[0, maxv]`.
+    pub max_value: i64,
+    /// The comparison operator θ.
+    pub theta: CmpOp,
+    /// The constant `c` of the one-sided form.
+    pub constant: i64,
+    /// Marginal probability of each Boolean variable being true.
+    pub var_probability: f64,
+}
+
+impl Default for ExprGenParams {
+    /// The base configuration of Experiment A: `#v = 25`, `L = 200`, `R = 0`,
+    /// `#cl = 3`, `#l = 3`, `maxv = 200`.
+    fn default() -> Self {
+        ExprGenParams {
+            left_terms: 200,
+            right_terms: 0,
+            agg_left: AggOp::Min,
+            agg_right: AggOp::Min,
+            num_vars: 25,
+            clauses_per_term: 3,
+            literals_per_clause: 3,
+            max_value: 200,
+            theta: CmpOp::Le,
+            constant: 100,
+            var_probability: 0.5,
+        }
+    }
+}
+
+/// A generated workload instance: the variable table and the conditional expression.
+#[derive(Debug, Clone)]
+pub struct GeneratedExpr {
+    /// The random variables with their distributions.
+    pub vars: VarTable,
+    /// The full conditional expression `[lhs θ rhs]` of Eq. (11).
+    pub condition: SemiringExpr,
+    /// The left-hand semimodule expression.
+    pub lhs: SemimoduleExpr,
+    /// The right-hand semimodule expression (a constant when `right_terms = 0`).
+    pub rhs: SemimoduleExpr,
+}
+
+/// The deterministic random-expression generator.
+#[derive(Debug)]
+pub struct ExprGenerator {
+    params: ExprGenParams,
+    rng: StdRng,
+}
+
+impl ExprGenerator {
+    /// Create a generator with the given parameters and seed.
+    pub fn new(params: ExprGenParams, seed: u64) -> Self {
+        ExprGenerator {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &ExprGenParams {
+        &self.params
+    }
+
+    /// Generate one workload instance.
+    pub fn generate(&mut self) -> GeneratedExpr {
+        let mut vars = VarTable::new();
+        let pool: Vec<Var> = (0..self.params.num_vars)
+            .map(|i| vars.boolean(format!("v{i}"), self.params.var_probability))
+            .collect();
+
+        let lhs = self.generate_side(&pool, self.params.agg_left, self.params.left_terms);
+        let rhs = if self.params.right_terms == 0 {
+            SemimoduleExpr::constant(self.params.agg_left, MonoidValue::Fin(self.params.constant))
+        } else {
+            self.generate_side(&pool, self.params.agg_right, self.params.right_terms)
+        };
+        let condition = SemiringExpr::cmp_mm(self.params.theta, lhs.clone(), rhs.clone());
+        GeneratedExpr {
+            vars,
+            condition,
+            lhs,
+            rhs,
+        }
+    }
+
+    /// Generate one side of the comparison: `terms` semimodule terms `Φ_i ⊗ v_i`.
+    fn generate_side(&mut self, pool: &[Var], op: AggOp, terms: usize) -> SemimoduleExpr {
+        let mut expr = SemimoduleExpr::zero(op);
+        for _ in 0..terms {
+            let coeff = self.generate_term_annotation(pool);
+            let value = if op.is_count() {
+                MonoidValue::Fin(1)
+            } else {
+                MonoidValue::Fin(self.rng.gen_range(0..=self.params.max_value))
+            };
+            expr.push(coeff, value);
+        }
+        expr
+    }
+
+    /// One term's annotation `Φ_i`: a sum of `#cl` clauses, each a product of `#l`
+    /// distinct variables drawn from the pool.
+    fn generate_term_annotation(&mut self, pool: &[Var]) -> SemiringExpr {
+        let clauses: Vec<SemiringExpr> = (0..self.params.clauses_per_term)
+            .map(|_| {
+                let literals: Vec<SemiringExpr> = self
+                    .sample_distinct(pool, self.params.literals_per_clause)
+                    .into_iter()
+                    .map(SemiringExpr::Var)
+                    .collect();
+                SemiringExpr::product(literals)
+            })
+            .collect();
+        SemiringExpr::sum(clauses)
+    }
+
+    /// Sample `n` distinct variables from the pool (or all of them if `n ≥ |pool|`).
+    fn sample_distinct(&mut self, pool: &[Var], n: usize) -> Vec<Var> {
+        let n = n.min(pool.len());
+        let mut chosen: Vec<usize> = Vec::with_capacity(n);
+        while chosen.len() < n {
+            let idx = self.rng.gen_range(0..pool.len());
+            if !chosen.contains(&idx) {
+                chosen.push(idx);
+            }
+        }
+        chosen.into_iter().map(|i| pool[i]).collect()
+    }
+}
+
+/// Convenience: build a generated expression for a constant `c` on the right and the
+/// base parameters of Experiment A, overriding the aggregation and comparison.
+pub fn experiment_a_instance(
+    agg: AggOp,
+    theta: CmpOp,
+    constant: i64,
+    terms: usize,
+    seed: u64,
+) -> GeneratedExpr {
+    let params = ExprGenParams {
+        agg_left: agg,
+        theta,
+        constant,
+        left_terms: terms,
+        ..ExprGenParams::default()
+    };
+    ExprGenerator::new(params, seed).generate()
+}
+
+/// Number of distinct variables actually used by a generated expression — a sanity
+/// statistic used by tests and the harness output.
+pub fn distinct_vars_used(expr: &GeneratedExpr) -> usize {
+    expr.condition.vars().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::{SemiringKind, SemiringValue};
+    use pvc_expr::oracle;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = ExprGenParams {
+            left_terms: 10,
+            num_vars: 8,
+            ..ExprGenParams::default()
+        };
+        let a = ExprGenerator::new(params.clone(), 42).generate();
+        let b = ExprGenerator::new(params, 42).generate();
+        assert_eq!(a.condition, b.condition);
+        assert_eq!(a.lhs, b.lhs);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let params = ExprGenParams {
+            left_terms: 10,
+            num_vars: 8,
+            ..ExprGenParams::default()
+        };
+        let a = ExprGenerator::new(params.clone(), 1).generate();
+        let b = ExprGenerator::new(params, 2).generate();
+        assert_ne!(a.condition, b.condition);
+    }
+
+    #[test]
+    fn shapes_match_parameters() {
+        let params = ExprGenParams {
+            left_terms: 7,
+            right_terms: 4,
+            num_vars: 10,
+            clauses_per_term: 2,
+            literals_per_clause: 3,
+            agg_left: AggOp::Max,
+            agg_right: AggOp::Sum,
+            ..ExprGenParams::default()
+        };
+        let g = ExprGenerator::new(params, 7).generate();
+        assert_eq!(g.lhs.num_terms(), 7);
+        assert_eq!(g.rhs.num_terms(), 4);
+        assert_eq!(g.lhs.op, AggOp::Max);
+        assert_eq!(g.rhs.op, AggOp::Sum);
+        assert_eq!(g.vars.len(), 10);
+        assert!(distinct_vars_used(&g) <= 10);
+        // Every term coefficient has exactly 2 clauses of at most 3 literals each.
+        for t in &g.lhs.terms {
+            match &t.coeff {
+                SemiringExpr::Add(clauses) => {
+                    assert_eq!(clauses.len(), 2);
+                    for c in clauses {
+                        assert!(c.vars().len() <= 3);
+                    }
+                }
+                // A degenerate single clause collapses the sum.
+                other => assert!(other.vars().len() <= 3),
+            }
+        }
+    }
+
+    #[test]
+    fn count_terms_use_unit_values() {
+        let params = ExprGenParams {
+            left_terms: 5,
+            agg_left: AggOp::Count,
+            num_vars: 6,
+            ..ExprGenParams::default()
+        };
+        let g = ExprGenerator::new(params, 3).generate();
+        assert!(g.lhs.terms.iter().all(|t| t.value == MonoidValue::Fin(1)));
+    }
+
+    #[test]
+    fn one_sided_form_uses_constant() {
+        let params = ExprGenParams {
+            left_terms: 3,
+            right_terms: 0,
+            constant: 77,
+            num_vars: 6,
+            ..ExprGenParams::default()
+        };
+        let g = ExprGenerator::new(params, 9).generate();
+        assert_eq!(g.rhs.as_const(), Some(MonoidValue::Fin(77)));
+    }
+
+    #[test]
+    fn generated_expressions_are_compilable_and_correct() {
+        // Small instances: check the d-tree probability equals brute-force enumeration.
+        for (agg, theta) in [
+            (AggOp::Min, CmpOp::Le),
+            (AggOp::Max, CmpOp::Ge),
+            (AggOp::Count, CmpOp::Eq),
+            (AggOp::Sum, CmpOp::Le),
+        ] {
+            let params = ExprGenParams {
+                left_terms: 4,
+                num_vars: 6,
+                clauses_per_term: 2,
+                literals_per_clause: 2,
+                max_value: 10,
+                constant: 8,
+                agg_left: agg,
+                theta,
+                ..ExprGenParams::default()
+            };
+            let g = ExprGenerator::new(params, 11).generate();
+            let p = pvc_core::confidence(&g.condition, &g.vars, SemiringKind::Bool);
+            let expected =
+                oracle::confidence_by_enumeration(&g.condition, &g.vars, SemiringKind::Bool);
+            assert!((p - expected).abs() < 1e-9, "{agg:?} {theta:?}: {p} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn var_probability_is_respected() {
+        let params = ExprGenParams {
+            num_vars: 4,
+            left_terms: 2,
+            var_probability: 0.2,
+            ..ExprGenParams::default()
+        };
+        let g = ExprGenerator::new(params, 5).generate();
+        for v in g.vars.iter() {
+            assert!((g.vars.dist(v).prob(&SemiringValue::Bool(true)) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn experiment_a_helper() {
+        let g = experiment_a_instance(AggOp::Min, CmpOp::Le, 50, 12, 1);
+        assert_eq!(g.lhs.num_terms(), 12);
+        assert_eq!(g.rhs.as_const(), Some(MonoidValue::Fin(50)));
+    }
+}

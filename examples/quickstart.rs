@@ -1,0 +1,67 @@
+//! Quickstart: build a small probabilistic database, run an aggregate query, and read
+//! off exact tuple probabilities and aggregate-value distributions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pvc_suite::prelude::*;
+
+fn main() {
+    // 1. A probabilistic database of uncertain product offers. Every tuple is present
+    //    with the given probability, independently of the others (a tuple-independent
+    //    pvc-table).
+    let mut db = Database::new();
+    db.create_table("offers", Schema::new(["shop", "product", "price"]));
+    {
+        let (offers, vars) = db.table_and_vars_mut("offers");
+        for (shop, product, price, p) in [
+            ("M&S", "shirt", 10, 0.9),
+            ("M&S", "coat", 50, 0.6),
+            ("Gap", "shirt", 12, 0.8),
+            ("Gap", "coat", 45, 0.7),
+            ("Gap", "hat", 60, 0.3),
+        ] {
+            offers.push_independent(
+                vec![shop.into(), product.into(), (price as i64).into()],
+                p,
+                vars,
+            );
+        }
+    }
+
+    // 2. An aggregate query in the language Q: the cheapest price and the number of
+    //    offers per shop.
+    let query = Query::table("offers").group_agg(
+        ["shop"],
+        vec![
+            AggSpec::new(AggOp::Min, "price", "cheapest"),
+            AggSpec::count("offer_count"),
+        ],
+    );
+    println!("query class: {:?}", classify(&query, &db));
+
+    // 3. Evaluate: step I builds tuples with semiring/semimodule expressions, step II
+    //    compiles them into decomposition trees and computes exact distributions.
+    let result = evaluate_with_probabilities(&db, &query);
+    println!("columns: {:?}", result.columns);
+    for tuple in &result.tuples {
+        println!(
+            "\nshop = {}   P[group non-empty] = {:.4}",
+            tuple.values[0], tuple.confidence
+        );
+        for (column, dist) in &tuple.aggregate_distributions {
+            println!("  {column}: {dist}");
+        }
+    }
+
+    // 4. The same machinery is available at expression level: the probability that
+    //    the cheapest M&S offer is at most 20.
+    let table = evaluate(&db, &query);
+    let cheapest = table.tuples[1].values[1].as_agg().expect("aggregation column");
+    let condition = SemiringExpr::cmp_mm(
+        CmpOp::Le,
+        cheapest.clone(),
+        SemimoduleExpr::constant(AggOp::Min, MonoidValue::Fin(20)),
+    );
+    let p = confidence(&condition, &db.vars, db.kind);
+    println!("\nP[min price at M&S ≤ 20] = {p:.4}");
+}

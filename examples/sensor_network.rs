@@ -1,0 +1,88 @@
+//! Uncertain sensor readings: a monitoring scenario in the spirit of the paper's
+//! motivation (data acquired through measurements is inherently uncertain).
+//!
+//! A network of temperature sensors reports readings that may be spurious (each
+//! reading is only present with some probability). We ask OLAP-style questions:
+//! the exact distribution of the number of overheating readings per room, the
+//! probability that a room's maximum temperature exceeds a threshold, and the
+//! expected maximum.
+//!
+//! Run with: `cargo run --example sensor_network`
+
+use pvc_suite::prelude::*;
+
+fn main() {
+    let mut db = Database::new();
+    db.create_table("readings", Schema::new(["room", "sensor", "temperature"]));
+    {
+        let (readings, vars) = db.table_and_vars_mut("readings");
+        // (room, sensor, temperature °C, probability that the reading is genuine)
+        let data = [
+            ("server-room", 1, 71, 0.95),
+            ("server-room", 2, 68, 0.90),
+            ("server-room", 3, 93, 0.30), // probably a glitch
+            ("server-room", 4, 77, 0.85),
+            ("lab", 5, 21, 0.99),
+            ("lab", 6, 24, 0.97),
+            ("lab", 7, 55, 0.10), // almost surely a glitch
+            ("office", 8, 19, 0.99),
+            ("office", 9, 23, 0.95),
+        ];
+        for (room, sensor, temp, p) in data {
+            readings.push_independent(
+                vec![room.into(), (sensor as i64).into(), (temp as i64).into()],
+                p,
+                vars,
+            );
+        }
+    }
+
+    // How many readings above 65 °C does each room have, and how hot does it get?
+    let hot = Query::table("readings")
+        .select(Predicate::ColCmpConst(
+            "temperature".into(),
+            CmpOp::Ge,
+            Value::Int(65),
+        ))
+        .group_agg(
+            ["room"],
+            vec![
+                AggSpec::count("hot_readings"),
+                AggSpec::new(AggOp::Max, "temperature", "max_temp"),
+            ],
+        );
+    println!("query class: {:?}\n", classify(&hot, &db));
+    let result = evaluate_with_probabilities(&db, &hot);
+    for tuple in &result.tuples {
+        println!("room {}", tuple.values[0]);
+        println!("  P[at least one genuine hot reading] = {:.4}", tuple.confidence);
+        let count = &tuple.aggregate_distributions["hot_readings"];
+        println!("  distribution of #hot readings: {count}");
+        let max = &tuple.aggregate_distributions["max_temp"];
+        println!("  distribution of max temperature: {max}");
+        if let Some(moments) = pvc_suite::prob::moments(max) {
+            println!(
+                "  expected max temperature (given any hot reading): {:.2} °C (σ = {:.2})",
+                moments.mean,
+                moments.variance.sqrt()
+            );
+        }
+        println!();
+    }
+
+    // An alarm condition as a standalone expression: the probability that the
+    // server room has at least two genuine readings above 65 °C.
+    let table = evaluate(&db, &hot);
+    let server_room = table
+        .iter()
+        .find(|t| t.values[0].as_str() == Some("server-room"))
+        .expect("server-room group");
+    let count_expr = server_room.values[1].as_agg().unwrap().clone();
+    let alarm = SemiringExpr::cmp_mm(
+        CmpOp::Ge,
+        count_expr,
+        SemimoduleExpr::constant(AggOp::Count, MonoidValue::Fin(2)),
+    );
+    let p = confidence(&alarm, &db.vars, db.kind);
+    println!("P[server room has ≥ 2 genuine readings above 65 °C] = {p:.4}");
+}

@@ -1,0 +1,41 @@
+//! # pvc-suite
+//!
+//! Umbrella crate for the reproduction of *"Aggregation in Probabilistic Databases via
+//! Knowledge Compilation"* (Fink, Han, Olteanu, VLDB 2012): it re-exports the public
+//! API of all member crates so that applications can depend on a single crate.
+//!
+//! * [`algebra`] — monoids, semirings, semimodules (§2.2);
+//! * [`prob`] — discrete distributions and convolution (§2.1);
+//! * [`expr`] — semiring/semimodule expressions over random variables (Fig. 2);
+//! * [`core`] — decomposition trees and the compilation algorithm (§5);
+//! * [`db`] — pvc-tables and the query language `Q` with the `⟦·⟧` rewriting (§3–4)
+//!   plus the tractability classes of §6;
+//! * [`workload`] — the synthetic expression generator of the experiments (§7.1);
+//! * [`tpch`] — the TPC-H-like data generator and queries Q1/Q2 (§7.2).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub use pvc_algebra as algebra;
+pub use pvc_core as core;
+pub use pvc_db as db;
+pub use pvc_expr as expr;
+pub use pvc_prob as prob;
+pub use pvc_tpch as tpch;
+pub use pvc_workload as workload;
+
+/// The most commonly used items, for `use pvc_suite::prelude::*`.
+pub mod prelude {
+    pub use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
+    pub use pvc_core::{
+        compile_semimodule, compile_semiring, confidence, semimodule_distribution,
+        semiring_distribution, CompileOptions, Compiler, DTree,
+    };
+    pub use pvc_db::{
+        classify, evaluate, evaluate_with_probabilities, tuple_confidences, AggSpec, Database,
+        Predicate, ProbTuple, PvcTable, Query, QueryClass, QueryResult, Schema, Value,
+    };
+    pub use pvc_expr::{SemimoduleExpr, SemiringExpr, Var, VarTable};
+    pub use pvc_prob::{Dist, MonoidDist, SemiringDist};
+}

@@ -1,0 +1,120 @@
+//! Property-based end-to-end test: for randomly generated semiring and semimodule
+//! expressions (including conditionals, mixed monoids and Shannon-requiring variable
+//! sharing), the distribution computed via decomposition trees equals the brute-force
+//! possible-world semantics, with and without the structural decomposition rules.
+
+use proptest::prelude::*;
+use pvc_suite::expr::oracle;
+use pvc_suite::prelude::*;
+
+const NUM_VARS: usize = 6;
+
+fn make_vars(probs: &[f64]) -> VarTable {
+    let mut vars = VarTable::new();
+    for (i, p) in probs.iter().enumerate() {
+        vars.boolean(format!("x{i}"), *p);
+    }
+    vars
+}
+
+/// A strategy for random semiring expressions over `NUM_VARS` Boolean variables.
+fn semiring_expr(depth: u32) -> impl Strategy<Value = SemiringExpr> {
+    let leaf = prop_oneof![
+        (0..NUM_VARS as u32).prop_map(|i| SemiringExpr::Var(Var(i))),
+        Just(SemiringExpr::Const(SemiringValue::Bool(true))),
+        Just(SemiringExpr::Const(SemiringValue::Bool(false))),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(SemiringExpr::sum),
+            prop::collection::vec(inner, 2..4).prop_map(SemiringExpr::product),
+        ]
+    })
+}
+
+/// A strategy for random semimodule expressions (flat term lists).
+fn semimodule_expr() -> impl Strategy<Value = SemimoduleExpr> {
+    let op = prop_oneof![
+        Just(AggOp::Min),
+        Just(AggOp::Max),
+        Just(AggOp::Sum),
+        Just(AggOp::Count),
+    ];
+    (op, prop::collection::vec((semiring_expr(2), -20i64..20), 1..5)).prop_map(|(op, terms)| {
+        SemimoduleExpr::from_terms(
+            op,
+            terms
+                .into_iter()
+                .map(|(coeff, value)| {
+                    let value = if op == AggOp::Count { 1 } else { value };
+                    (coeff, MonoidValue::Fin(value))
+                })
+                .collect(),
+        )
+    })
+}
+
+fn probs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..0.95, NUM_VARS)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn semiring_dtree_matches_enumeration(expr in semiring_expr(3), probs in probs()) {
+        let vars = make_vars(&probs);
+        let by_dtree = semiring_distribution(&expr, &vars, SemiringKind::Bool);
+        let by_enum = oracle::semiring_dist_by_enumeration(&expr, &vars, SemiringKind::Bool);
+        prop_assert!(by_dtree.approx_eq(&by_enum, 1e-7), "{expr}");
+    }
+
+    #[test]
+    fn semimodule_dtree_matches_enumeration(expr in semimodule_expr(), probs in probs()) {
+        let vars = make_vars(&probs);
+        let by_dtree = semimodule_distribution(&expr, &vars, SemiringKind::Bool);
+        let by_enum = oracle::semimodule_dist_by_enumeration(&expr, &vars, SemiringKind::Bool);
+        prop_assert!(by_dtree.approx_eq(&by_enum, 1e-7), "{expr}");
+    }
+
+    #[test]
+    fn conditional_expressions_match_enumeration(
+        lhs in semimodule_expr(),
+        bound in -20i64..20,
+        theta_idx in 0usize..6,
+        probs in probs(),
+    ) {
+        let theta = [CmpOp::Eq, CmpOp::Ne, CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt][theta_idx];
+        let vars = make_vars(&probs);
+        let cond = SemiringExpr::cmp_mm(
+            theta,
+            lhs,
+            SemimoduleExpr::constant(AggOp::Min, MonoidValue::Fin(bound)),
+        );
+        let p = confidence(&cond, &vars, SemiringKind::Bool);
+        let expected = oracle::confidence_by_enumeration(&cond, &vars, SemiringKind::Bool);
+        prop_assert!((p - expected).abs() < 1e-7, "{cond}");
+    }
+
+    #[test]
+    fn shannon_only_ablation_agrees_with_full_rules(expr in semiring_expr(3), probs in probs()) {
+        let vars = make_vars(&probs);
+        let full = semiring_distribution(&expr, &vars, SemiringKind::Bool);
+        let mut shannon = Compiler::with_options(
+            &vars,
+            SemiringKind::Bool,
+            CompileOptions::shannon_only(),
+        );
+        let tree = shannon.compile_semiring(&expr).unwrap();
+        let dist = tree.semiring_distribution(&vars, SemiringKind::Bool).unwrap();
+        prop_assert!(full.approx_eq(&dist, 1e-7));
+    }
+
+    #[test]
+    fn dtree_distributions_are_proper(expr in semimodule_expr(), probs in probs()) {
+        let vars = make_vars(&probs);
+        let dist = semimodule_distribution(&expr, &vars, SemiringKind::Bool);
+        prop_assert!(dist.is_normalized());
+        prop_assert!(dist.iter().all(|(_, p)| p > 0.0 && p <= 1.0 + 1e-9));
+    }
+}
