@@ -17,7 +17,6 @@
 //!   decomposition-tree layers, operating on [`MonoidValue`].
 
 use crate::value::{MonoidValue, SemiringValue};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A commutative monoid `(M, +, 0)` (Definition 2 of the paper).
@@ -94,7 +93,7 @@ impl CommutativeMonoid for MaxExt {
 ///
 /// This is the `op` non-terminal of the Fig. 2 grammar
 /// (`op ::= min | max | count | sum | prod`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggOp {
     /// MIN aggregation — monoid `(Z ∪ {±∞}, min, +∞)`.
     Min,
@@ -109,7 +108,13 @@ pub enum AggOp {
 }
 
 /// All aggregation operators, in a stable order (useful for sweeps and tests).
-pub const ALL_AGG_OPS: [AggOp; 5] = [AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::Count, AggOp::Prod];
+pub const ALL_AGG_OPS: [AggOp; 5] = [
+    AggOp::Min,
+    AggOp::Max,
+    AggOp::Sum,
+    AggOp::Count,
+    AggOp::Prod,
+];
 
 impl AggOp {
     /// The neutral element `0_M` of this monoid.
@@ -246,9 +251,15 @@ mod tests {
         // In SUM, n ⊗ m is the n-fold sum n·m.
         assert_eq!(AggOp::Sum.scalar_action(&six, &Fin(5)), Fin(30));
         // In PROD, n ⊗ m is m^n.
-        assert_eq!(AggOp::Prod.scalar_action(&SemiringValue::Nat(3), &Fin(2)), Fin(8));
+        assert_eq!(
+            AggOp::Prod.scalar_action(&SemiringValue::Nat(3), &Fin(2)),
+            Fin(8)
+        );
         // Zero multiplicity always yields the neutral element.
-        assert_eq!(AggOp::Sum.scalar_action(&SemiringValue::Nat(0), &Fin(5)), Fin(0));
+        assert_eq!(
+            AggOp::Sum.scalar_action(&SemiringValue::Nat(0), &Fin(5)),
+            Fin(0)
+        );
     }
 
     #[test]

@@ -247,8 +247,14 @@ mod tests {
         let q = x(2).mul(&x(2)).add(&x(1));
         let valuation = |v: PolyVar| -> u64 { (v.0 as u64) + 1 };
         // hom(p + q) = hom(p) + hom(q) and hom(p·q) = hom(p)·hom(q).
-        assert_eq!(p.add(&q).eval(&valuation), p.eval(&valuation) + q.eval(&valuation));
-        assert_eq!(p.mul(&q).eval(&valuation), p.eval(&valuation) * q.eval(&valuation));
+        assert_eq!(
+            p.add(&q).eval(&valuation),
+            p.eval(&valuation) + q.eval(&valuation)
+        );
+        assert_eq!(
+            p.mul(&q).eval(&valuation),
+            p.eval(&valuation) * q.eval(&valuation)
+        );
         // Spot-check the actual value: x1=2, x2=3, x3=4 ⇒ 2·(3+4)+2 = 16.
         assert_eq!(p.eval(&valuation), 16);
     }

@@ -62,11 +62,8 @@ impl PosBool {
     /// Remove clauses that are supersets of other clauses (absorption law).
     fn absorb(mut self) -> Self {
         let clauses: Vec<_> = self.clauses.iter().cloned().collect();
-        self.clauses.retain(|c| {
-            !clauses
-                .iter()
-                .any(|other| other != c && other.is_subset(c))
-        });
+        self.clauses
+            .retain(|c| !clauses.iter().any(|other| other != c && other.is_subset(c)));
         self
     }
 }
@@ -186,10 +183,7 @@ mod tests {
     fn canonical_form_respects_logical_equivalence() {
         // Two structurally different ways to write the same monotone function.
         let e1 = x(1).mul(&x(2).add(&x(3))).add(&x(2).mul(&x(3)));
-        let e2 = x(1)
-            .mul(&x(2))
-            .add(&x(1).mul(&x(3)))
-            .add(&x(2).mul(&x(3)));
+        let e2 = x(1).mul(&x(2)).add(&x(1).mul(&x(3))).add(&x(2).mul(&x(3)));
         assert_eq!(e1, e2);
         // And evaluation agrees on all assignments of the three variables.
         for bits in 0..8u32 {

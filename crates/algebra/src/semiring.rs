@@ -246,8 +246,8 @@ mod tests {
     fn sums_and_products() {
         assert_eq!(u64::sum([1, 2, 3]), 6);
         assert_eq!(u64::product([2, 3, 4]), 24);
-        assert_eq!(bool::sum([false, false, true]), true);
-        assert_eq!(bool::product([true, true, false]), false);
+        assert!(bool::sum([false, false, true]));
+        assert!(!bool::product([true, true, false]));
         assert!(u64::sum(std::iter::empty::<u64>()).is_zero());
         assert!(u64::product(std::iter::empty::<u64>()).is_one());
     }

@@ -14,7 +14,6 @@
 //! semimodule sub-expressions. The generic trait formulation lives in
 //! [`crate::semiring`] / [`crate::monoid`] and is law-checked by property tests.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -22,7 +21,7 @@ use std::fmt;
 ///
 /// `Bool` gives set semantics, `Nat` gives bag semantics (tuple multiplicities); see
 /// Table 1 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SemiringKind {
     /// The Boolean semiring `(B, ∨, ⊥, ∧, ⊤)`.
     Bool,
@@ -58,7 +57,7 @@ impl fmt::Display for SemiringKind {
 }
 
 /// An element of a concrete annotation semiring (`B` or `N`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SemiringValue {
     /// An element of the Boolean semiring.
     Bool(bool),
@@ -147,7 +146,7 @@ impl From<u64> for SemiringValue {
 ///
 /// `+∞` is the neutral element of MIN and `−∞` the neutral element of MAX
 /// (cf. §2.2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MonoidValue {
     /// Negative infinity — neutral element of the MAX monoid.
     NegInf,
@@ -234,7 +233,7 @@ impl From<i64> for MonoidValue {
 }
 
 /// A comparison operator `θ` used in conditional expressions `[α θ β]` (Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equality `=`.
     Eq,
@@ -360,7 +359,10 @@ mod tests {
         assert!(MonoidValue::NegInf < MonoidValue::Fin(i64::MIN));
         assert!(MonoidValue::Fin(i64::MAX) < MonoidValue::PosInf);
         assert!(MonoidValue::Fin(3) < MonoidValue::Fin(4));
-        assert_eq!(MonoidValue::PosInf.cmp(&MonoidValue::PosInf), Ordering::Equal);
+        assert_eq!(
+            MonoidValue::PosInf.cmp(&MonoidValue::PosInf),
+            Ordering::Equal
+        );
     }
 
     #[test]
@@ -389,7 +391,14 @@ mod tests {
     fn cmp_op_eval_flip_negate() {
         assert!(CmpOp::Le.eval(&1, &2));
         assert!(!CmpOp::Gt.eval(&1, &2));
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Le,
+            CmpOp::Ge,
+            CmpOp::Lt,
+            CmpOp::Gt,
+        ] {
             for a in -2..3i64 {
                 for b in -2..3i64 {
                     assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a), "{op:?} {a} {b}");

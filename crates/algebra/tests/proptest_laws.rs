@@ -1,158 +1,220 @@
 //! Property-based tests of the algebraic laws (Definitions 2–4 of the paper) on
 //! randomly generated elements.
+//!
+//! The properties are checked over a deterministic, seeded stream of random cases
+//! (no external property-testing framework): every run exercises the same cases,
+//! and a failing case is reported with the index that produced it.
 
-use proptest::prelude::*;
 use pvc_algebra::{
-    check_semimodule_laws, check_semiring_laws, CommutativeMonoid, MaxExt, MinExt,
-    MonoidValue, PolyVar, Polynomial, PosBool, Semiring, SemiringValue, SumNat, ALL_AGG_OPS,
+    check_semimodule_laws, check_semiring_laws, CommutativeMonoid, MaxExt, MinExt, MonoidValue,
+    PolyVar, Polynomial, PosBool, Semiring, SemiringValue, SumNat, ALL_AGG_OPS,
 };
+use pvc_prob::SeededRng;
 
-fn small_poly() -> impl Strategy<Value = Polynomial> {
-    // Random polynomial: sum of up to 4 monomials of up to 3 variables from x0..x4.
-    prop::collection::vec(
-        (prop::collection::vec(0u32..5, 0..3), 1u64..3),
-        0..4,
-    )
-    .prop_map(|terms| {
-        let mut acc = Polynomial::zero();
-        for (vars, coeff) in terms {
-            let mut mono = Polynomial::constant(coeff);
-            for v in vars {
-                mono = mono.mul(&Polynomial::var(PolyVar(v)));
-            }
-            acc = acc.add(&mono);
+const CASES: u64 = 128;
+
+/// Random polynomial: sum of up to 4 monomials of up to 3 variables from x0..x4.
+fn small_poly(rng: &mut SeededRng) -> Polynomial {
+    let mut acc = Polynomial::zero();
+    for _ in 0..rng.gen_range(0usize..4) {
+        let mut mono = Polynomial::constant(rng.gen_range(1u32..3) as u64);
+        for _ in 0..rng.gen_range(0usize..3) {
+            mono = mono.mul(&Polynomial::var(PolyVar(rng.gen_range(0u32..5))));
         }
-        acc
-    })
+        acc = acc.add(&mono);
+    }
+    acc
 }
 
-fn small_posbool() -> impl Strategy<Value = PosBool> {
-    prop::collection::vec(prop::collection::vec(0u32..5, 0..3), 0..4).prop_map(|clauses| {
-        let mut acc = PosBool::zero();
-        for clause in clauses {
-            let mut term = PosBool::one();
-            for v in clause {
-                term = term.mul(&PosBool::var(PolyVar(v)));
-            }
-            acc = acc.add(&term);
+/// Random positive Boolean expression: a DNF of up to 4 clauses of up to 3 literals.
+fn small_posbool(rng: &mut SeededRng) -> PosBool {
+    let mut acc = PosBool::zero();
+    for _ in 0..rng.gen_range(0usize..4) {
+        let mut term = PosBool::one();
+        for _ in 0..rng.gen_range(0usize..3) {
+            term = term.mul(&PosBool::var(PolyVar(rng.gen_range(0u32..5))));
         }
-        acc
-    })
+        acc = acc.add(&term);
+    }
+    acc
 }
 
-proptest! {
-    #[test]
-    fn natural_semiring_laws(a in 0u64..50, b in 0u64..50, c in 0u64..50) {
-        prop_assert!(check_semiring_laws(&a, &b, &c).is_ok());
+#[test]
+fn natural_semiring_laws() {
+    let mut rng = SeededRng::seed_from_u64(0xA1);
+    for case in 0..CASES {
+        let (a, b, c) = (
+            rng.gen_range(0i64..50) as u64,
+            rng.gen_range(0i64..50) as u64,
+            rng.gen_range(0i64..50) as u64,
+        );
+        assert!(
+            check_semiring_laws(&a, &b, &c).is_ok(),
+            "case {case}: ({a}, {b}, {c})"
+        );
     }
+}
 
-    #[test]
-    fn polynomial_semiring_laws(a in small_poly(), b in small_poly(), c in small_poly()) {
-        prop_assert!(check_semiring_laws(&a, &b, &c).is_ok());
+#[test]
+fn polynomial_semiring_laws() {
+    let mut rng = SeededRng::seed_from_u64(0xA2);
+    for case in 0..CASES {
+        let (a, b, c) = (
+            small_poly(&mut rng),
+            small_poly(&mut rng),
+            small_poly(&mut rng),
+        );
+        assert!(
+            check_semiring_laws(&a, &b, &c).is_ok(),
+            "case {case}: ({a:?}, {b:?}, {c:?})"
+        );
     }
+}
 
-    #[test]
-    fn posbool_semiring_laws(a in small_posbool(), b in small_posbool(), c in small_posbool()) {
-        prop_assert!(check_semiring_laws(&a, &b, &c).is_ok());
+#[test]
+fn posbool_semiring_laws() {
+    let mut rng = SeededRng::seed_from_u64(0xA3);
+    for case in 0..CASES {
+        let (a, b, c) = (
+            small_posbool(&mut rng),
+            small_posbool(&mut rng),
+            small_posbool(&mut rng),
+        );
+        assert!(
+            check_semiring_laws(&a, &b, &c).is_ok(),
+            "case {case}: ({a:?}, {b:?}, {c:?})"
+        );
     }
+}
 
-    #[test]
-    fn polynomial_eval_is_homomorphism(
-        a in small_poly(),
-        b in small_poly(),
-        vals in prop::collection::vec(0u64..5, 5),
-    ) {
+#[test]
+fn polynomial_eval_is_homomorphism() {
+    let mut rng = SeededRng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let a = small_poly(&mut rng);
+        let b = small_poly(&mut rng);
+        let vals: Vec<u64> = (0..5).map(|_| rng.gen_range(0i64..5) as u64).collect();
         let valuation = |v: PolyVar| vals[v.0 as usize % vals.len()];
-        prop_assert_eq!(a.add(&b).eval(&valuation), a.eval(&valuation) + b.eval(&valuation));
-        prop_assert_eq!(a.mul(&b).eval(&valuation), a.eval(&valuation) * b.eval(&valuation));
+        assert_eq!(
+            a.add(&b).eval(&valuation),
+            a.eval(&valuation) + b.eval(&valuation)
+        );
+        assert_eq!(
+            a.mul(&b).eval(&valuation),
+            a.eval(&valuation) * b.eval(&valuation)
+        );
     }
+}
 
-    #[test]
-    fn posbool_eval_agrees_with_polynomial_support(
-        a in small_posbool(),
-        bits in 0u32..32,
-    ) {
-        // Evaluating the canonical DNF is monotone: adding true variables never
-        // turns a true expression false.
+#[test]
+fn posbool_eval_is_monotone() {
+    // Evaluating the canonical DNF is monotone: adding true variables never turns a
+    // true expression false.
+    let mut rng = SeededRng::seed_from_u64(0xA5);
+    for _ in 0..CASES {
+        let a = small_posbool(&mut rng);
+        let bits = (rng.next_u64() & 0xFFFF_FFFF) as u32;
         let truth = |v: PolyVar| bits & (1 << v.0) != 0;
         let all_true = |_: PolyVar| true;
         if a.eval(&truth) {
-            prop_assert!(a.eval(&all_true));
+            assert!(a.eval(&all_true));
         }
     }
+}
 
-    #[test]
-    fn semimodule_laws_sum_nat(s1 in 0u64..10, s2 in 0u64..10, m1 in 0u64..10, m2 in 0u64..10) {
-        prop_assert!(
-            check_semimodule_laws(&s1, &s2, &SumNat(m1), &SumNat(m2)).is_ok()
-        );
+#[test]
+fn semimodule_laws_sum_nat() {
+    let mut rng = SeededRng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let s1 = rng.gen_range(0i64..10) as u64;
+        let s2 = rng.gen_range(0i64..10) as u64;
+        let m1 = SumNat(rng.gen_range(0i64..10) as u64);
+        let m2 = SumNat(rng.gen_range(0i64..10) as u64);
+        assert!(check_semimodule_laws(&s1, &s2, &m1, &m2).is_ok());
     }
+}
 
-    #[test]
-    fn semimodule_laws_min_max_bool(
-        s1 in any::<bool>(), s2 in any::<bool>(), m1 in -20i64..20, m2 in -20i64..20,
-    ) {
-        prop_assert!(check_semimodule_laws(
-            &s1, &s2, &MinExt(MonoidValue::Fin(m1)), &MinExt(MonoidValue::Fin(m2))).is_ok());
-        prop_assert!(check_semimodule_laws(
-            &s1, &s2, &MaxExt(MonoidValue::Fin(m1)), &MaxExt(MonoidValue::Fin(m2))).is_ok());
+#[test]
+fn semimodule_laws_min_max_bool() {
+    let mut rng = SeededRng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let s1 = rng.next_u64() & 1 == 1;
+        let s2 = rng.next_u64() & 1 == 1;
+        let m1 = rng.gen_range(-20i64..20);
+        let m2 = rng.gen_range(-20i64..20);
+        assert!(check_semimodule_laws(
+            &s1,
+            &s2,
+            &MinExt(MonoidValue::Fin(m1)),
+            &MinExt(MonoidValue::Fin(m2))
+        )
+        .is_ok());
+        assert!(check_semimodule_laws(
+            &s1,
+            &s2,
+            &MaxExt(MonoidValue::Fin(m1)),
+            &MaxExt(MonoidValue::Fin(m2))
+        )
+        .is_ok());
     }
+}
 
-    #[test]
-    fn agg_op_monoid_laws(
-        op_idx in 0usize..5,
-        a in -20i64..20,
-        b in -20i64..20,
-        c in -20i64..20,
-    ) {
-        let op = ALL_AGG_OPS[op_idx];
-        let (a, b, c) = (MonoidValue::Fin(a), MonoidValue::Fin(b), MonoidValue::Fin(c));
+#[test]
+fn agg_op_monoid_laws() {
+    let mut rng = SeededRng::seed_from_u64(0xA8);
+    for _ in 0..CASES {
+        let op = ALL_AGG_OPS[rng.gen_range(0usize..ALL_AGG_OPS.len())];
+        let a = MonoidValue::Fin(rng.gen_range(-20i64..20));
+        let b = MonoidValue::Fin(rng.gen_range(-20i64..20));
+        let c = MonoidValue::Fin(rng.gen_range(-20i64..20));
         // Commutativity, associativity, identity.
-        prop_assert_eq!(op.combine(&a, &b), op.combine(&b, &a));
-        prop_assert_eq!(
+        assert_eq!(op.combine(&a, &b), op.combine(&b, &a));
+        assert_eq!(
             op.combine(&op.combine(&a, &b), &c),
             op.combine(&a, &op.combine(&b, &c))
         );
-        prop_assert_eq!(op.combine(&a, &op.identity()), a);
+        assert_eq!(op.combine(&a, &op.identity()), a);
     }
+}
 
-    #[test]
-    fn scalar_action_distributes_over_semiring_sum(
-        op_idx in 0usize..5,
-        n1 in 0u64..5,
-        n2 in 0u64..5,
-        m in -10i64..10,
-    ) {
-        // (s1 +S s2) ⊗ m  =  s1 ⊗ m  +M  s2 ⊗ m  for the N-semimodules.
-        let op = ALL_AGG_OPS[op_idx];
-        let m = MonoidValue::Fin(m);
-        let s1 = SemiringValue::Nat(n1);
-        let s2 = SemiringValue::Nat(n2);
+#[test]
+fn scalar_action_distributes_over_semiring_sum() {
+    // (s1 +S s2) ⊗ m = s1 ⊗ m +M s2 ⊗ m for the N-semimodules.
+    let mut rng = SeededRng::seed_from_u64(0xA9);
+    for _ in 0..CASES {
+        let op = ALL_AGG_OPS[rng.gen_range(0usize..ALL_AGG_OPS.len())];
+        let m = MonoidValue::Fin(rng.gen_range(-10i64..10));
+        let s1 = SemiringValue::Nat(rng.gen_range(0i64..5) as u64);
+        let s2 = SemiringValue::Nat(rng.gen_range(0i64..5) as u64);
         let lhs = op.scalar_action(&s1.add(&s2), &m);
         let rhs = op.combine(&op.scalar_action(&s1, &m), &op.scalar_action(&s2, &m));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn scalar_action_compatible_with_semiring_product(
-        op_idx in 0usize..5,
-        n1 in 0u64..4,
-        n2 in 0u64..4,
-        m in -6i64..6,
-    ) {
-        // (s1 ·S s2) ⊗ m = s1 ⊗ (s2 ⊗ m).
-        let op = ALL_AGG_OPS[op_idx];
-        let m = MonoidValue::Fin(m);
-        let s1 = SemiringValue::Nat(n1);
-        let s2 = SemiringValue::Nat(n2);
+#[test]
+fn scalar_action_compatible_with_semiring_product() {
+    // (s1 ·S s2) ⊗ m = s1 ⊗ (s2 ⊗ m).
+    let mut rng = SeededRng::seed_from_u64(0xAA);
+    for _ in 0..CASES {
+        let op = ALL_AGG_OPS[rng.gen_range(0usize..ALL_AGG_OPS.len())];
+        let m = MonoidValue::Fin(rng.gen_range(-6i64..6));
+        let s1 = SemiringValue::Nat(rng.gen_range(0i64..4) as u64);
+        let s2 = SemiringValue::Nat(rng.gen_range(0i64..4) as u64);
         let lhs = op.scalar_action(&s1.mul(&s2), &m);
         let rhs = op.scalar_action(&s1, &op.scalar_action(&s2, &m));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn generic_monoid_fold_matches_iterated_plus(values in prop::collection::vec(0u64..30, 0..8)) {
+#[test]
+fn generic_monoid_fold_matches_iterated_plus() {
+    let mut rng = SeededRng::seed_from_u64(0xAB);
+    for _ in 0..CASES {
+        let values: Vec<u64> = (0..rng.gen_range(0usize..8))
+            .map(|_| rng.gen_range(0i64..30) as u64)
+            .collect();
         let folded = SumNat::sum(values.iter().map(|v| SumNat(*v)));
-        prop_assert_eq!(folded.0, values.iter().sum::<u64>());
+        assert_eq!(folded.0, values.iter().sum::<u64>());
     }
 }

@@ -1,8 +1,10 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md: the structural
 //! decomposition rules vs pure Shannon expansion, and pruning on vs off.
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench ablation`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_bench::bench_case;
 use pvc_core::{CompileOptions, Compiler};
 use pvc_workload::{ExprGenParams, ExprGenerator, GeneratedExpr};
 
@@ -17,9 +19,7 @@ fn confidence_with(gen: &GeneratedExpr, options: CompileOptions) -> f64 {
         .sum()
 }
 
-fn bench_rules_vs_shannon(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_rules");
-    group.sample_size(10);
+fn bench_rules_vs_shannon() {
     let params = ExprGenParams {
         agg_left: AggOp::Min,
         theta: CmpOp::Le,
@@ -31,18 +31,15 @@ fn bench_rules_vs_shannon(c: &mut Criterion) {
         ..ExprGenParams::default()
     };
     let gen = ExprGenerator::new(params, 3).generate();
-    group.bench_with_input(BenchmarkId::new("full_rules", 40), &gen, |b, gen| {
-        b.iter(|| confidence_with(gen, CompileOptions::default()))
+    bench_case("ablation_rules/full_rules", 10, || {
+        confidence_with(&gen, CompileOptions::default());
     });
-    group.bench_with_input(BenchmarkId::new("shannon_only", 40), &gen, |b, gen| {
-        b.iter(|| confidence_with(gen, CompileOptions::shannon_only()))
+    bench_case("ablation_rules/shannon_only", 10, || {
+        confidence_with(&gen, CompileOptions::shannon_only());
     });
-    group.finish();
 }
 
-fn bench_pruning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_pruning");
-    group.sample_size(10);
+fn bench_pruning() {
     let params = ExprGenParams {
         agg_left: AggOp::Min,
         theta: CmpOp::Le,
@@ -57,14 +54,16 @@ fn bench_pruning(c: &mut Criterion) {
         pruning: false,
         ..CompileOptions::default()
     };
-    group.bench_with_input(BenchmarkId::new("pruning_on", 60), &gen, |b, gen| {
-        b.iter(|| confidence_with(gen, CompileOptions::default()))
+    bench_case("ablation_pruning/pruning_on", 10, || {
+        confidence_with(&gen, CompileOptions::default());
     });
-    group.bench_with_input(BenchmarkId::new("pruning_off", 60), &gen, |b, gen| {
-        b.iter(|| confidence_with(gen, no_pruning.clone()))
+    bench_case("ablation_pruning/pruning_off", 10, || {
+        confidence_with(&gen, no_pruning.clone());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_rules_vs_shannon, bench_pruning);
-criterion_main!(benches);
+fn main() {
+    println!("ablation benchmarks");
+    bench_rules_vs_shannon();
+    bench_pruning();
+}

@@ -1,14 +1,15 @@
-//! Criterion bench for Experiment A (Figure 7): probability computation of one-sided
+//! Bench for Experiment A (Figure 7): probability computation of one-sided
 //! conditional expressions while varying the comparison constant `c`, for each
 //! aggregation monoid. Representative (scaled-down) points of the paper's sweep.
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench experiment_a`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_bench::bench_case;
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
-fn bench_experiment_a(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment_a");
-    group.sample_size(10);
+fn main() {
+    println!("experiment_a: one-sided conditionals, varying the constant c");
     for agg in [AggOp::Min, AggOp::Max, AggOp::Count, AggOp::Sum] {
         let (terms, vars, maxv, constants): (usize, usize, i64, Vec<i64>) = match agg {
             AggOp::Min | AggOp::Max => (60, 16, 200, vec![40, 120, 240]),
@@ -25,17 +26,9 @@ fn bench_experiment_a(c: &mut Criterion) {
                 ..ExprGenParams::default()
             };
             let gen = ExprGenerator::new(params, 7).generate();
-            group.bench_with_input(
-                BenchmarkId::new(format!("{agg}"), constant),
-                &gen,
-                |b, gen| {
-                    b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
-                },
-            );
+            bench_case(&format!("{agg}/c={constant}"), 10, || {
+                pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool);
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiment_a);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
-//! Criterion bench for Experiment B (Figure 8b): varying the number of terms at a
-//! fixed number of variables.
+//! Bench for Experiment B (Figure 8b): varying the number of terms at a fixed
+//! number of variables.
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench experiment_b`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_bench::bench_case;
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
-fn bench_experiment_b(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment_b");
-    group.sample_size(10);
+fn main() {
+    println!("experiment_b: varying the number of terms L");
     for agg in [AggOp::Min, AggOp::Max] {
         for terms in [25usize, 100, 400] {
             let params = ExprGenParams {
@@ -19,13 +20,9 @@ fn bench_experiment_b(c: &mut Criterion) {
                 ..ExprGenParams::default()
             };
             let gen = ExprGenerator::new(params, 11).generate();
-            group.bench_with_input(BenchmarkId::new(format!("{agg}"), terms), &gen, |b, gen| {
-                b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+            bench_case(&format!("{agg}/L={terms}"), 10, || {
+                pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool);
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiment_b);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
-//! Criterion bench for Experiment C (Figure 8a): the easy/hard/easy phase transition
-//! when varying the number of distinct variables at fixed expression size.
+//! Bench for Experiment C (Figure 8a): the easy/hard/easy phase transition when
+//! varying the number of distinct variables at fixed expression size.
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench experiment_c`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_bench::bench_case;
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
-fn bench_experiment_c(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment_c");
-    group.sample_size(10);
+fn main() {
+    println!("experiment_c: varying the number of distinct variables");
     for num_vars in [6usize, 14, 32, 64] {
         let params = ExprGenParams {
             agg_left: AggOp::Min,
@@ -21,12 +22,8 @@ fn bench_experiment_c(c: &mut Criterion) {
             ..ExprGenParams::default()
         };
         let gen = ExprGenerator::new(params, 13).generate();
-        group.bench_with_input(BenchmarkId::from_parameter(num_vars), &gen, |b, gen| {
-            b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+        bench_case(&format!("#v={num_vars}"), 10, || {
+            pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiment_c);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
-//! Criterion bench for Experiment D (Figure 9): varying the number of literals per
-//! clause and clauses per term.
+//! Bench for Experiment D (Figure 9): varying the number of literals per clause and
+//! clauses per term.
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench experiment_d`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_bench::bench_case;
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
-fn bench_experiment_d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment_d");
-    group.sample_size(10);
+fn main() {
+    println!("experiment_d: varying clause shape");
     let base = ExprGenParams {
         agg_left: AggOp::Min,
         theta: CmpOp::Le,
@@ -24,8 +25,8 @@ fn bench_experiment_d(c: &mut Criterion) {
             ..base.clone()
         };
         let gen = ExprGenerator::new(params, 17).generate();
-        group.bench_with_input(BenchmarkId::new("literals", literals), &gen, |b, gen| {
-            b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+        bench_case(&format!("literals/#l={literals}"), 10, || {
+            pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool);
         });
     }
     for clauses in [1usize, 3, 8] {
@@ -35,12 +36,8 @@ fn bench_experiment_d(c: &mut Criterion) {
             ..base.clone()
         };
         let gen = ExprGenerator::new(params, 19).generate();
-        group.bench_with_input(BenchmarkId::new("clauses", clauses), &gen, |b, gen| {
-            b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
+        bench_case(&format!("clauses/#cl={clauses}"), 10, || {
+            pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiment_d);
-criterion_main!(benches);

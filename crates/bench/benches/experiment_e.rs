@@ -1,13 +1,14 @@
-//! Criterion bench for Experiment E (Figure 10): two-sided expressions with different
+//! Bench for Experiment E (Figure 10): two-sided expressions with different
 //! aggregation monoids on each side.
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench experiment_e`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_bench::bench_case;
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
-fn bench_experiment_e(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment_e");
-    group.sample_size(10);
+fn main() {
+    println!("experiment_e: two-sided conditionals");
     for (agg_l, agg_r) in [
         (AggOp::Min, AggOp::Max),
         (AggOp::Min, AggOp::Count),
@@ -28,17 +29,9 @@ fn bench_experiment_e(c: &mut Criterion) {
                 ..ExprGenParams::default()
             };
             let gen = ExprGenerator::new(params, 23).generate();
-            group.bench_with_input(
-                BenchmarkId::new(format!("{agg_l}_{agg_r}"), left_terms),
-                &gen,
-                |b, gen| {
-                    b.iter(|| pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool))
-                },
-            );
+            bench_case(&format!("{agg_l}_{agg_r}/L={left_terms}"), 10, || {
+                pvc_core::confidence(&gen.condition, &gen.vars, SemiringKind::Bool);
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiment_e);
-criterion_main!(benches);

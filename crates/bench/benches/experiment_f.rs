@@ -1,25 +1,26 @@
-//! Criterion bench for Experiment F (Figure 11): TPC-H-like queries Q1 and Q2,
-//! separating expression construction (⟦·⟧) from probability computation (P(·)).
+//! Bench for Experiment F (Figure 11): TPC-H-like queries Q1 and Q2, separating
+//! expression construction (⟦·⟧) from probability computation (P(·)).
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench experiment_f`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pvc_db::{evaluate, tuple_confidences};
+use pvc_bench::bench_case;
+use pvc_db::{try_evaluate, try_tuple_confidences};
 use pvc_tpch::{generate, q1, q2, TpchConfig};
 
-fn bench_experiment_f(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment_f");
-    group.sample_size(10);
+fn main() {
+    println!("experiment_f: TPC-H-like Q1/Q2, rewrite vs probability phases");
     for sf in [0.005f64, 0.02] {
         let db = generate(&TpchConfig {
             scale_factor: sf,
             ..TpchConfig::default()
         });
         let query = q1(1_800);
-        group.bench_with_input(BenchmarkId::new("q1_rewrite", sf), &db, |b, db| {
-            b.iter(|| evaluate(db, &query))
+        bench_case(&format!("q1_rewrite/sf={sf}"), 10, || {
+            try_evaluate(&db, &query).expect("Q1 evaluates");
         });
-        let table = evaluate(&db, &query);
-        group.bench_with_input(BenchmarkId::new("q1_probability", sf), &db, |b, db| {
-            b.iter(|| tuple_confidences(db, &table))
+        let table = try_evaluate(&db, &query).expect("Q1 evaluates");
+        bench_case(&format!("q1_probability/sf={sf}"), 10, || {
+            try_tuple_confidences(&db, &table).expect("Q1 confidences");
         });
     }
     for sf in [0.1f64, 0.25] {
@@ -28,16 +29,12 @@ fn bench_experiment_f(c: &mut Criterion) {
             ..TpchConfig::default()
         });
         let query = q2("ASIA", 25);
-        group.bench_with_input(BenchmarkId::new("q2_rewrite", sf), &db, |b, db| {
-            b.iter(|| evaluate(db, &query))
+        bench_case(&format!("q2_rewrite/sf={sf}"), 10, || {
+            try_evaluate(&db, &query).expect("Q2 evaluates");
         });
-        let table = evaluate(&db, &query);
-        group.bench_with_input(BenchmarkId::new("q2_probability", sf), &db, |b, db| {
-            b.iter(|| tuple_confidences(db, &table))
+        let table = try_evaluate(&db, &query).expect("Q2 evaluates");
+        bench_case(&format!("q2_probability/sf={sf}"), 10, || {
+            try_tuple_confidences(&db, &table).expect("Q2 confidences");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiment_f);
-criterion_main!(benches);

@@ -1,25 +1,24 @@
-//! Micro-benchmarks of the core building blocks: convolution, read-once compilation,
-//! Shannon expansion and the Figure 1 end-to-end query.
+//! Micro-benchmarks of the core building blocks: convolution, read-once compilation
+//! and aggregate-distribution computation.
+//!
+//! A plain `fn main()` timing harness (`cargo bench --bench micro`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pvc_algebra::{AggOp, MonoidValue, SemiringKind};
+use pvc_bench::bench_case;
 use pvc_expr::{SemimoduleExpr, SemiringExpr, VarTable};
 use pvc_prob::Dist;
 
-fn bench_convolution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("convolution");
+fn bench_convolution() {
     for size in [16usize, 64, 256] {
         let a: Dist<i64> = Dist::from_pairs((0..size as i64).map(|v| (v, 1.0 / size as f64)));
         let b = a.clone();
-        group.bench_with_input(BenchmarkId::new("sum", size), &(a, b), |bench, (a, b)| {
-            bench.iter(|| a.convolve(b, |x, y| x + y))
+        bench_case(&format!("convolution/sum/{size}"), 10, || {
+            a.convolve(&b, |x, y| x + y);
         });
     }
-    group.finish();
 }
 
-fn bench_read_once_compilation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("read_once_compile");
+fn bench_read_once_compilation() {
     for groups in [10usize, 50, 200] {
         // Hierarchical provenance: x_i (y_{i,1} + y_{i,2} + y_{i,3}).
         let mut vars = VarTable::new();
@@ -32,15 +31,13 @@ fn bench_read_once_compilation(c: &mut Criterion) {
             }
         }
         let expr = SemiringExpr::sum(summands);
-        group.bench_with_input(BenchmarkId::from_parameter(groups), &(expr, vars), |b, (expr, vars)| {
-            b.iter(|| pvc_core::confidence(expr, vars, SemiringKind::Bool))
+        bench_case(&format!("read_once_compile/{groups}"), 10, || {
+            pvc_core::confidence(&expr, &vars, SemiringKind::Bool);
         });
     }
-    group.finish();
 }
 
-fn bench_min_aggregate_distribution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("min_aggregate_distribution");
+fn bench_min_aggregate_distribution() {
     for terms in [50usize, 200, 800] {
         let mut vars = VarTable::new();
         let expr = SemimoduleExpr::from_terms(
@@ -52,17 +49,15 @@ fn bench_min_aggregate_distribution(c: &mut Criterion) {
                 })
                 .collect(),
         );
-        group.bench_with_input(BenchmarkId::from_parameter(terms), &(expr, vars), |b, (expr, vars)| {
-            b.iter(|| pvc_core::semimodule_distribution(expr, vars, SemiringKind::Bool))
+        bench_case(&format!("min_aggregate_distribution/{terms}"), 10, || {
+            pvc_core::semimodule_distribution(&expr, &vars, SemiringKind::Bool);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_convolution,
-    bench_read_once_compilation,
-    bench_min_aggregate_distribution
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro benchmarks");
+    bench_convolution();
+    bench_read_once_compilation();
+    bench_min_aggregate_distribution();
+}

@@ -1,0 +1,48 @@
+//! Emits a machine-readable JSON baseline of Experiments A and B (quick scale) on
+//! stdout. The committed `BENCH_baseline.json` at the repository root is produced by
+//! this binary; future PRs re-run it to track the perf trajectory:
+//!
+//! ```text
+//! cargo run --release --bin baseline > BENCH_baseline.json
+//! ```
+
+use pvc_bench::experiments::SweepRow;
+use pvc_bench::Scale;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn rows_json(rows: &[SweepRow], out: &mut String) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"series\": \"{}\", \"x\": {}, \"mean_s\": {:.6}, \"std_s\": {:.6}, \"runs\": {}}}",
+            escape(&row.series),
+            row.x,
+            row.measurement.mean_seconds,
+            row.measurement.std_seconds,
+            row.measurement.runs
+        ));
+    }
+    out.push_str("\n  ]");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running experiments A and B at {scale:?} scale ...");
+    let a = pvc_bench::experiment_a(scale);
+    let b = pvc_bench::experiment_b(scale);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str("  \"experiment_a\": ");
+    rows_json(&a, &mut out);
+    out.push_str(",\n  \"experiment_b\": ");
+    rows_json(&b, &mut out);
+    out.push_str("\n}\n");
+    print!("{out}");
+}

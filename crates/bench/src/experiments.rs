@@ -8,7 +8,7 @@
 use crate::stats::{timed_over_seeds, Measurement};
 use pvc_algebra::{AggOp, CmpOp, SemiringKind};
 use pvc_core::{CompileOptions, Compiler};
-use pvc_db::evaluate;
+use pvc_db::{try_evaluate, Engine, EvalOptions};
 use pvc_tpch::{deterministic_copy, generate, TpchConfig};
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
@@ -40,7 +40,8 @@ impl Scale {
 /// Compile a generated conditional expression and compute its probability; the timed
 /// unit of work of Experiments A–E.
 fn compile_and_probability(gen: &pvc_workload::GeneratedExpr) -> f64 {
-    let mut compiler = Compiler::with_options(&gen.vars, SemiringKind::Bool, CompileOptions::default());
+    let mut compiler =
+        Compiler::with_options(&gen.vars, SemiringKind::Bool, CompileOptions::default());
     let tree = compiler
         .compile_semiring(&gen.condition)
         .expect("no node budget configured");
@@ -256,7 +257,11 @@ pub fn experiment_d(scale: Scale) -> Vec<SweepRow> {
     let aggs = [AggOp::Min, AggOp::Max, AggOp::Count, AggOp::Sum];
     let mut rows = Vec::new();
     // (a) vary #l with #cl = 3.
-    let ls: Vec<usize> = if full { vec![1, 2, 3, 5, 8, 12, 16, 20] } else { vec![1, 2, 3, 5, 8, 12] };
+    let ls: Vec<usize> = if full {
+        vec![1, 2, 3, 5, 8, 12, 16, 20]
+    } else {
+        vec![1, 2, 3, 5, 8, 12]
+    };
     for agg in aggs {
         for &l in &ls {
             let params = ExprGenParams {
@@ -273,7 +278,11 @@ pub fn experiment_d(scale: Scale) -> Vec<SweepRow> {
         }
     }
     // (b) vary #cl with #l = 3.
-    let cls: Vec<usize> = if full { vec![1, 2, 3, 5, 8, 12, 16, 20] } else { vec![1, 2, 3, 5, 8, 12] };
+    let cls: Vec<usize> = if full {
+        vec![1, 2, 3, 5, 8, 12, 16, 20]
+    } else {
+        vec![1, 2, 3, 5, 8, 12]
+    };
     for agg in aggs {
         for &cl in &cls {
             let params = ExprGenParams {
@@ -410,11 +419,12 @@ pub fn experiment_f(scale: Scale) -> Vec<TpchRow> {
             // Q0: run the relational part on the deterministic copy.
             let det_db = deterministic_copy(&db);
             let start = std::time::Instant::now();
-            let det_result = evaluate(&det_db, &query);
+            let det_result = try_evaluate(&det_db, &query).expect("deterministic run evaluates");
             let deterministic_seconds = start.elapsed().as_secs_f64();
 
             // ⟦·⟧ and P(·) on the probabilistic database.
-            let result = pvc_db::evaluate_with_probabilities(&db, &query);
+            let result = Engine::execute_once(&db, &query, &EvalOptions::default())
+                .expect("probabilistic run evaluates");
             rows.push(TpchRow {
                 query: name.to_string(),
                 scale_factor: sf,
@@ -460,7 +470,8 @@ mod tests {
             ..TpchConfig::default()
         };
         let db = generate(&config);
-        let result = pvc_db::evaluate_with_probabilities(&db, &pvc_tpch::q1(1_800));
+        let result = Engine::execute_once(&db, &pvc_tpch::q1(1_800), &EvalOptions::default())
+            .expect("Q1 evaluates");
         assert!(!result.tuples.is_empty());
         for t in &result.tuples {
             assert!(t.confidence > 0.0 && t.confidence <= 1.0 + 1e-9);

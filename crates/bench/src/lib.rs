@@ -26,4 +26,4 @@ pub mod stats;
 pub use experiments::{
     experiment_a, experiment_b, experiment_c, experiment_d, experiment_e, experiment_f, Scale,
 };
-pub use stats::{mean_std, print_table, Measurement};
+pub use stats::{bench_case, mean_std, print_table, Measurement};

@@ -21,18 +21,17 @@ pub fn mean_std(samples: &[f64]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var = samples
-        .iter()
-        .map(|s| (s - mean) * (s - mean))
-        .sum::<f64>()
-        / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
     (mean, var.sqrt())
 }
 
 /// Run `f` once per seed in `seeds`, timing each run, and aggregate the timings the
 /// way the paper does: discard the slowest and the fastest run (when there are more
 /// than two runs) and report mean and standard deviation of the rest.
-pub fn timed_over_seeds(seeds: impl IntoIterator<Item = u64>, mut f: impl FnMut(u64)) -> Measurement {
+pub fn timed_over_seeds(
+    seeds: impl IntoIterator<Item = u64>,
+    mut f: impl FnMut(u64),
+) -> Measurement {
     let mut times: Vec<f64> = Vec::new();
     for seed in seeds {
         let start = Instant::now();
@@ -50,6 +49,27 @@ pub fn timed_over_seeds(seeds: impl IntoIterator<Item = u64>, mut f: impl FnMut(
         mean_seconds,
         std_seconds,
         runs: trimmed.len(),
+    }
+}
+
+/// Time a closure `iters` times (after one untimed warm-up run) and print a single
+/// aligned result line. This is the minimal harness behind the `benches/` targets,
+/// which are plain `fn main()` programs rather than users of an external benchmark
+/// framework.
+pub fn bench_case(label: &str, iters: usize, mut f: impl FnMut()) -> Measurement {
+    f(); // warm-up
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let (mean_seconds, std_seconds) = mean_std(&times);
+    println!("{label:<48} {mean_seconds:>12.6}s ± {std_seconds:>10.6}s  ({iters} iters)");
+    Measurement {
+        mean_seconds,
+        std_seconds,
+        runs: iters,
     }
 }
 
@@ -71,8 +91,14 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", line(row));
     }

@@ -66,6 +66,32 @@ impl CompileOptions {
             node_budget: None,
         }
     }
+
+    /// Builder: set the node budget (compilation aborts with
+    /// [`BudgetExceeded`] beyond it).
+    pub fn with_node_budget(mut self, budget: usize) -> Self {
+        self.node_budget = Some(budget);
+        self
+    }
+
+    /// Builder: enable or disable the independence rules (rule 2 and the
+    /// independent-product split).
+    pub fn with_independence(mut self, enabled: bool) -> Self {
+        self.independence = enabled;
+        self
+    }
+
+    /// Builder: enable or disable read-once factorisation (rule 3).
+    pub fn with_factoring(mut self, enabled: bool) -> Self {
+        self.factoring = enabled;
+        self
+    }
+
+    /// Builder: enable or disable conditional pruning.
+    pub fn with_pruning(mut self, enabled: bool) -> Self {
+        self.pruning = enabled;
+        self
+    }
 }
 
 /// Statistics about one compilation run: how often each rule fired.
@@ -286,13 +312,12 @@ impl<'a> Compiler<'a> {
         if trees.len() > 1 {
             self.stats.independent_products += trees.len() - 1;
         }
-        Ok(fold_binary(trees, |a, b| DTree::Prod(Box::new(a), Box::new(b))))
+        Ok(fold_binary(trees, |a, b| {
+            DTree::Prod(Box::new(a), Box::new(b))
+        }))
     }
 
-    fn compile_semimodule_inner(
-        &mut self,
-        expr: &SemimoduleExpr,
-    ) -> Result<DTree, BudgetExceeded> {
+    fn compile_semimodule_inner(&mut self, expr: &SemimoduleExpr) -> Result<DTree, BudgetExceeded> {
         self.charge(1)?;
         // Rule 1: ground expressions fold to a monoid constant.
         if let Some(c) = expr.as_const() {
@@ -357,7 +382,11 @@ impl<'a> Compiler<'a> {
                     self.stats.tensor_splits += 1;
                     let scalar_tree = self.compile_var_product(&common)?;
                     let value_tree = self.compile_semimodule_inner(&quotient)?;
-                    return Ok(DTree::Tensor(op, Box::new(scalar_tree), Box::new(value_tree)));
+                    return Ok(DTree::Tensor(
+                        op,
+                        Box::new(scalar_tree),
+                        Box::new(value_tree),
+                    ));
                 }
             }
         }
@@ -568,14 +597,8 @@ mod tests {
         let mut vt = VarTable::new();
         let a = vt.boolean("a", 0.5);
         let b = vt.boolean("b", 0.5);
-        let lhs = SemimoduleExpr::from_terms(
-            AggOp::Sum,
-            vec![(v(a), Fin(10)), (v(b), Fin(5))],
-        );
-        let rhs = SemimoduleExpr::from_terms(
-            AggOp::Sum,
-            vec![(v(a), Fin(7)), (v(b), Fin(7))],
-        );
+        let lhs = SemimoduleExpr::from_terms(AggOp::Sum, vec![(v(a), Fin(10)), (v(b), Fin(5))]);
+        let rhs = SemimoduleExpr::from_terms(AggOp::Sum, vec![(v(a), Fin(7)), (v(b), Fin(7))]);
         let expr = SemiringExpr::cmp_mm(CmpOp::Ge, lhs, rhs);
         let mut compiler = Compiler::new(&vt, SemiringKind::Bool);
         let tree = compiler.compile_semiring(&expr).unwrap();
@@ -597,11 +620,14 @@ mod tests {
         let full = Compiler::new(&vt, SemiringKind::Bool)
             .compile_semiring(&expr)
             .unwrap();
-        let shannon = Compiler::with_options(&vt, SemiringKind::Bool, CompileOptions::shannon_only())
-            .compile_semiring(&expr)
-            .unwrap();
+        let shannon =
+            Compiler::with_options(&vt, SemiringKind::Bool, CompileOptions::shannon_only())
+                .compile_semiring(&expr)
+                .unwrap();
         let d1 = full.semiring_distribution(&vt, SemiringKind::Bool).unwrap();
-        let d2 = shannon.semiring_distribution(&vt, SemiringKind::Bool).unwrap();
+        let d2 = shannon
+            .semiring_distribution(&vt, SemiringKind::Bool)
+            .unwrap();
         assert!(d1.approx_eq(&d2, 1e-9));
         assert!(shannon.num_nodes() > full.num_nodes());
         assert_eq!(full.num_exclusive_nodes(), 0);

@@ -82,7 +82,13 @@ fn choose_shared_var(exprs: &[SemimoduleExpr]) -> Var {
     }
     *in_exprs
         .iter()
-        .max_by_key(|(v, n)| (**n, occurrences.get(v).copied().unwrap_or(0), std::cmp::Reverse(v.0)))
+        .max_by_key(|(v, n)| {
+            (
+                **n,
+                occurrences.get(v).copied().unwrap_or(0),
+                std::cmp::Reverse(v.0),
+            )
+        })
         .map(|(v, _)| v)
         .expect("joint compilation requires at least one variable")
 }
@@ -161,14 +167,16 @@ mod tests {
         let values = [10, 20, 30];
         let sum = SemimoduleExpr::from_terms(
             AggOp::Sum,
-            xs.iter().zip(values).map(|(x, w)| (v(*x), Fin(w))).collect(),
+            xs.iter()
+                .zip(values)
+                .map(|(x, w)| (v(*x), Fin(w)))
+                .collect(),
         );
-        let count = SemimoduleExpr::from_terms(
-            AggOp::Count,
-            xs.iter().map(|x| (v(*x), Fin(1))).collect(),
-        );
+        let count =
+            SemimoduleExpr::from_terms(AggOp::Count, xs.iter().map(|x| (v(*x), Fin(1))).collect());
         let joint = joint_distribution(&[sum.clone(), count.clone()], &vt, SemiringKind::Bool);
-        let oracle = joint_dist_by_enumeration(&[sum.clone(), count.clone()], &vt, SemiringKind::Bool);
+        let oracle =
+            joint_dist_by_enumeration(&[sum.clone(), count.clone()], &vt, SemiringKind::Bool);
         assert!(joint.approx_eq(&oracle, 1e-9));
         // Derived AVG distribution: P[avg = 20] = P[(20,1)] + P[(40,2)] + P[(60,3)].
         let ratio = ratio_distribution(&sum, &count, &vt, SemiringKind::Bool);
@@ -188,11 +196,8 @@ mod tests {
         let mut vt = VarTable::new();
         let a = vt.boolean("a", 0.3);
         let b = vt.boolean("b", 0.9);
-        let e = SemimoduleExpr::from_terms(
-            AggOp::Min,
-            vec![(v(a), Fin(10)), (v(b), Fin(20))],
-        );
-        let joint = joint_distribution(&[e.clone()], &vt, SemiringKind::Bool);
+        let e = SemimoduleExpr::from_terms(AggOp::Min, vec![(v(a), Fin(10)), (v(b), Fin(20))]);
+        let joint = joint_distribution(std::slice::from_ref(&e), &vt, SemiringKind::Bool);
         let marginal = compile_semimodule(&e, &vt, SemiringKind::Bool)
             .monoid_distribution(&vt, SemiringKind::Bool)
             .unwrap();

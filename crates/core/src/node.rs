@@ -317,7 +317,9 @@ mod tests {
             .semiring_distribution(&vt, SemiringKind::Nat)
             .unwrap();
         assert_eq!(d.support_size(), 1);
-        let d = DTree::MConst(Fin(9)).monoid_distribution(&vt, kind).unwrap();
+        let d = DTree::MConst(Fin(9))
+            .monoid_distribution(&vt, kind)
+            .unwrap();
         assert!((d.prob(&Fin(9)) - 1.0).abs() < 1e-12);
     }
 
@@ -381,7 +383,10 @@ mod tests {
             a,
             vec![
                 (SemiringValue::Bool(false), DTree::VarLeaf(b)),
-                (SemiringValue::Bool(true), DTree::SConst(SemiringValue::Bool(true))),
+                (
+                    SemiringValue::Bool(true),
+                    DTree::SConst(SemiringValue::Bool(true)),
+                ),
             ],
         );
         let d = tree.semiring_distribution(&vt, SemiringKind::Bool).unwrap();

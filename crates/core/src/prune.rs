@@ -35,7 +35,11 @@ pub enum PruneResult {
 /// * **SUM/COUNT with non-negative term values**: if even the sum of *all* values
 ///   satisfies (resp. cannot reach) the bound, the conditional is constantly true
 ///   (resp. false).
-pub fn prune_against_constant(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneResult {
+pub fn prune_against_constant(
+    alpha: &SemimoduleExpr,
+    theta: CmpOp,
+    bound: MonoidValue,
+) -> PruneResult {
     if alpha.terms.is_empty() {
         // The empty sum is the monoid's neutral element; the comparison is ground.
         return if theta.eval(&alpha.op.identity(), &bound) {
@@ -211,7 +215,7 @@ mod tests {
     use super::*;
     use pvc_algebra::MonoidValue::Fin;
     use pvc_expr::oracle::confidence_by_enumeration;
-    use pvc_expr::{VarTable};
+    use pvc_expr::VarTable;
 
     /// Build the paper's running example `[x⊗10 +min y⊗20 ≤ 15]`.
     fn min_example() -> (VarTable, SemimoduleExpr) {
@@ -244,7 +248,14 @@ mod tests {
     fn pruning_preserves_probability() {
         // The paper's claim: P[Φ = 1_S] is unchanged by pruning (it equals 1 − P_x[0]).
         let (vt, alpha) = min_example();
-        for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+        for theta in [
+            CmpOp::Le,
+            CmpOp::Lt,
+            CmpOp::Eq,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Ne,
+        ] {
             for bound in [0, 10, 15, 20, 25] {
                 let original = SemiringExpr::cmp_mm(
                     theta,
@@ -276,7 +287,14 @@ mod tests {
                 (SemiringExpr::Var(c), Fin(100)),
             ],
         );
-        for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+        for theta in [
+            CmpOp::Le,
+            CmpOp::Lt,
+            CmpOp::Eq,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Ne,
+        ] {
             for bound in [0, 5, 49, 50, 100, 150] {
                 let original = SemiringExpr::cmp_mm(
                     theta,
@@ -339,7 +357,14 @@ mod tests {
                 (SemiringExpr::Var(b), Fin(20)),
             ],
         );
-        for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt, CmpOp::Ne] {
+        for theta in [
+            CmpOp::Le,
+            CmpOp::Lt,
+            CmpOp::Eq,
+            CmpOp::Ge,
+            CmpOp::Gt,
+            CmpOp::Ne,
+        ] {
             for bound in [-5, 0, 10, 15, 30, 40] {
                 let original = SemiringExpr::cmp_mm(
                     theta,

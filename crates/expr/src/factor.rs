@@ -73,7 +73,10 @@ pub fn divide_by_vars(expr: &SemiringExpr, divisors: &VarSet) -> Option<Semiring
                     _ => remaining.push(c.clone()),
                 }
             }
-            debug_assert!(to_remove.is_empty(), "divisors {to_remove:?} were not factors");
+            debug_assert!(
+                to_remove.is_empty(),
+                "divisors {to_remove:?} were not factors"
+            );
             match remaining.len() {
                 0 => None,
                 1 => Some(remaining.pop().unwrap()),
@@ -100,7 +103,10 @@ pub fn factor_sum(children: &[SemiringExpr]) -> Option<(VarSet, Vec<Option<Semir
     if common.is_empty() {
         return None;
     }
-    let quotients = children.iter().map(|c| divide_by_vars(c, &common)).collect();
+    let quotients = children
+        .iter()
+        .map(|c| divide_by_vars(c, &common))
+        .collect();
     Some((common, quotients))
 }
 

@@ -90,10 +90,7 @@ impl SemimoduleExpr {
     pub fn from_terms(op: AggOp, terms: Vec<(SemiringExpr, MonoidValue)>) -> Self {
         SemimoduleExpr {
             op,
-            terms: terms
-                .into_iter()
-                .map(|(c, v)| SmTerm::new(c, v))
-                .collect(),
+            terms: terms.into_iter().map(|(c, v)| SmTerm::new(c, v)).collect(),
         }
     }
 
@@ -167,7 +164,11 @@ impl SemimoduleExpr {
 
     /// Evaluate under a total valuation: apply the scalar action term-wise and fold in
     /// the monoid (the monoid homomorphism of §3 / Example 6 of the paper).
-    pub fn eval(&self, valuation: &dyn Fn(Var) -> SemiringValue, kind: SemiringKind) -> MonoidValue {
+    pub fn eval(
+        &self,
+        valuation: &dyn Fn(Var) -> SemiringValue,
+        kind: SemiringKind,
+    ) -> MonoidValue {
         self.terms
             .iter()
             .map(|t| {
@@ -293,7 +294,10 @@ mod tests {
         assert_eq!(min_alpha.eval(&bool_val, SemiringKind::Bool), Fin(6));
         // All variables mapped to 0_S give the neutral element (+∞ for MIN).
         let none = valuation(vec![]);
-        assert_eq!(min_alpha.eval(&none, SemiringKind::Bool), MonoidValue::PosInf);
+        assert_eq!(
+            min_alpha.eval(&none, SemiringKind::Bool),
+            MonoidValue::PosInf
+        );
         assert_eq!(alpha.eval(&none, SemiringKind::Bool), Fin(0));
     }
 
@@ -338,7 +342,10 @@ mod tests {
         let simp = subst.simplify(SemiringKind::Bool);
         // The first term became the constant 10; b⊗20 remains symbolic.
         assert_eq!(simp.num_terms(), 2);
-        assert!(simp.terms.iter().any(|t| t.is_constant() && t.value == Fin(10)));
+        assert!(simp
+            .terms
+            .iter()
+            .any(|t| t.is_constant() && t.value == Fin(10)));
         // Substituting ⊥ removes the term entirely.
         let gone = alpha
             .substitute(a, SemiringValue::Bool(false))
@@ -395,18 +402,18 @@ mod tests {
         assert_eq!(simp.num_terms(), 1);
         assert_eq!(simp.terms[0].value, Fin(7));
         // Zero of the monoid.
-        assert_eq!(SemimoduleExpr::zero(AggOp::Min).as_const(), Some(MonoidValue::PosInf));
+        assert_eq!(
+            SemimoduleExpr::zero(AggOp::Min).as_const(),
+            Some(MonoidValue::PosInf)
+        );
     }
 
     #[test]
     fn display() {
         let mut vt = VarTable::new();
         let x = vt.boolean("x", 0.5);
-        let e = SemimoduleExpr::from_terms(
-            AggOp::Min,
-            vec![(SemiringExpr::Var(x), Fin(10))],
-        )
-        .add(&SemimoduleExpr::constant(AggOp::Min, Fin(20)));
+        let e = SemimoduleExpr::from_terms(AggOp::Min, vec![(SemiringExpr::Var(x), Fin(10))])
+            .add(&SemimoduleExpr::constant(AggOp::Min, Fin(20)));
         assert_eq!(e.to_string(), "v0⊗10 +min 20");
     }
 }

@@ -167,7 +167,11 @@ impl SemiringExpr {
     ///
     /// `kind` fixes the ambient semiring used for the `0_S`/`1_S` results of
     /// conditional sub-expressions and for empty sums/products.
-    pub fn eval(&self, valuation: &dyn Fn(Var) -> SemiringValue, kind: SemiringKind) -> SemiringValue {
+    pub fn eval(
+        &self,
+        valuation: &dyn Fn(Var) -> SemiringValue,
+        kind: SemiringKind,
+    ) -> SemiringValue {
         match self {
             SemiringExpr::Var(v) => valuation(*v),
             SemiringExpr::Const(c) => *c,
@@ -405,7 +409,10 @@ mod tests {
         let all = world(vec![(x1, true), (y11, true), (z1, true), (z5, false)]);
         assert_eq!(e.eval(&all, SemiringKind::Bool), SemiringValue::Bool(true));
         let no_z = world(vec![(x1, true), (y11, true)]);
-        assert_eq!(e.eval(&no_z, SemiringKind::Bool), SemiringValue::Bool(false));
+        assert_eq!(
+            e.eval(&no_z, SemiringKind::Bool),
+            SemiringValue::Bool(false)
+        );
     }
 
     #[test]
@@ -424,14 +431,20 @@ mod tests {
         assert_eq!(e.simplify(kind), v(1));
         // ⊥ · x simplifies to ⊥.
         let e = SemiringExpr::product(vec![SemiringExpr::Const(SemiringValue::Bool(false)), v(1)]);
-        assert_eq!(e.simplify(kind), SemiringExpr::Const(SemiringValue::Bool(false)));
+        assert_eq!(
+            e.simplify(kind),
+            SemiringExpr::Const(SemiringValue::Bool(false))
+        );
         // A ground conditional folds to a constant.
         let c = SemiringExpr::cmp_ss(
             CmpOp::Le,
             SemiringExpr::Const(SemiringValue::Nat(3)),
             SemiringExpr::Const(SemiringValue::Nat(5)),
         );
-        assert_eq!(c.simplify(SemiringKind::Nat), SemiringExpr::Const(SemiringValue::Nat(1)));
+        assert_eq!(
+            c.simplify(SemiringKind::Nat),
+            SemiringExpr::Const(SemiringValue::Nat(1))
+        );
     }
 
     #[test]
@@ -466,9 +479,8 @@ mod tests {
         );
         let beta = SemimoduleExpr::constant(pvc_algebra::AggOp::Min, MonoidValue::Fin(15));
         let cond = SemiringExpr::cmp_mm(CmpOp::Le, alpha, beta);
-        let world = |xv: bool, yv: bool| {
-            move |v: Var| SemiringValue::Bool(if v == x { xv } else { yv })
-        };
+        let world =
+            |xv: bool, yv: bool| move |v: Var| SemiringValue::Bool(if v == x { xv } else { yv });
         assert_eq!(
             cond.eval(&world(true, false), SemiringKind::Bool),
             SemiringValue::Bool(true)

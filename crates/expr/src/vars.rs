@@ -5,8 +5,8 @@
 //! human-readable name and its discrete probability distribution; expressions refer to
 //! variables by the lightweight id [`Var`].
 
-use pvc_prob::{make, Dist, SemiringDist};
 use pvc_algebra::{SemiringKind, SemiringValue};
+use pvc_prob::{make, Dist, SemiringDist};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -122,7 +122,10 @@ impl VarTable {
 
     /// The total number of possible worlds induced by the registered variables.
     pub fn num_worlds(&self) -> u128 {
-        self.dists.iter().map(|d| d.support_size() as u128).product()
+        self.dists
+            .iter()
+            .map(|d| d.support_size() as u128)
+            .product()
     }
 }
 

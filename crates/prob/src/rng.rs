@@ -1,0 +1,205 @@
+//! A small, dependency-free, seeded pseudo-random number generator used by the
+//! synthetic workload and data generators.
+//!
+//! The experiments of the paper (§7) only need *reproducible* pseudo-randomness:
+//! the same seed must always yield the same workload, across platforms and
+//! builds. This module implements the well-known **SplitMix64** mixer (for seeding
+//! and as a stream generator) feeding **xoshiro256++**, which has excellent
+//! statistical quality for simulation purposes and a trivial implementation. It is
+//! *not* cryptographically secure and must never be used where unpredictability
+//! matters.
+
+/// A seeded pseudo-random number generator (xoshiro256++ seeded via SplitMix64).
+///
+/// The generator is deterministic: equal seeds yield equal streams on every
+/// platform. Ranges are sampled without modulo bias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeededRng {
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeededRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SeededRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform value in `[0, bound)` (Lemire's method with rejection, unbiased).
+    fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Widening multiply; reject the low slice that would bias small residues.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty, mirroring the convention of common Rust RNG
+    /// libraries.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Integer ranges that [`SeededRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw a uniform sample from the range.
+    fn sample(self, rng: &mut SeededRng) -> Self::Output;
+}
+
+fn sample_i64(rng: &mut SeededRng, start: i64, end_inclusive: i64) -> i64 {
+    assert!(start <= end_inclusive, "cannot sample from an empty range");
+    let span = (end_inclusive as i128 - start as i128 + 1) as u128;
+    if span > u64::MAX as u128 {
+        // The full i64 range: every u64 pattern is a valid sample.
+        return rng.next_u64() as i64;
+    }
+    let offset = rng.next_below(span as u64);
+    (start as i128 + offset as i128) as i64
+}
+
+impl SampleRange for std::ops::Range<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut SeededRng) -> i64 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        sample_i64(rng, self.start, self.end - 1)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut SeededRng) -> i64 {
+        sample_i64(rng, *self.start(), *self.end())
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SeededRng) -> usize {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + rng.next_below(span) as usize
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SeededRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from an empty range");
+        let span = (end - start) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as usize;
+        }
+        start + rng.next_below(span + 1) as usize
+    }
+}
+
+impl SampleRange for std::ops::Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut SeededRng) -> u32 {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        self.start + rng.next_below((self.end - self.start) as u64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SeededRng::seed_from_u64(42);
+        let mut b = SeededRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SeededRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SeededRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3i64..10);
+            assert!((3..10).contains(&v));
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let v = rng.gen_range(0usize..7);
+            assert!(v < 7);
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn all_values_in_small_range_occur() {
+        let mut rng = SeededRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn mean_of_uniform_samples_is_centred() {
+        let mut rng = SeededRng::seed_from_u64(99);
+        let n = 10_000;
+        let sum: i64 = (0..n).map(|_| rng.gen_range(0i64..=100)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean {mean} too far from 50");
+    }
+}

@@ -91,10 +91,7 @@ impl<K: Ord + Clone, V: Ord + Clone> ProbabilitySpace<K, V> {
     /// The exact distribution of an arbitrary function of the variables, computed by
     /// enumeration over all worlds. This is the brute-force counterpart of the
     /// decomposition-tree computation and serves as the correctness oracle.
-    pub fn distribution_of<T: Ord + Clone>(
-        &self,
-        f: impl Fn(&BTreeMap<K, V>) -> T,
-    ) -> Dist<T> {
+    pub fn distribution_of<T: Ord + Clone>(&self, f: impl Fn(&BTreeMap<K, V>) -> T) -> Dist<T> {
         Dist::from_pairs(
             self.worlds()
                 .into_iter()

@@ -239,7 +239,9 @@ mod tests {
         let b = Dist::from_pairs([(Fin(20), 0.5), (MonoidValue::PosInf, 0.5)]);
         let min = ops::add_monoid(AggOp::Min, &a, &b);
         // Support only holds values from the operand supports.
-        assert!(min.support().all(|v| matches!(v, Fin(10) | Fin(20) | MonoidValue::PosInf)));
+        assert!(min
+            .support()
+            .all(|v| matches!(v, Fin(10) | Fin(20) | MonoidValue::PosInf)));
         assert!((min.prob(&Fin(10)) - 0.5).abs() < 1e-12);
         assert!((min.prob(&MonoidValue::PosInf) - 0.25).abs() < 1e-12);
     }

@@ -1,65 +1,95 @@
-//! Property-based tests for distributions and convolution.
+//! Property-based tests for distributions and convolution, run over a deterministic,
+//! seeded stream of random cases (no external property-testing framework).
 
-use proptest::prelude::*;
-use pvc_prob::{Dist, ProbabilitySpace};
+use pvc_prob::{Dist, ProbabilitySpace, SeededRng};
 
-fn small_dist() -> impl Strategy<Value = Dist<i64>> {
-    prop::collection::vec((-5i64..5, 0.05f64..1.0), 1..5).prop_map(|pairs| {
-        let total: f64 = pairs.iter().map(|(_, p)| p).sum();
-        Dist::from_pairs(pairs.into_iter().map(|(v, p)| (v, p / total)))
-    })
+const CASES: u64 = 128;
+
+/// A random normalized distribution over up to 4 integer values in [-5, 5).
+fn small_dist(rng: &mut SeededRng) -> Dist<i64> {
+    let n = rng.gen_range(1usize..5);
+    let pairs: Vec<(i64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(-5i64..5), 0.05 + 0.95 * rng.next_f64()))
+        .collect();
+    let total: f64 = pairs.iter().map(|(_, p)| p).sum();
+    Dist::from_pairs(pairs.into_iter().map(|(v, p)| (v, p / total)))
 }
 
-proptest! {
-    #[test]
-    fn convolution_preserves_mass(a in small_dist(), b in small_dist()) {
+#[test]
+fn convolution_preserves_mass() {
+    let mut rng = SeededRng::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
+        let b = small_dist(&mut rng);
         let c = a.convolve(&b, |x, y| x + y);
-        prop_assert!((c.total_mass() - a.total_mass() * b.total_mass()).abs() < 1e-9);
+        assert!((c.total_mass() - a.total_mass() * b.total_mass()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn convolution_is_commutative_for_commutative_ops(a in small_dist(), b in small_dist()) {
+#[test]
+fn convolution_is_commutative_for_commutative_ops() {
+    let mut rng = SeededRng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
+        let b = small_dist(&mut rng);
         let ab = a.convolve(&b, |x, y| x + y);
         let ba = b.convolve(&a, |x, y| x + y);
-        prop_assert!(ab.approx_eq(&ba, 1e-9));
+        assert!(ab.approx_eq(&ba, 1e-9));
         let ab = a.convolve(&b, |x, y| (*x).max(*y));
         let ba = b.convolve(&a, |x, y| (*x).max(*y));
-        prop_assert!(ab.approx_eq(&ba, 1e-9));
+        assert!(ab.approx_eq(&ba, 1e-9));
     }
+}
 
-    #[test]
-    fn convolution_is_associative(a in small_dist(), b in small_dist(), c in small_dist()) {
+#[test]
+fn convolution_is_associative() {
+    let mut rng = SeededRng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
+        let b = small_dist(&mut rng);
+        let c = small_dist(&mut rng);
         let left = a.convolve(&b, |x, y| x + y).convolve(&c, |x, y| x + y);
         let right = a.convolve(&b.convolve(&c, |x, y| x + y), |x, y| x + y);
-        prop_assert!(left.approx_eq(&right, 1e-9));
+        assert!(left.approx_eq(&right, 1e-9));
     }
+}
 
-    #[test]
-    fn point_distribution_is_neutral_for_sum(a in small_dist()) {
+#[test]
+fn point_distribution_is_neutral_for_sum() {
+    let mut rng = SeededRng::seed_from_u64(0xB4);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
         let zero = Dist::point(0i64);
         let conv = a.convolve(&zero, |x, y| x + y);
-        prop_assert!(conv.approx_eq(&a, 1e-9));
+        assert!(conv.approx_eq(&a, 1e-9));
     }
+}
 
-    #[test]
-    fn scale_mix_partition_reconstructs(a in small_dist(), p in 0.0f64..1.0) {
-        // Partitioning a distribution into an event and its complement and mixing the
-        // scaled parts back yields the original distribution.
+#[test]
+fn scale_mix_partition_reconstructs() {
+    // Partitioning a distribution into an event and its complement and mixing the
+    // scaled parts back yields the original distribution.
+    let mut rng = SeededRng::seed_from_u64(0xB5);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
+        let p = rng.next_f64();
         let branch1 = a.clone();
         let branch2 = a.clone();
         let mixed = branch1.scale(p).mix(&branch2.scale(1.0 - p));
-        prop_assert!(mixed.approx_eq(&a, 1e-9));
+        assert!(mixed.approx_eq(&a, 1e-9));
     }
+}
 
-    #[test]
-    fn enumeration_matches_convolution_for_sums(
-        px in prop::collection::vec(0.1f64..1.0, 2),
-        py in prop::collection::vec(0.1f64..1.0, 3),
-    ) {
+#[test]
+fn enumeration_matches_convolution_for_sums() {
+    let mut rng = SeededRng::seed_from_u64(0xB6);
+    for _ in 0..CASES {
         let norm = |v: &[f64]| {
             let s: f64 = v.iter().sum();
             v.iter().map(|p| p / s).collect::<Vec<_>>()
         };
+        let px: Vec<f64> = (0..2).map(|_| 0.1 + 0.9 * rng.next_f64()).collect();
+        let py: Vec<f64> = (0..3).map(|_| 0.1 + 0.9 * rng.next_f64()).collect();
         let px = norm(&px);
         let py = norm(&py);
         let dx = Dist::from_pairs(px.iter().enumerate().map(|(i, p)| (i as i64, *p)));
@@ -69,19 +99,27 @@ proptest! {
         space.insert("y", dy.clone());
         let by_enum = space.distribution_of(|v| v["x"] + v["y"]);
         let by_conv = dx.convolve(&dy, |a, b| a + b);
-        prop_assert!(by_enum.approx_eq(&by_conv, 1e-9));
+        assert!(by_enum.approx_eq(&by_conv, 1e-9));
     }
+}
 
-    #[test]
-    fn map_preserves_mass(a in small_dist()) {
+#[test]
+fn map_preserves_mass() {
+    let mut rng = SeededRng::seed_from_u64(0xB7);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
         let m = a.map(|v| v.rem_euclid(3));
-        prop_assert!((m.total_mass() - a.total_mass()).abs() < 1e-9);
+        assert!((m.total_mass() - a.total_mass()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn filter_plus_complement_preserves_mass(a in small_dist()) {
+#[test]
+fn filter_plus_complement_preserves_mass() {
+    let mut rng = SeededRng::seed_from_u64(0xB8);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
         let even = a.filter(|v| v % 2 == 0);
         let odd = a.filter(|v| v % 2 != 0);
-        prop_assert!((even.total_mass() + odd.total_mass() - a.total_mass()).abs() < 1e-9);
+        assert!((even.total_mass() + odd.total_mass() - a.total_mass()).abs() < 1e-9);
     }
 }

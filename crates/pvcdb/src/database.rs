@@ -1,6 +1,7 @@
 //! A pvc-database: a set of pvc-tables over one shared probability space
 //! (Definition 6 of the paper).
 
+use crate::error::Error;
 use crate::relation::PvcTable;
 use crate::schema::Schema;
 use pvc_algebra::SemiringKind;
@@ -48,14 +49,24 @@ impl Database {
         self.tables.get(name)
     }
 
-    /// Look up a table by name, panicking with the available names if absent.
-    pub fn expect_table(&self, name: &str) -> &PvcTable {
-        self.tables.get(name).unwrap_or_else(|| {
-            panic!(
-                "table `{name}` not found; available tables: {:?}",
-                self.tables.keys().collect::<Vec<_>>()
-            )
+    /// Look up a table by name, reporting the available names on failure.
+    ///
+    /// This is the fallible lookup used throughout the engine; prefer it over the
+    /// deprecated, panicking [`Database::expect_table`].
+    pub fn table_or_err(&self, name: &str) -> Result<&PvcTable, Error> {
+        self.tables.get(name).ok_or_else(|| Error::UnknownTable {
+            name: name.to_string(),
+            available: self.tables.keys().cloned().collect(),
         })
+    }
+
+    /// Look up a table by name, panicking with the available names if absent.
+    #[deprecated(since = "0.2.0", note = "use `table_or_err` (or `table`) instead")]
+    pub fn expect_table(&self, name: &str) -> &PvcTable {
+        match self.table_or_err(name) {
+            Ok(table) => table,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Mutable access to a table.
@@ -65,12 +76,18 @@ impl Database {
 
     /// Mutable access to both a table and the variable registry, for bulk loading of
     /// tuple-independent data.
-    pub fn table_and_vars_mut(&mut self, name: &str) -> (&mut PvcTable, &mut VarTable) {
-        let table = self
-            .tables
-            .get_mut(name)
-            .unwrap_or_else(|| panic!("table `{name}` not found"));
-        (table, &mut self.vars)
+    pub fn table_and_vars_mut(
+        &mut self,
+        name: &str,
+    ) -> Result<(&mut PvcTable, &mut VarTable), Error> {
+        let available: Vec<String> = self.tables.keys().cloned().collect();
+        match self.tables.get_mut(name) {
+            Some(table) => Ok((table, &mut self.vars)),
+            None => Err(Error::UnknownTable {
+                name: name.to_string(),
+                available,
+            }),
+        }
     }
 
     /// Names of all tables.
@@ -115,7 +132,7 @@ mod tests {
         let mut db = Database::new();
         db.create_table("S", Schema::new(["sid", "shop"]));
         {
-            let (table, vars) = db.table_and_vars_mut("S");
+            let (table, vars) = db.table_and_vars_mut("S").unwrap();
             table.push_independent(vec![1i64.into(), "M&S".into()], 0.3, vars);
             table.push_independent(vec![2i64.into(), "Gap".into()], 0.9, vars);
         }
@@ -125,8 +142,24 @@ mod tests {
     }
 
     #[test]
+    fn missing_table_is_an_error() {
+        let mut db = Database::new();
+        db.create_table("S", Schema::new(["sid"]));
+        let err = db.table_or_err("missing").unwrap_err();
+        assert!(matches!(
+            &err,
+            Error::UnknownTable { name, available }
+                if name == "missing" && available == &["S".to_string()]
+        ));
+        assert!(err.to_string().contains("not found"));
+        let err = db.table_and_vars_mut("missing").unwrap_err();
+        assert!(matches!(err, Error::UnknownTable { .. }));
+    }
+
+    #[test]
     #[should_panic(expected = "not found")]
-    fn missing_table_panics() {
+    fn deprecated_expect_table_still_panics() {
+        #[allow(deprecated)]
         Database::new().expect_table("missing");
     }
 }

@@ -1,0 +1,687 @@
+//! The query engine: a fallible, plan-aware, reusable front-end over the two-step
+//! evaluation pipeline of the paper (step I: the `⟦·⟧` rewriting of Fig. 4; step II:
+//! d-tree compilation and probability computation, §5).
+//!
+//! The flow is *prepare once, execute many*:
+//!
+//! 1. [`Engine::new`] takes ownership of a [`Database`] and sets up the engine's
+//!    compile-artifact caches;
+//! 2. [`Engine::prepare`] validates a query **once** (the well-formedness checks of
+//!    Definition 5), computes its output schema, classifies it against the
+//!    tractability classes of §6 (`Q_ind` / `Q_hie` / general) and records the chosen
+//!    evaluation strategy in an inspectable [`Plan`];
+//! 3. [`PreparedQuery::execute`] runs steps I+II under explicit [`EvalOptions`],
+//!    reusing the cached rewrite of the same query and the cached confidences /
+//!    aggregate distributions of previously compiled expressions.
+//!
+//! For queries classified `Q_ind`/`Q_hie` over a Boolean tuple-independent database,
+//! tuple confidences are computed by a **read-once fast path** that never builds a
+//! d-tree: the provenance of hierarchical non-repeating queries factorises into
+//! variable-disjoint sums and products, whose probabilities multiply directly. The
+//! fast path is self-checking (it bails out to full compilation on any expression
+//! that is not read-once), so enabling it never changes results — only speed.
+
+use crate::database::Database;
+use crate::error::Error;
+use crate::prob_eval::{ProbTuple, QueryResult};
+use crate::query::Query;
+use crate::relation::PvcTable;
+use crate::schema::Schema;
+use crate::tractable::{classify, QueryClass};
+use crate::value::Value;
+use pvc_algebra::SemiringKind;
+use pvc_core::{CompileOptions, Compiler};
+use pvc_expr::{SemiringExpr, VarSet, VarTable};
+use pvc_prob::MonoidDist;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Options controlling one execution of a prepared query: how expressions are
+/// compiled, whether the §6 tractable fast path may be used, and how much of the
+/// result is materialised.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Options forwarded to the d-tree compiler (rule selection, node budget).
+    pub compile: CompileOptions,
+    /// Allow the read-once fast path for tuple confidences when the plan classified
+    /// the query as tractable (`Q_ind`/`Q_hie`). On by default; results are identical
+    /// either way.
+    pub tractable_fast_path: bool,
+    /// Materialise the exact distribution of every aggregation attribute. Disable
+    /// (see [`EvalOptions::confidence_only`]) to skip the semimodule compilation when
+    /// only tuple confidences are needed.
+    pub aggregate_distributions: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalOptions {
+    /// The default options: full compilation rules, fast path enabled, aggregate
+    /// distributions materialised.
+    pub fn new() -> Self {
+        EvalOptions {
+            compile: CompileOptions::default(),
+            tractable_fast_path: true,
+            aggregate_distributions: true,
+        }
+    }
+
+    /// Compute tuple confidences only, skipping aggregate-distribution compilation —
+    /// the cheapest useful result shape.
+    pub fn confidence_only() -> Self {
+        EvalOptions {
+            aggregate_distributions: false,
+            ..Self::new()
+        }
+    }
+
+    /// Replace the compiler options (e.g. for ablations or to set a node budget).
+    pub fn with_compile(mut self, compile: CompileOptions) -> Self {
+        self.compile = compile;
+        self
+    }
+
+    /// Set a d-tree node budget; compilation beyond it returns [`Error::Compile`].
+    pub fn with_node_budget(mut self, budget: usize) -> Self {
+        self.compile.node_budget = Some(budget);
+        self
+    }
+
+    /// Disable the tractable fast path (every confidence goes through a d-tree).
+    pub fn without_fast_path(mut self) -> Self {
+        self.tractable_fast_path = false;
+        self
+    }
+}
+
+/// The evaluation strategy recorded in a [`Plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The query is in `Q_ind` (Definition 8): result tuples are pairwise
+    /// independent and confidences are computed by read-once evaluation.
+    IndependentFastPath,
+    /// The query is in `Q_hie` (Definition 9): hierarchical provenance, compiled
+    /// without Shannon expansion (read-once fast path for confidences).
+    HierarchicalFastPath,
+    /// No syntactic tractability guarantee: full knowledge compilation (which may
+    /// still be fast — the classification is conservative).
+    GeneralCompilation,
+}
+
+impl Strategy {
+    /// True for the two strategies backed by the §6 tractability results.
+    pub fn is_tractable(self) -> bool {
+        !matches!(self, Strategy::GeneralCompilation)
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::IndependentFastPath => write!(f, "independent fast path (Q_ind)"),
+            Strategy::HierarchicalFastPath => write!(f, "hierarchical fast path (Q_hie)"),
+            Strategy::GeneralCompilation => write!(f, "general knowledge compilation"),
+        }
+    }
+}
+
+/// The inspectable plan produced by [`Engine::prepare`]: what the validator and the
+/// tractability analysis concluded about a query, before anything is executed.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The syntactic tractability class of §6.
+    pub class: QueryClass,
+    /// The evaluation strategy the engine will use.
+    pub strategy: Strategy,
+    /// The validated output schema.
+    pub schema: Schema,
+    /// Base tables referenced by the query, with multiplicity.
+    pub base_tables: Vec<String>,
+    /// Whether no base table occurs more than once (precondition of §6).
+    pub non_repeating: bool,
+    /// Whether every referenced base table is tuple-independent (precondition of §6).
+    pub tuple_independent_input: bool,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan: {}", self.strategy)?;
+        writeln!(f, "  class:  {:?}", self.class)?;
+        writeln!(f, "  schema: {}", self.schema)?;
+        writeln!(
+            f,
+            "  tables: {:?} (non-repeating: {}, tuple-independent: {})",
+            self.base_tables, self.non_repeating, self.tuple_independent_input
+        )
+    }
+}
+
+/// Sizes of the engine's compile-artifact caches (see [`Engine::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Cached step-I rewrites, keyed by query.
+    pub rewrites: usize,
+    /// Cached tuple confidences, keyed by annotation expression.
+    pub confidences: usize,
+    /// Cached aggregate distributions, keyed by semimodule expression.
+    pub aggregates: usize,
+}
+
+#[derive(Debug, Default)]
+struct Caches {
+    rewrites: RefCell<BTreeMap<String, Arc<PvcTable>>>,
+    confidences: RefCell<BTreeMap<String, f64>>,
+    aggregates: RefCell<BTreeMap<String, MonoidDist>>,
+}
+
+impl Caches {
+    fn clear(&self) {
+        self.rewrites.borrow_mut().clear();
+        self.confidences.borrow_mut().clear();
+        self.aggregates.borrow_mut().clear();
+    }
+}
+
+/// The query engine: owns a [`Database`] and a cache of compile artifacts, and hands
+/// out validated [`PreparedQuery`] values.
+#[derive(Debug)]
+pub struct Engine {
+    db: Database,
+    caches: Caches,
+}
+
+impl Engine {
+    /// Create an engine owning the given database.
+    pub fn new(db: Database) -> Self {
+        Engine {
+            db,
+            caches: Caches::default(),
+        }
+    }
+
+    /// The owned database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database. Invalidates every cached compile artifact,
+    /// since cached rewrites and probabilities are only valid against the data and
+    /// variable distributions they were computed from.
+    pub fn database_mut(&mut self) -> &mut Database {
+        self.caches.clear();
+        &mut self.db
+    }
+
+    /// Consume the engine, returning the database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Current sizes of the compile-artifact caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            rewrites: self.caches.rewrites.borrow().len(),
+            confidences: self.caches.confidences.borrow().len(),
+            aggregates: self.caches.aggregates.borrow().len(),
+        }
+    }
+
+    /// Validate a query, compute its output schema, classify it against the §6
+    /// tractability classes, and record the chosen strategy in a [`Plan`].
+    ///
+    /// Returns [`Error::Validation`] for every query that violates Definition 5 or
+    /// references unknown tables/columns — nothing in the prepared pipeline panics on
+    /// malformed input.
+    pub fn prepare(&self, query: &Query) -> Result<PreparedQuery<'_>, Error> {
+        let plan = plan_query(&self.db, query)?;
+        Ok(PreparedQuery {
+            engine: self,
+            query: query.clone(),
+            plan,
+        })
+    }
+
+    /// One-shot evaluation without an engine (no caching): validate, rewrite,
+    /// compute probabilities. This is what the deprecated free-function shims call;
+    /// prefer [`Engine::prepare`] for anything executed more than once.
+    pub fn execute_once(
+        db: &Database,
+        query: &Query,
+        options: &EvalOptions,
+    ) -> Result<QueryResult, Error> {
+        let plan = plan_query(db, query)?;
+        execute_pipeline(db, query, &plan, options, None)
+    }
+}
+
+/// A query that has been validated and planned by [`Engine::prepare`], ready for
+/// (repeated) execution.
+#[derive(Debug)]
+pub struct PreparedQuery<'e> {
+    engine: &'e Engine,
+    query: Query,
+    plan: Plan,
+}
+
+impl PreparedQuery<'_> {
+    /// The plan recorded at preparation time.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The validated output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.plan.schema
+    }
+
+    /// The prepared query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Run steps I+II under the given options. Step I is cached across executions of
+    /// the same query on this engine; step II reuses previously compiled confidences
+    /// and aggregate distributions.
+    pub fn execute(&self, options: &EvalOptions) -> Result<QueryResult, Error> {
+        execute_pipeline(
+            self.engine.database(),
+            &self.query,
+            &self.plan,
+            options,
+            Some(&self.engine.caches),
+        )
+    }
+}
+
+/// Validate + classify: the planning half of `prepare`.
+fn plan_query(db: &Database, query: &Query) -> Result<Plan, Error> {
+    let schema = query.output_schema(db).map_err(Error::Validation)?;
+    let class = classify(query, db);
+    let tuple_independent_input = query.base_tables().iter().all(|name| {
+        db.table(name)
+            .map(PvcTable::is_tuple_independent)
+            .unwrap_or(false)
+    });
+    let strategy = match class {
+        QueryClass::Qind => Strategy::IndependentFastPath,
+        QueryClass::Qhie => Strategy::HierarchicalFastPath,
+        QueryClass::General => Strategy::GeneralCompilation,
+    };
+    Ok(Plan {
+        class,
+        strategy,
+        schema,
+        base_tables: query.base_tables().iter().map(|s| s.to_string()).collect(),
+        non_repeating: query.is_non_repeating(),
+        tuple_independent_input,
+    })
+}
+
+/// Steps I+II with optional caching.
+fn execute_pipeline(
+    db: &Database,
+    query: &Query,
+    plan: &Plan,
+    options: &EvalOptions,
+    caches: Option<&Caches>,
+) -> Result<QueryResult, Error> {
+    // A node budget makes compilation observably fallible, so cached successes
+    // computed without (or with a different) budget must not mask the error; the
+    // compile caches are bypassed for budgeted executions. Every other option only
+    // changes *how* the exact result is computed, never the result itself.
+    let caches = if options.compile.node_budget.is_some() {
+        None
+    } else {
+        caches
+    };
+
+    // Step I: the rewriting ⟦·⟧, cached per query. The query was already validated
+    // by `prepare`, so the cold path skips re-validation and stamps the plan's
+    // schema directly.
+    let start = Instant::now();
+    let query_key = format!("{query:?}");
+    let cached_rewrite = caches.and_then(|c| c.rewrites.borrow().get(&query_key).cloned());
+    let table: Arc<PvcTable> = match cached_rewrite {
+        Some(table) => table,
+        None => {
+            let mut table = crate::exec::rewrite_planned(db, query)?;
+            table.schema = plan.schema.clone();
+            table.name = "result".to_string();
+            let table = Arc::new(table);
+            if let Some(c) = caches {
+                c.rewrites
+                    .borrow_mut()
+                    .insert(query_key, Arc::clone(&table));
+            }
+            table
+        }
+    };
+    let rewrite_time = start.elapsed();
+
+    // Step II: compile every annotation and aggregate; compute probabilities.
+    let start = Instant::now();
+    let try_fast = options.tractable_fast_path
+        && plan.strategy.is_tractable()
+        && db.kind == SemiringKind::Bool;
+    let mut fast_path_hits = 0usize;
+    let mut tuples = Vec::with_capacity(table.tuples.len());
+    for tuple in &table.tuples {
+        let confidence = tuple_confidence(
+            db,
+            &tuple.annotation,
+            options,
+            try_fast,
+            &mut fast_path_hits,
+            caches,
+        )?;
+        let mut aggregate_distributions = BTreeMap::new();
+        if options.aggregate_distributions {
+            for (column, value) in table.schema.columns().iter().zip(&tuple.values) {
+                if let Value::Agg(expr) = value {
+                    let dist = aggregate_distribution(db, expr, options, caches)?;
+                    aggregate_distributions.insert(column.name.clone(), dist);
+                }
+            }
+        }
+        tuples.push(ProbTuple {
+            values: tuple.values.clone(),
+            confidence,
+            aggregate_distributions,
+        });
+    }
+    let probability_time = start.elapsed();
+
+    Ok(QueryResult {
+        columns: table
+            .schema
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        tuples,
+        rewrite_time,
+        probability_time,
+        fast_path_hits,
+    })
+}
+
+/// The confidence of one annotation: fast path, then cache, then full compilation.
+fn tuple_confidence(
+    db: &Database,
+    annotation: &SemiringExpr,
+    options: &EvalOptions,
+    try_fast: bool,
+    fast_path_hits: &mut usize,
+    caches: Option<&Caches>,
+) -> Result<f64, Error> {
+    let key = caches.map(|_| format!("{annotation}"));
+    if let (Some(c), Some(k)) = (caches, key.as_ref()) {
+        if let Some(p) = c.confidences.borrow().get(k) {
+            return Ok(*p);
+        }
+    }
+    let confidence = if try_fast {
+        match read_once_confidence(annotation, &db.vars) {
+            Some(p) => {
+                *fast_path_hits += 1;
+                p
+            }
+            None => compiled_confidence(db, annotation, options)?,
+        }
+    } else {
+        compiled_confidence(db, annotation, options)?
+    };
+    if let (Some(c), Some(k)) = (caches, key) {
+        c.confidences.borrow_mut().insert(k, confidence);
+    }
+    Ok(confidence)
+}
+
+/// Full step-II confidence: compile the annotation into a d-tree and sum the mass of
+/// the non-zero semiring values.
+fn compiled_confidence(
+    db: &Database,
+    annotation: &SemiringExpr,
+    options: &EvalOptions,
+) -> Result<f64, Error> {
+    let mut compiler = Compiler::with_options(&db.vars, db.kind, options.compile.clone());
+    let tree = compiler.compile_semiring(annotation)?;
+    let dist = tree.semiring_distribution(&db.vars, db.kind)?;
+    Ok(dist
+        .iter()
+        .filter(|(v, _)| !v.is_zero())
+        .map(|(_, p)| p)
+        .sum())
+}
+
+/// The exact distribution of one aggregate, via the cache when available.
+fn aggregate_distribution(
+    db: &Database,
+    expr: &pvc_expr::SemimoduleExpr,
+    options: &EvalOptions,
+    caches: Option<&Caches>,
+) -> Result<MonoidDist, Error> {
+    let key = caches.map(|_| format!("{}#{expr}", expr.op));
+    if let (Some(c), Some(k)) = (caches, key.as_ref()) {
+        if let Some(d) = c.aggregates.borrow().get(k) {
+            return Ok(d.clone());
+        }
+    }
+    let mut compiler = Compiler::with_options(&db.vars, db.kind, options.compile.clone());
+    let tree = compiler.compile_semimodule(expr)?;
+    let dist = tree.monoid_distribution(&db.vars, db.kind)?;
+    if let (Some(c), Some(k)) = (caches, key) {
+        c.aggregates.borrow_mut().insert(k, dist.clone());
+    }
+    Ok(dist)
+}
+
+/// Read-once confidence evaluation over the Boolean semiring: the probability that a
+/// sum/product of *variable-disjoint* subexpressions is non-zero multiplies out
+/// directly, with no d-tree. Returns `None` whenever the expression is not of that
+/// shape (shared variables, comparisons, non-Boolean variables) — the caller then
+/// falls back to full compilation, so this is always sound.
+fn read_once_confidence(expr: &SemiringExpr, vars: &VarTable) -> Option<f64> {
+    match expr {
+        SemiringExpr::Const(c) => Some(if c.is_zero() { 0.0 } else { 1.0 }),
+        SemiringExpr::Var(v) => {
+            if vars.kind(*v) == SemiringKind::Bool {
+                Some(vars.prob_true(*v))
+            } else {
+                None
+            }
+        }
+        SemiringExpr::Mul(children) => {
+            pairwise_var_disjoint(children)?;
+            let mut p = 1.0;
+            for child in children {
+                p *= read_once_confidence(child, vars)?;
+            }
+            Some(p)
+        }
+        SemiringExpr::Add(children) => {
+            pairwise_var_disjoint(children)?;
+            let mut q = 1.0;
+            for child in children {
+                q *= 1.0 - read_once_confidence(child, vars)?;
+            }
+            Some(1.0 - q)
+        }
+        // Comparisons need the full machinery (pruning, convolution).
+        SemiringExpr::CmpSS(..) | SemiringExpr::CmpMM(..) => None,
+    }
+}
+
+/// `Some(())` iff the children mention pairwise disjoint variable sets.
+fn pairwise_var_disjoint(children: &[SemiringExpr]) -> Option<()> {
+    let mut total = 0usize;
+    let mut all = VarSet::new();
+    for child in children {
+        let vs = child.vars();
+        total += vs.len();
+        all = all.union(&vs);
+    }
+    (all.len() == total).then_some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::tests::{figure1_db, paper_q1};
+    use crate::query::{AggSpec, Predicate, Query, QueryError};
+    use pvc_algebra::{AggOp, CmpOp};
+    use pvc_expr::oracle;
+
+    #[test]
+    fn prepare_validates_and_classifies() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        // A tuple-independent base table is Q_ind.
+        let prepared = engine.prepare(&Query::table("S")).unwrap();
+        assert_eq!(prepared.plan().class, QueryClass::Qind);
+        assert_eq!(prepared.plan().strategy, Strategy::IndependentFastPath);
+        assert!(prepared.plan().strategy.is_tractable());
+        assert!(prepared.plan().tuple_independent_input);
+        assert_eq!(prepared.schema().names(), vec!["sid", "shop"]);
+        // Unknown tables are validation errors.
+        let err = engine.prepare(&Query::table("missing")).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Validation(QueryError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn execute_matches_oracle_and_uses_fast_path() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        // π_shop(S) is Q_ind with read-once annotations (x1+x2+x3 per shop).
+        let q = Query::table("S").project(["shop"]);
+        let prepared = engine.prepare(&q).unwrap();
+        assert_eq!(prepared.plan().class, QueryClass::Qind);
+        let result = prepared.execute(&EvalOptions::default()).unwrap();
+        assert_eq!(result.tuples.len(), 2);
+        assert_eq!(result.fast_path_hits, 2);
+        let table = crate::exec::try_evaluate(engine.database(), &q).unwrap();
+        for (prob, tuple) in result.tuples.iter().zip(&table.tuples) {
+            let expected = oracle::confidence_by_enumeration(
+                &tuple.annotation,
+                &engine.database().vars,
+                SemiringKind::Bool,
+            );
+            assert!((prob.confidence - expected).abs() < 1e-9);
+        }
+        // Disabling the fast path must give identical confidences.
+        let slow = prepared
+            .execute(&EvalOptions::default().without_fast_path())
+            .unwrap();
+        for (a, b) in result.tuples.iter().zip(&slow.tuples) {
+            assert!((a.confidence - b.confidence).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn caches_fill_and_invalidate() {
+        let db = figure1_db();
+        let mut engine = Engine::new(db);
+        let q = paper_q1();
+        let prepared = engine.prepare(&q).unwrap();
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+        prepared.execute(&EvalOptions::default()).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.rewrites, 1);
+        assert!(stats.confidences >= 1);
+        // A second execution hits the caches and returns the same tuples.
+        let again = prepared.execute(&EvalOptions::default()).unwrap();
+        assert_eq!(again.tuples.len(), 9);
+        assert_eq!(engine.cache_stats(), stats);
+        // Touching the database invalidates everything.
+        engine.database_mut();
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn confidence_only_skips_aggregates() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let q = Query::table("P1").group_agg(
+            Vec::<String>::new(),
+            vec![AggSpec::new(AggOp::Min, "weight", "m")],
+        );
+        let prepared = engine.prepare(&q).unwrap();
+        let full = prepared.execute(&EvalOptions::default()).unwrap();
+        assert!(full.tuples[0].aggregate_distributions.contains_key("m"));
+        let slim = prepared.execute(&EvalOptions::confidence_only()).unwrap();
+        assert!(slim.tuples[0].aggregate_distributions.is_empty());
+        assert!((slim.tuples[0].confidence - full.tuples[0].confidence).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_budget_surfaces_as_compile_error() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let q2 = paper_q1()
+            .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")])
+            .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 50))
+            .project(["shop"]);
+        let prepared = engine.prepare(&q2).unwrap();
+        let err = prepared
+            .execute(
+                &EvalOptions::default()
+                    .with_node_budget(1)
+                    .without_fast_path(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Compile(_)));
+        // The budget must also be enforced on a *warm* engine: a prior unbudgeted
+        // success must not be served from the cache in place of the error.
+        prepared.execute(&EvalOptions::default()).unwrap();
+        assert!(engine.cache_stats().confidences > 0);
+        let err = prepared
+            .execute(
+                &EvalOptions::default()
+                    .with_node_budget(1)
+                    .without_fast_path(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Compile(_)));
+    }
+
+    #[test]
+    fn q2_is_planned_hierarchical() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let agg = Query::table("S")
+            .join(Query::table("PS"), &[("sid", "ps_sid")])
+            .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")]);
+        let prepared = engine.prepare(&agg).unwrap();
+        assert_eq!(prepared.plan().class, QueryClass::Qhie);
+        assert_eq!(prepared.plan().strategy, Strategy::HierarchicalFastPath);
+        let rendered = prepared.plan().to_string();
+        assert!(rendered.contains("hierarchical fast path"));
+    }
+
+    #[test]
+    fn read_once_confidence_agrees_with_oracle() {
+        let mut vars = VarTable::new();
+        let x = vars.boolean("x", 0.3);
+        let y = vars.boolean("y", 0.6);
+        let z = vars.boolean("z", 0.8);
+        // x·(y + z): read-once.
+        let expr = SemiringExpr::Var(x) * (SemiringExpr::Var(y) + SemiringExpr::Var(z));
+        let p = read_once_confidence(&expr, &vars).unwrap();
+        let expected = oracle::confidence_by_enumeration(&expr, &vars, SemiringKind::Bool);
+        assert!((p - expected).abs() < 1e-12);
+        // x·y + x·z shares x between summands: not read-once, must bail out.
+        let shared = SemiringExpr::Var(x) * SemiringExpr::Var(y)
+            + SemiringExpr::Var(x) * SemiringExpr::Var(z);
+        assert!(read_once_confidence(&shared, &vars).is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! The single error type of the `pvc-db` public API.
+//!
+//! Every fallible operation of the query engine — table lookup, query validation,
+//! d-tree compilation, distribution extraction — reports failures through [`Error`],
+//! so callers match on one enum instead of a zoo of panics.
+
+use crate::query::QueryError;
+use pvc_core::{BudgetExceeded, DTreeError};
+use std::fmt;
+
+/// Errors returned by the `pvc-db` engine and its fallible entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A table was looked up by a name the database does not contain.
+    UnknownTable {
+        /// The requested table name.
+        name: String,
+        /// The names the database does contain (for diagnostics).
+        available: Vec<String>,
+    },
+    /// The query failed the well-formedness checks of Definition 5 (or referenced an
+    /// unknown table/column). Raised by [`crate::Engine::prepare`].
+    Validation(QueryError),
+    /// Knowledge compilation aborted because the configured d-tree node budget was
+    /// exceeded (see [`pvc_core::CompileOptions::node_budget`]).
+    Compile(BudgetExceeded),
+    /// A compiled d-tree produced values of the wrong sort while computing a
+    /// distribution. Indicates a malformed tree; trees produced by the compiler on
+    /// validated queries never trigger this.
+    Distribution(DTreeError),
+    /// A cell value had the wrong type for the requested operation (e.g. aggregating
+    /// a string column, or comparing an aggregate against a non-integer column).
+    /// Detected at evaluation time, since pvc-table schemas carry no value types.
+    TypeMismatch {
+        /// The offending column.
+        column: String,
+        /// What the operation required of it.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable { name, available } => {
+                write!(
+                    f,
+                    "table `{name}` not found; available tables: {available:?}"
+                )
+            }
+            Error::Validation(e) => write!(f, "invalid query: {e}"),
+            Error::Compile(e) => write!(f, "compilation failed: {e}"),
+            Error::Distribution(e) => write!(f, "distribution computation failed: {e}"),
+            Error::TypeMismatch { column, expected } => {
+                write!(f, "column `{column}` does not hold {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Validation(e) => Some(e),
+            Error::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Self {
+        Error::Validation(e)
+    }
+}
+
+impl From<BudgetExceeded> for Error {
+    fn from(e: BudgetExceeded) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<DTreeError> for Error {
+    fn from(e: DTreeError) -> Self {
+        Error::Distribution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::UnknownTable {
+            name: "missing".into(),
+            available: vec!["S".into()],
+        };
+        assert!(e.to_string().contains("`missing` not found"));
+        let e = Error::Validation(QueryError::UnknownColumn("c".into()));
+        assert!(e.to_string().contains("invalid query"));
+        let e = Error::Compile(BudgetExceeded { nodes_produced: 7 });
+        assert!(e.to_string().contains("7 nodes"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: Error = QueryError::UnionSchemaMismatch.into();
+        assert!(matches!(e, Error::Validation(_)));
+        let e: Error = BudgetExceeded { nodes_produced: 1 }.into();
+        assert!(matches!(e, Error::Compile(_)));
+    }
+}

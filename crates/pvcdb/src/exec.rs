@@ -11,7 +11,8 @@
 //!   `[(Σ_K Φ_t) ≠ 0_K]`.
 
 use crate::database::Database;
-use crate::query::{AggSpec, Predicate, Query};
+use crate::error::Error;
+use crate::query::{AggSpec, Predicate, Query, QueryError};
 use crate::relation::{PvcTable, Tuple};
 use crate::schema::{Column, Schema};
 use crate::value::{KeyValue, Value};
@@ -22,28 +23,48 @@ use std::collections::BTreeMap;
 /// Evaluate a query over a pvc-database, producing the result pvc-table (tuples with
 /// annotations and semimodule values, but no probabilities yet).
 ///
-/// Panics if the query is not well-formed; call [`Query::output_schema`] first to
-/// obtain a proper error.
-pub fn evaluate(db: &Database, query: &Query) -> PvcTable {
-    let schema = query
-        .output_schema(db)
-        .unwrap_or_else(|e| panic!("query validation failed: {e}"));
-    let mut result = evaluate_rec(db, query);
+/// The query is validated first (the checks of Definition 5); validation failures,
+/// unknown tables and type mismatches are reported as [`Error`] values rather than
+/// panics. This is step I of the engine; prefer [`crate::Engine::prepare`] when the
+/// same query is executed more than once.
+pub fn try_evaluate(db: &Database, query: &Query) -> Result<PvcTable, Error> {
+    let schema = query.output_schema(db).map_err(Error::Validation)?;
+    let mut result = evaluate_rec(db, query)?;
     result.schema = schema;
     result.name = "result".to_string();
-    result
+    Ok(result)
 }
 
-fn evaluate_rec(db: &Database, query: &Query) -> PvcTable {
+/// Step I without the upfront validation walk, for queries that have already been
+/// validated by [`crate::Engine::prepare`] (the caller stamps the plan's schema and
+/// result name). Runtime failures (unknown tables raced away, type mismatches) are
+/// still reported as [`Error`] values.
+pub(crate) fn rewrite_planned(db: &Database, query: &Query) -> Result<PvcTable, Error> {
+    evaluate_rec(db, query)
+}
+
+/// Evaluate a query, panicking on invalid input.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `try_evaluate`, or `Engine::prepare(..)?.execute(..)?` for the full pipeline"
+)]
+pub fn evaluate(db: &Database, query: &Query) -> PvcTable {
+    match try_evaluate(db, query) {
+        Ok(table) => table,
+        Err(e) => panic!("query evaluation failed: {e}"),
+    }
+}
+
+fn evaluate_rec(db: &Database, query: &Query) -> Result<PvcTable, Error> {
     let kind = db.kind;
     match query {
-        Query::Table(name) => db.expect_table(name).clone(),
+        Query::Table(name) => Ok(db.table_or_err(name)?.clone()),
         Query::Rename(mapping, input) => {
-            let mut table = evaluate_rec(db, input);
+            let mut table = evaluate_rec(db, input)?;
             for (old, new) in mapping {
                 table.schema = table.schema.rename(old, new);
             }
-            table
+            Ok(table)
         }
         Query::Select(pred, input) => {
             // Peephole optimisation: `σ_{… ∧ A=B ∧ …}(Q1 × Q2)` with `A` from `Q1` and
@@ -51,33 +72,33 @@ fn evaluate_rec(db: &Database, query: &Query) -> PvcTable {
             // the full cross product. The produced tuples and annotations are exactly
             // those of the Fig. 4 rewriting — only the evaluation order changes.
             if let Query::Product(a, b) = input.as_ref() {
-                let ta = evaluate_rec(db, a);
-                let tb = evaluate_rec(db, b);
+                let ta = evaluate_rec(db, a)?;
+                let tb = evaluate_rec(db, b)?;
                 if let Some((pairs, rest)) = split_equijoin_predicate(pred, &ta, &tb) {
                     let joined = eval_hash_join(&ta, &tb, &pairs);
                     return match rest {
                         Some(p) => eval_select(&joined, &p, kind),
-                        None => joined,
+                        None => Ok(joined),
                     };
                 }
                 let product = eval_product(&ta, &tb);
                 return eval_select(&product, pred, kind);
             }
-            let table = evaluate_rec(db, input);
+            let table = evaluate_rec(db, input)?;
             eval_select(&table, pred, kind)
         }
         Query::Project(cols, input) => {
-            let table = evaluate_rec(db, input);
-            eval_project(&table, cols, kind)
+            let table = evaluate_rec(db, input)?;
+            Ok(eval_project(&table, cols, kind))
         }
         Query::Product(a, b) => {
-            let ta = evaluate_rec(db, a);
-            let tb = evaluate_rec(db, b);
-            eval_product(&ta, &tb)
+            let ta = evaluate_rec(db, a)?;
+            let tb = evaluate_rec(db, b)?;
+            Ok(eval_product(&ta, &tb))
         }
         Query::Union(a, b) => {
-            let ta = evaluate_rec(db, a);
-            let tb = evaluate_rec(db, b);
+            let ta = evaluate_rec(db, a)?;
+            let tb = evaluate_rec(db, b)?;
             eval_union(&ta, &tb, kind)
         }
         Query::GroupAgg {
@@ -85,7 +106,7 @@ fn evaluate_rec(db: &Database, query: &Query) -> PvcTable {
             aggs,
             input,
         } => {
-            let table = evaluate_rec(db, input);
+            let table = evaluate_rec(db, input)?;
             eval_group_agg(&table, group_by, aggs, kind)
         }
     }
@@ -101,23 +122,32 @@ enum PredOutcome {
     Conditional(SemiringExpr),
 }
 
-fn eval_select(table: &PvcTable, pred: &Predicate, kind: SemiringKind) -> PvcTable {
+fn eval_select(table: &PvcTable, pred: &Predicate, kind: SemiringKind) -> Result<PvcTable, Error> {
     let mut out = PvcTable::new(table.name.clone(), table.schema.clone());
     for tuple in &table.tuples {
-        match eval_predicate(table, tuple, pred, kind) {
+        match eval_predicate(table, tuple, pred, kind)? {
             PredOutcome::Drop => {}
             PredOutcome::Keep => out.tuples.push(tuple.clone()),
             PredOutcome::Conditional(cond) => {
                 let annotation = tuple.annotation.clone() * cond;
-                out.tuples.push(Tuple::new(tuple.values.clone(), annotation));
+                out.tuples
+                    .push(Tuple::new(tuple.values.clone(), annotation));
             }
         }
     }
-    out
+    Ok(out)
 }
 
 fn cell<'a>(table: &PvcTable, tuple: &'a Tuple, column: &str) -> &'a Value {
     &tuple.values[table.schema.expect_index(column)]
+}
+
+/// Fetch a cell that must hold a semimodule expression (an aggregation attribute).
+fn agg_cell(table: &PvcTable, tuple: &Tuple, column: &str) -> Result<SemimoduleExpr, Error> {
+    cell(table, tuple, column)
+        .as_agg()
+        .cloned()
+        .ok_or_else(|| Error::Validation(QueryError::PredicateSortMismatch(column.to_string())))
 }
 
 fn eval_predicate(
@@ -125,8 +155,8 @@ fn eval_predicate(
     tuple: &Tuple,
     pred: &Predicate,
     kind: SemiringKind,
-) -> PredOutcome {
-    match pred {
+) -> Result<PredOutcome, Error> {
+    Ok(match pred {
         Predicate::ColEqCol(a, b) => {
             let (va, vb) = (cell(table, tuple, a), cell(table, tuple, b));
             keep_if(va.key() == vb.key())
@@ -136,40 +166,31 @@ fn eval_predicate(
             keep_if(theta.eval(&va.key(), &c.key()))
         }
         Predicate::AggCmpConst(alpha, theta, c) => {
-            let expr = cell(table, tuple, alpha)
-                .as_agg()
-                .expect("AggCmpConst on a non-aggregation column")
-                .clone();
+            let expr = agg_cell(table, tuple, alpha)?;
             let constant = SemimoduleExpr::constant_in(expr.op, MonoidValue::Fin(*c), kind);
             PredOutcome::Conditional(SemiringExpr::cmp_mm(*theta, expr, constant))
         }
         Predicate::AggCmpAgg(alpha, theta, beta) => {
-            let lhs = cell(table, tuple, alpha)
-                .as_agg()
-                .expect("AggCmpAgg on a non-aggregation column")
-                .clone();
-            let rhs = cell(table, tuple, beta)
-                .as_agg()
-                .expect("AggCmpAgg on a non-aggregation column")
-                .clone();
+            let lhs = agg_cell(table, tuple, alpha)?;
+            let rhs = agg_cell(table, tuple, beta)?;
             PredOutcome::Conditional(SemiringExpr::cmp_mm(*theta, lhs, rhs))
         }
         Predicate::AggCmpCol(alpha, theta, col) => {
-            let lhs = cell(table, tuple, alpha)
-                .as_agg()
-                .expect("AggCmpCol on a non-aggregation column")
-                .clone();
+            let lhs = agg_cell(table, tuple, alpha)?;
             let c = cell(table, tuple, col)
                 .as_int()
-                .expect("AggCmpCol requires an integer data column");
+                .ok_or_else(|| Error::TypeMismatch {
+                    column: col.to_string(),
+                    expected: "an integer data column",
+                })?;
             let constant = SemimoduleExpr::constant_in(lhs.op, MonoidValue::Fin(c), kind);
             PredOutcome::Conditional(SemiringExpr::cmp_mm(*theta, lhs, constant))
         }
         Predicate::And(ps) => {
             let mut conditions: Vec<SemiringExpr> = Vec::new();
             for p in ps {
-                match eval_predicate(table, tuple, p, kind) {
-                    PredOutcome::Drop => return PredOutcome::Drop,
+                match eval_predicate(table, tuple, p, kind)? {
+                    PredOutcome::Drop => return Ok(PredOutcome::Drop),
                     PredOutcome::Keep => {}
                     PredOutcome::Conditional(c) => conditions.push(c),
                 }
@@ -180,7 +201,7 @@ fn eval_predicate(
                 PredOutcome::Conditional(SemiringExpr::product(conditions))
             }
         }
-    }
+    })
 }
 
 fn keep_if(cond: bool) -> PredOutcome {
@@ -193,7 +214,7 @@ fn keep_if(cond: bool) -> PredOutcome {
 
 fn eval_project(table: &PvcTable, cols: &[String], kind: SemiringKind) -> PvcTable {
     let indices: Vec<usize> = cols.iter().map(|c| table.schema.expect_index(c)).collect();
-    let schema = table.schema.project(&cols.to_vec());
+    let schema = table.schema.project(cols);
     let mut groups: BTreeMap<Vec<KeyValue>, (Vec<Value>, Vec<SemiringExpr>)> = BTreeMap::new();
     for tuple in &table.tuples {
         let projected: Vec<Value> = indices.iter().map(|i| tuple.values[*i].clone()).collect();
@@ -214,11 +235,13 @@ fn eval_project(table: &PvcTable, cols: &[String], kind: SemiringKind) -> PvcTab
 
 /// Split a selection over a product into equi-join pairs `(left column, right column)`
 /// and the remaining predicate. Returns `None` if no cross-operand equality is found.
+type EquijoinSplit = (Vec<(String, String)>, Option<Predicate>);
+
 fn split_equijoin_predicate(
     pred: &Predicate,
     left: &PvcTable,
     right: &PvcTable,
-) -> Option<(Vec<(String, String)>, Option<Predicate>)> {
+) -> Option<EquijoinSplit> {
     let atoms: Vec<Predicate> = match pred {
         Predicate::And(ps) => ps.clone(),
         other => vec![other.clone()],
@@ -254,7 +277,10 @@ fn split_equijoin_predicate(
 /// the input plus output size.
 fn eval_hash_join(left: &PvcTable, right: &PvcTable, pairs: &[(String, String)]) -> PvcTable {
     let schema = left.schema.concat(&right.schema);
-    let left_idx: Vec<usize> = pairs.iter().map(|(l, _)| left.schema.expect_index(l)).collect();
+    let left_idx: Vec<usize> = pairs
+        .iter()
+        .map(|(l, _)| left.schema.expect_index(l))
+        .collect();
     let right_idx: Vec<usize> = pairs
         .iter()
         .map(|(_, r)| right.schema.expect_index(r))
@@ -294,12 +320,10 @@ fn eval_product(a: &PvcTable, b: &PvcTable) -> PvcTable {
     out
 }
 
-fn eval_union(a: &PvcTable, b: &PvcTable, kind: SemiringKind) -> PvcTable {
-    assert_eq!(
-        a.schema.names(),
-        b.schema.names(),
-        "union operands must have identical schemas"
-    );
+fn eval_union(a: &PvcTable, b: &PvcTable, kind: SemiringKind) -> Result<PvcTable, Error> {
+    if a.schema.names() != b.schema.names() {
+        return Err(Error::Validation(QueryError::UnionSchemaMismatch));
+    }
     let mut groups: BTreeMap<Vec<KeyValue>, (Vec<Value>, Vec<SemiringExpr>)> = BTreeMap::new();
     for tuple in a.tuples.iter().chain(b.tuples.iter()) {
         let key: Vec<KeyValue> = tuple.values.iter().map(Value::key).collect();
@@ -314,7 +338,7 @@ fn eval_union(a: &PvcTable, b: &PvcTable, kind: SemiringKind) -> PvcTable {
         let annotation = SemiringExpr::sum(annotations).simplify(kind);
         out.tuples.push(Tuple::new(values, annotation));
     }
-    out
+    Ok(out)
 }
 
 fn eval_group_agg(
@@ -322,7 +346,7 @@ fn eval_group_agg(
     group_by: &[String],
     aggs: &[AggSpec],
     kind: SemiringKind,
-) -> PvcTable {
+) -> Result<PvcTable, Error> {
     let group_indices: Vec<usize> = group_by
         .iter()
         .map(|c| table.schema.expect_index(c))
@@ -359,7 +383,7 @@ fn eval_group_agg(
     for (_, (key_values, rows)) in groups {
         let mut values = key_values;
         for spec in aggs {
-            values.push(Value::Agg(build_aggregate(table, &rows, spec)));
+            values.push(Value::Agg(build_aggregate(table, &rows, spec)?));
         }
         let annotation = if group_by.is_empty() {
             SemiringExpr::Const(kind.one())
@@ -374,11 +398,15 @@ fn eval_group_agg(
         };
         out.tuples.push(Tuple::new(values, annotation));
     }
-    out
+    Ok(out)
 }
 
 /// Build `Γ = Σ_AGG (Φ_t ⊗ v_t)` over the rows of one group (Fig. 4).
-fn build_aggregate(table: &PvcTable, rows: &[usize], spec: &AggSpec) -> SemimoduleExpr {
+fn build_aggregate(
+    table: &PvcTable,
+    rows: &[usize],
+    spec: &AggSpec,
+) -> Result<SemimoduleExpr, Error> {
     let mut expr = SemimoduleExpr::zero(spec.op);
     for &row in rows {
         let tuple = &table.tuples[row];
@@ -388,17 +416,18 @@ fn build_aggregate(table: &PvcTable, rows: &[usize], spec: &AggSpec) -> Semimodu
                 if spec.op.is_count() {
                     MonoidValue::Fin(1)
                 } else {
-                    cell(table, tuple, col)
-                        .as_monoid_value()
-                        .unwrap_or_else(|| {
-                            panic!("aggregated column `{col}` must hold integer constants")
-                        })
+                    cell(table, tuple, col).as_monoid_value().ok_or_else(|| {
+                        Error::TypeMismatch {
+                            column: col.clone(),
+                            expected: "integer constants under aggregation",
+                        }
+                    })?
                 }
             }
         };
         expr.push(tuple.annotation.clone(), value);
     }
-    expr
+    Ok(expr)
 }
 
 #[cfg(test)]
@@ -417,13 +446,13 @@ pub(crate) mod tests {
         db.create_table("P1", Schema::new(["pid", "weight"]));
         db.create_table("P2", Schema::new(["pid", "weight"]));
         {
-            let (s, vars) = db.table_and_vars_mut("S");
+            let (s, vars) = db.table_and_vars_mut("S").unwrap();
             for (sid, shop) in [(1, "M&S"), (2, "M&S"), (3, "M&S"), (4, "Gap"), (5, "Gap")] {
                 s.push_independent(vec![(sid as i64).into(), shop.into()], 0.5, vars);
             }
         }
         {
-            let (ps, vars) = db.table_and_vars_mut("PS");
+            let (ps, vars) = db.table_and_vars_mut("PS").unwrap();
             for (sid, pid, price) in [
                 (1, 1, 10),
                 (1, 2, 50),
@@ -436,20 +465,24 @@ pub(crate) mod tests {
                 (5, 1, 10),
             ] {
                 ps.push_independent(
-                    vec![(sid as i64).into(), (pid as i64).into(), (price as i64).into()],
+                    vec![
+                        (sid as i64).into(),
+                        (pid as i64).into(),
+                        (price as i64).into(),
+                    ],
                     0.5,
                     vars,
                 );
             }
         }
         {
-            let (p1, vars) = db.table_and_vars_mut("P1");
+            let (p1, vars) = db.table_and_vars_mut("P1").unwrap();
             for (pid, weight) in [(1, 4), (2, 8), (3, 7), (4, 6)] {
                 p1.push_independent(vec![(pid as i64).into(), (weight as i64).into()], 0.5, vars);
             }
         }
         {
-            let (p2, vars) = db.table_and_vars_mut("P2");
+            let (p2, vars) = db.table_and_vars_mut("P2").unwrap();
             p2.push_independent(vec![1i64.into(), 5i64.into()], 0.5, vars);
         }
         db
@@ -460,14 +493,17 @@ pub(crate) mod tests {
         let products = Query::table("P1").union(Query::table("P2"));
         Query::table("S")
             .join(Query::table("PS"), &[("sid", "ps_sid")])
-            .join(products.rename(&[("pid", "p_pid"), ("weight", "p_weight")]), &[("ps_pid", "p_pid")])
+            .join(
+                products.rename(&[("pid", "p_pid"), ("weight", "p_weight")]),
+                &[("ps_pid", "p_pid")],
+            )
             .project(["shop", "price"])
     }
 
     #[test]
     fn figure1_q1_result() {
         let db = figure1_db();
-        let result = evaluate(&db, &paper_q1());
+        let result = try_evaluate(&db, &paper_q1()).unwrap();
         // Figure 1d lists 9 result tuples: 6 for M&S and 3 for Gap.
         assert_eq!(result.len(), 9);
         let m_and_s = result
@@ -496,7 +532,7 @@ pub(crate) mod tests {
             .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")])
             .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 50))
             .project(["shop"]);
-        let result = evaluate(&db, &q2);
+        let result = try_evaluate(&db, &q2).unwrap();
         assert_eq!(result.len(), 2);
         for t in result.iter() {
             // Each annotation is [α ≤ 50] · [Σ Φ ≠ 0] — a product of two conditionals.
@@ -516,10 +552,13 @@ pub(crate) mod tests {
             Vec::<String>::new(),
             vec![AggSpec::new(AggOp::Sum, "weight", "alpha")],
         );
-        let result = evaluate(&db, &q);
+        let result = try_evaluate(&db, &q).unwrap();
         assert_eq!(result.len(), 1);
         let tuple = &result.tuples[0];
-        assert_eq!(tuple.annotation, SemiringExpr::Const(SemiringValue::Bool(true)));
+        assert_eq!(
+            tuple.annotation,
+            SemiringExpr::Const(SemiringValue::Bool(true))
+        );
         let alpha = tuple.values[0].as_agg().unwrap();
         assert_eq!(alpha.num_terms(), 4);
         assert_eq!(alpha.op, AggOp::Sum);
@@ -534,7 +573,7 @@ pub(crate) mod tests {
             Vec::<String>::new(),
             vec![AggSpec::new(AggOp::Min, "v", "m"), AggSpec::count("c")],
         );
-        let result = evaluate(&db, &q);
+        let result = try_evaluate(&db, &q).unwrap();
         assert_eq!(result.len(), 1);
         let m = result.tuples[0].values[0].as_agg().unwrap();
         assert_eq!(m.num_terms(), 0);
@@ -546,7 +585,7 @@ pub(crate) mod tests {
         let db = figure1_db();
         // π_shop(S): shop M&S is derived from three suppliers — annotation x1+x2+x3.
         let q = Query::table("S").project(["shop"]);
-        let result = evaluate(&db, &q);
+        let result = try_evaluate(&db, &q).unwrap();
         assert_eq!(result.len(), 2);
         let mands = result
             .iter()
@@ -563,15 +602,15 @@ pub(crate) mod tests {
         db.create_table("A", Schema::new(["pid"]));
         db.create_table("B", Schema::new(["pid"]));
         {
-            let (a, vars) = db.table_and_vars_mut("A");
+            let (a, vars) = db.table_and_vars_mut("A").unwrap();
             a.push_independent(vec![1i64.into()], 0.5, vars);
             a.push_independent(vec![2i64.into()], 0.5, vars);
         }
         {
-            let (b, vars) = db.table_and_vars_mut("B");
+            let (b, vars) = db.table_and_vars_mut("B").unwrap();
             b.push_independent(vec![1i64.into()], 0.5, vars);
         }
-        let result = evaluate(&db, &Query::table("A").union(Query::table("B")));
+        let result = try_evaluate(&db, &Query::table("A").union(Query::table("B"))).unwrap();
         assert_eq!(result.len(), 2);
         let one = result
             .iter()
@@ -585,14 +624,14 @@ pub(crate) mod tests {
     fn selection_on_data_columns_filters() {
         let db = figure1_db();
         let q = Query::table("S").select(Predicate::eq_const("shop", "Gap"));
-        let result = evaluate(&db, &q);
+        let result = try_evaluate(&db, &q).unwrap();
         assert_eq!(result.len(), 2);
         let q = Query::table("PS").select(Predicate::ColCmpConst(
             "price".into(),
             CmpOp::Ge,
             Value::Int(50),
         ));
-        let result = evaluate(&db, &q);
+        let result = try_evaluate(&db, &q).unwrap();
         assert_eq!(result.len(), 3);
     }
 
@@ -600,11 +639,14 @@ pub(crate) mod tests {
     fn count_aggregate_uses_unit_values() {
         let db = figure1_db();
         let q = Query::table("PS").group_agg(["ps_sid"], vec![AggSpec::count("cnt")]);
-        let result = evaluate(&db, &q);
+        let result = try_evaluate(&db, &q).unwrap();
         assert_eq!(result.len(), 5);
         for t in result.iter() {
             let cnt = t.values[1].as_agg().unwrap();
-            assert!(cnt.terms.iter().all(|term| term.value == MonoidValue::Fin(1)));
+            assert!(cnt
+                .terms
+                .iter()
+                .all(|term| term.value == MonoidValue::Fin(1)));
             assert_eq!(cnt.op, AggOp::Count);
         }
     }

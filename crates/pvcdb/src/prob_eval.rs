@@ -1,15 +1,21 @@
 //! Query evaluation, step II: probability computation for the tuples produced by the
 //! rewriting (§5 of the paper), by compiling every annotation and semimodule
 //! expression into a decomposition tree.
+//!
+//! The functions here are one-shot conveniences; the [`crate::Engine`] runs the same
+//! pipeline with compile-artifact caching and the tractable fast path of §6, and is
+//! the preferred entry point for repeated execution.
 
 use crate::database::Database;
+use crate::engine::{Engine, EvalOptions};
+use crate::error::Error;
 use crate::query::Query;
 use crate::relation::PvcTable;
 use crate::value::Value;
-use pvc_core::{compile_semimodule, compile_semiring, CompileOptions, Compiler};
+use pvc_core::{CompileOptions, Compiler};
 use pvc_prob::MonoidDist;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One result tuple with its probabilistic interpretation.
 #[derive(Debug, Clone)]
@@ -19,6 +25,8 @@ pub struct ProbTuple {
     /// The probability that the tuple is present (annotation ≠ `0_S`).
     pub confidence: f64,
     /// For every aggregation column: the exact distribution of the aggregate value.
+    /// Empty when the result was requested confidence-only
+    /// (see [`EvalOptions::confidence_only`]).
     pub aggregate_distributions: BTreeMap<String, MonoidDist>,
 }
 
@@ -34,6 +42,10 @@ pub struct QueryResult {
     pub rewrite_time: Duration,
     /// Wall-clock time of step II (d-tree compilation and probability computation).
     pub probability_time: Duration,
+    /// How many tuple confidences were computed by the tractable fast path of §6
+    /// (read-once evaluation, no d-tree built). Zero when the fast path was disabled
+    /// or the query was not classified as tractable.
+    pub fast_path_hits: usize,
 }
 
 impl QueryResult {
@@ -44,10 +56,7 @@ impl QueryResult {
             .iter()
             .find(|t| {
                 key.len() <= t.values.len()
-                    && key
-                        .iter()
-                        .zip(&t.values)
-                        .all(|(k, v)| v.to_string() == *k)
+                    && key.iter().zip(&t.values).all(|(k, v)| v.to_string() == *k)
             })
             .map(|t| t.confidence)
     }
@@ -55,98 +64,83 @@ impl QueryResult {
 
 /// Evaluate a query end-to-end: run the rewriting `⟦·⟧`, then compute the exact
 /// probability of every result tuple and the exact distribution of every aggregate.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::prepare(..)?.execute(..)?`, which validates instead of panicking"
+)]
 pub fn evaluate_with_probabilities(db: &Database, query: &Query) -> QueryResult {
-    evaluate_with_options(db, query, &CompileOptions::default())
+    match Engine::execute_once(db, query, &EvalOptions::default()) {
+        Ok(result) => result,
+        Err(e) => panic!("query evaluation failed: {e}"),
+    }
 }
 
-/// As [`evaluate_with_probabilities`], with explicit compilation options (used by the
+/// As `evaluate_with_probabilities`, with explicit compilation options (used by the
 /// ablation benchmarks).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::prepare(..)?.execute(..)?` with `EvalOptions::with_compile(..)`"
+)]
 pub fn evaluate_with_options(
     db: &Database,
     query: &Query,
     options: &CompileOptions,
 ) -> QueryResult {
-    let start = Instant::now();
-    let table = crate::exec::evaluate(db, query);
-    let rewrite_time = start.elapsed();
-
-    let start = Instant::now();
-    let tuples = table
-        .tuples
-        .iter()
-        .map(|tuple| {
-            let mut compiler = Compiler::with_options(&db.vars, db.kind, options.clone());
-            let tree = compiler
-                .compile_semiring(&tuple.annotation)
-                .expect("no node budget set");
-            let dist = tree
-                .semiring_distribution(&db.vars, db.kind)
-                .expect("annotation d-tree yields semiring values");
-            let confidence = dist
-                .iter()
-                .filter(|(v, _)| !v.is_zero())
-                .map(|(_, p)| p)
-                .sum();
-            let mut aggregate_distributions = BTreeMap::new();
-            for (column, value) in table.schema.columns().iter().zip(&tuple.values) {
-                if let Value::Agg(expr) = value {
-                    let tree = compile_semimodule(expr, &db.vars, db.kind);
-                    let dist = tree
-                        .monoid_distribution(&db.vars, db.kind)
-                        .expect("aggregate d-tree yields monoid values");
-                    aggregate_distributions.insert(column.name.clone(), dist);
-                }
-            }
-            ProbTuple {
-                values: tuple.values.clone(),
-                confidence,
-                aggregate_distributions,
-            }
-        })
-        .collect();
-    let probability_time = start.elapsed();
-
-    QueryResult {
-        columns: table.schema.names().into_iter().map(str::to_string).collect(),
-        tuples,
-        rewrite_time,
-        probability_time,
+    let options = EvalOptions::default().with_compile(options.clone());
+    match Engine::execute_once(db, query, &options) {
+        Ok(result) => result,
+        Err(e) => panic!("query evaluation failed: {e}"),
     }
 }
 
 /// Compute only the per-tuple confidences of an already-evaluated pvc-table. This is
 /// the `P(·)` phase measured separately in Experiment F.
-pub fn tuple_confidences(db: &Database, table: &PvcTable) -> Vec<f64> {
+pub fn try_tuple_confidences(db: &Database, table: &PvcTable) -> Result<Vec<f64>, Error> {
     table
         .tuples
         .iter()
         .map(|t| {
-            let tree = compile_semiring(&t.annotation, &db.vars, db.kind);
-            tree.semiring_distribution(&db.vars, db.kind)
-                .expect("annotation d-tree yields semiring values")
+            let mut compiler = Compiler::new(&db.vars, db.kind);
+            let tree = compiler.compile_semiring(&t.annotation)?;
+            let dist = tree.semiring_distribution(&db.vars, db.kind)?;
+            Ok(dist
                 .iter()
                 .filter(|(v, _)| !v.is_zero())
                 .map(|(_, p)| p)
-                .sum()
+                .sum())
         })
         .collect()
+}
+
+/// Compute per-tuple confidences, panicking on compilation failure.
+#[deprecated(since = "0.2.0", note = "use `try_tuple_confidences`")]
+pub fn tuple_confidences(db: &Database, table: &PvcTable) -> Vec<f64> {
+    match try_tuple_confidences(db, table) {
+        Ok(confidences) => confidences,
+        Err(e) => panic!("confidence computation failed: {e}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::tests::{figure1_db, paper_q1};
+    use crate::exec::try_evaluate;
     use crate::query::{AggSpec, Predicate};
     use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind};
     use pvc_expr::oracle;
 
+    fn run(db: &Database, query: &Query) -> QueryResult {
+        Engine::execute_once(db, query, &EvalOptions::default()).unwrap()
+    }
+
     #[test]
     fn q1_tuple_confidences_match_oracle() {
         let db = figure1_db();
-        let result = evaluate_with_probabilities(&db, &paper_q1());
+        let result = run(&db, &paper_q1());
         assert_eq!(result.tuples.len(), 9);
         // Cross-check every confidence against brute-force enumeration.
-        let table = crate::exec::evaluate(&db, &paper_q1());
+        let table = try_evaluate(&db, &paper_q1()).unwrap();
         for (prob_tuple, tuple) in result.tuples.iter().zip(&table.tuples) {
             let expected =
                 oracle::confidence_by_enumeration(&tuple.annotation, &db.vars, SemiringKind::Bool);
@@ -163,9 +157,9 @@ mod tests {
             .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")])
             .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 50))
             .project(["shop"]);
-        let result = evaluate_with_probabilities(&db, &q2);
+        let result = run(&db, &q2);
         assert_eq!(result.tuples.len(), 2);
-        let table = crate::exec::evaluate(&db, &q2);
+        let table = try_evaluate(&db, &q2).unwrap();
         for (prob_tuple, tuple) in result.tuples.iter().zip(&table.tuples) {
             let expected =
                 oracle::confidence_by_enumeration(&tuple.annotation, &db.vars, SemiringKind::Bool);
@@ -189,7 +183,7 @@ mod tests {
                 AggSpec::count("cnt"),
             ],
         );
-        let result = evaluate_with_probabilities(&db, &q);
+        let result = run(&db, &q);
         assert_eq!(result.tuples.len(), 1);
         let t = &result.tuples[0];
         assert!((t.confidence - 1.0).abs() < 1e-12);
@@ -200,16 +194,17 @@ mod tests {
         let cnt_dist = &t.aggregate_distributions["cnt"];
         assert!((cnt_dist.prob(&MonoidValue::Fin(2)) - 6.0 / 16.0).abs() < 1e-9);
         // Cross-check the COUNT distribution against the oracle.
-        let table = crate::exec::evaluate(&db, &q);
+        let table = try_evaluate(&db, &q).unwrap();
         let expr = table.tuples[0].values[1].as_agg().unwrap();
-        let oracle_dist = oracle::semimodule_dist_by_enumeration(expr, &db.vars, SemiringKind::Bool);
+        let oracle_dist =
+            oracle::semimodule_dist_by_enumeration(expr, &db.vars, SemiringKind::Bool);
         assert!(cnt_dist.approx_eq(&oracle_dist, 1e-9));
     }
 
     #[test]
     fn timings_are_recorded() {
         let db = figure1_db();
-        let result = evaluate_with_probabilities(&db, &paper_q1());
+        let result = run(&db, &paper_q1());
         assert!(result.rewrite_time > Duration::ZERO);
         assert!(result.probability_time > Duration::ZERO);
         assert_eq!(result.columns, vec!["shop", "price"]);
@@ -218,9 +213,21 @@ mod tests {
     #[test]
     fn tuple_confidences_helper() {
         let db = figure1_db();
-        let table = crate::exec::evaluate(&db, &paper_q1());
-        let confs = tuple_confidences(&db, &table);
+        let table = try_evaluate(&db, &paper_q1()).unwrap();
+        let confs = try_tuple_confidences(&db, &table).unwrap();
         assert_eq!(confs.len(), table.len());
         assert!(confs.iter().all(|p| *p > 0.0 && *p <= 1.0));
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        let db = figure1_db();
+        #[allow(deprecated)]
+        let result = evaluate_with_probabilities(&db, &paper_q1());
+        assert_eq!(result.tuples.len(), 9);
+        let table = try_evaluate(&db, &paper_q1()).unwrap();
+        #[allow(deprecated)]
+        let confs = tuple_confidences(&db, &table);
+        assert_eq!(confs.len(), 9);
     }
 }

@@ -73,7 +73,9 @@ impl Predicate {
     /// The columns this predicate references.
     pub fn columns(&self) -> Vec<&str> {
         match self {
-            Predicate::ColEqCol(a, b) | Predicate::AggCmpAgg(a, _, b) | Predicate::AggCmpCol(a, _, b) => {
+            Predicate::ColEqCol(a, b)
+            | Predicate::AggCmpAgg(a, _, b)
+            | Predicate::AggCmpCol(a, _, b) => {
                 vec![a, b]
             }
             Predicate::ColCmpConst(a, _, _) | Predicate::AggCmpConst(a, _, _) => vec![a],
@@ -124,6 +126,11 @@ pub enum QueryError {
     UnionSchemaMismatch,
     /// An aggregation references an aggregation attribute as its input column.
     AggregationOfAggregate(String),
+    /// A predicate used a column with the wrong sort: an `Agg*` predicate over a data
+    /// column, or a plain comparison over an aggregation attribute.
+    PredicateSortMismatch(String),
+    /// A product (or a rename) would produce two columns with the same name.
+    DuplicateColumn(String),
 }
 
 impl fmt::Display for QueryError {
@@ -140,6 +147,12 @@ impl fmt::Display for QueryError {
             QueryError::UnionSchemaMismatch => write!(f, "union operands have different schemas"),
             QueryError::AggregationOfAggregate(c) => {
                 write!(f, "aggregation over aggregation attribute `{c}`")
+            }
+            QueryError::PredicateSortMismatch(c) => {
+                write!(f, "predicate uses column `{c}` with the wrong sort")
+            }
+            QueryError::DuplicateColumn(c) => {
+                write!(f, "duplicate column `{c}`; rename one side first")
             }
         }
     }
@@ -160,7 +173,10 @@ impl Query {
 
     /// `π_{columns}(self)`.
     pub fn project<S: Into<String>>(self, columns: impl IntoIterator<Item = S>) -> Self {
-        Query::Project(columns.into_iter().map(Into::into).collect(), Box::new(self))
+        Query::Project(
+            columns.into_iter().map(Into::into).collect(),
+            Box::new(self),
+        )
     }
 
     /// `self × other`.
@@ -171,10 +187,7 @@ impl Query {
     /// Equi-join: `σ_{a=b}(self × other)`.
     pub fn join(self, other: Query, on: &[(&str, &str)]) -> Self {
         let product = self.product(other);
-        let preds: Vec<Predicate> = on
-            .iter()
-            .map(|(a, b)| Predicate::eq_col(*a, *b))
-            .collect();
+        let preds: Vec<Predicate> = on.iter().map(|(a, b)| Predicate::eq_col(*a, *b)).collect();
         product.select(Predicate::And(preds))
     }
 
@@ -245,17 +258,16 @@ impl Query {
                     if schema.index_of(old).is_none() {
                         return Err(QueryError::UnknownColumn(old.clone()));
                     }
+                    if new != old && schema.index_of(new).is_some() {
+                        return Err(QueryError::DuplicateColumn(new.clone()));
+                    }
                     schema = schema.rename(old, new);
                 }
                 Ok(schema)
             }
             Query::Select(pred, input) => {
                 let schema = input.output_schema(db)?;
-                for col in pred.columns() {
-                    if schema.index_of(col).is_none() {
-                        return Err(QueryError::UnknownColumn(col.to_string()));
-                    }
-                }
+                validate_predicate(pred, &schema)?;
                 Ok(schema)
             }
             Query::Project(cols, input) => {
@@ -274,7 +286,7 @@ impl Query {
             Query::Product(a, b) => {
                 let sa = a.output_schema(db)?;
                 let sb = b.output_schema(db)?;
-                Ok(sa.concat(&sb))
+                sa.try_concat(&sb).map_err(QueryError::DuplicateColumn)
             }
             Query::Union(a, b) => {
                 let sa = a.output_schema(db)?;
@@ -326,6 +338,57 @@ impl Query {
     }
 }
 
+/// Validate that a predicate references existing columns with the right sorts: the
+/// `Agg*` predicates must name aggregation attributes, the plain comparisons data
+/// columns.
+fn validate_predicate(pred: &Predicate, schema: &Schema) -> Result<(), QueryError> {
+    let exists = |c: &str| -> Result<(), QueryError> {
+        if schema.index_of(c).is_none() {
+            Err(QueryError::UnknownColumn(c.to_string()))
+        } else {
+            Ok(())
+        }
+    };
+    let data = |c: &str| -> Result<(), QueryError> {
+        exists(c)?;
+        if schema.is_aggregation(c) {
+            Err(QueryError::PredicateSortMismatch(c.to_string()))
+        } else {
+            Ok(())
+        }
+    };
+    let agg = |c: &str| -> Result<(), QueryError> {
+        exists(c)?;
+        if schema.is_aggregation(c) {
+            Ok(())
+        } else {
+            Err(QueryError::PredicateSortMismatch(c.to_string()))
+        }
+    };
+    match pred {
+        Predicate::ColEqCol(a, b) => {
+            data(a)?;
+            data(b)
+        }
+        Predicate::ColCmpConst(a, _, _) => data(a),
+        Predicate::AggCmpConst(alpha, _, _) => agg(alpha),
+        Predicate::AggCmpAgg(alpha, _, beta) => {
+            agg(alpha)?;
+            agg(beta)
+        }
+        Predicate::AggCmpCol(alpha, _, col) => {
+            agg(alpha)?;
+            data(col)
+        }
+        Predicate::And(ps) => {
+            for p in ps {
+                validate_predicate(p, schema)?;
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,7 +413,8 @@ mod tests {
 
     #[test]
     fn repeated_tables_detected() {
-        let q = Query::table("S").product(Query::table("S").rename(&[("sid", "sid2"), ("shop", "shop2")]));
+        let q = Query::table("S")
+            .product(Query::table("S").rename(&[("sid", "sid2"), ("shop", "shop2")]));
         assert!(!q.is_non_repeating());
     }
 
@@ -358,7 +422,10 @@ mod tests {
     fn group_agg_schema_marks_aggregation_columns() {
         let q = Query::table("PS").group_agg(
             ["pid"],
-            vec![AggSpec::new(AggOp::Min, "price", "min_price"), AggSpec::count("cnt")],
+            vec![
+                AggSpec::new(AggOp::Min, "price", "min_price"),
+                AggSpec::count("cnt"),
+            ],
         );
         let schema = q.output_schema(&sample_db()).unwrap();
         assert_eq!(schema.names(), vec!["pid", "min_price", "cnt"]);

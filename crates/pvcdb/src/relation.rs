@@ -134,7 +134,7 @@ impl PvcTable {
         for (ri, row) in rows.iter().enumerate() {
             for (value, width) in row.iter().zip(&widths) {
                 out.push_str(value);
-                out.extend(std::iter::repeat(' ').take(width - value.chars().count() + 2));
+                out.push_str(&" ".repeat(width - value.chars().count() + 2));
             }
             out.push('\n');
             if ri == 0 {
@@ -192,7 +192,10 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_mismatch_panics() {
         let mut t = PvcTable::new("R", Schema::new(["a", "b"]));
-        t.push(vec![1i64.into()], SemiringExpr::Const(SemiringValue::Bool(true)));
+        t.push(
+            vec![1i64.into()],
+            SemiringExpr::Const(SemiringValue::Bool(true)),
+        );
     }
 
     #[test]

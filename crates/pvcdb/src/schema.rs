@@ -90,19 +90,26 @@ impl Schema {
         self.columns.iter().map(|c| c.name.as_str()).collect()
     }
 
-    /// Concatenate two schemas (for the product operator). Panics on duplicate column
-    /// names — rename columns first.
-    pub fn concat(&self, other: &Schema) -> Schema {
+    /// Concatenate two schemas (for the product operator), reporting the first
+    /// duplicate column name (rename columns first to avoid it).
+    pub fn try_concat(&self, other: &Schema) -> Result<Schema, String> {
         for c in &other.columns {
-            assert!(
-                self.index_of(&c.name).is_none(),
-                "duplicate column `{}` in product; rename one side first",
-                c.name
-            );
+            if self.index_of(&c.name).is_some() {
+                return Err(c.name.clone());
+            }
         }
         let mut columns = self.columns.clone();
         columns.extend(other.columns.iter().cloned());
-        Schema { columns }
+        Ok(Schema { columns })
+    }
+
+    /// Concatenate two schemas (for the product operator). Panics on duplicate column
+    /// names — rename columns first, or use [`Schema::try_concat`].
+    pub fn concat(&self, other: &Schema) -> Schema {
+        match self.try_concat(other) {
+            Ok(schema) => schema,
+            Err(dup) => panic!("duplicate column `{dup}` in product; rename one side first"),
+        }
     }
 
     /// The schema restricted to the given columns (in the given order).

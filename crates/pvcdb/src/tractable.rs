@@ -231,7 +231,11 @@ pub fn classify(query: &Query, db: &Database) -> QueryClass {
     }
     // Base case: a tuple-independent base relation is in Q_ind.
     if let Query::Table(name) = query {
-        if db.table(name).map(|t| t.is_tuple_independent()).unwrap_or(false) {
+        if db
+            .table(name)
+            .map(|t| t.is_tuple_independent())
+            .unwrap_or(false)
+        {
             return QueryClass::Qind;
         }
         return QueryClass::General;
@@ -267,7 +271,9 @@ pub fn classify(query: &Query, db: &Database) -> QueryClass {
             // over independent inputs (8.2c) — approximated by requiring Qind.
             let class = classify(inner, db);
             match pred {
-                Predicate::AggCmpConst(..) | Predicate::ColCmpConst(..) | Predicate::ColEqCol(..) => class,
+                Predicate::AggCmpConst(..)
+                | Predicate::ColCmpConst(..)
+                | Predicate::ColEqCol(..) => class,
                 Predicate::AggCmpAgg(..) | Predicate::AggCmpCol(..) => {
                     if class == QueryClass::Qind {
                         QueryClass::Qind
@@ -278,7 +284,9 @@ pub fn classify(query: &Query, db: &Database) -> QueryClass {
                 Predicate::And(_) => class,
             }
         }
-        Query::GroupAgg { group_by, input, .. } => {
+        Query::GroupAgg {
+            group_by, input, ..
+        } => {
             // $_{A̅; γ←AGG(C)}[σ_ψ(Q1 × … × Qn)] with the underlying π_{A̅}σ_ψ(…)
             // hierarchical is in Q_hie (Definition 9.1).
             let mut probe = (**input).clone();
@@ -327,7 +335,7 @@ mod tests {
         db.create_table("S", Schema::new(["s_x", "s_y"]));
         db.create_table("T", Schema::new(["t_y"]));
         for name in ["R", "S", "T"] {
-            let (t, vars) = db.table_and_vars_mut(name);
+            let (t, vars) = db.table_and_vars_mut(name).unwrap();
             let arity = t.schema.arity();
             t.push_independent(vec![1i64.into(); arity], 0.5, vars);
         }
@@ -392,7 +400,10 @@ mod tests {
         let q = Query::table("S")
             .select(Predicate::eq_const("shop", "M&S"))
             .join(Query::table("PS"), &[("sid", "ps_sid")])
-            .group_agg(Vec::<String>::new(), vec![AggSpec::new(AggOp::Sum, "price", "alpha")]);
+            .group_agg(
+                Vec::<String>::new(),
+                vec![AggSpec::new(AggOp::Sum, "price", "alpha")],
+            );
         assert_eq!(classify(&q, &db), QueryClass::Qind);
         // Grouped variant is Q_hie.
         let q = Query::table("S")
@@ -406,7 +417,11 @@ mod tests {
         let db = crate::exec::tests::figure1_db();
         let q = Query::table("PS")
             .group_agg(["ps_sid"], vec![AggSpec::new(AggOp::Min, "price", "m")])
-            .select(Predicate::AggCmpConst("m".into(), pvc_algebra::CmpOp::Le, 20));
+            .select(Predicate::AggCmpConst(
+                "m".into(),
+                pvc_algebra::CmpOp::Le,
+                20,
+            ));
         assert_ne!(classify(&q, &db), QueryClass::General);
     }
 

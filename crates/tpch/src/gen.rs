@@ -18,8 +18,7 @@
 //! factors reproduces the *shape* of the paper's Figure 11, not its absolute numbers.
 
 use pvc_db::{Database, Schema};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pvc_prob::SeededRng;
 
 /// Configuration of the TPC-H-like generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,14 +98,16 @@ const LINE_STATUS: [&str; 2] = ["O", "F"];
 /// Generate a tuple-independent TPC-H-like pvc-database.
 pub fn generate(config: &TpchConfig) -> Database {
     let cards = Cardinalities::for_scale(config.scale_factor);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SeededRng::seed_from_u64(config.seed);
     let mut db = Database::new();
     let p = config.tuple_probability;
 
     // region(r_regionkey, r_name)
     db.create_table("region", Schema::new(["r_regionkey", "r_name"]));
     {
-        let (t, vars) = db.table_and_vars_mut("region");
+        let (t, vars) = db
+            .table_and_vars_mut("region")
+            .expect("table was just created");
         for (k, name) in REGION_NAMES.iter().enumerate().take(cards.regions) {
             t.push_independent(vec![(k as i64).into(), (*name).into()], p, vars);
         }
@@ -118,11 +119,17 @@ pub fn generate(config: &TpchConfig) -> Database {
         Schema::new(["n_nationkey", "n_regionkey", "n_name"]),
     );
     {
-        let (t, vars) = db.table_and_vars_mut("nation");
+        let (t, vars) = db
+            .table_and_vars_mut("nation")
+            .expect("table was just created");
         for k in 0..cards.nations {
             let region = (k % cards.regions) as i64;
             t.push_independent(
-                vec![(k as i64).into(), region.into(), format!("NATION{k}").into()],
+                vec![
+                    (k as i64).into(),
+                    region.into(),
+                    format!("NATION{k}").into(),
+                ],
                 p,
                 vars,
             );
@@ -135,10 +142,12 @@ pub fn generate(config: &TpchConfig) -> Database {
         Schema::new(["s_suppkey", "s_nationkey", "s_acctbal"]),
     );
     {
-        let (t, vars) = db.table_and_vars_mut("supplier");
+        let (t, vars) = db
+            .table_and_vars_mut("supplier")
+            .expect("table was just created");
         for k in 0..cards.suppliers {
             let nation = rng.gen_range(0..cards.nations) as i64;
-            let acctbal = rng.gen_range(0..10_000) as i64;
+            let acctbal = rng.gen_range(0i64..10_000);
             t.push_independent(
                 vec![(k as i64).into(), nation.into(), acctbal.into()],
                 p,
@@ -148,12 +157,17 @@ pub fn generate(config: &TpchConfig) -> Database {
     }
 
     // part(p_partkey, p_size, p_retailprice)
-    db.create_table("part", Schema::new(["p_partkey", "p_size", "p_retailprice"]));
+    db.create_table(
+        "part",
+        Schema::new(["p_partkey", "p_size", "p_retailprice"]),
+    );
     {
-        let (t, vars) = db.table_and_vars_mut("part");
+        let (t, vars) = db
+            .table_and_vars_mut("part")
+            .expect("table was just created");
         for k in 0..cards.parts {
-            let size = rng.gen_range(1..=50) as i64;
-            let price = rng.gen_range(900..2_000) as i64;
+            let size = rng.gen_range(1i64..=50);
+            let price = rng.gen_range(900i64..2_000);
             t.push_independent(vec![(k as i64).into(), size.into(), price.into()], p, vars);
         }
     }
@@ -164,14 +178,16 @@ pub fn generate(config: &TpchConfig) -> Database {
         Schema::new(["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"]),
     );
     {
-        let (t, vars) = db.table_and_vars_mut("partsupp");
+        let (t, vars) = db
+            .table_and_vars_mut("partsupp")
+            .expect("table was just created");
         for k in 0..cards.partsupps {
             // Every part gets offers from a bounded number of suppliers, mirroring
             // TPC-H's 4 offers per part: fan-out stays constant as the data scales.
             let part = (k % cards.parts) as i64;
             let supp = rng.gen_range(0..cards.suppliers) as i64;
-            let cost = rng.gen_range(1..1_000) as i64;
-            let qty = rng.gen_range(1..10_000) as i64;
+            let cost = rng.gen_range(1i64..1_000);
+            let qty = rng.gen_range(1i64..10_000);
             t.push_independent(
                 vec![part.into(), supp.into(), cost.into(), qty.into()],
                 p,
@@ -183,7 +199,9 @@ pub fn generate(config: &TpchConfig) -> Database {
     // customer(c_custkey, c_nationkey)
     db.create_table("customer", Schema::new(["c_custkey", "c_nationkey"]));
     {
-        let (t, vars) = db.table_and_vars_mut("customer");
+        let (t, vars) = db
+            .table_and_vars_mut("customer")
+            .expect("table was just created");
         for k in 0..cards.customers {
             let nation = rng.gen_range(0..cards.nations) as i64;
             t.push_independent(vec![(k as i64).into(), nation.into()], p, vars);
@@ -191,12 +209,17 @@ pub fn generate(config: &TpchConfig) -> Database {
     }
 
     // orders(o_orderkey, o_custkey, o_orderdate)
-    db.create_table("orders", Schema::new(["o_orderkey", "o_custkey", "o_orderdate"]));
+    db.create_table(
+        "orders",
+        Schema::new(["o_orderkey", "o_custkey", "o_orderdate"]),
+    );
     {
-        let (t, vars) = db.table_and_vars_mut("orders");
+        let (t, vars) = db
+            .table_and_vars_mut("orders")
+            .expect("table was just created");
         for k in 0..cards.orders {
             let cust = rng.gen_range(0..cards.customers) as i64;
-            let date = rng.gen_range(0..2_557) as i64; // days within the 7-year window
+            let date = rng.gen_range(0i64..2_557); // days within the 7-year window
             t.push_independent(vec![(k as i64).into(), cust.into(), date.into()], p, vars);
         }
     }
@@ -216,13 +239,15 @@ pub fn generate(config: &TpchConfig) -> Database {
         ]),
     );
     {
-        let (t, vars) = db.table_and_vars_mut("lineitem");
+        let (t, vars) = db
+            .table_and_vars_mut("lineitem")
+            .expect("table was just created");
         for k in 0..cards.lineitems {
             let order = (k % cards.orders) as i64; // ~4 lineitems per order
             let part = rng.gen_range(0..cards.parts) as i64;
-            let quantity = rng.gen_range(1..=50) as i64;
-            let price = rng.gen_range(900..100_000) as i64;
-            let shipdate = rng.gen_range(0..2_557) as i64;
+            let quantity = rng.gen_range(1i64..=50);
+            let price = rng.gen_range(900i64..100_000);
+            let shipdate = rng.gen_range(0i64..2_557);
             let flag = RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())];
             let status = LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())];
             t.push_independent(
@@ -274,8 +299,8 @@ mod tests {
         assert!(db1.is_tuple_independent());
         assert_eq!(db1.vars.len(), db1.total_tuples());
         // Same seed ⇒ same data.
-        let l1 = db1.expect_table("lineitem");
-        let l2 = db2.expect_table("lineitem");
+        let l1 = db1.table_or_err("lineitem").unwrap();
+        let l2 = db2.table_or_err("lineitem").unwrap();
         assert_eq!(l1.tuples[0].values, l2.tuples[0].values);
     }
 
@@ -286,10 +311,10 @@ mod tests {
             ..TpchConfig::default()
         });
         let cards = Cardinalities::for_scale(0.02);
-        assert_eq!(db.expect_table("lineitem").len(), cards.lineitems);
-        assert_eq!(db.expect_table("orders").len(), cards.orders);
+        assert_eq!(db.table_or_err("lineitem").unwrap().len(), cards.lineitems);
+        assert_eq!(db.table_or_err("orders").unwrap().len(), cards.orders);
         // Every lineitem references an existing order and part.
-        let lineitem = db.expect_table("lineitem");
+        let lineitem = db.table_or_err("lineitem").unwrap();
         for t in lineitem.iter() {
             let order = t.values[0].as_int().unwrap();
             let part = t.values[1].as_int().unwrap();
@@ -297,7 +322,7 @@ mod tests {
             assert!((part as usize) < cards.parts);
         }
         // Every nation references an existing region.
-        let nation = db.expect_table("nation");
+        let nation = db.table_or_err("nation").unwrap();
         for t in nation.iter() {
             assert!((t.values[1].as_int().unwrap() as usize) < cards.regions);
         }
@@ -310,7 +335,7 @@ mod tests {
             tuple_probability: 0.25,
             ..TpchConfig::default()
         });
-        let region = db.expect_table("region");
+        let region = db.table_or_err("region").unwrap();
         let first_var = match &region.tuples[0].annotation {
             pvc_expr::SemiringExpr::Var(v) => *v,
             other => panic!("unexpected annotation {other:?}"),

@@ -120,7 +120,7 @@ pub fn deterministic_copy(db: &pvc_db::Database) -> pvc_db::Database {
 mod tests {
     use super::*;
     use crate::gen::{generate, TpchConfig};
-    use pvc_db::{classify, evaluate, QueryClass};
+    use pvc_db::{classify, try_evaluate, QueryClass};
 
     fn tiny_db() -> pvc_db::Database {
         generate(&TpchConfig {
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn q1_produces_grouped_counts() {
         let db = tiny_db();
-        let result = evaluate(&db, &q1(2_000));
+        let result = try_evaluate(&db, &q1(2_000)).unwrap();
         // At most 3 return flags × 2 line statuses groups.
         assert!(result.len() <= 6);
         assert!(!result.is_empty());
@@ -160,8 +160,11 @@ mod tests {
         let db = tiny_db();
         let q = q2("ASIA", 25);
         let schema = q.output_schema(&db).expect("Q2 must validate");
-        assert_eq!(schema.names(), vec!["s_suppkey", "p_partkey", "ps_supplycost"]);
-        let result = evaluate(&db, &q);
+        assert_eq!(
+            schema.names(),
+            vec!["s_suppkey", "p_partkey", "ps_supplycost"]
+        );
+        let result = try_evaluate(&db, &q).unwrap();
         // Every result tuple's annotation mentions at least the five joined tuples
         // plus the variables of the nested aggregate.
         for t in result.iter() {

@@ -21,8 +21,7 @@
 
 use pvc_algebra::{AggOp, CmpOp, MonoidValue};
 use pvc_expr::{SemimoduleExpr, SemiringExpr, Var, VarTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pvc_prob::SeededRng;
 
 /// Parameters of the synthetic expression workload (the knobs of Experiments A–E).
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +88,7 @@ pub struct GeneratedExpr {
 #[derive(Debug)]
 pub struct ExprGenerator {
     params: ExprGenParams,
-    rng: StdRng,
+    rng: SeededRng,
 }
 
 impl ExprGenerator {
@@ -97,7 +96,7 @@ impl ExprGenerator {
     pub fn new(params: ExprGenParams, seed: u64) -> Self {
         ExprGenerator {
             params,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SeededRng::seed_from_u64(seed),
         }
     }
 
@@ -312,7 +311,10 @@ mod tests {
             let p = pvc_core::confidence(&g.condition, &g.vars, SemiringKind::Bool);
             let expected =
                 oracle::confidence_by_enumeration(&g.condition, &g.vars, SemiringKind::Bool);
-            assert!((p - expected).abs() < 1e-9, "{agg:?} {theta:?}: {p} vs {expected}");
+            assert!(
+                (p - expected).abs() < 1e-9,
+                "{agg:?} {theta:?}: {p} vs {expected}"
+            );
         }
     }
 

@@ -1,18 +1,30 @@
-//! Quickstart: build a small probabilistic database, run an aggregate query, and read
-//! off exact tuple probabilities and aggregate-value distributions.
+//! Quickstart: the `Engine` / prepared-query flow in five minutes.
+//!
+//! The engine is the front door of the whole suite:
+//!
+//! 1. build a probabilistic database (`Database`) of tuple-independent tables;
+//! 2. hand it to `Engine::new`, which owns it together with a cache of compile
+//!    artifacts;
+//! 3. `Engine::prepare` validates a query *once*, computes its output schema and
+//!    classifies it against the paper's §6 tractability classes — the result is an
+//!    inspectable `Plan` (no panics: malformed queries come back as
+//!    `Err(Error::Validation(..))`);
+//! 4. `PreparedQuery::execute` runs the two evaluation steps (the `⟦·⟧` rewriting
+//!    and d-tree-based probability computation) under explicit `EvalOptions`,
+//!    reusing cached artifacts on repeated execution.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use pvc_suite::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A probabilistic database of uncertain product offers. Every tuple is present
     //    with the given probability, independently of the others (a tuple-independent
     //    pvc-table).
     let mut db = Database::new();
     db.create_table("offers", Schema::new(["shop", "product", "price"]));
     {
-        let (offers, vars) = db.table_and_vars_mut("offers");
+        let (offers, vars) = db.table_and_vars_mut("offers")?;
         for (shop, product, price, p) in [
             ("M&S", "shirt", 10, 0.9),
             ("M&S", "coat", 50, 0.6),
@@ -28,8 +40,11 @@ fn main() {
         }
     }
 
-    // 2. An aggregate query in the language Q: the cheapest price and the number of
-    //    offers per shop.
+    // 2. The engine owns the database; queries are prepared against it.
+    let engine = Engine::new(db);
+
+    // 3. An aggregate query in the language Q: the cheapest price and the number of
+    //    offers per shop. `prepare` validates it and reports the evaluation strategy.
     let query = Query::table("offers").group_agg(
         ["shop"],
         vec![
@@ -37,11 +52,12 @@ fn main() {
             AggSpec::count("offer_count"),
         ],
     );
-    println!("query class: {:?}", classify(&query, &db));
+    let prepared = engine.prepare(&query)?;
+    println!("{}", prepared.plan());
 
-    // 3. Evaluate: step I builds tuples with semiring/semimodule expressions, step II
+    // 4. Execute: step I builds tuples with semiring/semimodule expressions, step II
     //    compiles them into decomposition trees and computes exact distributions.
-    let result = evaluate_with_probabilities(&db, &query);
+    let result = prepared.execute(&EvalOptions::default())?;
     println!("columns: {:?}", result.columns);
     for tuple in &result.tuples {
         println!(
@@ -53,15 +69,35 @@ fn main() {
         }
     }
 
-    // 4. The same machinery is available at expression level: the probability that
+    // 5. Result shaping: when only confidences are needed, skip the (more expensive)
+    //    aggregate-distribution compilation. The rewrite of step I is reused from the
+    //    engine's cache.
+    let slim = prepared.execute(&EvalOptions::confidence_only())?;
+    println!(
+        "\nconfidence-only re-run (cached rewrite): {} tuples, {:?} rewrite time",
+        slim.tuples.len(),
+        slim.rewrite_time
+    );
+
+    // 6. The same machinery is available at expression level: the probability that
     //    the cheapest M&S offer is at most 20.
-    let table = evaluate(&db, &query);
-    let cheapest = table.tuples[1].values[1].as_agg().expect("aggregation column");
+    let table = try_evaluate(engine.database(), &query)?;
+    let cheapest = table.tuples[1].values[1]
+        .as_agg()
+        .expect("aggregation column");
     let condition = SemiringExpr::cmp_mm(
         CmpOp::Le,
         cheapest.clone(),
         SemimoduleExpr::constant(AggOp::Min, MonoidValue::Fin(20)),
     );
-    let p = confidence(&condition, &db.vars, db.kind);
+    let p = confidence(&condition, &engine.database().vars, engine.database().kind);
     println!("\nP[min price at M&S ≤ 20] = {p:.4}");
+
+    // 7. Invalid queries are errors, not panics.
+    let invalid = Query::table("offers").project(["no_such_column"]);
+    match engine.prepare(&invalid) {
+        Err(Error::Validation(e)) => println!("rejected as expected: {e}"),
+        other => panic!("expected a validation error, got {other:?}"),
+    }
+    Ok(())
 }

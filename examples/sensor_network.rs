@@ -5,17 +5,17 @@
 //! reading is only present with some probability). We ask OLAP-style questions:
 //! the exact distribution of the number of overheating readings per room, the
 //! probability that a room's maximum temperature exceeds a threshold, and the
-//! expected maximum.
+//! expected maximum. All queries go through `Engine::prepare(..)?.execute(..)?`.
 //!
 //! Run with: `cargo run --example sensor_network`
 
 use pvc_suite::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::new();
     db.create_table("readings", Schema::new(["room", "sensor", "temperature"]));
     {
-        let (readings, vars) = db.table_and_vars_mut("readings");
+        let (readings, vars) = db.table_and_vars_mut("readings")?;
         // (room, sensor, temperature °C, probability that the reading is genuine)
         let data = [
             ("server-room", 1, 71, 0.95),
@@ -36,6 +36,7 @@ fn main() {
             );
         }
     }
+    let engine = Engine::new(db);
 
     // How many readings above 65 °C does each room have, and how hot does it get?
     let hot = Query::table("readings")
@@ -51,11 +52,15 @@ fn main() {
                 AggSpec::new(AggOp::Max, "temperature", "max_temp"),
             ],
         );
-    println!("query class: {:?}\n", classify(&hot, &db));
-    let result = evaluate_with_probabilities(&db, &hot);
+    let prepared = engine.prepare(&hot)?;
+    println!("{}", prepared.plan());
+    let result = prepared.execute(&EvalOptions::default())?;
     for tuple in &result.tuples {
         println!("room {}", tuple.values[0]);
-        println!("  P[at least one genuine hot reading] = {:.4}", tuple.confidence);
+        println!(
+            "  P[at least one genuine hot reading] = {:.4}",
+            tuple.confidence
+        );
         let count = &tuple.aggregate_distributions["hot_readings"];
         println!("  distribution of #hot readings: {count}");
         let max = &tuple.aggregate_distributions["max_temp"];
@@ -72,7 +77,7 @@ fn main() {
 
     // An alarm condition as a standalone expression: the probability that the
     // server room has at least two genuine readings above 65 °C.
-    let table = evaluate(&db, &hot);
+    let table = try_evaluate(engine.database(), &hot)?;
     let server_room = table
         .iter()
         .find(|t| t.values[0].as_str() == Some("server-room"))
@@ -83,6 +88,7 @@ fn main() {
         count_expr,
         SemimoduleExpr::constant(AggOp::Count, MonoidValue::Fin(2)),
     );
-    let p = confidence(&alarm, &db.vars, db.kind);
+    let p = confidence(&alarm, &engine.database().vars, engine.database().kind);
     println!("P[server room has ≥ 2 genuine readings above 65 °C] = {p:.4}");
+    Ok(())
 }

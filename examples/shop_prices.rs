@@ -1,25 +1,25 @@
 //! The paper's running example (Figure 1): suppliers, products and offers with
 //! uncertain presence, the positive query Q1 and the aggregate query Q2 ("shops whose
-//! maximal price is at most 50"), evaluated exactly.
+//! maximal price is at most 50"), evaluated exactly through the `Engine`.
 //!
 //! Run with: `cargo run --example shop_prices`
 
 use pvc_suite::prelude::*;
 
-fn build_figure1_database() -> Database {
+fn build_figure1_database() -> Result<Database, Error> {
     let mut db = Database::new();
     db.create_table("S", Schema::new(["sid", "shop"]));
     db.create_table("PS", Schema::new(["ps_sid", "ps_pid", "price"]));
     db.create_table("P1", Schema::new(["pid", "weight"]));
     db.create_table("P2", Schema::new(["pid", "weight"]));
     {
-        let (s, vars) = db.table_and_vars_mut("S");
+        let (s, vars) = db.table_and_vars_mut("S")?;
         for (sid, shop) in [(1, "M&S"), (2, "M&S"), (3, "M&S"), (4, "Gap"), (5, "Gap")] {
             s.push_independent(vec![(sid as i64).into(), shop.into()], 0.5, vars);
         }
     }
     {
-        let (ps, vars) = db.table_and_vars_mut("PS");
+        let (ps, vars) = db.table_and_vars_mut("PS")?;
         for (sid, pid, price) in [
             (1, 1, 10),
             (1, 2, 50),
@@ -32,27 +32,31 @@ fn build_figure1_database() -> Database {
             (5, 1, 10),
         ] {
             ps.push_independent(
-                vec![(sid as i64).into(), (pid as i64).into(), (price as i64).into()],
+                vec![
+                    (sid as i64).into(),
+                    (pid as i64).into(),
+                    (price as i64).into(),
+                ],
                 0.5,
                 vars,
             );
         }
     }
     {
-        let (p1, vars) = db.table_and_vars_mut("P1");
+        let (p1, vars) = db.table_and_vars_mut("P1")?;
         for (pid, weight) in [(1, 4), (2, 8), (3, 7), (4, 6)] {
             p1.push_independent(vec![(pid as i64).into(), (weight as i64).into()], 0.5, vars);
         }
     }
     {
-        let (p2, vars) = db.table_and_vars_mut("P2");
+        let (p2, vars) = db.table_and_vars_mut("P2")?;
         p2.push_independent(vec![1i64.into(), 5i64.into()], 0.5, vars);
     }
-    db
+    Ok(db)
 }
 
-fn main() {
-    let db = build_figure1_database();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new(build_figure1_database()?);
 
     // Q1 = π_{shop, price}[ S ⋈ PS ⋈ (P1 ∪ P2) ]  (Figure 1d).
     let products = Query::table("P1")
@@ -64,15 +68,14 @@ fn main() {
         .project(["shop", "price"]);
 
     println!("Q1 — prices of products available in shops");
-    let q1_table = evaluate(&db, &q1);
+    let q1_table = try_evaluate(engine.database(), &q1)?;
     println!("{q1_table}");
-    for (tuple, confidence) in q1_table
-        .iter()
-        .zip(pvc_db::tuple_confidences(&db, &q1_table))
-    {
+    let prepared_q1 = engine.prepare(&q1)?;
+    let q1_result = prepared_q1.execute(&EvalOptions::confidence_only())?;
+    for tuple in &q1_result.tuples {
         println!(
-            "  P[{} sells at {}] = {confidence:.4}",
-            tuple.values[0], tuple.values[1]
+            "  P[{} sells at {}] = {:.4}",
+            tuple.values[0], tuple.values[1], tuple.confidence
         );
     }
 
@@ -83,17 +86,27 @@ fn main() {
         .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 50))
         .project(["shop"]);
     println!("\nQ2 — shops whose maximal available price is at most 50");
-    println!("query class: {:?}", classify(&q2, &db));
-    let result = evaluate_with_probabilities(&db, &q2);
+    let prepared_q2 = engine.prepare(&q2)?;
+    println!("{}", prepared_q2.plan());
+    let result = prepared_q2.execute(&EvalOptions::default())?;
     for tuple in &result.tuples {
-        println!("  P[{} qualifies] = {:.4}", tuple.values[0], tuple.confidence);
+        println!(
+            "  P[{} qualifies] = {:.4}",
+            tuple.values[0], tuple.confidence
+        );
     }
 
     // The MAX-price distribution per shop, before the ≤ 50 filter.
     let per_shop = q1.group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")]);
-    let result = evaluate_with_probabilities(&db, &per_shop);
+    let result = engine
+        .prepare(&per_shop)?
+        .execute(&EvalOptions::default())?;
     println!("\nDistribution of the maximal price per shop (−∞ = no product on offer):");
     for tuple in &result.tuples {
-        println!("  {}: {}", tuple.values[0], tuple.aggregate_distributions["P"]);
+        println!(
+            "  {}: {}",
+            tuple.values[0], tuple.aggregate_distributions["P"]
+        );
     }
+    Ok(())
 }

@@ -1,16 +1,17 @@
 //! Decision support over uncertain data: the paper's TPC-H experiment in miniature.
 //!
 //! Generates a tuple-independent TPC-H-like database, runs the paper's two queries
-//! (Q1: counts of billed/shipped/returned business, Q2: minimum-cost suppliers) and
-//! reports exact tuple probabilities, separating the two evaluation phases the paper
-//! measures: expression construction (⟦·⟧) and probability computation (P(·)).
+//! (Q1: counts of billed/shipped/returned business, Q2: minimum-cost suppliers)
+//! through the `Engine` and reports exact tuple probabilities, separating the two
+//! evaluation phases the paper measures: expression construction (⟦·⟧) and
+//! probability computation (P(·)).
 //!
 //! Run with: `cargo run --release --example tpch_olap`
 
 use pvc_suite::prelude::*;
 use pvc_suite::tpch::{generate, q1, q2, TpchConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = TpchConfig {
         scale_factor: 0.25,
         ..TpchConfig::default()
@@ -22,11 +23,14 @@ fn main() {
         db.total_tuples(),
         db.vars.len()
     );
+    let engine = Engine::new(db);
 
     // Q1: COUNT of line items per (returnflag, linestatus), shipped before a cutoff.
     let q1 = q1(1_800);
-    println!("TPC-H Q1 (COUNT per return flag / line status) — class {:?}", classify(&q1, &db));
-    let result = evaluate_with_probabilities(&db, &q1);
+    let prepared = engine.prepare(&q1)?;
+    println!("TPC-H Q1 (COUNT per return flag / line status)");
+    println!("{}", prepared.plan());
+    let result = prepared.execute(&EvalOptions::default())?;
     println!(
         "  ⟦·⟧ took {:?}, P(·) took {:?}",
         result.rewrite_time, result.probability_time
@@ -44,10 +48,12 @@ fn main() {
         );
     }
 
-    // Q2: suppliers offering a qualifying part at its minimum supply cost.
+    // Q2: suppliers offering a qualifying part at its minimum supply cost. Only the
+    // confidences are needed here, so skip the aggregate distributions.
     let q2 = q2("ASIA", 25);
     println!("\nTPC-H Q2 (minimum-cost suppliers in ASIA)");
-    let result = evaluate_with_probabilities(&db, &q2);
+    let prepared = engine.prepare(&q2)?;
+    let result = prepared.execute(&EvalOptions::confidence_only())?;
     println!(
         "  ⟦·⟧ took {:?}, P(·) took {:?}, {} candidate answers",
         result.rewrite_time,
@@ -62,4 +68,5 @@ fn main() {
             tuple.values[0], tuple.values[1], tuple.values[2], tuple.confidence
         );
     }
+    Ok(())
 }

@@ -4,16 +4,52 @@
 //! Knowledge Compilation"* (Fink, Han, Olteanu, VLDB 2012): it re-exports the public
 //! API of all member crates so that applications can depend on a single crate.
 //!
+//! ## The engine flow
+//!
+//! The public entry point is the **`Engine` / prepared-query API** of [`db`]:
+//!
+//! ```
+//! use pvc_suite::prelude::*;
+//!
+//! // 1. Build a probabilistic database of tuple-independent tables.
+//! let mut db = Database::new();
+//! db.create_table("offers", Schema::new(["shop", "price"]));
+//! let (offers, vars) = db.table_and_vars_mut("offers")?;
+//! offers.push_independent(vec!["M&S".into(), 10i64.into()], 0.9, vars);
+//! offers.push_independent(vec!["Gap".into(), 12i64.into()], 0.8, vars);
+//!
+//! // 2. The engine owns the database plus a cache of compile artifacts.
+//! let engine = Engine::new(db);
+//!
+//! // 3. `prepare` validates once, computes the schema and classifies the query
+//! //    against the §6 tractability classes — inspect the result via `Plan`.
+//! let query = Query::table("offers").group_agg(
+//!     ["shop"],
+//!     vec![AggSpec::new(AggOp::Min, "price", "cheapest")],
+//! );
+//! let prepared = engine.prepare(&query)?;
+//! assert!(prepared.plan().strategy.is_tractable());
+//!
+//! // 4. `execute` runs the ⟦·⟧ rewriting and d-tree compilation; invalid input
+//! //    and exceeded budgets surface as `Err(pvc_db::Error)`, never a panic.
+//! let result = prepared.execute(&EvalOptions::default())?;
+//! assert_eq!(result.tuples.len(), 2);
+//! # Ok::<(), pvc_suite::db::Error>(())
+//! ```
+//!
+//! ## Member crates
+//!
 //! * [`algebra`] — monoids, semirings, semimodules (§2.2);
-//! * [`prob`] — discrete distributions and convolution (§2.1);
+//! * [`prob`] — discrete distributions, convolution (§2.1) and the seeded RNG;
 //! * [`expr`] — semiring/semimodule expressions over random variables (Fig. 2);
 //! * [`core`] — decomposition trees and the compilation algorithm (§5);
-//! * [`db`] — pvc-tables and the query language `Q` with the `⟦·⟧` rewriting (§3–4)
-//!   plus the tractability classes of §6;
+//! * [`db`] — pvc-tables, the query language `Q` with the `⟦·⟧` rewriting (§3–4),
+//!   the tractability classes of §6 and the [`db::Engine`] described above;
 //! * [`workload`] — the synthetic expression generator of the experiments (§7.1);
 //! * [`tpch`] — the TPC-H-like data generator and queries Q1/Q2 (§7.2).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour of the engine flow, and
+//! `tests/api_errors.rs` for the error contract of `prepare`/`execute`.
 
 #![forbid(unsafe_code)]
 
@@ -33,9 +69,12 @@ pub mod prelude {
         semiring_distribution, CompileOptions, Compiler, DTree,
     };
     pub use pvc_db::{
-        classify, evaluate, evaluate_with_probabilities, tuple_confidences, AggSpec, Database,
-        Predicate, ProbTuple, PvcTable, Query, QueryClass, QueryResult, Schema, Value,
+        classify, try_evaluate, try_tuple_confidences, AggSpec, Database, Engine, Error,
+        EvalOptions, Plan, Predicate, PreparedQuery, ProbTuple, PvcTable, Query, QueryClass,
+        QueryResult, Schema, Strategy, Value,
     };
+    #[allow(deprecated)]
+    pub use pvc_db::{evaluate, evaluate_with_probabilities, tuple_confidences};
     pub use pvc_expr::{SemimoduleExpr, SemiringExpr, Var, VarTable};
     pub use pvc_prob::{Dist, MonoidDist, SemiringDist};
 }

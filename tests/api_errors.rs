@@ -1,0 +1,244 @@
+//! Error-path coverage for the `Engine` / prepared-query API: every malformed query
+//! must come back as `Err(Error::Validation(..))` from `prepare` — never a panic —
+//! and runtime failures (node budgets, type mismatches) surface as the matching
+//! `Error` variants from `execute`.
+
+use pvc_suite::db::QueryError;
+use pvc_suite::prelude::*;
+
+/// A small database with one data table and one prepared aggregation.
+fn sample_engine() -> Engine {
+    let mut db = Database::new();
+    db.create_table("S", Schema::new(["sid", "shop"]));
+    db.create_table("PS", Schema::new(["ps_sid", "pid", "price"]));
+    {
+        let (s, vars) = db.table_and_vars_mut("S").unwrap();
+        s.push_independent(vec![1i64.into(), "M&S".into()], 0.5, vars);
+        s.push_independent(vec![2i64.into(), "Gap".into()], 0.5, vars);
+    }
+    {
+        let (ps, vars) = db.table_and_vars_mut("PS").unwrap();
+        ps.push_independent(vec![1i64.into(), 1i64.into(), 10i64.into()], 0.5, vars);
+        ps.push_independent(vec![2i64.into(), 1i64.into(), 60i64.into()], 0.5, vars);
+    }
+    Engine::new(db)
+}
+
+#[test]
+fn unknown_table_is_a_validation_error() {
+    let engine = sample_engine();
+    let err = engine.prepare(&Query::table("missing")).unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::UnknownTable(ref t)) if t == "missing"
+    ));
+    // The error is printable and carries context.
+    assert!(err.to_string().contains("missing"));
+}
+
+#[test]
+fn unknown_column_is_a_validation_error() {
+    let engine = sample_engine();
+    for query in [
+        Query::table("S").project(["nope"]),
+        Query::table("S").select(Predicate::eq_const("nope", 1i64)),
+        Query::table("S").group_agg(["nope"], vec![AggSpec::count("c")]),
+        Query::table("S").group_agg(["shop"], vec![AggSpec::new(AggOp::Sum, "nope", "t")]),
+        Query::table("S").rename(&[("nope", "x")]),
+    ] {
+        let err = engine.prepare(&query).unwrap_err();
+        assert!(
+            matches!(err, Error::Validation(QueryError::UnknownColumn(ref c)) if c == "nope"),
+            "unexpected error for {query:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn projection_of_aggregation_attributes_is_rejected() {
+    let engine = sample_engine();
+    let agg = Query::table("PS").group_agg(["pid"], vec![AggSpec::new(AggOp::Max, "price", "m")]);
+    // Projecting on the aggregate.
+    let err = engine.prepare(&agg.clone().project(["m"])).unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::ProjectionOnAggregate(ref c)) if c == "m"
+    ));
+    // Grouping by the aggregate.
+    let err = engine
+        .prepare(&agg.clone().group_agg(["m"], vec![AggSpec::count("c")]))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::ProjectionOnAggregate(_))
+    ));
+    // Aggregating the aggregate.
+    let err = engine
+        .prepare(
+            &agg.clone()
+                .group_agg(["pid"], vec![AggSpec::new(AggOp::Sum, "m", "t")]),
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::AggregationOfAggregate(_))
+    ));
+}
+
+#[test]
+fn union_violations_are_rejected() {
+    let engine = sample_engine();
+    // Different schemas.
+    let err = engine
+        .prepare(&Query::table("S").union(Query::table("PS")))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::UnionSchemaMismatch)
+    ));
+    // Union over an operand with aggregation attributes (Definition 5, constraint 2).
+    let agg = Query::table("PS").group_agg(["pid"], vec![AggSpec::new(AggOp::Max, "price", "m")]);
+    let err = engine.prepare(&agg.clone().union(agg)).unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::UnionOnAggregate(_))
+    ));
+}
+
+#[test]
+fn predicate_sort_mismatches_are_rejected() {
+    let engine = sample_engine();
+    // An Agg* predicate over a plain data column.
+    let err = engine
+        .prepare(&Query::table("PS").select(Predicate::AggCmpConst("price".into(), CmpOp::Le, 5)))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::PredicateSortMismatch(ref c)) if c == "price"
+    ));
+    // A plain comparison over an aggregation attribute.
+    let agg = Query::table("PS").group_agg(["pid"], vec![AggSpec::new(AggOp::Max, "price", "m")]);
+    let err = engine
+        .prepare(&agg.select(Predicate::eq_const("m", 5i64)))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::PredicateSortMismatch(ref c)) if c == "m"
+    ));
+}
+
+#[test]
+fn duplicate_columns_in_products_are_rejected() {
+    let engine = sample_engine();
+    let err = engine
+        .prepare(&Query::table("S").product(Query::table("S")))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::DuplicateColumn(_))
+    ));
+    // Renaming onto an existing column name is also a duplicate.
+    let err = engine
+        .prepare(&Query::table("S").rename(&[("sid", "shop")]))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::DuplicateColumn(ref c)) if c == "shop"
+    ));
+}
+
+#[test]
+fn node_budget_exhaustion_is_a_compile_error() {
+    let engine = sample_engine();
+    let q = Query::table("S")
+        .join(Query::table("PS"), &[("sid", "ps_sid")])
+        .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "m")])
+        .select(Predicate::AggCmpConst("m".into(), CmpOp::Le, 30))
+        .project(["shop"]);
+    let prepared = engine.prepare(&q).unwrap();
+    let err = prepared
+        .execute(
+            &EvalOptions::default()
+                .with_node_budget(1)
+                .without_fast_path(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Compile(_)));
+    // With a generous budget the same prepared query succeeds.
+    let ok = prepared
+        .execute(&EvalOptions::default().with_node_budget(1_000_000))
+        .unwrap();
+    assert!(!ok.tuples.is_empty());
+}
+
+#[test]
+fn aggregating_a_string_column_is_a_type_error() {
+    let engine = sample_engine();
+    let q = Query::table("S").group_agg(
+        Vec::<String>::new(),
+        vec![AggSpec::new(AggOp::Sum, "shop", "t")],
+    );
+    // Schema-level validation cannot see value types, so prepare succeeds …
+    let prepared = engine.prepare(&q).unwrap();
+    // … and execution reports the type mismatch as an error, not a panic.
+    let err = prepared.execute(&EvalOptions::default()).unwrap_err();
+    assert!(matches!(err, Error::TypeMismatch { ref column, .. } if column == "shop"));
+}
+
+#[test]
+fn fallible_free_functions_return_errors_too() {
+    let engine = sample_engine();
+    let db = engine.database();
+    let err = try_evaluate(db, &Query::table("missing")).unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Validation(QueryError::UnknownTable(_))
+    ));
+    let err = db.table_or_err("missing").unwrap_err();
+    assert!(matches!(err, Error::UnknownTable { .. }));
+}
+
+#[test]
+fn tractable_plans_report_their_strategy() {
+    let engine = sample_engine();
+    // Base table: Q_ind.
+    let plan = engine.prepare(&Query::table("S")).unwrap().plan().clone();
+    assert_eq!(plan.class, QueryClass::Qind);
+    assert_eq!(plan.strategy, Strategy::IndependentFastPath);
+    // Grouped aggregation over a hierarchical join: Q_hie.
+    let q = Query::table("S")
+        .join(Query::table("PS"), &[("sid", "ps_sid")])
+        .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "m")]);
+    let plan = engine.prepare(&q).unwrap().plan().clone();
+    assert_eq!(plan.class, QueryClass::Qhie);
+    assert_eq!(plan.strategy, Strategy::HierarchicalFastPath);
+    assert!(plan.strategy.is_tractable());
+    // Repeating a table (after renames) loses the syntactic guarantee.
+    let repeated =
+        Query::table("S").product(Query::table("S").rename(&[("sid", "sid2"), ("shop", "shop2")]));
+    let plan = engine.prepare(&repeated).unwrap().plan().clone();
+    assert_eq!(plan.strategy, Strategy::GeneralCompilation);
+    assert!(!plan.non_repeating);
+}
+
+#[test]
+fn prepared_queries_never_panic_on_any_malformed_input() {
+    // A sweep of malformed queries: everything must come back as Err.
+    let engine = sample_engine();
+    let agg = Query::table("PS").group_agg(["pid"], vec![AggSpec::new(AggOp::Max, "price", "m")]);
+    let malformed: Vec<Query> = vec![
+        Query::table(""),
+        Query::table("s"), // case-sensitive
+        Query::table("S").project(["SID"]),
+        Query::table("S").join(Query::table("PS"), &[("sid", "nope")]),
+        agg.clone().project(["pid", "m"]),
+        agg.clone().union(Query::table("S")),
+        Query::table("S").select(Predicate::AggCmpAgg("sid".into(), CmpOp::Le, "shop".into())),
+        Query::table("S").select(Predicate::AggCmpCol("sid".into(), CmpOp::Le, "shop".into())),
+    ];
+    for query in malformed {
+        let result = engine.prepare(&query);
+        assert!(result.is_err(), "expected Err for {query:?}");
+        assert!(matches!(result.unwrap_err(), Error::Validation(_)));
+    }
+}

@@ -20,7 +20,10 @@ fn example_12_figure5_distributions() {
     let c = vars.natural("c", &[(1, pc), (2, 1.0 - pc)]);
     let alpha = SemimoduleExpr::from_terms(
         AggOp::Sum,
-        vec![(v(a) * (v(b) + v(c)), MonoidValue::Fin(10)), (v(c), MonoidValue::Fin(20))],
+        vec![
+            (v(a) * (v(b) + v(c)), MonoidValue::Fin(10)),
+            (v(c), MonoidValue::Fin(20)),
+        ],
     );
     let dist = semimodule_distribution(&alpha, &vars, SemiringKind::Nat);
     let (qa, qb, qc) = (1.0 - pa, 1.0 - pb, 1.0 - pc);
@@ -45,7 +48,10 @@ fn example_12_figure5_distributions() {
     // MIN aggregation over the same expression: the distribution is {(10, 1)}.
     let alpha_min = SemimoduleExpr::from_terms(
         AggOp::Min,
-        vec![(v(a) * (v(b) + v(c)), MonoidValue::Fin(10)), (v(c), MonoidValue::Fin(20))],
+        vec![
+            (v(a) * (v(b) + v(c)), MonoidValue::Fin(10)),
+            (v(c), MonoidValue::Fin(20)),
+        ],
     );
     let dist_min = semimodule_distribution(&alpha_min, &vars, SemiringKind::Nat);
     assert_eq!(dist_min.support_size(), 1);
@@ -62,7 +68,10 @@ fn example_12_boolean_min_case() {
     let c = vars.boolean("c", pc);
     let alpha = SemimoduleExpr::from_terms(
         AggOp::Min,
-        vec![(v(a) * (v(b) + v(c)), MonoidValue::Fin(10)), (v(c), MonoidValue::Fin(20))],
+        vec![
+            (v(a) * (v(b) + v(c)), MonoidValue::Fin(10)),
+            (v(c), MonoidValue::Fin(20)),
+        ],
     );
     let dist = semimodule_distribution(&alpha, &vars, SemiringKind::Bool);
     let (qa, qc) = (1.0 - pa, 1.0 - pc);
@@ -103,11 +112,12 @@ fn example_13_figure6_gap_conditional() {
         v(x4) * v(y43) * v(z3),
         v(x5) * v(y51) * (v(z1) + v(z5)),
     ]);
-    let annotation = SemiringExpr::cmp_mm(
-        CmpOp::Le,
-        alpha,
-        SemimoduleExpr::constant(AggOp::Max, MonoidValue::Fin(50)),
-    ) * SemiringExpr::cmp_ss(CmpOp::Ne, psi2, SemiringExpr::zero(SemiringKind::Bool));
+    let annotation =
+        SemiringExpr::cmp_mm(
+            CmpOp::Le,
+            alpha,
+            SemimoduleExpr::constant(AggOp::Max, MonoidValue::Fin(50)),
+        ) * SemiringExpr::cmp_ss(CmpOp::Ne, psi2, SemiringExpr::zero(SemiringKind::Bool));
     let p = confidence(&annotation, &vars, SemiringKind::Bool);
     let expected = oracle::confidence_by_enumeration(&annotation, &vars, SemiringKind::Bool);
     assert!((p - expected).abs() < 1e-9);
@@ -126,7 +136,10 @@ fn example_10_independence() {
     let phi = v(x) + v(y);
     let alpha = SemimoduleExpr::from_terms(
         AggOp::Sum,
-        vec![(v(a) * (v(b) + v(c)), MonoidValue::Fin(10)), (v(c), MonoidValue::Fin(20))],
+        vec![
+            (v(a) * (v(b) + v(c)), MonoidValue::Fin(10)),
+            (v(c), MonoidValue::Fin(20)),
+        ],
     );
     assert!(phi.vars().is_disjoint(&alpha.vars()));
 }
@@ -176,7 +189,7 @@ fn theorem1_succinctness_aggregation_result_is_polynomial() {
     db.create_table("R", Schema::new(["v"]));
     let n = 20usize;
     {
-        let (r, vars) = db.table_and_vars_mut("R");
+        let (r, vars) = db.table_and_vars_mut("R").unwrap();
         for i in 0..n {
             r.push_independent(vec![(1i64 << i).into()], 0.5, vars);
         }
@@ -185,7 +198,7 @@ fn theorem1_succinctness_aggregation_result_is_polynomial() {
         Vec::<String>::new(),
         vec![AggSpec::new(AggOp::Sum, "v", "total")],
     );
-    let table = evaluate(&db, &q);
+    let table = try_evaluate(&db, &q).unwrap();
     assert_eq!(table.len(), 1);
     let expr = table.tuples[0].values[0].as_agg().unwrap();
     // Polynomial (here: linear) size representation of 2^20 distinct outcomes.

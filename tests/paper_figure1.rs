@@ -3,8 +3,8 @@
 //! queries Q2 (MAX) and Q2' (MIN), with every probability cross-checked against
 //! brute-force possible-world enumeration.
 
-use pvc_suite::prelude::*;
 use pvc_suite::expr::oracle;
+use pvc_suite::prelude::*;
 
 /// Build the Figure 1 database with all variables at probability 1/2.
 fn figure1_db() -> Database {
@@ -14,13 +14,13 @@ fn figure1_db() -> Database {
     db.create_table("P1", Schema::new(["pid", "weight"]));
     db.create_table("P2", Schema::new(["pid", "weight"]));
     {
-        let (s, vars) = db.table_and_vars_mut("S");
+        let (s, vars) = db.table_and_vars_mut("S").unwrap();
         for (sid, shop) in [(1, "M&S"), (2, "M&S"), (3, "M&S"), (4, "Gap"), (5, "Gap")] {
             s.push_independent(vec![(sid as i64).into(), shop.into()], 0.5, vars);
         }
     }
     {
-        let (ps, vars) = db.table_and_vars_mut("PS");
+        let (ps, vars) = db.table_and_vars_mut("PS").unwrap();
         for (sid, pid, price) in [
             (1, 1, 10),
             (1, 2, 50),
@@ -33,20 +33,24 @@ fn figure1_db() -> Database {
             (5, 1, 10),
         ] {
             ps.push_independent(
-                vec![(sid as i64).into(), (pid as i64).into(), (price as i64).into()],
+                vec![
+                    (sid as i64).into(),
+                    (pid as i64).into(),
+                    (price as i64).into(),
+                ],
                 0.5,
                 vars,
             );
         }
     }
     {
-        let (p1, vars) = db.table_and_vars_mut("P1");
+        let (p1, vars) = db.table_and_vars_mut("P1").unwrap();
         for (pid, weight) in [(1, 4), (2, 8), (3, 7), (4, 6)] {
             p1.push_independent(vec![(pid as i64).into(), (weight as i64).into()], 0.5, vars);
         }
     }
     {
-        let (p2, vars) = db.table_and_vars_mut("P2");
+        let (p2, vars) = db.table_and_vars_mut("P2").unwrap();
         p2.push_independent(vec![1i64.into(), 5i64.into()], 0.5, vars);
     }
     db
@@ -65,7 +69,7 @@ fn q1() -> Query {
 #[test]
 fn q1_has_the_nine_tuples_of_figure_1d() {
     let db = figure1_db();
-    let table = evaluate(&db, &q1());
+    let table = try_evaluate(&db, &q1()).unwrap();
     assert_eq!(table.len(), 9);
     let expected: Vec<(&str, i64)> = vec![
         ("M&S", 10),
@@ -91,8 +95,8 @@ fn q1_has_the_nine_tuples_of_figure_1d() {
 #[test]
 fn q1_confidences_match_possible_world_semantics() {
     let db = figure1_db();
-    let table = evaluate(&db, &q1());
-    let confidences = tuple_confidences(&db, &table);
+    let table = try_evaluate(&db, &q1()).unwrap();
+    let confidences = try_tuple_confidences(&db, &table).unwrap();
     for (tuple, confidence) in table.iter().zip(confidences) {
         let expected = oracle::confidence_by_enumeration(&tuple.annotation, &db.vars, db.kind);
         assert!(
@@ -104,7 +108,7 @@ fn q1_confidences_match_possible_world_semantics() {
     // Spot checks: ⟨M&S, 10⟩ has annotation x1·y11·(z1+z5) ⇒ 0.5·0.5·0.75.
     let mands10 = table
         .iter()
-        .zip(tuple_confidences(&db, &table))
+        .zip(try_tuple_confidences(&db, &table).unwrap())
         .find(|(t, _)| t.values[0].as_str() == Some("M&S") && t.values[1].as_int() == Some(10))
         .unwrap()
         .1;
@@ -119,9 +123,9 @@ fn q2_max_price_at_most_50() {
         .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")])
         .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 50))
         .project(["shop"]);
-    let table = evaluate(&db, &q2);
+    let table = try_evaluate(&db, &q2).unwrap();
     assert_eq!(table.len(), 2);
-    let result = evaluate_with_probabilities(&db, &q2);
+    let result = Engine::execute_once(&db, &q2, &EvalOptions::default()).unwrap();
     for (prob, tuple) in result.tuples.iter().zip(table.iter()) {
         let expected = oracle::confidence_by_enumeration(&tuple.annotation, &db.vars, db.kind);
         assert!((prob.confidence - expected).abs() < 1e-9);
@@ -137,8 +141,8 @@ fn q2_prime_min_variant_of_example_9() {
         .group_agg(["shop"], vec![AggSpec::new(AggOp::Min, "price", "P")])
         .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 50))
         .project(["shop"]);
-    let result = evaluate_with_probabilities(&db, &q2p);
-    let table = evaluate(&db, &q2p);
+    let result = Engine::execute_once(&db, &q2p, &EvalOptions::default()).unwrap();
+    let table = try_evaluate(&db, &q2p).unwrap();
     for (prob, tuple) in result.tuples.iter().zip(table.iter()) {
         let expected = oracle::confidence_by_enumeration(&tuple.annotation, &db.vars, db.kind);
         assert!((prob.confidence - expected).abs() < 1e-9);
@@ -147,9 +151,13 @@ fn q2_prime_min_variant_of_example_9() {
     // the MIN-variant probability equals the probability that the shop offers some
     // product at price ≤ 50 at all.
     let alt = q1()
-        .select(Predicate::ColCmpConst("price".into(), CmpOp::Le, Value::Int(50)))
+        .select(Predicate::ColCmpConst(
+            "price".into(),
+            CmpOp::Le,
+            Value::Int(50),
+        ))
         .project(["shop"]);
-    let alt_result = evaluate_with_probabilities(&db, &alt);
+    let alt_result = Engine::execute_once(&db, &alt, &EvalOptions::default()).unwrap();
     for tuple in &result.tuples {
         let shop = tuple.values[0].to_string();
         let alt_conf = alt_result
@@ -168,10 +176,13 @@ fn example_8_min_weight_boolean_query() {
     // is at least 5.
     let db = figure1_db();
     let q = Query::table("P1")
-        .group_agg(Vec::<String>::new(), vec![AggSpec::new(AggOp::Min, "weight", "alpha")])
+        .group_agg(
+            Vec::<String>::new(),
+            vec![AggSpec::new(AggOp::Min, "weight", "alpha")],
+        )
         .select(Predicate::AggCmpConst("alpha".into(), CmpOp::Ge, 5))
         .project(Vec::<String>::new());
-    let result = evaluate_with_probabilities(&db, &q);
+    let result = Engine::execute_once(&db, &q, &EvalOptions::default()).unwrap();
     assert_eq!(result.tuples.len(), 1);
     // Weights are 4, 8, 7, 6 each present with probability 1/2; min ≥ 5 iff the
     // weight-4 product is absent (probability 1/2) — the empty group has min +∞ ≥ 5.

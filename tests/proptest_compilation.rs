@@ -2,90 +2,105 @@
 //! expressions (including conditionals, mixed monoids and Shannon-requiring variable
 //! sharing), the distribution computed via decomposition trees equals the brute-force
 //! possible-world semantics, with and without the structural decomposition rules.
+//!
+//! Cases are drawn from a deterministic, seeded stream (no external property-testing
+//! framework), so every run exercises the same expressions.
 
-use proptest::prelude::*;
 use pvc_suite::expr::oracle;
 use pvc_suite::prelude::*;
+use pvc_suite::prob::SeededRng;
 
 const NUM_VARS: usize = 6;
+const CASES: u64 = 64;
 
-fn make_vars(probs: &[f64]) -> VarTable {
+fn make_vars(rng: &mut SeededRng) -> VarTable {
     let mut vars = VarTable::new();
-    for (i, p) in probs.iter().enumerate() {
-        vars.boolean(format!("x{i}"), *p);
+    for i in 0..NUM_VARS {
+        let p = 0.05 + 0.9 * rng.next_f64();
+        vars.boolean(format!("x{i}"), p);
     }
     vars
 }
 
-/// A strategy for random semiring expressions over `NUM_VARS` Boolean variables.
-fn semiring_expr(depth: u32) -> impl Strategy<Value = SemiringExpr> {
-    let leaf = prop_oneof![
-        (0..NUM_VARS as u32).prop_map(|i| SemiringExpr::Var(Var(i))),
-        Just(SemiringExpr::Const(SemiringValue::Bool(true))),
-        Just(SemiringExpr::Const(SemiringValue::Bool(false))),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..4).prop_map(SemiringExpr::sum),
-            prop::collection::vec(inner, 2..4).prop_map(SemiringExpr::product),
-        ]
-    })
+/// A random semiring expression over `NUM_VARS` Boolean variables.
+fn semiring_expr(rng: &mut SeededRng, depth: u32) -> SemiringExpr {
+    // At depth 0 produce a leaf; otherwise half the time branch into a sum/product.
+    if depth == 0 || rng.gen_range(0usize..2) == 0 {
+        return match rng.gen_range(0usize..4) {
+            0 => SemiringExpr::Const(SemiringValue::Bool(true)),
+            1 => SemiringExpr::Const(SemiringValue::Bool(false)),
+            _ => SemiringExpr::Var(Var(rng.gen_range(0u32..NUM_VARS as u32))),
+        };
+    }
+    let arity = rng.gen_range(2usize..4);
+    let children: Vec<SemiringExpr> = (0..arity).map(|_| semiring_expr(rng, depth - 1)).collect();
+    if rng.gen_range(0usize..2) == 0 {
+        SemiringExpr::sum(children)
+    } else {
+        SemiringExpr::product(children)
+    }
 }
 
-/// A strategy for random semimodule expressions (flat term lists).
-fn semimodule_expr() -> impl Strategy<Value = SemimoduleExpr> {
-    let op = prop_oneof![
-        Just(AggOp::Min),
-        Just(AggOp::Max),
-        Just(AggOp::Sum),
-        Just(AggOp::Count),
-    ];
-    (op, prop::collection::vec((semiring_expr(2), -20i64..20), 1..5)).prop_map(|(op, terms)| {
-        SemimoduleExpr::from_terms(
-            op,
-            terms
-                .into_iter()
-                .map(|(coeff, value)| {
-                    let value = if op == AggOp::Count { 1 } else { value };
-                    (coeff, MonoidValue::Fin(value))
-                })
-                .collect(),
-        )
-    })
+/// A random semimodule expression (flat term list).
+fn semimodule_expr(rng: &mut SeededRng) -> SemimoduleExpr {
+    let op = [AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::Count][rng.gen_range(0usize..4)];
+    let terms = rng.gen_range(1usize..5);
+    SemimoduleExpr::from_terms(
+        op,
+        (0..terms)
+            .map(|_| {
+                let coeff = semiring_expr(rng, 2);
+                let value = if op == AggOp::Count {
+                    1
+                } else {
+                    rng.gen_range(-20i64..20)
+                };
+                (coeff, MonoidValue::Fin(value))
+            })
+            .collect(),
+    )
 }
 
-fn probs() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.05f64..0.95, NUM_VARS)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn semiring_dtree_matches_enumeration(expr in semiring_expr(3), probs in probs()) {
-        let vars = make_vars(&probs);
+#[test]
+fn semiring_dtree_matches_enumeration() {
+    let mut rng = SeededRng::seed_from_u64(0xC1);
+    for case in 0..CASES {
+        let vars = make_vars(&mut rng);
+        let expr = semiring_expr(&mut rng, 3);
         let by_dtree = semiring_distribution(&expr, &vars, SemiringKind::Bool);
         let by_enum = oracle::semiring_dist_by_enumeration(&expr, &vars, SemiringKind::Bool);
-        prop_assert!(by_dtree.approx_eq(&by_enum, 1e-7), "{expr}");
+        assert!(by_dtree.approx_eq(&by_enum, 1e-7), "case {case}: {expr}");
     }
+}
 
-    #[test]
-    fn semimodule_dtree_matches_enumeration(expr in semimodule_expr(), probs in probs()) {
-        let vars = make_vars(&probs);
+#[test]
+fn semimodule_dtree_matches_enumeration() {
+    let mut rng = SeededRng::seed_from_u64(0xC2);
+    for case in 0..CASES {
+        let vars = make_vars(&mut rng);
+        let expr = semimodule_expr(&mut rng);
         let by_dtree = semimodule_distribution(&expr, &vars, SemiringKind::Bool);
         let by_enum = oracle::semimodule_dist_by_enumeration(&expr, &vars, SemiringKind::Bool);
-        prop_assert!(by_dtree.approx_eq(&by_enum, 1e-7), "{expr}");
+        assert!(by_dtree.approx_eq(&by_enum, 1e-7), "case {case}: {expr}");
     }
+}
 
-    #[test]
-    fn conditional_expressions_match_enumeration(
-        lhs in semimodule_expr(),
-        bound in -20i64..20,
-        theta_idx in 0usize..6,
-        probs in probs(),
-    ) {
-        let theta = [CmpOp::Eq, CmpOp::Ne, CmpOp::Le, CmpOp::Ge, CmpOp::Lt, CmpOp::Gt][theta_idx];
-        let vars = make_vars(&probs);
+#[test]
+fn conditional_expressions_match_enumeration() {
+    let mut rng = SeededRng::seed_from_u64(0xC3);
+    let thetas = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Le,
+        CmpOp::Ge,
+        CmpOp::Lt,
+        CmpOp::Gt,
+    ];
+    for case in 0..CASES {
+        let vars = make_vars(&mut rng);
+        let lhs = semimodule_expr(&mut rng);
+        let bound = rng.gen_range(-20i64..20);
+        let theta = thetas[rng.gen_range(0usize..thetas.len())];
         let cond = SemiringExpr::cmp_mm(
             theta,
             lhs,
@@ -93,28 +108,35 @@ proptest! {
         );
         let p = confidence(&cond, &vars, SemiringKind::Bool);
         let expected = oracle::confidence_by_enumeration(&cond, &vars, SemiringKind::Bool);
-        prop_assert!((p - expected).abs() < 1e-7, "{cond}");
+        assert!((p - expected).abs() < 1e-7, "case {case}: {cond}");
     }
+}
 
-    #[test]
-    fn shannon_only_ablation_agrees_with_full_rules(expr in semiring_expr(3), probs in probs()) {
-        let vars = make_vars(&probs);
+#[test]
+fn shannon_only_ablation_agrees_with_full_rules() {
+    let mut rng = SeededRng::seed_from_u64(0xC4);
+    for case in 0..CASES {
+        let vars = make_vars(&mut rng);
+        let expr = semiring_expr(&mut rng, 3);
         let full = semiring_distribution(&expr, &vars, SemiringKind::Bool);
-        let mut shannon = Compiler::with_options(
-            &vars,
-            SemiringKind::Bool,
-            CompileOptions::shannon_only(),
-        );
+        let mut shannon =
+            Compiler::with_options(&vars, SemiringKind::Bool, CompileOptions::shannon_only());
         let tree = shannon.compile_semiring(&expr).unwrap();
-        let dist = tree.semiring_distribution(&vars, SemiringKind::Bool).unwrap();
-        prop_assert!(full.approx_eq(&dist, 1e-7));
+        let dist = tree
+            .semiring_distribution(&vars, SemiringKind::Bool)
+            .unwrap();
+        assert!(full.approx_eq(&dist, 1e-7), "case {case}: {expr}");
     }
+}
 
-    #[test]
-    fn dtree_distributions_are_proper(expr in semimodule_expr(), probs in probs()) {
-        let vars = make_vars(&probs);
+#[test]
+fn dtree_distributions_are_proper() {
+    let mut rng = SeededRng::seed_from_u64(0xC5);
+    for case in 0..CASES {
+        let vars = make_vars(&mut rng);
+        let expr = semimodule_expr(&mut rng);
         let dist = semimodule_distribution(&expr, &vars, SemiringKind::Bool);
-        prop_assert!(dist.is_normalized());
-        prop_assert!(dist.iter().all(|(_, p)| p > 0.0 && p <= 1.0 + 1e-9));
+        assert!(dist.is_normalized(), "case {case}: {expr}");
+        assert!(dist.iter().all(|(_, p)| p > 0.0 && p <= 1.0 + 1e-9));
     }
 }

@@ -27,7 +27,7 @@ fn generated_database_is_tuple_independent_and_scales() {
     assert!(small.is_tuple_independent());
     assert!(larger.total_tuples() > small.total_tuples());
     assert_eq!(
-        larger.expect_table("lineitem").len(),
+        larger.table_or_err("lineitem").unwrap().len(),
         Cardinalities::for_scale(0.05).lineitems
     );
 }
@@ -36,9 +36,9 @@ fn generated_database_is_tuple_independent_and_scales() {
 fn q1_confidences_match_enumeration_on_tiny_instance() {
     let db = tiny();
     let query = q1(2_000);
-    let table = evaluate(&db, &query);
+    let table = try_evaluate(&db, &query).unwrap();
     assert!(!table.is_empty());
-    let confidences = tuple_confidences(&db, &table);
+    let confidences = try_tuple_confidences(&db, &table).unwrap();
     for (tuple, confidence) in table.iter().zip(confidences) {
         // Only enumerate when the annotation is small enough for the oracle.
         if tuple.annotation.vars().len() <= 16 {
@@ -52,7 +52,7 @@ fn q1_confidences_match_enumeration_on_tiny_instance() {
 #[test]
 fn q1_count_distributions_are_consistent() {
     let db = tiny();
-    let result = evaluate_with_probabilities(&db, &q1(2_000));
+    let result = Engine::execute_once(&db, &q1(2_000), &EvalOptions::default()).unwrap();
     for tuple in &result.tuples {
         let count = &tuple.aggregate_distributions["order_count"];
         assert!(count.is_normalized());
@@ -70,11 +70,11 @@ fn q1_count_distributions_are_consistent() {
 #[test]
 fn q2_answers_are_minimum_cost_offers() {
     let db = generate(&TpchConfig {
-        scale_factor: 0.25,
+        scale_factor: 0.5,
         ..TpchConfig::default()
     });
     let query = q2("ASIA", 25);
-    let result = evaluate_with_probabilities(&db, &query);
+    let result = Engine::execute_once(&db, &query, &EvalOptions::default()).unwrap();
     // Every reported answer has positive probability, bounded by 1.
     for tuple in &result.tuples {
         assert!(tuple.confidence > 0.0 && tuple.confidence <= 1.0 + 1e-9);
@@ -83,9 +83,9 @@ fn q2_answers_are_minimum_cost_offers() {
     // exactly the offers whose cost equals the per-part minimum; candidate tuples at a
     // higher cost have probability 0 (their conditional annotation is false).
     let det = deterministic_copy(&db);
-    let det_result = evaluate(&det, &query);
-    let confidences = tuple_confidences(&det, &det_result);
-    let partsupp = db.expect_table("partsupp");
+    let det_result = try_evaluate(&det, &query).unwrap();
+    let confidences = try_tuple_confidences(&det, &det_result).unwrap();
+    let partsupp = db.table_or_err("partsupp").unwrap();
     let mut certain_answers = 0usize;
     for (t, confidence) in det_result.iter().zip(confidences) {
         let part = t.values[1].as_int().unwrap();
@@ -97,13 +97,22 @@ fn q2_answers_are_minimum_cost_offers() {
             .min()
             .unwrap();
         if cost == min_cost {
-            assert!((confidence - 1.0).abs() < 1e-9, "min-cost offer for part {part} must be certain");
+            assert!(
+                (confidence - 1.0).abs() < 1e-9,
+                "min-cost offer for part {part} must be certain"
+            );
             certain_answers += 1;
         } else {
-            assert!(confidence.abs() < 1e-9, "non-minimal offer for part {part} must be impossible");
+            assert!(
+                confidence.abs() < 1e-9,
+                "non-minimal offer for part {part} must be impossible"
+            );
         }
     }
-    assert!(certain_answers > 0, "the deterministic run should produce certain answers");
+    assert!(
+        certain_answers > 0,
+        "the deterministic run should produce certain answers"
+    );
 }
 
 #[test]
@@ -114,12 +123,12 @@ fn q0_rewrite_and_probability_phases_all_run() {
     });
     let det = deterministic_copy(&db);
     let query = q1(1_800);
-    let det_table = evaluate(&det, &query);
-    let prob_result = evaluate_with_probabilities(&db, &query);
+    let det_table = try_evaluate(&det, &query).unwrap();
+    let prob_result = Engine::execute_once(&db, &query, &EvalOptions::default()).unwrap();
     // The deterministic run produces the same groups as the probabilistic one.
     assert_eq!(det_table.len(), prob_result.tuples.len());
     // On the deterministic copy every group is certainly non-empty.
-    let det_confidences = tuple_confidences(&det, &det_table);
+    let det_confidences = try_tuple_confidences(&det, &det_table).unwrap();
     assert!(det_confidences.iter().all(|p| (p - 1.0).abs() < 1e-9));
 }
 
