@@ -36,6 +36,8 @@ fn main() {
     eprintln!("running experiments A and B at {scale:?} scale ...");
     let a = pvc_bench::experiment_a(scale);
     let b = pvc_bench::experiment_b(scale);
+    eprintln!("running the repeated-workload cache experiment ...");
+    let cache = pvc_bench::experiment_cache(scale);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -43,6 +45,8 @@ fn main() {
     rows_json(&a, &mut out);
     out.push_str(",\n  \"experiment_b\": ");
     rows_json(&b, &mut out);
+    out.push_str(",\n  \"experiment_cache\": ");
+    out.push_str(&cache.to_json());
     out.push_str("\n}\n");
     print!("{out}");
 }

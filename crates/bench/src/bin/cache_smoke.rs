@@ -1,0 +1,34 @@
+//! CI smoke check for the compilation-cache subsystem: runs the repeated-workload
+//! cache experiment and **fails (exit 1) if the engine reports zero cross-query
+//! cache hits** — i.e. if canonical interning stopped unifying structurally-equal
+//! provenance across query renderings.
+//!
+//! ```text
+//! cargo run --release --bin cache_smoke
+//! ```
+
+use pvc_bench::{experiment_cache, Scale, CACHE_HEADER};
+
+fn main() {
+    let report = experiment_cache(Scale::from_env());
+    println!("{}", CACHE_HEADER.join("\t"));
+    println!("{}", report.cells().join("\t"));
+    if report.cross_query_hits == 0 {
+        eprintln!(
+            "FAIL: zero cross-query cache hits — the canonical compilation cache is \
+             not unifying structurally-equal renderings"
+        );
+        std::process::exit(1);
+    }
+    if report.warm_s > report.cold_s {
+        // Informational only: timing inversions can happen on noisy CI machines.
+        eprintln!(
+            "warning: warm execution ({:.4}s) was not faster than cold ({:.4}s)",
+            report.warm_s, report.cold_s
+        );
+    }
+    println!(
+        "OK: {} cross-query hits, warm speedup {:.1}x",
+        report.cross_query_hits, report.warm_speedup
+    );
+}

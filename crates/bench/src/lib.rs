@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod stats;
 
 pub use experiments::{
-    experiment_a, experiment_b, experiment_c, experiment_d, experiment_e, experiment_f, Scale,
+    experiment_a, experiment_b, experiment_c, experiment_cache, experiment_d, experiment_e,
+    experiment_f, CacheHitReport, Scale, CACHE_HEADER,
 };
 pub use stats::{bench_case, mean_std, print_table, Measurement};

@@ -1,0 +1,792 @@
+//! The canonical compilation cache: bounded memoisation of d-tree compilation
+//! artifacts (semiring distributions / confidences and aggregate monoid
+//! distributions), keyed by the **canonical ids** of the hash-consed expression
+//! arena ([`pvc_expr::intern`]).
+//!
+//! Two pieces live here:
+//!
+//! * [`CompilationCache`] — an LRU store with configurable entry- and byte-bounds
+//!   ([`CacheConfig`]) and hit/miss/eviction/cross-scope counters
+//!   ([`CacheCounters`]). Keys are [`ExprId`] / [`AggExprId`], which are canonical
+//!   under commutative operand reordering, so structurally-equal provenance compiled
+//!   under *different renderings* shares one entry.
+//! * [`CachedEvaluator`] — the cache-aware evaluation driver: it consults the cache
+//!   at every independent sub-d-tree (mirroring the compiler's rule 2 split), so a
+//!   large annotation whose independent components recur elsewhere reuses their
+//!   distributions without recompiling, and newly computed sub-distributions are
+//!   inserted on the way out.
+//!
+//! Caching distributions (rather than bare confidences) is what makes sub-d-tree
+//! composition possible: independent sums/products combine cached distributions by
+//! convolution (Eqs. 4–7 of the paper) in time `O(|p_1|·|p_2|)`.
+//!
+//! Correctness contract: cached artifacts are functions of (expression structure,
+//! variable distributions, ambient semiring). Callers must clear the cache whenever
+//! variable distributions change, and must bypass it when compilation is made
+//! observably fallible (node budgets) — the engine in `pvc-db` does both.
+
+use crate::compile::{BudgetExceeded, CompileOptions, Compiler};
+use crate::node::DTreeError;
+use pvc_algebra::SemiringKind;
+use pvc_expr::independence::connected_components;
+use pvc_expr::intern::{AggExprId, ExprId, InternedExpr, Interner};
+use pvc_expr::{VarSet, VarTable};
+use pvc_prob::{MonoidDist, SemiringDist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Size bounds for the [`CompilationCache`]. Each artifact map (semiring /
+/// aggregate) enforces both bounds independently; the least-recently-used entry is
+/// evicted first. At least one entry is always retained, so a single oversized
+/// artifact cannot render the cache useless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of entries per artifact map.
+    pub max_entries: usize,
+    /// Maximum approximate payload bytes per artifact map.
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 1 << 16,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Monotonic counters describing cache behaviour since the last clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the artifact.
+    pub misses: u64,
+    /// Hits whose entry was inserted under a *different scope* (the engine scopes
+    /// lookups by query, so these are cross-query reuses).
+    pub cross_scope_hits: u64,
+    /// Entries evicted by the LRU bounds.
+    pub evictions: u64,
+}
+
+/// A doubly-linked LRU map from `u32` canonical ids to artifacts.
+///
+/// Implemented over a slab (`Vec<Option<Entry>>` + free list) so that promotion and
+/// eviction are O(1) and no external crate is needed.
+#[derive(Debug)]
+struct Lru<V> {
+    map: HashMap<u32, usize>,
+    slots: Vec<Option<LruEntry<V>>>,
+    free: Vec<usize>,
+    head: usize, // most recently used; NONE when empty
+    tail: usize, // least recently used; NONE when empty
+    bytes: usize,
+}
+
+#[derive(Debug)]
+struct LruEntry<V> {
+    key: u32,
+    value: V,
+    bytes: usize,
+    scope: u64,
+    prev: usize,
+    next: usize,
+}
+
+const NONE: usize = usize::MAX;
+
+impl<V> Lru<V> {
+    fn new() -> Self {
+        Lru {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            bytes: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NONE;
+        self.tail = NONE;
+        self.bytes = 0;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let e = self.slots[slot].as_ref().expect("linked slot");
+            (e.prev, e.next)
+        };
+        if prev != NONE {
+            self.slots[prev].as_mut().expect("linked slot").next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slots[next].as_mut().expect("linked slot").prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        {
+            let e = self.slots[slot].as_mut().expect("slot");
+            e.prev = NONE;
+            e.next = self.head;
+        }
+        if self.head != NONE {
+            self.slots[self.head].as_mut().expect("head slot").prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    /// Look up and promote to most-recently-used. Returns the value and the scope
+    /// the entry was inserted under.
+    fn get(&mut self, key: u32) -> Option<(&V, u64)> {
+        let slot = *self.map.get(&key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        let e = self.slots[slot].as_ref().expect("slot");
+        Some((&e.value, e.scope))
+    }
+
+    /// Insert or replace; evicts least-recently-used entries beyond the bounds.
+    /// Returns the number of evictions performed.
+    fn insert(
+        &mut self,
+        key: u32,
+        value: V,
+        bytes: usize,
+        scope: u64,
+        config: &CacheConfig,
+    ) -> u64 {
+        if let Some(&slot) = self.map.get(&key) {
+            self.unlink(slot);
+            let e = self.slots[slot].as_mut().expect("slot");
+            self.bytes = self.bytes - e.bytes + bytes;
+            e.value = value;
+            e.bytes = bytes;
+            e.scope = scope;
+            self.push_front(slot);
+        } else {
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.slots[s] = Some(LruEntry {
+                        key,
+                        value,
+                        bytes,
+                        scope,
+                        prev: NONE,
+                        next: NONE,
+                    });
+                    s
+                }
+                None => {
+                    self.slots.push(Some(LruEntry {
+                        key,
+                        value,
+                        bytes,
+                        scope,
+                        prev: NONE,
+                        next: NONE,
+                    }));
+                    self.slots.len() - 1
+                }
+            };
+            self.map.insert(key, slot);
+            self.bytes += bytes;
+            self.push_front(slot);
+        }
+        let mut evictions = 0;
+        while self.len() > 1 && (self.len() > config.max_entries || self.bytes > config.max_bytes) {
+            let victim = self.tail;
+            self.unlink(victim);
+            let e = self.slots[victim].take().expect("tail slot");
+            self.map.remove(&e.key);
+            self.bytes -= e.bytes;
+            self.free.push(victim);
+            evictions += 1;
+        }
+        evictions
+    }
+}
+
+/// Approximate payload size of a distribution: support entries times the size of a
+/// `(value, f64)` pair plus per-entry B-tree overhead.
+fn dist_bytes<T: Ord + Clone>(d: &pvc_prob::Dist<T>) -> usize {
+    64 + d.support_size() * (std::mem::size_of::<T>() + std::mem::size_of::<f64>() + 32)
+}
+
+/// The bounded memo store for compilation artifacts. See the [module
+/// documentation](self).
+#[derive(Debug)]
+pub struct CompilationCache {
+    config: CacheConfig,
+    semiring: Lru<SemiringDist>,
+    aggregate: Lru<MonoidDist>,
+    counters: CacheCounters,
+}
+
+impl Default for CompilationCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+impl CompilationCache {
+    /// An empty cache with the given bounds.
+    pub fn new(config: CacheConfig) -> Self {
+        CompilationCache {
+            config,
+            semiring: Lru::new(),
+            aggregate: Lru::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Counters since the last [`clear`](Self::clear).
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Number of cached semiring distributions.
+    pub fn semiring_entries(&self) -> usize {
+        self.semiring.len()
+    }
+
+    /// Number of cached aggregate distributions.
+    pub fn aggregate_entries(&self) -> usize {
+        self.aggregate.len()
+    }
+
+    /// Approximate payload bytes across both artifact maps.
+    pub fn bytes(&self) -> usize {
+        self.semiring.bytes() + self.aggregate.bytes()
+    }
+
+    /// Drop every entry and reset the counters (used when the underlying variable
+    /// distributions change).
+    pub fn clear(&mut self) {
+        self.semiring.clear();
+        self.aggregate.clear();
+        self.counters = CacheCounters::default();
+    }
+
+    /// Cached distribution of a semiring expression, promoting the entry. `scope`
+    /// identifies the caller's query; a hit against an entry from another scope is
+    /// counted as a cross-scope (cross-query) hit.
+    pub fn get_semiring(&mut self, id: ExprId, scope: u64) -> Option<SemiringDist> {
+        self.map_semiring(id, scope, SemiringDist::clone)
+    }
+
+    /// As [`get_semiring`](Self::get_semiring), but reduces the cached distribution
+    /// under the borrow — no clone. This is the warm path for callers that only
+    /// need a scalar (e.g. the tuple confidence).
+    pub fn map_semiring<R>(
+        &mut self,
+        id: ExprId,
+        scope: u64,
+        f: impl FnOnce(&SemiringDist) -> R,
+    ) -> Option<R> {
+        match self.semiring.get(id.0) {
+            Some((d, entry_scope)) => {
+                let r = f(d);
+                self.counters.hits += 1;
+                if entry_scope != scope {
+                    self.counters.cross_scope_hits += 1;
+                }
+                Some(r)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert the distribution of a semiring expression.
+    pub fn insert_semiring(&mut self, id: ExprId, scope: u64, dist: &SemiringDist) {
+        let bytes = dist_bytes(dist);
+        self.counters.evictions +=
+            self.semiring
+                .insert(id.0, dist.clone(), bytes, scope, &self.config);
+    }
+
+    /// Cached distribution of a semimodule (aggregate) expression.
+    pub fn get_aggregate(&mut self, id: AggExprId, scope: u64) -> Option<MonoidDist> {
+        match self.aggregate.get(id.0) {
+            Some((d, entry_scope)) => {
+                let d = d.clone();
+                self.counters.hits += 1;
+                if entry_scope != scope {
+                    self.counters.cross_scope_hits += 1;
+                }
+                Some(d)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert the distribution of a semimodule expression.
+    pub fn insert_aggregate(&mut self, id: AggExprId, scope: u64, dist: &MonoidDist) {
+        let bytes = dist_bytes(dist);
+        self.counters.evictions +=
+            self.aggregate
+                .insert(id.0, dist.clone(), bytes, scope, &self.config);
+    }
+}
+
+/// Errors raised by the cache-aware evaluator: either compilation exceeded its node
+/// budget or a malformed d-tree was evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The d-tree node budget of [`CompileOptions`] was exceeded.
+    Budget(BudgetExceeded),
+    /// Distribution extraction failed on a malformed tree.
+    Tree(DTreeError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Budget(e) => write!(f, "{e}"),
+            EvalError::Tree(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<BudgetExceeded> for EvalError {
+    fn from(e: BudgetExceeded) -> Self {
+        EvalError::Budget(e)
+    }
+}
+
+impl From<DTreeError> for EvalError {
+    fn from(e: DTreeError) -> Self {
+        EvalError::Tree(e)
+    }
+}
+
+/// Cache-aware evaluation of interned expressions: get-or-compute distributions,
+/// splitting on independence so that every independent sub-d-tree is memoised
+/// individually.
+pub struct CachedEvaluator<'a> {
+    interner: &'a mut Interner,
+    cache: &'a mut CompilationCache,
+    vars: &'a VarTable,
+    kind: SemiringKind,
+    options: CompileOptions,
+    scope: u64,
+}
+
+impl<'a> CachedEvaluator<'a> {
+    /// Create an evaluator over an arena, a cache and a variable table. `scope`
+    /// tags inserts for cross-scope hit accounting (use a per-query value).
+    pub fn new(
+        interner: &'a mut Interner,
+        cache: &'a mut CompilationCache,
+        vars: &'a VarTable,
+        kind: SemiringKind,
+        options: CompileOptions,
+        scope: u64,
+    ) -> Self {
+        CachedEvaluator {
+            interner,
+            cache,
+            vars,
+            kind,
+            options,
+            scope,
+        }
+    }
+
+    /// The probability that the expression does not evaluate to `0_S` (the tuple
+    /// confidence), via the cached distribution (reduced under the borrow on the
+    /// warm path — no clone).
+    pub fn confidence(&mut self, id: ExprId) -> Result<f64, EvalError> {
+        if let Some(c) = self.cache.map_semiring(id, self.scope, confidence_of) {
+            return Ok(c);
+        }
+        let dist = self.fill_semiring(id)?;
+        Ok(confidence_of(&dist))
+    }
+
+    /// Get-or-compute the distribution of an interned semiring expression.
+    pub fn semiring_distribution(&mut self, id: ExprId) -> Result<SemiringDist, EvalError> {
+        if let Some(d) = self.cache.get_semiring(id, self.scope) {
+            return Ok(d);
+        }
+        self.fill_semiring(id)
+    }
+
+    /// Compute the distribution of `id` (assuming the caller already observed a
+    /// cache miss) and insert it. Independent sub-expressions are evaluated through
+    /// [`semiring_distribution`](Self::semiring_distribution), so recurring
+    /// components hit the cache even when the whole expression is new.
+    pub fn fill_semiring(&mut self, id: ExprId) -> Result<SemiringDist, EvalError> {
+        let dist = self.compute_semiring(id)?;
+        self.cache.insert_semiring(id, self.scope, &dist);
+        Ok(dist)
+    }
+
+    /// Get-or-compute the distribution of an interned semimodule expression.
+    pub fn aggregate_distribution(&mut self, id: AggExprId) -> Result<MonoidDist, EvalError> {
+        if let Some(d) = self.cache.get_aggregate(id, self.scope) {
+            return Ok(d);
+        }
+        self.fill_aggregate(id)
+    }
+
+    /// As [`fill_semiring`](Self::fill_semiring), for semimodule expressions.
+    pub fn fill_aggregate(&mut self, id: AggExprId) -> Result<MonoidDist, EvalError> {
+        let dist = self.compute_aggregate(id)?;
+        self.cache.insert_aggregate(id, self.scope, &dist);
+        Ok(dist)
+    }
+
+    fn compute_semiring(&mut self, id: ExprId) -> Result<SemiringDist, EvalError> {
+        if self.options.independence {
+            let node = self.interner.node(id).clone();
+            match node {
+                InternedExpr::Add(children) if children.len() > 1 => {
+                    if let Some(groups) = self.independent_groups(&children) {
+                        let mut acc: Option<SemiringDist> = None;
+                        for group in groups {
+                            let gid = self.interner.intern_add(group);
+                            let d = self.semiring_distribution(gid)?;
+                            acc = Some(match acc {
+                                None => d,
+                                Some(a) => a.convolve(&d, |x, y| x.add(y)),
+                            });
+                        }
+                        return Ok(acc.expect("at least one group"));
+                    }
+                }
+                InternedExpr::Mul(children) if children.len() > 1 => {
+                    if let Some(groups) = self.independent_groups(&children) {
+                        let mut acc: Option<SemiringDist> = None;
+                        for group in groups {
+                            let gid = self.interner.intern_mul(group);
+                            let d = self.semiring_distribution(gid)?;
+                            acc = Some(match acc {
+                                None => d,
+                                Some(a) => a.convolve(&d, |x, y| x.mul(y)),
+                            });
+                        }
+                        return Ok(acc.expect("at least one group"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut compiler = Compiler::with_options(self.vars, self.kind, self.options.clone());
+        let tree = compiler.compile_semiring_id(self.interner, id)?;
+        Ok(tree.semiring_distribution(self.vars, self.kind)?)
+    }
+
+    fn compute_aggregate(&mut self, id: AggExprId) -> Result<MonoidDist, EvalError> {
+        let node = self.interner.agg_node(id).clone();
+        if self.options.independence && node.terms.len() > 1 {
+            let sets: Vec<VarSet> = node
+                .terms
+                .iter()
+                .map(|(c, _)| self.interner.var_set(*c).clone())
+                .collect();
+            let components = connected_components(&sets);
+            if components.len() > 1 {
+                let op = node.op;
+                let mut acc: Option<MonoidDist> = None;
+                for component in components {
+                    let terms = component.iter().map(|&i| node.terms[i]).collect();
+                    let gid = self.interner.intern_agg(op, terms);
+                    let d = self.aggregate_distribution(gid)?;
+                    acc = Some(match acc {
+                        None => d,
+                        Some(a) => a.convolve(&d, |x, y| op.combine(x, y)),
+                    });
+                }
+                return Ok(acc.expect("at least one component"));
+            }
+        }
+        let mut compiler = Compiler::with_options(self.vars, self.kind, self.options.clone());
+        let tree = compiler.compile_semimodule_id(self.interner, id)?;
+        Ok(tree.monoid_distribution(self.vars, self.kind)?)
+    }
+
+    /// Split children into groups of pairwise variable-disjoint sub-expressions
+    /// (connected components of the co-occurrence graph); `None` when everything is
+    /// one component (no split possible).
+    fn independent_groups(&self, children: &[ExprId]) -> Option<Vec<Vec<ExprId>>> {
+        let sets: Vec<VarSet> = children
+            .iter()
+            .map(|c| self.interner.var_set(*c).clone())
+            .collect();
+        let components = connected_components(&sets);
+        if components.len() <= 1 {
+            return None;
+        }
+        Some(
+            components
+                .into_iter()
+                .map(|idxs| idxs.into_iter().map(|i| children[i]).collect())
+                .collect(),
+        )
+    }
+}
+
+/// The total mass of non-`0_S` outcomes — the tuple-confidence reading of a
+/// semiring distribution.
+pub fn confidence_of(dist: &SemiringDist) -> f64 {
+    dist.iter()
+        .filter(|(v, _)| !v.is_zero())
+        .map(|(_, p)| p)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::{AggOp, MonoidValue::Fin, SemiringValue};
+    use pvc_expr::{oracle, SemimoduleExpr, SemiringExpr, Var};
+
+    fn v(x: Var) -> SemiringExpr {
+        SemiringExpr::Var(x)
+    }
+
+    fn setup() -> (VarTable, Vec<Var>) {
+        let mut vt = VarTable::new();
+        let vars = (0..6)
+            .map(|i| vt.boolean(format!("x{i}"), 0.3 + 0.1 * i as f64))
+            .collect();
+        (vt, vars)
+    }
+
+    #[test]
+    fn cached_distribution_matches_oracle_and_hits_on_repeat() {
+        let (vt, xs) = setup();
+        let expr = v(xs[0]) * (v(xs[1]) + v(xs[2])) + v(xs[3]) * v(xs[4]);
+        let mut interner = Interner::new();
+        let mut cache = CompilationCache::default();
+        let id = interner.intern(&expr);
+        let dist = {
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                1,
+            );
+            eval.semiring_distribution(id).unwrap()
+        };
+        let oracle_dist = oracle::semiring_dist_by_enumeration(&expr, &vt, SemiringKind::Bool);
+        assert!(dist.approx_eq(&oracle_dist, 1e-9));
+        let misses_after_first = cache.counters().misses;
+        assert!(cache.semiring_entries() >= 1);
+        // Second evaluation under another scope: pure hit, counted as cross-scope.
+        let again = {
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                2,
+            );
+            eval.semiring_distribution(id).unwrap()
+        };
+        assert!(again.approx_eq(&dist, 1e-12));
+        assert_eq!(cache.counters().misses, misses_after_first);
+        assert!(cache.counters().hits >= 1);
+        assert!(cache.counters().cross_scope_hits >= 1);
+    }
+
+    #[test]
+    fn independent_components_are_memoised_individually() {
+        let (vt, xs) = setup();
+        // a·b + c·d : two independent summand groups.
+        let left = v(xs[0]) * v(xs[1]);
+        let right = v(xs[2]) * v(xs[3]);
+        let whole = left.clone() + right.clone();
+        let mut interner = Interner::new();
+        let mut cache = CompilationCache::default();
+        let whole_id = interner.intern(&whole);
+        {
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                1,
+            );
+            eval.semiring_distribution(whole_id).unwrap();
+        }
+        // The groups were cached on the way: evaluating just `a·b` now hits.
+        let hits_before = cache.counters().hits;
+        let left_id = interner.intern(&left);
+        {
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                1,
+            );
+            let d = eval.semiring_distribution(left_id).unwrap();
+            let oracle_dist = oracle::semiring_dist_by_enumeration(&left, &vt, SemiringKind::Bool);
+            assert!(d.approx_eq(&oracle_dist, 1e-9));
+        }
+        assert!(cache.counters().hits > hits_before);
+    }
+
+    #[test]
+    fn aggregate_distribution_matches_oracle() {
+        let (vt, xs) = setup();
+        let alpha = SemimoduleExpr::from_terms(
+            AggOp::Min,
+            vec![
+                (v(xs[0]), Fin(10)),
+                (v(xs[1]), Fin(20)),
+                (v(xs[0]) * v(xs[2]), Fin(5)),
+            ],
+        );
+        let mut interner = Interner::new();
+        let mut cache = CompilationCache::default();
+        let id = interner.intern_semimodule(&alpha);
+        let dist = {
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                7,
+            );
+            eval.aggregate_distribution(id).unwrap()
+        };
+        let oracle_dist = oracle::semimodule_dist_by_enumeration(&alpha, &vt, SemiringKind::Bool);
+        assert!(dist.approx_eq(&oracle_dist, 1e-9));
+        assert!(cache.aggregate_entries() >= 1);
+    }
+
+    #[test]
+    fn lru_evicts_beyond_entry_bound() {
+        let (vt, xs) = setup();
+        let mut interner = Interner::new();
+        let mut cache = CompilationCache::new(CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+        });
+        for &x in xs.iter().take(5) {
+            let expr = v(x) + SemiringExpr::Const(SemiringValue::Bool(false));
+            let id = interner.intern(&(v(x) * expr.clone() + expr));
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                1,
+            );
+            eval.semiring_distribution(id).unwrap();
+        }
+        assert!(cache.semiring_entries() <= 2);
+        assert!(cache.counters().evictions > 0);
+    }
+
+    #[test]
+    fn lru_promotion_protects_recent_entries() {
+        let mut lru: Lru<u32> = Lru::new();
+        let config = CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+        };
+        lru.insert(1, 10, 1, 0, &config);
+        lru.insert(2, 20, 1, 0, &config);
+        // Touch 1 so that 2 becomes the LRU victim.
+        assert_eq!(lru.get(1).map(|(v, _)| *v), Some(10));
+        lru.insert(3, 30, 1, 0, &config);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get(2).is_none());
+        assert_eq!(lru.get(1).map(|(v, _)| *v), Some(10));
+        assert_eq!(lru.get(3).map(|(v, _)| *v), Some(30));
+    }
+
+    #[test]
+    fn byte_bound_evicts() {
+        let (vt, xs) = setup();
+        let mut interner = Interner::new();
+        // A bound small enough that only one distribution fits.
+        let mut cache = CompilationCache::new(CacheConfig {
+            max_entries: usize::MAX,
+            max_bytes: 100,
+        });
+        for i in 0..3 {
+            let id = interner.intern(&(v(xs[i]) + v(xs[i + 1])));
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                1,
+            );
+            eval.semiring_distribution(id).unwrap();
+        }
+        assert!(cache.counters().evictions > 0);
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (vt, xs) = setup();
+        let mut interner = Interner::new();
+        let mut cache = CompilationCache::default();
+        let id = interner.intern(&(v(xs[0]) + v(xs[1])));
+        {
+            let mut eval = CachedEvaluator::new(
+                &mut interner,
+                &mut cache,
+                &vt,
+                SemiringKind::Bool,
+                CompileOptions::default(),
+                1,
+            );
+            eval.semiring_distribution(id).unwrap();
+        }
+        assert!(cache.semiring_entries() > 0);
+        cache.clear();
+        assert_eq!(cache.semiring_entries(), 0);
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.counters(), CacheCounters::default());
+    }
+}

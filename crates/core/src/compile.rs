@@ -187,6 +187,26 @@ impl<'a> Compiler<'a> {
         self.compile_semimodule_inner(&expr)
     }
 
+    /// Compile an interned semiring expression (see [`pvc_expr::intern`]) into a
+    /// d-tree. The id is resolved to its canonical rendering first, so compiling
+    /// either of two commutatively-reordered expressions produces the same tree.
+    pub fn compile_semiring_id(
+        &mut self,
+        interner: &pvc_expr::Interner,
+        id: pvc_expr::ExprId,
+    ) -> Result<DTree, BudgetExceeded> {
+        self.compile_semiring(&interner.resolve(id))
+    }
+
+    /// Compile an interned semimodule expression into a d-tree.
+    pub fn compile_semimodule_id(
+        &mut self,
+        interner: &pvc_expr::Interner,
+        id: pvc_expr::AggExprId,
+    ) -> Result<DTree, BudgetExceeded> {
+        self.compile_semimodule(&interner.resolve_semimodule(id))
+    }
+
     fn compile_semiring_inner(&mut self, expr: &SemiringExpr) -> Result<DTree, BudgetExceeded> {
         self.charge(1)?;
         match expr {

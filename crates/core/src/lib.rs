@@ -34,11 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod compile;
 pub mod joint;
 pub mod node;
 pub mod prune;
 
+pub use cache::{
+    confidence_of, CacheConfig, CacheCounters, CachedEvaluator, CompilationCache, EvalError,
+};
 pub use compile::{
     compile_semimodule, compile_semiring, BudgetExceeded, CompileOptions, CompileStats, Compiler,
 };

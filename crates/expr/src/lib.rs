@@ -12,6 +12,9 @@
 //!   homomorphisms of §3), variable-occurrence counting;
 //! * [`independence`] — connected components of the variable co-occurrence graph;
 //! * [`factor`] — common-factor extraction / read-once detection;
+//! * [`intern`] — the hash-consed expression arena: canonical ids with O(1)
+//!   structural equality and reorder-stable 64-bit hashes (the cache-key substrate
+//!   of the engine's compilation cache);
 //! * [`oracle`] — brute-force possible-world enumeration (the correctness oracle).
 
 #![forbid(unsafe_code)]
@@ -19,11 +22,13 @@
 
 pub mod factor;
 pub mod independence;
+pub mod intern;
 pub mod oracle;
 pub mod semimodule_expr;
 pub mod semiring_expr;
 pub mod vars;
 
+pub use intern::{AggExprId, ExprId, InternedAgg, InternedExpr, Interner};
 pub use semimodule_expr::{SemimoduleExpr, SmTerm};
 pub use semiring_expr::SemiringExpr;
 pub use vars::{Var, VarSet, VarTable};

@@ -18,8 +18,23 @@
 //! tuple confidences are computed by a **read-once fast path** that never builds a
 //! d-tree: the provenance of hierarchical non-repeating queries factorises into
 //! variable-disjoint sums and products, whose probabilities multiply directly. The
+//! same gate covers MIN/MAX aggregate distributions over pairwise-independent terms,
+//! which are assembled by the Proposition 1 closed form instead of a d-tree. The
 //! fast path is self-checking (it bails out to full compilation on any expression
-//! that is not read-once), so enabling it never changes results — only speed.
+//! that is not of the required shape), so enabling it never changes results — only
+//! speed.
+//!
+//! ## Caching & reuse
+//!
+//! The engine's compile-artifact caches are built on the hash-consed expression
+//! arena of [`pvc_expr::intern`] and the bounded [`CompilationCache`] of
+//! [`pvc_core::cache`]: every annotation and aggregate expression is interned into a
+//! **canonical id** (stable under commutative operand reordering), and the computed
+//! distributions are memoised under that id with an LRU entry/byte bound
+//! ([`CacheConfig`], see [`Engine::with_cache_config`]). Structurally-equal
+//! provenance therefore shares one cache entry even when different queries render it
+//! in different operand orders, and [`CacheStats`] reports hits, misses, evictions
+//! and *cross-query* hits.
 
 use crate::database::Database;
 use crate::error::Error;
@@ -29,10 +44,12 @@ use crate::relation::PvcTable;
 use crate::schema::Schema;
 use crate::tractable::{classify, QueryClass};
 use crate::value::Value;
-use pvc_algebra::SemiringKind;
-use pvc_core::{CompileOptions, Compiler};
-use pvc_expr::{SemiringExpr, VarSet, VarTable};
-use pvc_prob::MonoidDist;
+use pvc_algebra::{AggOp, MonoidValue, SemiringKind, SemiringValue};
+use pvc_core::{
+    confidence_of, CacheConfig, CachedEvaluator, CompilationCache, CompileOptions, Compiler,
+};
+use pvc_expr::{Interner, SemimoduleExpr, SemiringExpr, VarSet, VarTable};
+use pvc_prob::{Dist, MonoidDist, SemiringDist};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -163,30 +180,63 @@ impl fmt::Display for Plan {
     }
 }
 
-/// Sizes of the engine's compile-artifact caches (see [`Engine::cache_stats`]).
+/// Sizes and behaviour counters of the engine's compile-artifact caches (see
+/// [`Engine::cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Cached step-I rewrites, keyed by query.
     pub rewrites: usize,
-    /// Cached tuple confidences, keyed by annotation expression.
+    /// Cached annotation distributions/confidences, keyed by canonical expression id.
     pub confidences: usize,
-    /// Cached aggregate distributions, keyed by semimodule expression.
+    /// Cached aggregate distributions, keyed by canonical semimodule-expression id.
     pub aggregates: usize,
+    /// Distinct nodes in the hash-consed expression arena (semiring + semimodule).
+    pub interned: usize,
+    /// Approximate payload bytes held by the artifact caches.
+    pub bytes: usize,
+    /// Artifact-cache lookups answered from the cache.
+    pub hits: u64,
+    /// Artifact-cache lookups that had to compute.
+    pub misses: u64,
+    /// Hits whose entry was inserted while executing a *different* query — the
+    /// cross-query reuse enabled by canonical interning.
+    pub cross_query_hits: u64,
+    /// Entries evicted by the LRU bounds.
+    pub evictions: u64,
 }
 
 #[derive(Debug, Default)]
 struct Caches {
     rewrites: RefCell<BTreeMap<String, Arc<PvcTable>>>,
-    confidences: RefCell<BTreeMap<String, f64>>,
-    aggregates: RefCell<BTreeMap<String, MonoidDist>>,
+    interner: RefCell<Interner>,
+    artifacts: RefCell<CompilationCache>,
 }
 
 impl Caches {
+    fn with_config(config: CacheConfig) -> Self {
+        Caches {
+            rewrites: RefCell::new(BTreeMap::new()),
+            interner: RefCell::new(Interner::new()),
+            artifacts: RefCell::new(CompilationCache::new(config)),
+        }
+    }
+
     fn clear(&self) {
         self.rewrites.borrow_mut().clear();
-        self.confidences.borrow_mut().clear();
-        self.aggregates.borrow_mut().clear();
+        *self.interner.borrow_mut() = Interner::new();
+        self.artifacts.borrow_mut().clear();
     }
+}
+
+/// FNV-1a over a byte string: the stable scope tag used to attribute cache entries
+/// to the query that inserted them (for cross-query hit accounting).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The query engine: owns a [`Database`] and a cache of compile artifacts, and hands
@@ -198,11 +248,20 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Create an engine owning the given database.
+    /// Create an engine owning the given database (default cache bounds).
     pub fn new(db: Database) -> Self {
         Engine {
             db,
             caches: Caches::default(),
+        }
+    }
+
+    /// Create an engine with explicit compile-artifact cache bounds (entry and byte
+    /// LRU limits; see [`CacheConfig`]).
+    pub fn with_cache_config(db: Database, config: CacheConfig) -> Self {
+        Engine {
+            db,
+            caches: Caches::with_config(config),
         }
     }
 
@@ -224,12 +283,21 @@ impl Engine {
         self.db
     }
 
-    /// Current sizes of the compile-artifact caches.
+    /// Current sizes and behaviour counters of the compile-artifact caches.
     pub fn cache_stats(&self) -> CacheStats {
+        let artifacts = self.caches.artifacts.borrow();
+        let counters = artifacts.counters();
+        let interner = self.caches.interner.borrow();
         CacheStats {
             rewrites: self.caches.rewrites.borrow().len(),
-            confidences: self.caches.confidences.borrow().len(),
-            aggregates: self.caches.aggregates.borrow().len(),
+            confidences: artifacts.semiring_entries(),
+            aggregates: artifacts.aggregate_entries(),
+            interned: interner.len() + interner.agg_len(),
+            bytes: artifacts.bytes(),
+            hits: counters.hits,
+            misses: counters.misses,
+            cross_query_hits: counters.cross_scope_hits,
+            evictions: counters.evictions,
         }
     }
 
@@ -334,9 +402,10 @@ fn execute_pipeline(
 ) -> Result<QueryResult, Error> {
     // A node budget makes compilation observably fallible, so cached successes
     // computed without (or with a different) budget must not mask the error; the
-    // compile caches are bypassed for budgeted executions. Every other option only
-    // changes *how* the exact result is computed, never the result itself.
-    let caches = if options.compile.node_budget.is_some() {
+    // compile-artifact caches are bypassed for budgeted executions. The step-I
+    // rewrite does not depend on compile options and stays cached. Every other
+    // option only changes *how* the exact result is computed, never the result.
+    let artifact_caches = if options.compile.node_budget.is_some() {
         None
     } else {
         caches
@@ -347,6 +416,9 @@ fn execute_pipeline(
     // schema directly.
     let start = Instant::now();
     let query_key = format!("{query:?}");
+    // The scope tag attributes artifact-cache inserts to this query, so that hits
+    // from other queries can be counted as cross-query reuse.
+    let scope = fnv64(query_key.as_bytes());
     let cached_rewrite = caches.and_then(|c| c.rewrites.borrow().get(&query_key).cloned());
     let table: Arc<PvcTable> = match cached_rewrite {
         Some(table) => table,
@@ -371,6 +443,7 @@ fn execute_pipeline(
         && plan.strategy.is_tractable()
         && db.kind == SemiringKind::Bool;
     let mut fast_path_hits = 0usize;
+    let mut agg_fast_path_hits = 0usize;
     let mut tuples = Vec::with_capacity(table.tuples.len());
     for tuple in &table.tuples {
         let confidence = tuple_confidence(
@@ -379,13 +452,22 @@ fn execute_pipeline(
             options,
             try_fast,
             &mut fast_path_hits,
-            caches,
+            artifact_caches,
+            scope,
         )?;
         let mut aggregate_distributions = BTreeMap::new();
         if options.aggregate_distributions {
             for (column, value) in table.schema.columns().iter().zip(&tuple.values) {
                 if let Value::Agg(expr) = value {
-                    let dist = aggregate_distribution(db, expr, options, caches)?;
+                    let dist = aggregate_distribution(
+                        db,
+                        expr,
+                        options,
+                        try_fast,
+                        &mut agg_fast_path_hits,
+                        artifact_caches,
+                        scope,
+                    )?;
                     aggregate_distributions.insert(column.name.clone(), dist);
                 }
             }
@@ -409,10 +491,12 @@ fn execute_pipeline(
         rewrite_time,
         probability_time,
         fast_path_hits,
+        agg_fast_path_hits,
     })
 }
 
-/// The confidence of one annotation: fast path, then cache, then full compilation.
+/// The confidence of one annotation: canonical cache, then read-once fast path,
+/// then cache-aware compilation.
 fn tuple_confidence(
     db: &Database,
     annotation: &SemiringExpr,
@@ -420,28 +504,53 @@ fn tuple_confidence(
     try_fast: bool,
     fast_path_hits: &mut usize,
     caches: Option<&Caches>,
+    scope: u64,
 ) -> Result<f64, Error> {
-    let key = caches.map(|_| format!("{annotation}"));
-    if let (Some(c), Some(k)) = (caches, key.as_ref()) {
-        if let Some(p) = c.confidences.borrow().get(k) {
-            return Ok(*p);
+    if let Some(c) = caches {
+        let id = c.interner.borrow_mut().intern(annotation);
+        // Warm path: reduce the cached distribution to its confidence under the
+        // borrow — no per-tuple clone.
+        if let Some(p) = c
+            .artifacts
+            .borrow_mut()
+            .map_semiring(id, scope, confidence_of)
+        {
+            return Ok(p);
         }
-    }
-    let confidence = if try_fast {
-        match read_once_confidence(annotation, &db.vars) {
-            Some(p) => {
+        if try_fast {
+            if let Some(p) = read_once_confidence(annotation, &db.vars) {
                 *fast_path_hits += 1;
-                p
+                // The fast path only runs over the Boolean semiring, so the
+                // confidence determines the full distribution — cache it so later
+                // lookups (and sub-d-tree composition) can reuse it.
+                let dist: SemiringDist = Dist::from_pairs([
+                    (SemiringValue::Bool(true), p),
+                    (SemiringValue::Bool(false), 1.0 - p),
+                ]);
+                c.artifacts.borrow_mut().insert_semiring(id, scope, &dist);
+                return Ok(p);
             }
-            None => compiled_confidence(db, annotation, options)?,
         }
-    } else {
-        compiled_confidence(db, annotation, options)?
-    };
-    if let (Some(c), Some(k)) = (caches, key) {
-        c.confidences.borrow_mut().insert(k, confidence);
+        let mut interner = c.interner.borrow_mut();
+        let mut artifacts = c.artifacts.borrow_mut();
+        let mut eval = CachedEvaluator::new(
+            &mut interner,
+            &mut artifacts,
+            &db.vars,
+            db.kind,
+            options.compile.clone(),
+            scope,
+        );
+        let dist = eval.fill_semiring(id)?;
+        return Ok(confidence_of(&dist));
     }
-    Ok(confidence)
+    if try_fast {
+        if let Some(p) = read_once_confidence(annotation, &db.vars) {
+            *fast_path_hits += 1;
+            return Ok(p);
+        }
+    }
+    compiled_confidence(db, annotation, options)
 }
 
 /// Full step-II confidence: compile the annotation into a d-tree and sum the mass of
@@ -461,26 +570,50 @@ fn compiled_confidence(
         .sum())
 }
 
-/// The exact distribution of one aggregate, via the cache when available.
+/// The exact distribution of one aggregate: canonical cache, then the MIN/MAX
+/// read-once closed form, then cache-aware compilation.
 fn aggregate_distribution(
     db: &Database,
-    expr: &pvc_expr::SemimoduleExpr,
+    expr: &SemimoduleExpr,
     options: &EvalOptions,
+    try_fast: bool,
+    agg_fast_path_hits: &mut usize,
     caches: Option<&Caches>,
+    scope: u64,
 ) -> Result<MonoidDist, Error> {
-    let key = caches.map(|_| format!("{}#{expr}", expr.op));
-    if let (Some(c), Some(k)) = (caches, key.as_ref()) {
-        if let Some(d) = c.aggregates.borrow().get(k) {
-            return Ok(d.clone());
+    if let Some(c) = caches {
+        let id = c.interner.borrow_mut().intern_semimodule(expr);
+        if let Some(d) = c.artifacts.borrow_mut().get_aggregate(id, scope) {
+            return Ok(d);
+        }
+        if try_fast {
+            if let Some(d) = min_max_read_once_distribution(expr, &db.vars) {
+                *agg_fast_path_hits += 1;
+                c.artifacts.borrow_mut().insert_aggregate(id, scope, &d);
+                return Ok(d);
+            }
+        }
+        let mut interner = c.interner.borrow_mut();
+        let mut artifacts = c.artifacts.borrow_mut();
+        let mut eval = CachedEvaluator::new(
+            &mut interner,
+            &mut artifacts,
+            &db.vars,
+            db.kind,
+            options.compile.clone(),
+            scope,
+        );
+        return Ok(eval.fill_aggregate(id)?);
+    }
+    if try_fast {
+        if let Some(d) = min_max_read_once_distribution(expr, &db.vars) {
+            *agg_fast_path_hits += 1;
+            return Ok(d);
         }
     }
     let mut compiler = Compiler::with_options(&db.vars, db.kind, options.compile.clone());
     let tree = compiler.compile_semimodule(expr)?;
-    let dist = tree.monoid_distribution(&db.vars, db.kind)?;
-    if let (Some(c), Some(k)) = (caches, key) {
-        c.aggregates.borrow_mut().insert(k, dist.clone());
-    }
-    Ok(dist)
+    Ok(tree.monoid_distribution(&db.vars, db.kind)?)
 }
 
 /// Read-once confidence evaluation over the Boolean semiring: the probability that a
@@ -519,16 +652,73 @@ fn read_once_confidence(expr: &SemiringExpr, vars: &VarTable) -> Option<f64> {
     }
 }
 
-/// `Some(())` iff the children mention pairwise disjoint variable sets.
-fn pairwise_var_disjoint(children: &[SemiringExpr]) -> Option<()> {
+/// Read-once fast path for MIN/MAX aggregate distributions (Proposition 1 of the
+/// paper): when the terms `Φ_i ⊗ m_i` of a MIN/MAX semimodule expression have
+/// pairwise variable-disjoint, read-once Boolean coefficients, the terms are
+/// independent and the distribution has the closed form
+///
+/// ```text
+/// P[MIN = v] = Π_{m_i < v} (1 − p_i) · (1 − Π_{m_i = v} (1 − p_i)),
+/// P[MIN = 0_M] = Π_i (1 − p_i)            (no term present)
+/// ```
+///
+/// with `p_i = P[Φ_i ≠ ⊥]` (symmetrically for MAX with `>` in place of `<`). The
+/// result has at most `n + 1` support values and is computed in `O(n log n)` — no
+/// d-tree, no convolution. Returns `None` whenever the expression is not of that
+/// shape (SUM/COUNT/PROD, shared variables, non-read-once coefficients); the caller
+/// then falls back to full compilation, so this is always sound.
+fn min_max_read_once_distribution(expr: &SemimoduleExpr, vars: &VarTable) -> Option<MonoidDist> {
+    if !matches!(expr.op, AggOp::Min | AggOp::Max) {
+        return None;
+    }
+    if expr.terms.is_empty() {
+        return Some(Dist::point(expr.op.identity()));
+    }
+    // Terms must be pairwise variable-disjoint to be independent.
+    pairwise_disjoint_sets(expr.terms.iter().map(|t| t.vars()))?;
+    let mut present: Vec<(MonoidValue, f64)> = Vec::with_capacity(expr.terms.len());
+    for t in &expr.terms {
+        present.push((t.value, read_once_confidence(&t.coeff, vars)?));
+    }
+    // Winning value first: ascending for MIN, descending for MAX.
+    match expr.op {
+        AggOp::Min => present.sort_by_key(|t| t.0),
+        _ => present.sort_by_key(|t| std::cmp::Reverse(t.0)),
+    }
+    let mut pairs = Vec::with_capacity(present.len() + 1);
+    // Probability that every term strictly better than the current value is absent.
+    let mut p_better_absent = 1.0;
+    let mut i = 0;
+    while i < present.len() {
+        let value = present[i].0;
+        let mut p_absent_here = 1.0;
+        while i < present.len() && present[i].0 == value {
+            p_absent_here *= 1.0 - present[i].1;
+            i += 1;
+        }
+        pairs.push((value, p_better_absent * (1.0 - p_absent_here)));
+        p_better_absent *= p_absent_here;
+    }
+    // No term present: the monoid's neutral element.
+    pairs.push((expr.op.identity(), p_better_absent));
+    Some(Dist::from_pairs(pairs))
+}
+
+/// `Some(())` iff the given variable sets are pairwise disjoint (the sum of the
+/// sizes equals the size of the union).
+fn pairwise_disjoint_sets(sets: impl Iterator<Item = VarSet>) -> Option<()> {
     let mut total = 0usize;
     let mut all = VarSet::new();
-    for child in children {
-        let vs = child.vars();
+    for vs in sets {
         total += vs.len();
         all = all.union(&vs);
     }
     (all.len() == total).then_some(())
+}
+
+/// `Some(())` iff the children mention pairwise disjoint variable sets.
+fn pairwise_var_disjoint(children: &[SemiringExpr]) -> Option<()> {
+    pairwise_disjoint_sets(children.iter().map(|c| c.vars()))
 }
 
 #[cfg(test)]
@@ -598,13 +788,85 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.rewrites, 1);
         assert!(stats.confidences >= 1);
-        // A second execution hits the caches and returns the same tuples.
+        assert!(stats.interned >= 1);
+        assert!(stats.misses >= 1);
+        // A second execution answers every annotation from the cache: no new
+        // entries, no new misses, strictly more hits. Re-running the *same* query
+        // is not cross-query reuse.
         let again = prepared.execute(&EvalOptions::default()).unwrap();
         assert_eq!(again.tuples.len(), 9);
-        assert_eq!(engine.cache_stats(), stats);
-        // Touching the database invalidates everything.
+        let warm = engine.cache_stats();
+        assert_eq!(warm.confidences, stats.confidences);
+        assert_eq!(warm.misses, stats.misses);
+        assert!(warm.hits > stats.hits);
+        assert_eq!(warm.cross_query_hits, stats.cross_query_hits);
+        // Touching the database invalidates everything, counters included.
         engine.database_mut();
         assert_eq!(engine.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn structurally_equal_renderings_hit_across_queries() {
+        // P1 ∪ P2 and P2 ∪ P1 are different queries whose rewritings render the
+        // same provenance with summands in opposite orders; canonical interning
+        // must make the second execution hit the first's cache entries.
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let qa = Query::table("P1")
+            .union(Query::table("P2"))
+            .project(["pid"]);
+        let qb = Query::table("P2")
+            .union(Query::table("P1"))
+            .project(["pid"]);
+        let ra = engine
+            .prepare(&qa)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        assert_eq!(engine.cache_stats().cross_query_hits, 0);
+        let rb = engine
+            .prepare(&qb)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let stats = engine.cache_stats();
+        assert!(
+            stats.cross_query_hits >= 1,
+            "expected cross-query reuse, got {stats:?}"
+        );
+        for (a, b) in ra.tuples.iter().zip(&rb.tuples) {
+            assert!((a.confidence - b.confidence).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lru_bound_evicts_but_preserves_results() {
+        let db = figure1_db();
+        let engine = Engine::with_cache_config(
+            figure1_db(),
+            CacheConfig {
+                max_entries: 2,
+                max_bytes: usize::MAX,
+            },
+        );
+        let reference = Engine::new(db);
+        let q = paper_q1();
+        let bounded = engine
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let unbounded = reference
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let stats = engine.cache_stats();
+        assert!(stats.confidences <= 2);
+        assert!(stats.evictions > 0, "expected evictions, got {stats:?}");
+        for (a, b) in bounded.tuples.iter().zip(&unbounded.tuples) {
+            assert!((a.confidence - b.confidence).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -666,6 +928,74 @@ mod tests {
         assert_eq!(prepared.plan().strategy, Strategy::HierarchicalFastPath);
         let rendered = prepared.plan().to_string();
         assert!(rendered.contains("hierarchical fast path"));
+    }
+
+    #[test]
+    fn min_max_aggregate_fast_path_matches_compilation() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        // MIN/MAX over P1's four independent weights: Q_ind, disjoint coefficients.
+        for op in [AggOp::Min, AggOp::Max] {
+            let q = Query::table("P1")
+                .group_agg(Vec::<String>::new(), vec![AggSpec::new(op, "weight", "m")]);
+            let prepared = engine.prepare(&q).unwrap();
+            assert!(prepared.plan().strategy.is_tractable());
+            let fast = prepared.execute(&EvalOptions::default()).unwrap();
+            assert_eq!(
+                fast.agg_fast_path_hits, 1,
+                "{op:?} should use the closed form"
+            );
+            // A fresh engine without the fast path must produce the same
+            // distribution via full compilation.
+            let slow_engine = Engine::new(figure1_db());
+            let slow = slow_engine
+                .prepare(&q)
+                .unwrap()
+                .execute(&EvalOptions::default().without_fast_path())
+                .unwrap();
+            assert_eq!(slow.agg_fast_path_hits, 0);
+            let df = &fast.tuples[0].aggregate_distributions["m"];
+            let ds = &slow.tuples[0].aggregate_distributions["m"];
+            assert!(df.approx_eq(ds, 1e-9), "{op:?}: {df} vs {ds}");
+        }
+    }
+
+    #[test]
+    fn min_max_closed_form_agrees_with_oracle() {
+        let mut vars = VarTable::new();
+        let x = vars.boolean("x", 0.3);
+        let y = vars.boolean("y", 0.6);
+        let z = vars.boolean("z", 0.8);
+        // Duplicate values across terms exercise the same-value grouping.
+        let alpha = SemimoduleExpr::from_terms(
+            AggOp::Min,
+            vec![
+                (SemiringExpr::Var(x), MonoidValue::Fin(10)),
+                (SemiringExpr::Var(y), MonoidValue::Fin(10)),
+                (SemiringExpr::Var(z), MonoidValue::Fin(25)),
+            ],
+        );
+        let dist = min_max_read_once_distribution(&alpha, &vars).unwrap();
+        let expected = oracle::semimodule_dist_by_enumeration(&alpha, &vars, SemiringKind::Bool);
+        assert!(dist.approx_eq(&expected, 1e-9), "{dist} vs {expected}");
+        // Shared variables must bail out.
+        let shared = SemimoduleExpr::from_terms(
+            AggOp::Max,
+            vec![
+                (SemiringExpr::Var(x), MonoidValue::Fin(1)),
+                (
+                    SemiringExpr::Var(x) * SemiringExpr::Var(y),
+                    MonoidValue::Fin(2),
+                ),
+            ],
+        );
+        assert!(min_max_read_once_distribution(&shared, &vars).is_none());
+        // SUM is not covered by Proposition 1's closed form.
+        let sum = SemimoduleExpr::from_terms(
+            AggOp::Sum,
+            vec![(SemiringExpr::Var(x), MonoidValue::Fin(1))],
+        );
+        assert!(min_max_read_once_distribution(&sum, &vars).is_none());
     }
 
     #[test]

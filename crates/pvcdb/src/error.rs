@@ -5,7 +5,7 @@
 //! so callers match on one enum instead of a zoo of panics.
 
 use crate::query::QueryError;
-use pvc_core::{BudgetExceeded, DTreeError};
+use pvc_core::{BudgetExceeded, DTreeError, EvalError};
 use std::fmt;
 
 /// Errors returned by the `pvc-db` engine and its fallible entry points.
@@ -84,6 +84,15 @@ impl From<BudgetExceeded> for Error {
 impl From<DTreeError> for Error {
     fn from(e: DTreeError) -> Self {
         Error::Distribution(e)
+    }
+}
+
+impl From<EvalError> for Error {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Budget(b) => Error::Compile(b),
+            EvalError::Tree(t) => Error::Distribution(t),
+        }
     }
 }
 

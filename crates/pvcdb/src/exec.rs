@@ -89,7 +89,7 @@ fn evaluate_rec(db: &Database, query: &Query) -> Result<PvcTable, Error> {
         }
         Query::Project(cols, input) => {
             let table = evaluate_rec(db, input)?;
-            Ok(eval_project(&table, cols, kind))
+            eval_project(&table, cols, kind)
         }
         Query::Product(a, b) => {
             let ta = evaluate_rec(db, a)?;
@@ -138,13 +138,23 @@ fn eval_select(table: &PvcTable, pred: &Predicate, kind: SemiringKind) -> Result
     Ok(out)
 }
 
-fn cell<'a>(table: &PvcTable, tuple: &'a Tuple, column: &str) -> &'a Value {
-    &tuple.values[table.schema.expect_index(column)]
+/// Resolve a column name against a schema, reporting unknown columns through the
+/// [`Error`] contract instead of panicking. Queries are validated by
+/// `Engine::prepare`, so a miss here indicates a schema raced away underneath a
+/// prepared query — still an error, never an abort.
+fn col_index(schema: &Schema, column: &str) -> Result<usize, Error> {
+    schema
+        .index_of(column)
+        .ok_or_else(|| Error::Validation(QueryError::UnknownColumn(column.to_string())))
+}
+
+fn cell<'a>(table: &PvcTable, tuple: &'a Tuple, column: &str) -> Result<&'a Value, Error> {
+    Ok(&tuple.values[col_index(&table.schema, column)?])
 }
 
 /// Fetch a cell that must hold a semimodule expression (an aggregation attribute).
 fn agg_cell(table: &PvcTable, tuple: &Tuple, column: &str) -> Result<SemimoduleExpr, Error> {
-    cell(table, tuple, column)
+    cell(table, tuple, column)?
         .as_agg()
         .cloned()
         .ok_or_else(|| Error::Validation(QueryError::PredicateSortMismatch(column.to_string())))
@@ -158,11 +168,11 @@ fn eval_predicate(
 ) -> Result<PredOutcome, Error> {
     Ok(match pred {
         Predicate::ColEqCol(a, b) => {
-            let (va, vb) = (cell(table, tuple, a), cell(table, tuple, b));
+            let (va, vb) = (cell(table, tuple, a)?, cell(table, tuple, b)?);
             keep_if(va.key() == vb.key())
         }
         Predicate::ColCmpConst(a, theta, c) => {
-            let va = cell(table, tuple, a);
+            let va = cell(table, tuple, a)?;
             keep_if(theta.eval(&va.key(), &c.key()))
         }
         Predicate::AggCmpConst(alpha, theta, c) => {
@@ -177,7 +187,7 @@ fn eval_predicate(
         }
         Predicate::AggCmpCol(alpha, theta, col) => {
             let lhs = agg_cell(table, tuple, alpha)?;
-            let c = cell(table, tuple, col)
+            let c = cell(table, tuple, col)?
                 .as_int()
                 .ok_or_else(|| Error::TypeMismatch {
                     column: col.to_string(),
@@ -212,8 +222,11 @@ fn keep_if(cond: bool) -> PredOutcome {
     }
 }
 
-fn eval_project(table: &PvcTable, cols: &[String], kind: SemiringKind) -> PvcTable {
-    let indices: Vec<usize> = cols.iter().map(|c| table.schema.expect_index(c)).collect();
+fn eval_project(table: &PvcTable, cols: &[String], kind: SemiringKind) -> Result<PvcTable, Error> {
+    let indices: Vec<usize> = cols
+        .iter()
+        .map(|c| col_index(&table.schema, c))
+        .collect::<Result<_, _>>()?;
     let schema = table.schema.project(cols);
     let mut groups: BTreeMap<Vec<KeyValue>, (Vec<Value>, Vec<SemiringExpr>)> = BTreeMap::new();
     for tuple in &table.tuples {
@@ -230,12 +243,13 @@ fn eval_project(table: &PvcTable, cols: &[String], kind: SemiringKind) -> PvcTab
         let annotation = SemiringExpr::sum(annotations).simplify(kind);
         out.tuples.push(Tuple::new(values, annotation));
     }
-    out
+    Ok(out)
 }
 
-/// Split a selection over a product into equi-join pairs `(left column, right column)`
+/// Split a selection over a product into equi-join pairs `(left index, right index)`
+/// (already resolved against the operand schemas, so the join itself cannot fail)
 /// and the remaining predicate. Returns `None` if no cross-operand equality is found.
-type EquijoinSplit = (Vec<(String, String)>, Option<Predicate>);
+type EquijoinSplit = (Vec<(usize, usize)>, Option<Predicate>);
 
 fn split_equijoin_predicate(
     pred: &Predicate,
@@ -251,12 +265,15 @@ fn split_equijoin_predicate(
     for atom in atoms {
         match &atom {
             Predicate::ColEqCol(a, b) => {
-                if left.schema.index_of(a).is_some() && right.schema.index_of(b).is_some() {
-                    pairs.push((a.clone(), b.clone()));
-                } else if left.schema.index_of(b).is_some() && right.schema.index_of(a).is_some() {
-                    pairs.push((b.clone(), a.clone()));
-                } else {
-                    rest.push(atom);
+                match (
+                    left.schema.index_of(a),
+                    right.schema.index_of(b),
+                    left.schema.index_of(b),
+                    right.schema.index_of(a),
+                ) {
+                    (Some(la), Some(rb), _, _) => pairs.push((la, rb)),
+                    (_, _, Some(lb), Some(ra)) => pairs.push((lb, ra)),
+                    _ => rest.push(atom),
                 }
             }
             _ => rest.push(atom),
@@ -267,7 +284,7 @@ fn split_equijoin_predicate(
     }
     let rest = match rest.len() {
         0 => None,
-        1 => Some(rest.pop().unwrap()),
+        1 => rest.pop(),
         _ => Some(Predicate::And(rest)),
     };
     Some((pairs, rest))
@@ -275,16 +292,10 @@ fn split_equijoin_predicate(
 
 /// Hash equi-join: equivalent to `σ_{⋀ L=R}(left × right)` but in time proportional to
 /// the input plus output size.
-fn eval_hash_join(left: &PvcTable, right: &PvcTable, pairs: &[(String, String)]) -> PvcTable {
+fn eval_hash_join(left: &PvcTable, right: &PvcTable, pairs: &[(usize, usize)]) -> PvcTable {
     let schema = left.schema.concat(&right.schema);
-    let left_idx: Vec<usize> = pairs
-        .iter()
-        .map(|(l, _)| left.schema.expect_index(l))
-        .collect();
-    let right_idx: Vec<usize> = pairs
-        .iter()
-        .map(|(_, r)| right.schema.expect_index(r))
-        .collect();
+    let left_idx: Vec<usize> = pairs.iter().map(|(l, _)| *l).collect();
+    let right_idx: Vec<usize> = pairs.iter().map(|(_, r)| *r).collect();
     let mut index: BTreeMap<Vec<KeyValue>, Vec<usize>> = BTreeMap::new();
     for (row, tuple) in right.tuples.iter().enumerate() {
         let key: Vec<KeyValue> = right_idx.iter().map(|i| tuple.values[*i].key()).collect();
@@ -349,11 +360,11 @@ fn eval_group_agg(
 ) -> Result<PvcTable, Error> {
     let group_indices: Vec<usize> = group_by
         .iter()
-        .map(|c| table.schema.expect_index(c))
-        .collect();
-    let mut columns: Vec<Column> = group_by
+        .map(|c| col_index(&table.schema, c))
+        .collect::<Result<_, _>>()?;
+    let mut columns: Vec<Column> = group_indices
         .iter()
-        .map(|c| table.schema.columns()[table.schema.expect_index(c)].clone())
+        .map(|&i| table.schema.columns()[i].clone())
         .collect();
     columns.extend(aggs.iter().map(|a| Column::aggregation(a.alias.clone())));
     let schema = Schema::from_columns(columns);
@@ -416,7 +427,7 @@ fn build_aggregate(
                 if spec.op.is_count() {
                     MonoidValue::Fin(1)
                 } else {
-                    cell(table, tuple, col).as_monoid_value().ok_or_else(|| {
+                    cell(table, tuple, col)?.as_monoid_value().ok_or_else(|| {
                         Error::TypeMismatch {
                             column: col.clone(),
                             expected: "integer constants under aggregation",

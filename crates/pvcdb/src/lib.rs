@@ -55,6 +55,8 @@ pub use engine::{CacheStats, Engine, EvalOptions, Plan, PreparedQuery, Strategy}
 pub use error::Error;
 pub use exec::try_evaluate;
 pub use prob_eval::{try_tuple_confidences, ProbTuple, QueryResult};
+// Re-exported so engine users can bound the cache without depending on `pvc-core`.
+pub use pvc_core::CacheConfig;
 pub use query::{AggSpec, Predicate, Query, QueryError};
 pub use relation::{PvcTable, Tuple};
 pub use schema::{Column, Schema};

@@ -46,6 +46,10 @@ pub struct QueryResult {
     /// (read-once evaluation, no d-tree built). Zero when the fast path was disabled
     /// or the query was not classified as tractable.
     pub fast_path_hits: usize,
+    /// How many aggregate distributions were assembled by the Proposition 1 closed
+    /// form for MIN/MAX over independent read-once terms (no d-tree built). Zero
+    /// when the fast path was disabled or the query was not classified as tractable.
+    pub agg_fast_path_hits: usize,
 }
 
 impl QueryResult {

@@ -37,6 +37,33 @@
 //! # Ok::<(), pvc_suite::db::Error>(())
 //! ```
 //!
+//! ## Caching & reuse
+//!
+//! Identical sub-provenance recurs constantly across tuples, executions and queries,
+//! so the engine memoises compilation artifacts in a shared, bounded subsystem:
+//!
+//! * **hash-consed expression arena** ([`expr::intern`]) — every annotation and
+//!   aggregate expression is interned into a canonical id with O(1) structural
+//!   equality and a 64-bit hash that is stable under commutative operand
+//!   reordering, so `x·(y + z)` and `(z + y)·x` share one identity;
+//! * **canonical compilation cache** ([`core::cache`]) — distributions and
+//!   confidences are memoised under those ids in an LRU store with configurable
+//!   entry/byte bounds (`CacheConfig`), and the cache is consulted at every
+//!   *independent sub-d-tree*, so recurring components of large annotations are
+//!   reused even inside otherwise-new expressions;
+//! * **engine integration** — [`db::Engine`] owns one arena + cache pair; repeated
+//!   executions and *structurally equal queries under different renderings* hit the
+//!   same entries. [`db::CacheStats`] reports entries, bytes, hits, misses,
+//!   evictions and cross-query hits; `Engine::with_cache_config` bounds the
+//!   artifact payloads (the heavy part — distributions). Note that the arena
+//!   itself and the per-query rewrite cache grow with the number of distinct
+//!   expressions/queries seen; mutating the database (`Engine::database_mut`)
+//!   resets all of it.
+//!
+//! For tractable plans the engine also skips compilation entirely where closed
+//! forms exist: read-once confidences, and MIN/MAX aggregate distributions over
+//! independent terms (Proposition 1 of the paper).
+//!
 //! ## Member crates
 //!
 //! * [`algebra`] — monoids, semirings, semimodules (§2.2);
@@ -69,12 +96,12 @@ pub mod prelude {
         semiring_distribution, CompileOptions, Compiler, DTree,
     };
     pub use pvc_db::{
-        classify, try_evaluate, try_tuple_confidences, AggSpec, Database, Engine, Error,
-        EvalOptions, Plan, Predicate, PreparedQuery, ProbTuple, PvcTable, Query, QueryClass,
-        QueryResult, Schema, Strategy, Value,
+        classify, try_evaluate, try_tuple_confidences, AggSpec, CacheConfig, CacheStats, Database,
+        Engine, Error, EvalOptions, Plan, Predicate, PreparedQuery, ProbTuple, PvcTable, Query,
+        QueryClass, QueryResult, Schema, Strategy, Value,
     };
     #[allow(deprecated)]
     pub use pvc_db::{evaluate, evaluate_with_probabilities, tuple_confidences};
-    pub use pvc_expr::{SemimoduleExpr, SemiringExpr, Var, VarTable};
+    pub use pvc_expr::{Interner, SemimoduleExpr, SemiringExpr, Var, VarTable};
     pub use pvc_prob::{Dist, MonoidDist, SemiringDist};
 }
