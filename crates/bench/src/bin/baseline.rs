@@ -38,6 +38,8 @@ fn main() {
     let b = pvc_bench::experiment_b(scale);
     eprintln!("running the repeated-workload cache experiment ...");
     let cache = pvc_bench::experiment_cache(scale);
+    eprintln!("running the parallel-execution experiment ...");
+    let parallel = pvc_bench::experiment_parallel(scale);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -47,6 +49,8 @@ fn main() {
     rows_json(&b, &mut out);
     out.push_str(",\n  \"experiment_cache\": ");
     out.push_str(&cache.to_json());
+    out.push_str(",\n  \"experiment_parallel\": ");
+    out.push_str(&parallel.to_json());
     out.push_str("\n}\n");
     print!("{out}");
 }

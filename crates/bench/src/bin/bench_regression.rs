@@ -1,0 +1,61 @@
+//! The CI performance-regression gate: compares a freshly generated baseline JSON
+//! (produced by the `baseline` bin) against the committed `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run --release --bin baseline > BENCH_fresh.json
+//! cargo run --release --bin bench_regression BENCH_baseline.json BENCH_fresh.json
+//! ```
+//!
+//! Exit code 1 (with one line per violation) when:
+//!
+//! * the fresh run reports **zero cross-query cache hits**, or
+//! * a timing above the noise floor slowed down by more than the tolerance
+//!   (default 1.5×), or a sweep point disappeared, or
+//! * on a machine with ≥ 4 cores, the cold `threads = 4` execution is not at
+//!   least `PVC_MIN_PARALLEL_SPEEDUP`× (default 1.3×) faster than `threads = 1`.
+//!
+//! Thresholds: `PVC_BENCH_TOLERANCE`, `PVC_BENCH_TIME_FLOOR_S`,
+//! `PVC_MIN_PARALLEL_SPEEDUP`.
+
+use pvc_bench::json::Json;
+use pvc_bench::regression::{compare, GateConfig};
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("FAIL: `{path}` is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_fresh.json".into());
+    let config = GateConfig::from_env();
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let (violations, summary) = compare(&baseline, &fresh, &config);
+    println!("bench-regression: {baseline_path} vs {fresh_path}");
+    println!("bench-regression: {summary}");
+    if violations.is_empty() {
+        println!(
+            "OK: no regressions beyond the {:.2}x tolerance",
+            config.tolerance
+        );
+    } else {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
+}

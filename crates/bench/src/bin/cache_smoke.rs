@@ -3,20 +3,29 @@
 //! cache hits** — i.e. if canonical interning stopped unifying structurally-equal
 //! provenance across query renderings.
 //!
+//! Set `PVC_SMOKE_THREADS=<n>` to run the workload on `n` worker threads: the same
+//! check then regression-guards **cross-thread** sharing of the artifact store
+//! (workers fill it, the commuted rendering must still be served from it).
+//!
 //! ```text
 //! cargo run --release --bin cache_smoke
+//! PVC_SMOKE_THREADS=4 cargo run --release --bin cache_smoke
 //! ```
 
-use pvc_bench::{experiment_cache, Scale, CACHE_HEADER};
+use pvc_bench::{experiment_cache_threads, Scale, CACHE_HEADER};
 
 fn main() {
-    let report = experiment_cache(Scale::from_env());
-    println!("{}", CACHE_HEADER.join("\t"));
-    println!("{}", report.cells().join("\t"));
+    let threads: usize = std::env::var("PVC_SMOKE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let report = experiment_cache_threads(Scale::from_env(), threads);
+    println!("threads\t{}", CACHE_HEADER.join("\t"));
+    println!("{threads}\t{}", report.cells().join("\t"));
     if report.cross_query_hits == 0 {
         eprintln!(
-            "FAIL: zero cross-query cache hits — the canonical compilation cache is \
-             not unifying structurally-equal renderings"
+            "FAIL: zero cross-query cache hits at threads={threads} — the canonical \
+             compilation cache is not unifying structurally-equal renderings"
         );
         std::process::exit(1);
     }
@@ -28,7 +37,7 @@ fn main() {
         );
     }
     println!(
-        "OK: {} cross-query hits, warm speedup {:.1}x",
+        "OK: {} cross-query hits at threads={threads}, warm speedup {:.1}x",
         report.cross_query_hits, report.warm_speedup
     );
 }

@@ -584,9 +584,17 @@ fn cache_workload_query(swapped: bool) -> pvc_db::Query {
 /// structurally-equal query under a *different rendering* is executed and must be
 /// served by cross-query cache hits thanks to canonical interning.
 pub fn experiment_cache(scale: Scale) -> CacheHitReport {
+    experiment_cache_threads(scale, 1)
+}
+
+/// The cache experiment with an explicit worker-thread count (`threads > 1`
+/// regression-guards **cross-thread** cache sharing: workers fill the shared
+/// store, warm runs and the commuted rendering must still be served from it).
+pub fn experiment_cache_threads(scale: Scale, threads: usize) -> CacheHitReport {
     let full = scale == Scale::Full;
     let (shops, per_shop) = if full { (60, 8) } else { (24, 5) };
     let warm_runs = 5;
+    let options = EvalOptions::default().with_threads(threads);
     let db = cache_workload_db(shops, per_shop);
     let engine = Engine::new(db);
     let qa = cache_workload_query(false);
@@ -594,19 +602,19 @@ pub fn experiment_cache(scale: Scale) -> CacheHitReport {
 
     let pa = engine.prepare(&qa).expect("workload query prepares");
     let start = std::time::Instant::now();
-    let cold = pa.execute(&EvalOptions::default()).expect("cold run");
+    let cold = pa.execute(&options).expect("cold run");
     let cold_s = start.elapsed().as_secs_f64();
     assert!(!cold.tuples.is_empty(), "workload must produce tuples");
 
     let start = std::time::Instant::now();
     for _ in 0..warm_runs {
-        pa.execute(&EvalOptions::default()).expect("warm run");
+        pa.execute(&options).expect("warm run");
     }
     let warm_s = start.elapsed().as_secs_f64() / warm_runs as f64;
 
     let pb = engine.prepare(&qb).expect("swapped rendering prepares");
     let start = std::time::Instant::now();
-    pb.execute(&EvalOptions::default()).expect("cross run");
+    pb.execute(&options).expect("cross run");
     let cross_s = start.elapsed().as_secs_f64();
 
     let stats = engine.cache_stats();
@@ -622,6 +630,145 @@ pub fn experiment_cache(scale: Scale) -> CacheHitReport {
         cross_query_hits: stats.cross_query_hits,
         evictions: stats.evictions,
         entries: stats.confidences + stats.aggregates,
+    }
+}
+
+/// The report of the parallel-execution experiment: cold wall-clock of the scale
+/// workload at 1/2/4 worker threads (fresh engine per measurement), plus streaming
+/// latency-to-first-tuple at the highest thread count.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Result tuples of the workload query.
+    pub tuples: usize,
+    /// `std::thread::available_parallelism()` on the machine that produced the
+    /// report (speedups are only meaningful when this is > 1).
+    pub cores: usize,
+    /// Cold execution, `threads = 1`.
+    pub cold_1t_s: f64,
+    /// Cold execution, `threads = 2`.
+    pub cold_2t_s: f64,
+    /// Cold execution, `threads = 4`.
+    pub cold_4t_s: f64,
+    /// `cold_1t_s / cold_2t_s`.
+    pub speedup_2v1: f64,
+    /// `cold_1t_s / cold_4t_s`.
+    pub speedup_4v1: f64,
+    /// Cold streaming at `threads = 4`: seconds until the first tuple arrived.
+    pub first_tuple_s: f64,
+    /// Cold streaming at `threads = 4`: seconds until the stream was exhausted.
+    pub full_stream_s: f64,
+}
+
+impl ParallelReport {
+    /// The report as `(field name, JSON-ready value)` pairs.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("tuples", format!("{}", self.tuples)),
+            ("cores", format!("{}", self.cores)),
+            ("cold_1t_s", format!("{:.6}", self.cold_1t_s)),
+            ("cold_2t_s", format!("{:.6}", self.cold_2t_s)),
+            ("cold_4t_s", format!("{:.6}", self.cold_4t_s)),
+            ("speedup_2v1", format!("{:.2}", self.speedup_2v1)),
+            ("speedup_4v1", format!("{:.2}", self.speedup_4v1)),
+            ("first_tuple_s", format!("{:.6}", self.first_tuple_s)),
+            ("full_stream_s", format!("{:.6}", self.full_stream_s)),
+        ]
+    }
+
+    /// Format as a table row (same order as [`fields`](Self::fields)).
+    pub fn cells(&self) -> Vec<String> {
+        self.fields().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Header of the parallel experiment table.
+pub const PARALLEL_HEADER: [&str; 9] = [
+    "tuples",
+    "cores",
+    "cold_1t_s",
+    "cold_2t_s",
+    "cold_4t_s",
+    "speedup_2v1",
+    "speedup_4v1",
+    "first_tuple_s",
+    "full_stream_s",
+];
+
+/// **Parallel experiment** (not in the paper): per-tuple d-tree compilation fanned
+/// out over worker threads. The workload is the repeated-workload query (general
+/// compilation — every tuple carries a conditional expression that needs a d-tree),
+/// executed **cold** (fresh engine) once per thread count so no cache warmth leaks
+/// between measurements. Results are verified bit-identical across thread counts
+/// before any timing is reported.
+pub fn experiment_parallel(scale: Scale) -> ParallelReport {
+    let full = scale == Scale::Full;
+    let (shops, per_shop) = if full { (96, 10) } else { (36, 6) };
+    let query = cache_workload_query(false);
+
+    let cold_run = |threads: usize| {
+        let engine = Engine::new(cache_workload_db(shops, per_shop));
+        let prepared = engine.prepare(&query).expect("workload query prepares");
+        let options = EvalOptions::default().with_threads(threads);
+        let start = std::time::Instant::now();
+        let result = prepared.execute(&options).expect("cold run");
+        (start.elapsed().as_secs_f64(), result)
+    };
+
+    let (cold_1t_s, reference) = cold_run(1);
+    let (cold_2t_s, r2) = cold_run(2);
+    let (cold_4t_s, r4) = cold_run(4);
+    for (result, threads) in [(&r2, 2), (&r4, 4)] {
+        assert_eq!(result.tuples.len(), reference.tuples.len());
+        for (a, b) in result.tuples.iter().zip(&reference.tuples) {
+            assert_eq!(
+                a.confidence.to_bits(),
+                b.confidence.to_bits(),
+                "threads={threads} must be bit-identical to sequential"
+            );
+        }
+    }
+
+    // Streaming latency: cold engine, time to first tuple vs. full drain.
+    let engine = Engine::new(cache_workload_db(shops, per_shop));
+    let prepared = engine.prepare(&query).expect("workload query prepares");
+    let start = std::time::Instant::now();
+    let mut stream = prepared
+        .execute_streaming(&EvalOptions::default().with_threads(4))
+        .expect("streaming run");
+    let first = stream
+        .next()
+        .expect("at least one tuple")
+        .expect("tuple ok");
+    let first_tuple_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        first.confidence.to_bits(),
+        reference.tuples[0].confidence.to_bits()
+    );
+    for item in &mut stream {
+        item.expect("tuple ok");
+    }
+    let full_stream_s = start.elapsed().as_secs_f64();
+
+    ParallelReport {
+        tuples: reference.tuples.len(),
+        cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cold_1t_s,
+        cold_2t_s,
+        cold_4t_s,
+        speedup_2v1: cold_1t_s / cold_2t_s.max(1e-9),
+        speedup_4v1: cold_1t_s / cold_4t_s.max(1e-9),
+        first_tuple_s,
+        full_stream_s,
     }
 }
 
@@ -662,6 +809,40 @@ mod tests {
         pb.execute(&EvalOptions::default()).unwrap();
         let stats = engine.cache_stats();
         assert!(stats.cross_query_hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn cache_experiment_shares_across_threads() {
+        // A miniature multi-threaded run: the cross-rendering reuse must survive
+        // workers filling the cache concurrently.
+        let db = cache_workload_db(4, 3);
+        let engine = Engine::new(db);
+        let options = EvalOptions::default().with_threads(3);
+        let pa = engine.prepare(&cache_workload_query(false)).unwrap();
+        pa.execute(&options).unwrap();
+        let pb = engine.prepare(&cache_workload_query(true)).unwrap();
+        pb.execute(&options).unwrap();
+        let stats = engine.cache_stats();
+        assert!(stats.cross_query_hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn parallel_header_matches_report_fields() {
+        let report = ParallelReport {
+            tuples: 10,
+            cores: 4,
+            cold_1t_s: 1.0,
+            cold_2t_s: 0.6,
+            cold_4t_s: 0.4,
+            speedup_2v1: 1.67,
+            speedup_4v1: 2.5,
+            first_tuple_s: 0.05,
+            full_stream_s: 0.4,
+        };
+        let names: Vec<&str> = report.fields().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names.len(), PARALLEL_HEADER.len());
+        assert_eq!(names[0], PARALLEL_HEADER[0]);
+        assert!(report.to_json().contains("\"speedup_4v1\": 2.50"));
     }
 
     #[test]

@@ -21,10 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod regression;
 pub mod stats;
 
 pub use experiments::{
-    experiment_a, experiment_b, experiment_c, experiment_cache, experiment_d, experiment_e,
-    experiment_f, CacheHitReport, Scale, CACHE_HEADER,
+    experiment_a, experiment_b, experiment_c, experiment_cache, experiment_cache_threads,
+    experiment_d, experiment_e, experiment_f, experiment_parallel, CacheHitReport, ParallelReport,
+    Scale, CACHE_HEADER, PARALLEL_HEADER,
 };
+pub use json::{Json, JsonError};
 pub use stats::{bench_case, mean_std, print_table, Measurement};

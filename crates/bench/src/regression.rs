@@ -1,0 +1,284 @@
+//! The benchmark regression gate: compares a freshly generated baseline JSON
+//! against the committed `BENCH_baseline.json` and reports violations.
+//!
+//! The gate is deliberately conservative about wall-clock noise:
+//!
+//! * timings are compared as a **slowdown ratio** with a configurable tolerance
+//!   (default 1.5×, `PVC_BENCH_TOLERANCE`);
+//! * both sides of every ratio are floored (default 50 ms,
+//!   `PVC_BENCH_TIME_FLOOR_S`), so sub-resolution measurements — where scheduler
+//!   jitter dominates — can never fail the gate;
+//! * behavioural counters are compared exactly: zero cross-query cache hits is a
+//!   hard failure regardless of timing, and sweep points that disappeared from the
+//!   fresh run fail as coverage regressions;
+//! * the parallel speedup is only enforced on machines with ≥ 4 cores (the fresh
+//!   report records `cores`), with its own threshold
+//!   (`PVC_MIN_PARALLEL_SPEEDUP`, default 1.3× at 4 threads — slightly below the
+//!   ≥ 1.5× the baseline records, to absorb runner variance).
+
+use crate::json::Json;
+
+/// Tunable thresholds of the gate (see the module docs for the matching
+/// environment variables).
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated slowdown ratio for timing comparisons.
+    pub tolerance: f64,
+    /// Floor (seconds) applied to both sides of every timing ratio.
+    pub time_floor_s: f64,
+    /// Minimum required cold-execution speedup at `threads = 4`, enforced only
+    /// when the fresh run's machine has at least four cores.
+    pub min_parallel_speedup: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            tolerance: 1.5,
+            time_floor_s: 0.05,
+            min_parallel_speedup: 1.3,
+        }
+    }
+}
+
+impl GateConfig {
+    /// Read overrides from the environment.
+    pub fn from_env() -> Self {
+        let read = |name: &str, default: f64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let defaults = Self::default();
+        GateConfig {
+            tolerance: read("PVC_BENCH_TOLERANCE", defaults.tolerance),
+            time_floor_s: read("PVC_BENCH_TIME_FLOOR_S", defaults.time_floor_s),
+            min_parallel_speedup: read("PVC_MIN_PARALLEL_SPEEDUP", defaults.min_parallel_speedup),
+        }
+    }
+}
+
+fn number(doc: &Json, section: &str, field: &str) -> Option<f64> {
+    doc.get(section)?.get(field)?.as_f64()
+}
+
+/// `Some(ratio)` when the floored slowdown exceeds the tolerance.
+fn slowdown_violation(cfg: &GateConfig, baseline: f64, fresh: f64) -> Option<f64> {
+    let ratio = fresh.max(cfg.time_floor_s) / baseline.max(cfg.time_floor_s);
+    (ratio > cfg.tolerance).then_some(ratio)
+}
+
+/// Compare a fresh baseline document against the committed one. Returns the list
+/// of violations (empty = gate passes) and a human-readable summary of what was
+/// checked.
+pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>, String) {
+    let mut violations = Vec::new();
+    let mut compared_timings = 0usize;
+    let mut floored_timings = 0usize;
+
+    // --- cache behaviour: counters are exact, timings are ratio-checked. -------
+    match number(fresh, "experiment_cache", "cross_query_hits") {
+        Some(hits) if hits > 0.0 => {}
+        Some(_) => violations.push(
+            "experiment_cache: zero cross-query cache hits (canonical-interning regression)"
+                .to_string(),
+        ),
+        None => {
+            violations.push("experiment_cache: fresh run is missing `cross_query_hits`".to_string())
+        }
+    }
+    for field in ["cold_s", "warm_s", "cross_s"] {
+        let (Some(base), Some(new)) = (
+            number(baseline, "experiment_cache", field),
+            number(fresh, "experiment_cache", field),
+        ) else {
+            continue;
+        };
+        if new.max(base) < cfg.time_floor_s {
+            floored_timings += 1;
+            continue;
+        }
+        compared_timings += 1;
+        if let Some(ratio) = slowdown_violation(cfg, base, new) {
+            violations.push(format!(
+                "experiment_cache.{field}: {ratio:.2}x slowdown ({base:.4}s -> {new:.4}s, \
+                 tolerance {:.2}x)",
+                cfg.tolerance
+            ));
+        }
+    }
+
+    // --- sweep rows (experiments A and B): match by (series, x). ---------------
+    for section in ["experiment_a", "experiment_b"] {
+        let (Some(base_rows), Some(fresh_rows)) = (
+            baseline.get(section).and_then(Json::as_array),
+            fresh.get(section).and_then(Json::as_array),
+        ) else {
+            continue;
+        };
+        let lookup = |rows: &[Json], series: &str, x: f64| -> Option<f64> {
+            rows.iter()
+                .find(|r| {
+                    r.get("series").and_then(Json::as_str) == Some(series)
+                        && r.get("x").and_then(Json::as_f64) == Some(x)
+                })
+                .and_then(|r| r.get("mean_s").and_then(Json::as_f64))
+        };
+        for row in base_rows {
+            let (Some(series), Some(x), Some(base_mean)) = (
+                row.get("series").and_then(Json::as_str),
+                row.get("x").and_then(Json::as_f64),
+                row.get("mean_s").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let Some(fresh_mean) = lookup(fresh_rows, series, x) else {
+                violations.push(format!(
+                    "{section}: point (\"{series}\", x={x}) disappeared from the fresh run"
+                ));
+                continue;
+            };
+            if fresh_mean.max(base_mean) < cfg.time_floor_s {
+                floored_timings += 1;
+                continue;
+            }
+            compared_timings += 1;
+            if let Some(ratio) = slowdown_violation(cfg, base_mean, fresh_mean) {
+                violations.push(format!(
+                    "{section} (\"{series}\", x={x}): {ratio:.2}x slowdown \
+                     ({base_mean:.4}s -> {fresh_mean:.4}s)"
+                ));
+            }
+        }
+    }
+
+    // --- parallel scaling. -----------------------------------------------------
+    // Enforced only when BOTH machines have >= 4 cores: the fresh machine must be
+    // able to scale at all, and the committed baseline must itself come from
+    // multi-core hardware (a baseline recorded on a small dev box would otherwise
+    // arm a threshold that was never demonstrated there). Once a multi-core
+    // baseline is committed, the check self-activates on multi-core runners.
+    let fresh_cores = number(fresh, "experiment_parallel", "cores").unwrap_or(1.0);
+    let base_cores = number(baseline, "experiment_parallel", "cores").unwrap_or(1.0);
+    let speedup = number(fresh, "experiment_parallel", "speedup_4v1");
+    let parallel_note = match (fresh_cores >= 4.0 && base_cores >= 4.0, speedup) {
+        (true, Some(s)) if s < cfg.min_parallel_speedup => {
+            violations.push(format!(
+                "experiment_parallel: speedup_4v1 = {s:.2}x on a {fresh_cores}-core machine \
+                 (required >= {:.2}x)",
+                cfg.min_parallel_speedup
+            ));
+            format!("parallel speedup {s:.2}x CHECKED")
+        }
+        (true, Some(s)) => format!("parallel speedup {s:.2}x CHECKED"),
+        (true, None) => {
+            violations.push("experiment_parallel: fresh run is missing `speedup_4v1`".to_string());
+            "parallel speedup MISSING".to_string()
+        }
+        (false, Some(s)) => format!(
+            "parallel speedup {s:.2}x SKIPPED (fresh: {fresh_cores} core(s), baseline: \
+             {base_cores} core(s) — both need >= 4)"
+        ),
+        (false, None) => "parallel speedup SKIPPED (section missing)".to_string(),
+    };
+
+    let summary = format!(
+        "{compared_timings} timing(s) compared, {floored_timings} below the {:.0} ms floor, {}",
+        cfg.time_floor_s * 1000.0,
+        parallel_note
+    );
+    (violations, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    const BASE: &str = r#"{
+      "experiment_a": [
+        {"series": "MIN =", "x": 40, "mean_s": 0.2, "std_s": 0.0, "runs": 1},
+        {"series": "MIN =", "x": 80, "mean_s": 0.001, "std_s": 0.0, "runs": 1}
+      ],
+      "experiment_cache": {"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001, "cross_query_hits": 24}
+    }"#;
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = doc(BASE);
+        let (violations, summary) = compare(&base, &base, &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(summary.contains("compared"));
+    }
+
+    #[test]
+    fn zero_cross_query_hits_fail() {
+        let fresh = doc(&BASE.replace("\"cross_query_hits\": 24", "\"cross_query_hits\": 0"));
+        let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
+        assert!(violations.iter().any(|v| v.contains("cross-query")));
+    }
+
+    #[test]
+    fn large_slowdown_fails_but_floored_noise_passes() {
+        // 0.2s -> 0.5s on a measurable point: fail.
+        let fresh = doc(&BASE.replace("\"mean_s\": 0.2", "\"mean_s\": 0.5"));
+        let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("slowdown")),
+            "{violations:?}"
+        );
+        // 1ms -> 40ms is a 40x "slowdown" but entirely below the floor: pass.
+        let fresh = doc(&BASE.replace("\"mean_s\": 0.001", "\"mean_s\": 0.04"));
+        let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_sweep_point_fails() {
+        let fresh = doc(r#"{
+          "experiment_a": [
+            {"series": "MIN =", "x": 40, "mean_s": 0.2, "std_s": 0.0, "runs": 1}
+          ],
+          "experiment_cache": {"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001, "cross_query_hits": 24}
+        }"#);
+        let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
+        assert!(violations.iter().any(|v| v.contains("disappeared")));
+    }
+
+    #[test]
+    fn parallel_speedup_enforced_only_on_multicore() {
+        let with_parallel = |cores: f64, speedup: f64| {
+            doc(&format!(
+                r#"{{
+              "experiment_cache": {{"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001, "cross_query_hits": 24}},
+              "experiment_parallel": {{"cores": {cores}, "speedup_4v1": {speedup}}}
+            }}"#
+            ))
+        };
+        let base = with_parallel(8.0, 2.0);
+        // Single-core fresh machine: skipped.
+        let (violations, summary) =
+            compare(&base, &with_parallel(1.0, 0.9), &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(summary.contains("SKIPPED"));
+        // Baseline recorded on a single-core machine: skipped even on a multi-core
+        // fresh runner (the threshold was never demonstrated by that baseline).
+        let (violations, summary) = compare(
+            &with_parallel(1.0, 0.9),
+            &with_parallel(8.0, 1.0),
+            &GateConfig::default(),
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(summary.contains("SKIPPED"));
+        // Multi-core machine below the threshold: fail.
+        let (violations, _) = compare(&base, &with_parallel(8.0, 1.0), &GateConfig::default());
+        assert!(violations.iter().any(|v| v.contains("speedup_4v1")));
+        // Multi-core machine above the threshold: pass.
+        let (violations, _) = compare(&base, &with_parallel(8.0, 1.9), &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -15,6 +15,13 @@
 //!   large annotation whose independent components recur elsewhere reuses their
 //!   distributions without recompiling, and newly computed sub-distributions are
 //!   inserted on the way out.
+//! * [`SharedArtifacts`] — the **thread-safe, `Arc`-shareable** pairing of an
+//!   [`Interner`] and a [`CompilationCache`] behind mutexes, with the same
+//!   independence-splitting evaluation as [`CachedEvaluator`] but **lock-granular**:
+//!   locks are held only around intern/lookup/insert operations, never across a
+//!   d-tree compilation, so parallel tuple workers share artifacts without
+//!   serialising their compilations. One `Arc<SharedArtifacts>` can also back
+//!   several engines (multi-tenant serving over one database).
 //!
 //! Caching distributions (rather than bare confidences) is what makes sub-d-tree
 //! composition possible: independent sums/products combine cached distributions by
@@ -27,13 +34,14 @@
 
 use crate::compile::{BudgetExceeded, CompileOptions, Compiler};
 use crate::node::DTreeError;
-use pvc_algebra::SemiringKind;
+use pvc_algebra::{AggOp, SemiringKind};
 use pvc_expr::independence::connected_components;
 use pvc_expr::intern::{AggExprId, ExprId, InternedExpr, Interner};
-use pvc_expr::{VarSet, VarTable};
+use pvc_expr::{SemimoduleExpr, SemiringExpr, VarSet, VarTable};
 use pvc_prob::{MonoidDist, SemiringDist};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, MutexGuard};
 
 /// Size bounds for the [`CompilationCache`]. Each artifact map (semiring /
 /// aggregate) enforces both bounds independently; the least-recently-used entry is
@@ -397,6 +405,11 @@ impl From<DTreeError> for EvalError {
 /// Cache-aware evaluation of interned expressions: get-or-compute distributions,
 /// splitting on independence so that every independent sub-d-tree is memoised
 /// individually.
+///
+/// This is the single-threaded variant working on exclusive borrows;
+/// [`SharedArtifacts`] implements the same splitting strategy over mutex-guarded
+/// state for parallel workers. The two must stay in lockstep — the test
+/// `shared_artifacts_match_cached_evaluator` pins their equivalence.
 pub struct CachedEvaluator<'a> {
     interner: &'a mut Interner,
     cache: &'a mut CompilationCache,
@@ -544,20 +557,7 @@ impl<'a> CachedEvaluator<'a> {
     /// (connected components of the co-occurrence graph); `None` when everything is
     /// one component (no split possible).
     fn independent_groups(&self, children: &[ExprId]) -> Option<Vec<Vec<ExprId>>> {
-        let sets: Vec<VarSet> = children
-            .iter()
-            .map(|c| self.interner.var_set(*c).clone())
-            .collect();
-        let components = connected_components(&sets);
-        if components.len() <= 1 {
-            return None;
-        }
-        Some(
-            components
-                .into_iter()
-                .map(|idxs| idxs.into_iter().map(|i| children[i]).collect())
-                .collect(),
-        )
+        independent_groups(self.interner, children)
     }
 }
 
@@ -568,6 +568,316 @@ pub fn confidence_of(dist: &SemiringDist) -> f64 {
         .filter(|(v, _)| !v.is_zero())
         .map(|(_, p)| p)
         .sum()
+}
+
+/// A thread-safe compile-artifact store: one [`Interner`] and one
+/// [`CompilationCache`] behind mutexes, shareable across worker threads and across
+/// engines via `Arc<SharedArtifacts>`.
+///
+/// The evaluation entry points ([`evaluate_semiring`](Self::evaluate_semiring),
+/// [`evaluate_aggregate`](Self::evaluate_aggregate)) replicate the
+/// independence-splitting strategy of [`CachedEvaluator`], but take each lock only
+/// around the individual intern / lookup / insert steps. The expensive part — d-tree
+/// compilation of a component with no further independent split — runs with **no
+/// lock held**, so concurrent workers only contend for microseconds at the cache
+/// boundary.
+///
+/// Concurrency semantics: two workers may race to compute the *same* canonical id;
+/// both compute the identical distribution (evaluation is a pure function of the
+/// interned structure, the variable table and the semiring), and the second insert
+/// overwrites the first with an equal value. Results are therefore independent of
+/// scheduling; only the hit/miss counters can differ between runs.
+///
+/// Lock ordering: evaluation paths hold at most one of the two mutexes at a time;
+/// only [`clear`](Self::clear) takes both (interner before cache, to reset them
+/// atomically), so no lock cycle — and no deadlock — is possible.
+#[derive(Debug, Default)]
+pub struct SharedArtifacts {
+    interner: Mutex<Interner>,
+    cache: Mutex<CompilationCache>,
+}
+
+impl SharedArtifacts {
+    /// An empty store with the given cache bounds.
+    pub fn new(config: CacheConfig) -> Self {
+        SharedArtifacts {
+            interner: Mutex::new(Interner::new()),
+            cache: Mutex::new(CompilationCache::new(config)),
+        }
+    }
+
+    fn interner(&self) -> MutexGuard<'_, Interner> {
+        self.interner.lock().expect("interner mutex poisoned")
+    }
+
+    fn cache(&self) -> MutexGuard<'_, CompilationCache> {
+        self.cache.lock().expect("artifact-cache mutex poisoned")
+    }
+
+    /// Drop every artifact and reset the arena and counters (used when the
+    /// underlying variable distributions change). Affects every sharer of the
+    /// `Arc`.
+    ///
+    /// Arena and cache are swapped under **both** guards: a fresh arena recycles
+    /// low ids, so a concurrent worker interning between the two resets could
+    /// otherwise match a stale cache entry keyed by a recycled id and read a
+    /// different expression's distribution. This is the one place both locks are
+    /// held at once (always interner before cache); every other path takes at
+    /// most one at a time, so no cycle — and no deadlock — is possible.
+    pub fn clear(&self) {
+        let mut interner = self.interner();
+        let mut cache = self.cache();
+        *interner = Interner::new();
+        cache.clear();
+    }
+
+    /// Intern a semiring expression into its canonical id.
+    pub fn intern(&self, expr: &SemiringExpr) -> ExprId {
+        self.interner().intern(expr)
+    }
+
+    /// Intern a semimodule expression into its canonical id.
+    pub fn intern_semimodule(&self, expr: &SemimoduleExpr) -> AggExprId {
+        self.interner().intern_semimodule(expr)
+    }
+
+    /// Reduce the cached distribution of `id` under the lock (no clone), promoting
+    /// the entry. `None` on a miss.
+    pub fn map_semiring<R>(
+        &self,
+        id: ExprId,
+        scope: u64,
+        f: impl FnOnce(&SemiringDist) -> R,
+    ) -> Option<R> {
+        self.cache().map_semiring(id, scope, f)
+    }
+
+    /// Insert the distribution of a semiring expression.
+    pub fn insert_semiring(&self, id: ExprId, scope: u64, dist: &SemiringDist) {
+        self.cache().insert_semiring(id, scope, dist);
+    }
+
+    /// Cached distribution of a semimodule expression, if present.
+    pub fn get_aggregate(&self, id: AggExprId, scope: u64) -> Option<MonoidDist> {
+        self.cache().get_aggregate(id, scope)
+    }
+
+    /// Insert the distribution of a semimodule expression.
+    pub fn insert_aggregate(&self, id: AggExprId, scope: u64, dist: &MonoidDist) {
+        self.cache().insert_aggregate(id, scope, dist);
+    }
+
+    /// Get-or-compute the distribution of an interned semiring expression,
+    /// memoising every independent sub-d-tree along the way.
+    pub fn evaluate_semiring(
+        &self,
+        id: ExprId,
+        vars: &VarTable,
+        kind: SemiringKind,
+        options: &CompileOptions,
+        scope: u64,
+    ) -> Result<SemiringDist, EvalError> {
+        if let Some(d) = self.cache().get_semiring(id, scope) {
+            return Ok(d);
+        }
+        self.fill_semiring(id, vars, kind, options, scope)
+    }
+
+    /// Compute the distribution of `id` (assuming the caller already observed a
+    /// cache miss) and insert it — no second lookup, so the miss is counted once.
+    pub fn fill_semiring(
+        &self,
+        id: ExprId,
+        vars: &VarTable,
+        kind: SemiringKind,
+        options: &CompileOptions,
+        scope: u64,
+    ) -> Result<SemiringDist, EvalError> {
+        let dist = self.compute_semiring(id, vars, kind, options, scope)?;
+        self.insert_semiring(id, scope, &dist);
+        Ok(dist)
+    }
+
+    /// Get-or-compute the distribution of an interned semimodule expression.
+    pub fn evaluate_aggregate(
+        &self,
+        id: AggExprId,
+        vars: &VarTable,
+        kind: SemiringKind,
+        options: &CompileOptions,
+        scope: u64,
+    ) -> Result<MonoidDist, EvalError> {
+        if let Some(d) = self.get_aggregate(id, scope) {
+            return Ok(d);
+        }
+        self.fill_aggregate(id, vars, kind, options, scope)
+    }
+
+    /// As [`fill_semiring`](Self::fill_semiring), for semimodule expressions.
+    pub fn fill_aggregate(
+        &self,
+        id: AggExprId,
+        vars: &VarTable,
+        kind: SemiringKind,
+        options: &CompileOptions,
+        scope: u64,
+    ) -> Result<MonoidDist, EvalError> {
+        let dist = self.compute_aggregate(id, vars, kind, options, scope)?;
+        self.insert_aggregate(id, scope, &dist);
+        Ok(dist)
+    }
+
+    fn compute_semiring(
+        &self,
+        id: ExprId,
+        vars: &VarTable,
+        kind: SemiringKind,
+        options: &CompileOptions,
+        scope: u64,
+    ) -> Result<SemiringDist, EvalError> {
+        if options.independence {
+            // Identify an independent split and intern the group ids under the
+            // interner lock; the recursive evaluations below run unlocked.
+            let split: Option<(bool, Vec<ExprId>)> = {
+                let mut interner = self.interner();
+                match interner.node(id).clone() {
+                    InternedExpr::Add(children) if children.len() > 1 => {
+                        independent_groups(&interner, &children).map(|groups| {
+                            let ids = groups.into_iter().map(|g| interner.intern_add(g)).collect();
+                            (true, ids)
+                        })
+                    }
+                    InternedExpr::Mul(children) if children.len() > 1 => {
+                        independent_groups(&interner, &children).map(|groups| {
+                            let ids = groups.into_iter().map(|g| interner.intern_mul(g)).collect();
+                            (false, ids)
+                        })
+                    }
+                    _ => None,
+                }
+            };
+            if let Some((is_add, group_ids)) = split {
+                let mut acc: Option<SemiringDist> = None;
+                for gid in group_ids {
+                    let d = self.evaluate_semiring(gid, vars, kind, options, scope)?;
+                    acc = Some(match acc {
+                        None => d,
+                        Some(a) if is_add => a.convolve(&d, |x, y| x.add(y)),
+                        Some(a) => a.convolve(&d, |x, y| x.mul(y)),
+                    });
+                }
+                return Ok(acc.expect("at least one group"));
+            }
+        }
+        // No further split: materialise the canonical tree under the lock, then
+        // compile it with no lock held.
+        let expr = self.interner().resolve(id);
+        let mut compiler = Compiler::with_options(vars, kind, options.clone());
+        let tree = compiler.compile_semiring(&expr)?;
+        Ok(tree.semiring_distribution(vars, kind)?)
+    }
+
+    fn compute_aggregate(
+        &self,
+        id: AggExprId,
+        vars: &VarTable,
+        kind: SemiringKind,
+        options: &CompileOptions,
+        scope: u64,
+    ) -> Result<MonoidDist, EvalError> {
+        let split: Option<(AggOp, Vec<AggExprId>)> = {
+            let mut interner = self.interner();
+            let node = interner.agg_node(id).clone();
+            if options.independence && node.terms.len() > 1 {
+                let sets: Vec<VarSet> = node
+                    .terms
+                    .iter()
+                    .map(|(c, _)| interner.var_set(*c).clone())
+                    .collect();
+                let components = connected_components(&sets);
+                if components.len() > 1 {
+                    let ids = components
+                        .into_iter()
+                        .map(|component| {
+                            let terms = component.iter().map(|&i| node.terms[i]).collect();
+                            interner.intern_agg(node.op, terms)
+                        })
+                        .collect();
+                    Some((node.op, ids))
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some((op, group_ids)) = split {
+            let mut acc: Option<MonoidDist> = None;
+            for gid in group_ids {
+                let d = self.evaluate_aggregate(gid, vars, kind, options, scope)?;
+                acc = Some(match acc {
+                    None => d,
+                    Some(a) => a.convolve(&d, |x, y| op.combine(x, y)),
+                });
+            }
+            return Ok(acc.expect("at least one component"));
+        }
+        let expr = self.interner().resolve_semimodule(id);
+        let mut compiler = Compiler::with_options(vars, kind, options.clone());
+        let tree = compiler.compile_semimodule(&expr)?;
+        Ok(tree.monoid_distribution(vars, kind)?)
+    }
+
+    /// Counters since the last clear.
+    pub fn counters(&self) -> CacheCounters {
+        self.cache().counters()
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> CacheConfig {
+        self.cache().config()
+    }
+
+    /// Number of cached semiring distributions.
+    pub fn semiring_entries(&self) -> usize {
+        self.cache().semiring_entries()
+    }
+
+    /// Number of cached aggregate distributions.
+    pub fn aggregate_entries(&self) -> usize {
+        self.cache().aggregate_entries()
+    }
+
+    /// Approximate payload bytes across both artifact maps.
+    pub fn bytes(&self) -> usize {
+        self.cache().bytes()
+    }
+
+    /// Distinct interned nodes (semiring + semimodule) in the arena.
+    pub fn interned_nodes(&self) -> usize {
+        let interner = self.interner();
+        interner.len() + interner.agg_len()
+    }
+}
+
+/// Split children into groups of pairwise variable-disjoint sub-expressions
+/// (connected components of the co-occurrence graph); `None` when everything is one
+/// component.
+fn independent_groups(interner: &Interner, children: &[ExprId]) -> Option<Vec<Vec<ExprId>>> {
+    let sets: Vec<VarSet> = children
+        .iter()
+        .map(|c| interner.var_set(*c).clone())
+        .collect();
+    let components = connected_components(&sets);
+    if components.len() <= 1 {
+        return None;
+    }
+    Some(
+        components
+            .into_iter()
+            .map(|idxs| idxs.into_iter().map(|i| children[i]).collect())
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -764,6 +1074,90 @@ mod tests {
         }
         assert!(cache.counters().evictions > 0);
         assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn shared_artifacts_match_cached_evaluator() {
+        // The lock-granular shared evaluator must produce the same distributions as
+        // the single-threaded CachedEvaluator (both split on independence).
+        let (vt, xs) = setup();
+        let expr = v(xs[0]) * (v(xs[1]) + v(xs[2])) + v(xs[3]) * v(xs[4]);
+        let shared = SharedArtifacts::default();
+        let sid = shared.intern(&expr);
+        let shared_dist = shared
+            .evaluate_semiring(sid, &vt, SemiringKind::Bool, &CompileOptions::default(), 1)
+            .unwrap();
+        let mut interner = Interner::new();
+        let mut cache = CompilationCache::default();
+        let id = interner.intern(&expr);
+        let mut eval = CachedEvaluator::new(
+            &mut interner,
+            &mut cache,
+            &vt,
+            SemiringKind::Bool,
+            CompileOptions::default(),
+            1,
+        );
+        let reference = eval.semiring_distribution(id).unwrap();
+        assert!(shared_dist.approx_eq(&reference, 1e-12));
+        // Sub-d-tree memoisation happened: the independent halves are cached.
+        assert!(shared.semiring_entries() >= 2);
+        let alpha =
+            SemimoduleExpr::from_terms(AggOp::Min, vec![(v(xs[0]), Fin(10)), (v(xs[1]), Fin(20))]);
+        let aid = shared.intern_semimodule(&alpha);
+        let agg = shared
+            .evaluate_aggregate(aid, &vt, SemiringKind::Bool, &CompileOptions::default(), 1)
+            .unwrap();
+        let oracle_dist = oracle::semimodule_dist_by_enumeration(&alpha, &vt, SemiringKind::Bool);
+        assert!(agg.approx_eq(&oracle_dist, 1e-9));
+    }
+
+    #[test]
+    fn shared_artifacts_are_consistent_under_concurrency() {
+        // Many workers evaluating an overlapping family of expressions must agree
+        // with the oracle on every value; racing inserts only ever write equal
+        // distributions.
+        let (vt, xs) = setup();
+        let exprs: Vec<SemiringExpr> = (0..12)
+            .map(|i| {
+                let a = v(xs[i % 6]);
+                let b = v(xs[(i + 1) % 6]);
+                let c = v(xs[(i + 2) % 6]);
+                a * (b + c)
+            })
+            .collect();
+        let shared = SharedArtifacts::default();
+        let ids: Vec<ExprId> = exprs.iter().map(|e| shared.intern(e)).collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let shared = &shared;
+                let ids = &ids;
+                let exprs = &exprs;
+                let vt = &vt;
+                scope.spawn(move || {
+                    for (i, id) in ids.iter().enumerate() {
+                        let d = shared
+                            .evaluate_semiring(
+                                *id,
+                                vt,
+                                SemiringKind::Bool,
+                                &CompileOptions::default(),
+                                worker,
+                            )
+                            .unwrap();
+                        let expected =
+                            oracle::semiring_dist_by_enumeration(&exprs[i], vt, SemiringKind::Bool);
+                        assert!(d.approx_eq(&expected, 1e-9));
+                    }
+                });
+            }
+        });
+        let counters = shared.counters();
+        assert!(counters.hits + counters.misses >= 48);
+        assert!(shared.interned_nodes() > 0);
+        shared.clear();
+        assert_eq!(shared.semiring_entries(), 0);
+        assert_eq!(shared.interned_nodes(), 0);
     }
 
     #[test]

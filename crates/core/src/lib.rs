@@ -38,16 +38,19 @@ pub mod cache;
 pub mod compile;
 pub mod joint;
 pub mod node;
+pub mod parallel;
 pub mod prune;
 
 pub use cache::{
     confidence_of, CacheConfig, CacheCounters, CachedEvaluator, CompilationCache, EvalError,
+    SharedArtifacts,
 };
 pub use compile::{
     compile_semimodule, compile_semiring, BudgetExceeded, CompileOptions, CompileStats, Compiler,
 };
 pub use joint::{joint_distribution, ratio_distribution};
 pub use node::{DTree, DTreeError};
+pub use parallel::{parallel_map, resolve_threads, OrderedReassembly};
 pub use prune::{prune_against_constant, prune_conditional, PruneResult};
 
 use pvc_algebra::SemiringKind;

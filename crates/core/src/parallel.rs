@@ -1,0 +1,212 @@
+//! A minimal `std::thread`-based worker pool for embarrassingly parallel,
+//! deterministic workloads — no external dependencies, matching the workspace's
+//! zero-dependency policy.
+//!
+//! The paper's evaluation pipeline compiles **one d-tree per result tuple** (§5, §7):
+//! tuples never share mutable state beyond the compilation cache, so per-tuple work
+//! is an independently schedulable unit. The helpers here exploit that:
+//!
+//! * [`resolve_threads`] maps a user-facing thread knob (`0` = auto) to a concrete
+//!   worker count;
+//! * [`parallel_map`] fans a slice out over scoped workers and returns results **in
+//!   input order**, so parallel output is bit-identical to sequential output;
+//! * [`OrderedReassembly`] re-establishes input order over an out-of-order stream of
+//!   `(index, item)` pairs — the building block for streaming consumers that must
+//!   observe a deterministic tuple order while workers finish in any order.
+//!
+//! Determinism contract: as long as the mapped function is a pure function of its
+//! input (which per-tuple compilation is — cache hits only ever substitute a value
+//! that the computation would have produced anyway), the output of `parallel_map`
+//! and of an [`OrderedReassembly`]-driven stream does not depend on the number of
+//! workers or on scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a user-facing thread-count knob to a concrete worker count.
+///
+/// `0` selects the machine's available parallelism (falling back to 1 when it
+/// cannot be determined); any other value is used as-is. The result is always at
+/// least 1 and never exceeds `work_items` (spawning more workers than items only
+/// costs thread start-up time).
+pub fn resolve_threads(requested: usize, work_items: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    n.clamp(1, work_items.max(1))
+}
+
+/// Map `f` over `items` using up to `threads` scoped workers, returning the results
+/// **in input order**. Work is distributed dynamically (an atomic cursor), so
+/// irregular per-item cost balances across workers.
+///
+/// With `threads <= 1` the function degenerates to a plain in-place loop — no
+/// threads are spawned, so cheap workloads pay no overhead.
+///
+/// Errors: the first failing index (in *input* order, not completion order) wins,
+/// mirroring what a sequential loop would report; remaining items may or may not
+/// have been processed. Panics in `f` propagate.
+pub fn parallel_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let threads = resolve_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                let failed = result.is_err();
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                // Later items may depend on nothing, but once an error exists the
+                // caller will discard everything after it; keep going anyway so the
+                // in-order first error is deterministic (another worker may be
+                // processing an *earlier* index that also fails).
+                let _ = failed;
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every index below the cursor was processed"),
+        }
+    }
+    Ok(out)
+}
+
+/// Re-establish input order over an out-of-order stream of `(index, item)` pairs.
+///
+/// Workers finishing in arbitrary order feed `push`; the consumer drains `pop`,
+/// which only yields item `k` once items `0..k` have been yielded. Out-of-order
+/// arrivals are buffered (bounded by how far ahead the workers can run, which a
+/// bounded channel in turn limits).
+#[derive(Debug)]
+pub struct OrderedReassembly<T> {
+    next: usize,
+    pending: std::collections::BTreeMap<usize, T>,
+}
+
+impl<T> OrderedReassembly<T> {
+    /// An empty buffer expecting index 0 first.
+    pub fn new() -> Self {
+        OrderedReassembly {
+            next: 0,
+            pending: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Record a completed item. Indices must not repeat.
+    pub fn push(&mut self, index: usize, item: T) {
+        debug_assert!(index >= self.next, "index {index} already emitted");
+        self.pending.insert(index, item);
+    }
+
+    /// The next in-order item, if it has arrived.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(item)
+    }
+
+    /// The index the next [`pop`](Self::pop) will yield.
+    pub fn next_index(&self) -> usize {
+        self.next
+    }
+
+    /// Number of buffered out-of-order items.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl<T> Default for OrderedReassembly<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert_eq!(resolve_threads(4, 100), 4);
+        assert_eq!(resolve_threads(8, 3), 3);
+        assert_eq!(resolve_threads(2, 0), 1);
+        assert!(resolve_threads(0, 100) >= 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = parallel_map(threads, &items, |&x| Ok::<_, ()>(x * x)).unwrap();
+            assert_eq!(out.len(), items.len());
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, (i * i) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential_exactly() {
+        // The determinism contract: identical output for any worker count.
+        let items: Vec<f64> = (0..100).map(|i| 0.1 * i as f64).collect();
+        let f = |x: &f64| Ok::<_, ()>((x.sin() * x.cos()).to_bits());
+        let seq = parallel_map(1, &items, f).unwrap();
+        let par = parallel_map(4, &items, f).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_map_reports_first_error_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 3, 7] {
+            let err = parallel_map(
+                threads,
+                &items,
+                |&x| {
+                    if x % 10 == 7 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, 7, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ordered_reassembly_reorders() {
+        let mut r = OrderedReassembly::new();
+        r.push(2, "c");
+        r.push(0, "a");
+        assert_eq!(r.pop(), Some("a"));
+        assert_eq!(r.pop(), None); // 1 has not arrived
+        assert_eq!(r.buffered(), 1);
+        r.push(1, "b");
+        assert_eq!(r.pop(), Some("b"));
+        assert_eq!(r.pop(), Some("c"));
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.next_index(), 3);
+    }
+}

@@ -112,7 +112,7 @@ pub fn factor_sum(children: &[SemiringExpr]) -> Option<(VarSet, Vec<Option<Semir
 
 /// A conservative syntactic read-once check: an expression is *read-once* if every
 /// variable occurs at most once in it. Read-once expressions always admit d-trees of
-/// linear size built with the first three decomposition rules only (§5 / [18]).
+/// linear size built with the first three decomposition rules only (§5 / ref. 18).
 pub fn is_read_once(expr: &SemiringExpr) -> bool {
     let mut occ = std::collections::BTreeMap::new();
     expr.count_occurrences(&mut occ);

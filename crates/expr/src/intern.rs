@@ -148,6 +148,16 @@ pub struct Interner {
     agg_dedup: HashMap<u64, Vec<AggExprId>>,
 }
 
+// The interner is shared across worker threads (behind a mutex in
+// `pvc_core::cache::SharedArtifacts`); keep it free of interior mutability and
+// thread-bound types so `Send + Sync` cannot regress silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Interner>();
+    assert_send_sync::<ExprId>();
+    assert_send_sync::<AggExprId>();
+};
+
 impl Interner {
     /// An empty arena.
     pub fn new() -> Self {

@@ -24,17 +24,35 @@
 //! that is not of the required shape), so enabling it never changes results — only
 //! speed.
 //!
+//! ## Parallel and streaming execution
+//!
+//! Step II compiles **one d-tree per result tuple** — an embarrassingly parallel
+//! workload. [`EvalOptions::threads`] selects how many worker threads share it
+//! (`1` = sequential, `0` = one per core), and
+//! [`PreparedQuery::execute_streaming`] returns a [`TupleStream`] that yields
+//! [`ProbTuple`]s **in deterministic tuple order as they are computed**, so large
+//! results can be consumed incrementally. [`PreparedQuery::execute`] is the
+//! materialising wrapper over the same per-tuple pipeline. Parallel output is
+//! bit-identical to sequential output: tuples are pure functions of their
+//! annotations, workers only share the compile-artifact caches (which can only
+//! substitute values the computation would have produced anyway), and the stream
+//! re-establishes tuple order before yielding.
+//!
 //! ## Caching & reuse
 //!
 //! The engine's compile-artifact caches are built on the hash-consed expression
-//! arena of [`pvc_expr::intern`] and the bounded [`CompilationCache`] of
-//! [`pvc_core::cache`]: every annotation and aggregate expression is interned into a
-//! **canonical id** (stable under commutative operand reordering), and the computed
-//! distributions are memoised under that id with an LRU entry/byte bound
-//! ([`CacheConfig`], see [`Engine::with_cache_config`]). Structurally-equal
-//! provenance therefore shares one cache entry even when different queries render it
-//! in different operand orders, and [`CacheStats`] reports hits, misses, evictions
-//! and *cross-query* hits.
+//! arena of [`pvc_expr::intern`] and the bounded cache of [`pvc_core::cache`],
+//! combined into a thread-safe, `Arc`-shared [`SharedArtifacts`] store: every
+//! annotation and aggregate expression is interned into a **canonical id** (stable
+//! under commutative operand reordering), and the computed distributions are
+//! memoised under that id with an LRU entry/byte bound ([`CacheConfig`], see
+//! [`Engine::with_cache_config`]). Structurally-equal provenance therefore shares
+//! one cache entry even when different queries render it in different operand
+//! orders, and [`CacheStats`] reports hits, misses, evictions and *cross-query*
+//! hits. One `Arc<SharedArtifacts>` can back several engines
+//! ([`Engine::with_shared_artifacts`]) for multi-tenant serving over a shared
+//! database. Step-I rewrites are cached per engine under the query's
+//! [canonical structural key](Query::structural_key).
 
 use crate::database::Database;
 use crate::error::Error;
@@ -45,20 +63,21 @@ use crate::schema::Schema;
 use crate::tractable::{classify, QueryClass};
 use crate::value::Value;
 use pvc_algebra::{AggOp, MonoidValue, SemiringKind, SemiringValue};
-use pvc_core::{
-    confidence_of, CacheConfig, CachedEvaluator, CompilationCache, CompileOptions, Compiler,
-};
-use pvc_expr::{Interner, SemimoduleExpr, SemiringExpr, VarSet, VarTable};
+use pvc_core::parallel::{resolve_threads, OrderedReassembly};
+use pvc_core::{confidence_of, CacheConfig, CompileOptions, Compiler, SharedArtifacts};
+use pvc_expr::{SemimoduleExpr, SemiringExpr, VarSet, VarTable};
 use pvc_prob::{Dist, MonoidDist, SemiringDist};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Options controlling one execution of a prepared query: how expressions are
-/// compiled, whether the §6 tractable fast path may be used, and how much of the
-/// result is materialised.
+/// compiled, whether the §6 tractable fast path may be used, how many worker
+/// threads share the per-tuple work, and how much of the result is materialised.
 #[derive(Debug, Clone)]
 pub struct EvalOptions {
     /// Options forwarded to the d-tree compiler (rule selection, node budget).
@@ -71,6 +90,12 @@ pub struct EvalOptions {
     /// (see [`EvalOptions::confidence_only`]) to skip the semimodule compilation when
     /// only tuple confidences are needed.
     pub aggregate_distributions: bool,
+    /// Worker threads for step II (per-tuple d-tree compilation): `1` (the default)
+    /// runs sequentially in the calling thread, `0` spawns one worker per available
+    /// core, any other value spawns exactly that many workers. Results are
+    /// **bit-identical** for every setting — tuple order, confidences and aggregate
+    /// distributions do not depend on the worker count.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -81,12 +106,13 @@ impl Default for EvalOptions {
 
 impl EvalOptions {
     /// The default options: full compilation rules, fast path enabled, aggregate
-    /// distributions materialised.
+    /// distributions materialised, sequential execution.
     pub fn new() -> Self {
         EvalOptions {
             compile: CompileOptions::default(),
             tractable_fast_path: true,
             aggregate_distributions: true,
+            threads: 1,
         }
     }
 
@@ -114,6 +140,12 @@ impl EvalOptions {
     /// Disable the tractable fast path (every confidence goes through a d-tree).
     pub fn without_fast_path(mut self) -> Self {
         self.tractable_fast_path = false;
+        self
+    }
+
+    /// Set the worker-thread count for step II (`0` = one per available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -184,7 +216,7 @@ impl fmt::Display for Plan {
 /// [`Engine::cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Cached step-I rewrites, keyed by query.
+    /// Cached step-I rewrites, keyed by the query's canonical structural key.
     pub rewrites: usize,
     /// Cached annotation distributions/confidences, keyed by canonical expression id.
     pub confidences: usize,
@@ -205,26 +237,51 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Caches {
-    rewrites: RefCell<BTreeMap<String, Arc<PvcTable>>>,
-    interner: RefCell<Interner>,
-    artifacts: RefCell<CompilationCache>,
+    /// Step-I rewrites, keyed by [`Query::structural_key`]. Behind an `RwLock` so
+    /// concurrent streams of the same engine can consult it; writes are rare
+    /// (one per distinct query).
+    rewrites: RwLock<BTreeMap<Vec<u8>, Arc<PvcTable>>>,
+    /// The thread-safe artifact store, shared with every worker thread (and
+    /// possibly with other engines, see [`Engine::with_shared_artifacts`]).
+    artifacts: Arc<SharedArtifacts>,
+}
+
+impl Default for Caches {
+    fn default() -> Self {
+        Self::with_artifacts(Arc::new(SharedArtifacts::default()))
+    }
 }
 
 impl Caches {
-    fn with_config(config: CacheConfig) -> Self {
+    fn with_artifacts(artifacts: Arc<SharedArtifacts>) -> Self {
         Caches {
-            rewrites: RefCell::new(BTreeMap::new()),
-            interner: RefCell::new(Interner::new()),
-            artifacts: RefCell::new(CompilationCache::new(config)),
+            rewrites: RwLock::new(BTreeMap::new()),
+            artifacts,
         }
     }
 
-    fn clear(&self) {
-        self.rewrites.borrow_mut().clear();
-        *self.interner.borrow_mut() = Interner::new();
-        self.artifacts.borrow_mut().clear();
+    fn with_config(config: CacheConfig) -> Self {
+        Self::with_artifacts(Arc::new(SharedArtifacts::new(config)))
+    }
+
+    /// Drop the rewrites and swap in a **fresh** artifact store (same bounds).
+    ///
+    /// Detaching — rather than clearing the shared store in place — is what keeps
+    /// concurrency sound around database mutation: in-flight [`TupleStream`]
+    /// workers hold the *old* store together with the *old* database snapshot
+    /// (mutually consistent, harmlessly dropped when the streams finish), and
+    /// engines sharing the old store keep artifacts that are still valid for
+    /// their own, unmutated databases. Clearing in place would let those workers
+    /// repopulate the store with distributions computed from the old variable
+    /// table, poisoning post-mutation queries.
+    fn detach(&mut self) {
+        self.rewrites
+            .write()
+            .expect("rewrite cache lock poisoned")
+            .clear();
+        self.artifacts = Arc::new(SharedArtifacts::new(self.artifacts.config()));
     }
 }
 
@@ -243,7 +300,7 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// out validated [`PreparedQuery`] values.
 #[derive(Debug)]
 pub struct Engine {
-    db: Database,
+    db: Arc<Database>,
     caches: Caches,
 }
 
@@ -251,7 +308,7 @@ impl Engine {
     /// Create an engine owning the given database (default cache bounds).
     pub fn new(db: Database) -> Self {
         Engine {
-            db,
+            db: Arc::new(db),
             caches: Caches::default(),
         }
     }
@@ -260,9 +317,33 @@ impl Engine {
     /// LRU limits; see [`CacheConfig`]).
     pub fn with_cache_config(db: Database, config: CacheConfig) -> Self {
         Engine {
-            db,
+            db: Arc::new(db),
             caches: Caches::with_config(config),
         }
+    }
+
+    /// Create an engine backed by an **existing** artifact store, so several engines
+    /// over the same database share one arena and one artifact cache (the
+    /// multi-tenant serving setup).
+    ///
+    /// Correctness contract: cached artifacts are functions of (expression
+    /// structure, variable distributions, semiring). Sharing is only sound between
+    /// engines whose databases agree on the variable table and semiring — e.g.
+    /// clones of one database. [`Engine::database_mut`] **detaches** that engine
+    /// from the shared store (it continues with a fresh, private one); the other
+    /// sharers keep the old store, whose artifacts remain valid for their own,
+    /// unmutated databases.
+    pub fn with_shared_artifacts(db: Database, artifacts: Arc<SharedArtifacts>) -> Self {
+        Engine {
+            db: Arc::new(db),
+            caches: Caches::with_artifacts(artifacts),
+        }
+    }
+
+    /// A handle to the engine's thread-safe artifact store, for sharing with other
+    /// engines (see [`Engine::with_shared_artifacts`]).
+    pub fn shared_artifacts(&self) -> Arc<SharedArtifacts> {
+        Arc::clone(&self.caches.artifacts)
     }
 
     /// The owned database.
@@ -270,29 +351,40 @@ impl Engine {
         &self.db
     }
 
-    /// Mutable access to the database. Invalidates every cached compile artifact,
-    /// since cached rewrites and probabilities are only valid against the data and
-    /// variable distributions they were computed from.
+    /// Mutable access to the database. Invalidates every cached compile artifact
+    /// of **this engine** by detaching it onto a fresh store, since cached
+    /// rewrites and probabilities are only valid against the data and variable
+    /// distributions they were computed from.
+    ///
+    /// In-flight [`TupleStream`]s keep executing against the pre-mutation snapshot
+    /// of the database *and* the pre-mutation artifact store (they hold their own
+    /// references to both, which stay mutually consistent); engines sharing the
+    /// old store via [`Engine::with_shared_artifacts`] likewise keep it, together
+    /// with their own unmutated databases.
     pub fn database_mut(&mut self) -> &mut Database {
-        self.caches.clear();
-        &mut self.db
+        self.caches.detach();
+        Arc::make_mut(&mut self.db)
     }
 
     /// Consume the engine, returning the database.
     pub fn into_database(self) -> Database {
-        self.db
+        Arc::try_unwrap(self.db).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Current sizes and behaviour counters of the compile-artifact caches.
     pub fn cache_stats(&self) -> CacheStats {
-        let artifacts = self.caches.artifacts.borrow();
+        let artifacts = &self.caches.artifacts;
         let counters = artifacts.counters();
-        let interner = self.caches.interner.borrow();
         CacheStats {
-            rewrites: self.caches.rewrites.borrow().len(),
+            rewrites: self
+                .caches
+                .rewrites
+                .read()
+                .expect("rewrite cache lock poisoned")
+                .len(),
             confidences: artifacts.semiring_entries(),
             aggregates: artifacts.aggregate_entries(),
-            interned: interner.len() + interner.agg_len(),
+            interned: artifacts.interned_nodes(),
             bytes: artifacts.bytes(),
             hits: counters.hits,
             misses: counters.misses,
@@ -319,13 +411,34 @@ impl Engine {
     /// One-shot evaluation without an engine (no caching): validate, rewrite,
     /// compute probabilities. This is what the deprecated free-function shims call;
     /// prefer [`Engine::prepare`] for anything executed more than once.
+    ///
+    /// [`EvalOptions::threads`] is honoured; parallel workers need owning handles,
+    /// so the database is cloned once — but only when the execution actually runs
+    /// on more than one worker (a request for `threads = 0` on a single-core
+    /// machine, or a result too small to share, stays clone-free).
     pub fn execute_once(
         db: &Database,
         query: &Query,
         options: &EvalOptions,
     ) -> Result<QueryResult, Error> {
         let plan = plan_query(db, query)?;
-        execute_pipeline(db, query, &plan, options, None)
+        let (table, scope, rewrite_time) = step_one(db, query, &plan, None)?;
+        let try_fast = allow_fast_path(db, &plan, options);
+        let threads = resolve_threads(options.threads, table.tuples.len());
+        if threads <= 1 {
+            run_sequential(db, &table, options, try_fast, None, scope, rewrite_time)
+        } else {
+            run_parallel(
+                Arc::new(db.clone()),
+                table,
+                options,
+                try_fast,
+                None,
+                scope,
+                rewrite_time,
+                threads,
+            )
+        }
     }
 }
 
@@ -354,16 +467,48 @@ impl PreparedQuery<'_> {
         &self.query
     }
 
-    /// Run steps I+II under the given options. Step I is cached across executions of
-    /// the same query on this engine; step II reuses previously compiled confidences
-    /// and aggregate distributions.
+    /// Run steps I+II under the given options, materialising the whole result.
+    /// Step I is cached across executions of the same query on this engine; step II
+    /// reuses previously compiled confidences and aggregate distributions, and runs
+    /// on [`EvalOptions::threads`] workers. Implemented over the same per-tuple
+    /// pipeline as [`execute_streaming`](Self::execute_streaming), so results are
+    /// identical for every thread count.
     pub fn execute(&self, options: &EvalOptions) -> Result<QueryResult, Error> {
         execute_pipeline(
-            self.engine.database(),
+            &self.engine.db,
             &self.query,
             &self.plan,
             options,
             Some(&self.engine.caches),
+        )
+    }
+
+    /// Run steps I+II, returning a [`TupleStream`] that yields result tuples **in
+    /// deterministic tuple order, as they are computed** by background workers.
+    ///
+    /// Step I (the rewriting) runs synchronously before this returns — it is
+    /// inherently sequential and produces the tuple list the workers share. Step II
+    /// is then computed by [`EvalOptions::threads`] worker threads (at least one:
+    /// even `threads = 1` computes in the background, overlapping production with
+    /// consumption). Dropping the stream cancels the remaining work and joins the
+    /// workers; consuming it fully yields exactly the tuples
+    /// [`execute`](Self::execute) would have returned.
+    pub fn execute_streaming(&self, options: &EvalOptions) -> Result<TupleStream, Error> {
+        let engine = self.engine;
+        let (table, scope, rewrite_time) =
+            step_one(&engine.db, &self.query, &self.plan, Some(&engine.caches))?;
+        let artifacts = artifact_handle(options, Some(&engine.caches));
+        let try_fast = allow_fast_path(&engine.db, &self.plan, options);
+        let threads = resolve_threads(options.threads, table.tuples.len());
+        spawn_stream(
+            Arc::clone(&engine.db),
+            table,
+            options.clone(),
+            try_fast,
+            artifacts,
+            scope,
+            rewrite_time,
+            threads,
         )
     }
 }
@@ -392,35 +537,45 @@ fn plan_query(db: &Database, query: &Query) -> Result<Plan, Error> {
     })
 }
 
-/// Steps I+II with optional caching.
-fn execute_pipeline(
+/// Whether this execution may use the §6 read-once fast paths.
+fn allow_fast_path(db: &Database, plan: &Plan, options: &EvalOptions) -> bool {
+    options.tractable_fast_path && plan.strategy.is_tractable() && db.kind == SemiringKind::Bool
+}
+
+/// The artifact store this execution should use: `None` when a node budget makes
+/// compilation observably fallible (cached successes computed without — or with a
+/// different — budget must not mask the error), the engine's shared store
+/// otherwise. Every other option only changes *how* the exact result is computed,
+/// never the result.
+fn artifact_handle(options: &EvalOptions, caches: Option<&Caches>) -> Option<Arc<SharedArtifacts>> {
+    if options.compile.node_budget.is_some() {
+        None
+    } else {
+        caches.map(|c| Arc::clone(&c.artifacts))
+    }
+}
+
+/// Step I: the rewriting `⟦·⟧`, cached per canonical query key. The query was
+/// already validated by `prepare`, so the cold path skips re-validation and stamps
+/// the plan's schema directly. Returns the result table, the scope tag attributing
+/// artifact-cache inserts to this query, and the elapsed time.
+fn step_one(
     db: &Database,
     query: &Query,
     plan: &Plan,
-    options: &EvalOptions,
     caches: Option<&Caches>,
-) -> Result<QueryResult, Error> {
-    // A node budget makes compilation observably fallible, so cached successes
-    // computed without (or with a different) budget must not mask the error; the
-    // compile-artifact caches are bypassed for budgeted executions. The step-I
-    // rewrite does not depend on compile options and stays cached. Every other
-    // option only changes *how* the exact result is computed, never the result.
-    let artifact_caches = if options.compile.node_budget.is_some() {
-        None
-    } else {
-        caches
-    };
-
-    // Step I: the rewriting ⟦·⟧, cached per query. The query was already validated
-    // by `prepare`, so the cold path skips re-validation and stamps the plan's
-    // schema directly.
+) -> Result<(Arc<PvcTable>, u64, Duration), Error> {
     let start = Instant::now();
-    let query_key = format!("{query:?}");
-    // The scope tag attributes artifact-cache inserts to this query, so that hits
-    // from other queries can be counted as cross-query reuse.
-    let scope = fnv64(query_key.as_bytes());
-    let cached_rewrite = caches.and_then(|c| c.rewrites.borrow().get(&query_key).cloned());
-    let table: Arc<PvcTable> = match cached_rewrite {
+    let key = query.structural_key();
+    let scope = fnv64(&key);
+    let cached = caches.and_then(|c| {
+        c.rewrites
+            .read()
+            .expect("rewrite cache lock poisoned")
+            .get(&key)
+            .cloned()
+    });
+    let table = match cached {
         Some(table) => table,
         None => {
             let mut table = crate::exec::rewrite_planned(db, query)?;
@@ -429,58 +584,78 @@ fn execute_pipeline(
             let table = Arc::new(table);
             if let Some(c) = caches {
                 c.rewrites
-                    .borrow_mut()
-                    .insert(query_key, Arc::clone(&table));
+                    .write()
+                    .expect("rewrite cache lock poisoned")
+                    .insert(key, Arc::clone(&table));
             }
             table
         }
     };
-    let rewrite_time = start.elapsed();
+    Ok((table, scope, start.elapsed()))
+}
 
-    // Step II: compile every annotation and aggregate; compute probabilities.
-    let start = Instant::now();
-    let try_fast = options.tractable_fast_path
-        && plan.strategy.is_tractable()
-        && db.kind == SemiringKind::Bool;
-    let mut fast_path_hits = 0usize;
-    let mut agg_fast_path_hits = 0usize;
-    let mut tuples = Vec::with_capacity(table.tuples.len());
-    for tuple in &table.tuples {
-        let confidence = tuple_confidence(
-            db,
-            &tuple.annotation,
-            options,
-            try_fast,
-            &mut fast_path_hits,
-            artifact_caches,
-            scope,
-        )?;
-        let mut aggregate_distributions = BTreeMap::new();
-        if options.aggregate_distributions {
-            for (column, value) in table.schema.columns().iter().zip(&tuple.values) {
-                if let Value::Agg(expr) = value {
-                    let dist = aggregate_distribution(
-                        db,
-                        expr,
-                        options,
-                        try_fast,
-                        &mut agg_fast_path_hits,
-                        artifact_caches,
-                        scope,
-                    )?;
-                    aggregate_distributions.insert(column.name.clone(), dist);
-                }
+/// Per-execution fast-path counters, shared across workers.
+#[derive(Debug, Default)]
+struct TupleCounters {
+    fast_path_hits: AtomicUsize,
+    agg_fast_path_hits: AtomicUsize,
+}
+
+/// Compute one result tuple: its confidence and (when requested) the distribution
+/// of every aggregation attribute. This is the per-tuple unit of work shared by the
+/// sequential path and every parallel worker — a pure function of the tuple, so
+/// output does not depend on which thread runs it.
+#[allow(clippy::too_many_arguments)]
+fn tuple_result(
+    db: &Database,
+    table: &PvcTable,
+    index: usize,
+    options: &EvalOptions,
+    try_fast: bool,
+    artifacts: Option<&SharedArtifacts>,
+    scope: u64,
+    counters: &TupleCounters,
+) -> Result<ProbTuple, Error> {
+    let tuple = &table.tuples[index];
+    let confidence = tuple_confidence(
+        db,
+        &tuple.annotation,
+        options,
+        try_fast,
+        artifacts,
+        scope,
+        counters,
+    )?;
+    let mut aggregate_distributions = BTreeMap::new();
+    if options.aggregate_distributions {
+        for (column, value) in table.schema.columns().iter().zip(&tuple.values) {
+            if let Value::Agg(expr) = value {
+                let dist = aggregate_distribution(
+                    db, expr, options, try_fast, artifacts, scope, counters,
+                )?;
+                aggregate_distributions.insert(column.name.clone(), dist);
             }
         }
-        tuples.push(ProbTuple {
-            values: tuple.values.clone(),
-            confidence,
-            aggregate_distributions,
-        });
     }
-    let probability_time = start.elapsed();
+    Ok(ProbTuple {
+        values: tuple.values.clone(),
+        confidence,
+        aggregate_distributions,
+    })
+}
 
-    Ok(QueryResult {
+/// Assemble the final [`QueryResult`] from drained tuples, timings and final
+/// fast-path counts.
+fn assemble_result(
+    table: &PvcTable,
+    tuples: Vec<ProbTuple>,
+    rewrite_time: Duration,
+    probability_time: Duration,
+    fast_path_hits: usize,
+    agg_fast_path_hits: usize,
+    threads: usize,
+) -> QueryResult {
+    QueryResult {
         columns: table
             .schema
             .names()
@@ -492,34 +667,382 @@ fn execute_pipeline(
         probability_time,
         fast_path_hits,
         agg_fast_path_hits,
+        threads,
+    }
+}
+
+/// Step II inline in the calling thread — no worker threads, no channel — so
+/// cheap executions pay no spawn overhead. Shared by [`execute_pipeline`]'s
+/// single-thread branch and [`Engine::execute_once`].
+fn run_sequential(
+    db: &Database,
+    table: &PvcTable,
+    options: &EvalOptions,
+    try_fast: bool,
+    artifacts: Option<&SharedArtifacts>,
+    scope: u64,
+    rewrite_time: Duration,
+) -> Result<QueryResult, Error> {
+    let start = Instant::now();
+    let counters = TupleCounters::default();
+    let mut tuples = Vec::with_capacity(table.tuples.len());
+    for index in 0..table.tuples.len() {
+        tuples.push(tuple_result(
+            db, table, index, options, try_fast, artifacts, scope, &counters,
+        )?);
+    }
+    Ok(assemble_result(
+        table,
+        tuples,
+        rewrite_time,
+        start.elapsed(),
+        counters.fast_path_hits.load(Ordering::Relaxed),
+        counters.agg_fast_path_hits.load(Ordering::Relaxed),
+        1,
+    ))
+}
+
+/// Step II on `threads` workers: spawn a stream and drain it. Shared by
+/// [`execute_pipeline`]'s parallel branch and [`Engine::execute_once`].
+#[allow(clippy::too_many_arguments)]
+fn run_parallel(
+    db: Arc<Database>,
+    table: Arc<PvcTable>,
+    options: &EvalOptions,
+    try_fast: bool,
+    artifacts: Option<Arc<SharedArtifacts>>,
+    scope: u64,
+    rewrite_time: Duration,
+    threads: usize,
+) -> Result<QueryResult, Error> {
+    let start = Instant::now();
+    let mut stream = spawn_stream(
+        db,
+        Arc::clone(&table),
+        options.clone(),
+        try_fast,
+        artifacts,
+        scope,
+        rewrite_time,
+        threads,
+    )?;
+    let mut tuples = Vec::with_capacity(stream.total_tuples());
+    for item in &mut stream {
+        // The first error (in tuple order) wins, exactly as in the sequential
+        // loop; dropping the stream cancels and joins the workers.
+        tuples.push(item?);
+    }
+    let (fast, agg) = (stream.fast_path_hits(), stream.agg_fast_path_hits());
+    Ok(assemble_result(
+        &table,
+        tuples,
+        rewrite_time,
+        start.elapsed(),
+        fast,
+        agg,
+        threads,
+    ))
+}
+
+/// Steps I+II with optional caching, materialising the whole result.
+fn execute_pipeline(
+    db: &Arc<Database>,
+    query: &Query,
+    plan: &Plan,
+    options: &EvalOptions,
+    caches: Option<&Caches>,
+) -> Result<QueryResult, Error> {
+    let (table, scope, rewrite_time) = step_one(db, query, plan, caches)?;
+    let artifacts = artifact_handle(options, caches);
+    let try_fast = allow_fast_path(db, plan, options);
+    let threads = resolve_threads(options.threads, table.tuples.len());
+    if threads <= 1 {
+        run_sequential(
+            db,
+            &table,
+            options,
+            try_fast,
+            artifacts.as_deref(),
+            scope,
+            rewrite_time,
+        )
+    } else {
+        run_parallel(
+            Arc::clone(db),
+            table,
+            options,
+            try_fast,
+            artifacts,
+            scope,
+            rewrite_time,
+            threads,
+        )
+    }
+}
+
+/// State shared between the consumer of a [`TupleStream`] and its workers.
+#[derive(Debug)]
+struct StreamShared {
+    db: Arc<Database>,
+    table: Arc<PvcTable>,
+    options: EvalOptions,
+    try_fast: bool,
+    artifacts: Option<Arc<SharedArtifacts>>,
+    scope: u64,
+    counters: TupleCounters,
+    /// Set when the stream is dropped: workers stop claiming tuples.
+    cancel: AtomicBool,
+    /// The next unclaimed tuple index (dynamic work distribution).
+    cursor: AtomicUsize,
+}
+
+fn worker_loop(shared: &StreamShared, sender: &SyncSender<(usize, Result<ProbTuple, Error>)>) {
+    loop {
+        if shared.cancel.load(Ordering::Relaxed) {
+            return;
+        }
+        let index = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if index >= shared.table.tuples.len() {
+            return;
+        }
+        // A panic inside per-tuple evaluation (a bug) must still deliver *some*
+        // item for the claimed index: if it were swallowed, the consumer would
+        // keep buffering every later tuple waiting for this one — unbounded
+        // memory and an arbitrarily late error. Caught here, it surfaces as an
+        // in-order `Error::Worker` instead.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tuple_result(
+                &shared.db,
+                &shared.table,
+                index,
+                &shared.options,
+                shared.try_fast,
+                shared.artifacts.as_deref(),
+                shared.scope,
+                &shared.counters,
+            )
+        }))
+        .unwrap_or_else(|panic| {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            Err(Error::Worker(format!(
+                "panic while computing tuple {index}: {detail}"
+            )))
+        });
+        // A send error means the consumer dropped the stream: stop quietly.
+        if sender.send((index, result)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Spawn the worker pool for one execution and wrap it in a [`TupleStream`].
+#[allow(clippy::too_many_arguments)]
+fn spawn_stream(
+    db: Arc<Database>,
+    table: Arc<PvcTable>,
+    options: EvalOptions,
+    try_fast: bool,
+    artifacts: Option<Arc<SharedArtifacts>>,
+    scope: u64,
+    rewrite_time: Duration,
+    threads: usize,
+) -> Result<TupleStream, Error> {
+    let total = table.tuples.len();
+    let columns = table
+        .schema
+        .names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let shared = Arc::new(StreamShared {
+        db,
+        table,
+        options,
+        try_fast,
+        artifacts,
+        scope,
+        counters: TupleCounters::default(),
+        cancel: AtomicBool::new(false),
+        cursor: AtomicUsize::new(0),
+    });
+    // Bounded channel: workers run at most a small window ahead of the consumer,
+    // so a slow consumer of a huge result does not buffer the whole result set.
+    let (sender, receiver) = std::sync::mpsc::sync_channel(threads * 2 + 2);
+    let mut workers = Vec::with_capacity(threads);
+    for worker in 0..threads {
+        let worker_shared = Arc::clone(&shared);
+        let worker_sender = sender.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("pvc-tuple-worker-{worker}"))
+            .spawn(move || worker_loop(&worker_shared, &worker_sender));
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(e) => {
+                // Honour the no-detached-threads contract even on a failed spawn
+                // (typically thread-limit exhaustion — exactly when strays hurt):
+                // stop and join the workers that did start before reporting.
+                shared.cancel.store(true, Ordering::Relaxed);
+                drop(sender);
+                drop(receiver);
+                for handle in workers {
+                    let _ = handle.join();
+                }
+                return Err(Error::Worker(format!("failed to spawn worker thread: {e}")));
+            }
+        }
+    }
+    drop(sender);
+    Ok(TupleStream {
+        columns,
+        rewrite_time,
+        total,
+        threads,
+        receiver: Some(receiver),
+        reassembly: OrderedReassembly::new(),
+        shared,
+        workers,
+        poisoned: false,
     })
+}
+
+/// A streaming query result: an iterator over `Result<ProbTuple, Error>` that
+/// yields tuples **in deterministic tuple order** while background workers compute
+/// them (see [`PreparedQuery::execute_streaming`]).
+///
+/// * Partial consumption is safe: dropping the stream sets a cancel flag, closes
+///   the channel and joins every worker — no detached threads outlive it.
+/// * An `Err` item reports the failure of that specific tuple (e.g. a node-budget
+///   abort); later tuples may still follow.
+/// * After the stream is exhausted, [`fast_path_hits`](Self::fast_path_hits) /
+///   [`agg_fast_path_hits`](Self::agg_fast_path_hits) report the execution's
+///   fast-path counters.
+#[derive(Debug)]
+pub struct TupleStream {
+    columns: Vec<String>,
+    rewrite_time: Duration,
+    total: usize,
+    threads: usize,
+    receiver: Option<Receiver<(usize, Result<ProbTuple, Error>)>>,
+    reassembly: OrderedReassembly<Result<ProbTuple, Error>>,
+    shared: Arc<StreamShared>,
+    workers: Vec<JoinHandle<()>>,
+    poisoned: bool,
+}
+
+impl TupleStream {
+    /// Column names of the result.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Wall-clock time of step I (the rewriting), which ran before the stream was
+    /// returned.
+    pub fn rewrite_time(&self) -> Duration {
+        self.rewrite_time
+    }
+
+    /// Total number of result tuples this stream will yield.
+    pub fn total_tuples(&self) -> usize {
+        self.total
+    }
+
+    /// Number of worker threads computing tuples.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tuple confidences computed by the §6 read-once fast path **so far** (final
+    /// once the stream is exhausted).
+    pub fn fast_path_hits(&self) -> usize {
+        self.shared.counters.fast_path_hits.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate distributions assembled by the Proposition 1 closed form so far.
+    pub fn agg_fast_path_hits(&self) -> usize {
+        self.shared
+            .counters
+            .agg_fast_path_hits
+            .load(Ordering::Relaxed)
+    }
+}
+
+impl Iterator for TupleStream {
+    type Item = Result<ProbTuple, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.poisoned || self.reassembly.next_index() >= self.total {
+            return None;
+        }
+        loop {
+            if let Some(item) = self.reassembly.pop() {
+                return Some(item);
+            }
+            let receiver = self.receiver.as_ref()?;
+            match receiver.recv() {
+                Ok((index, result)) => self.reassembly.push(index, result),
+                Err(_) => {
+                    // Every sender hung up before all tuples were delivered: a
+                    // worker panicked. Surface it instead of silently truncating.
+                    self.poisoned = true;
+                    return Some(Err(Error::Worker(format!(
+                        "worker thread exited before delivering tuple {} of {}",
+                        self.reassembly.next_index(),
+                        self.total
+                    ))));
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.poisoned {
+            return (0, Some(0));
+        }
+        let remaining = self.total - self.reassembly.next_index();
+        (remaining, Some(remaining))
+    }
+}
+
+impl Drop for TupleStream {
+    fn drop(&mut self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+        // Closing the receiver unblocks any worker waiting on the bounded channel;
+        // each then observes the send error (or the cancel flag) and exits.
+        self.receiver = None;
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already surfaced as Error::Worker during
+            // iteration; nothing useful to do with the panic payload here.
+            let _ = handle.join();
+        }
+    }
 }
 
 /// The confidence of one annotation: canonical cache, then read-once fast path,
 /// then cache-aware compilation.
+#[allow(clippy::too_many_arguments)]
 fn tuple_confidence(
     db: &Database,
     annotation: &SemiringExpr,
     options: &EvalOptions,
     try_fast: bool,
-    fast_path_hits: &mut usize,
-    caches: Option<&Caches>,
+    artifacts: Option<&SharedArtifacts>,
     scope: u64,
+    counters: &TupleCounters,
 ) -> Result<f64, Error> {
-    if let Some(c) = caches {
-        let id = c.interner.borrow_mut().intern(annotation);
+    if let Some(arts) = artifacts {
+        let id = arts.intern(annotation);
         // Warm path: reduce the cached distribution to its confidence under the
-        // borrow — no per-tuple clone.
-        if let Some(p) = c
-            .artifacts
-            .borrow_mut()
-            .map_semiring(id, scope, confidence_of)
-        {
+        // lock — no per-tuple clone.
+        if let Some(p) = arts.map_semiring(id, scope, confidence_of) {
             return Ok(p);
         }
         if try_fast {
             if let Some(p) = read_once_confidence(annotation, &db.vars) {
-                *fast_path_hits += 1;
+                counters.fast_path_hits.fetch_add(1, Ordering::Relaxed);
                 // The fast path only runs over the Boolean semiring, so the
                 // confidence determines the full distribution — cache it so later
                 // lookups (and sub-d-tree composition) can reuse it.
@@ -527,26 +1050,17 @@ fn tuple_confidence(
                     (SemiringValue::Bool(true), p),
                     (SemiringValue::Bool(false), 1.0 - p),
                 ]);
-                c.artifacts.borrow_mut().insert_semiring(id, scope, &dist);
+                arts.insert_semiring(id, scope, &dist);
                 return Ok(p);
             }
         }
-        let mut interner = c.interner.borrow_mut();
-        let mut artifacts = c.artifacts.borrow_mut();
-        let mut eval = CachedEvaluator::new(
-            &mut interner,
-            &mut artifacts,
-            &db.vars,
-            db.kind,
-            options.compile.clone(),
-            scope,
-        );
-        let dist = eval.fill_semiring(id)?;
+        // The lookup above already recorded the miss; fill without re-checking.
+        let dist = arts.fill_semiring(id, &db.vars, db.kind, &options.compile, scope)?;
         return Ok(confidence_of(&dist));
     }
     if try_fast {
         if let Some(p) = read_once_confidence(annotation, &db.vars) {
-            *fast_path_hits += 1;
+            counters.fast_path_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
         }
     }
@@ -572,42 +1086,34 @@ fn compiled_confidence(
 
 /// The exact distribution of one aggregate: canonical cache, then the MIN/MAX
 /// read-once closed form, then cache-aware compilation.
+#[allow(clippy::too_many_arguments)]
 fn aggregate_distribution(
     db: &Database,
     expr: &SemimoduleExpr,
     options: &EvalOptions,
     try_fast: bool,
-    agg_fast_path_hits: &mut usize,
-    caches: Option<&Caches>,
+    artifacts: Option<&SharedArtifacts>,
     scope: u64,
+    counters: &TupleCounters,
 ) -> Result<MonoidDist, Error> {
-    if let Some(c) = caches {
-        let id = c.interner.borrow_mut().intern_semimodule(expr);
-        if let Some(d) = c.artifacts.borrow_mut().get_aggregate(id, scope) {
+    if let Some(arts) = artifacts {
+        let id = arts.intern_semimodule(expr);
+        if let Some(d) = arts.get_aggregate(id, scope) {
             return Ok(d);
         }
         if try_fast {
             if let Some(d) = min_max_read_once_distribution(expr, &db.vars) {
-                *agg_fast_path_hits += 1;
-                c.artifacts.borrow_mut().insert_aggregate(id, scope, &d);
+                counters.agg_fast_path_hits.fetch_add(1, Ordering::Relaxed);
+                arts.insert_aggregate(id, scope, &d);
                 return Ok(d);
             }
         }
-        let mut interner = c.interner.borrow_mut();
-        let mut artifacts = c.artifacts.borrow_mut();
-        let mut eval = CachedEvaluator::new(
-            &mut interner,
-            &mut artifacts,
-            &db.vars,
-            db.kind,
-            options.compile.clone(),
-            scope,
-        );
-        return Ok(eval.fill_aggregate(id)?);
+        // The lookup above already recorded the miss; fill without re-checking.
+        return Ok(arts.fill_aggregate(id, &db.vars, db.kind, &options.compile, scope)?);
     }
     if try_fast {
         if let Some(d) = min_max_read_once_distribution(expr, &db.vars) {
-            *agg_fast_path_hits += 1;
+            counters.agg_fast_path_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(d);
         }
     }
@@ -840,6 +1346,25 @@ mod tests {
     }
 
     #[test]
+    fn structural_keys_distinguish_queries_and_are_stable() {
+        let qa = Query::table("P1")
+            .union(Query::table("P2"))
+            .project(["pid"]);
+        let qb = Query::table("P2")
+            .union(Query::table("P1"))
+            .project(["pid"]);
+        // Stable for equal queries, distinct for different renderings (the rewrite
+        // materialises their tuples in different orders, so they must not share a
+        // step-I cache entry).
+        assert_eq!(qa.structural_key(), qa.clone().structural_key());
+        assert_ne!(qa.structural_key(), qb.structural_key());
+        // Spot-check that predicates and aggregations feed the key.
+        let base = paper_q1();
+        let with_pred = paper_q1().select(Predicate::AggCmpConst("price".into(), CmpOp::Le, 50));
+        assert_ne!(base.structural_key(), with_pred.structural_key());
+    }
+
+    #[test]
     fn lru_bound_evicts_but_preserves_results() {
         let db = figure1_db();
         let engine = Engine::with_cache_config(
@@ -911,6 +1436,16 @@ mod tests {
                 &EvalOptions::default()
                     .with_node_budget(1)
                     .without_fast_path(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Compile(_)));
+        // Parallel execution reports the same first-in-order error.
+        let err = prepared
+            .execute(
+                &EvalOptions::default()
+                    .with_node_budget(1)
+                    .without_fast_path()
+                    .with_threads(4),
             )
             .unwrap_err();
         assert!(matches!(err, Error::Compile(_)));
@@ -1013,5 +1548,118 @@ mod tests {
         let shared = SemiringExpr::Var(x) * SemiringExpr::Var(y)
             + SemiringExpr::Var(x) * SemiringExpr::Var(z);
         assert!(read_once_confidence(&shared, &vars).is_none());
+    }
+
+    #[test]
+    fn streaming_yields_tuples_in_order() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let prepared = engine.prepare(&paper_q1()).unwrap();
+        let reference = prepared.execute(&EvalOptions::default()).unwrap();
+        for threads in [1, 4] {
+            let stream = prepared
+                .execute_streaming(&EvalOptions::default().with_threads(threads))
+                .unwrap();
+            assert_eq!(stream.total_tuples(), reference.tuples.len());
+            assert_eq!(stream.columns(), &reference.columns[..]);
+            let tuples: Vec<ProbTuple> = stream.map(|t| t.unwrap()).collect();
+            assert_eq!(tuples.len(), reference.tuples.len());
+            for (s, r) in tuples.iter().zip(&reference.tuples) {
+                assert_eq!(s.values, r.values);
+                assert_eq!(s.confidence.to_bits(), r.confidence.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_partial_consumption_cancels_cleanly() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let prepared = engine.prepare(&paper_q1()).unwrap();
+        let mut stream = prepared
+            .execute_streaming(&EvalOptions::default().with_threads(2))
+            .unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(first.confidence > 0.0);
+        drop(stream); // must cancel and join workers without deadlocking
+                      // The engine stays fully usable afterwards.
+        let result = prepared.execute(&EvalOptions::default()).unwrap();
+        assert_eq!(result.tuples.len(), 9);
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let prepared = engine.prepare(&paper_q1()).unwrap();
+        let seq = prepared
+            .execute(&EvalOptions::default().with_threads(1))
+            .unwrap();
+        assert_eq!(seq.threads, 1);
+        let par = prepared
+            .execute(&EvalOptions::default().with_threads(4))
+            .unwrap();
+        assert_eq!(par.threads, 4.min(seq.tuples.len()));
+        assert_eq!(seq.tuples.len(), par.tuples.len());
+        for (a, b) in seq.tuples.iter().zip(&par.tuples) {
+            assert_eq!(a.values, b.values);
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+            assert_eq!(a.aggregate_distributions, b.aggregate_distributions);
+        }
+    }
+
+    #[test]
+    fn shared_artifacts_across_engines_reuse_compilations() {
+        let db = figure1_db();
+        let engine_a = Engine::new(db.clone());
+        let engine_b = Engine::with_shared_artifacts(db, engine_a.shared_artifacts());
+        let q = paper_q1();
+        engine_a
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let misses_after_a = engine_a.cache_stats().misses;
+        // Engine B executes the same query: every artifact is already cached.
+        engine_b
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let stats = engine_b.cache_stats();
+        assert_eq!(
+            stats.misses, misses_after_a,
+            "engine B should not recompute"
+        );
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn database_mut_detaches_from_the_shared_store() {
+        let db = figure1_db();
+        let mut engine_a = Engine::new(db.clone());
+        let engine_b = Engine::with_shared_artifacts(db, engine_a.shared_artifacts());
+        let q = paper_q1();
+        engine_b
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let b_before = engine_b.cache_stats();
+        assert!(b_before.confidences > 0);
+        // Mutating A's database must not invalidate B's artifacts (B's database is
+        // unchanged, so its cached distributions are still correct) — A simply
+        // walks away onto a fresh, empty store.
+        engine_a.database_mut();
+        assert_eq!(engine_a.cache_stats(), CacheStats::default());
+        assert_eq!(engine_b.cache_stats(), b_before);
+        // A's post-mutation executions fill the fresh store, not B's.
+        engine_a
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        assert!(engine_a.cache_stats().confidences > 0);
+        assert_eq!(engine_b.cache_stats(), b_before);
     }
 }

@@ -38,6 +38,10 @@ pub enum Error {
         /// What the operation required of it.
         expected: &'static str,
     },
+    /// A parallel tuple worker could not be spawned, or terminated without
+    /// delivering its results (a panic in a worker thread). Streaming surfaces this
+    /// instead of silently truncating the result.
+    Worker(String),
 }
 
 impl fmt::Display for Error {
@@ -55,6 +59,7 @@ impl fmt::Display for Error {
             Error::TypeMismatch { column, expected } => {
                 write!(f, "column `{column}` does not hold {expected}")
             }
+            Error::Worker(detail) => write!(f, "parallel execution failed: {detail}"),
         }
     }
 }

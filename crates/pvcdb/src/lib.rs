@@ -51,12 +51,13 @@ pub mod tractable;
 pub mod value;
 
 pub use database::Database;
-pub use engine::{CacheStats, Engine, EvalOptions, Plan, PreparedQuery, Strategy};
+pub use engine::{CacheStats, Engine, EvalOptions, Plan, PreparedQuery, Strategy, TupleStream};
 pub use error::Error;
 pub use exec::try_evaluate;
 pub use prob_eval::{try_tuple_confidences, ProbTuple, QueryResult};
-// Re-exported so engine users can bound the cache without depending on `pvc-core`.
-pub use pvc_core::CacheConfig;
+// Re-exported so engine users can bound/share the caches without depending on
+// `pvc-core`.
+pub use pvc_core::{CacheConfig, SharedArtifacts};
 pub use query::{AggSpec, Predicate, Query, QueryError};
 pub use relation::{PvcTable, Tuple};
 pub use schema::{Column, Schema};

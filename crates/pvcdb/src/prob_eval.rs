@@ -50,6 +50,10 @@ pub struct QueryResult {
     /// form for MIN/MAX over independent read-once terms (no d-tree built). Zero
     /// when the fast path was disabled or the query was not classified as tractable.
     pub agg_fast_path_hits: usize,
+    /// How many worker threads computed step II (see [`EvalOptions::threads`]; `1`
+    /// means the sequential in-thread path). Purely informational — results are
+    /// identical for every thread count.
+    pub threads: usize,
 }
 
 impl QueryResult {

@@ -234,6 +234,150 @@ impl Query {
         }
     }
 
+    /// A compact **canonical structural key** of the query: a tagged, length-prefixed
+    /// byte encoding of the AST, suitable for keying caches (the engine's step-I
+    /// rewrite cache uses it).
+    ///
+    /// Unlike the `Debug` rendering (the previous cache key), the encoding is
+    /// unambiguous — every field is length-prefixed, so no two distinct queries
+    /// share a key — independent of formatting-code changes, and cheaper to build
+    /// and compare. Operand *order* is preserved: `A ∪ B` and `B ∪ A` get different
+    /// keys because the rewriting materialises their result tuples in different
+    /// orders (it is the canonical *expression* interning downstream that unifies
+    /// their provenance).
+    pub fn structural_key(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode(&mut out);
+        out
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn put_value(out: &mut Vec<u8>, v: &Value) {
+            match v {
+                Value::Str(s) => {
+                    out.push(0);
+                    put_str(out, s);
+                }
+                Value::Int(i) => {
+                    out.push(1);
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                // Aggregate expressions never occur in query constants; encode the
+                // display form defensively so the key stays total.
+                Value::Agg(_) => {
+                    out.push(2);
+                    put_str(out, &v.to_string());
+                }
+            }
+        }
+        fn put_predicate(out: &mut Vec<u8>, p: &Predicate) {
+            match p {
+                Predicate::ColEqCol(a, b) => {
+                    out.push(0);
+                    put_str(out, a);
+                    put_str(out, b);
+                }
+                Predicate::ColCmpConst(a, op, v) => {
+                    out.push(1);
+                    put_str(out, a);
+                    out.push(*op as u8);
+                    put_value(out, v);
+                }
+                Predicate::AggCmpConst(a, op, c) => {
+                    out.push(2);
+                    put_str(out, a);
+                    out.push(*op as u8);
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                Predicate::AggCmpAgg(a, op, b) => {
+                    out.push(3);
+                    put_str(out, a);
+                    out.push(*op as u8);
+                    put_str(out, b);
+                }
+                Predicate::AggCmpCol(a, op, b) => {
+                    out.push(4);
+                    put_str(out, a);
+                    out.push(*op as u8);
+                    put_str(out, b);
+                }
+                Predicate::And(ps) => {
+                    out.push(5);
+                    out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+                    for p in ps {
+                        put_predicate(out, p);
+                    }
+                }
+            }
+        }
+        match self {
+            Query::Table(name) => {
+                out.push(0);
+                put_str(out, name);
+            }
+            Query::Select(pred, input) => {
+                out.push(1);
+                put_predicate(out, pred);
+                input.encode(out);
+            }
+            Query::Project(columns, input) => {
+                out.push(2);
+                out.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+                for c in columns {
+                    put_str(out, c);
+                }
+                input.encode(out);
+            }
+            Query::Product(a, b) => {
+                out.push(3);
+                a.encode(out);
+                b.encode(out);
+            }
+            Query::Union(a, b) => {
+                out.push(4);
+                a.encode(out);
+                b.encode(out);
+            }
+            Query::Rename(mapping, input) => {
+                out.push(5);
+                out.extend_from_slice(&(mapping.len() as u32).to_le_bytes());
+                for (old, new) in mapping {
+                    put_str(out, old);
+                    put_str(out, new);
+                }
+                input.encode(out);
+            }
+            Query::GroupAgg {
+                group_by,
+                aggs,
+                input,
+            } => {
+                out.push(6);
+                out.extend_from_slice(&(group_by.len() as u32).to_le_bytes());
+                for g in group_by {
+                    put_str(out, g);
+                }
+                out.extend_from_slice(&(aggs.len() as u32).to_le_bytes());
+                for a in aggs {
+                    out.push(a.op as u8);
+                    match &a.column {
+                        Some(c) => {
+                            out.push(1);
+                            put_str(out, c);
+                        }
+                        None => out.push(0),
+                    }
+                    put_str(out, &a.alias);
+                }
+                input.encode(out);
+            }
+        }
+    }
+
     /// True if no base relation occurs more than once (the *non-repeating* property
     /// assumed by the tractability results of §6).
     pub fn is_non_repeating(&self) -> bool {

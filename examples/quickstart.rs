@@ -11,7 +11,10 @@
 //!    `Err(Error::Validation(..))`);
 //! 4. `PreparedQuery::execute` runs the two evaluation steps (the `⟦·⟧` rewriting
 //!    and d-tree-based probability computation) under explicit `EvalOptions`,
-//!    reusing cached artifacts on repeated execution.
+//!    reusing cached artifacts on repeated execution;
+//! 5. `EvalOptions::with_threads` fans the per-tuple work out over worker threads,
+//!    and `PreparedQuery::execute_streaming` yields tuples as they are computed —
+//!    results are bit-identical either way.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -79,7 +82,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slim.rewrite_time
     );
 
-    // 6. The same machinery is available at expression level: the probability that
+    // 6. Parallel + streaming execution: `threads` fans the per-tuple compilation
+    //    out over workers (0 = one per core), and `execute_streaming` returns an
+    //    iterator that yields each tuple in deterministic order as soon as it is
+    //    ready — consume a prefix and drop the stream to cancel the rest. The
+    //    confidences are bit-identical to the sequential run.
+    let stream = prepared.execute_streaming(&EvalOptions::confidence_only().with_threads(0))?;
+    println!(
+        "\nstreaming on {} worker(s), {} tuple(s):",
+        stream.threads(),
+        stream.total_tuples()
+    );
+    for (i, tuple) in stream.enumerate() {
+        let tuple = tuple?;
+        println!("  tuple {i}: P = {:.4}", tuple.confidence);
+    }
+
+    // 7. The same machinery is available at expression level: the probability that
     //    the cheapest M&S offer is at most 20.
     let table = try_evaluate(engine.database(), &query)?;
     let cheapest = table.tuples[1].values[1]
@@ -93,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p = confidence(&condition, &engine.database().vars, engine.database().kind);
     println!("\nP[min price at M&S ≤ 20] = {p:.4}");
 
-    // 7. Invalid queries are errors, not panics.
+    // 8. Invalid queries are errors, not panics.
     let invalid = Query::table("offers").project(["no_such_column"]);
     match engine.prepare(&invalid) {
         Err(Error::Validation(e)) => println!("rejected as expected: {e}"),
