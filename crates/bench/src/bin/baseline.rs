@@ -40,6 +40,8 @@ fn main() {
     let cache = pvc_bench::experiment_cache(scale);
     eprintln!("running the parallel-execution experiment ...");
     let parallel = pvc_bench::experiment_parallel(scale);
+    eprintln!("running the distribution-kernel experiment ...");
+    let kernel = pvc_bench::experiment_kernel(scale);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -51,6 +53,8 @@ fn main() {
     out.push_str(&cache.to_json());
     out.push_str(",\n  \"experiment_parallel\": ");
     out.push_str(&parallel.to_json());
+    out.push_str(",\n  \"experiment_kernel\": ");
+    out.push_str(&kernel.to_json());
     out.push_str("\n}\n");
     print!("{out}");
 }

@@ -1,7 +1,8 @@
 //! CI smoke check for the compilation-cache subsystem: runs the repeated-workload
-//! cache experiment and **fails (exit 1) if the engine reports zero cross-query
-//! cache hits** — i.e. if canonical interning stopped unifying structurally-equal
-//! provenance across query renderings.
+//! cache experiment and **fails (exit 1)** if the engine reports zero cross-query
+//! cache hits (canonical interning stopped unifying structurally-equal provenance
+//! across query renderings) **or** if cached compiled d-tree arenas were not
+//! reused across executions (the arena-miss counter moved after the cold run).
 //!
 //! Set `PVC_SMOKE_THREADS=<n>` to run the workload on `n` worker threads: the same
 //! check then regression-guards **cross-thread** sharing of the artifact store
@@ -29,6 +30,14 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if !report.arena_reused {
+        eprintln!(
+            "FAIL: compiled d-tree arenas were re-built during warm/cross executions at \
+             threads={threads} (arenas cached: {}) — the arena cache is not being reused",
+            report.arenas
+        );
+        std::process::exit(1);
+    }
     if report.warm_s > report.cold_s {
         // Informational only: timing inversions can happen on noisy CI machines.
         eprintln!(
@@ -37,7 +46,8 @@ fn main() {
         );
     }
     println!(
-        "OK: {} cross-query hits at threads={threads}, warm speedup {:.1}x",
-        report.cross_query_hits, report.warm_speedup
+        "OK: {} cross-query hits at threads={threads}, warm speedup {:.1}x, {} cached \
+         arenas reused",
+        report.cross_query_hits, report.warm_speedup, report.arenas
     );
 }

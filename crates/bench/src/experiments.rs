@@ -6,9 +6,10 @@
 //! (closer to the paper's parameters; enable with `PVC_BENCH_FULL=1`).
 
 use crate::stats::{timed_over_seeds, Measurement};
-use pvc_algebra::{AggOp, CmpOp, SemiringKind};
+use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind};
 use pvc_core::{CompileOptions, Compiler};
 use pvc_db::{try_evaluate, Engine, EvalOptions};
+use pvc_prob::{convolve_additive, Dist, DistRepr, MonoidDist};
 use pvc_tpch::{deterministic_copy, generate, TpchConfig};
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
@@ -462,6 +463,12 @@ pub struct CacheHitReport {
     pub evictions: u64,
     /// Cached artifact entries (confidences + aggregates) at the end of the run.
     pub entries: usize,
+    /// Cached compiled d-tree arenas at the end of the run.
+    pub arenas: usize,
+    /// True when the warm and cross-rendering executions performed **no** new
+    /// arena compilations (arena misses unchanged after the cold run) while at
+    /// least one arena artifact is cached — i.e. compiled arenas were reused.
+    pub arena_reused: bool,
 }
 
 impl CacheHitReport {
@@ -478,6 +485,8 @@ impl CacheHitReport {
             ("cross_query_hits", format!("{}", self.cross_query_hits)),
             ("evictions", format!("{}", self.evictions)),
             ("entries", format!("{}", self.entries)),
+            ("arenas", format!("{}", self.arenas)),
+            ("arena_reused", format!("{}", u8::from(self.arena_reused))),
         ]
     }
 
@@ -498,7 +507,7 @@ impl CacheHitReport {
 }
 
 /// Header of the cache experiment table.
-pub const CACHE_HEADER: [&str; 9] = [
+pub const CACHE_HEADER: [&str; 11] = [
     "cold_s",
     "warm_s",
     "cross_s",
@@ -508,6 +517,8 @@ pub const CACHE_HEADER: [&str; 9] = [
     "x_query_hits",
     "evictions",
     "entries",
+    "arenas",
+    "arena_reuse",
 ];
 
 /// The shop/offer/product database of the repeated-workload scenario: `shops` shops
@@ -605,6 +616,7 @@ pub fn experiment_cache_threads(scale: Scale, threads: usize) -> CacheHitReport 
     let cold = pa.execute(&options).expect("cold run");
     let cold_s = start.elapsed().as_secs_f64();
     assert!(!cold.tuples.is_empty(), "workload must produce tuples");
+    let arena_misses_after_cold = engine.cache_stats().arena_misses;
 
     let start = std::time::Instant::now();
     for _ in 0..warm_runs {
@@ -630,6 +642,10 @@ pub fn experiment_cache_threads(scale: Scale, threads: usize) -> CacheHitReport 
         cross_query_hits: stats.cross_query_hits,
         evictions: stats.evictions,
         entries: stats.confidences + stats.aggregates,
+        arenas: stats.arenas,
+        // Warm and cross executions must be served without compiling any new
+        // arena: the miss counter may not move after the cold run.
+        arena_reused: stats.arenas > 0 && stats.arena_misses == arena_misses_after_cold,
     }
 }
 
@@ -772,6 +788,186 @@ pub fn experiment_parallel(scale: Scale) -> ParallelReport {
     }
 }
 
+/// The report of the distribution-kernel experiment: convolution
+/// micro-throughput of the sparse (sorted-vector) and dense (offset-indexed)
+/// representations, plus cold first-tuple latency for a threshold MIN query
+/// (which exercises pruning, the arena evaluator and the one-sided CDF fold
+/// end-to-end).
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Support size of the convolved operands.
+    pub support: usize,
+    /// Seconds per convolution on a *scattered* integer support (the sparse
+    /// generate–sort–coalesce kernel).
+    pub sparse_conv_s: f64,
+    /// Seconds per convolution on a *contiguous* COUNT-style support through the
+    /// adaptive kernel (dense direct indexing).
+    pub dense_conv_s: f64,
+    /// Seconds per convolution on the same contiguous support through the generic
+    /// sparse kernel (what the dense path replaces).
+    pub dense_input_sparse_s: f64,
+    /// `dense_input_sparse_s / dense_conv_s` — the dense fast path's win on
+    /// dense-friendly input.
+    pub dense_speedup: f64,
+    /// Whether [`DistRepr::of`] chose the dense representation for the contiguous
+    /// operand (behavioural regression guard).
+    pub dense_chosen: bool,
+    /// Cold streaming latency to the first tuple of the threshold MIN query.
+    pub min_first_tuple_s: f64,
+    /// Cold wall-clock of the full threshold MIN query.
+    pub min_total_s: f64,
+}
+
+impl KernelReport {
+    /// The report as `(field name, JSON-ready value)` pairs.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("support", format!("{}", self.support)),
+            ("sparse_conv_s", format!("{:.9}", self.sparse_conv_s)),
+            ("dense_conv_s", format!("{:.9}", self.dense_conv_s)),
+            (
+                "dense_input_sparse_s",
+                format!("{:.9}", self.dense_input_sparse_s),
+            ),
+            ("dense_speedup", format!("{:.2}", self.dense_speedup)),
+            ("dense_chosen", format!("{}", u8::from(self.dense_chosen))),
+            (
+                "min_first_tuple_s",
+                format!("{:.6}", self.min_first_tuple_s),
+            ),
+            ("min_total_s", format!("{:.6}", self.min_total_s)),
+        ]
+    }
+
+    /// Format as a table row (same order as [`fields`](Self::fields)).
+    pub fn cells(&self) -> Vec<String> {
+        self.fields().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Header of the kernel experiment table.
+pub const KERNEL_HEADER: [&str; 8] = [
+    "support",
+    "sparse_conv_s",
+    "dense_conv_s",
+    "dense_in_sparse_s",
+    "dense_speedup",
+    "dense_chosen",
+    "min_first_s",
+    "min_total_s",
+];
+
+/// A uniform COUNT-style distribution over the contiguous range `0..=n`.
+fn contiguous_dist(n: i64) -> MonoidDist {
+    let p = 1.0 / (n + 1) as f64;
+    Dist::from_pairs((0..=n).map(|v| (MonoidValue::Fin(v), p)))
+}
+
+/// A scattered integer distribution: `n + 1` values spread so far apart that the
+/// adaptive kernel must stay sparse.
+fn scattered_dist(n: i64) -> MonoidDist {
+    let p = 1.0 / (n + 1) as f64;
+    Dist::from_pairs((0..=n).map(|v| (MonoidValue::Fin(v * 1_000_003), p)))
+}
+
+fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// The shop/offer database used by the threshold-MIN latency probe, and the
+/// query: the minimum offered price per shop, filtered by `MIN ≥ c` — the exact
+/// shape whose evaluation the one-sided CDF fold accelerates.
+fn kernel_min_query() -> pvc_db::Query {
+    use pvc_db::{AggSpec, Predicate, Query};
+    Query::table("S")
+        .join(Query::table("PS"), &[("sid", "ps_sid")])
+        .group_agg(["shop"], vec![AggSpec::new(AggOp::Min, "price", "P")])
+        .select(Predicate::AggCmpConst("P".into(), CmpOp::Ge, 20))
+        .project(["shop"])
+}
+
+/// **Kernel experiment** (not in the paper): micro-throughput of the convolution
+/// kernel in its sparse and dense representations, plus cold first-tuple latency
+/// of a threshold MIN query. Guards the flat-kernel rewrite against regressions.
+pub fn experiment_kernel(scale: Scale) -> KernelReport {
+    let full = scale == Scale::Full;
+    let n: i64 = if full { 256 } else { 64 };
+    let iters = if full { 2000 } else { 300 };
+
+    let contiguous = contiguous_dist(n);
+    let scattered = scattered_dist(n);
+    assert!(
+        DistRepr::of(&contiguous).is_dense(),
+        "contiguous COUNT support must pick the dense representation"
+    );
+    assert!(
+        !DistRepr::of(&scattered).is_dense(),
+        "scattered support must stay sparse"
+    );
+
+    let sparse_conv_s = time_per_iter(iters, || {
+        std::hint::black_box(convolve_additive(&scattered, &scattered));
+    });
+    let dense_conv_s = time_per_iter(iters, || {
+        std::hint::black_box(convolve_additive(&contiguous, &contiguous));
+    });
+    let dense_input_sparse_s = time_per_iter(iters, || {
+        std::hint::black_box(contiguous.convolve(&contiguous, |x, y| x.saturating_add(y)));
+    });
+
+    // Threshold MIN query: cold engine, streaming first-tuple latency plus the
+    // full cold execution.
+    let (shops, per_shop) = if full { (60, 8) } else { (24, 5) };
+    let engine = Engine::new(cache_workload_db(shops, per_shop));
+    let prepared = engine.prepare(&kernel_min_query()).expect("query prepares");
+    let start = std::time::Instant::now();
+    let mut stream = prepared
+        .execute_streaming(&EvalOptions::default())
+        .expect("streaming run");
+    stream
+        .next()
+        .expect("at least one tuple")
+        .expect("tuple ok");
+    let min_first_tuple_s = start.elapsed().as_secs_f64();
+    drop(stream);
+
+    let engine = Engine::new(cache_workload_db(shops, per_shop));
+    let prepared = engine.prepare(&kernel_min_query()).expect("query prepares");
+    let start = std::time::Instant::now();
+    let result = prepared.execute(&EvalOptions::default()).expect("cold run");
+    let min_total_s = start.elapsed().as_secs_f64();
+    assert!(
+        !result.tuples.is_empty(),
+        "threshold query must return rows"
+    );
+
+    KernelReport {
+        support: (n + 1) as usize,
+        sparse_conv_s,
+        dense_conv_s,
+        dense_input_sparse_s,
+        dense_speedup: dense_input_sparse_s / dense_conv_s.max(1e-12),
+        dense_chosen: DistRepr::of(&contiguous).is_dense(),
+        min_first_tuple_s,
+        min_total_s,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,6 +984,8 @@ mod tests {
             cross_query_hits: 3,
             evictions: 4,
             entries: 5,
+            arenas: 6,
+            arena_reused: true,
         };
         let names: Vec<&str> = report.fields().into_iter().map(|(k, _)| k).collect();
         // The smoke-table header labels one column per field, in the same order
@@ -843,6 +1041,51 @@ mod tests {
         assert_eq!(names.len(), PARALLEL_HEADER.len());
         assert_eq!(names[0], PARALLEL_HEADER[0]);
         assert!(report.to_json().contains("\"speedup_4v1\": 2.50"));
+    }
+
+    #[test]
+    fn kernel_header_matches_report_fields() {
+        let report = KernelReport {
+            support: 65,
+            sparse_conv_s: 1e-5,
+            dense_conv_s: 1e-6,
+            dense_input_sparse_s: 5e-6,
+            dense_speedup: 5.0,
+            dense_chosen: true,
+            min_first_tuple_s: 0.01,
+            min_total_s: 0.05,
+        };
+        let names: Vec<&str> = report.fields().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names.len(), KERNEL_HEADER.len());
+        assert_eq!(names[0], KERNEL_HEADER[0]);
+        assert!(report.to_json().contains("\"dense_chosen\": 1"));
+    }
+
+    #[test]
+    fn kernel_representation_choices() {
+        assert!(DistRepr::of(&contiguous_dist(16)).is_dense());
+        assert!(!DistRepr::of(&scattered_dist(16)).is_dense());
+        // The adaptive and generic kernels agree on both shapes.
+        for d in [contiguous_dist(8), scattered_dist(8)] {
+            let adaptive = convolve_additive(&d, &d);
+            let generic = d.convolve(&d, |x, y| x.saturating_add(y));
+            assert!(adaptive.approx_eq(&generic, 0.0));
+        }
+    }
+
+    #[test]
+    fn kernel_min_query_runs() {
+        let engine = Engine::new(cache_workload_db(4, 3));
+        let prepared = engine.prepare(&kernel_min_query()).unwrap();
+        let result = prepared.execute(&EvalOptions::default()).unwrap();
+        assert!(!result.tuples.is_empty());
+    }
+
+    #[test]
+    fn cache_experiment_reports_arena_reuse() {
+        let report = experiment_cache_threads(Scale::Quick, 1);
+        assert!(report.arenas > 0, "{report:?}");
+        assert!(report.arena_reused, "{report:?}");
     }
 
     #[test]

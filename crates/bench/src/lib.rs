@@ -27,8 +27,9 @@ pub mod stats;
 
 pub use experiments::{
     experiment_a, experiment_b, experiment_c, experiment_cache, experiment_cache_threads,
-    experiment_d, experiment_e, experiment_f, experiment_parallel, CacheHitReport, ParallelReport,
-    Scale, CACHE_HEADER, PARALLEL_HEADER,
+    experiment_d, experiment_e, experiment_f, experiment_kernel, experiment_parallel,
+    CacheHitReport, KernelReport, ParallelReport, Scale, CACHE_HEADER, KERNEL_HEADER,
+    PARALLEL_HEADER,
 };
 pub use json::{Json, JsonError};
 pub use stats::{bench_case, mean_std, print_table, Measurement};

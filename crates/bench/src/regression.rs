@@ -9,8 +9,11 @@
 //!   `PVC_BENCH_TIME_FLOOR_S`), so sub-resolution measurements — where scheduler
 //!   jitter dominates — can never fail the gate;
 //! * behavioural counters are compared exactly: zero cross-query cache hits is a
-//!   hard failure regardless of timing, and sweep points that disappeared from the
-//!   fresh run fail as coverage regressions;
+//!   hard failure regardless of timing, sweep points that disappeared from the
+//!   fresh run fail as coverage regressions, the distribution kernel must keep
+//!   choosing the dense representation for contiguous supports at a speedup of at
+//!   least `PVC_MIN_DENSE_SPEEDUP` (default break-even), and warm executions must
+//!   keep reusing cached compiled arenas (`arena_reused`);
 //! * the parallel speedup is only enforced on machines with ≥ 4 cores (the fresh
 //!   report records `cores`), with its own threshold
 //!   (`PVC_MIN_PARALLEL_SPEEDUP`, default 1.3× at 4 threads — slightly below the
@@ -29,6 +32,10 @@ pub struct GateConfig {
     /// Minimum required cold-execution speedup at `threads = 4`, enforced only
     /// when the fresh run's machine has at least four cores.
     pub min_parallel_speedup: f64,
+    /// Minimum required dense-vs-sparse convolution speedup on dense-friendly
+    /// input in `experiment_kernel` (`PVC_MIN_DENSE_SPEEDUP`). The direct-index
+    /// path must at least not lose to the sort-based kernel it replaces.
+    pub min_dense_speedup: f64,
 }
 
 impl Default for GateConfig {
@@ -37,6 +44,7 @@ impl Default for GateConfig {
             tolerance: 1.5,
             time_floor_s: 0.05,
             min_parallel_speedup: 1.3,
+            min_dense_speedup: 1.0,
         }
     }
 }
@@ -55,6 +63,7 @@ impl GateConfig {
             tolerance: read("PVC_BENCH_TOLERANCE", defaults.tolerance),
             time_floor_s: read("PVC_BENCH_TIME_FLOOR_S", defaults.time_floor_s),
             min_parallel_speedup: read("PVC_MIN_PARALLEL_SPEEDUP", defaults.min_parallel_speedup),
+            min_dense_speedup: read("PVC_MIN_DENSE_SPEEDUP", defaults.min_dense_speedup),
         }
     }
 }
@@ -106,6 +115,65 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
                  tolerance {:.2}x)",
                 cfg.tolerance
             ));
+        }
+    }
+
+    // --- arena reuse: cached compiled arenas must keep serving warm runs. ------
+    if let Some(section) = fresh.get("experiment_cache") {
+        match section.get("arena_reused").and_then(Json::as_f64) {
+            Some(v) if v >= 1.0 => {}
+            Some(_) => violations.push(
+                "experiment_cache: compiled arenas were re-built during warm runs \
+                 (arena-cache regression)"
+                    .to_string(),
+            ),
+            // A baseline/fresh pair predating the arena cache carries no field;
+            // only enforce once the fresh run reports it.
+            None => {}
+        }
+    }
+
+    // --- kernel behaviour: dense path chosen and at least break-even. ----------
+    if let Some(section) = fresh.get("experiment_kernel") {
+        match section.get("dense_chosen").and_then(Json::as_f64) {
+            Some(v) if v >= 1.0 => {}
+            Some(_) => violations.push(
+                "experiment_kernel: adaptive kernel no longer chooses the dense \
+                 representation for contiguous supports"
+                    .to_string(),
+            ),
+            None => violations
+                .push("experiment_kernel: fresh run is missing `dense_chosen`".to_string()),
+        }
+        match section.get("dense_speedup").and_then(Json::as_f64) {
+            Some(s) if s >= cfg.min_dense_speedup => {}
+            Some(s) => violations.push(format!(
+                "experiment_kernel: dense_speedup = {s:.2}x (required >= {:.2}x)",
+                cfg.min_dense_speedup
+            )),
+            None => violations
+                .push("experiment_kernel: fresh run is missing `dense_speedup`".to_string()),
+        }
+        // Latency fields ride the normal floored ratio check.
+        for field in ["min_first_tuple_s", "min_total_s"] {
+            let (Some(base), Some(new)) = (
+                number(baseline, "experiment_kernel", field),
+                number(fresh, "experiment_kernel", field),
+            ) else {
+                continue;
+            };
+            if new.max(base) < cfg.time_floor_s {
+                floored_timings += 1;
+                continue;
+            }
+            compared_timings += 1;
+            if let Some(ratio) = slowdown_violation(cfg, base, new) {
+                violations.push(format!(
+                    "experiment_kernel.{field}: {ratio:.2}x slowdown ({base:.4}s -> {new:.4}s, \
+                     tolerance {:.2}x)",
+                    cfg.tolerance
+                ));
+            }
         }
     }
 
@@ -247,6 +315,47 @@ mod tests {
         }"#);
         let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
         assert!(violations.iter().any(|v| v.contains("disappeared")));
+    }
+
+    #[test]
+    fn kernel_gate_checks_dense_path_and_arena_reuse() {
+        let with_kernel = |dense_chosen: u8, speedup: f64, reused: u8| {
+            doc(&format!(
+                r#"{{
+              "experiment_cache": {{"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001,
+                                    "cross_query_hits": 24, "arena_reused": {reused}}},
+              "experiment_kernel": {{"dense_chosen": {dense_chosen}, "dense_speedup": {speedup},
+                                     "min_first_tuple_s": 0.2, "min_total_s": 0.2}}
+            }}"#
+            ))
+        };
+        let base = with_kernel(1, 3.0, 1);
+        let (violations, _) = compare(&base, &with_kernel(1, 3.0, 1), &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        // Dense representation no longer chosen: fail.
+        let (violations, _) = compare(&base, &with_kernel(0, 3.0, 1), &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("dense")),
+            "{violations:?}"
+        );
+        // Dense slower than sparse: fail.
+        let (violations, _) = compare(&base, &with_kernel(1, 0.5, 1), &GateConfig::default());
+        assert!(violations.iter().any(|v| v.contains("dense_speedup")));
+        // Arena rebuilt during warm runs: fail.
+        let (violations, _) = compare(&base, &with_kernel(1, 3.0, 0), &GateConfig::default());
+        assert!(violations.iter().any(|v| v.contains("arena")));
+        // Kernel latency regression above the floor: fail.
+        let slow = doc(r#"{
+              "experiment_cache": {"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001,
+                                    "cross_query_hits": 24, "arena_reused": 1},
+              "experiment_kernel": {"dense_chosen": 1, "dense_speedup": 3.0,
+                                     "min_first_tuple_s": 0.9, "min_total_s": 0.2}
+            }"#);
+        let (violations, _) = compare(&base, &slow, &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("min_first_tuple_s")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,944 @@
+//! Flattened d-trees: an index-based arena representation of [`DTree`] with an
+//! iterative, allocation-light evaluator.
+//!
+//! [`DTree::distribution`] used to recurse through `Box` pointers, lift every
+//! intermediate distribution into the mixed sum type and re-extract it at the
+//! parent — three linear passes per node on top of the convolution itself. The
+//! arena fixes all three costs:
+//!
+//! * **layout** — nodes live in one post-order `Vec` (children before parents,
+//!   root last), so evaluation is a single forward loop with an explicit value
+//!   stack: no recursion, no pointer chasing;
+//! * **native sorts** — the value stack is typed ([`SemiringDist`] vs
+//!   [`MonoidDist`]), so semiring-only and monoid-only regions evaluate in their
+//!   native sort and values are lifted into the mixed type only where the tree
+//!   itself mixes sorts (the root of a [`DTree::Exclusive`] over conflicting
+//!   branches — which well-formed trees never produce);
+//! * **scratch reuse** — all convolutions run through
+//!   [`Dist::convolve_with_scratch`] against two shared pair buffers instead of
+//!   allocating a candidate buffer per node, and SUM/COUNT `⊕` nodes take the
+//!   adaptive dense path of [`pvc_prob::repr`];
+//! * **one-sided CDF early exit** — a `[θ]` node comparing a monoid subtree
+//!   against a constant with `θ ∈ {≤, <, ≥, >}` does not materialise the
+//!   subtree's full distribution: the comparison is folded *into* the subtree
+//!   walk, propagating a scalar `(P[· θ c], mass)` pair through MIN/MAX `⊕`, `⊗`
+//!   and `⊔` nodes (`P[min(A,B) ≥ c] = P[A ≥ c]·P[B ≥ c]`, Eq. 10 mixes
+//!   scalars, …) and falling back to a full evaluation plus a linear CDF scan
+//!   only where no decomposition applies (SUM/COUNT sums).
+//!
+//! Build an arena once per compile with [`DTreeArena::from_tree`]; the engine's
+//! [`CompilationCache`](crate::cache::CompilationCache) keeps arenas alongside the
+//! memoised distributions so repeated evaluations skip both compilation and
+//! flattening.
+//!
+//! # Empty sides of comparisons
+//!
+//! A comparison over a side whose distribution is **empty** (total mass 0 — e.g. a
+//! variable leaf with an empty distribution, or an exhausted `⊔` node) yields the
+//! **empty distribution**, not an error: convolution against an empty operand has
+//! no outcomes (Eq. 1 sums over nothing). Sort checking therefore only applies to
+//! non-empty sides; a `[θ]` node whose sides are non-empty and of different sorts
+//! reports [`DTreeError::MixedComparison`], exactly as the recursive evaluator
+//! did.
+
+use crate::node::{DTree, DTreeError};
+use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
+use pvc_expr::{Var, VarTable};
+use pvc_prob::{Dist, DistValue, MixedDist, MonoidDist, SemiringDist, PROB_EPS};
+
+/// One node of the flattened tree. Child fields are indices into the arena's
+/// post-order node vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ArenaNode {
+    /// Leaf: a random variable.
+    VarLeaf(Var),
+    /// Leaf: a semiring constant.
+    SConst(SemiringValue),
+    /// Leaf: a monoid constant.
+    MConst(MonoidValue),
+    /// `⊕` over semiring children.
+    SumS { left: u32, right: u32 },
+    /// `⊕` over semimodule children in the given monoid.
+    SumM { op: AggOp, left: u32, right: u32 },
+    /// `⊙` over semiring children.
+    Prod { left: u32, right: u32 },
+    /// `⊗` — scalar action of `scalar` on `value`.
+    Tensor { op: AggOp, scalar: u32, value: u32 },
+    /// `[θ]` — comparison of two independent children.
+    Cmp { theta: CmpOp, left: u32, right: u32 },
+    /// `⊔` — mutually exclusive split; branches live in the arena's branch table.
+    Exclusive {
+        var: Var,
+        branches_start: u32,
+        branches_len: u32,
+    },
+}
+
+/// Statically inferable sort of a node's distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Sort {
+    Semiring,
+    Monoid,
+    Unknown,
+}
+
+/// The threshold-fold plan attached to an eligible `[θ]` node: evaluate `child`
+/// through the scalar CDF walk with the effective comparison `theta` (already
+/// flipped if the constant was on the left) against `bound`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Fold {
+    theta: CmpOp,
+    bound: MonoidValue,
+    child: u32,
+}
+
+/// A decomposition tree flattened into a post-order arena (see the [module
+/// documentation](self)).
+///
+/// Construction ([`from_tree`](Self::from_tree)) is a single traversal; the arena
+/// is immutable afterwards and can be evaluated any number of times (and shared
+/// across threads — it contains no interior mutability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DTreeArena {
+    /// Post-order nodes; the root is the last entry.
+    nodes: Vec<ArenaNode>,
+    /// `(branch value, branch child root)` entries of all `⊔` nodes.
+    branches: Vec<(SemiringValue, u32)>,
+    /// Fold plan per node (`Some` only on eligible `[θ]` nodes).
+    folds: Vec<Option<Fold>>,
+    /// Statically inferred sort per node.
+    sorts: Vec<Sort>,
+}
+
+/// One step of the explicit traversal stack: visit a node's children first
+/// (`Expand`) or combine their already-computed values (`Emit`).
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Expand(u32),
+    Emit(u32),
+}
+
+/// A value on the evaluation stack: a distribution in its native sort.
+///
+/// `Empty` is the sort-less empty distribution (a `⊔` node with no surviving
+/// branches); `Mixed` only arises when a hand-built tree genuinely mixes sorts
+/// under one `⊔` node, where the recursive evaluator also produced a mixed
+/// distribution.
+#[derive(Debug, Clone)]
+enum Val {
+    S(SemiringDist),
+    M(MonoidDist),
+    Empty,
+    Mixed(MixedDist),
+}
+
+impl Val {
+    fn is_empty(&self) -> bool {
+        match self {
+            Val::S(d) => d.is_empty(),
+            Val::M(d) => d.is_empty(),
+            Val::Empty => true,
+            Val::Mixed(d) => d.is_empty(),
+        }
+    }
+
+    /// Extract a semiring distribution, with the recursive evaluator's rules: an
+    /// empty value of any sort extracts as the empty distribution; a non-empty
+    /// monoid or mixed-with-monoid value is a sort error.
+    fn into_semiring(self, ctx: &'static str) -> Result<SemiringDist, DTreeError> {
+        match self {
+            Val::S(d) => Ok(d),
+            Val::Empty => Ok(Dist::empty()),
+            Val::M(d) if d.is_empty() => Ok(Dist::empty()),
+            Val::M(_) => Err(DTreeError::ExpectedSemiring(ctx)),
+            Val::Mixed(d) => {
+                let mut out = Vec::with_capacity(d.support_size());
+                for (v, p) in d.iter() {
+                    match v {
+                        DistValue::S(s) => out.push((*s, p)),
+                        DistValue::M(_) => return Err(DTreeError::ExpectedSemiring(ctx)),
+                    }
+                }
+                Ok(Dist::from_pairs(out))
+            }
+        }
+    }
+
+    /// Extract a monoid distribution (dual of [`into_semiring`](Self::into_semiring)).
+    fn into_monoid(self, ctx: &'static str) -> Result<MonoidDist, DTreeError> {
+        match self {
+            Val::M(d) => Ok(d),
+            Val::Empty => Ok(Dist::empty()),
+            Val::S(d) if d.is_empty() => Ok(Dist::empty()),
+            Val::S(_) => Err(DTreeError::ExpectedMonoid(ctx)),
+            Val::Mixed(d) => {
+                let mut out = Vec::with_capacity(d.support_size());
+                for (v, p) in d.iter() {
+                    match v {
+                        DistValue::M(m) => out.push((*m, p)),
+                        DistValue::S(_) => return Err(DTreeError::ExpectedMonoid(ctx)),
+                    }
+                }
+                Ok(Dist::from_pairs(out))
+            }
+        }
+    }
+
+    /// Lift into the mixed sum type (the recursive evaluator's working type).
+    fn into_mixed(self) -> MixedDist {
+        match self {
+            Val::S(d) => d.map(|v| DistValue::S(*v)),
+            Val::M(d) => d.map(|v| DistValue::M(*v)),
+            Val::Empty => Dist::empty(),
+            Val::Mixed(d) => d,
+        }
+    }
+}
+
+/// Reusable buffers for one evaluation pass: the traversal stack, the typed value
+/// stack, and one convolution scratch buffer per sort. Nested evaluations (from
+/// threshold folds) share the buffers through base-offset discipline.
+#[derive(Default)]
+struct EvalScratch {
+    work: Vec<Phase>,
+    stack: Vec<Val>,
+    s_pairs: Vec<(SemiringValue, f64)>,
+    m_pairs: Vec<(MonoidValue, f64)>,
+}
+
+impl DTreeArena {
+    /// Flatten a [`DTree`] into post-order. One traversal; `O(nodes)`.
+    pub fn from_tree(tree: &DTree) -> DTreeArena {
+        let n = tree.num_nodes();
+        let mut arena = DTreeArena {
+            nodes: Vec::with_capacity(n),
+            branches: Vec::new(),
+            folds: Vec::with_capacity(n),
+            sorts: Vec::with_capacity(n),
+        };
+        let mut branch_scratch = Vec::new();
+        arena.push_tree(tree, &mut branch_scratch);
+        debug_assert!(branch_scratch.is_empty());
+        arena
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the arena holds no nodes (never produced by
+    /// [`from_tree`](Self::from_tree), which always pushes at least the root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (used for cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len()
+            * (std::mem::size_of::<ArenaNode>()
+                + std::mem::size_of::<Sort>()
+                + std::mem::size_of::<Option<Fold>>())
+            + self.branches.len() * std::mem::size_of::<(SemiringValue, u32)>()
+    }
+
+    fn push_tree(&mut self, tree: &DTree, branch_scratch: &mut Vec<(SemiringValue, u32)>) -> u32 {
+        match tree {
+            DTree::VarLeaf(v) => self.push_node(ArenaNode::VarLeaf(*v), Sort::Semiring),
+            DTree::SConst(s) => self.push_node(ArenaNode::SConst(*s), Sort::Semiring),
+            DTree::MConst(m) => self.push_node(ArenaNode::MConst(*m), Sort::Monoid),
+            DTree::SumS(a, b) => {
+                let left = self.push_tree(a, branch_scratch);
+                let right = self.push_tree(b, branch_scratch);
+                self.push_node(ArenaNode::SumS { left, right }, Sort::Semiring)
+            }
+            DTree::Prod(a, b) => {
+                let left = self.push_tree(a, branch_scratch);
+                let right = self.push_tree(b, branch_scratch);
+                self.push_node(ArenaNode::Prod { left, right }, Sort::Semiring)
+            }
+            DTree::SumM(op, a, b) => {
+                let left = self.push_tree(a, branch_scratch);
+                let right = self.push_tree(b, branch_scratch);
+                self.push_node(
+                    ArenaNode::SumM {
+                        op: *op,
+                        left,
+                        right,
+                    },
+                    Sort::Monoid,
+                )
+            }
+            DTree::Tensor(op, scalar, value) => {
+                let scalar = self.push_tree(scalar, branch_scratch);
+                let value = self.push_tree(value, branch_scratch);
+                self.push_node(
+                    ArenaNode::Tensor {
+                        op: *op,
+                        scalar,
+                        value,
+                    },
+                    Sort::Monoid,
+                )
+            }
+            DTree::Cmp(theta, a, b) => {
+                let left = self.push_tree(a, branch_scratch);
+                let right = self.push_tree(b, branch_scratch);
+                let idx = self.push_node(
+                    ArenaNode::Cmp {
+                        theta: *theta,
+                        left,
+                        right,
+                    },
+                    Sort::Semiring,
+                );
+                self.plan_fold(idx, *theta, left, right);
+                idx
+            }
+            DTree::Exclusive(var, branches) => {
+                // Branch entries accumulate in a shared scratch (inner Exclusive
+                // nodes drain their own region first), avoiding one temporary
+                // vector per ⊔ node.
+                let scratch_base = branch_scratch.len();
+                let mut sort = None;
+                for (value, child) in branches {
+                    let child_idx = self.push_tree(child, branch_scratch);
+                    let child_sort = self.sorts[child_idx as usize];
+                    sort = Some(match sort {
+                        None => child_sort,
+                        Some(s) if s == child_sort => s,
+                        Some(_) => Sort::Unknown,
+                    });
+                    branch_scratch.push((*value, child_idx));
+                }
+                let branches_start = self.branches.len() as u32;
+                let branches_len = (branch_scratch.len() - scratch_base) as u32;
+                self.branches.extend(branch_scratch.drain(scratch_base..));
+                self.push_node(
+                    ArenaNode::Exclusive {
+                        var: *var,
+                        branches_start,
+                        branches_len,
+                    },
+                    sort.unwrap_or(Sort::Unknown),
+                )
+            }
+        }
+    }
+
+    fn push_node(&mut self, node: ArenaNode, sort: Sort) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.folds.push(None);
+        self.sorts.push(sort);
+        idx
+    }
+
+    /// Attach a threshold-fold plan to a freshly pushed `[θ]` node when one side
+    /// is a monoid constant, the comparison is one-sided, and the other side is
+    /// statically monoid-sorted. The evaluator then never expands the node's
+    /// children: the non-constant subtree is walked by the scalar CDF recursion
+    /// instead.
+    fn plan_fold(&mut self, idx: u32, theta: CmpOp, left: u32, right: u32) {
+        if !matches!(theta, CmpOp::Le | CmpOp::Lt | CmpOp::Ge | CmpOp::Gt) {
+            return;
+        }
+        let (bound, child, eff_theta) =
+            match (self.nodes[left as usize], self.nodes[right as usize]) {
+                (_, ArenaNode::MConst(m)) => (m, left, theta),
+                // Constant on the left: `m θ α` ⇔ `α θ.flip() m`.
+                (ArenaNode::MConst(m), _) => (m, right, theta.flip()),
+                _ => return,
+            };
+        if self.sorts[child as usize] != Sort::Monoid {
+            return;
+        }
+        self.folds[idx as usize] = Some(Fold {
+            theta: eff_theta,
+            bound,
+            child,
+        });
+    }
+
+    /// Evaluate the whole arena and return the root distribution in the mixed sum
+    /// type (drop-in for the recursive `DTree::distribution`).
+    pub fn mixed_distribution(
+        &self,
+        table: &VarTable,
+        kind: SemiringKind,
+    ) -> Result<MixedDist, DTreeError> {
+        Ok(self.evaluate(table, kind)?.into_mixed())
+    }
+
+    /// Evaluate and extract the root as a semiring distribution.
+    pub fn semiring_distribution(
+        &self,
+        table: &VarTable,
+        kind: SemiringKind,
+    ) -> Result<SemiringDist, DTreeError> {
+        self.evaluate(table, kind)?.into_semiring("root")
+    }
+
+    /// Evaluate and extract the root as a monoid distribution.
+    pub fn monoid_distribution(
+        &self,
+        table: &VarTable,
+        kind: SemiringKind,
+    ) -> Result<MonoidDist, DTreeError> {
+        self.evaluate(table, kind)?.into_monoid("root")
+    }
+
+    fn evaluate(&self, table: &VarTable, kind: SemiringKind) -> Result<Val, DTreeError> {
+        let mut scratch = EvalScratch::default();
+        self.eval_from(self.nodes.len() as u32 - 1, table, kind, &mut scratch)
+    }
+
+    /// The iterative post-order evaluation of the subtree rooted at `root`: an
+    /// explicit traversal stack (`Expand` visits children first, `Emit` combines
+    /// their results) drives a typed value stack — no recursion through the tree.
+    /// A `[θ]` node with a fold plan never expands its children; it computes
+    /// through the scalar CDF walk of [`threshold`](Self::threshold) instead.
+    fn eval_from(
+        &self,
+        root: u32,
+        table: &VarTable,
+        kind: SemiringKind,
+        scratch: &mut EvalScratch,
+    ) -> Result<Val, DTreeError> {
+        let stack_base = scratch.stack.len();
+        let work_base = scratch.work.len();
+        scratch.work.push(Phase::Expand(root));
+        while scratch.work.len() > work_base {
+            let phase = scratch.work.pop().expect("work stack entry");
+            let i = match phase {
+                Phase::Expand(i) => {
+                    match self.nodes[i as usize] {
+                        // Leaves evaluate immediately.
+                        ArenaNode::VarLeaf(v) => {
+                            scratch.stack.push(Val::S(table.dist(v).clone()));
+                            continue;
+                        }
+                        ArenaNode::SConst(s) => {
+                            scratch.stack.push(Val::S(Dist::point(s)));
+                            continue;
+                        }
+                        ArenaNode::MConst(m) => {
+                            scratch.stack.push(Val::M(Dist::point(m)));
+                            continue;
+                        }
+                        // A folded comparison handles its own subtree.
+                        ArenaNode::Cmp { .. } if self.folds[i as usize].is_some() => {
+                            let fold = self.folds[i as usize].expect("checked fold");
+                            let (p_true, mass) = self.threshold(
+                                fold.child, fold.theta, fold.bound, table, kind, scratch,
+                            )?;
+                            scratch
+                                .stack
+                                .push(Val::S(comparison_dist(kind, p_true, mass)));
+                            continue;
+                        }
+                        ArenaNode::SumS { left, right }
+                        | ArenaNode::Prod { left, right }
+                        | ArenaNode::SumM { left, right, .. }
+                        | ArenaNode::Cmp { left, right, .. } => {
+                            scratch.work.push(Phase::Emit(i));
+                            scratch.work.push(Phase::Expand(right));
+                            scratch.work.push(Phase::Expand(left));
+                            continue;
+                        }
+                        ArenaNode::Tensor { scalar, value, .. } => {
+                            scratch.work.push(Phase::Emit(i));
+                            scratch.work.push(Phase::Expand(value));
+                            scratch.work.push(Phase::Expand(scalar));
+                            continue;
+                        }
+                        ArenaNode::Exclusive {
+                            branches_start,
+                            branches_len,
+                            ..
+                        } => {
+                            scratch.work.push(Phase::Emit(i));
+                            // Children are pushed in reverse so they evaluate (and
+                            // land on the value stack) in branch order.
+                            for k in (0..branches_len as usize).rev() {
+                                let (_, child) = self.branches[branches_start as usize + k];
+                                scratch.work.push(Phase::Expand(child));
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Phase::Emit(i) => i,
+            };
+            let value = match self.nodes[i as usize] {
+                ArenaNode::SumS { .. } => {
+                    let right = scratch.stack.pop().expect("⊕ right operand");
+                    let left = scratch.stack.pop().expect("⊕ left operand");
+                    let da = left.into_semiring("⊕(semiring)")?;
+                    let db = right.into_semiring("⊕(semiring)")?;
+                    Val::S(da.convolve_with_scratch(&db, |x, y| x.add(y), &mut scratch.s_pairs))
+                }
+                ArenaNode::Prod { .. } => {
+                    let right = scratch.stack.pop().expect("⊙ right operand");
+                    let left = scratch.stack.pop().expect("⊙ left operand");
+                    let da = left.into_semiring("⊙")?;
+                    let db = right.into_semiring("⊙")?;
+                    Val::S(da.convolve_with_scratch(&db, |x, y| x.mul(y), &mut scratch.s_pairs))
+                }
+                ArenaNode::SumM { op, .. } => {
+                    let right = scratch.stack.pop().expect("⊕ right operand");
+                    let left = scratch.stack.pop().expect("⊕ left operand");
+                    let da = left.into_monoid("⊕(semimodule)")?;
+                    let db = right.into_monoid("⊕(semimodule)")?;
+                    Val::M(match op {
+                        // SUM/COUNT: adaptive dense/sparse kernel.
+                        AggOp::Sum | AggOp::Count => {
+                            pvc_prob::repr::convolve_additive_with_scratch(
+                                &da,
+                                &db,
+                                &mut scratch.m_pairs,
+                            )
+                        }
+                        _ => da.convolve_with_scratch(
+                            &db,
+                            |x, y| op.combine(x, y),
+                            &mut scratch.m_pairs,
+                        ),
+                    })
+                }
+                ArenaNode::Tensor { op, .. } => {
+                    let value = scratch.stack.pop().expect("⊗ value operand");
+                    let scalar = scratch.stack.pop().expect("⊗ scalar operand");
+                    let ds = scalar.into_semiring("⊗ scalar")?;
+                    let dm = value.into_monoid("⊗ value")?;
+                    Val::M(ds.convolve_with_scratch(
+                        &dm,
+                        |s, m| op.scalar_action(s, m),
+                        &mut scratch.m_pairs,
+                    ))
+                }
+                ArenaNode::Cmp { theta, .. } => {
+                    let right = scratch.stack.pop().expect("[θ] right operand");
+                    let left = scratch.stack.pop().expect("[θ] left operand");
+                    self.compare(theta, left, right, kind, scratch)?
+                }
+                ArenaNode::Exclusive {
+                    var,
+                    branches_start,
+                    branches_len,
+                } => {
+                    let n = branches_len as usize;
+                    let vals = scratch.stack.split_off(scratch.stack.len() - n);
+                    let var_dist = table.dist(var);
+                    let mut acc = Val::Empty;
+                    for (k, val) in vals.into_iter().enumerate() {
+                        let (value, _) = &self.branches[branches_start as usize + k];
+                        let weight = var_dist.prob(value);
+                        if weight <= 0.0 {
+                            continue;
+                        }
+                        acc = mix_scaled(acc, val, weight);
+                    }
+                    acc
+                }
+                ArenaNode::VarLeaf(_) | ArenaNode::SConst(_) | ArenaNode::MConst(_) => {
+                    unreachable!("leaves are evaluated during Expand")
+                }
+            };
+            scratch.stack.push(value);
+        }
+        debug_assert_eq!(
+            scratch.stack.len(),
+            stack_base + 1,
+            "post-order stack imbalance"
+        );
+        Ok(scratch.stack.pop().expect("root value"))
+    }
+
+    /// A `[θ]` node without a fold plan: both children fully evaluated. Sorts are
+    /// detected from the values (mirroring the recursive evaluator's
+    /// support-peeking), empty sides yield the empty distribution, and non-empty
+    /// sides of different sorts are a [`DTreeError::MixedComparison`].
+    fn compare(
+        &self,
+        theta: CmpOp,
+        left: Val,
+        right: Val,
+        kind: SemiringKind,
+        scratch: &mut EvalScratch,
+    ) -> Result<Val, DTreeError> {
+        if left.is_empty() || right.is_empty() {
+            return Ok(Val::Empty);
+        }
+        let is_semiring = |v: &Val| match v {
+            Val::S(_) => true,
+            Val::M(_) => false,
+            Val::Empty => unreachable!("empty sides handled above"),
+            Val::Mixed(d) => matches!(d.support().next(), Some(DistValue::S(_))),
+        };
+        match (is_semiring(&left), is_semiring(&right)) {
+            (true, true) => {
+                let da = left.into_semiring("[θ]")?;
+                let db = right.into_semiring("[θ]")?;
+                Ok(Val::S(da.convolve_with_scratch(
+                    &db,
+                    |x, y| {
+                        if theta.eval(x, y) {
+                            kind.one()
+                        } else {
+                            kind.zero()
+                        }
+                    },
+                    &mut scratch.s_pairs,
+                )))
+            }
+            (false, false) => {
+                let da = left.into_monoid("[θ]")?;
+                let db = right.into_monoid("[θ]")?;
+                Ok(Val::S(da.convolve_with_scratch(
+                    &db,
+                    |x, y| {
+                        if theta.eval(x, y) {
+                            kind.one()
+                        } else {
+                            kind.zero()
+                        }
+                    },
+                    &mut scratch.s_pairs,
+                )))
+            }
+            _ => Err(DTreeError::MixedComparison),
+        }
+    }
+
+    /// The scalar CDF walk: `(P[subtree θ bound], total mass)` of the monoid
+    /// subtree rooted at `idx`, without materialising its distribution where the
+    /// comparison decomposes:
+    ///
+    /// * `min(A, B) θ c` for upward-closed `θ` (≥, >) is `A θ c ∧ B θ c` — the
+    ///   probabilities multiply; downward `θ` (≤, <) goes through the complement.
+    ///   `max` is dual.
+    /// * `Φ ⊗ α` under MIN/MAX contributes `α`'s scalar when the scalar is
+    ///   non-zero and the monoid identity otherwise — only the (cheap) scalar
+    ///   side's distribution is needed.
+    /// * `⊔` mixes the branch scalars with the branch weights.
+    /// * Everything else (SUM/COUNT sums, leaves) evaluates its subtree fully and
+    ///   accumulates the comparison as a linear scan.
+    fn threshold(
+        &self,
+        idx: u32,
+        theta: CmpOp,
+        bound: MonoidValue,
+        table: &VarTable,
+        kind: SemiringKind,
+        scratch: &mut EvalScratch,
+    ) -> Result<(f64, f64), DTreeError> {
+        match self.nodes[idx as usize] {
+            ArenaNode::MConst(m) => Ok((if theta.eval(&m, &bound) { 1.0 } else { 0.0 }, 1.0)),
+            ArenaNode::SumM { op, left, right } => match (op, theta) {
+                // The comparison distributes over the lattice operation: both
+                // sides must satisfy it independently.
+                (AggOp::Min, CmpOp::Ge | CmpOp::Gt) | (AggOp::Max, CmpOp::Le | CmpOp::Lt) => {
+                    let (pl, ml) = self.threshold(left, theta, bound, table, kind, scratch)?;
+                    let (pr, mr) = self.threshold(right, theta, bound, table, kind, scratch)?;
+                    Ok((pl * pr, ml * mr))
+                }
+                // Complement of the distributing direction.
+                (AggOp::Min, CmpOp::Le | CmpOp::Lt) | (AggOp::Max, CmpOp::Ge | CmpOp::Gt) => {
+                    let (p_neg, mass) =
+                        self.threshold(idx, theta.negate(), bound, table, kind, scratch)?;
+                    Ok((mass - p_neg, mass))
+                }
+                _ => self.threshold_by_scan(idx, theta, bound, table, kind, scratch),
+            },
+            ArenaNode::Tensor { op, scalar, value } if matches!(op, AggOp::Min | AggOp::Max) => {
+                // s ⊗ m is m when s ≠ 0_S and the identity otherwise, so only the
+                // scalar's zero-mass matters.
+                let scalar_val = self.eval_from(scalar, table, kind, scratch)?;
+                let ds = scalar_val.into_semiring("⊗ scalar")?;
+                let mass_s = ds.total_mass();
+                let p_zero: f64 = ds.iter().filter(|(s, _)| s.is_zero()).map(|(_, p)| p).sum();
+                let (pv, mv) = self.threshold(value, theta, bound, table, kind, scratch)?;
+                let id_true = theta.eval(&op.identity(), &bound);
+                let p = p_zero * if id_true { mv } else { 0.0 } + (mass_s - p_zero) * pv;
+                Ok((p, mass_s * mv))
+            }
+            ArenaNode::Exclusive {
+                var,
+                branches_start,
+                branches_len,
+            } => {
+                let var_dist = table.dist(var);
+                let mut p = 0.0;
+                let mut mass = 0.0;
+                for k in 0..branches_len as usize {
+                    let (value, child) = self.branches[branches_start as usize + k];
+                    let weight = var_dist.prob(&value);
+                    if weight <= 0.0 {
+                        continue;
+                    }
+                    let (pb, mb) = self.threshold(child, theta, bound, table, kind, scratch)?;
+                    p += weight * pb;
+                    mass += weight * mb;
+                }
+                Ok((p, mass))
+            }
+            _ => self.threshold_by_scan(idx, theta, bound, table, kind, scratch),
+        }
+    }
+
+    /// Threshold fallback: evaluate the subtree fully, then accumulate the scalar
+    /// CDF with one linear scan (still cheaper than convolving against the
+    /// constant and materialising the two-point comparison distribution).
+    fn threshold_by_scan(
+        &self,
+        idx: u32,
+        theta: CmpOp,
+        bound: MonoidValue,
+        table: &VarTable,
+        kind: SemiringKind,
+        scratch: &mut EvalScratch,
+    ) -> Result<(f64, f64), DTreeError> {
+        let val = self.eval_from(idx, table, kind, scratch)?;
+        let d = val.into_monoid("[θ]")?;
+        let mut p = 0.0;
+        let mut mass = 0.0;
+        for (m, pm) in d.iter() {
+            mass += pm;
+            if theta.eval(m, &bound) {
+                p += pm;
+            }
+        }
+        Ok((p, mass))
+    }
+}
+
+/// The two-point comparison distribution `{(1_S, p_true), (0_S, mass − p_true)}`
+/// with entries at or below [`PROB_EPS`] dropped (the same rule the convolution
+/// kernel applies).
+fn comparison_dist(kind: SemiringKind, p_true: f64, mass: f64) -> SemiringDist {
+    let p_false = mass - p_true;
+    let mut entries = Vec::with_capacity(2);
+    if p_false > PROB_EPS {
+        entries.push((kind.zero(), p_false));
+    }
+    if p_true > PROB_EPS {
+        entries.push((kind.one(), p_true));
+    }
+    debug_assert!(kind.zero() < kind.one());
+    Dist::from_sorted_unique(entries)
+}
+
+/// Mix `next`, scaled by `weight`, into the accumulator, staying in the native
+/// sort while both sides agree and widening to the mixed sum type only when a
+/// `⊔` node genuinely mixes sorts.
+fn mix_scaled(acc: Val, next: Val, weight: f64) -> Val {
+    let scaled = match next {
+        Val::S(d) => Val::S(d.scale(weight)),
+        Val::M(d) => Val::M(d.scale(weight)),
+        Val::Empty => Val::Empty,
+        Val::Mixed(d) => Val::Mixed(d.scale(weight)),
+    };
+    match (acc, scaled) {
+        (acc, next) if next.is_empty() => acc,
+        (acc, next) if acc.is_empty() => next,
+        (Val::S(a), Val::S(b)) => Val::S(a.mix(&b)),
+        (Val::M(a), Val::M(b)) => Val::M(a.mix(&b)),
+        (a, b) => Val::Mixed(a.into_mixed().mix(&b.into_mixed())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::MonoidValue::Fin;
+
+    fn table_abc(pa: f64, pb: f64, pc: f64) -> (VarTable, Var, Var, Var) {
+        let mut vt = VarTable::new();
+        let a = vt.boolean("a", pa);
+        let b = vt.boolean("b", pb);
+        let c = vt.boolean("c", pc);
+        (vt, a, b, c)
+    }
+
+    fn min_tensor(v: Var, m: i64) -> DTree {
+        DTree::Tensor(
+            AggOp::Min,
+            Box::new(DTree::VarLeaf(v)),
+            Box::new(DTree::MConst(Fin(m))),
+        )
+    }
+
+    #[test]
+    fn arena_matches_recursive_shape() {
+        let (_, a, b, _) = table_abc(0.5, 0.5, 0.5);
+        let tree = DTree::SumS(
+            Box::new(DTree::Prod(
+                Box::new(DTree::VarLeaf(a)),
+                Box::new(DTree::VarLeaf(b)),
+            )),
+            Box::new(DTree::SConst(SemiringValue::Bool(false))),
+        );
+        let arena = DTreeArena::from_tree(&tree);
+        assert_eq!(arena.len(), tree.num_nodes());
+        assert!(!arena.is_empty());
+        assert!(arena.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn arena_evaluates_basic_nodes() {
+        let (vt, a, b, _) = table_abc(0.3, 0.5, 0.5);
+        let tree = DTree::Prod(Box::new(DTree::VarLeaf(a)), Box::new(DTree::VarLeaf(b)));
+        let arena = DTreeArena::from_tree(&tree);
+        let d = arena
+            .semiring_distribution(&vt, SemiringKind::Bool)
+            .unwrap();
+        assert!((d.prob(&SemiringValue::Bool(true)) - 0.15).abs() < 1e-12);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn threshold_fold_matches_full_evaluation() {
+        // [x⊗10 +min y⊗20 θ c] for every one-sided θ and several bounds: the
+        // folded scalar walk must agree with a full evaluation through an
+        // Eq-comparison tree (which never folds).
+        let (vt, x, y, _) = table_abc(0.35, 0.8, 0.5);
+        for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt] {
+            for bound in [0, 10, 15, 20, 25] {
+                let alpha = DTree::SumM(
+                    AggOp::Min,
+                    Box::new(min_tensor(x, 10)),
+                    Box::new(min_tensor(y, 20)),
+                );
+                let tree = DTree::Cmp(theta, Box::new(alpha), Box::new(DTree::MConst(Fin(bound))));
+                let arena = DTreeArena::from_tree(&tree);
+                // The fold plan must be armed on the root.
+                assert!(arena.folds.last().unwrap().is_some(), "{theta:?} {bound}");
+                let d = arena
+                    .semiring_distribution(&vt, SemiringKind::Bool)
+                    .unwrap();
+                // Reference: P[min θ bound] by direct enumeration of the 4 worlds.
+                let mut expected = 0.0;
+                for (xv, px) in [(true, 0.35), (false, 0.65)] {
+                    for (yv, py) in [(true, 0.8), (false, 0.2)] {
+                        let mut m = MonoidValue::PosInf;
+                        if xv {
+                            m = m.min(Fin(10));
+                        }
+                        if yv {
+                            m = m.min(Fin(20));
+                        }
+                        if theta.eval(&m, &Fin(bound)) {
+                            expected += px * py;
+                        }
+                    }
+                }
+                assert!(
+                    (d.prob(&SemiringValue::Bool(true)) - expected).abs() < 1e-12,
+                    "{theta:?} {bound}: got {}, expected {expected}",
+                    d.prob(&SemiringValue::Bool(true))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_on_left_flips_the_fold() {
+        let (vt, x, _, _) = table_abc(0.4, 0.5, 0.5);
+        // [15 ≥ x⊗10] ⇔ [x⊗10 ≤ 15]: true iff x present (min 10) — P = 0.4?
+        // No: x absent gives +∞ which is not ≤ 15, so P[true] = 0.4.
+        let tree = DTree::Cmp(
+            CmpOp::Ge,
+            Box::new(DTree::MConst(Fin(15))),
+            Box::new(min_tensor(x, 10)),
+        );
+        let arena = DTreeArena::from_tree(&tree);
+        assert!(arena.folds.last().unwrap().is_some());
+        let d = arena
+            .semiring_distribution(&vt, SemiringKind::Bool)
+            .unwrap();
+        assert!((d.prob(&SemiringValue::Bool(true)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_comparisons_do_not_fold() {
+        let (_, x, _, _) = table_abc(0.4, 0.5, 0.5);
+        let tree = DTree::Cmp(
+            CmpOp::Eq,
+            Box::new(min_tensor(x, 10)),
+            Box::new(DTree::MConst(Fin(10))),
+        );
+        let arena = DTreeArena::from_tree(&tree);
+        assert!(arena.folds.last().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_sides_yield_empty_distributions() {
+        // A ⊔ node with no branches has an empty (sort-unknown) distribution;
+        // comparing it against anything yields the empty distribution, per the
+        // documented contract.
+        let (vt, a, _, _) = table_abc(0.4, 0.5, 0.5);
+        let empty = DTree::Exclusive(a, vec![]);
+        let tree = DTree::Cmp(CmpOp::Eq, Box::new(empty), Box::new(DTree::VarLeaf(a)));
+        let d = tree.distribution(&vt, SemiringKind::Bool).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn malformed_sorts_still_error() {
+        let (vt, a, _, _) = table_abc(0.3, 0.5, 0.5);
+        let bad = DTree::Prod(Box::new(DTree::MConst(Fin(1))), Box::new(DTree::VarLeaf(a)));
+        let arena = DTreeArena::from_tree(&bad);
+        assert!(matches!(
+            arena.mixed_distribution(&vt, SemiringKind::Bool),
+            Err(DTreeError::ExpectedSemiring(_))
+        ));
+        let bad = DTree::Cmp(
+            CmpOp::Le,
+            Box::new(DTree::MConst(Fin(1))),
+            Box::new(DTree::VarLeaf(a)),
+        );
+        // Constant on the left arms a fold, but the right side is semiring-sorted,
+        // so the fold is refused and the mixed comparison reports the usual error.
+        let arena = DTreeArena::from_tree(&bad);
+        assert!(arena.folds.last().unwrap().is_none());
+        assert_eq!(
+            arena.mixed_distribution(&vt, SemiringKind::Bool),
+            Err(DTreeError::MixedComparison)
+        );
+    }
+
+    #[test]
+    fn sum_comparisons_use_the_scan_fallback() {
+        // COUNT sums do not decompose; the fold must still agree with the
+        // recursive evaluation through the scan fallback.
+        let (vt, a, b, c) = table_abc(0.5, 0.25, 0.75);
+        let count = |v| {
+            DTree::Tensor(
+                AggOp::Count,
+                Box::new(DTree::VarLeaf(v)),
+                Box::new(DTree::MConst(Fin(1))),
+            )
+        };
+        let alpha = DTree::SumM(
+            AggOp::Count,
+            Box::new(DTree::SumM(
+                AggOp::Count,
+                Box::new(count(a)),
+                Box::new(count(b)),
+            )),
+            Box::new(count(c)),
+        );
+        let tree = DTree::Cmp(CmpOp::Ge, Box::new(alpha), Box::new(DTree::MConst(Fin(2))));
+        let arena = DTreeArena::from_tree(&tree);
+        assert!(arena.folds.last().unwrap().is_some());
+        let d = arena
+            .semiring_distribution(&vt, SemiringKind::Bool)
+            .unwrap();
+        // P[count >= 2] by enumeration: worlds with at least two of {a,b,c}.
+        let (pa, pb, pc) = (0.5, 0.25, 0.75);
+        let expected =
+            pa * pb * pc + pa * pb * (1.0 - pc) + pa * (1.0 - pb) * pc + (1.0 - pa) * pb * pc;
+        assert!((d.prob(&SemiringValue::Bool(true)) - expected).abs() < 1e-12);
+    }
+}

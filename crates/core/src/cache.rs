@@ -32,6 +32,7 @@
 //! variable distributions change, and must bypass it when compilation is made
 //! observably fallible (node budgets) — the engine in `pvc-db` does both.
 
+use crate::arena::DTreeArena;
 use crate::compile::{BudgetExceeded, CompileOptions, Compiler};
 use crate::node::DTreeError;
 use pvc_algebra::{AggOp, SemiringKind};
@@ -41,12 +42,15 @@ use pvc_expr::{SemimoduleExpr, SemiringExpr, VarSet, VarTable};
 use pvc_prob::{MonoidDist, SemiringDist};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-/// Size bounds for the [`CompilationCache`]. Each artifact map (semiring /
-/// aggregate) enforces both bounds independently; the least-recently-used entry is
-/// evicted first. At least one entry is always retained, so a single oversized
-/// artifact cannot render the cache useless.
+/// Size bounds for the [`CompilationCache`]. **Each of the four artifact maps**
+/// (semiring distributions, aggregate distributions, semiring arenas, aggregate
+/// arenas) enforces both bounds independently — the worst-case total footprint is
+/// therefore `4 × max_bytes` / `4 × max_entries`; size a memory budget
+/// accordingly. The least-recently-used entry of a map is evicted first, and at
+/// least one entry is always retained per map, so a single oversized artifact
+/// cannot render the cache useless.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Maximum number of entries per artifact map.
@@ -76,6 +80,11 @@ pub struct CacheCounters {
     pub cross_scope_hits: u64,
     /// Entries evicted by the LRU bounds.
     pub evictions: u64,
+    /// Compiled-arena lookups answered from the cache (a hit skips both d-tree
+    /// compilation and flattening; only the arena evaluation runs).
+    pub arena_hits: u64,
+    /// Compiled-arena lookups that had to compile.
+    pub arena_misses: u64,
 }
 
 /// A doubly-linked LRU map from `u32` canonical ids to artifacts.
@@ -249,6 +258,13 @@ pub struct CompilationCache {
     config: CacheConfig,
     semiring: Lru<SemiringDist>,
     aggregate: Lru<MonoidDist>,
+    /// Compiled, flattened d-trees ([`DTreeArena`]) for semiring expressions.
+    /// Kept alongside the distributions so that a distribution-cache miss (or a
+    /// confidence-only evaluation after eviction) reuses the compiled artifact
+    /// and only re-runs the cheap arena evaluation.
+    sem_arenas: Lru<Arc<DTreeArena>>,
+    /// Compiled arenas for semimodule (aggregate) expressions.
+    agg_arenas: Lru<Arc<DTreeArena>>,
     counters: CacheCounters,
 }
 
@@ -265,6 +281,8 @@ impl CompilationCache {
             config,
             semiring: Lru::new(),
             aggregate: Lru::new(),
+            sem_arenas: Lru::new(),
+            agg_arenas: Lru::new(),
             counters: CacheCounters::default(),
         }
     }
@@ -289,9 +307,17 @@ impl CompilationCache {
         self.aggregate.len()
     }
 
-    /// Approximate payload bytes across both artifact maps.
+    /// Number of cached compiled arenas (semiring + aggregate).
+    pub fn arena_entries(&self) -> usize {
+        self.sem_arenas.len() + self.agg_arenas.len()
+    }
+
+    /// Approximate payload bytes across all artifact maps.
     pub fn bytes(&self) -> usize {
-        self.semiring.bytes() + self.aggregate.bytes()
+        self.semiring.bytes()
+            + self.aggregate.bytes()
+            + self.sem_arenas.bytes()
+            + self.agg_arenas.bytes()
     }
 
     /// Drop every entry and reset the counters (used when the underlying variable
@@ -299,7 +325,53 @@ impl CompilationCache {
     pub fn clear(&mut self) {
         self.semiring.clear();
         self.aggregate.clear();
+        self.sem_arenas.clear();
+        self.agg_arenas.clear();
         self.counters = CacheCounters::default();
+    }
+
+    /// Cached compiled arena for a semiring expression, promoting the entry.
+    pub fn get_semiring_arena(&mut self, id: ExprId) -> Option<Arc<DTreeArena>> {
+        match self.sem_arenas.get(id.0) {
+            Some((a, _)) => {
+                self.counters.arena_hits += 1;
+                Some(Arc::clone(a))
+            }
+            None => {
+                self.counters.arena_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert the compiled arena of a semiring expression.
+    pub fn insert_semiring_arena(&mut self, id: ExprId, scope: u64, arena: &Arc<DTreeArena>) {
+        let bytes = arena.approx_bytes();
+        self.counters.evictions +=
+            self.sem_arenas
+                .insert(id.0, Arc::clone(arena), bytes, scope, &self.config);
+    }
+
+    /// Cached compiled arena for a semimodule expression, promoting the entry.
+    pub fn get_aggregate_arena(&mut self, id: AggExprId) -> Option<Arc<DTreeArena>> {
+        match self.agg_arenas.get(id.0) {
+            Some((a, _)) => {
+                self.counters.arena_hits += 1;
+                Some(Arc::clone(a))
+            }
+            None => {
+                self.counters.arena_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert the compiled arena of a semimodule expression.
+    pub fn insert_aggregate_arena(&mut self, id: AggExprId, scope: u64, arena: &Arc<DTreeArena>) {
+        let bytes = arena.approx_bytes();
+        self.counters.evictions +=
+            self.agg_arenas
+                .insert(id.0, Arc::clone(arena), bytes, scope, &self.config);
     }
 
     /// Cached distribution of a semiring expression, promoting the entry. `scope`
@@ -519,9 +591,20 @@ impl<'a> CachedEvaluator<'a> {
                 _ => {}
             }
         }
-        let mut compiler = Compiler::with_options(self.vars, self.kind, self.options.clone());
-        let tree = compiler.compile_semiring_id(self.interner, id)?;
-        Ok(tree.semiring_distribution(self.vars, self.kind)?)
+        // No independent split: get-or-compile the flattened d-tree, then run the
+        // (cheap) arena evaluation.
+        let arena = match self.cache.get_semiring_arena(id) {
+            Some(a) => a,
+            None => {
+                let mut compiler =
+                    Compiler::with_options(self.vars, self.kind, self.options.clone());
+                let tree = compiler.compile_semiring_id(self.interner, id)?;
+                let arena = Arc::new(DTreeArena::from_tree(&tree));
+                self.cache.insert_semiring_arena(id, self.scope, &arena);
+                arena
+            }
+        };
+        Ok(arena.semiring_distribution(self.vars, self.kind)?)
     }
 
     fn compute_aggregate(&mut self, id: AggExprId) -> Result<MonoidDist, EvalError> {
@@ -548,9 +631,18 @@ impl<'a> CachedEvaluator<'a> {
                 return Ok(acc.expect("at least one component"));
             }
         }
-        let mut compiler = Compiler::with_options(self.vars, self.kind, self.options.clone());
-        let tree = compiler.compile_semimodule_id(self.interner, id)?;
-        Ok(tree.monoid_distribution(self.vars, self.kind)?)
+        let arena = match self.cache.get_aggregate_arena(id) {
+            Some(a) => a,
+            None => {
+                let mut compiler =
+                    Compiler::with_options(self.vars, self.kind, self.options.clone());
+                let tree = compiler.compile_semimodule_id(self.interner, id)?;
+                let arena = Arc::new(DTreeArena::from_tree(&tree));
+                self.cache.insert_aggregate_arena(id, self.scope, &arena);
+                arena
+            }
+        };
+        Ok(arena.monoid_distribution(self.vars, self.kind)?)
     }
 
     /// Split children into groups of pairwise variable-disjoint sub-expressions
@@ -769,12 +861,23 @@ impl SharedArtifacts {
                 return Ok(acc.expect("at least one group"));
             }
         }
-        // No further split: materialise the canonical tree under the lock, then
-        // compile it with no lock held.
-        let expr = self.interner().resolve(id);
-        let mut compiler = Compiler::with_options(vars, kind, options.clone());
-        let tree = compiler.compile_semiring(&expr)?;
-        Ok(tree.semiring_distribution(vars, kind)?)
+        // No further split: reuse the cached compiled arena if one exists;
+        // otherwise materialise the canonical tree under the interner lock, then
+        // compile and flatten it with no lock held. The lookup result is bound
+        // first so its guard drops before the miss path re-locks the cache.
+        let cached = self.cache().get_semiring_arena(id);
+        let arena = match cached {
+            Some(a) => a,
+            None => {
+                let expr = self.interner().resolve(id);
+                let mut compiler = Compiler::with_options(vars, kind, options.clone());
+                let tree = compiler.compile_semiring(&expr)?;
+                let arena = Arc::new(DTreeArena::from_tree(&tree));
+                self.cache().insert_semiring_arena(id, scope, &arena);
+                arena
+            }
+        };
+        Ok(arena.semiring_distribution(vars, kind)?)
     }
 
     fn compute_aggregate(
@@ -822,10 +925,19 @@ impl SharedArtifacts {
             }
             return Ok(acc.expect("at least one component"));
         }
-        let expr = self.interner().resolve_semimodule(id);
-        let mut compiler = Compiler::with_options(vars, kind, options.clone());
-        let tree = compiler.compile_semimodule(&expr)?;
-        Ok(tree.monoid_distribution(vars, kind)?)
+        let cached = self.cache().get_aggregate_arena(id);
+        let arena = match cached {
+            Some(a) => a,
+            None => {
+                let expr = self.interner().resolve_semimodule(id);
+                let mut compiler = Compiler::with_options(vars, kind, options.clone());
+                let tree = compiler.compile_semimodule(&expr)?;
+                let arena = Arc::new(DTreeArena::from_tree(&tree));
+                self.cache().insert_aggregate_arena(id, scope, &arena);
+                arena
+            }
+        };
+        Ok(arena.monoid_distribution(vars, kind)?)
     }
 
     /// Counters since the last clear.
@@ -848,7 +960,12 @@ impl SharedArtifacts {
         self.cache().aggregate_entries()
     }
 
-    /// Approximate payload bytes across both artifact maps.
+    /// Number of cached compiled arenas (semiring + aggregate).
+    pub fn arena_entries(&self) -> usize {
+        self.cache().arena_entries()
+    }
+
+    /// Approximate payload bytes across all artifact maps.
     pub fn bytes(&self) -> usize {
         self.cache().bytes()
     }

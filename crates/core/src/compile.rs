@@ -22,10 +22,9 @@
 use crate::node::DTree;
 use crate::prune::prune_conditional;
 use pvc_algebra::SemiringKind;
-use pvc_expr::factor::{common_factor_vars, divide_by_vars, factor_sum};
-use pvc_expr::independence::group_by_independence;
+use pvc_expr::factor::{common_factor_vars_of, divide_by_vars, factor_sum};
+use pvc_expr::independence::components_of_occurrences_with;
 use pvc_expr::{SemimoduleExpr, SemiringExpr, SmTerm, Var, VarSet, VarTable};
-use std::collections::BTreeMap;
 
 /// Options controlling which decomposition rules the compiler may use.
 ///
@@ -139,6 +138,16 @@ pub struct Compiler<'a> {
     options: CompileOptions,
     stats: CompileStats,
     nodes_produced: usize,
+    /// Scratch for occurrence collection during `⊔`-variable choice (reused across
+    /// the tens of thousands of Shannon expansions a hard compilation performs).
+    occ_buf: Vec<Var>,
+    /// Per-variable occurrence counters, indexed by `Var` id; entries touched by a
+    /// choice are reset afterwards, so the vector stays allocated once.
+    occ_counts: Vec<u32>,
+    /// First-seen table for independence splitting
+    /// ([`components_of_occurrences_with`]), likewise allocated once and reset
+    /// per use.
+    first_seen: Vec<usize>,
 }
 
 impl<'a> Compiler<'a> {
@@ -155,6 +164,9 @@ impl<'a> Compiler<'a> {
             options,
             stats: CompileStats::default(),
             nodes_produced: 0,
+            occ_buf: Vec::new(),
+            occ_counts: vec![0; table.len()],
+            first_seen: vec![usize::MAX; table.len()],
         }
     }
 
@@ -261,12 +273,18 @@ impl<'a> Compiler<'a> {
             return self.compile_semiring_inner(&children[0]);
         }
         if self.options.independence {
-            let groups = group_by_independence(children.to_vec(), |c| c.vars());
-            if groups.len() > 1 {
-                self.stats.independent_sums += groups.len() - 1;
-                let mut trees = Vec::with_capacity(groups.len());
-                for g in groups {
-                    trees.push(self.compile_sum(&g)?);
+            // Components are computed over borrowed variable occurrences; children
+            // are only cloned when an actual split happens (the common no-split case
+            // used to deep-clone the whole child list every recursion level).
+            let components =
+                self.split_components(children.len(), |i, buf| children[i].collect_vars(buf));
+            if components.len() > 1 {
+                self.stats.independent_sums += components.len() - 1;
+                let mut trees = Vec::with_capacity(components.len());
+                for comp in &components {
+                    let group: Vec<SemiringExpr> =
+                        comp.iter().map(|&i| children[i].clone()).collect();
+                    trees.push(self.compile_sum(&group)?);
                 }
                 return Ok(fold_binary(trees, |a, b| {
                     DTree::SumS(Box::new(a), Box::new(b))
@@ -306,12 +324,15 @@ impl<'a> Compiler<'a> {
             return self.compile_semiring_inner(&children[0]);
         }
         if self.options.independence {
-            let groups = group_by_independence(children.to_vec(), |c| c.vars());
-            if groups.len() > 1 {
-                self.stats.independent_products += groups.len() - 1;
-                let mut trees = Vec::with_capacity(groups.len());
-                for g in groups {
-                    trees.push(self.compile_product(&g)?);
+            let components =
+                self.split_components(children.len(), |i, buf| children[i].collect_vars(buf));
+            if components.len() > 1 {
+                self.stats.independent_products += components.len() - 1;
+                let mut trees = Vec::with_capacity(components.len());
+                for comp in &components {
+                    let group: Vec<SemiringExpr> =
+                        comp.iter().map(|&i| children[i].clone()).collect();
+                    trees.push(self.compile_product(&group)?);
                 }
                 return Ok(fold_binary(trees, |a, b| {
                     DTree::Prod(Box::new(a), Box::new(b))
@@ -345,13 +366,20 @@ impl<'a> Compiler<'a> {
         }
         let op = expr.op;
         // Rule 2: split the +op sum by independence of the terms' coefficients.
+        // Variable sets are computed over borrowed terms; the term list is only
+        // cloned (piecewise) when a split actually happens.
         if self.options.independence && expr.terms.len() > 1 {
-            let groups = group_by_independence(expr.terms.clone(), |t| t.vars());
-            if groups.len() > 1 {
-                self.stats.independent_sums += groups.len() - 1;
-                let mut trees = Vec::with_capacity(groups.len());
-                for terms in groups {
-                    let sub = SemimoduleExpr { op, terms };
+            let components = self.split_components(expr.terms.len(), |i, buf| {
+                expr.terms[i].coeff.collect_vars(buf)
+            });
+            if components.len() > 1 {
+                self.stats.independent_sums += components.len() - 1;
+                let mut trees = Vec::with_capacity(components.len());
+                for comp in &components {
+                    let sub = SemimoduleExpr {
+                        op,
+                        terms: comp.iter().map(|&i| expr.terms[i].clone()).collect(),
+                    };
                     trees.push(self.compile_semimodule_inner(&sub)?);
                 }
                 return Ok(fold_binary(trees, |a, b| {
@@ -380,8 +408,7 @@ impl<'a> Compiler<'a> {
         // Rule 3/4 combined: pull a semiring factor common to every term out of the
         // sum, producing Φ ⊗ (Σ quotients).
         if self.options.factoring {
-            let coeffs: Vec<SemiringExpr> = expr.terms.iter().map(|t| t.coeff.clone()).collect();
-            let common = common_factor_vars(&coeffs);
+            let common = common_factor_vars_of(expr.terms.iter().map(|t| &t.coeff));
             if !common.is_empty() {
                 let quotient = SemimoduleExpr {
                     op,
@@ -414,25 +441,64 @@ impl<'a> Compiler<'a> {
         self.shannon_semimodule(expr)
     }
 
-    /// Choose the variable with the most occurrences (ties broken by id, for
-    /// determinism) — the heuristic used in the paper's implementation.
-    fn choose_split_var(occurrences: &BTreeMap<Var, usize>) -> Var {
-        *occurrences
-            .iter()
-            .max_by_key(|(v, n)| (**n, std::cmp::Reverse(v.0)))
-            .map(|(v, _)| v)
+    /// Partition `n` items into independence components of the variable
+    /// co-occurrence graph. `collect(i, buf)` pushes item `i`'s variable
+    /// occurrences; the shared scratch buffer avoids building a sorted `VarSet`
+    /// per item per recursion level (rule 2's former dominant cost).
+    fn split_components(
+        &mut self,
+        n: usize,
+        mut collect: impl FnMut(usize, &mut Vec<Var>),
+    ) -> Vec<Vec<usize>> {
+        let mut buf = std::mem::take(&mut self.occ_buf);
+        buf.clear();
+        let mut spans = Vec::with_capacity(n);
+        for i in 0..n {
+            let start = buf.len();
+            collect(i, &mut buf);
+            spans.push((start, buf.len()));
+        }
+        let components = components_of_occurrences_with(&spans, &buf, &mut self.first_seen);
+        self.occ_buf = buf;
+        components
+    }
+
+    /// Choose the variable with the most occurrences (ties broken by smallest id,
+    /// for determinism) — the heuristic used in the paper's implementation.
+    ///
+    /// Occurrences are tallied in a reusable id-indexed counter vector instead of a
+    /// fresh `BTreeMap` per expansion; only the touched entries are reset.
+    fn choose_split_var(&mut self, collect: impl FnOnce(&mut Vec<Var>)) -> Var {
+        self.occ_buf.clear();
+        collect(&mut self.occ_buf);
+        for v in &self.occ_buf {
+            self.occ_counts[v.0 as usize] += 1;
+        }
+        let mut best: Option<(u32, Var)> = None;
+        for &v in &self.occ_buf {
+            let n = self.occ_counts[v.0 as usize];
+            best = Some(match best {
+                None => (n, v),
+                Some((bn, bv)) if n > bn || (n == bn && v < bv) => (n, v),
+                Some(b) => b,
+            });
+        }
+        for v in &self.occ_buf {
+            self.occ_counts[v.0 as usize] = 0;
+        }
+        best.map(|(_, v)| v)
             .expect("expression with no variables reached Shannon expansion")
     }
 
     fn shannon_semiring(&mut self, expr: &SemiringExpr) -> Result<DTree, BudgetExceeded> {
-        let mut occ = BTreeMap::new();
-        expr.count_occurrences(&mut occ);
-        let var = Self::choose_split_var(&occ);
+        let var = self.choose_split_var(|buf| expr.collect_vars(buf));
         self.stats.exclusive_expansions += 1;
-        let dist = self.table.dist(var).clone();
+        let kind = self.kind;
+        let table = self.table;
+        let dist = table.dist(var);
         let mut branches = Vec::with_capacity(dist.support_size());
         for (value, _) in dist.iter() {
-            let child_expr = expr.substitute(var, *value).simplify(self.kind);
+            let child_expr = expr.substitute_simplify(var, *value, kind);
             let child = self.compile_semiring_inner(&child_expr)?;
             branches.push((*value, child));
         }
@@ -441,14 +507,18 @@ impl<'a> Compiler<'a> {
     }
 
     fn shannon_semimodule(&mut self, expr: &SemimoduleExpr) -> Result<DTree, BudgetExceeded> {
-        let mut occ = BTreeMap::new();
-        expr.count_occurrences(&mut occ);
-        let var = Self::choose_split_var(&occ);
+        let var = self.choose_split_var(|buf| {
+            for t in &expr.terms {
+                t.coeff.collect_vars(buf);
+            }
+        });
         self.stats.exclusive_expansions += 1;
-        let dist = self.table.dist(var).clone();
+        let kind = self.kind;
+        let table = self.table;
+        let dist = table.dist(var);
         let mut branches = Vec::with_capacity(dist.support_size());
         for (value, _) in dist.iter() {
-            let child_expr = expr.substitute(var, *value).simplify(self.kind);
+            let child_expr = expr.substitute_simplify(var, *value, kind);
             let child = self.compile_semimodule_inner(&child_expr)?;
             branches.push((*value, child));
         }

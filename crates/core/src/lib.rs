@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod compile;
 pub mod joint;
@@ -41,6 +42,7 @@ pub mod node;
 pub mod parallel;
 pub mod prune;
 
+pub use arena::DTreeArena;
 pub use cache::{
     confidence_of, CacheConfig, CacheCounters, CachedEvaluator, CompilationCache, EvalError,
     SharedArtifacts,

@@ -11,7 +11,7 @@
 
 use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
 use pvc_expr::{Var, VarTable};
-use pvc_prob::{Dist, DistValue, MixedDist, MonoidDist, SemiringDist};
+use pvc_prob::{MixedDist, MonoidDist, SemiringDist};
 use std::fmt;
 
 /// A decomposition tree over semiring and semimodule expressions.
@@ -72,116 +72,31 @@ impl fmt::Display for DTreeError {
 
 impl std::error::Error for DTreeError {}
 
-fn as_semiring(d: &MixedDist, ctx: &'static str) -> Result<SemiringDist, DTreeError> {
-    let mut out = Vec::with_capacity(d.support_size());
-    for (v, p) in d.iter() {
-        match v {
-            DistValue::S(s) => out.push((*s, p)),
-            DistValue::M(_) => return Err(DTreeError::ExpectedSemiring(ctx)),
-        }
-    }
-    Ok(Dist::from_pairs(out))
-}
-
-fn as_monoid(d: &MixedDist, ctx: &'static str) -> Result<MonoidDist, DTreeError> {
-    let mut out = Vec::with_capacity(d.support_size());
-    for (v, p) in d.iter() {
-        match v {
-            DistValue::M(m) => out.push((*m, p)),
-            DistValue::S(_) => return Err(DTreeError::ExpectedMonoid(ctx)),
-        }
-    }
-    Ok(Dist::from_pairs(out))
-}
-
-fn lift_s(d: SemiringDist) -> MixedDist {
-    d.map(|v| DistValue::S(*v))
-}
-
-fn lift_m(d: MonoidDist) -> MixedDist {
-    d.map(|v| DistValue::M(*v))
-}
-
 impl DTree {
     /// Compute the probability distribution represented by this d-tree, bottom-up in
     /// a single pass (Theorem 2 of the paper).
     ///
     /// `kind` fixes the ambient annotation semiring used for the `0_S`/`1_S` outcomes
     /// of comparison nodes.
+    ///
+    /// Implementation: the tree is flattened into a [`crate::arena::DTreeArena`]
+    /// and evaluated by its iterative post-order loop (no recursion, native-sort
+    /// value stack, threshold-folded comparisons). Callers that evaluate the same
+    /// tree repeatedly should build the arena once with
+    /// [`DTreeArena::from_tree`](crate::arena::DTreeArena::from_tree) and reuse it.
+    ///
+    /// # Empty comparison sides
+    ///
+    /// A [`DTree::Cmp`] node with a side whose distribution is *empty* (total mass
+    /// 0) yields the **empty distribution** rather than an error: convolution
+    /// against an empty operand has no outcomes. Sort mismatches are only reported
+    /// (as [`DTreeError::MixedComparison`]) when both sides are non-empty.
     pub fn distribution(
         &self,
         table: &VarTable,
         kind: SemiringKind,
     ) -> Result<MixedDist, DTreeError> {
-        match self {
-            DTree::VarLeaf(v) => Ok(lift_s(table.dist(*v).clone())),
-            DTree::SConst(s) => Ok(Dist::point(DistValue::S(*s))),
-            DTree::MConst(m) => Ok(Dist::point(DistValue::M(*m))),
-            DTree::SumS(a, b) => {
-                let da = as_semiring(&a.distribution(table, kind)?, "⊕(semiring)")?;
-                let db = as_semiring(&b.distribution(table, kind)?, "⊕(semiring)")?;
-                Ok(lift_s(da.convolve(&db, |x, y| x.add(y))))
-            }
-            DTree::Prod(a, b) => {
-                let da = as_semiring(&a.distribution(table, kind)?, "⊙")?;
-                let db = as_semiring(&b.distribution(table, kind)?, "⊙")?;
-                Ok(lift_s(da.convolve(&db, |x, y| x.mul(y))))
-            }
-            DTree::SumM(op, a, b) => {
-                let da = as_monoid(&a.distribution(table, kind)?, "⊕(semimodule)")?;
-                let db = as_monoid(&b.distribution(table, kind)?, "⊕(semimodule)")?;
-                Ok(lift_m(da.convolve(&db, |x, y| op.combine(x, y))))
-            }
-            DTree::Tensor(op, scalar, value) => {
-                let ds = as_semiring(&scalar.distribution(table, kind)?, "⊗ scalar")?;
-                let dm = as_monoid(&value.distribution(table, kind)?, "⊗ value")?;
-                Ok(lift_m(ds.convolve(&dm, |s, m| op.scalar_action(s, m))))
-            }
-            DTree::Cmp(theta, a, b) => {
-                let da = a.distribution(table, kind)?;
-                let db = b.distribution(table, kind)?;
-                // Both sides must be of the same sort; detect from the supports.
-                let a_is_semiring = da.support().next().map(|v| v.as_semiring().is_some());
-                let b_is_semiring = db.support().next().map(|v| v.as_semiring().is_some());
-                match (a_is_semiring, b_is_semiring) {
-                    (Some(true), Some(true)) => {
-                        let (da, db) = (as_semiring(&da, "[θ]")?, as_semiring(&db, "[θ]")?);
-                        Ok(lift_s(da.convolve(&db, |x, y| {
-                            if theta.eval(x, y) {
-                                kind.one()
-                            } else {
-                                kind.zero()
-                            }
-                        })))
-                    }
-                    (Some(false), Some(false)) => {
-                        let (da, db) = (as_monoid(&da, "[θ]")?, as_monoid(&db, "[θ]")?);
-                        Ok(lift_s(da.convolve(&db, |x, y| {
-                            if theta.eval(x, y) {
-                                kind.one()
-                            } else {
-                                kind.zero()
-                            }
-                        })))
-                    }
-                    (None, _) | (_, None) => Ok(Dist::empty()),
-                    _ => Err(DTreeError::MixedComparison),
-                }
-            }
-            DTree::Exclusive(var, branches) => {
-                let var_dist = table.dist(*var);
-                let mut acc: MixedDist = Dist::empty();
-                for (value, child) in branches {
-                    let weight = var_dist.prob(value);
-                    if weight <= 0.0 {
-                        continue;
-                    }
-                    let child_dist = child.distribution(table, kind)?;
-                    acc = acc.mix(&child_dist.scale(weight));
-                }
-                Ok(acc)
-            }
-        }
+        crate::arena::DTreeArena::from_tree(self).mixed_distribution(table, kind)
     }
 
     /// The distribution as a semiring distribution (for d-trees of semiring
@@ -191,7 +106,7 @@ impl DTree {
         table: &VarTable,
         kind: SemiringKind,
     ) -> Result<SemiringDist, DTreeError> {
-        as_semiring(&self.distribution(table, kind)?, "root")
+        crate::arena::DTreeArena::from_tree(self).semiring_distribution(table, kind)
     }
 
     /// The distribution as a monoid distribution (for d-trees of semimodule
@@ -201,7 +116,7 @@ impl DTree {
         table: &VarTable,
         kind: SemiringKind,
     ) -> Result<MonoidDist, DTreeError> {
-        as_monoid(&self.distribution(table, kind)?, "root")
+        crate::arena::DTreeArena::from_tree(self).monoid_distribution(table, kind)
     }
 
     /// Total number of nodes in the tree.

@@ -31,7 +31,15 @@ pub enum PruneResult {
 /// * **MIN, θ ∈ {≤, <, =}**: terms whose value exceeds the bound can never be the
 ///   minimum that decides the comparison, so they are dropped
 ///   (`[Σ_i Φ_i⊗m_i ≤ m] ≡ [Σ_{i: m_i ≤ m} Φ_i⊗m_i ≤ m]`).
-/// * **MAX, θ ∈ {≥, >, =}**: dually, terms below the bound are dropped.
+/// * **MIN, θ ∈ {≥, >}**: dually, only terms whose value *violates* the bound
+///   matter — `min ≥ m` holds iff no term with value < m is present — so terms
+///   already satisfying the bound are dropped
+///   (`[Σ_i Φ_i⊗m_i ≥ m] ≡ [Σ_{i: m_i < m} Φ_i⊗m_i ≥ m]`); if no violating term
+///   remains the conditional is constantly true, and a *guaranteed* violator
+///   (constant non-zero coefficient) makes it constantly false.
+/// * **MAX, θ ∈ {≥, >, =}**: dually to MIN/≤, terms below the bound are dropped.
+/// * **MAX, θ ∈ {≤, <}**: dually to MIN/≥, terms at or below the bound are
+///   dropped; no remaining violator ⇒ constantly true.
 /// * **SUM/COUNT with non-negative term values**: if even the sum of *all* values
 ///   satisfies (resp. cannot reach) the bound, the conditional is constantly true
 ///   (resp. false).
@@ -98,6 +106,22 @@ fn prune_min(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneR
             }
             PruneResult::Simplified(kept)
         }
+        // min ≥ m (resp. >): holds iff no term whose value violates the bound is
+        // present; terms that satisfy it can never decide the comparison and are
+        // dropped. A guaranteed violator decides the comparison outright.
+        CmpOp::Ge | CmpOp::Gt => {
+            let violates = |v: &MonoidValue| !theta.eval(v, &bound);
+            if guaranteed.iter().any(violates) {
+                return PruneResult::AlwaysFalse;
+            }
+            let kept = keep_terms(alpha, violates);
+            if kept.terms.is_empty() {
+                // No violating term exists: the minimum is over satisfying values
+                // only (or +∞ for the empty group), so the comparison always holds.
+                return PruneResult::AlwaysTrue;
+            }
+            PruneResult::Simplified(kept)
+        }
         // min = m: a guaranteed term strictly below m forces the minimum below m.
         // Terms above m are irrelevant.
         CmpOp::Eq => {
@@ -106,7 +130,7 @@ fn prune_min(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneR
             }
             PruneResult::Simplified(keep_terms(alpha, |v| *v <= bound))
         }
-        _ => PruneResult::Simplified(alpha.clone()),
+        CmpOp::Ne => PruneResult::Simplified(alpha.clone()),
     }
 }
 
@@ -123,13 +147,26 @@ fn prune_max(alpha: &SemimoduleExpr, theta: CmpOp, bound: MonoidValue) -> PruneR
             }
             PruneResult::Simplified(kept)
         }
+        // max ≤ m (resp. <): dual of min ≥ — only violating terms (above the
+        // bound) matter.
+        CmpOp::Le | CmpOp::Lt => {
+            let violates = |v: &MonoidValue| !theta.eval(v, &bound);
+            if guaranteed.iter().any(violates) {
+                return PruneResult::AlwaysFalse;
+            }
+            let kept = keep_terms(alpha, violates);
+            if kept.terms.is_empty() {
+                return PruneResult::AlwaysTrue;
+            }
+            PruneResult::Simplified(kept)
+        }
         CmpOp::Eq => {
             if guaranteed.iter().any(|v| *v > bound) {
                 return PruneResult::AlwaysFalse;
             }
             PruneResult::Simplified(keep_terms(alpha, |v| *v >= bound))
         }
-        _ => PruneResult::Simplified(alpha.clone()),
+        CmpOp::Ne => PruneResult::Simplified(alpha.clone()),
     }
 }
 

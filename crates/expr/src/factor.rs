@@ -31,16 +31,26 @@ pub fn top_level_factor_vars(expr: &SemiringExpr) -> BTreeSet<Var> {
 /// expressions. Pulling these out of a sum `Σ_i Φ_i` yields the factorisation
 /// `(Π common) · Σ_i (Φ_i / common)`.
 pub fn common_factor_vars(exprs: &[SemiringExpr]) -> VarSet {
-    let mut iter = exprs.iter();
-    let first = match iter.next() {
-        Some(e) => top_level_factor_vars(e),
-        None => return VarSet::new(),
-    };
-    let common = iter.fold(first, |acc, e| {
+    common_factor_vars_of(exprs.iter())
+}
+
+/// As [`common_factor_vars`], over any iterator of borrowed expressions — lets the
+/// compiler intersect the coefficient factors of a semimodule sum without cloning
+/// the coefficients into a temporary vector. Short-circuits once the running
+/// intersection is empty.
+pub fn common_factor_vars_of<'a>(exprs: impl Iterator<Item = &'a SemiringExpr>) -> VarSet {
+    let mut common: Option<BTreeSet<Var>> = None;
+    for e in exprs {
         let fv = top_level_factor_vars(e);
-        acc.intersection(&fv).copied().collect()
-    });
-    common.into_iter().collect()
+        common = Some(match common {
+            None => fv,
+            Some(acc) => acc.intersection(&fv).copied().collect(),
+        });
+        if matches!(&common, Some(c) if c.is_empty()) {
+            return VarSet::new();
+        }
+    }
+    common.map(|c| c.into_iter().collect()).unwrap_or_default()
 }
 
 /// Divide an expression by a set of variables that are known to be top-level factors

@@ -95,6 +95,75 @@ pub fn all_independent(sets: &[VarSet]) -> bool {
     connected_components(sets).len() == sets.len()
 }
 
+/// Connected components over flat variable-*occurrence* lists: item `i`'s
+/// occurrences are `occurrences[spans[i].0 .. spans[i].1]`, unsorted and possibly
+/// with duplicates.
+///
+/// Equivalent partition to [`connected_components`] on the deduplicated sets, but
+/// without materialising a sorted [`VarSet`] per item — the compiler calls this at
+/// every recursion level of a hard compilation, where per-item set construction
+/// used to dominate. `num_vars` bounds the variable ids (a `Var(id)` with
+/// `id >= num_vars` is tolerated via a slow path growing the seen-table).
+///
+/// Components are ordered by their smallest member index; members are ascending.
+pub fn components_of_occurrences(
+    spans: &[(usize, usize)],
+    occurrences: &[Var],
+    num_vars: usize,
+) -> Vec<Vec<usize>> {
+    let mut first_seen = vec![OCC_UNSEEN; num_vars];
+    components_of_occurrences_with(spans, occurrences, &mut first_seen)
+}
+
+const OCC_UNSEEN: usize = usize::MAX;
+
+/// As [`components_of_occurrences`], with a caller-provided `first_seen` scratch
+/// table (indexed by `Var` id, grown on demand, entries reset to unseen before
+/// returning). Reusing one table across calls makes the per-call cost
+/// `O(occurrences)` instead of `O(num_vars + occurrences)` — the compiler calls
+/// this at every recursion level, where deep sub-expressions touch only a
+/// handful of variables.
+pub fn components_of_occurrences_with(
+    spans: &[(usize, usize)],
+    occurrences: &[Var],
+    first_seen: &mut Vec<usize>,
+) -> Vec<Vec<usize>> {
+    let n = spans.len();
+    if n == 0 {
+        return vec![];
+    }
+    debug_assert!(first_seen.iter().all(|&s| s == OCC_UNSEEN));
+    let mut uf = UnionFind::new(n);
+    for (i, &(start, end)) in spans.iter().enumerate() {
+        for v in &occurrences[start..end] {
+            let slot = v.0 as usize;
+            if slot >= first_seen.len() {
+                first_seen.resize(slot + 1, OCC_UNSEEN);
+            }
+            match first_seen[slot] {
+                OCC_UNSEEN => first_seen[slot] = i,
+                j => uf.union(i, j),
+            }
+        }
+    }
+    // Reset only the touched entries so the table can be reused.
+    for v in occurrences {
+        first_seen[v.0 as usize] = OCC_UNSEEN;
+    }
+    // Group by representative, ordering components by smallest member.
+    let mut comp_of = vec![OCC_UNSEEN; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        if comp_of[root] == OCC_UNSEEN {
+            comp_of[root] = groups.len();
+            groups.push(Vec::new());
+        }
+        groups[comp_of[root]].push(i);
+    }
+    groups
+}
+
 /// Split a list of items into independent groups according to their variable sets.
 ///
 /// Returns one `Vec` of items per connected component, preserving the original

@@ -138,9 +138,17 @@ impl SemimoduleExpr {
 
     /// The set of variables occurring in the expression.
     pub fn vars(&self) -> VarSet {
-        let mut occ = BTreeMap::new();
-        self.count_occurrences(&mut occ);
-        occ.keys().copied().collect()
+        let mut buf = Vec::new();
+        for t in &self.terms {
+            t.coeff.collect_vars(&mut buf);
+        }
+        VarSet::from_iter_of(buf)
+    }
+
+    /// True if no coefficient contains a variable symbol (short-circuiting, no
+    /// allocation).
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.coeff.is_ground())
     }
 
     /// Count variable occurrences across all coefficients.
@@ -210,9 +218,45 @@ impl SemimoduleExpr {
         SemimoduleExpr { op: self.op, terms }
     }
 
+    /// `α|x←s` followed by coefficient simplification, in one term-list rebuild.
+    ///
+    /// Produces exactly the same expression as
+    /// `self.substitute(var, value).simplify(kind)` while visiting every
+    /// coefficient tree once — the hot step of the compiler's `⊔` expansion over
+    /// semimodule expressions.
+    pub fn substitute_simplify(
+        &self,
+        var: Var,
+        value: SemiringValue,
+        kind: SemiringKind,
+    ) -> SemimoduleExpr {
+        let mut const_acc: Option<MonoidValue> = None;
+        let mut terms = Vec::with_capacity(self.terms.len());
+        for t in &self.terms {
+            let coeff = t.coeff.substitute_simplify(var, value, kind);
+            match coeff.as_const() {
+                Some(c) if c.is_zero() => {}
+                Some(c) => {
+                    let v = self.op.scalar_action(&c, &t.value);
+                    const_acc = Some(match const_acc {
+                        None => v,
+                        Some(acc) => self.op.combine(&acc, &v),
+                    });
+                }
+                None => terms.push(SmTerm::new(coeff, t.value)),
+            }
+        }
+        if let Some(c) = const_acc {
+            if c != self.op.identity() || terms.is_empty() {
+                terms.push(SmTerm::new(SemiringExpr::Const(kind.one()), c));
+            }
+        }
+        SemimoduleExpr { op: self.op, terms }
+    }
+
     /// The single constant value, if the whole expression is ground.
     pub fn as_const(&self) -> Option<MonoidValue> {
-        if !self.vars().is_empty() {
+        if !self.is_ground() {
             return None;
         }
         // Ground expression: evaluate directly with an empty valuation.

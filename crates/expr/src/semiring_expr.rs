@@ -92,16 +92,50 @@ impl SemiringExpr {
         }
     }
 
-    /// True if the expression contains no variable symbols.
+    /// True if the expression contains no variable symbols. A short-circuiting
+    /// scan — no allocation, unlike [`vars`](Self::vars).
     pub fn is_ground(&self) -> bool {
-        self.vars().is_empty()
+        match self {
+            SemiringExpr::Var(_) => false,
+            SemiringExpr::Const(_) => true,
+            SemiringExpr::Add(cs) | SemiringExpr::Mul(cs) => cs.iter().all(|c| c.is_ground()),
+            SemiringExpr::CmpSS(_, a, b) => a.is_ground() && b.is_ground(),
+            SemiringExpr::CmpMM(_, a, b) => {
+                a.terms.iter().all(|t| t.coeff.is_ground())
+                    && b.terms.iter().all(|t| t.coeff.is_ground())
+            }
+        }
     }
 
     /// Collect the set of variables occurring in the expression.
     pub fn vars(&self) -> VarSet {
-        let mut occ = BTreeMap::new();
-        self.count_occurrences(&mut occ);
-        occ.keys().copied().collect()
+        let mut buf = Vec::new();
+        self.collect_vars(&mut buf);
+        VarSet::from_iter_of(buf)
+    }
+
+    /// Push every variable occurrence (with duplicates) onto `out`. This is the
+    /// allocation-light primitive behind [`vars`](Self::vars), useful when the
+    /// caller batches several expressions into one buffer.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            SemiringExpr::Var(v) => out.push(*v),
+            SemiringExpr::Const(_) => {}
+            SemiringExpr::Add(cs) | SemiringExpr::Mul(cs) => {
+                for c in cs {
+                    c.collect_vars(out);
+                }
+            }
+            SemiringExpr::CmpSS(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            SemiringExpr::CmpMM(_, a, b) => {
+                for t in a.terms.iter().chain(&b.terms) {
+                    t.coeff.collect_vars(out);
+                }
+            }
+        }
     }
 
     /// Count how often each variable occurs (used by the compiler's
@@ -264,6 +298,85 @@ impl SemiringExpr {
             SemiringExpr::CmpMM(op, a, b) => {
                 let sa = a.simplify(kind);
                 let sb = b.simplify(kind);
+                if let (Some(ca), Some(cb)) = (sa.as_const(), sb.as_const()) {
+                    let holds = op.eval(&ca, &cb);
+                    return SemiringExpr::Const(if holds { kind.one() } else { kind.zero() });
+                }
+                SemiringExpr::CmpMM(*op, Box::new(sa), Box::new(sb))
+            }
+        }
+    }
+
+    /// `Φ|x←s` followed by constant folding, in **one** tree rebuild.
+    ///
+    /// Produces exactly the same expression as
+    /// `self.substitute(var, value).simplify(kind)` (the compiler's Shannon
+    /// expansion relies on this equality) while walking and allocating the tree
+    /// once instead of twice — the dominant cost of `⊔` expansion.
+    pub fn substitute_simplify(
+        &self,
+        var: Var,
+        value: SemiringValue,
+        kind: SemiringKind,
+    ) -> SemiringExpr {
+        match self {
+            SemiringExpr::Var(v) if *v == var => SemiringExpr::Const(value),
+            SemiringExpr::Var(_) | SemiringExpr::Const(_) => self.clone(),
+            SemiringExpr::Add(cs) => {
+                let mut const_acc = kind.zero();
+                let mut rest = Vec::new();
+                for c in cs {
+                    match c.substitute_simplify(var, value, kind) {
+                        SemiringExpr::Const(v) => const_acc = const_acc.add(&v),
+                        SemiringExpr::Add(grand) => rest.extend(grand),
+                        other => rest.push(other),
+                    }
+                }
+                if !const_acc.is_zero() || rest.is_empty() {
+                    rest.push(SemiringExpr::Const(const_acc));
+                }
+                if rest.len() == 1 {
+                    rest.pop().unwrap()
+                } else {
+                    SemiringExpr::Add(rest)
+                }
+            }
+            SemiringExpr::Mul(cs) => {
+                let mut const_acc = kind.one();
+                let mut rest = Vec::new();
+                for c in cs {
+                    match c.substitute_simplify(var, value, kind) {
+                        SemiringExpr::Const(v) => {
+                            if v.is_zero() {
+                                return SemiringExpr::Const(kind.zero());
+                            }
+                            const_acc = const_acc.mul(&v);
+                        }
+                        SemiringExpr::Mul(grand) => rest.extend(grand),
+                        other => rest.push(other),
+                    }
+                }
+                if !const_acc.is_one() || rest.is_empty() {
+                    rest.push(SemiringExpr::Const(const_acc));
+                }
+                if rest.len() == 1 {
+                    rest.pop().unwrap()
+                } else {
+                    SemiringExpr::Mul(rest)
+                }
+            }
+            SemiringExpr::CmpSS(op, a, b) => {
+                let sa = a.substitute_simplify(var, value, kind);
+                let sb = b.substitute_simplify(var, value, kind);
+                if let (Some(ca), Some(cb)) = (sa.as_const(), sb.as_const()) {
+                    let holds = op.eval(&ca, &cb);
+                    return SemiringExpr::Const(if holds { kind.one() } else { kind.zero() });
+                }
+                SemiringExpr::CmpSS(*op, Box::new(sa), Box::new(sb))
+            }
+            SemiringExpr::CmpMM(op, a, b) => {
+                let sa = a.substitute_simplify(var, value, kind);
+                let sb = b.substitute_simplify(var, value, kind);
                 if let (Some(ca), Some(cb)) = (sa.as_const(), sb.as_const()) {
                     let holds = op.eval(&ca, &cb);
                     return SemiringExpr::Const(if holds { kind.one() } else { kind.zero() });

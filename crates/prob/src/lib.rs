@@ -13,12 +13,14 @@
 
 pub mod dist;
 pub mod moments;
+pub mod repr;
 pub mod rng;
 pub mod space;
 pub mod values;
 
 pub use dist::{Dist, PROB_EPS};
 pub use moments::{cdf, expectation, moments, quantile, Moments};
+pub use repr::{convolve_additive, DenseDist, DistRepr};
 pub use rng::SeededRng;
 pub use space::{ProbabilitySpace, World};
 pub use values::{make, ops, DistValue, MixedDist, MonoidDist, SemiringDist};

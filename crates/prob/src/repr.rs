@@ -1,0 +1,339 @@
+//! Adaptive distribution representations for the convolution kernel: sparse
+//! (sorted-vector [`Dist`]) and **dense** (offset-indexed `Vec<f64>`) backing for
+//! distributions over finite integer monoid values.
+//!
+//! COUNT and SUM convolutions (Eq. 6 of the paper) produce supports that live in a
+//! contiguous (or near-contiguous) integer range: COUNT of `n` terms has support
+//! `⊆ {0, …, n}`, and SUM over small values stays within the sum of the value
+//! ranges. For such supports, the generate–sort–coalesce kernel wastes its time
+//! sorting; a dense vector indexed by `value − offset` convolves by **direct
+//! indexing** (`out[i + j] += p_a[i] · p_b[j]`) in `O(|p|·|q| + range)` with no
+//! comparisons at all.
+//!
+//! [`DistRepr`] is the adaptive pairing of the two: [`DistRepr::of`] inspects the
+//! support and picks the dense form exactly when the support is all-finite and the
+//! spanned range is no larger than the work a convolution does anyway (so dense is
+//! never asymptotically worse). [`convolve_additive`] is the drop-in convolution
+//! used by the SUM/COUNT paths of `ops::add_monoid` and the d-tree evaluators; it is
+//! **bit-identical** to the sparse kernel because equal-valued products accumulate
+//! in the same (outer-operand-major) order and the same [`PROB_EPS`] drop rule
+//! applies on the way out.
+
+use crate::dist::{Dist, PROB_EPS};
+use pvc_algebra::MonoidValue;
+
+/// A distribution over monoid values in sparse form.
+pub type MonoidDist = Dist<MonoidValue>;
+
+/// A dense distribution over a contiguous range of finite integer values:
+/// `probs[i]` is the probability of `Fin(offset + i)`. Cells at or below
+/// [`PROB_EPS`] are kept as `0.0` (absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseDist {
+    offset: i64,
+    probs: Vec<f64>,
+}
+
+impl DenseDist {
+    /// Build from a sparse distribution whose support is all finite.
+    ///
+    /// Returns `None` if the support is empty or contains `±∞`.
+    pub fn from_dist(dist: &MonoidDist) -> Option<DenseDist> {
+        let (lo, hi) = finite_bounds(dist)?;
+        let range = usize::try_from(hi.checked_sub(lo)?).ok()?.checked_add(1)?;
+        let mut probs = vec![0.0; range];
+        for (v, p) in dist.iter() {
+            let MonoidValue::Fin(x) = v else {
+                unreachable!("finite_bounds verified an all-finite support")
+            };
+            probs[(x - lo) as usize] = p;
+        }
+        Some(DenseDist { offset: lo, probs })
+    }
+
+    /// The value of the first cell.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Number of cells (the spanned range, including zero cells).
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True if there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Number of cells holding probability above [`PROB_EPS`].
+    pub fn support_size(&self) -> usize {
+        self.probs.iter().filter(|p| **p > PROB_EPS).count()
+    }
+
+    /// Convert back to the sparse form (cells at or below [`PROB_EPS`] are dropped).
+    /// The cells are scanned in ascending value order, so the output needs no sort.
+    pub fn to_dist(&self) -> MonoidDist {
+        Dist::from_sorted_unique(
+            self.probs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| **p > PROB_EPS)
+                .map(|(i, p)| (MonoidValue::Fin(self.offset + i as i64), *p))
+                .collect(),
+        )
+    }
+
+    /// Direct-index additive convolution: `out[i + j] += self[i] · other[j]`.
+    ///
+    /// Accumulation at each output cell runs in ascending `self`-index order —
+    /// the same order the sparse generate–sort–coalesce kernel sums equal-valued
+    /// candidates — so the result is bit-identical to the sparse path.
+    pub fn convolve_add(&self, other: &DenseDist) -> DenseDist {
+        if self.probs.is_empty() || other.probs.is_empty() {
+            return DenseDist {
+                offset: 0,
+                probs: Vec::new(),
+            };
+        }
+        let mut probs = vec![0.0; self.probs.len() + other.probs.len() - 1];
+        for (i, pa) in self.probs.iter().enumerate() {
+            if *pa == 0.0 {
+                continue;
+            }
+            for (j, pb) in other.probs.iter().enumerate() {
+                probs[i + j] += pa * pb;
+            }
+        }
+        // Apply the sparse kernel's drop rule so later convolutions see the same
+        // support either way.
+        for p in &mut probs {
+            if *p <= PROB_EPS {
+                *p = 0.0;
+            }
+        }
+        DenseDist {
+            offset: self.offset + other.offset,
+            probs,
+        }
+    }
+}
+
+/// Which representation [`DistRepr::of`] chose (also exposed for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistRepr {
+    /// Sorted-vector sparse form — scattered or non-finite supports.
+    Sparse(MonoidDist),
+    /// Offset-indexed dense form — all-finite supports spanning a small range.
+    Dense(DenseDist),
+}
+
+/// Minimum spanned range below which the dense form is always chosen (the vector is
+/// so small that direct indexing beats any sort regardless of density).
+const DENSE_ALWAYS_RANGE: usize = 64;
+
+impl DistRepr {
+    /// Choose a representation adaptively by support density: dense when the
+    /// support is all-finite and the spanned range is at most
+    /// `max(4 × support, 64)` (i.e. at least a quarter of the cells are occupied,
+    /// or the range is trivially small).
+    pub fn of(dist: &MonoidDist) -> DistRepr {
+        if let Some((lo, hi)) = finite_bounds(dist) {
+            if let Some(range) = hi
+                .checked_sub(lo)
+                .and_then(|d| usize::try_from(d).ok())
+                .and_then(|d| d.checked_add(1))
+            {
+                if range <= (4 * dist.support_size()).max(DENSE_ALWAYS_RANGE) {
+                    if let Some(dense) = DenseDist::from_dist(dist) {
+                        return DistRepr::Dense(dense);
+                    }
+                }
+            }
+        }
+        DistRepr::Sparse(dist.clone())
+    }
+
+    /// True if the dense form was chosen.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, DistRepr::Dense(_))
+    }
+
+    /// Convert (back) to the sparse form.
+    pub fn to_dist(&self) -> MonoidDist {
+        match self {
+            DistRepr::Sparse(d) => d.clone(),
+            DistRepr::Dense(d) => d.to_dist(),
+        }
+    }
+
+    /// Number of values with probability above [`PROB_EPS`].
+    pub fn support_size(&self) -> usize {
+        match self {
+            DistRepr::Sparse(d) => d.support_size(),
+            DistRepr::Dense(d) => d.support_size(),
+        }
+    }
+}
+
+/// The `(min, max)` finite values of the support; `None` when the support is empty
+/// or contains `±∞`. Entries are sorted and `−∞ < Fin(_) < +∞`, so only the two
+/// ends need checking: if both are finite, everything between is.
+fn finite_bounds(dist: &MonoidDist) -> Option<(i64, i64)> {
+    let lo = dist.min_value()?.finite()?;
+    let hi = dist.max_value()?.finite()?;
+    Some((lo, hi))
+}
+
+/// Additive (SUM/COUNT) convolution with adaptive representation choice:
+/// direct-index dense convolution when both supports are all-finite and the output
+/// range is no larger than the candidate-pair count (so the dense pass is never
+/// more work than the sparse sort), sparse generate–sort–coalesce otherwise.
+///
+/// Bit-identical to `a.convolve(&b, |x, y| x.saturating_add(y))` on every input.
+pub fn convolve_additive(a: &MonoidDist, b: &MonoidDist) -> MonoidDist {
+    if let Some(out) = try_convolve_dense(a, b) {
+        return out;
+    }
+    a.convolve(b, |x, y| x.saturating_add(y))
+}
+
+/// As [`convolve_additive`], reusing a scratch buffer on the sparse fallback path.
+pub fn convolve_additive_with_scratch(
+    a: &MonoidDist,
+    b: &MonoidDist,
+    scratch: &mut Vec<(MonoidValue, f64)>,
+) -> MonoidDist {
+    if let Some(out) = try_convolve_dense(a, b) {
+        return out;
+    }
+    a.convolve_with_scratch(b, |x, y| x.saturating_add(y), scratch)
+}
+
+fn try_convolve_dense(a: &MonoidDist, b: &MonoidDist) -> Option<MonoidDist> {
+    let (la, ha) = finite_bounds(a)?;
+    let (lb, hb) = finite_bounds(b)?;
+    let lo = la.checked_add(lb)?;
+    let hi = ha.checked_add(hb)?;
+    let range = usize::try_from(hi.checked_sub(lo)?).ok()?.checked_add(1)?;
+    let candidates = a.support_size().checked_mul(b.support_size())?;
+    if range > candidates.max(DENSE_ALWAYS_RANGE) {
+        return None;
+    }
+    let mut cells = vec![0.0f64; range];
+    for (va, pa) in a.iter() {
+        let MonoidValue::Fin(x) = va else {
+            unreachable!("finite_bounds verified an all-finite support")
+        };
+        for (vb, pb) in b.iter() {
+            let MonoidValue::Fin(y) = vb else {
+                unreachable!("finite_bounds verified an all-finite support")
+            };
+            cells[(x + y - lo) as usize] += pa * pb;
+        }
+    }
+    let out = Dist::from_sorted_unique(
+        cells
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p > PROB_EPS)
+            .map(|(i, p)| (MonoidValue::Fin(lo + i as i64), *p))
+            .collect(),
+    );
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        bit_equal(&out, &a.convolve(b, |x, y| x.saturating_add(y))),
+        "dense convolution diverged from the sparse kernel"
+    );
+    Some(out)
+}
+
+#[cfg(debug_assertions)]
+fn bit_equal(a: &MonoidDist, b: &MonoidDist) -> bool {
+    a.support_size() == b.support_size()
+        && a.iter()
+            .zip(b.iter())
+            .all(|((av, ap), (bv, bp))| av == bv && ap.to_bits() == bp.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::MonoidValue::{Fin, PosInf};
+
+    fn uniform(lo: i64, hi: i64) -> MonoidDist {
+        let n = (hi - lo + 1) as f64;
+        Dist::from_pairs((lo..=hi).map(|v| (Fin(v), 1.0 / n)))
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = Dist::from_pairs([(Fin(3), 0.25), (Fin(5), 0.75)]);
+        let dense = DenseDist::from_dist(&d).unwrap();
+        assert_eq!(dense.offset(), 3);
+        assert_eq!(dense.len(), 3);
+        assert_eq!(dense.support_size(), 2);
+        assert_eq!(dense.to_dist(), d);
+    }
+
+    #[test]
+    fn dense_rejects_infinite_support() {
+        let d = Dist::from_pairs([(Fin(3), 0.5), (PosInf, 0.5)]);
+        assert!(DenseDist::from_dist(&d).is_none());
+        assert!(!DistRepr::of(&d).is_dense());
+    }
+
+    #[test]
+    fn repr_choice_is_adaptive() {
+        // Contiguous COUNT-style support: dense.
+        assert!(DistRepr::of(&uniform(0, 10)).is_dense());
+        // Scattered SUM support spanning a huge range: sparse.
+        let scattered = Dist::from_pairs((0..40).map(|i| (Fin(i * 1_000_000), 1.0 / 40.0)));
+        assert!(!DistRepr::of(&scattered).is_dense());
+        assert_eq!(DistRepr::of(&scattered).support_size(), 40);
+    }
+
+    #[test]
+    fn dense_convolution_matches_sparse_bitwise() {
+        let a = uniform(0, 12);
+        let b = Dist::from_pairs([(Fin(0), 0.5), (Fin(1), 0.3), (Fin(2), 0.2)]);
+        let dense = convolve_additive(&a, &b);
+        let sparse = a.convolve(&b, |x, y| x.saturating_add(y));
+        assert_eq!(dense.support_size(), sparse.support_size());
+        for ((dv, dp), (sv, sp)) in dense.iter().zip(sparse.iter()) {
+            assert_eq!(dv, sv);
+            assert_eq!(dp.to_bits(), sp.to_bits());
+        }
+    }
+
+    #[test]
+    fn dense_repr_convolve_matches() {
+        let a = uniform(0, 8);
+        let b = uniform(2, 6);
+        let (DistRepr::Dense(da), DistRepr::Dense(db)) = (DistRepr::of(&a), DistRepr::of(&b))
+        else {
+            panic!("expected dense representations")
+        };
+        let dense = da.convolve_add(&db).to_dist();
+        let sparse = a.convolve(&b, |x, y| x.saturating_add(y));
+        assert!(dense.approx_eq(&sparse, 0.0));
+    }
+
+    #[test]
+    fn infinite_values_fall_back_to_sparse() {
+        let a = Dist::from_pairs([(Fin(1), 0.5), (PosInf, 0.5)]);
+        let b = uniform(0, 3);
+        let out = convolve_additive(&a, &b);
+        let expected = a.convolve(&b, |x, y| x.saturating_add(y));
+        assert!(out.approx_eq(&expected, 0.0));
+        assert!(out.prob(&PosInf) > 0.0);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = MonoidDist::empty();
+        let b = uniform(0, 3);
+        assert!(convolve_additive(&a, &b).is_empty());
+        assert!(convolve_additive(&b, &a).is_empty());
+    }
+}

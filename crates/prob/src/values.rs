@@ -112,8 +112,16 @@ pub mod ops {
     }
 
     /// Eq. (6): `P_{α+β}` — monoid sum of independent semimodule expressions.
+    ///
+    /// SUM/COUNT go through the adaptive dense kernel
+    /// ([`crate::repr::convolve_additive`]): contiguous integer supports convolve by
+    /// direct indexing, scattered ones by the sparse kernel — bit-identical either
+    /// way.
     pub fn add_monoid(op: AggOp, a: &MonoidDist, b: &MonoidDist) -> MonoidDist {
-        a.convolve(b, |x, y| op.combine(x, y))
+        match op {
+            AggOp::Sum | AggOp::Count => crate::repr::convolve_additive(a, b),
+            _ => a.convolve(b, |x, y| op.combine(x, y)),
+        }
     }
 
     /// Eq. (7): `P_{Φ⊗α}` — scalar action of an independent semiring expression on a

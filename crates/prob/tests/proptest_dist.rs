@@ -1,7 +1,13 @@
 //! Property-based tests for distributions and convolution, run over a deterministic,
 //! seeded stream of random cases (no external property-testing framework).
+//!
+//! The second half drives random operation chains through both the flat
+//! sorted-vector kernel and the retained `BTreeMap` reference implementation
+//! ([`pvc_prob::dist::reference`]) and requires **exact** (bitwise) agreement.
 
-use pvc_prob::{Dist, ProbabilitySpace, SeededRng};
+use pvc_algebra::MonoidValue;
+use pvc_prob::dist::reference::RefDist;
+use pvc_prob::{convolve_additive, Dist, DistRepr, ProbabilitySpace, SeededRng};
 
 const CASES: u64 = 128;
 
@@ -121,5 +127,151 @@ fn filter_plus_complement_preserves_mass() {
         let even = a.filter(|v| v % 2 == 0);
         let odd = a.filter(|v| v % 2 != 0);
         assert!((even.total_mass() + odd.total_mass() - a.total_mass()).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flat kernel vs. BTreeMap reference: exact agreement on random op chains.
+// ---------------------------------------------------------------------------
+
+/// Structural + numeric invariants of the flat representation: ascending unique
+/// values, strictly positive finite (NaN-free) weights.
+fn assert_invariants(d: &Dist<i64>) {
+    let support: Vec<i64> = d.support().copied().collect();
+    assert!(support.windows(2).all(|w| w[0] < w[1]), "unsorted support");
+    for (_, p) in d.iter() {
+        assert!(p.is_finite() && !p.is_nan(), "non-finite weight {p}");
+        assert!(p > 0.0, "non-positive weight {p}");
+    }
+}
+
+fn assert_bit_equal(reference: &RefDist<i64>, flat: &Dist<i64>) {
+    assert!(
+        reference.bit_equal(flat),
+        "flat kernel diverged from the BTreeMap reference:\n flat: {:?}\n ref:  {:?}",
+        flat.iter().collect::<Vec<_>>(),
+        reference.to_flat().iter().collect::<Vec<_>>()
+    );
+}
+
+/// Random raw pairs, including duplicates and sub-threshold weights, so the merge
+/// and drop rules are exercised.
+fn raw_pairs(rng: &mut SeededRng) -> Vec<(i64, f64)> {
+    let n = rng.gen_range(0usize..6);
+    (0..n)
+        .map(|_| {
+            let v = rng.gen_range(-4i64..5);
+            let p = match rng.gen_range(0u32..8) {
+                0 => 0.0,   // dropped before accumulation
+                1 => 5e-10, // below PROB_EPS
+                _ => 0.05 + rng.next_f64(),
+            };
+            (v, p)
+        })
+        .collect()
+}
+
+#[test]
+fn flat_matches_reference_on_random_op_chains() {
+    let mut rng = SeededRng::seed_from_u64(0xC1);
+    for _ in 0..CASES {
+        let pairs = raw_pairs(&mut rng);
+        let mut flat = Dist::from_pairs(pairs.clone());
+        let mut reference = RefDist::from_pairs(pairs);
+        assert_bit_equal(&reference, &flat);
+        assert_invariants(&flat);
+        // A chain of 4 random operations, applied to both implementations.
+        for _ in 0..4 {
+            match rng.gen_range(0u32..4) {
+                0 => {
+                    let other_pairs = raw_pairs(&mut rng);
+                    let other_flat = Dist::from_pairs(other_pairs.clone());
+                    let other_ref = RefDist::from_pairs(other_pairs);
+                    let op = rng.gen_range(0u32..3);
+                    let f = move |x: &i64, y: &i64| match op {
+                        0 => x + y,
+                        1 => (*x).min(*y),
+                        _ => x * y,
+                    };
+                    flat = flat.convolve(&other_flat, f);
+                    reference = reference.convolve(&other_ref, f);
+                }
+                1 => {
+                    let other_pairs = raw_pairs(&mut rng);
+                    flat = flat.mix(&Dist::from_pairs(other_pairs.clone()));
+                    reference = reference.mix(&RefDist::from_pairs(other_pairs));
+                }
+                2 => {
+                    let factor = rng.next_f64() * 1.5;
+                    flat = flat.scale(factor);
+                    reference = reference.scale(factor);
+                }
+                _ => {
+                    let modulus = rng.gen_range(2i64..5);
+                    flat = flat.map(|v| v.rem_euclid(modulus));
+                    reference = reference.map(|v| v.rem_euclid(modulus));
+                }
+            }
+            assert_bit_equal(&reference, &flat);
+            assert_invariants(&flat);
+        }
+    }
+}
+
+/// A random monoid-value distribution; contiguous supports trigger the dense path.
+fn monoid_dist(rng: &mut SeededRng, contiguous: bool) -> Dist<MonoidValue> {
+    let n = rng.gen_range(1usize..6);
+    let stride = if contiguous { 1 } else { 997 };
+    let base = rng.gen_range(-3i64..4);
+    let pairs: Vec<(MonoidValue, f64)> = (0..n as i64)
+        .map(|i| (MonoidValue::Fin(base + i * stride), 0.05 + rng.next_f64()))
+        .collect();
+    let total: f64 = pairs.iter().map(|(_, p)| p).sum();
+    Dist::from_pairs(pairs.into_iter().map(|(v, p)| (v, p / total)))
+}
+
+#[test]
+fn dense_and_sparse_additive_convolutions_agree_bitwise() {
+    let mut rng = SeededRng::seed_from_u64(0xC2);
+    for case in 0..CASES {
+        let contiguous = case % 2 == 0;
+        let a = monoid_dist(&mut rng, contiguous);
+        let b = monoid_dist(&mut rng, contiguous);
+        if contiguous {
+            assert!(
+                DistRepr::of(&a).is_dense(),
+                "contiguous support should choose the dense representation"
+            );
+        }
+        let adaptive = convolve_additive(&a, &b);
+        let sparse = a.convolve(&b, |x, y| x.saturating_add(y));
+        assert_eq!(adaptive.support_size(), sparse.support_size());
+        for ((av, ap), (sv, sp)) in adaptive.iter().zip(sparse.iter()) {
+            assert_eq!(av, sv);
+            assert_eq!(ap.to_bits(), sp.to_bits(), "value {av:?}");
+        }
+        // Total-mass preservation (both operands are normalized).
+        assert!((adaptive.total_mass() - 1.0).abs() < 1e-9);
+        for (_, p) in adaptive.iter() {
+            assert!(p.is_finite() && p > 0.0);
+        }
+    }
+}
+
+#[test]
+fn mass_is_preserved_through_mix_scale_chains() {
+    let mut rng = SeededRng::seed_from_u64(0xC3);
+    for _ in 0..CASES {
+        let a = small_dist(&mut rng);
+        let b = small_dist(&mut rng);
+        // Mixing with weights p and 1-p preserves total (unit) mass; the flat and
+        // reference kernels agree bit-for-bit along the way.
+        let p = 0.05 + 0.9 * rng.next_f64();
+        let flat = a.scale(p).mix(&b.scale(1.0 - p));
+        let reference = RefDist::from(&a)
+            .scale(p)
+            .mix(&RefDist::from(&b).scale(1.0 - p));
+        assert_bit_equal(&reference, &flat);
+        assert!((flat.total_mass() - 1.0).abs() < 1e-6);
     }
 }

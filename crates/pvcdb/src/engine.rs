@@ -235,6 +235,13 @@ pub struct CacheStats {
     pub cross_query_hits: u64,
     /// Entries evicted by the LRU bounds.
     pub evictions: u64,
+    /// Cached compiled d-tree arenas (flattened evaluation artifacts).
+    pub arenas: usize,
+    /// Arena lookups answered from the cache (each hit skips a full d-tree
+    /// compilation; only the arena evaluation runs).
+    pub arena_hits: u64,
+    /// Arena lookups that had to compile.
+    pub arena_misses: u64,
 }
 
 #[derive(Debug)]
@@ -390,6 +397,9 @@ impl Engine {
             misses: counters.misses,
             cross_query_hits: counters.cross_scope_hits,
             evictions: counters.evictions,
+            arenas: artifacts.arena_entries(),
+            arena_hits: counters.arena_hits,
+            arena_misses: counters.arena_misses,
         }
     }
 
