@@ -42,6 +42,8 @@ fn main() {
     let parallel = pvc_bench::experiment_parallel(scale);
     eprintln!("running the distribution-kernel experiment ...");
     let kernel = pvc_bench::experiment_kernel(scale);
+    eprintln!("running the warm-restart experiment ...");
+    let warm_restart = pvc_bench::experiment_warm_restart(scale);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -55,6 +57,8 @@ fn main() {
     out.push_str(&parallel.to_json());
     out.push_str(",\n  \"experiment_kernel\": ");
     out.push_str(&kernel.to_json());
+    out.push_str(",\n  \"experiment_warm_restart\": ");
+    out.push_str(&warm_restart.to_json());
     out.push_str("\n}\n");
     print!("{out}");
 }

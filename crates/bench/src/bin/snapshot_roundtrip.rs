@@ -1,0 +1,111 @@
+//! CI smoke check for the compile-artifact persistence subsystem: runs the
+//! repeated-workload scenario on one engine, snapshots its artifacts to disk
+//! (`Engine::save_artifacts`), restores them into a **fresh** engine over an
+//! identically rebuilt database (`Engine::with_artifacts_from`), re-runs the
+//! workload and **fails (exit 1)** if
+//!
+//! * any result differs bit-for-bit from the original run,
+//! * the restored engine recompiled anything (distribution misses or arena
+//!   rebuilds during the warm run — the snapshot must serve everything), or
+//! * the commuted query rendering is not served by cross-query hits (the
+//!   canonical ids — and their scope tags — must survive the round trip).
+//!
+//! ```text
+//! cargo run --release --bin snapshot_roundtrip
+//! ```
+
+use pvc_bench::{cache_workload_db, cache_workload_query, Scale};
+use pvc_db::{Engine, EvalOptions};
+
+fn fail(message: &str) -> ! {
+    eprintln!("FAIL: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (shops, per_shop) = if scale == Scale::Full {
+        (60, 8)
+    } else {
+        (24, 5)
+    };
+    let options = EvalOptions::default();
+    let qa = cache_workload_query(false);
+    let qb = cache_workload_query(true);
+    let path = std::env::temp_dir().join(format!(
+        "pvc-snapshot-roundtrip-{}.snap",
+        std::process::id()
+    ));
+
+    // Warm up one engine and snapshot it.
+    let writer = Engine::new(cache_workload_db(shops, per_shop));
+    let reference = writer
+        .prepare(&qa)
+        .expect("workload query prepares")
+        .execute(&options)
+        .expect("cold run");
+    let stats = writer
+        .save_artifacts(&path)
+        .unwrap_or_else(|e| fail(&format!("save_artifacts: {e}")));
+    drop(writer);
+    println!(
+        "snapshot: {} bytes, {} interned nodes, {} distributions, {} arenas, {} rewrites",
+        stats.bytes, stats.interned, stats.distributions, stats.arenas, stats.rewrites
+    );
+    if stats.distributions == 0 || stats.arenas == 0 {
+        fail("the snapshot is missing artifacts (nothing was cached?)");
+    }
+
+    // "Restart": identical database, fresh engine, artifacts from disk.
+    let restored = Engine::with_artifacts_from(cache_workload_db(shops, per_shop), &path)
+        .unwrap_or_else(|e| fail(&format!("with_artifacts_from: {e}")));
+    std::fs::remove_file(&path).ok();
+    let warm = restored
+        .prepare(&qa)
+        .expect("workload query prepares")
+        .execute(&options)
+        .expect("warm-from-disk run");
+
+    if warm.tuples.len() != reference.tuples.len() {
+        fail(&format!(
+            "result size changed across the round trip: {} vs {}",
+            reference.tuples.len(),
+            warm.tuples.len()
+        ));
+    }
+    for (a, b) in reference.tuples.iter().zip(&warm.tuples) {
+        if a.values != b.values || a.confidence.to_bits() != b.confidence.to_bits() {
+            fail("warm-from-disk results are not bit-identical to the original run");
+        }
+    }
+
+    let after = restored.cache_stats();
+    if after.misses + after.arena_misses > 0 {
+        fail(&format!(
+            "the restored engine recompiled {} artifacts during the warm run \
+             (misses: {}, arena rebuilds: {}) — the snapshot is not serving it",
+            after.misses + after.arena_misses,
+            after.misses,
+            after.arena_misses
+        ));
+    }
+    if after.hits == 0 {
+        fail("zero cache hits after restoring from disk");
+    }
+
+    // The commuted rendering must hit the restored entries across scopes.
+    restored
+        .prepare(&qb)
+        .expect("swapped rendering prepares")
+        .execute(&options)
+        .expect("cross run");
+    let cross = restored.cache_stats();
+    if cross.cross_query_hits == 0 {
+        fail("zero cross-query hits after the round trip — scope tags or canonical ids broke");
+    }
+
+    println!(
+        "OK: bit-identical warm restart with {} hits, 0 rebuilds, {} cross-query hits",
+        after.hits, cross.cross_query_hits
+    );
+}

@@ -523,8 +523,10 @@ pub const CACHE_HEADER: [&str; 11] = [
 
 /// The shop/offer/product database of the repeated-workload scenario: `shops` shops
 /// with `per_shop` offers each, every product listed in both product tables so that
-/// annotations carry non-trivial sums.
-fn cache_workload_db(shops: usize, per_shop: usize) -> pvc_db::Database {
+/// annotations carry non-trivial sums. Deterministic, so two calls build
+/// fingerprint-identical databases (which the warm-restart scenario and the
+/// `snapshot_roundtrip` smoke bin rely on).
+pub fn cache_workload_db(shops: usize, per_shop: usize) -> pvc_db::Database {
     use pvc_db::{Database, Schema};
     let mut db = Database::new();
     db.create_table("S", Schema::new(["sid", "shop"]));
@@ -572,7 +574,7 @@ fn cache_workload_db(shops: usize, per_shop: usize) -> pvc_db::Database {
 /// The paper's Q2 shape (shops whose maximal price is bounded), parameterised by the
 /// union rendering: `P1 ∪ P2` when `swapped` is false, `P2 ∪ P1` otherwise. Both
 /// renderings produce structurally equal provenance up to summand order.
-fn cache_workload_query(swapped: bool) -> pvc_db::Query {
+pub fn cache_workload_query(swapped: bool) -> pvc_db::Query {
     use pvc_db::{AggSpec, Predicate, Query};
     let products = if swapped {
         Query::table("P2").union(Query::table("P1"))
@@ -646,6 +648,164 @@ pub fn experiment_cache_threads(scale: Scale, threads: usize) -> CacheHitReport 
         // Warm and cross executions must be served without compiling any new
         // arena: the miss counter may not move after the cold run.
         arena_reused: stats.arenas > 0 && stats.arena_misses == arena_misses_after_cold,
+    }
+}
+
+/// The report of the warm-restart experiment: first-query latency of a cold
+/// engine, of an in-process warm engine, and of a fresh engine restored
+/// **from a disk snapshot** (`Engine::save_artifacts` →
+/// `Engine::with_artifacts_from`), plus behavioural counters proving the
+/// restored engine recompiled nothing.
+#[derive(Debug, Clone)]
+pub struct WarmRestartReport {
+    /// First execution on a cold engine (nothing cached).
+    pub cold_first_s: f64,
+    /// The same query re-executed on the warm in-process engine (mean of 5).
+    pub warm_live_s: f64,
+    /// Wall-clock of `Engine::save_artifacts` (serialise + write).
+    pub save_s: f64,
+    /// Wall-clock of `Engine::with_artifacts_from` (read + decode + replay).
+    pub load_s: f64,
+    /// First execution on the warm-from-disk engine.
+    pub warm_disk_first_s: f64,
+    /// Snapshot file size in bytes.
+    pub snapshot_bytes: usize,
+    /// `warm_disk_first_s / warm_live_s` — the CI gate requires ≤ 2× (after a
+    /// noise floor).
+    pub disk_vs_live: f64,
+    /// `cold_first_s / warm_disk_first_s` — how far below cold the restored
+    /// engine starts.
+    pub cold_vs_disk: f64,
+    /// Artifact-cache hits during the warm-from-disk first query.
+    pub warm_disk_hits: u64,
+    /// Distribution + arena (re)compilations during the warm-from-disk first
+    /// query — must be 0: everything is served from the snapshot.
+    pub warm_disk_rebuilds: u64,
+}
+
+impl WarmRestartReport {
+    /// The report as `(field name, JSON-ready value)` pairs.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("cold_first_s", format!("{:.6}", self.cold_first_s)),
+            ("warm_live_s", format!("{:.6}", self.warm_live_s)),
+            ("save_s", format!("{:.6}", self.save_s)),
+            ("load_s", format!("{:.6}", self.load_s)),
+            (
+                "warm_disk_first_s",
+                format!("{:.6}", self.warm_disk_first_s),
+            ),
+            ("snapshot_bytes", format!("{}", self.snapshot_bytes)),
+            ("disk_vs_live", format!("{:.2}", self.disk_vs_live)),
+            ("cold_vs_disk", format!("{:.2}", self.cold_vs_disk)),
+            ("warm_disk_hits", format!("{}", self.warm_disk_hits)),
+            ("warm_disk_rebuilds", format!("{}", self.warm_disk_rebuilds)),
+        ]
+    }
+
+    /// Format as a table row (same order as [`fields`](Self::fields)).
+    pub fn cells(&self) -> Vec<String> {
+        self.fields().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Header of the warm-restart experiment table.
+pub const WARM_RESTART_HEADER: [&str; 10] = [
+    "cold_first_s",
+    "warm_live_s",
+    "save_s",
+    "load_s",
+    "warm_disk_first_s",
+    "snapshot_bytes",
+    "disk_vs_live",
+    "cold_vs_disk",
+    "disk_hits",
+    "disk_rebuilds",
+];
+
+/// **Warm-restart experiment** (not in the paper): the serving-system restart
+/// scenario. One engine runs the repeated workload cold, snapshots its compile
+/// artifacts to disk, and a *fresh* engine (same deterministically rebuilt
+/// database, new process in spirit) restores them and answers its first query
+/// warm — the ROADMAP's "persist the arena + artifacts for warm restarts" loop,
+/// measured end to end.
+pub fn experiment_warm_restart(scale: Scale) -> WarmRestartReport {
+    let full = scale == Scale::Full;
+    let (shops, per_shop) = if full { (60, 8) } else { (24, 5) };
+    let warm_runs = 5;
+    let options = EvalOptions::default();
+    let query = cache_workload_query(false);
+    let path = std::env::temp_dir().join(format!(
+        "pvc-warm-restart-{}-{shops}x{per_shop}.snap",
+        std::process::id()
+    ));
+
+    let engine = Engine::new(cache_workload_db(shops, per_shop));
+    let prepared = engine.prepare(&query).expect("workload query prepares");
+    let start = std::time::Instant::now();
+    let cold = prepared.execute(&options).expect("cold run");
+    let cold_first_s = start.elapsed().as_secs_f64();
+    assert!(!cold.tuples.is_empty(), "workload must produce tuples");
+
+    let start = std::time::Instant::now();
+    for _ in 0..warm_runs {
+        prepared.execute(&options).expect("warm run");
+    }
+    let warm_live_s = start.elapsed().as_secs_f64() / warm_runs as f64;
+
+    let start = std::time::Instant::now();
+    let stats = engine.save_artifacts(&path).expect("snapshot saves");
+    let save_s = start.elapsed().as_secs_f64();
+    drop(engine);
+
+    // The "restarted process": an identical database rebuilt from scratch, a
+    // fresh engine warmed from the snapshot.
+    let db = cache_workload_db(shops, per_shop);
+    let start = std::time::Instant::now();
+    let restarted = Engine::with_artifacts_from(db, &path).expect("snapshot loads");
+    let load_s = start.elapsed().as_secs_f64();
+    std::fs::remove_file(&path).ok();
+
+    let prepared = restarted.prepare(&query).expect("workload query prepares");
+    let start = std::time::Instant::now();
+    let warm = prepared.execute(&options).expect("warm-from-disk run");
+    let warm_disk_first_s = start.elapsed().as_secs_f64();
+    let disk_stats = restarted.cache_stats();
+    assert_eq!(
+        cold.tuples.len(),
+        warm.tuples.len(),
+        "warm-from-disk result must have every tuple"
+    );
+    for (a, b) in cold.tuples.iter().zip(&warm.tuples) {
+        assert_eq!(
+            a.confidence.to_bits(),
+            b.confidence.to_bits(),
+            "warm-from-disk results must be bit-identical"
+        );
+    }
+
+    WarmRestartReport {
+        cold_first_s,
+        warm_live_s,
+        save_s,
+        load_s,
+        warm_disk_first_s,
+        snapshot_bytes: stats.bytes,
+        // Clamp divisors so the ratios stay finite below clock resolution.
+        disk_vs_live: warm_disk_first_s / warm_live_s.max(1e-9),
+        cold_vs_disk: cold_first_s / warm_disk_first_s.max(1e-9),
+        warm_disk_hits: disk_stats.hits,
+        warm_disk_rebuilds: disk_stats.misses + disk_stats.arena_misses,
     }
 }
 

@@ -17,7 +17,12 @@
 //! * the parallel speedup is only enforced on machines with ≥ 4 cores (the fresh
 //!   report records `cores`), with its own threshold
 //!   (`PVC_MIN_PARALLEL_SPEEDUP`, default 1.3× at 4 threads — slightly below the
-//!   ≥ 1.5× the baseline records, to absorb runner variance).
+//!   ≥ 1.5× the baseline records, to absorb runner variance);
+//! * the warm-restart loop must stay warm: a fresh engine restored from a disk
+//!   snapshot must answer its first query with cache hits and **zero**
+//!   recompilations, within `PVC_MAX_DISK_WARM_RATIO` (default 2×) of the
+//!   in-process warm latency (floored at `PVC_WARM_FLOOR_S`, default 5 ms) and
+//!   below the cold first query.
 
 use crate::json::Json;
 
@@ -36,6 +41,17 @@ pub struct GateConfig {
     /// input in `experiment_kernel` (`PVC_MIN_DENSE_SPEEDUP`). The direct-index
     /// path must at least not lose to the sort-based kernel it replaces.
     pub min_dense_speedup: f64,
+    /// Maximum tolerated ratio of warm-from-disk first-query latency over the
+    /// in-process warm latency in `experiment_warm_restart`
+    /// (`PVC_MAX_DISK_WARM_RATIO`). A restored engine must answer its first
+    /// query from the snapshot, not by recompiling.
+    pub max_disk_warm_ratio: f64,
+    /// Floor (seconds) applied to both sides of the warm-restart ratios
+    /// (`PVC_WARM_FLOOR_S`). Warm latencies are sub-millisecond, so the global
+    /// [`time_floor_s`](Self::time_floor_s) would make the check vacuous; this
+    /// tighter floor still absorbs scheduler jitter while catching a disk-warm
+    /// path that silently falls back to full recompilation.
+    pub warm_floor_s: f64,
 }
 
 impl Default for GateConfig {
@@ -45,6 +61,8 @@ impl Default for GateConfig {
             time_floor_s: 0.05,
             min_parallel_speedup: 1.3,
             min_dense_speedup: 1.0,
+            max_disk_warm_ratio: 2.0,
+            warm_floor_s: 0.005,
         }
     }
 }
@@ -64,6 +82,8 @@ impl GateConfig {
             time_floor_s: read("PVC_BENCH_TIME_FLOOR_S", defaults.time_floor_s),
             min_parallel_speedup: read("PVC_MIN_PARALLEL_SPEEDUP", defaults.min_parallel_speedup),
             min_dense_speedup: read("PVC_MIN_DENSE_SPEEDUP", defaults.min_dense_speedup),
+            max_disk_warm_ratio: read("PVC_MAX_DISK_WARM_RATIO", defaults.max_disk_warm_ratio),
+            warm_floor_s: read("PVC_WARM_FLOOR_S", defaults.warm_floor_s),
         }
     }
 }
@@ -171,6 +191,83 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
                 violations.push(format!(
                     "experiment_kernel.{field}: {ratio:.2}x slowdown ({base:.4}s -> {new:.4}s, \
                      tolerance {:.2}x)",
+                    cfg.tolerance
+                ));
+            }
+        }
+    }
+
+    // --- warm restart: the persistence loop must stay warm. --------------------
+    // Behavioural counters are exact (zero rebuilds, nonzero hits); the latency
+    // ratios use the tighter `warm_floor_s`, since warm executions sit far below
+    // the global noise floor.
+    if let Some(section) = fresh.get("experiment_warm_restart") {
+        match section.get("warm_disk_hits").and_then(Json::as_f64) {
+            Some(v) if v >= 1.0 => {}
+            Some(_) => violations.push(
+                "experiment_warm_restart: zero cache hits after restoring from disk \
+                 (snapshot is not serving the warm run)"
+                    .to_string(),
+            ),
+            None => violations
+                .push("experiment_warm_restart: fresh run is missing `warm_disk_hits`".to_string()),
+        }
+        match section.get("warm_disk_rebuilds").and_then(Json::as_f64) {
+            Some(v) if v <= 0.0 => {}
+            Some(v) => violations.push(format!(
+                "experiment_warm_restart: {v} artifacts were recompiled during the \
+                 warm-from-disk first query (must be 0)"
+            )),
+            None => violations.push(
+                "experiment_warm_restart: fresh run is missing `warm_disk_rebuilds`".to_string(),
+            ),
+        }
+        let disk = number(fresh, "experiment_warm_restart", "warm_disk_first_s");
+        let live = number(fresh, "experiment_warm_restart", "warm_live_s");
+        let cold = number(fresh, "experiment_warm_restart", "cold_first_s");
+        match (disk, live) {
+            (Some(disk), Some(live)) => {
+                let ratio = disk.max(cfg.warm_floor_s) / live.max(cfg.warm_floor_s);
+                if ratio > cfg.max_disk_warm_ratio {
+                    violations.push(format!(
+                        "experiment_warm_restart: warm-from-disk first query is {ratio:.2}x the \
+                         in-process warm latency ({disk:.4}s vs {live:.4}s, tolerance {:.2}x)",
+                        cfg.max_disk_warm_ratio
+                    ));
+                } else {
+                    compared_timings += 1;
+                }
+            }
+            _ => violations
+                .push("experiment_warm_restart: fresh run is missing warm latencies".to_string()),
+        }
+        if let (Some(disk), Some(cold)) = (disk, cold) {
+            // "Far below cold": the restored first query must not cost a cold
+            // compile. Floored on both sides like every other timing.
+            if disk.max(cfg.warm_floor_s) > cold.max(cfg.warm_floor_s) {
+                violations.push(format!(
+                    "experiment_warm_restart: warm-from-disk first query ({disk:.4}s) is not \
+                     below the cold first query ({cold:.4}s)"
+                ));
+            }
+        }
+        // The absolute cold/save/load timings ride the normal floored ratio check.
+        for field in ["cold_first_s", "save_s", "load_s"] {
+            let (Some(base), Some(new)) = (
+                number(baseline, "experiment_warm_restart", field),
+                number(fresh, "experiment_warm_restart", field),
+            ) else {
+                continue;
+            };
+            if new.max(base) < cfg.time_floor_s {
+                floored_timings += 1;
+                continue;
+            }
+            compared_timings += 1;
+            if let Some(ratio) = slowdown_violation(cfg, base, new) {
+                violations.push(format!(
+                    "experiment_warm_restart.{field}: {ratio:.2}x slowdown ({base:.4}s -> \
+                     {new:.4}s, tolerance {:.2}x)",
                     cfg.tolerance
                 ));
             }
@@ -356,6 +453,46 @@ mod tests {
             violations.iter().any(|v| v.contains("min_first_tuple_s")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn warm_restart_gate_checks_hits_rebuilds_and_latency_ratio() {
+        let with_restart = |hits: u64, rebuilds: u64, disk_s: f64| {
+            doc(&format!(
+                r#"{{
+              "experiment_cache": {{"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001, "cross_query_hits": 24}},
+              "experiment_warm_restart": {{"cold_first_s": 0.2, "warm_live_s": 0.001,
+                                           "save_s": 0.01, "load_s": 0.01,
+                                           "warm_disk_first_s": {disk_s},
+                                           "warm_disk_hits": {hits},
+                                           "warm_disk_rebuilds": {rebuilds}}}
+            }}"#
+            ))
+        };
+        let base = with_restart(30, 0, 0.002);
+        let (violations, _) = compare(&base, &with_restart(30, 0, 0.002), &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        // No hits after restoring: the snapshot is not serving anything.
+        let (violations, _) = compare(&base, &with_restart(0, 0, 0.002), &GateConfig::default());
+        assert!(violations.iter().any(|v| v.contains("zero cache hits")));
+        // Recompilation during the warm-from-disk run: fail.
+        let (violations, _) = compare(&base, &with_restart(30, 3, 0.002), &GateConfig::default());
+        assert!(violations.iter().any(|v| v.contains("recompiled")));
+        // Disk-warm latency way above the in-process warm path (and the 2x
+        // tolerance after the 5 ms floor): fail.
+        let (violations, _) = compare(&base, &with_restart(30, 0, 0.05), &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("warm-from-disk")),
+            "{violations:?}"
+        );
+        // Sub-floor jitter on both sides: pass.
+        let (violations, _) = compare(&base, &with_restart(30, 0, 0.004), &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        // Disk-warm above the cold first query: fail.
+        let (violations, _) = compare(&base, &with_restart(30, 0, 0.3), &GateConfig::default());
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("not") && v.contains("cold")));
     }
 
     #[test]

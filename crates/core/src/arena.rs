@@ -42,6 +42,7 @@
 //! did.
 
 use crate::node::{DTree, DTreeError};
+use crate::persist;
 use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
 use pvc_expr::{Var, VarTable};
 use pvc_prob::{Dist, DistValue, MixedDist, MonoidDist, SemiringDist, PROB_EPS};
@@ -240,6 +241,235 @@ impl DTreeArena {
                 + std::mem::size_of::<Sort>()
                 + std::mem::size_of::<Option<Fold>>())
             + self.branches.len() * std::mem::size_of::<(SemiringValue, u32)>()
+    }
+
+    /// The largest variable id referenced by any node (`None` for a
+    /// variable-free arena) — used by the snapshot loader to refuse arenas
+    /// whose variables are out of range for the target variable table.
+    pub(crate) fn max_var(&self) -> Option<u32> {
+        self.nodes
+            .iter()
+            .filter_map(|node| match node {
+                ArenaNode::VarLeaf(v) | ArenaNode::Exclusive { var: v, .. } => Some(v.0),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Serialise the arena into a snapshot writer (see [`crate::persist`]). The
+    /// encoding is exact — nodes, branch table, fold plans and inferred sorts —
+    /// so a decoded arena evaluates bit-identically to the original.
+    pub(crate) fn encode_into(&self, w: &mut persist::Writer) {
+        use persist::{put_agg_op, put_cmp_op, put_monoid_value, put_semiring_value};
+        w.put_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            match node {
+                ArenaNode::VarLeaf(v) => {
+                    w.put_u8(0);
+                    w.put_u32(v.0);
+                }
+                ArenaNode::SConst(c) => {
+                    w.put_u8(1);
+                    put_semiring_value(w, c);
+                }
+                ArenaNode::MConst(m) => {
+                    w.put_u8(2);
+                    put_monoid_value(w, m);
+                }
+                ArenaNode::SumS { left, right } => {
+                    w.put_u8(3);
+                    w.put_u32(*left);
+                    w.put_u32(*right);
+                }
+                ArenaNode::SumM { op, left, right } => {
+                    w.put_u8(4);
+                    put_agg_op(w, *op);
+                    w.put_u32(*left);
+                    w.put_u32(*right);
+                }
+                ArenaNode::Prod { left, right } => {
+                    w.put_u8(5);
+                    w.put_u32(*left);
+                    w.put_u32(*right);
+                }
+                ArenaNode::Tensor { op, scalar, value } => {
+                    w.put_u8(6);
+                    put_agg_op(w, *op);
+                    w.put_u32(*scalar);
+                    w.put_u32(*value);
+                }
+                ArenaNode::Cmp { theta, left, right } => {
+                    w.put_u8(7);
+                    put_cmp_op(w, *theta);
+                    w.put_u32(*left);
+                    w.put_u32(*right);
+                }
+                ArenaNode::Exclusive {
+                    var,
+                    branches_start,
+                    branches_len,
+                } => {
+                    w.put_u8(8);
+                    w.put_u32(var.0);
+                    w.put_u32(*branches_start);
+                    w.put_u32(*branches_len);
+                }
+            }
+        }
+        w.put_u64(self.branches.len() as u64);
+        for (value, child) in &self.branches {
+            put_semiring_value(w, value);
+            w.put_u32(*child);
+        }
+        for fold in &self.folds {
+            match fold {
+                None => w.put_u8(0),
+                Some(f) => {
+                    w.put_u8(1);
+                    put_cmp_op(w, f.theta);
+                    put_monoid_value(w, &f.bound);
+                    w.put_u32(f.child);
+                }
+            }
+        }
+        for sort in &self.sorts {
+            w.put_u8(match sort {
+                Sort::Semiring => 0,
+                Sort::Monoid => 1,
+                Sort::Unknown => 2,
+            });
+        }
+    }
+
+    /// Decode an arena previously written by [`encode_into`](Self::encode_into),
+    /// validating every child index so a malformed payload surfaces as a typed
+    /// error instead of an out-of-bounds panic at evaluation time.
+    pub(crate) fn decode_from(
+        r: &mut persist::Reader<'_>,
+    ) -> Result<DTreeArena, persist::PersistError> {
+        use persist::{
+            take_agg_op, take_cmp_op, take_monoid_value, take_semiring_value, PersistError,
+        };
+        let n_nodes = r.take_count(2)?;
+        let child_of = |idx: u32, i: usize| -> Result<u32, PersistError> {
+            if (idx as usize) < i {
+                Ok(idx)
+            } else {
+                Err(PersistError::Format(format!(
+                    "arena node {i} references child {idx} (children must precede parents)"
+                )))
+            }
+        };
+        let mut nodes = Vec::with_capacity(n_nodes);
+        // The branch table length is read after the nodes, so Exclusive branch
+        // ranges are validated in a second pass below.
+        for i in 0..n_nodes {
+            let node = match r.take_u8()? {
+                0 => ArenaNode::VarLeaf(Var(r.take_u32()?)),
+                1 => ArenaNode::SConst(take_semiring_value(r)?),
+                2 => ArenaNode::MConst(take_monoid_value(r)?),
+                3 => ArenaNode::SumS {
+                    left: child_of(r.take_u32()?, i)?,
+                    right: child_of(r.take_u32()?, i)?,
+                },
+                4 => {
+                    let op = take_agg_op(r)?;
+                    ArenaNode::SumM {
+                        op,
+                        left: child_of(r.take_u32()?, i)?,
+                        right: child_of(r.take_u32()?, i)?,
+                    }
+                }
+                5 => ArenaNode::Prod {
+                    left: child_of(r.take_u32()?, i)?,
+                    right: child_of(r.take_u32()?, i)?,
+                },
+                6 => {
+                    let op = take_agg_op(r)?;
+                    ArenaNode::Tensor {
+                        op,
+                        scalar: child_of(r.take_u32()?, i)?,
+                        value: child_of(r.take_u32()?, i)?,
+                    }
+                }
+                7 => {
+                    let theta = take_cmp_op(r)?;
+                    ArenaNode::Cmp {
+                        theta,
+                        left: child_of(r.take_u32()?, i)?,
+                        right: child_of(r.take_u32()?, i)?,
+                    }
+                }
+                8 => ArenaNode::Exclusive {
+                    var: Var(r.take_u32()?),
+                    branches_start: r.take_u32()?,
+                    branches_len: r.take_u32()?,
+                },
+                t => return Err(PersistError::Format(format!("bad arena-node tag {t}"))),
+            };
+            nodes.push(node);
+        }
+        let n_branches = r.take_count(3)?;
+        let mut branches = Vec::with_capacity(n_branches);
+        for _ in 0..n_branches {
+            let value = take_semiring_value(r)?;
+            let child = r.take_u32()?;
+            if child as usize >= n_nodes {
+                return Err(PersistError::Format(format!(
+                    "arena branch references unknown node {child}"
+                )));
+            }
+            branches.push((value, child));
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if let ArenaNode::Exclusive {
+                branches_start,
+                branches_len,
+                ..
+            } = node
+            {
+                let end = *branches_start as usize + *branches_len as usize;
+                if end > n_branches {
+                    return Err(PersistError::Format(format!(
+                        "arena node {i} references branches beyond the branch table"
+                    )));
+                }
+                for (_, child) in &branches[*branches_start as usize..end] {
+                    child_of(*child, i)?;
+                }
+            }
+        }
+        let mut folds = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            folds.push(match r.take_u8()? {
+                0 => None,
+                1 => {
+                    let theta = take_cmp_op(r)?;
+                    let bound = take_monoid_value(r)?;
+                    Some(Fold {
+                        theta,
+                        bound,
+                        child: child_of(r.take_u32()?, i)?,
+                    })
+                }
+                t => return Err(PersistError::Format(format!("bad fold tag {t}"))),
+            });
+        }
+        let mut sorts = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            sorts.push(match r.take_u8()? {
+                0 => Sort::Semiring,
+                1 => Sort::Monoid,
+                2 => Sort::Unknown,
+                t => return Err(PersistError::Format(format!("bad sort tag {t}"))),
+            });
+        }
+        Ok(DTreeArena {
+            nodes,
+            branches,
+            folds,
+            sorts,
+        })
     }
 
     fn push_tree(&mut self, tree: &DTree, branch_scratch: &mut Vec<(SemiringValue, u32)>) -> u32 {

@@ -184,6 +184,20 @@ impl<V> Lru<V> {
         Some((&e.value, e.scope))
     }
 
+    /// Every entry as `(key, scope, value)`, least-recently-used first — the
+    /// order the snapshot codec replays inserts in, so restoring reproduces the
+    /// recency order. Does not promote.
+    fn entries_oldest_first(&self) -> Vec<(u32, u64, &V)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.tail;
+        while cur != NONE {
+            let e = self.slots[cur].as_ref().expect("linked slot");
+            out.push((e.key, e.scope, &e.value));
+            cur = e.prev;
+        }
+        out
+    }
+
     /// Insert or replace; evicts least-recently-used entries beyond the bounds.
     /// Returns the number of evictions performed.
     fn insert(
@@ -330,6 +344,18 @@ impl CompilationCache {
         self.counters = CacheCounters::default();
     }
 
+    /// Export every cached artifact with its key and insertion scope, each map
+    /// in least-recently-used-first order — the save half of the snapshot codec
+    /// in [`crate::persist`]. Read-only: no promotions, no counter changes.
+    pub(crate) fn export(&self) -> CacheExport<'_> {
+        CacheExport {
+            semiring: self.semiring.entries_oldest_first(),
+            aggregate: self.aggregate.entries_oldest_first(),
+            sem_arenas: self.sem_arenas.entries_oldest_first(),
+            agg_arenas: self.agg_arenas.entries_oldest_first(),
+        }
+    }
+
     /// Cached compiled arena for a semiring expression, promoting the entry.
     pub fn get_semiring_arena(&mut self, id: ExprId) -> Option<Arc<DTreeArena>> {
         match self.sem_arenas.get(id.0) {
@@ -439,6 +465,17 @@ impl CompilationCache {
             self.aggregate
                 .insert(id.0, dist.clone(), bytes, scope, &self.config);
     }
+}
+
+/// The borrowed artifact listing produced by [`CompilationCache::export`]:
+/// every map's entries as `(key, scope, value)` in least-recently-used-first
+/// order.
+#[derive(Debug)]
+pub(crate) struct CacheExport<'a> {
+    pub(crate) semiring: Vec<(u32, u64, &'a SemiringDist)>,
+    pub(crate) aggregate: Vec<(u32, u64, &'a MonoidDist)>,
+    pub(crate) sem_arenas: Vec<(u32, u64, &'a Arc<DTreeArena>)>,
+    pub(crate) agg_arenas: Vec<(u32, u64, &'a Arc<DTreeArena>)>,
 }
 
 /// Errors raised by the cache-aware evaluator: either compilation exceeded its node
@@ -974,6 +1011,70 @@ impl SharedArtifacts {
     pub fn interned_nodes(&self) -> usize {
         let interner = self.interner();
         interner.len() + interner.agg_len()
+    }
+
+    /// Serialise the whole store into snapshot bytes (see [`crate::persist`]),
+    /// returning the bytes together with the exact content counts of the
+    /// snapshot. `fingerprint` identifies the database the artifacts were
+    /// computed under; `extra` is an opaque caller section stored verbatim (the
+    /// engine persists its step-I rewrite cache there). Both locks are held for
+    /// the duration (interner before cache, the same order as
+    /// [`clear`](Self::clear)), so the snapshot — and the returned counts — are
+    /// a consistent point-in-time view even while other sharers keep inserting.
+    pub fn snapshot_bytes(
+        &self,
+        fingerprint: u64,
+        extra: Option<&[u8]>,
+    ) -> (Vec<u8>, crate::persist::RestoreStats) {
+        let interner = self.interner();
+        let cache = self.cache();
+        let counts = crate::persist::RestoreStats {
+            interned_exprs: interner.len(),
+            interned_aggs: interner.agg_len(),
+            distributions: cache.semiring_entries() + cache.aggregate_entries(),
+            arenas: cache.arena_entries(),
+        };
+        (
+            crate::persist::encode_snapshot(&interner, &cache, fingerprint, extra),
+            counts,
+        )
+    }
+
+    /// Replay a decoded snapshot into this (possibly warm) store: interned
+    /// nodes are merged with id remapping, cache entries are inserted under the
+    /// remapped ids honouring this store's LRU bounds. Both locks are held for
+    /// the duration, so concurrent workers never observe a half-restored store.
+    ///
+    /// `expected_fingerprint` must be the digest of the database this store
+    /// serves (the same value the saver passed to
+    /// [`snapshot_bytes`](Self::snapshot_bytes)); a snapshot recorded against a
+    /// different database is refused — cached artifacts are functions of the
+    /// probability space they were computed under, and a warm cache serving
+    /// another database's numbers would be silently wrong.
+    pub fn restore_snapshot(
+        &self,
+        snapshot: &crate::persist::Snapshot,
+        expected_fingerprint: u64,
+    ) -> Result<crate::persist::RestoreStats, crate::persist::PersistError> {
+        snapshot.verify_fingerprint(expected_fingerprint)?;
+        let mut interner = self.interner();
+        let mut cache = self.cache();
+        snapshot.restore_into(&mut interner, &mut cache)
+    }
+
+    /// A fresh store rebuilt from a decoded snapshot, using the **snapshot's**
+    /// cache bounds — the warm-restart constructor
+    /// (`Engine::with_artifacts_from` in `pvc-db` builds on this; use it
+    /// directly to restore one shared store for several multi-tenant engines).
+    /// Refuses a snapshot whose fingerprint does not match
+    /// `expected_fingerprint` (see [`restore_snapshot`](Self::restore_snapshot)).
+    pub fn from_snapshot(
+        snapshot: &crate::persist::Snapshot,
+        expected_fingerprint: u64,
+    ) -> Result<(Self, crate::persist::RestoreStats), crate::persist::PersistError> {
+        let store = SharedArtifacts::new(snapshot.config());
+        let stats = store.restore_snapshot(snapshot, expected_fingerprint)?;
+        Ok((store, stats))
     }
 }
 

@@ -1,9 +1,15 @@
 //! # pvc-core
 //!
-//! The paper's primary contribution: **decomposition trees (d-trees)** and the
-//! compilation of arbitrary semiring / semimodule expressions into them
-//! (Algorithm 1), with bottom-up probability computation, pruning of conditional
-//! expressions, and joint-distribution compilation.
+//! The paper's primary contribution (§5): **decomposition trees (d-trees)** and
+//! the compilation of arbitrary semiring / semimodule expressions into them
+//! (Algorithm 1), with bottom-up probability computation (Theorem 2), pruning of
+//! conditional expressions, and joint-distribution compilation — plus the
+//! serving-system layers built around the compiled artifacts: the bounded
+//! [`cache`] (memoised distributions and flattened [`arena`] evaluators under
+//! canonical ids, shareable across threads and engines via
+//! [`SharedArtifacts`]), the zero-dependency worker pool ([`parallel`]), and
+//! [`persist`] — versioned binary snapshots that let a restarted process come
+//! back warm instead of recompiling.
 //!
 //! The typical end-to-end use is one of the convenience functions:
 //!
@@ -40,6 +46,7 @@ pub mod compile;
 pub mod joint;
 pub mod node;
 pub mod parallel;
+pub mod persist;
 pub mod prune;
 
 pub use arena::DTreeArena;
@@ -53,6 +60,7 @@ pub use compile::{
 pub use joint::{joint_distribution, ratio_distribution};
 pub use node::{DTree, DTreeError};
 pub use parallel::{parallel_map, resolve_threads, OrderedReassembly};
+pub use persist::{PersistError, RestoreStats, Snapshot};
 pub use prune::{prune_against_constant, prune_conditional, PruneResult};
 
 use pvc_algebra::SemiringKind;

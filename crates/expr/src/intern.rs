@@ -210,6 +210,32 @@ impl Interner {
         &self.agg_var_sets[id.0 as usize]
     }
 
+    /// All interned semiring nodes in id order (`nodes()[i]` is the node behind
+    /// `ExprId(i)`). Children always have smaller ids than their parents, so the
+    /// slice is a valid bottom-up replay order — the property the snapshot codec
+    /// of `pvc-core::persist` relies on.
+    pub fn nodes(&self) -> &[InternedExpr] {
+        &self.nodes
+    }
+
+    /// All interned semimodule nodes in id order (see [`nodes`](Self::nodes)).
+    pub fn agg_nodes(&self) -> &[InternedAgg] {
+        &self.agg_nodes
+    }
+
+    /// Intern an already-structured node whose children are ids of **this**
+    /// interner. Canonicalises n-ary operand order exactly like
+    /// [`intern`](Self::intern), so replaying another interner's nodes (with
+    /// remapped child ids) through this method reproduces canonical structures —
+    /// the load half of the snapshot codec.
+    pub fn intern_node(&mut self, node: InternedExpr) -> ExprId {
+        match node {
+            InternedExpr::Add(children) => self.intern_add(children),
+            InternedExpr::Mul(children) => self.intern_mul(children),
+            other => self.insert_node(other),
+        }
+    }
+
     /// Intern a semiring expression tree, returning its canonical id.
     pub fn intern(&mut self, expr: &SemiringExpr) -> ExprId {
         match expr {

@@ -120,6 +120,44 @@ impl VarTable {
         out
     }
 
+    /// A stable 64-bit fingerprint of the registered variables: names,
+    /// distribution supports and exact probability bits (FNV-1a over a canonical
+    /// byte rendering). Two tables built by the same deterministic loading code
+    /// fingerprint identically across processes; any change to a name, value or
+    /// probability changes the fingerprint.
+    ///
+    /// The engine's compile-artifact snapshots (`pvc-core::persist`) embed this
+    /// value so that a snapshot recorded against one probability space is refused
+    /// when loaded against another.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&(self.names.len() as u64).to_le_bytes());
+        for (name, dist) in self.names.iter().zip(&self.dists) {
+            eat(&(name.len() as u64).to_le_bytes());
+            eat(name.as_bytes());
+            eat(&(dist.support_size() as u64).to_le_bytes());
+            for (value, p) in dist.iter() {
+                match value {
+                    SemiringValue::Bool(b) => {
+                        eat(&[0, *b as u8]);
+                    }
+                    SemiringValue::Nat(n) => {
+                        eat(&[1]);
+                        eat(&n.to_le_bytes());
+                    }
+                }
+                eat(&p.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// The total number of possible worlds induced by the registered variables.
     pub fn num_worlds(&self) -> u128 {
         self.dists
@@ -311,6 +349,23 @@ mod tests {
         s.insert(Var(5));
         assert_eq!(s.as_slice(), &[Var(1), Var(5)]);
         assert_eq!(s.to_string(), "{v1, v5}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let build = |p: f64| {
+            let mut vt = VarTable::new();
+            vt.boolean("x", p);
+            vt.natural("y", &[(0, 0.5), (2, 0.5)]);
+            vt
+        };
+        assert_eq!(build(0.4).fingerprint(), build(0.4).fingerprint());
+        assert_ne!(build(0.4).fingerprint(), build(0.5).fingerprint());
+        let mut renamed = VarTable::new();
+        renamed.boolean("z", 0.4);
+        renamed.natural("y", &[(0, 0.5), (2, 0.5)]);
+        assert_ne!(build(0.4).fingerprint(), renamed.fingerprint());
+        assert_ne!(VarTable::new().fingerprint(), build(0.4).fingerprint());
     }
 
     #[test]

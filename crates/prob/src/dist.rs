@@ -270,6 +270,20 @@ impl<T: Ord + Clone> Dist<T> {
     /// generate–sort–coalesce over the candidate pairs,
     /// `O(|self|·|other|·log(|self|·|other|))` in the worst case and effectively a
     /// k-way run merge for monotone `op`.
+    ///
+    /// ```
+    /// use pvc_prob::Dist;
+    ///
+    /// // Two independent uncertain prices; the distribution of their minimum
+    /// // (Eq. 4 of the paper: ⊕ over the MIN monoid).
+    /// let a = Dist::from_pairs([(10i64, 0.5), (20, 0.5)]);
+    /// let b = Dist::from_pairs([(15i64, 0.2), (25, 0.8)]);
+    /// let min = a.convolve(&b, |x, y| *x.min(y));
+    /// assert_eq!(min.support_size(), 3);
+    /// assert!((min.prob(&10) - 0.5).abs() < 1e-12); // a=10 wins regardless of b
+    /// assert!((min.prob(&15) - 0.1).abs() < 1e-12); // a=20 ∧ b=15
+    /// assert!((min.prob(&20) - 0.4).abs() < 1e-12); // a=20 ∧ b=25
+    /// ```
     pub fn convolve<U: Ord + Clone, V: Ord + Clone>(
         &self,
         other: &Dist<U>,

@@ -53,6 +53,15 @@
 //! ([`Engine::with_shared_artifacts`]) for multi-tenant serving over a shared
 //! database. Step-I rewrites are cached per engine under the query's
 //! [canonical structural key](Query::structural_key).
+//!
+//! ## Persistence (warm restarts)
+//!
+//! All of the above survives a process restart: [`Engine::save_artifacts`]
+//! snapshots the arena, the artifact cache and the rewrite cache into one
+//! versioned, checksummed file, and [`Engine::with_artifacts_from`] brings a
+//! fresh engine up warm from it (fingerprint-gated to the exact database, with
+//! interned-id remapping so [`Engine::restore_artifacts`] can also merge into a
+//! live store). See `docs/SNAPSHOT_FORMAT.md`.
 
 use crate::database::Database;
 use crate::error::Error;
@@ -244,6 +253,22 @@ pub struct CacheStats {
     pub arena_misses: u64,
 }
 
+/// What one snapshot save or restore moved between the engine and disk (see
+/// [`Engine::save_artifacts`] / [`Engine::restore_artifacts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotStats {
+    /// Interned expression nodes (semiring + semimodule) written / replayed.
+    pub interned: usize,
+    /// Cached distributions (confidences + aggregates) written / inserted.
+    pub distributions: usize,
+    /// Compiled d-tree arenas written / inserted.
+    pub arenas: usize,
+    /// Step-I rewrite tables written / installed.
+    pub rewrites: usize,
+    /// Total snapshot size in bytes.
+    pub bytes: usize,
+}
+
 #[derive(Debug)]
 struct Caches {
     /// Step-I rewrites, keyed by [`Query::structural_key`]. Behind an `RwLock` so
@@ -403,12 +428,187 @@ impl Engine {
         }
     }
 
+    /// Persist every compile artifact of this engine — the hash-consed
+    /// expression arena, the cached distributions and compiled d-tree arenas
+    /// (respecting the LRU bounds: only what is cached is written), and the
+    /// step-I rewrite cache — into a versioned, checksummed snapshot file, so a
+    /// restarted process can come back **warm**
+    /// (see [`Engine::with_artifacts_from`]).
+    ///
+    /// The snapshot embeds a fingerprint of the database (semiring, variable
+    /// distributions, table contents); loading it against any other database is
+    /// refused with [`Error::Snapshot`]. The format is documented in
+    /// `docs/SNAPSHOT_FORMAT.md`.
+    ///
+    /// ```
+    /// use pvc_db::{Database, Engine, EvalOptions, Query, Schema};
+    ///
+    /// // Deterministic loading code: both "processes" build the same database.
+    /// fn build_db() -> Database {
+    ///     let mut db = Database::new();
+    ///     db.create_table("offers", Schema::new(["shop", "price"]));
+    ///     let (offers, vars) = db.table_and_vars_mut("offers").unwrap();
+    ///     offers.push_independent(vec!["M&S".into(), 10i64.into()], 0.9, vars);
+    ///     offers.push_independent(vec!["Gap".into(), 12i64.into()], 0.8, vars);
+    ///     db
+    /// }
+    ///
+    /// let path = std::env::temp_dir().join(format!("pvc-doc-{}.snap", std::process::id()));
+    /// let query = Query::table("offers").project(["shop"]);
+    ///
+    /// // First process: serve traffic, then snapshot the warmed-up artifacts.
+    /// let engine = Engine::new(build_db());
+    /// let cold = engine.prepare(&query)?.execute(&EvalOptions::default())?;
+    /// let stats = engine.save_artifacts(&path)?;
+    /// assert!(stats.rewrites >= 1 && stats.bytes > 0);
+    ///
+    /// // "Restart": a fresh engine starts warm from the snapshot.
+    /// let restarted = Engine::with_artifacts_from(build_db(), &path)?;
+    /// let warm = restarted.prepare(&query)?.execute(&EvalOptions::default())?;
+    /// assert_eq!(cold.tuples.len(), warm.tuples.len());
+    /// for (a, b) in cold.tuples.iter().zip(&warm.tuples) {
+    ///     assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+    /// }
+    /// assert_eq!(restarted.cache_stats().misses, 0); // served entirely from the snapshot
+    /// std::fs::remove_file(&path).ok();
+    /// # Ok::<(), pvc_db::Error>(())
+    /// ```
+    pub fn save_artifacts(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SnapshotStats, Error> {
+        let fingerprint = crate::snapshot::database_fingerprint(&self.db);
+        let rewrites = self
+            .caches
+            .rewrites
+            .read()
+            .expect("rewrite cache lock poisoned");
+        let extra = crate::snapshot::encode_rewrites(&rewrites);
+        let n_rewrites = rewrites.len();
+        drop(rewrites);
+        // The counts come from the same locked view as the bytes, so they are
+        // exact even when another engine shares (and keeps filling) the store.
+        let (bytes, counts) = self
+            .caches
+            .artifacts
+            .snapshot_bytes(fingerprint, Some(&extra));
+        pvc_core::persist::write_snapshot_file(path, &bytes)?;
+        Ok(SnapshotStats {
+            interned: counts.interned_exprs + counts.interned_aggs,
+            distributions: counts.distributions,
+            arenas: counts.arenas,
+            rewrites: n_rewrites,
+            bytes: bytes.len(),
+        })
+    }
+
+    /// Create an engine that starts **warm from disk**: a fresh artifact store
+    /// (with the snapshot's cache bounds) and rewrite cache are rebuilt from a
+    /// snapshot previously written by [`Engine::save_artifacts`].
+    ///
+    /// `db` must be the same database the snapshot was recorded against
+    /// (typically rebuilt by the same deterministic loading code); a fingerprint
+    /// mismatch, corrupted/truncated file or unsupported format version is
+    /// refused with a typed [`Error::Snapshot`] — never a panic, and never a
+    /// silently-wrong warm cache. Results are bit-identical to a cold engine;
+    /// only the first-query latency changes. See [`Engine::save_artifacts`] for
+    /// a runnable end-to-end example and [`Engine::restore_artifacts`] for
+    /// merging a snapshot into an already-running engine.
+    pub fn with_artifacts_from(
+        db: Database,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Engine, Error> {
+        let bytes = pvc_core::persist::read_snapshot_file(path)?;
+        let snapshot = pvc_core::persist::decode_snapshot(&bytes)?;
+        // Fingerprint first (the honest-mismatch diagnosis), then the variable
+        // bound (defence in depth against crafted files — the checksum is
+        // integrity, not authentication).
+        let fingerprint = crate::snapshot::database_fingerprint(&db);
+        snapshot.verify_fingerprint(fingerprint)?;
+        snapshot.verify_variables(db.vars.len())?;
+        let (store, _) = SharedArtifacts::from_snapshot(&snapshot, fingerprint)?;
+        let engine = Engine::with_shared_artifacts(db, Arc::new(store));
+        if let Some(extra) = snapshot.extra() {
+            let rewrites = crate::snapshot::decode_rewrites(extra, engine.db.vars.len())?;
+            *engine
+                .caches
+                .rewrites
+                .write()
+                .expect("rewrite cache lock poisoned") = rewrites;
+        }
+        Ok(engine)
+    }
+
+    /// Merge a snapshot into this engine's **live** store: interned ids are
+    /// remapped onto the live arena (shared structure deduplicates), cache
+    /// entries are inserted under this engine's LRU bounds, and restored
+    /// rewrites fill gaps without displacing live entries. The snapshot's
+    /// fingerprint must match this engine's database.
+    ///
+    /// This is the multi-tenant / already-running variant of
+    /// [`Engine::with_artifacts_from`]; every engine sharing this store (via
+    /// [`Engine::with_shared_artifacts`]) sees the restored artifacts.
+    pub fn restore_artifacts(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SnapshotStats, Error> {
+        let bytes = pvc_core::persist::read_snapshot_file(path)?;
+        let snapshot = pvc_core::persist::decode_snapshot(&bytes)?;
+        let fingerprint = crate::snapshot::database_fingerprint(&self.db);
+        snapshot.verify_fingerprint(fingerprint)?;
+        snapshot.verify_variables(self.db.vars.len())?;
+        let stats = self
+            .caches
+            .artifacts
+            .restore_snapshot(&snapshot, fingerprint)?;
+        let mut rewrites = 0usize;
+        if let Some(extra) = snapshot.extra() {
+            let restored = crate::snapshot::decode_rewrites(extra, self.db.vars.len())?;
+            rewrites = restored.len();
+            let mut live = self
+                .caches
+                .rewrites
+                .write()
+                .expect("rewrite cache lock poisoned");
+            for (key, table) in restored {
+                live.entry(key).or_insert(table);
+            }
+        }
+        Ok(SnapshotStats {
+            interned: stats.interned_exprs + stats.interned_aggs,
+            distributions: stats.distributions,
+            arenas: stats.arenas,
+            rewrites,
+            bytes: bytes.len(),
+        })
+    }
+
     /// Validate a query, compute its output schema, classify it against the §6
     /// tractability classes, and record the chosen strategy in a [`Plan`].
     ///
     /// Returns [`Error::Validation`] for every query that violates Definition 5 or
     /// references unknown tables/columns — nothing in the prepared pipeline panics on
     /// malformed input.
+    ///
+    /// ```
+    /// use pvc_db::{Database, Engine, EvalOptions, Query, Schema, Strategy};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table("S", Schema::new(["sid", "shop"]));
+    /// let (s, vars) = db.table_and_vars_mut("S")?;
+    /// s.push_independent(vec![1i64.into(), "M&S".into()], 0.4, vars);
+    ///
+    /// let engine = Engine::new(db);
+    /// let prepared = engine.prepare(&Query::table("S").project(["shop"]))?;
+    /// // A projection of a tuple-independent table is in Q_ind (Definition 8).
+    /// assert_eq!(prepared.plan().strategy, Strategy::IndependentFastPath);
+    /// assert_eq!(prepared.schema().names(), vec!["shop"]);
+    /// let result = prepared.execute(&EvalOptions::default())?;
+    /// assert!((result.tuples[0].confidence - 0.4).abs() < 1e-12);
+    /// // Unknown tables surface as typed validation errors, not panics.
+    /// assert!(engine.prepare(&Query::table("missing")).is_err());
+    /// # Ok::<(), pvc_db::Error>(())
+    /// ```
     pub fn prepare(&self, query: &Query) -> Result<PreparedQuery<'_>, Error> {
         let plan = plan_query(&self.db, query)?;
         Ok(PreparedQuery {
@@ -503,6 +703,28 @@ impl PreparedQuery<'_> {
     /// consumption). Dropping the stream cancels the remaining work and joins the
     /// workers; consuming it fully yields exactly the tuples
     /// [`execute`](Self::execute) would have returned.
+    ///
+    /// ```
+    /// use pvc_db::{Database, Engine, EvalOptions, Query, Schema};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table("S", Schema::new(["sid"]));
+    /// let (s, vars) = db.table_and_vars_mut("S")?;
+    /// for i in 0..10 {
+    ///     s.push_independent(vec![(i as i64).into()], 0.5, vars);
+    /// }
+    ///
+    /// let engine = Engine::new(db);
+    /// let prepared = engine.prepare(&Query::table("S"))?;
+    /// let stream = prepared.execute_streaming(&EvalOptions::default().with_threads(2))?;
+    /// assert_eq!(stream.total_tuples(), 10);
+    /// // Tuples arrive in deterministic order as workers finish them.
+    /// let confidences: Vec<f64> = stream
+    ///     .map(|tuple| tuple.map(|t| t.confidence))
+    ///     .collect::<Result<_, _>>()?;
+    /// assert_eq!(confidences.len(), 10);
+    /// # Ok::<(), pvc_db::Error>(())
+    /// ```
     pub fn execute_streaming(&self, options: &EvalOptions) -> Result<TupleStream, Error> {
         let engine = self.engine;
         let (table, scope, rewrite_time) =

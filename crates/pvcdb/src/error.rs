@@ -5,7 +5,7 @@
 //! so callers match on one enum instead of a zoo of panics.
 
 use crate::query::QueryError;
-use pvc_core::{BudgetExceeded, DTreeError, EvalError};
+use pvc_core::{BudgetExceeded, DTreeError, EvalError, PersistError};
 use std::fmt;
 
 /// Errors returned by the `pvc-db` engine and its fallible entry points.
@@ -42,6 +42,11 @@ pub enum Error {
     /// delivering its results (a panic in a worker thread). Streaming surfaces this
     /// instead of silently truncating the result.
     Worker(String),
+    /// Saving or loading a compile-artifact snapshot failed: I/O, a corrupted or
+    /// truncated file, a mismatched format version, or a snapshot recorded
+    /// against a different database (see [`pvc_core::persist`] and
+    /// [`crate::Engine::save_artifacts`] / [`crate::Engine::with_artifacts_from`]).
+    Snapshot(PersistError),
 }
 
 impl fmt::Display for Error {
@@ -60,6 +65,7 @@ impl fmt::Display for Error {
                 write!(f, "column `{column}` does not hold {expected}")
             }
             Error::Worker(detail) => write!(f, "parallel execution failed: {detail}"),
+            Error::Snapshot(e) => write!(f, "artifact snapshot failed: {e}"),
         }
     }
 }
@@ -69,6 +75,7 @@ impl std::error::Error for Error {
         match self {
             Error::Validation(e) => Some(e),
             Error::Compile(e) => Some(e),
+            Error::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +96,12 @@ impl From<BudgetExceeded> for Error {
 impl From<DTreeError> for Error {
     fn from(e: DTreeError) -> Self {
         Error::Distribution(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Snapshot(e)
     }
 }
 

@@ -12,6 +12,10 @@
 //!   inspectable [`Plan`]; `execute` runs the two evaluation steps under explicit
 //!   [`EvalOptions`], with compile-artifact caching and a read-once fast path for
 //!   tractable queries;
+//! * [`Engine::save_artifacts`] / [`Engine::with_artifacts_from`] — persistent
+//!   compile-artifact snapshots: a restarted process reloads the interned
+//!   expressions, cached distributions, compiled d-tree arenas and step-I
+//!   rewrites and answers its first query warm (see `docs/SNAPSHOT_FORMAT.md`);
 //! * [`Error`] — the single error enum of every fallible entry point;
 //! * [`exec::try_evaluate`] — step I of query evaluation: the rewriting `⟦·⟧` of
 //!   Fig. 4, computing result tuples together with their annotations;
@@ -47,17 +51,20 @@ pub mod prob_eval;
 pub mod query;
 pub mod relation;
 pub mod schema;
+pub(crate) mod snapshot;
 pub mod tractable;
 pub mod value;
 
 pub use database::Database;
-pub use engine::{CacheStats, Engine, EvalOptions, Plan, PreparedQuery, Strategy, TupleStream};
+pub use engine::{
+    CacheStats, Engine, EvalOptions, Plan, PreparedQuery, SnapshotStats, Strategy, TupleStream,
+};
 pub use error::Error;
 pub use exec::try_evaluate;
 pub use prob_eval::{try_tuple_confidences, ProbTuple, QueryResult};
-// Re-exported so engine users can bound/share the caches without depending on
-// `pvc-core`.
-pub use pvc_core::{CacheConfig, SharedArtifacts};
+// Re-exported so engine users can bound/share the caches (and inspect snapshot
+// failures) without depending on `pvc-core`.
+pub use pvc_core::{CacheConfig, PersistError, SharedArtifacts};
 pub use query::{AggSpec, Predicate, Query, QueryError};
 pub use relation::{PvcTable, Tuple};
 pub use schema::{Column, Schema};

@@ -1,0 +1,377 @@
+//! The engine's half of the compile-artifact snapshot format: the **database
+//! fingerprint** that gates loading, and the codec for the step-I **rewrite
+//! cache** (the `⟦·⟧` result tables keyed by [`Query::structural_key`]), which
+//! rides in the snapshot's opaque *extra* section.
+//!
+//! The artifact sections themselves (interned expressions, cached distributions
+//! and compiled d-tree arenas) are handled by [`pvc_core::persist`]; this module
+//! only adds what `pvc-core` cannot know about: relational tables. See
+//! `docs/SNAPSHOT_FORMAT.md` for the full layout and the compatibility policy,
+//! and [`Engine::save_artifacts`](crate::Engine::save_artifacts) /
+//! [`Engine::with_artifacts_from`](crate::Engine::with_artifacts_from) for the
+//! public API.
+//!
+//! [`Query::structural_key`]: crate::Query::structural_key
+
+use crate::database::Database;
+use crate::relation::PvcTable;
+use crate::schema::{Column, Schema};
+use crate::value::Value;
+use pvc_core::persist::{
+    put_agg_op, put_cmp_op, put_monoid_value, put_semiring_value, take_agg_op, take_cmp_op,
+    take_monoid_value, take_semiring_value, PersistError, Reader, Writer,
+};
+use pvc_expr::{SemimoduleExpr, SemiringExpr, SmTerm, Var};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Expression trees (owned, not interned — the rewrite tables store real trees)
+// ---------------------------------------------------------------------------
+
+const EXPR_VAR: u8 = 0;
+const EXPR_CONST: u8 = 1;
+const EXPR_ADD: u8 = 2;
+const EXPR_MUL: u8 = 3;
+const EXPR_CMP_SS: u8 = 4;
+const EXPR_CMP_MM: u8 = 5;
+
+fn put_semiring_expr(w: &mut Writer, expr: &SemiringExpr) {
+    match expr {
+        SemiringExpr::Var(v) => {
+            w.put_u8(EXPR_VAR);
+            w.put_u32(v.0);
+        }
+        SemiringExpr::Const(c) => {
+            w.put_u8(EXPR_CONST);
+            put_semiring_value(w, c);
+        }
+        SemiringExpr::Add(children) => {
+            w.put_u8(EXPR_ADD);
+            w.put_u64(children.len() as u64);
+            for c in children {
+                put_semiring_expr(w, c);
+            }
+        }
+        SemiringExpr::Mul(children) => {
+            w.put_u8(EXPR_MUL);
+            w.put_u64(children.len() as u64);
+            for c in children {
+                put_semiring_expr(w, c);
+            }
+        }
+        SemiringExpr::CmpSS(op, a, b) => {
+            w.put_u8(EXPR_CMP_SS);
+            put_cmp_op(w, *op);
+            put_semiring_expr(w, a);
+            put_semiring_expr(w, b);
+        }
+        SemiringExpr::CmpMM(op, a, b) => {
+            w.put_u8(EXPR_CMP_MM);
+            put_cmp_op(w, *op);
+            put_semimodule_expr(w, a);
+            put_semimodule_expr(w, b);
+        }
+    }
+}
+
+fn take_semiring_expr(r: &mut Reader<'_>) -> Result<SemiringExpr, PersistError> {
+    Ok(match r.take_u8()? {
+        EXPR_VAR => SemiringExpr::Var(Var(r.take_u32()?)),
+        EXPR_CONST => SemiringExpr::Const(take_semiring_value(r)?),
+        tag @ (EXPR_ADD | EXPR_MUL) => {
+            let n = r.take_count(1)?;
+            let mut children = Vec::with_capacity(n);
+            for _ in 0..n {
+                children.push(take_semiring_expr(r)?);
+            }
+            if tag == EXPR_ADD {
+                SemiringExpr::Add(children)
+            } else {
+                SemiringExpr::Mul(children)
+            }
+        }
+        EXPR_CMP_SS => {
+            let op = take_cmp_op(r)?;
+            let a = take_semiring_expr(r)?;
+            let b = take_semiring_expr(r)?;
+            SemiringExpr::CmpSS(op, Box::new(a), Box::new(b))
+        }
+        EXPR_CMP_MM => {
+            let op = take_cmp_op(r)?;
+            let a = take_semimodule_expr(r)?;
+            let b = take_semimodule_expr(r)?;
+            SemiringExpr::CmpMM(op, Box::new(a), Box::new(b))
+        }
+        t => {
+            return Err(PersistError::Format(format!(
+                "bad rewrite-expression tag {t}"
+            )))
+        }
+    })
+}
+
+fn put_semimodule_expr(w: &mut Writer, expr: &SemimoduleExpr) {
+    put_agg_op(w, expr.op);
+    w.put_u64(expr.terms.len() as u64);
+    for term in &expr.terms {
+        put_semiring_expr(w, &term.coeff);
+        put_monoid_value(w, &term.value);
+    }
+}
+
+fn take_semimodule_expr(r: &mut Reader<'_>) -> Result<SemimoduleExpr, PersistError> {
+    let op = take_agg_op(r)?;
+    let n = r.take_count(2)?;
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let coeff = take_semiring_expr(r)?;
+        let value = take_monoid_value(r)?;
+        terms.push(SmTerm::new(coeff, value));
+    }
+    Ok(SemimoduleExpr { op, terms })
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+fn put_value(w: &mut Writer, value: &Value) {
+    match value {
+        Value::Str(s) => {
+            w.put_u8(0);
+            w.put_str(s);
+        }
+        Value::Int(i) => {
+            w.put_u8(1);
+            w.put_i64(*i);
+        }
+        Value::Agg(e) => {
+            w.put_u8(2);
+            put_semimodule_expr(w, e);
+        }
+    }
+}
+
+fn take_value(r: &mut Reader<'_>) -> Result<Value, PersistError> {
+    Ok(match r.take_u8()? {
+        0 => Value::Str(r.take_str()?.to_string()),
+        1 => Value::Int(r.take_i64()?),
+        2 => Value::Agg(take_semimodule_expr(r)?),
+        t => return Err(PersistError::Format(format!("bad cell-value tag {t}"))),
+    })
+}
+
+fn put_table(w: &mut Writer, table: &PvcTable) {
+    w.put_str(&table.name);
+    let columns = table.schema.columns();
+    w.put_u64(columns.len() as u64);
+    for column in columns {
+        w.put_str(&column.name);
+        w.put_u8(column.is_aggregation as u8);
+    }
+    w.put_u64(table.tuples.len() as u64);
+    for tuple in &table.tuples {
+        for value in &tuple.values {
+            put_value(w, value);
+        }
+        put_semiring_expr(w, &tuple.annotation);
+    }
+}
+
+fn take_table(r: &mut Reader<'_>) -> Result<PvcTable, PersistError> {
+    let name = r.take_str()?.to_string();
+    let n_columns = r.take_count(2)?;
+    let mut columns = Vec::with_capacity(n_columns);
+    for _ in 0..n_columns {
+        let column_name = r.take_str()?.to_string();
+        columns.push(match r.take_u8()? {
+            0 => Column::data(column_name),
+            1 => Column::aggregation(column_name),
+            t => return Err(PersistError::Format(format!("bad column tag {t}"))),
+        });
+    }
+    let schema = Schema::from_columns(columns);
+    let mut table = PvcTable::new(name, schema);
+    let n_tuples = r.take_count(1)?;
+    for _ in 0..n_tuples {
+        let mut values = Vec::with_capacity(table.schema.arity());
+        for _ in 0..table.schema.arity() {
+            values.push(take_value(r)?);
+        }
+        let annotation = take_semiring_expr(r)?;
+        table
+            .tuples
+            .push(crate::relation::Tuple::new(values, annotation));
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// The rewrite-cache section (the snapshot's `extra` payload)
+// ---------------------------------------------------------------------------
+
+/// Encode the step-I rewrite cache (structural keys → result tables).
+pub(crate) fn encode_rewrites(rewrites: &BTreeMap<Vec<u8>, Arc<PvcTable>>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(rewrites.len() as u64);
+    for (key, table) in rewrites {
+        w.put_bytes(key);
+        put_table(&mut w, table);
+    }
+    w.into_bytes()
+}
+
+/// Decode a rewrite cache written by [`encode_rewrites`], refusing tables that
+/// reference variables `>= var_count` (the checksum only protects against
+/// accidents; an out-of-range variable would panic at evaluation time).
+pub(crate) fn decode_rewrites(
+    bytes: &[u8],
+    var_count: usize,
+) -> Result<BTreeMap<Vec<u8>, Arc<PvcTable>>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let n = r.take_count(2)?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let key = r.take_bytes()?.to_vec();
+        let table = take_table(&mut r)?;
+        verify_table_variables(&table, var_count)?;
+        out.insert(key, Arc::new(table));
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Format(format!(
+            "{} trailing bytes after the rewrite section",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+/// Refuse a restored rewrite table whose annotations or aggregate values
+/// mention a variable the target database does not have.
+fn verify_table_variables(table: &PvcTable, var_count: usize) -> Result<(), PersistError> {
+    let check = |vars: pvc_expr::VarSet| -> Result<(), PersistError> {
+        match vars.as_slice().last() {
+            Some(v) if (v.0 as usize) >= var_count => Err(PersistError::Format(format!(
+                "restored rewrite table references variable {v}, but the database has only \
+                 {var_count} variables"
+            ))),
+            _ => Ok(()),
+        }
+    };
+    for tuple in &table.tuples {
+        check(tuple.annotation.vars())?;
+        for value in &tuple.values {
+            if let Value::Agg(agg) = value {
+                for term in &agg.terms {
+                    check(term.vars())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Database fingerprint
+// ---------------------------------------------------------------------------
+
+/// A stable 64-bit digest of everything the cached artifacts depend on: the
+/// annotation semiring, the variable table (names + exact distribution bits,
+/// via [`pvc_expr::VarTable::fingerprint`]) and the full content of every
+/// table (the rewrite cache depends on table data, not just the probability
+/// space). A database rebuilt by the same deterministic loading code
+/// fingerprints identically across processes; any change refuses the snapshot.
+pub(crate) fn database_fingerprint(db: &Database) -> u64 {
+    let mut w = Writer::new();
+    w.put_u8(match db.kind {
+        pvc_algebra::SemiringKind::Bool => 0,
+        pvc_algebra::SemiringKind::Nat => 1,
+    });
+    w.put_u64(db.vars.fingerprint());
+    let names = db.table_names();
+    w.put_u64(names.len() as u64);
+    for name in names {
+        let table = db.table(name).expect("listed table exists");
+        put_table(&mut w, table);
+    }
+    pvc_core::persist::fnv64(&w.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringValue};
+    use pvc_expr::VarTable;
+
+    fn sample_table() -> PvcTable {
+        let mut vars = VarTable::new();
+        let mut table = PvcTable::new(
+            "result",
+            Schema::from_columns(vec![Column::data("shop"), Column::aggregation("total")]),
+        );
+        let x = vars.boolean("x", 0.5);
+        let y = vars.boolean("y", 0.25);
+        let agg = SemimoduleExpr::from_terms(
+            AggOp::Sum,
+            vec![
+                (SemiringExpr::Var(x), MonoidValue::Fin(10)),
+                (SemiringExpr::Var(y), MonoidValue::Fin(-3)),
+            ],
+        );
+        let annotation = SemiringExpr::cmp_mm(
+            CmpOp::Le,
+            agg.clone(),
+            SemimoduleExpr::constant(AggOp::Sum, MonoidValue::Fin(5)),
+        ) * (SemiringExpr::Var(x)
+            + SemiringExpr::Const(SemiringValue::Bool(false)));
+        table.push(vec!["M&S".into(), agg.into()], annotation);
+        table
+    }
+
+    #[test]
+    fn rewrites_roundtrip_exactly() {
+        let mut rewrites = BTreeMap::new();
+        rewrites.insert(vec![1u8, 2, 3], Arc::new(sample_table()));
+        rewrites.insert(
+            vec![9u8],
+            Arc::new(PvcTable::new("empty", Schema::new(["a"]))),
+        );
+        let bytes = encode_rewrites(&rewrites);
+        let back = decode_rewrites(&bytes, 2).unwrap();
+        assert_eq!(back.len(), 2);
+        for (key, table) in &rewrites {
+            assert_eq!(back[key].as_ref(), table.as_ref());
+        }
+        // Truncation surfaces as a typed error, not a panic.
+        assert!(decode_rewrites(&bytes[..bytes.len() - 3], 2).is_err());
+        assert!(decode_rewrites(&[0xff; 4], 2).is_err());
+        // Out-of-range variables are refused, not deferred to a panic later.
+        let err = decode_rewrites(&bytes, 1).unwrap_err();
+        assert!(matches!(err, PersistError::Format(ref m) if m.contains("variable")));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let build = |p: f64, price: i64| {
+            let mut db = Database::new();
+            db.create_table("S", Schema::new(["sid", "price"]));
+            let (s, vars) = db.table_and_vars_mut("S").unwrap();
+            s.push_independent(vec![1i64.into(), price.into()], p, vars);
+            db
+        };
+        assert_eq!(
+            database_fingerprint(&build(0.5, 10)),
+            database_fingerprint(&build(0.5, 10))
+        );
+        // A probability change and a data change both change the fingerprint.
+        assert_ne!(
+            database_fingerprint(&build(0.5, 10)),
+            database_fingerprint(&build(0.6, 10))
+        );
+        assert_ne!(
+            database_fingerprint(&build(0.5, 10)),
+            database_fingerprint(&build(0.5, 11))
+        );
+    }
+}

@@ -97,8 +97,9 @@ pub mod prelude {
     };
     pub use pvc_db::{
         classify, try_evaluate, try_tuple_confidences, AggSpec, CacheConfig, CacheStats, Database,
-        Engine, Error, EvalOptions, Plan, Predicate, PreparedQuery, ProbTuple, PvcTable, Query,
-        QueryClass, QueryResult, Schema, SharedArtifacts, Strategy, TupleStream, Value,
+        Engine, Error, EvalOptions, PersistError, Plan, Predicate, PreparedQuery, ProbTuple,
+        PvcTable, Query, QueryClass, QueryResult, Schema, SharedArtifacts, SnapshotStats, Strategy,
+        TupleStream, Value,
     };
     #[allow(deprecated)]
     pub use pvc_db::{evaluate, evaluate_with_probabilities, tuple_confidences};
