@@ -44,6 +44,8 @@ fn main() {
     let kernel = pvc_bench::experiment_kernel(scale);
     eprintln!("running the warm-restart experiment ...");
     let warm_restart = pvc_bench::experiment_warm_restart(scale);
+    eprintln!("running the serving experiment ...");
+    let serve = pvc_bench::experiment_serve(scale);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -59,6 +61,8 @@ fn main() {
     out.push_str(&kernel.to_json());
     out.push_str(",\n  \"experiment_warm_restart\": ");
     out.push_str(&warm_restart.to_json());
+    out.push_str(",\n  \"experiment_serve\": ");
+    out.push_str(&serve.to_json());
     out.push_str("\n}\n");
     print!("{out}");
 }

@@ -10,6 +10,8 @@ use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind};
 use pvc_core::{CompileOptions, Compiler};
 use pvc_db::{try_evaluate, Engine, EvalOptions};
 use pvc_prob::{convolve_additive, Dist, DistRepr, MonoidDist};
+use pvc_serve::loadgen::{LoadConfig, LoadReport};
+use pvc_serve::ServeConfig;
 use pvc_tpch::{deterministic_copy, generate, TpchConfig};
 use pvc_workload::{ExprGenParams, ExprGenerator};
 
@@ -807,6 +809,26 @@ pub fn experiment_warm_restart(scale: Scale) -> WarmRestartReport {
         warm_disk_hits: disk_stats.hits,
         warm_disk_rebuilds: disk_stats.misses + disk_stats.arena_misses,
     }
+}
+
+/// **Serving experiment** (not in the paper): sustained throughput and tail
+/// latency of the long-lived `pvc-serve` runtime under a closed-loop mixed
+/// workload — persistent worker pool, cross-query batching, admission control
+/// and periodic compaction all engaged at once. The report is
+/// [`pvc_serve::loadgen::LoadReport`]; the regression gate checks `qps > 0`,
+/// `rejected == 0` at the default queue depth, and the p99 latency against the
+/// committed baseline (`PVC_MAX_P99_RATIO`).
+pub fn experiment_serve(scale: Scale) -> LoadReport {
+    let full = scale.is_full();
+    let config = LoadConfig {
+        tenants: 2,
+        clients: if full { 8 } else { 4 },
+        requests_per_client: if full { 100 } else { 25 },
+        shops: if full { 24 } else { 12 },
+        per_shop: 3,
+        serve: ServeConfig::default().with_compact_every(4),
+    };
+    pvc_serve::loadgen::run(&config).expect("load run completes")
 }
 
 /// The report of the parallel-execution experiment: cold wall-clock of the scale

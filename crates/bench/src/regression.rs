@@ -22,7 +22,13 @@
 //!   snapshot must answer its first query with cache hits and **zero**
 //!   recompilations, within `PVC_MAX_DISK_WARM_RATIO` (default 2×) of the
 //!   in-process warm latency (floored at `PVC_WARM_FLOOR_S`, default 5 ms) and
-//!   below the cold first query.
+//!   below the cold first query;
+//! * the serving runtime must sustain traffic: `experiment_serve` must report
+//!   nonzero QPS, zero admission rejections at the default queue depth, zero
+//!   engine errors, and a p99 submit-to-drained latency within
+//!   `PVC_MAX_P99_RATIO` (default 3×) of the committed baseline's p99 (floored
+//!   at `PVC_WARM_FLOOR_S` — tail latencies sit below the global noise floor,
+//!   and tails are noisier than means, hence the looser default ratio).
 
 use crate::json::Json;
 
@@ -52,6 +58,11 @@ pub struct GateConfig {
     /// tighter floor still absorbs scheduler jitter while catching a disk-warm
     /// path that silently falls back to full recompilation.
     pub warm_floor_s: f64,
+    /// Maximum tolerated ratio of the fresh `experiment_serve` p99 latency over
+    /// the committed baseline's p99 (`PVC_MAX_P99_RATIO`). Looser than the mean
+    /// tolerance because tails are dominated by the slowest query in the mix
+    /// and by scheduler jitter on shared runners.
+    pub max_p99_ratio: f64,
 }
 
 impl Default for GateConfig {
@@ -63,6 +74,7 @@ impl Default for GateConfig {
             min_dense_speedup: 1.0,
             max_disk_warm_ratio: 2.0,
             warm_floor_s: 0.005,
+            max_p99_ratio: 3.0,
         }
     }
 }
@@ -84,6 +96,7 @@ impl GateConfig {
             min_dense_speedup: read("PVC_MIN_DENSE_SPEEDUP", defaults.min_dense_speedup),
             max_disk_warm_ratio: read("PVC_MAX_DISK_WARM_RATIO", defaults.max_disk_warm_ratio),
             warm_floor_s: read("PVC_WARM_FLOOR_S", defaults.warm_floor_s),
+            max_p99_ratio: read("PVC_MAX_P99_RATIO", defaults.max_p99_ratio),
         }
     }
 }
@@ -268,6 +281,71 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
                 violations.push(format!(
                     "experiment_warm_restart.{field}: {ratio:.2}x slowdown ({base:.4}s -> \
                      {new:.4}s, tolerance {:.2}x)",
+                    cfg.tolerance
+                ));
+            }
+        }
+    }
+
+    // --- serving: sustained throughput, clean admission, bounded tail. ---------
+    // Counters are exact; only the p99 rides a ratio check (against its own,
+    // looser threshold — tails are noisier than means), floored at the warm
+    // floor since served queries complete in milliseconds.
+    if let Some(section) = fresh.get("experiment_serve") {
+        match section.get("qps").and_then(Json::as_f64) {
+            Some(q) if q > 0.0 => {}
+            Some(_) => violations
+                .push("experiment_serve: zero sustained QPS (server served nothing)".to_string()),
+            None => violations.push("experiment_serve: fresh run is missing `qps`".to_string()),
+        }
+        match section.get("rejected").and_then(Json::as_f64) {
+            Some(r) if r <= 0.0 => {}
+            Some(r) => violations.push(format!(
+                "experiment_serve: {r} request(s) rejected at the default queue depth \
+                 (admission control must not trip; must be 0)"
+            )),
+            None => {
+                violations.push("experiment_serve: fresh run is missing `rejected`".to_string())
+            }
+        }
+        match section.get("errors").and_then(Json::as_f64) {
+            Some(e) if e <= 0.0 => {}
+            Some(e) => violations.push(format!(
+                "experiment_serve: {e} request(s) failed in the engine (must be 0)"
+            )),
+            None => violations.push("experiment_serve: fresh run is missing `errors`".to_string()),
+        }
+        if let (Some(base), Some(new)) = (
+            number(baseline, "experiment_serve", "p99_s"),
+            number(fresh, "experiment_serve", "p99_s"),
+        ) {
+            compared_timings += 1;
+            let ratio = new.max(cfg.warm_floor_s) / base.max(cfg.warm_floor_s);
+            if ratio > cfg.max_p99_ratio {
+                violations.push(format!(
+                    "experiment_serve: p99 latency is {ratio:.2}x the baseline \
+                     ({base:.4}s -> {new:.4}s, tolerance {:.2}x)",
+                    cfg.max_p99_ratio
+                ));
+            }
+        }
+        // The central latencies ride the normal floored ratio check.
+        for field in ["p50_s", "mean_s"] {
+            let (Some(base), Some(new)) = (
+                number(baseline, "experiment_serve", field),
+                number(fresh, "experiment_serve", field),
+            ) else {
+                continue;
+            };
+            if new.max(base) < cfg.time_floor_s {
+                floored_timings += 1;
+                continue;
+            }
+            compared_timings += 1;
+            if let Some(ratio) = slowdown_violation(cfg, base, new) {
+                violations.push(format!(
+                    "experiment_serve.{field}: {ratio:.2}x slowdown ({base:.4}s -> {new:.4}s, \
+                     tolerance {:.2}x)",
                     cfg.tolerance
                 ));
             }
@@ -493,6 +571,62 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.contains("not") && v.contains("cold")));
+    }
+
+    #[test]
+    fn serve_gate_checks_qps_rejections_errors_and_p99() {
+        let with_serve = |qps: f64, rejected: u64, errors: u64, p99_s: f64| {
+            doc(&format!(
+                r#"{{
+              "experiment_cache": {{"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001, "cross_query_hits": 24}},
+              "experiment_serve": {{"qps": {qps}, "rejected": {rejected}, "errors": {errors},
+                                    "p99_s": {p99_s}, "p50_s": 0.003, "mean_s": 0.004}}
+            }}"#
+            ))
+        };
+        let base = with_serve(120.0, 0, 0, 0.02);
+        let (violations, _) = compare(&base, &with_serve(90.0, 0, 0, 0.03), &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        // Zero throughput: the server served nothing.
+        let (violations, _) = compare(&base, &with_serve(0.0, 0, 0, 0.02), &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("QPS")),
+            "{violations:?}"
+        );
+        // Admission control tripping at the default depth: fail.
+        let (violations, _) = compare(
+            &base,
+            &with_serve(120.0, 3, 0, 0.02),
+            &GateConfig::default(),
+        );
+        assert!(violations.iter().any(|v| v.contains("rejected")));
+        // Engine errors under load: fail.
+        let (violations, _) = compare(
+            &base,
+            &with_serve(120.0, 0, 2, 0.02),
+            &GateConfig::default(),
+        );
+        assert!(violations
+            .iter()
+            .any(|v| v.contains("failed in the engine")));
+        // p99 blowing past the 3x tolerance: fail.
+        let (violations, _) = compare(
+            &base,
+            &with_serve(120.0, 0, 0, 0.09),
+            &GateConfig::default(),
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("p99")),
+            "{violations:?}"
+        );
+        // Sub-floor p99 jitter on both sides: pass (5 ms warm floor).
+        let tiny = with_serve(120.0, 0, 0, 0.004);
+        let (violations, _) = compare(
+            &tiny,
+            &with_serve(120.0, 0, 0, 0.001),
+            &GateConfig::default(),
+        );
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

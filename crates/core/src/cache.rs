@@ -724,6 +724,26 @@ pub fn confidence_of(dist: &SemiringDist) -> f64 {
 pub struct SharedArtifacts {
     interner: Mutex<Interner>,
     cache: Mutex<CompilationCache>,
+    /// Completed compaction generations (see [`compact`](Self::compact)).
+    generation: std::sync::atomic::AtomicU64,
+}
+
+/// What one [`SharedArtifacts::compact`] pass retired and retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    /// Interned nodes (semiring + semimodule) before the pass.
+    pub interned_before: usize,
+    /// Interned nodes after re-interning only the live cache entries.
+    pub interned_after: usize,
+    /// Approximate cache payload bytes before the pass.
+    pub bytes_before: usize,
+    /// Approximate cache payload bytes after the pass.
+    pub bytes_after: usize,
+    /// Cache entries (distributions + arenas) carried over into the new
+    /// generation.
+    pub entries_kept: usize,
+    /// The generation number this pass completed (1 after the first pass).
+    pub generation: u64,
 }
 
 impl SharedArtifacts {
@@ -732,6 +752,7 @@ impl SharedArtifacts {
         SharedArtifacts {
             interner: Mutex::new(Interner::new()),
             cache: Mutex::new(CompilationCache::new(config)),
+            generation: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -758,6 +779,95 @@ impl SharedArtifacts {
         let mut cache = self.cache();
         *interner = Interner::new();
         cache.clear();
+    }
+
+    /// Completed [`compact`](Self::compact) generations.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Retire the current arena generation: re-intern **only the expressions
+    /// still referenced by cache entries** into a fresh [`Interner`] and rebuild
+    /// the cache maps under the remapped ids (preserving LRU recency order,
+    /// insertion scopes and the behaviour counters).
+    ///
+    /// The hash-consed arena only ever grows — every expression any query ever
+    /// interned stays resident even after its cached artifacts were LRU-evicted.
+    /// For a long-lived serving process that is an unbounded leak; compacting
+    /// between request batches bounds the arena by what the (already bounded)
+    /// cache still references.
+    ///
+    /// Concurrency contract: like [`clear`](Self::clear), this swaps the arena
+    /// under both locks (interner before cache, the one sanctioned lock order),
+    /// so the store is never observable half-compacted. Callers must ensure no
+    /// evaluation is **in flight across the swap** — an id interned before the
+    /// pass must not be evaluated after it (ids are remapped). The `pvc-serve`
+    /// scheduler compacts strictly between batches, when no worker holds an id.
+    pub fn compact(&self) -> CompactionStats {
+        let mut interner = self.interner();
+        let mut cache = self.cache();
+        let stats_before = (interner.len() + interner.agg_len(), cache.bytes());
+        let mut fresh_interner = Interner::new();
+        let mut fresh_cache = CompilationCache::new(cache.config);
+        fresh_cache.counters = cache.counters;
+        let config = cache.config;
+        let mut entries_kept = 0usize;
+        // Re-insert oldest-first so the new maps reproduce the recency order —
+        // the same replay discipline the snapshot codec uses.
+        for (key, scope, dist) in cache.semiring.entries_oldest_first() {
+            let expr = interner.resolve(ExprId(key));
+            let id = fresh_interner.intern(&expr);
+            fresh_cache
+                .semiring
+                .insert(id.0, dist.clone(), dist_bytes(dist), scope, &config);
+            entries_kept += 1;
+        }
+        for (key, scope, dist) in cache.aggregate.entries_oldest_first() {
+            let expr = interner.resolve_semimodule(AggExprId(key));
+            let id = fresh_interner.intern_semimodule(&expr);
+            fresh_cache
+                .aggregate
+                .insert(id.0, dist.clone(), dist_bytes(dist), scope, &config);
+            entries_kept += 1;
+        }
+        for (key, scope, arena) in cache.sem_arenas.entries_oldest_first() {
+            let expr = interner.resolve(ExprId(key));
+            let id = fresh_interner.intern(&expr);
+            fresh_cache.sem_arenas.insert(
+                id.0,
+                Arc::clone(arena),
+                arena.approx_bytes(),
+                scope,
+                &config,
+            );
+            entries_kept += 1;
+        }
+        for (key, scope, arena) in cache.agg_arenas.entries_oldest_first() {
+            let expr = interner.resolve_semimodule(AggExprId(key));
+            let id = fresh_interner.intern_semimodule(&expr);
+            fresh_cache.agg_arenas.insert(
+                id.0,
+                Arc::clone(arena),
+                arena.approx_bytes(),
+                scope,
+                &config,
+            );
+            entries_kept += 1;
+        }
+        *interner = fresh_interner;
+        *cache = fresh_cache;
+        let generation = self
+            .generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        CompactionStats {
+            interned_before: stats_before.0,
+            interned_after: interner.len() + interner.agg_len(),
+            bytes_before: stats_before.1,
+            bytes_after: cache.bytes(),
+            entries_kept,
+            generation,
+        }
     }
 
     /// Intern a semiring expression into its canonical id.
@@ -1376,6 +1486,62 @@ mod tests {
         shared.clear();
         assert_eq!(shared.semiring_entries(), 0);
         assert_eq!(shared.interned_nodes(), 0);
+    }
+
+    #[test]
+    fn compaction_drops_dead_interner_nodes_and_preserves_results() {
+        let (vt, xs) = setup();
+        let shared = SharedArtifacts::new(CacheConfig {
+            max_entries: 4,
+            max_bytes: usize::MAX,
+        });
+        // A churny workload: many distinct expressions, most of whose cache
+        // entries the tiny LRU bound evicts — but whose interned nodes stay.
+        let mut exprs = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    exprs.push(v(xs[i]) * (v(xs[j]) + v(xs[(j + 1) % 6])));
+                }
+            }
+        }
+        for e in &exprs {
+            let id = shared.intern(e);
+            shared
+                .evaluate_semiring(id, &vt, SemiringKind::Bool, &CompileOptions::default(), 1)
+                .unwrap();
+        }
+        let nodes_before = shared.interned_nodes();
+        let counters_before = shared.counters();
+        let stats = shared.compact();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(shared.generation(), 1);
+        assert!(
+            stats.interned_after < stats.interned_before,
+            "compaction should retire dead nodes: {stats:?}"
+        );
+        assert_eq!(stats.interned_before, nodes_before);
+        // Counters survive the generation swap.
+        assert_eq!(shared.counters(), counters_before);
+        // Retained entries still serve — and still match the oracle — after the
+        // id remap (a fresh intern of the same expression maps onto the new id).
+        let mut warm_hits = 0;
+        for e in &exprs {
+            let id = shared.intern(e);
+            let d = shared
+                .evaluate_semiring(id, &vt, SemiringKind::Bool, &CompileOptions::default(), 2)
+                .unwrap();
+            let expected = oracle::semiring_dist_by_enumeration(e, &vt, SemiringKind::Bool);
+            assert!(d.approx_eq(&expected, 1e-9));
+            warm_hits += 1;
+        }
+        assert!(warm_hits > 0);
+        // Repeated compaction under a steady live set converges: the arena stays
+        // bounded instead of growing with history.
+        let after_first = shared.compact().interned_after;
+        let after_second = shared.compact().interned_after;
+        assert!(after_second <= after_first);
+        assert_eq!(shared.generation(), 3);
     }
 
     #[test]

@@ -51,15 +51,15 @@ pub mod prune;
 
 pub use arena::DTreeArena;
 pub use cache::{
-    confidence_of, CacheConfig, CacheCounters, CachedEvaluator, CompilationCache, EvalError,
-    SharedArtifacts,
+    confidence_of, CacheConfig, CacheCounters, CachedEvaluator, CompactionStats, CompilationCache,
+    EvalError, SharedArtifacts,
 };
 pub use compile::{
     compile_semimodule, compile_semiring, BudgetExceeded, CompileOptions, CompileStats, Compiler,
 };
 pub use joint::{joint_distribution, ratio_distribution};
 pub use node::{DTree, DTreeError};
-pub use parallel::{parallel_map, resolve_threads, OrderedReassembly};
+pub use parallel::{parallel_map, resolve_threads, OrderedReassembly, WorkerPool};
 pub use persist::{PersistError, RestoreStats, Snapshot};
 pub use prune::{prune_against_constant, prune_conditional, PruneResult};
 

@@ -12,7 +12,11 @@
 //!   input order**, so parallel output is bit-identical to sequential output;
 //! * [`OrderedReassembly`] re-establishes input order over an out-of-order stream of
 //!   `(index, item)` pairs — the building block for streaming consumers that must
-//!   observe a deterministic tuple order while workers finish in any order.
+//!   observe a deterministic tuple order while workers finish in any order;
+//! * [`WorkerPool`] is the **persistent** counterpart to the per-execution scoped
+//!   workers above: a fixed set of long-lived threads pulling jobs from a shared
+//!   queue, so a serving process pays thread start-up once per process instead of
+//!   once per query (see the `pvc-serve` crate).
 //!
 //! Determinism contract: as long as the mapped function is a pure function of its
 //! input (which per-tuple compilation is — cache hits only ever substitute a value
@@ -20,8 +24,9 @@
 //! and of an [`OrderedReassembly`]-driven stream does not depend on the number of
 //! workers or on scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Resolve a user-facing thread-count knob to a concrete worker count.
 ///
@@ -141,6 +146,179 @@ impl<T> Default for OrderedReassembly<T> {
     }
 }
 
+/// A unit of work submitted to a [`WorkerPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between a [`WorkerPool`] handle and its worker threads.
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is enqueued or shutdown begins.
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    /// Jobs fully executed (including ones that panicked), for observability.
+    executed: AtomicU64,
+    /// Jobs whose closure panicked. The panic is contained — the worker thread
+    /// survives and keeps serving — but callers can detect the bug here.
+    panicked: AtomicU64,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared")
+            .field("queued", &self.queue.lock().map(|q| q.len()).unwrap_or(0))
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .field("executed", &self.executed.load(Ordering::Relaxed))
+            .field("panicked", &self.panicked.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A **persistent** worker pool: a fixed set of long-lived threads executing
+/// submitted jobs in FIFO order.
+///
+/// [`parallel_map`] and the per-execution streaming workers in `pvc-db` spawn (and
+/// join) their threads once per execution — the right trade-off for a library
+/// call, and measurably wrong for a serving process handling thousands of small
+/// requests. A `WorkerPool` is created once, reused by every execution
+/// (`EvalOptions::with_pool` in `pvc-db` routes the per-tuple pipeline onto it),
+/// and joined exactly once at shutdown.
+///
+/// Determinism: the pool only changes *where* a job runs, never what it computes;
+/// executions routed through a pool are bit-identical to per-call spawning (pinned
+/// by `pool_reuse_is_bit_identical` in `pvc-db`).
+///
+/// Panic containment: a panicking job is caught, counted in
+/// [`panicked_jobs`](Self::panicked_jobs), and the worker thread keeps serving —
+/// one buggy request cannot take capacity away from a long-lived server.
+///
+/// Shutdown: [`shutdown`](Self::shutdown) (or `Drop`) marks the pool closed,
+/// wakes every idle worker and **joins them all**; jobs still queued at that
+/// point are executed first (drain semantics), so no submitted work is silently
+/// discarded.
+#[derive(Debug)]
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Start a pool with `threads` workers (`0` = one per available core, the
+    /// serving default). Fails only when the OS refuses to spawn threads; workers
+    /// already started are joined before the error is returned.
+    pub fn new(threads: usize) -> std::io::Result<WorkerPool> {
+        let threads = resolve_threads(threads, usize::MAX);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("pvc-pool-worker-{i}"))
+                .spawn(move || pool_worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.work_ready.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(WorkerPool {
+            shared,
+            workers,
+            threads,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submit a job. Jobs run in FIFO order across the workers; a job submitted
+    /// after [`shutdown`](Self::shutdown) began is dropped without running (the
+    /// pool can no longer guarantee a worker will pick it up).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        queue.push_back(Box::new(job));
+        drop(queue);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Jobs fully executed so far (including panicked ones).
+    pub fn executed_jobs(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs whose closure panicked (the workers survived).
+    pub fn panicked_jobs(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Jobs queued but not yet claimed by a worker.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").len()
+    }
+
+    /// Drain the queue, stop and **join** every worker. Queued jobs run to
+    /// completion first. Called implicitly on `Drop`; the explicit form exists so
+    /// servers can put "all workers joined" in their shutdown path visibly.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn pool_worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        // Contain panics: the job owner observes failures through its own channel
+        // (e.g. the TupleStream surfaces Error::Worker); the pool thread must
+        // survive to serve the next request.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +371,59 @@ mod tests {
             .unwrap_err();
             assert_eq!(err, 7, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn worker_pool_executes_jobs_and_joins_on_shutdown() {
+        let pool = WorkerPool::new(3).unwrap();
+        assert_eq!(pool.threads(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Shutdown drains the queue: every submitted job ran exactly once.
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        let pool = WorkerPool::new(2).unwrap();
+        let ok = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let ok = Arc::clone(&ok);
+            pool.execute(move || {
+                if i % 5 == 0 {
+                    panic!("job bug");
+                }
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Wait for the queue to drain without shutting down: the panicking jobs
+        // must not have killed the workers.
+        while pool.executed_jobs() < 20 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panicked_jobs(), 4);
+        assert_eq!(ok.load(Ordering::Relaxed), 16);
+        // The pool still serves new jobs after the panics.
+        let after = Arc::new(AtomicUsize::new(0));
+        let after_clone = Arc::clone(&after);
+        pool.execute(move || {
+            after_clone.store(7, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(after.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn worker_pool_resolves_zero_to_per_core() {
+        let pool = WorkerPool::new(0).unwrap();
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.queued_jobs(), 0);
     }
 
     #[test]

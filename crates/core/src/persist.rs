@@ -976,16 +976,40 @@ fn remap_agg(raw: &RawAgg, expr_map: &[Option<ExprId>], interner: &mut Interner)
     interner.intern_agg(raw.op, terms)
 }
 
-/// Write snapshot bytes to a file (create/truncate).
+/// Write snapshot bytes to a file **atomically**: the bytes go to a sibling
+/// temporary file (same directory, so the final step stays on one filesystem)
+/// which is then `rename`d into place.
+///
+/// A crash — or a `kill -9` from a supervisor — mid-write therefore leaves
+/// either the previous complete snapshot or, at worst, a stray `.tmp` sibling;
+/// the snapshot path itself never holds a truncated file that would only fail
+/// (checksum/length mismatch) at the next warm restart. This is what makes
+/// *background* snapshotting (the `pvc-serve` snapshot thread) safe to run on
+/// every interval without risking the warm-restart story.
 pub fn write_snapshot_file(
     path: impl AsRef<std::path::Path>,
     bytes: &[u8],
 ) -> Result<(), PersistError> {
-    std::fs::write(path.as_ref(), bytes).map_err(|e| {
+    let path = path.as_ref();
+    let io_err = |stage: &str, e: std::io::Error| {
         PersistError::Io(format!(
-            "failed to write snapshot {}: {e}",
-            path.as_ref().display()
+            "failed to {stage} snapshot {}: {e}",
+            path.display()
         ))
+    };
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            PersistError::Io(format!("snapshot path {} has no file name", path.display()))
+        })?
+        .to_os_string();
+    file_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(file_name);
+    std::fs::write(&tmp, bytes).map_err(|e| io_err("write", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        // Leave no stray temp file behind a failed rename.
+        let _ = std::fs::remove_file(&tmp);
+        io_err("publish", e)
     })
 }
 

@@ -72,15 +72,17 @@ use crate::schema::Schema;
 use crate::tractable::{classify, QueryClass};
 use crate::value::Value;
 use pvc_algebra::{AggOp, MonoidValue, SemiringKind, SemiringValue};
-use pvc_core::parallel::{resolve_threads, OrderedReassembly};
-use pvc_core::{confidence_of, CacheConfig, CompileOptions, Compiler, SharedArtifacts};
+use pvc_core::parallel::{resolve_threads, OrderedReassembly, WorkerPool};
+use pvc_core::{
+    confidence_of, CacheConfig, CompactionStats, CompileOptions, Compiler, SharedArtifacts,
+};
 use pvc_expr::{SemimoduleExpr, SemiringExpr, VarSet, VarTable};
 use pvc_prob::{Dist, MonoidDist, SemiringDist};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -105,6 +107,14 @@ pub struct EvalOptions {
     /// **bit-identical** for every setting — tuple order, confidences and aggregate
     /// distributions do not depend on the worker count.
     pub threads: usize,
+    /// A persistent [`WorkerPool`] to run step II on instead of spawning fresh
+    /// threads per execution. When set, parallel executions submit their worker
+    /// loops as pool jobs (at most [`WorkerPool::threads`] of them), amortising
+    /// thread start-up across every query of a long-lived process — the serving
+    /// default (`pvc-serve` sets this together with `threads: 0`). Results remain
+    /// bit-identical to the spawning path; `None` (the default) preserves the
+    /// per-execution spawn behaviour.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for EvalOptions {
@@ -122,6 +132,7 @@ impl EvalOptions {
             tractable_fast_path: true,
             aggregate_distributions: true,
             threads: 1,
+            pool: None,
         }
     }
 
@@ -155,6 +166,13 @@ impl EvalOptions {
     /// Set the worker-thread count for step II (`0` = one per available core).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Run step II on a persistent [`WorkerPool`] instead of spawning threads per
+    /// execution (see [`EvalOptions::pool`]).
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 }
@@ -227,6 +245,9 @@ impl fmt::Display for Plan {
 pub struct CacheStats {
     /// Cached step-I rewrites, keyed by the query's canonical structural key.
     pub rewrites: usize,
+    /// Approximate (serialized-size) bytes held by the step-I rewrite cache,
+    /// bounded by the same [`CacheConfig`] as the artifact caches.
+    pub rewrite_bytes: usize,
     /// Cached annotation distributions/confidences, keyed by canonical expression id.
     pub confidences: usize,
     /// Cached aggregate distributions, keyed by canonical semimodule-expression id.
@@ -269,12 +290,119 @@ pub struct SnapshotStats {
     pub bytes: usize,
 }
 
+/// One step-I rewrite held by the bounded [`RewriteCache`].
+#[derive(Debug)]
+struct RewriteEntry {
+    table: Arc<PvcTable>,
+    /// Serialized size, the byte measure charged against the cache bound.
+    bytes: usize,
+    /// Recency stamp for LRU eviction (monotone per cache).
+    last_used: u64,
+}
+
+/// The step-I rewrite cache, keyed by [`Query::structural_key`] and bounded by
+/// the **same** entry/byte [`CacheConfig`] as the artifact caches — a long-lived
+/// serving process running an open-ended query mix must not grow it without
+/// bound. Eviction is least-recently-used; a `get` refreshes recency.
+#[derive(Debug)]
+struct RewriteCache {
+    entries: BTreeMap<Vec<u8>, RewriteEntry>,
+    bytes: usize,
+    stamp: u64,
+    config: CacheConfig,
+}
+
+impl RewriteCache {
+    fn new(config: CacheConfig) -> Self {
+        RewriteCache {
+            entries: BTreeMap::new(),
+            bytes: 0,
+            stamp: 0,
+            config,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<Arc<PvcTable>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = stamp;
+            Arc::clone(&e.table)
+        })
+    }
+
+    fn insert(&mut self, key: Vec<u8>, table: Arc<PvcTable>) {
+        self.stamp += 1;
+        let bytes = crate::snapshot::table_bytes(&table);
+        if let Some(old) = self.entries.insert(
+            key,
+            RewriteEntry {
+                table,
+                bytes,
+                last_used: self.stamp,
+            },
+        ) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.evict_to_bounds();
+    }
+
+    /// Insert only if the key is absent (snapshot restore must not displace live
+    /// entries), still charging the bounds.
+    fn insert_if_absent(&mut self, key: Vec<u8>, table: Arc<PvcTable>) {
+        if !self.entries.contains_key(&key) {
+            self.insert(key, table);
+        }
+    }
+
+    /// Evict least-recently-used entries until both bounds hold. An entry larger
+    /// than `max_bytes` on its own is evicted too — the bound is honoured even
+    /// when that means not caching at all.
+    fn evict_to_bounds(&mut self) {
+        while self.entries.len() > self.config.max_entries || self.bytes > self.config.max_bytes {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            if let Some(evicted) = self.entries.remove(&oldest) {
+                self.bytes -= evicted.bytes;
+            }
+        }
+    }
+
+    /// A snapshot view for the persistence codec (cheap: clones `Arc`s only).
+    fn tables(&self) -> BTreeMap<Vec<u8>, Arc<PvcTable>> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.table)))
+            .collect()
+    }
+}
+
 #[derive(Debug)]
 struct Caches {
-    /// Step-I rewrites, keyed by [`Query::structural_key`]. Behind an `RwLock` so
-    /// concurrent streams of the same engine can consult it; writes are rare
-    /// (one per distinct query).
-    rewrites: RwLock<BTreeMap<Vec<u8>, Arc<PvcTable>>>,
+    /// Step-I rewrites, keyed by [`Query::structural_key`], LRU-bounded. Behind a
+    /// `Mutex` (reads refresh recency, so even lookups write); held only for
+    /// map operations, never across a rewrite computation.
+    rewrites: Mutex<RewriteCache>,
     /// The thread-safe artifact store, shared with every worker thread (and
     /// possibly with other engines, see [`Engine::with_shared_artifacts`]).
     artifacts: Arc<SharedArtifacts>,
@@ -289,13 +417,17 @@ impl Default for Caches {
 impl Caches {
     fn with_artifacts(artifacts: Arc<SharedArtifacts>) -> Self {
         Caches {
-            rewrites: RwLock::new(BTreeMap::new()),
+            rewrites: Mutex::new(RewriteCache::new(artifacts.config())),
             artifacts,
         }
     }
 
     fn with_config(config: CacheConfig) -> Self {
         Self::with_artifacts(Arc::new(SharedArtifacts::new(config)))
+    }
+
+    fn rewrites(&self) -> std::sync::MutexGuard<'_, RewriteCache> {
+        self.rewrites.lock().expect("rewrite cache lock poisoned")
     }
 
     /// Drop the rewrites and swap in a **fresh** artifact store (same bounds).
@@ -309,10 +441,7 @@ impl Caches {
     /// repopulate the store with distributions computed from the old variable
     /// table, poisoning post-mutation queries.
     fn detach(&mut self) {
-        self.rewrites
-            .write()
-            .expect("rewrite cache lock poisoned")
-            .clear();
+        self.rewrites().clear();
         self.artifacts = Arc::new(SharedArtifacts::new(self.artifacts.config()));
     }
 }
@@ -403,17 +532,34 @@ impl Engine {
         Arc::try_unwrap(self.db).unwrap_or_else(|shared| (*shared).clone())
     }
 
+    /// Compact this engine's artifact store: rebuild the hash-consed expression
+    /// arena from the **live** cache entries only, retiring every interned node
+    /// that no longer backs a cached distribution or compiled d-tree arena (see
+    /// [`SharedArtifacts::compact`]). This is what keeps a long-lived serving
+    /// process bounded: the LRU bounds cap the *cache* maps, compaction caps the
+    /// *arena* they interned into.
+    ///
+    /// Returns before/after sizes and the new compaction generation.
+    ///
+    /// Concurrency contract (inherited from [`SharedArtifacts::compact`]): no
+    /// execution may be in flight on this store — interned ids are remapped by
+    /// the rebuild. `pvc-serve` calls this strictly between batches; with plain
+    /// engines, do not call it while a [`TupleStream`] is live.
+    pub fn compact_artifacts(&self) -> CompactionStats {
+        self.caches.artifacts.compact()
+    }
+
     /// Current sizes and behaviour counters of the compile-artifact caches.
     pub fn cache_stats(&self) -> CacheStats {
         let artifacts = &self.caches.artifacts;
         let counters = artifacts.counters();
+        let (rewrites, rewrite_bytes) = {
+            let rw = self.caches.rewrites();
+            (rw.len(), rw.bytes())
+        };
         CacheStats {
-            rewrites: self
-                .caches
-                .rewrites
-                .read()
-                .expect("rewrite cache lock poisoned")
-                .len(),
+            rewrites,
+            rewrite_bytes,
             confidences: artifacts.semiring_entries(),
             aggregates: artifacts.aggregate_entries(),
             interned: artifacts.interned_nodes(),
@@ -478,14 +624,10 @@ impl Engine {
         path: impl AsRef<std::path::Path>,
     ) -> Result<SnapshotStats, Error> {
         let fingerprint = crate::snapshot::database_fingerprint(&self.db);
-        let rewrites = self
-            .caches
-            .rewrites
-            .read()
-            .expect("rewrite cache lock poisoned");
-        let extra = crate::snapshot::encode_rewrites(&rewrites);
-        let n_rewrites = rewrites.len();
-        drop(rewrites);
+        let tables = self.caches.rewrites().tables();
+        let extra = crate::snapshot::encode_rewrites(&tables);
+        let n_rewrites = tables.len();
+        drop(tables);
         // The counts come from the same locked view as the bytes, so they are
         // exact even when another engine shares (and keeps filling) the store.
         let (bytes, counts) = self
@@ -530,11 +672,10 @@ impl Engine {
         let engine = Engine::with_shared_artifacts(db, Arc::new(store));
         if let Some(extra) = snapshot.extra() {
             let rewrites = crate::snapshot::decode_rewrites(extra, engine.db.vars.len())?;
-            *engine
-                .caches
-                .rewrites
-                .write()
-                .expect("rewrite cache lock poisoned") = rewrites;
+            let mut live = engine.caches.rewrites();
+            for (key, table) in rewrites {
+                live.insert(key, table);
+            }
         }
         Ok(engine)
     }
@@ -565,13 +706,9 @@ impl Engine {
         if let Some(extra) = snapshot.extra() {
             let restored = crate::snapshot::decode_rewrites(extra, self.db.vars.len())?;
             rewrites = restored.len();
-            let mut live = self
-                .caches
-                .rewrites
-                .write()
-                .expect("rewrite cache lock poisoned");
+            let mut live = self.caches.rewrites();
             for (key, table) in restored {
-                live.entry(key).or_insert(table);
+                live.insert_if_absent(key, table);
             }
         }
         Ok(SnapshotStats {
@@ -800,13 +937,7 @@ fn step_one(
     let start = Instant::now();
     let key = query.structural_key();
     let scope = fnv64(&key);
-    let cached = caches.and_then(|c| {
-        c.rewrites
-            .read()
-            .expect("rewrite cache lock poisoned")
-            .get(&key)
-            .cloned()
-    });
+    let cached = caches.and_then(|c| c.rewrites().get(&key));
     let table = match cached {
         Some(table) => table,
         None => {
@@ -815,10 +946,7 @@ fn step_one(
             table.name = "result".to_string();
             let table = Arc::new(table);
             if let Some(c) = caches {
-                c.rewrites
-                    .write()
-                    .expect("rewrite cache lock poisoned")
-                    .insert(key, Arc::clone(&table));
+                c.rewrites().insert(key, Arc::clone(&table));
             }
             table
         }
@@ -1012,6 +1140,14 @@ fn execute_pipeline(
     }
 }
 
+/// Pooled-mode lifecycle state: how many pool jobs of this stream are currently
+/// running, and whether the stream was cancelled before they started.
+#[derive(Debug, Default)]
+struct StreamGate {
+    cancelled: bool,
+    active: usize,
+}
+
 /// State shared between the consumer of a [`TupleStream`] and its workers.
 #[derive(Debug)]
 struct StreamShared {
@@ -1026,6 +1162,44 @@ struct StreamShared {
     cancel: AtomicBool,
     /// The next unclaimed tuple index (dynamic work distribution).
     cursor: AtomicUsize,
+    /// Pooled-mode quiescence gate. Spawned threads are joined by handle; pool
+    /// jobs have no handle, so dropping the stream instead waits here until
+    /// every started job has exited (queued-but-unstarted jobs observe
+    /// `cancelled` under this lock and become no-ops). Checking the flag and
+    /// counting the job under **one** lock is what makes the drop race-free: a
+    /// job either sees the cancellation or is counted before the drop starts
+    /// waiting.
+    gate: Mutex<StreamGate>,
+    /// Signalled whenever `gate.active` reaches zero.
+    quiesced: Condvar,
+}
+
+impl StreamShared {
+    /// Register one pool job as running; `false` means the stream was already
+    /// cancelled and the job must not touch any work.
+    fn gate_enter(&self) -> bool {
+        let mut gate = self.gate.lock().expect("stream gate poisoned");
+        if gate.cancelled {
+            return false;
+        }
+        gate.active += 1;
+        true
+    }
+}
+
+/// Decrements the gate when a pool job exits — by any path, panic included
+/// (the guard lives across the worker loop, so unwinding still releases the
+/// stream's drop from its wait).
+struct GateGuard(Arc<StreamShared>);
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        let mut gate = self.0.gate.lock().expect("stream gate poisoned");
+        gate.active -= 1;
+        if gate.active == 0 {
+            self.0.quiesced.notify_all();
+        }
+    }
 }
 
 fn worker_loop(shared: &StreamShared, sender: &SyncSender<(usize, Result<ProbTuple, Error>)>) {
@@ -1076,7 +1250,7 @@ fn worker_loop(shared: &StreamShared, sender: &SyncSender<(usize, Result<ProbTup
 fn spawn_stream(
     db: Arc<Database>,
     table: Arc<PvcTable>,
-    options: EvalOptions,
+    mut options: EvalOptions,
     try_fast: bool,
     artifacts: Option<Arc<SharedArtifacts>>,
     scope: u64,
@@ -1090,6 +1264,10 @@ fn spawn_stream(
         .into_iter()
         .map(str::to_string)
         .collect();
+    // Take the pool handle *out* of the options the stream retains: jobs hold
+    // `Arc<StreamShared>`, and a pool must never be kept alive (and eventually
+    // dropped, which joins its workers) from one of its own worker threads.
+    let pool = options.pool.take();
     let shared = Arc::new(StreamShared {
         db,
         table,
@@ -1100,10 +1278,42 @@ fn spawn_stream(
         counters: TupleCounters::default(),
         cancel: AtomicBool::new(false),
         cursor: AtomicUsize::new(0),
+        gate: Mutex::new(StreamGate::default()),
+        quiesced: Condvar::new(),
     });
     // Bounded channel: workers run at most a small window ahead of the consumer,
     // so a slow consumer of a huge result does not buffer the whole result set.
     let (sender, receiver) = std::sync::mpsc::sync_channel(threads * 2 + 2);
+    if let Some(pool) = pool {
+        // Pooled mode: submit the worker loops as jobs on the persistent pool
+        // instead of spawning threads. More jobs than pool workers cannot run
+        // concurrently (they would only claim an empty cursor after the loop
+        // ends), so cap at the pool width.
+        let jobs = threads.min(pool.threads()).max(1);
+        for _ in 0..jobs {
+            let worker_shared = Arc::clone(&shared);
+            let worker_sender = sender.clone();
+            pool.execute(move || {
+                if !worker_shared.gate_enter() {
+                    return;
+                }
+                let _guard = GateGuard(Arc::clone(&worker_shared));
+                worker_loop(&worker_shared, &worker_sender);
+            });
+        }
+        drop(sender);
+        return Ok(TupleStream {
+            columns,
+            rewrite_time,
+            total,
+            threads: jobs,
+            receiver: Some(receiver),
+            reassembly: OrderedReassembly::new(),
+            shared,
+            workers: Vec::new(),
+            poisoned: false,
+        });
+    }
     let mut workers = Vec::with_capacity(threads);
     for worker in 0..threads {
         let worker_shared = Arc::clone(&shared);
@@ -1249,6 +1459,19 @@ impl Drop for TupleStream {
             // A worker that panicked already surfaced as Error::Worker during
             // iteration; nothing useful to do with the panic payload here.
             let _ = handle.join();
+        }
+        // Pooled mode has no handles to join: mark the gate cancelled (so
+        // queued-but-unstarted jobs become no-ops) and wait until every started
+        // job has exited. Only then is it safe to release the stream's shared
+        // state — the pool outlives the stream, the stream's jobs must not.
+        let mut gate = self.shared.gate.lock().expect("stream gate poisoned");
+        gate.cancelled = true;
+        while gate.active > 0 {
+            gate = self
+                .shared
+                .quiesced
+                .wait(gate)
+                .expect("stream gate poisoned");
         }
     }
 }
@@ -1837,6 +2060,128 @@ mod tests {
             assert_eq!(a.values, b.values);
             assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
             assert_eq!(a.aggregate_distributions, b.aggregate_distributions);
+        }
+    }
+
+    #[test]
+    fn pooled_execution_is_bit_identical_to_spawning() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let prepared = engine.prepare(&paper_q1()).unwrap();
+        let spawned = prepared
+            .execute(&EvalOptions::default().with_threads(4))
+            .unwrap();
+        let pool = Arc::new(WorkerPool::new(4).unwrap());
+        // Several executions reuse the same pool — the serving pattern.
+        for _ in 0..3 {
+            let pooled = prepared
+                .execute(
+                    &EvalOptions::default()
+                        .with_threads(4)
+                        .with_pool(Arc::clone(&pool)),
+                )
+                .unwrap();
+            assert_eq!(spawned.tuples.len(), pooled.tuples.len());
+            for (a, b) in spawned.tuples.iter().zip(&pooled.tuples) {
+                assert_eq!(a.values, b.values);
+                assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+                assert_eq!(a.aggregate_distributions, b.aggregate_distributions);
+            }
+        }
+        assert!(pool.executed_jobs() > 0, "work must run on the pool");
+        assert_eq!(pool.panicked_jobs(), 0);
+    }
+
+    #[test]
+    fn pooled_stream_drop_mid_stream_quiesces_and_pool_survives() {
+        let db = figure1_db();
+        let engine = Engine::new(db);
+        let prepared = engine.prepare(&paper_q1()).unwrap();
+        let pool = Arc::new(WorkerPool::new(2).unwrap());
+        let options = EvalOptions::default()
+            .with_threads(2)
+            .with_pool(Arc::clone(&pool));
+        let mut stream = prepared.execute_streaming(&options).unwrap();
+        let first = stream.next().unwrap().unwrap();
+        assert!(first.confidence > 0.0);
+        // Dropping mid-stream must cancel the pool jobs and wait them out —
+        // without killing the pool, which keeps serving later executions.
+        drop(stream);
+        let result = prepared.execute(&options).unwrap();
+        assert_eq!(result.tuples.len(), 9);
+        assert_eq!(pool.panicked_jobs(), 0);
+        // Pool shutdown drains and joins cleanly afterwards (no leaked jobs;
+        // stream state never retains the pool handle, so dropping the options
+        // leaves this as the only reference).
+        drop(options);
+        Arc::try_unwrap(pool)
+            .expect("no job may still hold the pool")
+            .shutdown();
+    }
+
+    #[test]
+    fn rewrite_cache_is_lru_bounded() {
+        let engine = Engine::with_cache_config(
+            figure1_db(),
+            CacheConfig {
+                max_entries: 2,
+                max_bytes: usize::MAX,
+            },
+        );
+        // Four distinct queries → four distinct structural keys.
+        let queries = [
+            Query::table("S").project(["shop"]),
+            Query::table("S").project(["sid"]),
+            Query::table("P1").project(["pid"]),
+            Query::table("P2").project(["pid"]),
+        ];
+        for q in &queries {
+            engine
+                .prepare(q)
+                .unwrap()
+                .execute(&EvalOptions::default())
+                .unwrap();
+            let stats = engine.cache_stats();
+            assert!(
+                stats.rewrites <= 2,
+                "rewrite cache exceeded bound: {stats:?}"
+            );
+            assert!(stats.rewrite_bytes > 0);
+        }
+        // Re-running an evicted query still gives correct results (recomputed).
+        let again = engine
+            .prepare(&queries[0])
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        assert_eq!(again.tuples.len(), 2);
+    }
+
+    #[test]
+    fn compact_artifacts_bounds_interner_and_preserves_results() {
+        let engine = Engine::with_cache_config(
+            figure1_db(),
+            CacheConfig {
+                max_entries: 4,
+                max_bytes: usize::MAX,
+            },
+        );
+        let q = paper_q1();
+        let prepared = engine.prepare(&q).unwrap();
+        let reference = prepared.execute(&EvalOptions::default()).unwrap();
+        let before = engine.cache_stats();
+        let stats = engine.compact_artifacts();
+        assert_eq!(stats.generation, 1);
+        assert!(
+            stats.interned_after <= stats.interned_before,
+            "compaction must not grow the arena: {stats:?}"
+        );
+        // LRU-evicted entries left dead interner nodes behind; with the small
+        // bound above, compaction must actually retire some of them.
+        assert!(before.interned >= stats.interned_after);
+        let after = prepared.execute(&EvalOptions::default()).unwrap();
+        for (a, b) in reference.tuples.iter().zip(&after.tuples) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
         }
     }
 

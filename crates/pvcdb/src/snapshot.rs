@@ -211,6 +211,15 @@ fn take_table(r: &mut Reader<'_>) -> Result<PvcTable, PersistError> {
 // The rewrite-cache section (the snapshot's `extra` payload)
 // ---------------------------------------------------------------------------
 
+/// The serialized size of one rewrite table — the byte measure the bounded
+/// rewrite cache charges per entry (exact for what a snapshot would write, and
+/// a close proxy for in-memory footprint).
+pub(crate) fn table_bytes(table: &PvcTable) -> usize {
+    let mut w = Writer::new();
+    put_table(&mut w, table);
+    w.into_bytes().len()
+}
+
 /// Encode the step-I rewrite cache (structural keys → result tables).
 pub(crate) fn encode_rewrites(rewrites: &BTreeMap<Vec<u8>, Arc<PvcTable>>) -> Vec<u8> {
     let mut w = Writer::new();

@@ -1,0 +1,58 @@
+//! `pvc-load`: drive a deterministic mixed workload against an in-process
+//! [`pvc_serve::Server`] and print the sustained-traffic report as JSON.
+//!
+//! Parameters come from `key=value` arguments (any order, all optional):
+//!
+//! ```text
+//! pvc-load clients=4 requests=50 tenants=2 shops=24 per_shop=3 \
+//!          threads=0 queue_depth=64 compact_every=4 snapshot_dir=/tmp/pvc-snaps
+//! ```
+//!
+//! The JSON on stdout is the `experiment_serve` record of the bench baseline
+//! (see `BENCH_baseline.json`); the CI `serve_smoke` job asserts nonzero QPS,
+//! zero rejections at the default depth, and an atomically written snapshot.
+
+use pvc_serve::loadgen::{run, LoadConfig};
+use pvc_serve::ServeConfig;
+
+fn parse_usize(value: &str, key: &str) -> usize {
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("invalid value for {key}: {value:?}"))
+}
+
+fn main() {
+    let mut config = LoadConfig::default();
+    let mut serve = ServeConfig::default().with_compact_every(4);
+    for arg in std::env::args().skip(1) {
+        let Some((key, value)) = arg.split_once('=') else {
+            eprintln!("ignoring argument without '=': {arg:?}");
+            continue;
+        };
+        match key {
+            "clients" => config.clients = parse_usize(value, key),
+            "requests" => config.requests_per_client = parse_usize(value, key),
+            "tenants" => config.tenants = parse_usize(value, key),
+            "shops" => config.shops = parse_usize(value, key),
+            "per_shop" => config.per_shop = parse_usize(value, key),
+            "threads" => serve.threads = parse_usize(value, key),
+            "queue_depth" => serve.queue_depth = parse_usize(value, key),
+            "compact_every" => serve.compact_every = parse_usize(value, key) as u64,
+            "compile_budget" => serve.compile_budget = Some(parse_usize(value, key)),
+            "snapshot_dir" => serve = serve.with_snapshot_dir(value),
+            "snapshot_interval_ms" => {
+                serve.snapshot_interval =
+                    std::time::Duration::from_millis(parse_usize(value, key) as u64)
+            }
+            _ => eprintln!("ignoring unknown parameter {key:?}"),
+        }
+    }
+    config.serve = serve;
+    match run(&config) {
+        Ok(report) => println!("{}", report.to_json()),
+        Err(e) => {
+            eprintln!("pvc-load failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

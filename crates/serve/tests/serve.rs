@@ -1,0 +1,262 @@
+//! End-to-end tests of the serving runtime: correctness against the plain
+//! engine, admission control, bounded compaction across generations, and the
+//! crash/warm-restart story around atomic snapshots.
+
+use pvc_core::CacheConfig;
+use pvc_db::{Engine, EvalOptions, Query};
+use pvc_serve::loadgen::{query_mix, workload_db};
+use pvc_serve::{ServeConfig, ServeError, Server};
+use std::time::Duration;
+
+fn quick_config() -> ServeConfig {
+    ServeConfig::default().with_threads(2).with_compact_every(1)
+}
+
+/// A scratch directory unique to one test, cleaned before use.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pvc-serve-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn served_results_are_bit_identical_to_direct_execution() {
+    let server = Server::start(vec![("t0".into(), workload_db(6, 2))], quick_config()).unwrap();
+    let reference_engine = Engine::new(workload_db(6, 2));
+    for query in query_mix() {
+        let reference = reference_engine
+            .prepare(&query)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let stream = server.submit("t0", query).unwrap().wait().unwrap();
+        assert_eq!(stream.total_tuples(), reference.tuples.len());
+        assert_eq!(stream.columns(), &reference.columns[..]);
+        let served: Vec<_> = stream.collect::<Result<_, _>>().unwrap();
+        for (s, r) in served.iter().zip(&reference.tuples) {
+            assert_eq!(s.values, r.values);
+            assert_eq!(s.confidence.to_bits(), r.confidence.to_bits());
+            assert_eq!(s.aggregate_distributions, r.aggregate_distributions);
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, query_mix().len() as u64);
+    assert_eq!(stats.engine_errors, 0);
+    assert!(stats.pool_executed_jobs > 0, "work must run on the pool");
+}
+
+#[test]
+fn unknown_tenant_and_overload_return_typed_errors() {
+    let server = Server::start(
+        vec![("t0".into(), workload_db(2, 1))],
+        quick_config().with_queue_depth(0),
+    )
+    .unwrap();
+    let query = Query::table("S").project(["shop"]);
+    match server.submit("nobody", query.clone()) {
+        Err(ServeError::UnknownTenant(name)) => assert_eq!(name, "nobody"),
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    // Depth 0 rejects deterministically, every time.
+    for _ in 0..5 {
+        match server.submit("t0", query.clone()) {
+            Err(ServeError::Overloaded { queued, limit }) => {
+                assert_eq!((queued, limit), (0, 0));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+    assert_eq!(server.stats().rejected, 5);
+    server.shutdown();
+}
+
+#[test]
+fn engine_errors_are_delivered_through_the_ticket() {
+    let server = Server::start(vec![("t0".into(), workload_db(2, 1))], quick_config()).unwrap();
+    let err = server
+        .submit("t0", Query::table("missing"))
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Engine(_)), "got {err:?}");
+    // The server keeps serving afterwards.
+    let stream = server
+        .submit("t0", Query::table("S").project(["shop"]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(stream.count() > 0);
+    let stats = server.shutdown();
+    assert_eq!(stats.engine_errors, 1);
+}
+
+#[test]
+fn compaction_keeps_artifacts_bounded_across_generations() {
+    // Tiny cache bounds + compact after every batch: evictions constantly
+    // leave dead interner nodes behind, and compaction must keep retiring
+    // them rather than letting the arena grow monotonically.
+    let config = quick_config()
+        .with_cache(CacheConfig {
+            max_entries: 8,
+            max_bytes: usize::MAX,
+        })
+        .with_compact_every(1);
+    let server = Server::start(vec![("t0".into(), workload_db(10, 3))], config).unwrap();
+    let mix = query_mix();
+    let mut interned_after = Vec::new();
+    let mut waves = 0u64;
+    // Run enough waves to observe two full cycles of the 7-query workload
+    // through the compactor.
+    while interned_after.len() < 16 && waves < 120 {
+        waves += 1;
+        let query = mix[(waves as usize) % mix.len()].clone();
+        let stream = server.submit("t0", query).unwrap().wait().unwrap();
+        // Drain and *drop* the stream so the tenant is idle at the next
+        // between-batch compaction check.
+        let _ = stream.collect::<Result<Vec<_>, _>>().unwrap();
+        // Allow the scheduler to reach its end-of-batch compaction point.
+        for _ in 0..100 {
+            if let Some(stats) = server.last_compaction("t0").unwrap() {
+                if stats.generation > interned_after.len() as u64 {
+                    interned_after.push(stats.interned_after);
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let stats = server
+        .last_compaction("t0")
+        .unwrap()
+        .expect("at least one compaction must have run");
+    assert!(
+        stats.generation >= 3,
+        "expected ≥3 generations, got {stats:?}"
+    );
+    // Bounded: the post-compaction arena size oscillates with the workload
+    // phase (different queries keep different expressions live), but it must
+    // not *trend* upward — the later generations' peak stays within a small
+    // factor of the earlier generations' peak instead of growing with every
+    // wave served.
+    assert!(
+        interned_after.len() >= 8,
+        "not enough compaction generations observed: {interned_after:?}"
+    );
+    let (early, late) = interned_after.split_at(interned_after.len() / 2);
+    let early_peak = *early.iter().max().unwrap() as f64;
+    let late_peak = *late.iter().max().unwrap() as f64;
+    assert!(
+        late_peak <= (early_peak * 1.25).max(64.0),
+        "arena grew unbounded across generations: {interned_after:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn kill_during_snapshot_restarts_warm_from_last_complete_snapshot() {
+    let dir = scratch_dir("kill-snap");
+    let config = quick_config()
+        .with_snapshot_dir(&dir)
+        .with_snapshot_interval(Duration::from_secs(3600)); // only explicit saves
+    let query = Query::table("S").project(["shop"]);
+
+    // First "process": serve traffic, snapshot, shut down.
+    {
+        let server = Server::start(vec![("t0".into(), workload_db(6, 2))], config.clone()).unwrap();
+        let stream = server.submit("t0", query.clone()).unwrap().wait().unwrap();
+        let _ = stream.collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(server.snapshot_now().unwrap(), 1);
+        server.shutdown();
+    }
+    let snap = dir.join("t0.snap");
+    assert!(snap.exists(), "snapshot must be on disk");
+    let complete = std::fs::read(&snap).unwrap();
+
+    // Simulate a crash *mid-save*: the atomic writer stages into a sibling
+    // temp file and renames, so a kill leaves the last complete snapshot
+    // intact next to a torn temp file — never a torn `.snap`.
+    std::fs::write(
+        dir.join("t0.snap.tmp.99999"),
+        &complete[..complete.len() / 3],
+    )
+    .unwrap();
+
+    // Second "process": restarts warm from the intact snapshot.
+    {
+        let server = Server::start(vec![("t0".into(), workload_db(6, 2))], config.clone()).unwrap();
+        let stream = server.submit("t0", query.clone()).unwrap().wait().unwrap();
+        let tuples: Vec<_> = stream.collect::<Result<_, _>>().unwrap();
+        assert!(!tuples.is_empty());
+        let cache = server.cache_stats("t0").unwrap();
+        assert_eq!(
+            cache.misses, 0,
+            "a warm restart must answer the repeated query from the snapshot: {cache:?}"
+        );
+        assert!(cache.hits > 0);
+        server.shutdown();
+    }
+
+    // A *torn final file* (pre-atomic-writer failure mode) must degrade to a
+    // cold start, not a dead server.
+    std::fs::write(&snap, &complete[..complete.len() / 2]).unwrap();
+    {
+        let server = Server::start(vec![("t0".into(), workload_db(6, 2))], config).unwrap();
+        let stream = server.submit("t0", query).unwrap().wait().unwrap();
+        assert!(stream.count() > 0);
+        let cache = server.cache_stats("t0").unwrap();
+        assert!(cache.misses > 0, "torn snapshot must start cold: {cache:?}");
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn background_snapshot_thread_writes_periodically() {
+    let dir = scratch_dir("periodic-snap");
+    let config = quick_config()
+        .with_snapshot_dir(&dir)
+        .with_snapshot_interval(Duration::from_millis(20));
+    let server = Server::start(vec![("t0".into(), workload_db(4, 2))], config).unwrap();
+    let stream = server
+        .submit("t0", Query::table("S").project(["shop"]))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let _ = stream.collect::<Result<Vec<_>, _>>().unwrap();
+    // Within a generous window the background thread must have saved at least
+    // once (interval 20ms).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().snapshots == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        server.stats().snapshots > 0,
+        "background snapshot never ran"
+    );
+    assert!(dir.join("t0.snap").exists());
+    let stats = server.shutdown();
+    assert_eq!(stats.snapshot_failures, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let server = Server::start(vec![("t0".into(), workload_db(4, 2))], quick_config()).unwrap();
+    let tickets: Vec<_> = (0..8)
+        .map(|_| {
+            server
+                .submit("t0", Query::table("S").project(["shop"]))
+                .unwrap()
+        })
+        .collect();
+    let stats = server.shutdown();
+    // Every admitted request was dispatched before the scheduler exited; the
+    // tickets still resolve after shutdown.
+    assert_eq!(stats.served + stats.engine_errors, 8);
+    for ticket in tickets {
+        let stream = ticket.wait().unwrap();
+        let tuples: Vec<_> = stream.collect::<Result<_, _>>().unwrap();
+        assert_eq!(tuples.len(), 4);
+    }
+}

@@ -72,6 +72,10 @@
 //! * [`core`] — decomposition trees and the compilation algorithm (§5);
 //! * [`db`] — pvc-tables, the query language `Q` with the `⟦·⟧` rewriting (§3–4),
 //!   the tractability classes of §6 and the [`db::Engine`] described above;
+//! * [`serve`] — the long-lived serving runtime (not in the paper): a
+//!   [`serve::Server`] owning one engine per tenant, a persistent worker pool,
+//!   admission control, cross-query batch scheduling, idle-time artifact
+//!   compaction and background snapshots for warm restarts;
 //! * [`workload`] — the synthetic expression generator of the experiments (§7.1);
 //! * [`tpch`] — the TPC-H-like data generator and queries Q1/Q2 (§7.2).
 //!
@@ -85,6 +89,7 @@ pub use pvc_core as core;
 pub use pvc_db as db;
 pub use pvc_expr as expr;
 pub use pvc_prob as prob;
+pub use pvc_serve as serve;
 pub use pvc_tpch as tpch;
 pub use pvc_workload as workload;
 
@@ -105,4 +110,5 @@ pub mod prelude {
     pub use pvc_db::{evaluate, evaluate_with_probabilities, tuple_confidences};
     pub use pvc_expr::{Interner, SemimoduleExpr, SemiringExpr, Var, VarTable};
     pub use pvc_prob::{Dist, MonoidDist, SemiringDist};
+    pub use pvc_serve::{ResultStream, ServeConfig, ServeError, Server, ServerStats, Ticket};
 }
