@@ -46,6 +46,9 @@ fn main() {
     let warm_restart = pvc_bench::experiment_warm_restart(scale);
     eprintln!("running the serving experiment ...");
     let serve = pvc_bench::experiment_serve(scale);
+    // Last: it toggles the process-wide observability flags while it measures.
+    eprintln!("running the observability-overhead experiment ...");
+    let obs = pvc_bench::experiment_obs(scale);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -63,6 +66,8 @@ fn main() {
     out.push_str(&warm_restart.to_json());
     out.push_str(",\n  \"experiment_serve\": ");
     out.push_str(&serve.to_json());
+    out.push_str(",\n  \"experiment_obs\": ");
+    out.push_str(&obs.to_json());
     out.push_str("\n}\n");
     print!("{out}");
 }

@@ -7,7 +7,7 @@
 
 use crate::stats::{timed_over_seeds, Measurement};
 use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind};
-use pvc_core::{CompileOptions, Compiler};
+use pvc_core::{obs, CompileOptions, Compiler};
 use pvc_db::{try_evaluate, Engine, EvalOptions};
 use pvc_prob::{convolve_additive, Dist, DistRepr, MonoidDist};
 use pvc_serve::loadgen::{LoadConfig, LoadReport};
@@ -855,6 +855,11 @@ pub struct ParallelReport {
     pub first_tuple_s: f64,
     /// Cold streaming at `threads = 4`: seconds until the stream was exhausted.
     pub full_stream_s: f64,
+    /// Why the regression gate's parallel-speedup check will stay dormant for
+    /// this report (`None` on machines with >= 4 cores, where the check is
+    /// live). Recorded explicitly so a baseline produced on a small container
+    /// says so in the JSON instead of silently arming nothing.
+    pub skipped_reason: Option<String>,
 }
 
 impl ParallelReport {
@@ -870,6 +875,15 @@ impl ParallelReport {
             ("speedup_4v1", format!("{:.2}", self.speedup_4v1)),
             ("first_tuple_s", format!("{:.6}", self.first_tuple_s)),
             ("full_stream_s", format!("{:.6}", self.full_stream_s)),
+            (
+                "skipped_reason",
+                match &self.skipped_reason {
+                    Some(reason) => {
+                        format!("\"{}\"", reason.replace('\\', "\\\\").replace('"', "\\\""))
+                    }
+                    None => "null".to_string(),
+                },
+            ),
         ]
     }
 
@@ -890,7 +904,7 @@ impl ParallelReport {
 }
 
 /// Header of the parallel experiment table.
-pub const PARALLEL_HEADER: [&str; 9] = [
+pub const PARALLEL_HEADER: [&str; 10] = [
     "tuples",
     "cores",
     "cold_1t_s",
@@ -900,6 +914,7 @@ pub const PARALLEL_HEADER: [&str; 9] = [
     "speedup_4v1",
     "first_tuple_s",
     "full_stream_s",
+    "skipped_reason",
 ];
 
 /// **Parallel experiment** (not in the paper): per-tuple d-tree compilation fanned
@@ -957,9 +972,10 @@ pub fn experiment_parallel(scale: Scale) -> ParallelReport {
     }
     let full_stream_s = start.elapsed().as_secs_f64();
 
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     ParallelReport {
         tuples: reference.tuples.len(),
-        cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cores,
         cold_1t_s,
         cold_2t_s,
         cold_4t_s,
@@ -967,6 +983,8 @@ pub fn experiment_parallel(scale: Scale) -> ParallelReport {
         speedup_4v1: cold_1t_s / cold_4t_s.max(1e-9),
         first_tuple_s,
         full_stream_s,
+        skipped_reason: (cores < 4)
+            .then(|| format!("machine has {cores} core(s); the speedup gate needs >= 4")),
     }
 }
 
@@ -1150,6 +1168,137 @@ pub fn experiment_kernel(scale: Scale) -> KernelReport {
     }
 }
 
+/// The report of the observability-overhead experiment: warm wall-clock of the
+/// repeated workload with observability fully disabled, with the metrics
+/// registry enabled, and with full span tracing + per-query profiles — plus the
+/// raw span ring-buffer push throughput.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Warm execution with metrics and tracing both disabled (the default).
+    pub disabled_s: f64,
+    /// Warm execution with the metrics registry enabled (counters, gauges,
+    /// histograms; no span tracing).
+    pub metrics_s: f64,
+    /// Warm execution with metrics + span tracing + per-query profile
+    /// collection all enabled.
+    pub tracing_s: f64,
+    /// `metrics_s / disabled_s`.
+    pub metrics_overhead: f64,
+    /// `tracing_s / disabled_s`.
+    pub tracing_overhead: f64,
+    /// Nanoseconds per `start`/`finish` pair pushed through a [`obs::Trace`]
+    /// ring buffer (the raw cost floor of one traced span).
+    pub span_push_ns: f64,
+}
+
+impl ObsReport {
+    /// The report as `(field name, JSON-ready value)` pairs.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("disabled_s", format!("{:.6}", self.disabled_s)),
+            ("metrics_s", format!("{:.6}", self.metrics_s)),
+            ("tracing_s", format!("{:.6}", self.tracing_s)),
+            ("metrics_overhead", format!("{:.3}", self.metrics_overhead)),
+            ("tracing_overhead", format!("{:.3}", self.tracing_overhead)),
+            ("span_push_ns", format!("{:.1}", self.span_push_ns)),
+        ]
+    }
+
+    /// Format as a table row (same order as [`fields`](Self::fields)).
+    pub fn cells(&self) -> Vec<String> {
+        self.fields().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Header of the observability experiment table.
+pub const OBS_HEADER: [&str; 6] = [
+    "disabled_s",
+    "metrics_s",
+    "tracing_s",
+    "metrics_overhead",
+    "tracing_overhead",
+    "span_push_ns",
+];
+
+/// **Observability experiment** (not in the paper): what does watching cost?
+/// One engine is warmed on the repeated workload, then the same warm execution
+/// is timed under three global modes: observability fully disabled, metrics
+/// only, and metrics + tracing + per-query profiles. Results are asserted
+/// bit-identical across modes before any timing is reported. Mutates the
+/// process-wide observability flags; they are restored to disabled on return
+/// (run it last, and never concurrently with other measurements).
+pub fn experiment_obs(scale: Scale) -> ObsReport {
+    let full = scale == Scale::Full;
+    let (shops, per_shop) = if full { (60, 8) } else { (24, 5) };
+    let warm_runs = if full { 10 } else { 5 };
+    let engine = Engine::new(cache_workload_db(shops, per_shop));
+    let prepared = engine
+        .prepare(&cache_workload_query(false))
+        .expect("workload query prepares");
+    let options = EvalOptions::default();
+    // Warm the caches once so every timed run measures the same warm path.
+    let reference = prepared.execute(&options).expect("warm-up run");
+
+    let timed = |options: &EvalOptions| -> f64 {
+        let start = std::time::Instant::now();
+        for _ in 0..warm_runs {
+            let result = prepared.execute(options).expect("warm run");
+            for (a, b) in result.tuples.iter().zip(&reference.tuples) {
+                assert_eq!(
+                    a.confidence.to_bits(),
+                    b.confidence.to_bits(),
+                    "observability must not change results"
+                );
+            }
+        }
+        start.elapsed().as_secs_f64() / warm_runs as f64
+    };
+
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    let disabled_s = timed(&options);
+
+    obs::set_metrics_enabled(true);
+    let metrics_s = timed(&options);
+
+    obs::set_tracing_enabled(true);
+    let profile_options = options.clone().with_profile();
+    let tracing_s = timed(&profile_options);
+
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::reset();
+
+    // Raw span-buffer throughput: start/finish pairs against a live ring.
+    let pushes = if full { 1_000_000u64 } else { 200_000u64 };
+    let trace = obs::Trace::new(1024);
+    let start = std::time::Instant::now();
+    for _ in 0..pushes {
+        let seq = trace.start("tuple");
+        trace.finish(seq);
+    }
+    let span_push_ns = start.elapsed().as_nanos() as f64 / pushes as f64;
+
+    ObsReport {
+        disabled_s,
+        metrics_s,
+        tracing_s,
+        metrics_overhead: metrics_s / disabled_s.max(1e-9),
+        tracing_overhead: tracing_s / disabled_s.max(1e-9),
+        span_push_ns,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1218,11 +1367,18 @@ mod tests {
             speedup_4v1: 2.5,
             first_tuple_s: 0.05,
             full_stream_s: 0.4,
+            skipped_reason: None,
         };
         let names: Vec<&str> = report.fields().into_iter().map(|(k, _)| k).collect();
         assert_eq!(names.len(), PARALLEL_HEADER.len());
         assert_eq!(names[0], PARALLEL_HEADER[0]);
         assert!(report.to_json().contains("\"speedup_4v1\": 2.50"));
+        assert!(report.to_json().contains("\"skipped_reason\": null"));
+        let mut skipped = report.clone();
+        skipped.skipped_reason = Some("machine has 1 core(s)".to_string());
+        assert!(skipped
+            .to_json()
+            .contains("\"skipped_reason\": \"machine has 1 core(s)\""));
     }
 
     #[test]

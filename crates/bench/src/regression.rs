@@ -63,6 +63,13 @@ pub struct GateConfig {
     /// tolerance because tails are dominated by the slowest query in the mix
     /// and by scheduler jitter on shared runners.
     pub max_p99_ratio: f64,
+    /// Maximum tolerated ratio of the fresh `experiment_obs` disabled-mode warm
+    /// latency over the committed baseline's (`PVC_MAX_OBS_OVERHEAD_RATIO`,
+    /// default 1.05x — disabled observability must stay within 5% of free).
+    /// Floored at [`warm_floor_s`](Self::warm_floor_s) like the other warm
+    /// ratios. Falls back to the baseline's `experiment_cache.warm_s` when the
+    /// committed baseline predates `experiment_obs`.
+    pub max_obs_overhead_ratio: f64,
 }
 
 impl Default for GateConfig {
@@ -75,6 +82,7 @@ impl Default for GateConfig {
             max_disk_warm_ratio: 2.0,
             warm_floor_s: 0.005,
             max_p99_ratio: 3.0,
+            max_obs_overhead_ratio: 1.05,
         }
     }
 }
@@ -97,6 +105,10 @@ impl GateConfig {
             max_disk_warm_ratio: read("PVC_MAX_DISK_WARM_RATIO", defaults.max_disk_warm_ratio),
             warm_floor_s: read("PVC_WARM_FLOOR_S", defaults.warm_floor_s),
             max_p99_ratio: read("PVC_MAX_P99_RATIO", defaults.max_p99_ratio),
+            max_obs_overhead_ratio: read(
+                "PVC_MAX_OBS_OVERHEAD_RATIO",
+                defaults.max_obs_overhead_ratio,
+            ),
         }
     }
 }
@@ -396,6 +408,26 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
         }
     }
 
+    // --- observability: disabled mode must stay within 5% of free. -------------
+    // The reference is the committed baseline's own disabled-mode warm latency
+    // (or, for baselines predating `experiment_obs`, the cache experiment's
+    // warm latency — the same workload, warm, without any observability code).
+    if let Some(new) = number(fresh, "experiment_obs", "disabled_s") {
+        let reference = number(baseline, "experiment_obs", "disabled_s")
+            .or_else(|| number(baseline, "experiment_cache", "warm_s"));
+        if let Some(base) = reference {
+            compared_timings += 1;
+            let ratio = new.max(cfg.warm_floor_s) / base.max(cfg.warm_floor_s);
+            if ratio > cfg.max_obs_overhead_ratio {
+                violations.push(format!(
+                    "experiment_obs: disabled-observability warm latency is {ratio:.3}x the \
+                     baseline ({base:.4}s -> {new:.4}s, tolerance {:.2}x)",
+                    cfg.max_obs_overhead_ratio
+                ));
+            }
+        }
+    }
+
     // --- parallel scaling. -----------------------------------------------------
     // Enforced only when BOTH machines have >= 4 cores: the fresh machine must be
     // able to scale at all, and the committed baseline must itself come from
@@ -419,10 +451,19 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
             violations.push("experiment_parallel: fresh run is missing `speedup_4v1`".to_string());
             "parallel speedup MISSING".to_string()
         }
-        (false, Some(s)) => format!(
-            "parallel speedup {s:.2}x SKIPPED (fresh: {fresh_cores} core(s), baseline: \
-             {base_cores} core(s) — both need >= 4)"
-        ),
+        (false, Some(s)) => {
+            // The fresh report says in its own words why the gate is dormant.
+            let reason = fresh
+                .get("experiment_parallel")
+                .and_then(|section| section.get("skipped_reason"))
+                .and_then(Json::as_str)
+                .map(|r| format!(" — {r}"))
+                .unwrap_or_default();
+            format!(
+                "parallel speedup {s:.2}x SKIPPED (fresh: {fresh_cores} core(s), baseline: \
+                 {base_cores} core(s) — both need >= 4){reason}"
+            )
+        }
         (false, None) => "parallel speedup SKIPPED (section missing)".to_string(),
     };
 

@@ -205,6 +205,11 @@ struct EvalScratch {
     stack: Vec<Val>,
     s_pairs: Vec<(SemiringValue, f64)>,
     m_pairs: Vec<(MonoidValue, f64)>,
+    /// When set, `eval_from` tracks the value-stack high-water mark in
+    /// `max_depth` (observed only when the metrics registry is enabled, so the
+    /// disabled hot path pays one local branch per step).
+    track_depth: bool,
+    max_depth: usize,
 }
 
 impl DTreeArena {
@@ -220,6 +225,9 @@ impl DTreeArena {
         let mut branch_scratch = Vec::new();
         arena.push_tree(tree, &mut branch_scratch);
         debug_assert!(branch_scratch.is_empty());
+        crate::obs::core_metrics()
+            .arena_nodes
+            .record(arena.nodes.len() as u64);
         arena
     }
 
@@ -620,7 +628,13 @@ impl DTreeArena {
 
     fn evaluate(&self, table: &VarTable, kind: SemiringKind) -> Result<Val, DTreeError> {
         let mut scratch = EvalScratch::default();
-        self.eval_from(self.nodes.len() as u32 - 1, table, kind, &mut scratch)
+        let depth_hist = &crate::obs::core_metrics().eval_stack_depth;
+        scratch.track_depth = depth_hist.is_enabled();
+        let result = self.eval_from(self.nodes.len() as u32 - 1, table, kind, &mut scratch);
+        if scratch.track_depth {
+            depth_hist.record(scratch.max_depth as u64);
+        }
+        result
     }
 
     /// The iterative post-order evaluation of the subtree rooted at `root`: an
@@ -639,6 +653,9 @@ impl DTreeArena {
         let work_base = scratch.work.len();
         scratch.work.push(Phase::Expand(root));
         while scratch.work.len() > work_base {
+            if scratch.track_depth {
+                scratch.max_depth = scratch.max_depth.max(scratch.stack.len());
+            }
             let phase = scratch.work.pop().expect("work stack entry");
             let i = match phase {
                 Phase::Expand(i) => {
@@ -776,6 +793,9 @@ impl DTreeArena {
                 }
             };
             scratch.stack.push(value);
+        }
+        if scratch.track_depth {
+            scratch.max_depth = scratch.max_depth.max(scratch.stack.len());
         }
         debug_assert_eq!(
             scratch.stack.len(),

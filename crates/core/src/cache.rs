@@ -361,10 +361,12 @@ impl CompilationCache {
         match self.sem_arenas.get(id.0) {
             Some((a, _)) => {
                 self.counters.arena_hits += 1;
+                crate::obs::core_metrics().cache_arena_hit.inc();
                 Some(Arc::clone(a))
             }
             None => {
                 self.counters.arena_misses += 1;
+                crate::obs::core_metrics().cache_arena_miss.inc();
                 None
             }
         }
@@ -373,9 +375,11 @@ impl CompilationCache {
     /// Insert the compiled arena of a semiring expression.
     pub fn insert_semiring_arena(&mut self, id: ExprId, scope: u64, arena: &Arc<DTreeArena>) {
         let bytes = arena.approx_bytes();
-        self.counters.evictions +=
-            self.sem_arenas
-                .insert(id.0, Arc::clone(arena), bytes, scope, &self.config);
+        let evicted = self
+            .sem_arenas
+            .insert(id.0, Arc::clone(arena), bytes, scope, &self.config);
+        self.counters.evictions += evicted;
+        crate::obs::core_metrics().cache_eviction.add(evicted);
     }
 
     /// Cached compiled arena for a semimodule expression, promoting the entry.
@@ -383,10 +387,12 @@ impl CompilationCache {
         match self.agg_arenas.get(id.0) {
             Some((a, _)) => {
                 self.counters.arena_hits += 1;
+                crate::obs::core_metrics().cache_arena_hit.inc();
                 Some(Arc::clone(a))
             }
             None => {
                 self.counters.arena_misses += 1;
+                crate::obs::core_metrics().cache_arena_miss.inc();
                 None
             }
         }
@@ -395,9 +401,11 @@ impl CompilationCache {
     /// Insert the compiled arena of a semimodule expression.
     pub fn insert_aggregate_arena(&mut self, id: AggExprId, scope: u64, arena: &Arc<DTreeArena>) {
         let bytes = arena.approx_bytes();
-        self.counters.evictions +=
-            self.agg_arenas
-                .insert(id.0, Arc::clone(arena), bytes, scope, &self.config);
+        let evicted = self
+            .agg_arenas
+            .insert(id.0, Arc::clone(arena), bytes, scope, &self.config);
+        self.counters.evictions += evicted;
+        crate::obs::core_metrics().cache_eviction.add(evicted);
     }
 
     /// Cached distribution of a semiring expression, promoting the entry. `scope`
@@ -420,6 +428,7 @@ impl CompilationCache {
             Some((d, entry_scope)) => {
                 let r = f(d);
                 self.counters.hits += 1;
+                crate::obs::core_metrics().cache_semiring_hit.inc();
                 if entry_scope != scope {
                     self.counters.cross_scope_hits += 1;
                 }
@@ -427,6 +436,7 @@ impl CompilationCache {
             }
             None => {
                 self.counters.misses += 1;
+                crate::obs::core_metrics().cache_semiring_miss.inc();
                 None
             }
         }
@@ -435,9 +445,11 @@ impl CompilationCache {
     /// Insert the distribution of a semiring expression.
     pub fn insert_semiring(&mut self, id: ExprId, scope: u64, dist: &SemiringDist) {
         let bytes = dist_bytes(dist);
-        self.counters.evictions +=
-            self.semiring
-                .insert(id.0, dist.clone(), bytes, scope, &self.config);
+        let evicted = self
+            .semiring
+            .insert(id.0, dist.clone(), bytes, scope, &self.config);
+        self.counters.evictions += evicted;
+        crate::obs::core_metrics().cache_eviction.add(evicted);
     }
 
     /// Cached distribution of a semimodule (aggregate) expression.
@@ -446,6 +458,7 @@ impl CompilationCache {
             Some((d, entry_scope)) => {
                 let d = d.clone();
                 self.counters.hits += 1;
+                crate::obs::core_metrics().cache_aggregate_hit.inc();
                 if entry_scope != scope {
                     self.counters.cross_scope_hits += 1;
                 }
@@ -453,6 +466,7 @@ impl CompilationCache {
             }
             None => {
                 self.counters.misses += 1;
+                crate::obs::core_metrics().cache_aggregate_miss.inc();
                 None
             }
         }
@@ -461,9 +475,11 @@ impl CompilationCache {
     /// Insert the distribution of a semimodule expression.
     pub fn insert_aggregate(&mut self, id: AggExprId, scope: u64, dist: &MonoidDist) {
         let bytes = dist_bytes(dist);
-        self.counters.evictions +=
-            self.aggregate
-                .insert(id.0, dist.clone(), bytes, scope, &self.config);
+        let evicted = self
+            .aggregate
+            .insert(id.0, dist.clone(), bytes, scope, &self.config);
+        self.counters.evictions += evicted;
+        crate::obs::core_metrics().cache_eviction.add(evicted);
     }
 }
 
@@ -916,8 +932,15 @@ impl SharedArtifacts {
         options: &CompileOptions,
         scope: u64,
     ) -> Result<SemiringDist, EvalError> {
+        let span = crate::obs::span("subtree");
         if let Some(d) = self.cache().get_semiring(id, scope) {
+            if let Some(s) = &span {
+                s.attr("cache", "hit".into());
+            }
             return Ok(d);
+        }
+        if let Some(s) = &span {
+            s.attr("cache", "miss".into());
         }
         self.fill_semiring(id, vars, kind, options, scope)
     }
@@ -946,8 +969,15 @@ impl SharedArtifacts {
         options: &CompileOptions,
         scope: u64,
     ) -> Result<MonoidDist, EvalError> {
+        let span = crate::obs::span("subtree");
         if let Some(d) = self.get_aggregate(id, scope) {
+            if let Some(s) = &span {
+                s.attr("cache", "hit".into());
+            }
             return Ok(d);
+        }
+        if let Some(s) = &span {
+            s.attr("cache", "miss".into());
         }
         self.fill_aggregate(id, vars, kind, options, scope)
     }
@@ -1012,18 +1042,29 @@ impl SharedArtifacts {
         // otherwise materialise the canonical tree under the interner lock, then
         // compile and flatten it with no lock held. The lookup result is bound
         // first so its guard drops before the miss path re-locks the cache.
+        let span = crate::obs::span("compile");
         let cached = self.cache().get_semiring_arena(id);
         let arena = match cached {
-            Some(a) => a,
+            Some(a) => {
+                if let Some(s) = &span {
+                    s.attr("arena", "hit".into());
+                }
+                a
+            }
             None => {
                 let expr = self.interner().resolve(id);
                 let mut compiler = Compiler::with_options(vars, kind, options.clone());
                 let tree = compiler.compile_semiring(&expr)?;
                 let arena = Arc::new(DTreeArena::from_tree(&tree));
                 self.cache().insert_semiring_arena(id, scope, &arena);
+                if let Some(s) = &span {
+                    s.attr("arena", "miss".into());
+                    s.attr("nodes", arena.len().to_string());
+                }
                 arena
             }
         };
+        drop(span);
         Ok(arena.semiring_distribution(vars, kind)?)
     }
 
@@ -1072,18 +1113,29 @@ impl SharedArtifacts {
             }
             return Ok(acc.expect("at least one component"));
         }
+        let span = crate::obs::span("compile");
         let cached = self.cache().get_aggregate_arena(id);
         let arena = match cached {
-            Some(a) => a,
+            Some(a) => {
+                if let Some(s) = &span {
+                    s.attr("arena", "hit".into());
+                }
+                a
+            }
             None => {
                 let expr = self.interner().resolve_semimodule(id);
                 let mut compiler = Compiler::with_options(vars, kind, options.clone());
                 let tree = compiler.compile_semimodule(&expr)?;
                 let arena = Arc::new(DTreeArena::from_tree(&tree));
                 self.cache().insert_aggregate_arena(id, scope, &arena);
+                if let Some(s) = &span {
+                    s.attr("arena", "miss".into());
+                    s.attr("nodes", arena.len().to_string());
+                }
                 arena
             }
         };
+        drop(span);
         Ok(arena.monoid_distribution(vars, kind)?)
     }
 

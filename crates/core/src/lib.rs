@@ -45,6 +45,7 @@ pub mod cache;
 pub mod compile;
 pub mod joint;
 pub mod node;
+pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod prune;
@@ -59,6 +60,10 @@ pub use compile::{
 };
 pub use joint::{joint_distribution, ratio_distribution};
 pub use node::{DTree, DTreeError};
+pub use obs::{
+    Counter, ExecutionProfile, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ProfileNode,
+    SpanGuard, Trace,
+};
 pub use parallel::{parallel_map, resolve_threads, OrderedReassembly, WorkerPool};
 pub use persist::{PersistError, RestoreStats, Snapshot};
 pub use prune::{prune_against_constant, prune_conditional, PruneResult};

@@ -249,11 +249,31 @@ impl WorkerPool {
     /// after [`shutdown`](Self::shutdown) began is dropped without running (the
     /// pool can no longer guarantee a worker will pick it up).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        // With metrics on, wrap the job to time its queue wait (enqueue to
+        // start) and run time; when disabled the job is boxed exactly as
+        // before, so the hot path pays one relaxed flag load.
+        let metrics = crate::obs::core_metrics();
+        let job: Job = if metrics.pool_queue_wait_us.is_enabled() {
+            let enqueued = std::time::Instant::now();
+            Box::new(move || {
+                let metrics = crate::obs::core_metrics();
+                metrics
+                    .pool_queue_wait_us
+                    .record(enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                let started = std::time::Instant::now();
+                job();
+                metrics
+                    .pool_run_us
+                    .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            })
+        } else {
+            Box::new(job)
+        };
         let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        queue.push_back(Box::new(job));
+        queue.push_back(job);
         drop(queue);
         self.shared.work_ready.notify_one();
     }

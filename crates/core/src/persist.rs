@@ -1005,22 +1005,36 @@ pub fn write_snapshot_file(
         .to_os_string();
     file_name.push(format!(".tmp.{}", std::process::id()));
     let tmp = path.with_file_name(file_name);
+    let started = std::time::Instant::now();
     std::fs::write(&tmp, bytes).map_err(|e| io_err("write", e))?;
     std::fs::rename(&tmp, path).map_err(|e| {
         // Leave no stray temp file behind a failed rename.
         let _ = std::fs::remove_file(&tmp);
         io_err("publish", e)
-    })
+    })?;
+    let metrics = crate::obs::core_metrics();
+    metrics.persist_save_bytes.record(bytes.len() as u64);
+    metrics
+        .persist_save_us
+        .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    Ok(())
 }
 
 /// Read snapshot bytes from a file.
 pub fn read_snapshot_file(path: impl AsRef<std::path::Path>) -> Result<Vec<u8>, PersistError> {
-    std::fs::read(path.as_ref()).map_err(|e| {
+    let started = std::time::Instant::now();
+    let bytes = std::fs::read(path.as_ref()).map_err(|e| {
         PersistError::Io(format!(
             "failed to read snapshot {}: {e}",
             path.as_ref().display()
         ))
-    })
+    })?;
+    let metrics = crate::obs::core_metrics();
+    metrics.persist_restore_bytes.record(bytes.len() as u64);
+    metrics
+        .persist_restore_us
+        .record(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    Ok(bytes)
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ pub mod moments;
 pub mod repr;
 pub mod rng;
 pub mod space;
+pub mod stats;
 pub mod values;
 
 pub use dist::{Dist, PROB_EPS};
@@ -23,4 +24,8 @@ pub use moments::{cdf, expectation, moments, quantile, Moments};
 pub use repr::{convolve_additive, DenseDist, DistRepr};
 pub use rng::SeededRng;
 pub use space::{ProbabilitySpace, World};
+pub use stats::{
+    begin_tuple_capture, kernel_stats, kernel_stats_enabled, reset_kernel_stats,
+    set_kernel_stats_enabled, take_tuple_capture, KernelStats, SUPPORT_BUCKETS,
+};
 pub use values::{make, ops, DistValue, MixedDist, MonoidDist, SemiringDist};

@@ -146,11 +146,13 @@ impl DistRepr {
             {
                 if range <= (4 * dist.support_size()).max(DENSE_ALWAYS_RANGE) {
                     if let Some(dense) = DenseDist::from_dist(dist) {
+                        crate::stats::record_repr(true);
                         return DistRepr::Dense(dense);
                     }
                 }
             }
         }
+        crate::stats::record_repr(false);
         DistRepr::Sparse(dist.clone())
     }
 
@@ -193,8 +195,10 @@ fn finite_bounds(dist: &MonoidDist) -> Option<(i64, i64)> {
 /// Bit-identical to `a.convolve(&b, |x, y| x.saturating_add(y))` on every input.
 pub fn convolve_additive(a: &MonoidDist, b: &MonoidDist) -> MonoidDist {
     if let Some(out) = try_convolve_dense(a, b) {
+        crate::stats::record_conv(true, a.support_size(), b.support_size());
         return out;
     }
+    crate::stats::record_conv(false, a.support_size(), b.support_size());
     a.convolve(b, |x, y| x.saturating_add(y))
 }
 
@@ -205,8 +209,10 @@ pub fn convolve_additive_with_scratch(
     scratch: &mut Vec<(MonoidValue, f64)>,
 ) -> MonoidDist {
     if let Some(out) = try_convolve_dense(a, b) {
+        crate::stats::record_conv(true, a.support_size(), b.support_size());
         return out;
     }
+    crate::stats::record_conv(false, a.support_size(), b.support_size());
     a.convolve_with_scratch(b, |x, y| x.saturating_add(y), scratch)
 }
 

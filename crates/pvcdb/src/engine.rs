@@ -72,6 +72,7 @@ use crate::schema::Schema;
 use crate::tractable::{classify, QueryClass};
 use crate::value::Value;
 use pvc_algebra::{AggOp, MonoidValue, SemiringKind, SemiringValue};
+use pvc_core::obs;
 use pvc_core::parallel::{resolve_threads, OrderedReassembly, WorkerPool};
 use pvc_core::{
     confidence_of, CacheConfig, CompactionStats, CompileOptions, Compiler, SharedArtifacts,
@@ -80,6 +81,7 @@ use pvc_expr::{SemimoduleExpr, SemiringExpr, VarSet, VarTable};
 use pvc_prob::{Dist, MonoidDist, SemiringDist};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -107,6 +109,13 @@ pub struct EvalOptions {
     /// **bit-identical** for every setting — tuple order, confidences and aggregate
     /// distributions do not depend on the worker count.
     pub threads: usize,
+    /// Collect a per-query [`ExecutionProfile`](obs::ExecutionProfile) on the
+    /// returned [`QueryResult`]: a span tree covering the rewrite and the
+    /// per-tuple evaluation, with cache outcomes per independent sub-d-tree and
+    /// the kernel path taken per tuple. Off by default; results are bit-identical
+    /// either way, and the profile's [`shape`](obs::ExecutionProfile::shape) is
+    /// deterministic across runs and thread counts (given identical cache state).
+    pub profile: bool,
     /// A persistent [`WorkerPool`] to run step II on instead of spawning fresh
     /// threads per execution. When set, parallel executions submit their worker
     /// loops as pool jobs (at most [`WorkerPool::threads`] of them), amortising
@@ -132,6 +141,7 @@ impl EvalOptions {
             tractable_fast_path: true,
             aggregate_distributions: true,
             threads: 1,
+            profile: false,
             pool: None,
         }
     }
@@ -173,6 +183,13 @@ impl EvalOptions {
     /// execution (see [`EvalOptions::pool`]).
     pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Collect a per-query [`ExecutionProfile`](obs::ExecutionProfile) on the
+    /// result (see [`EvalOptions::profile`]).
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 }
@@ -747,6 +764,7 @@ impl Engine {
     /// # Ok::<(), pvc_db::Error>(())
     /// ```
     pub fn prepare(&self, query: &Query) -> Result<PreparedQuery<'_>, Error> {
+        let _span = obs::span("prepare");
         let plan = plan_query(&self.db, query)?;
         Ok(PreparedQuery {
             engine: self,
@@ -769,7 +787,14 @@ impl Engine {
         options: &EvalOptions,
     ) -> Result<QueryResult, Error> {
         let plan = plan_query(db, query)?;
-        let (table, scope, rewrite_time) = step_one(db, query, &plan, None)?;
+        let query_span = obs::span("query");
+        let (table, scope, rewrite_time) = {
+            let _s = obs::span("rewrite");
+            step_one(db, query, &plan, None)?
+        };
+        if let Some(s) = &query_span {
+            s.attr("structural_key", format!("{scope:016x}"));
+        }
         let try_fast = allow_fast_path(db, &plan, options);
         let threads = resolve_threads(options.threads, table.tuples.len());
         if threads <= 1 {
@@ -864,8 +889,17 @@ impl PreparedQuery<'_> {
     /// ```
     pub fn execute_streaming(&self, options: &EvalOptions) -> Result<TupleStream, Error> {
         let engine = self.engine;
-        let (table, scope, rewrite_time) =
-            step_one(&engine.db, &self.query, &self.plan, Some(&engine.caches))?;
+        let query_span = obs::span("query");
+        let (table, scope, rewrite_time) = {
+            let _s = obs::span("rewrite");
+            step_one(&engine.db, &self.query, &self.plan, Some(&engine.caches))?
+        };
+        if let Some(s) = &query_span {
+            s.attr("structural_key", format!("{scope:016x}"));
+        }
+        // Workers run per-tuple spans; the coordinator-level evaluate span is
+        // counted here once (the stream outlives this call).
+        let _evaluate_span = obs::span("evaluate");
         let artifacts = artifact_handle(options, Some(&engine.caches));
         let try_fast = allow_fast_path(&engine.db, &self.plan, options);
         let threads = resolve_threads(options.threads, table.tuples.len());
@@ -961,6 +995,65 @@ struct TupleCounters {
     agg_fast_path_hits: AtomicUsize,
 }
 
+/// A per-tuple profile fragment: the tuple's span tree plus the number of spans
+/// its bounded ring dropped.
+type TupleProfile = (obs::ProfileNode, u64);
+
+/// One streamed worker result: tuple index, outcome, and its profile fragment.
+type StreamedTuple = (usize, Result<ProbTuple, Error>, Option<TupleProfile>);
+
+/// [`tuple_result`] wrapped in per-tuple observability: a `tuple` span (counted
+/// in global tracing mode), and — in profile mode — a thread-local [`obs::Trace`]
+/// capturing the tuple's full span tree, with the kernel dispatch counts
+/// (dense/sparse) attributed deterministically via `pvc_prob`'s thread-local
+/// capture. Per-tuple work is single-threaded regardless of `threads`, so the
+/// resulting tree does not depend on the worker count.
+#[allow(clippy::too_many_arguments)]
+fn tuple_result_traced(
+    db: &Database,
+    table: &PvcTable,
+    index: usize,
+    options: &EvalOptions,
+    try_fast: bool,
+    artifacts: Option<&SharedArtifacts>,
+    scope: u64,
+    counters: &TupleCounters,
+) -> Result<(ProbTuple, Option<TupleProfile>), Error> {
+    if !options.profile {
+        let _span = obs::span("tuple");
+        let tuple = tuple_result(
+            db, table, index, options, try_fast, artifacts, scope, counters,
+        )?;
+        return Ok((tuple, None));
+    }
+    let trace = Rc::new(obs::Trace::new(obs::DEFAULT_TRACE_CAPACITY));
+    let result = obs::with_trace(Rc::clone(&trace), || {
+        let span = obs::span("tuple");
+        let prior = pvc_prob::begin_tuple_capture();
+        let result = tuple_result(
+            db, table, index, options, try_fast, artifacts, scope, counters,
+        );
+        let (dense, sparse) = pvc_prob::take_tuple_capture(prior);
+        if let Some(s) = &span {
+            s.attr("index", index.to_string());
+            s.attr("kernel_dense", dense.to_string());
+            s.attr("kernel_sparse", sparse.to_string());
+        }
+        result
+    });
+    let tuple = result?;
+    let (mut roots, dropped) = obs::profile_nodes(&trace);
+    let node = if roots.len() == 1 {
+        roots.pop().expect("one root")
+    } else {
+        // Ring overflow orphaned some spans: collect them under a synthetic node.
+        let mut node = obs::ProfileNode::new("tuple");
+        node.children = roots;
+        node
+    };
+    Ok((tuple, Some((node, dropped))))
+}
+
 /// Compute one result tuple: its confidence and (when requested) the distribution
 /// of every aggregation attribute. This is the per-tuple unit of work shared by the
 /// sequential path and every parallel worker — a pure function of the tuple, so
@@ -1028,6 +1121,35 @@ fn assemble_result(
         fast_path_hits,
         agg_fast_path_hits,
         threads,
+        profile: None,
+    }
+}
+
+/// Assemble the [`obs::ExecutionProfile`] of one materialising execution from the
+/// coordinator timings and the per-tuple span trees (in tuple order).
+fn build_profile(
+    scope: u64,
+    rewrite_time: Duration,
+    probability_time: Duration,
+    tuple_profiles: Vec<TupleProfile>,
+) -> obs::ExecutionProfile {
+    let mut dropped_spans = 0;
+    let mut evaluate = obs::ProfileNode::new("evaluate");
+    evaluate.dur_ns = probability_time.as_nanos().min(u64::MAX as u128) as u64;
+    for (node, dropped) in tuple_profiles {
+        dropped_spans += dropped;
+        evaluate.children.push(node);
+    }
+    let mut rewrite = obs::ProfileNode::new("rewrite");
+    rewrite.dur_ns = rewrite_time.as_nanos().min(u64::MAX as u128) as u64;
+    let mut root = obs::ProfileNode::new("query");
+    root.attrs
+        .push(("structural_key".to_string(), format!("{scope:016x}")));
+    root.dur_ns = rewrite.dur_ns.saturating_add(evaluate.dur_ns);
+    root.children = vec![rewrite, evaluate];
+    obs::ExecutionProfile {
+        root,
+        dropped_spans,
     }
 }
 
@@ -1046,20 +1168,38 @@ fn run_sequential(
     let start = Instant::now();
     let counters = TupleCounters::default();
     let mut tuples = Vec::with_capacity(table.tuples.len());
-    for index in 0..table.tuples.len() {
-        tuples.push(tuple_result(
-            db, table, index, options, try_fast, artifacts, scope, &counters,
-        )?);
+    let mut tuple_profiles: Vec<TupleProfile> = Vec::new();
+    {
+        let _evaluate_span = obs::span("evaluate");
+        for index in 0..table.tuples.len() {
+            let (tuple, profile) = tuple_result_traced(
+                db, table, index, options, try_fast, artifacts, scope, &counters,
+            )?;
+            tuples.push(tuple);
+            if let Some(p) = profile {
+                tuple_profiles.push(p);
+            }
+        }
     }
-    Ok(assemble_result(
+    let probability_time = start.elapsed();
+    let mut result = assemble_result(
         table,
         tuples,
         rewrite_time,
-        start.elapsed(),
+        probability_time,
         counters.fast_path_hits.load(Ordering::Relaxed),
         counters.agg_fast_path_hits.load(Ordering::Relaxed),
         1,
-    ))
+    );
+    if options.profile {
+        result.profile = Some(build_profile(
+            scope,
+            rewrite_time,
+            probability_time,
+            tuple_profiles,
+        ));
+    }
+    Ok(result)
 }
 
 /// Step II on `threads` workers: spawn a stream and drain it. Shared by
@@ -1087,21 +1227,35 @@ fn run_parallel(
         threads,
     )?;
     let mut tuples = Vec::with_capacity(stream.total_tuples());
-    for item in &mut stream {
-        // The first error (in tuple order) wins, exactly as in the sequential
-        // loop; dropping the stream cancels and joins the workers.
-        tuples.push(item?);
+    {
+        let _evaluate_span = obs::span("evaluate");
+        for item in &mut stream {
+            // The first error (in tuple order) wins, exactly as in the sequential
+            // loop; dropping the stream cancels and joins the workers.
+            tuples.push(item?);
+        }
     }
+    let probability_time = start.elapsed();
     let (fast, agg) = (stream.fast_path_hits(), stream.agg_fast_path_hits());
-    Ok(assemble_result(
+    let tuple_profiles = options.profile.then(|| stream.take_profiles());
+    let mut result = assemble_result(
         &table,
         tuples,
         rewrite_time,
-        start.elapsed(),
+        probability_time,
         fast,
         agg,
         threads,
-    ))
+    );
+    if let Some(profiles) = tuple_profiles {
+        result.profile = Some(build_profile(
+            scope,
+            rewrite_time,
+            probability_time,
+            profiles,
+        ));
+    }
+    Ok(result)
 }
 
 /// Steps I+II with optional caching, materialising the whole result.
@@ -1112,7 +1266,14 @@ fn execute_pipeline(
     options: &EvalOptions,
     caches: Option<&Caches>,
 ) -> Result<QueryResult, Error> {
-    let (table, scope, rewrite_time) = step_one(db, query, plan, caches)?;
+    let query_span = obs::span("query");
+    let (table, scope, rewrite_time) = {
+        let _s = obs::span("rewrite");
+        step_one(db, query, plan, caches)?
+    };
+    if let Some(s) = &query_span {
+        s.attr("structural_key", format!("{scope:016x}"));
+    }
     let artifacts = artifact_handle(options, caches);
     let try_fast = allow_fast_path(db, plan, options);
     let threads = resolve_threads(options.threads, table.tuples.len());
@@ -1202,7 +1363,7 @@ impl Drop for GateGuard {
     }
 }
 
-fn worker_loop(shared: &StreamShared, sender: &SyncSender<(usize, Result<ProbTuple, Error>)>) {
+fn worker_loop(shared: &StreamShared, sender: &SyncSender<StreamedTuple>) {
     loop {
         if shared.cancel.load(Ordering::Relaxed) {
             return;
@@ -1216,8 +1377,8 @@ fn worker_loop(shared: &StreamShared, sender: &SyncSender<(usize, Result<ProbTup
         // keep buffering every later tuple waiting for this one — unbounded
         // memory and an arbitrarily late error. Caught here, it surfaces as an
         // in-order `Error::Worker` instead.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            tuple_result(
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tuple_result_traced(
                 &shared.db,
                 &shared.table,
                 index,
@@ -1238,8 +1399,12 @@ fn worker_loop(shared: &StreamShared, sender: &SyncSender<(usize, Result<ProbTup
                 "panic while computing tuple {index}: {detail}"
             )))
         });
+        let (result, profile) = match outcome {
+            Ok((tuple, profile)) => (Ok(tuple), profile),
+            Err(e) => (Err(e), None),
+        };
         // A send error means the consumer dropped the stream: stop quietly.
-        if sender.send((index, result)).is_err() {
+        if sender.send((index, result, profile)).is_err() {
             return;
         }
     }
@@ -1283,7 +1448,10 @@ fn spawn_stream(
     });
     // Bounded channel: workers run at most a small window ahead of the consumer,
     // so a slow consumer of a huge result does not buffer the whole result set.
-    let (sender, receiver) = std::sync::mpsc::sync_channel(threads * 2 + 2);
+    let (sender, receiver) =
+        std::sync::mpsc::sync_channel::<(usize, Result<ProbTuple, Error>, Option<TupleProfile>)>(
+            threads * 2 + 2,
+        );
     if let Some(pool) = pool {
         // Pooled mode: submit the worker loops as jobs on the persistent pool
         // instead of spawning threads. More jobs than pool workers cannot run
@@ -1309,6 +1477,7 @@ fn spawn_stream(
             threads: jobs,
             receiver: Some(receiver),
             reassembly: OrderedReassembly::new(),
+            profiles: Vec::new(),
             shared,
             workers: Vec::new(),
             poisoned: false,
@@ -1345,6 +1514,7 @@ fn spawn_stream(
         threads,
         receiver: Some(receiver),
         reassembly: OrderedReassembly::new(),
+        profiles: Vec::new(),
         shared,
         workers,
         poisoned: false,
@@ -1368,8 +1538,12 @@ pub struct TupleStream {
     rewrite_time: Duration,
     total: usize,
     threads: usize,
-    receiver: Option<Receiver<(usize, Result<ProbTuple, Error>)>>,
+    receiver: Option<Receiver<StreamedTuple>>,
     reassembly: OrderedReassembly<Result<ProbTuple, Error>>,
+    /// Per-tuple profile fragments received so far (profile mode only), keyed by
+    /// tuple index — arrival order is nondeterministic, so they are sorted when
+    /// taken.
+    profiles: Vec<(usize, TupleProfile)>,
     shared: Arc<StreamShared>,
     workers: Vec<JoinHandle<()>>,
     poisoned: bool,
@@ -1410,6 +1584,14 @@ impl TupleStream {
             .agg_fast_path_hits
             .load(Ordering::Relaxed)
     }
+
+    /// Take the per-tuple profile fragments received so far, in tuple order
+    /// (only populated when the stream runs with `EvalOptions::profile`).
+    pub(crate) fn take_profiles(&mut self) -> Vec<TupleProfile> {
+        let mut profiles = std::mem::take(&mut self.profiles);
+        profiles.sort_by_key(|(index, _)| *index);
+        profiles.into_iter().map(|(_, profile)| profile).collect()
+    }
 }
 
 impl Iterator for TupleStream {
@@ -1425,7 +1607,12 @@ impl Iterator for TupleStream {
             }
             let receiver = self.receiver.as_ref()?;
             match receiver.recv() {
-                Ok((index, result)) => self.reassembly.push(index, result),
+                Ok((index, result, profile)) => {
+                    if let Some(profile) = profile {
+                        self.profiles.push((index, profile));
+                    }
+                    self.reassembly.push(index, result)
+                }
                 Err(_) => {
                     // Every sender hung up before all tuples were delivered: a
                     // worker panicked. Surface it instead of silently truncating.
@@ -1488,11 +1675,18 @@ fn tuple_confidence(
     scope: u64,
     counters: &TupleCounters,
 ) -> Result<f64, Error> {
+    let span = obs::span("confidence");
     if let Some(arts) = artifacts {
-        let id = arts.intern(annotation);
+        let id = {
+            let _intern_span = obs::span("intern");
+            arts.intern(annotation)
+        };
         // Warm path: reduce the cached distribution to its confidence under the
         // lock — no per-tuple clone.
         if let Some(p) = arts.map_semiring(id, scope, confidence_of) {
+            if let Some(s) = &span {
+                s.attr("path", "cache".into());
+            }
             return Ok(p);
         }
         if try_fast {
@@ -1506,8 +1700,14 @@ fn tuple_confidence(
                     (SemiringValue::Bool(false), 1.0 - p),
                 ]);
                 arts.insert_semiring(id, scope, &dist);
+                if let Some(s) = &span {
+                    s.attr("path", "fast".into());
+                }
                 return Ok(p);
             }
+        }
+        if let Some(s) = &span {
+            s.attr("path", "compile".into());
         }
         // The lookup above already recorded the miss; fill without re-checking.
         let dist = arts.fill_semiring(id, &db.vars, db.kind, &options.compile, scope)?;
@@ -1516,8 +1716,14 @@ fn tuple_confidence(
     if try_fast {
         if let Some(p) = read_once_confidence(annotation, &db.vars) {
             counters.fast_path_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = &span {
+                s.attr("path", "fast".into());
+            }
             return Ok(p);
         }
+    }
+    if let Some(s) = &span {
+        s.attr("path", "compile".into());
     }
     compiled_confidence(db, annotation, options)
 }
@@ -1551,17 +1757,30 @@ fn aggregate_distribution(
     scope: u64,
     counters: &TupleCounters,
 ) -> Result<MonoidDist, Error> {
+    let span = obs::span("aggregate");
     if let Some(arts) = artifacts {
-        let id = arts.intern_semimodule(expr);
+        let id = {
+            let _intern_span = obs::span("intern");
+            arts.intern_semimodule(expr)
+        };
         if let Some(d) = arts.get_aggregate(id, scope) {
+            if let Some(s) = &span {
+                s.attr("path", "cache".into());
+            }
             return Ok(d);
         }
         if try_fast {
             if let Some(d) = min_max_read_once_distribution(expr, &db.vars) {
                 counters.agg_fast_path_hits.fetch_add(1, Ordering::Relaxed);
                 arts.insert_aggregate(id, scope, &d);
+                if let Some(s) = &span {
+                    s.attr("path", "fast".into());
+                }
                 return Ok(d);
             }
+        }
+        if let Some(s) = &span {
+            s.attr("path", "compile".into());
         }
         // The lookup above already recorded the miss; fill without re-checking.
         return Ok(arts.fill_aggregate(id, &db.vars, db.kind, &options.compile, scope)?);
@@ -1569,8 +1788,14 @@ fn aggregate_distribution(
     if try_fast {
         if let Some(d) = min_max_read_once_distribution(expr, &db.vars) {
             counters.agg_fast_path_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = &span {
+                s.attr("path", "fast".into());
+            }
             return Ok(d);
         }
+    }
+    if let Some(s) = &span {
+        s.attr("path", "compile".into());
     }
     let mut compiler = Compiler::with_options(&db.vars, db.kind, options.compile.clone());
     let tree = compiler.compile_semimodule(expr)?;

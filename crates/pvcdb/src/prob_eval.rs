@@ -54,6 +54,9 @@ pub struct QueryResult {
     /// means the sequential in-thread path). Purely informational — results are
     /// identical for every thread count.
     pub threads: usize,
+    /// The execution's span tree, collected only when [`EvalOptions::profile`]
+    /// is set (`None` otherwise). See `pvc_core::obs` and `docs/OBSERVABILITY.md`.
+    pub profile: Option<pvc_core::obs::ExecutionProfile>,
 }
 
 impl QueryResult {

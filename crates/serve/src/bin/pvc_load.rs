@@ -8,11 +8,16 @@
 //!          threads=0 queue_depth=64 compact_every=4 snapshot_dir=/tmp/pvc-snaps
 //! ```
 //!
-//! The JSON on stdout is the `experiment_serve` record of the bench baseline
+//! With `--metrics` (or `metrics=1`) the process-wide observability registry
+//! and span counting are enabled for the run, and the output becomes
+//! `{"report": <run report>, "metrics": <Server::metrics_snapshot()>}` — the
+//! CI `obs_smoke` job parses this and checks the metric catalog.
+//!
+//! The report JSON is the `experiment_serve` record of the bench baseline
 //! (see `BENCH_baseline.json`); the CI `serve_smoke` job asserts nonzero QPS,
 //! zero rejections at the default depth, and an atomically written snapshot.
 
-use pvc_serve::loadgen::{run, LoadConfig};
+use pvc_serve::loadgen::{run, run_with_metrics, LoadConfig};
 use pvc_serve::ServeConfig;
 
 fn parse_usize(value: &str, key: &str) -> usize {
@@ -24,12 +29,18 @@ fn parse_usize(value: &str, key: &str) -> usize {
 fn main() {
     let mut config = LoadConfig::default();
     let mut serve = ServeConfig::default().with_compact_every(4);
+    let mut metrics = false;
     for arg in std::env::args().skip(1) {
+        if arg == "--metrics" {
+            metrics = true;
+            continue;
+        }
         let Some((key, value)) = arg.split_once('=') else {
             eprintln!("ignoring argument without '=': {arg:?}");
             continue;
         };
         match key {
+            "metrics" => metrics = value == "1" || value == "true",
             "clients" => config.clients = parse_usize(value, key),
             "requests" => config.requests_per_client = parse_usize(value, key),
             "tenants" => config.tenants = parse_usize(value, key),
@@ -48,11 +59,29 @@ fn main() {
         }
     }
     config.serve = serve;
-    match run(&config) {
-        Ok(report) => println!("{}", report.to_json()),
-        Err(e) => {
-            eprintln!("pvc-load failed: {e}");
-            std::process::exit(1);
+    if metrics {
+        pvc_core::obs::set_metrics_enabled(true);
+        pvc_core::obs::set_tracing_enabled(true);
+        match run_with_metrics(&config) {
+            Ok((report, snapshot)) => {
+                println!(
+                    "{{\"report\": {}, \"metrics\": {}}}",
+                    report.to_json(),
+                    snapshot
+                );
+            }
+            Err(e) => {
+                eprintln!("pvc-load failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match run(&config) {
+            Ok(report) => println!("{}", report.to_json()),
+            Err(e) => {
+                eprintln!("pvc-load failed: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -61,14 +61,14 @@
 
 pub mod loadgen;
 
-use pvc_core::{CacheConfig, CompactionStats, WorkerPool};
+use pvc_core::{obs, CacheConfig, CompactionStats, WorkerPool};
 use pvc_db::{CacheStats, Database, Engine, Error as DbError, EvalOptions, ProbTuple, Query};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -217,6 +217,49 @@ impl From<DbError> for ServeError {
     }
 }
 
+/// Process-wide serving metrics handles (see `docs/OBSERVABILITY.md` for the
+/// catalog). Registered once; every handle is a near-no-op while metrics are
+/// disabled.
+struct ServeMetrics {
+    /// `serve.admission.rejected` — submissions rejected with
+    /// [`ServeError::Overloaded`], across all tenants.
+    admission_rejected: obs::Counter,
+    /// `serve.queue.depth` — submission-queue depth observed at each admit
+    /// (its high-water mark is the deepest the queue ever got).
+    queue_depth: obs::Gauge,
+    /// `serve.batch.size` — scheduler batch sizes.
+    batch_size: obs::Histogram,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = obs::global();
+        ServeMetrics {
+            admission_rejected: registry.counter("serve.admission.rejected"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            batch_size: registry.histogram("serve.batch.size"),
+        }
+    })
+}
+
+/// Minimal JSON string escaping for tenant names in [`Server::metrics_snapshot`].
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// One queued request: where it goes, what it runs, and the channel its
 /// [`ResultStream`] travels back on.
 struct Request {
@@ -268,6 +311,17 @@ struct Tenant {
     batches_since_compaction: AtomicU64,
     /// The most recent compaction's before/after sizes.
     last_compaction: Mutex<Option<CompactionStats>>,
+    /// Submissions for this tenant rejected with [`ServeError::Overloaded`].
+    /// Always-on (one relaxed add per rejection) so [`Server::metrics_snapshot`]
+    /// reports tenants even when the global registry is disabled.
+    rejected: AtomicU64,
+    /// High-water mark of this tenant's pending requests in the submission
+    /// queue, observed at each successful admit.
+    queue_hwm: AtomicUsize,
+    /// Registry mirror of `rejected` (`serve.tenant.<name>.rejected`).
+    rejected_metric: obs::Counter,
+    /// Registry mirror of `queue_hwm` (`serve.tenant.<name>.queue_hwm`).
+    queue_hwm_metric: obs::Gauge,
 }
 
 #[derive(Debug, Default)]
@@ -429,6 +483,8 @@ impl Server {
                 }
                 _ => Engine::with_cache_config(db, config.cache),
             };
+            let rejected_metric = obs::global().counter(&format!("serve.tenant.{name}.rejected"));
+            let queue_hwm_metric = obs::global().gauge(&format!("serve.tenant.{name}.queue_hwm"));
             tenant_map.insert(
                 name,
                 Tenant {
@@ -436,6 +492,10 @@ impl Server {
                     in_flight: Arc::new(AtomicUsize::new(0)),
                     batches_since_compaction: AtomicU64::new(0),
                     last_compaction: Mutex::new(None),
+                    rejected: AtomicU64::new(0),
+                    queue_hwm: AtomicUsize::new(0),
+                    rejected_metric,
+                    queue_hwm_metric,
                 },
             );
         }
@@ -485,9 +545,9 @@ impl Server {
     /// tenant or a full queue returns the typed error immediately; an accepted
     /// request returns a [`Ticket`] to wait on.
     pub fn submit(&self, tenant: &str, query: Query) -> Result<Ticket, ServeError> {
-        if !self.shared.tenants.contains_key(tenant) {
+        let Some(tenant_state) = self.shared.tenants.get(tenant) else {
             return Err(ServeError::UnknownTenant(tenant.to_string()));
-        }
+        };
         // One slot: the scheduler's reply send never blocks.
         let (reply, receiver) = std::sync::mpsc::sync_channel(1);
         let request = Request {
@@ -503,9 +563,21 @@ impl Server {
                         .counters
                         .rejected
                         .fetch_add(1, Ordering::Relaxed);
+                    tenant_state.rejected.fetch_add(1, Ordering::Relaxed);
+                    tenant_state.rejected_metric.inc();
+                    serve_metrics().admission_rejected.inc();
                 }
                 return Err(e);
             }
+            // Still under the queue lock: observe the depth this admit produced
+            // (queues are bounded by `queue_depth`, so the scan is cheap).
+            let depth = queue.pending.len();
+            serve_metrics().queue_depth.set(depth as u64);
+            let tenant_pending = queue.pending.iter().filter(|r| r.tenant == tenant).count();
+            tenant_state
+                .queue_hwm
+                .fetch_max(tenant_pending, Ordering::Relaxed);
+            tenant_state.queue_hwm_metric.set(tenant_pending as u64);
         }
         self.shared
             .counters
@@ -537,6 +609,39 @@ impl Server {
             pool_threads: self.shared.pool.threads(),
             pool_executed_jobs: self.shared.pool.executed_jobs(),
         }
+    }
+
+    /// A tenant-tagged JSON snapshot of the process-wide observability state:
+    /// every registered metric (cache, kernel, arena, pool, persist, serve and
+    /// span counters — see `docs/OBSERVABILITY.md`) plus per-tenant admission
+    /// accounting. The per-tenant section is always populated, even while the
+    /// metrics registry is disabled. The JSON uses the bench dialect (objects,
+    /// strings, integers) and parses with `pvc_bench::json`.
+    ///
+    /// Shape:
+    ///
+    /// ```json
+    /// {"metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+    ///  "tenants": {"t0": {"queue_hwm": 3, "rejected": 1, "in_flight": 0}}}
+    /// ```
+    pub fn metrics_snapshot(&self) -> String {
+        let mut out = String::from("{\"metrics\": ");
+        out.push_str(&obs::metrics_json());
+        out.push_str(", \"tenants\": {");
+        for (i, (name, tenant)) in self.shared.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {{\"queue_hwm\": {}, \"rejected\": {}, \"in_flight\": {}}}",
+                json_escape(name),
+                tenant.queue_hwm.load(Ordering::Relaxed),
+                tenant.rejected.load(Ordering::Relaxed),
+                tenant.in_flight.load(Ordering::SeqCst),
+            ));
+        }
+        out.push_str("}}");
+        out
     }
 
     /// Cache statistics of one tenant's engine.
@@ -658,6 +763,7 @@ fn scheduler_loop(shared: &ServerShared) {
         // tenant and structural key, so repeated/structurally-equal queries
         // run back-to-back and hit the interner & artifact caches while hot.
         // Within one group the original submission order is preserved.
+        serve_metrics().batch_size.record(batch.len() as u64);
         batch.sort_by_cached_key(|r| (r.tenant.clone(), r.query.structural_key()));
         for request in batch {
             dispatch(shared, request);

@@ -199,6 +199,21 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// Run the closed-loop load against a freshly started server and report
 /// sustained QPS and latency percentiles.
 pub fn run(config: &LoadConfig) -> Result<LoadReport, ServeError> {
+    run_inner(config, false).map(|(report, _)| report)
+}
+
+/// Like [`run`], additionally capturing [`Server::metrics_snapshot`] right
+/// before the server shuts down (the snapshot JSON reflects the whole run).
+/// Enable the registry first ([`pvc_core::obs::set_metrics_enabled`]) or the
+/// metrics section will be all zeros.
+pub fn run_with_metrics(config: &LoadConfig) -> Result<(LoadReport, String), ServeError> {
+    run_inner(config, true).map(|(report, metrics)| (report, metrics.unwrap_or_default()))
+}
+
+fn run_inner(
+    config: &LoadConfig,
+    capture_metrics: bool,
+) -> Result<(LoadReport, Option<String>), ServeError> {
     let tenants: Vec<(String, Database)> = (0..config.tenants.max(1))
         .map(|t| (format!("t{t}"), workload_db(config.shops, config.per_shop)))
         .collect();
@@ -274,6 +289,9 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, ServeError> {
     }
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
     let server = Arc::try_unwrap(server).expect("load clients have exited");
+    // Capture before shutdown: the snapshot sees the final queue high-water
+    // marks and per-tenant admission counts of this run.
+    let metrics = capture_metrics.then(|| server.metrics_snapshot());
     let stats = server.shutdown();
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
@@ -283,7 +301,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, ServeError> {
     } else {
         latencies.iter().sum::<f64>() / latencies.len() as f64
     };
-    Ok(LoadReport {
+    let report = LoadReport {
         requests: (config.clients.max(1) * config.requests_per_client) as u64,
         completed,
         rejected,
@@ -295,7 +313,8 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, ServeError> {
         mean_s,
         max_s: latencies.last().copied().unwrap_or(0.0),
         server: stats,
-    })
+    };
+    Ok((report, metrics))
 }
 
 #[cfg(test)]

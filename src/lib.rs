@@ -86,6 +86,7 @@
 
 pub use pvc_algebra as algebra;
 pub use pvc_core as core;
+pub use pvc_core::obs;
 pub use pvc_db as db;
 pub use pvc_expr as expr;
 pub use pvc_prob as prob;
@@ -98,7 +99,7 @@ pub mod prelude {
     pub use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
     pub use pvc_core::{
         compile_semimodule, compile_semiring, confidence, semimodule_distribution,
-        semiring_distribution, CompileOptions, Compiler, DTree,
+        semiring_distribution, CompileOptions, Compiler, DTree, ExecutionProfile,
     };
     pub use pvc_db::{
         classify, try_evaluate, try_tuple_confidences, AggSpec, CacheConfig, CacheStats, Database,

@@ -1,0 +1,282 @@
+//! Contract of the observability layer (`pvc_suite::obs`):
+//!
+//! * **zero-cost when off** — results are bit-identical whether metrics,
+//!   tracing and per-query profiles are enabled or not;
+//! * **deterministic profiles** — `ExecutionProfile::shape()` is identical
+//!   across repeated warm runs and across `threads = 1` vs `threads = 4`;
+//! * **coverage** — a Q2-shaped query's profile covers the rewrite, the
+//!   evaluation and every tuple's confidence/compile path, with per-sub-d-tree
+//!   cache outcomes on a cold run;
+//! * **bounded tracing** — a tiny span ring drops oldest spans, never panics;
+//! * **catalog** — every metric the pipeline emits uses a documented prefix.
+//!
+//! Tests that flip the process-wide flags serialise on one mutex: Rust runs
+//! `#[test]`s concurrently in one process, and the flags are global.
+
+use pvc_suite::obs;
+use pvc_suite::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises every test that touches the global metrics/tracing flags.
+static OBS_FLAGS: Mutex<()> = Mutex::new(());
+
+/// The paper's Figure-1-style database: suppliers, offers, two product tables.
+fn shop_db() -> Database {
+    let mut db = Database::new();
+    db.create_table("S", Schema::new(["sid", "shop"]));
+    db.create_table("PS", Schema::new(["ps_sid", "ps_pid", "price"]));
+    db.create_table("P1", Schema::new(["pid", "weight"]));
+    db.create_table("P2", Schema::new(["pid", "weight"]));
+    {
+        let (s, vars) = db.table_and_vars_mut("S").unwrap();
+        for (sid, shop) in [(1, "M&S"), (2, "M&S"), (3, "Gap"), (4, "Gap"), (5, "B&Q")] {
+            s.push_independent(vec![(sid as i64).into(), shop.into()], 0.6, vars);
+        }
+    }
+    {
+        let (ps, vars) = db.table_and_vars_mut("PS").unwrap();
+        for (sid, pid, price) in [
+            (1, 1, 10),
+            (1, 2, 50),
+            (2, 1, 11),
+            (3, 3, 15),
+            (3, 1, 60),
+            (4, 2, 10),
+            (5, 3, 70),
+            (5, 1, 20),
+        ] {
+            ps.push_independent(
+                vec![
+                    (sid as i64).into(),
+                    (pid as i64).into(),
+                    (price as i64).into(),
+                ],
+                0.5,
+                vars,
+            );
+        }
+    }
+    for table in ["P1", "P2"] {
+        let (p, vars) = db.table_and_vars_mut(table).unwrap();
+        for pid in 1..=3 {
+            p.push_independent(
+                vec![(pid as i64).into(), (pid as i64 * 2).into()],
+                0.7,
+                vars,
+            );
+        }
+    }
+    db
+}
+
+/// The paper's Q2 shape: join + union + aggregate + having.
+fn q2() -> Query {
+    Query::table("S")
+        .join(Query::table("PS"), &[("sid", "ps_sid")])
+        .join(
+            Query::table("P1")
+                .union(Query::table("P2"))
+                .rename(&[("pid", "p_pid"), ("weight", "p_weight")]),
+            &[("ps_pid", "p_pid")],
+        )
+        .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")])
+        .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 60))
+}
+
+fn assert_bit_identical(a: &QueryResult, b: &QueryResult) {
+    assert_eq!(a.tuples.len(), b.tuples.len());
+    for (x, y) in a.tuples.iter().zip(&b.tuples) {
+        assert_eq!(x.values, y.values);
+        assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+        assert_eq!(
+            x.aggregate_distributions.len(),
+            y.aggregate_distributions.len()
+        );
+    }
+}
+
+#[test]
+fn profiles_are_deterministic_across_runs_and_thread_counts() {
+    let engine = Engine::new(shop_db());
+    let prepared = engine.prepare(&q2()).unwrap();
+    // Warm the caches first: on a warm engine every run observes the same
+    // cache outcomes, so the span-tree shape must be identical — across
+    // repeated runs and across worker-thread counts.
+    prepared.execute(&EvalOptions::default()).unwrap();
+
+    let profile_shape = |threads: usize| {
+        let options = EvalOptions::default().with_threads(threads).with_profile();
+        let result = prepared.execute(&options).unwrap();
+        let profile = result.profile.expect("profile requested");
+        assert_eq!(profile.dropped_spans, 0, "warm Q2 fits the default ring");
+        profile.shape()
+    };
+
+    let first = profile_shape(1);
+    let again = profile_shape(1);
+    assert_eq!(first, again, "same warm run must produce the same shape");
+    let parallel = profile_shape(4);
+    assert_eq!(
+        first, parallel,
+        "threads=4 must profile identically to threads=1 on a warm engine"
+    );
+}
+
+#[test]
+fn cold_q2_profile_covers_rewrite_compile_and_evaluate() {
+    let engine = Engine::new(shop_db());
+    let prepared = engine.prepare(&q2()).unwrap();
+    let result = prepared
+        .execute(&EvalOptions::default().with_profile())
+        .unwrap();
+    let profile = result.profile.expect("profile requested");
+
+    assert_eq!(profile.root.name, "query");
+    assert!(
+        profile
+            .root
+            .attrs
+            .iter()
+            .any(|(k, _)| k == "structural_key"),
+        "query root carries the structural key"
+    );
+    let names: Vec<&str> = profile
+        .root
+        .children
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(names, ["rewrite", "evaluate"]);
+    let evaluate = &profile.root.children[1];
+    assert_eq!(
+        evaluate.children.len(),
+        result.tuples.len(),
+        "one tuple span per result tuple"
+    );
+
+    let shape = profile.shape();
+    let render = profile.render();
+    // Every tuple records its kernel dispatch counts and its aggregate's path.
+    assert!(shape.contains("kernel_dense="), "{shape}");
+    assert!(shape.contains("aggregate"), "{shape}");
+    assert!(shape.contains("path="), "{shape}");
+    // The cold run compiled at least one sub-d-tree, recording its arena
+    // outcome and node count per independent sub-d-tree.
+    assert!(shape.contains("compile"), "{shape}");
+    assert!(shape.contains("arena=miss"), "{shape}");
+    assert!(shape.contains("nodes="), "{shape}");
+    // render() adds durations on top of the same tree.
+    assert!(render.contains("query"), "{render}");
+    assert!(render.contains("ms)"), "{render}");
+
+    // A second, warm execution observes cache hits on the same sub-d-trees.
+    let warm = prepared
+        .execute(&EvalOptions::default().with_profile())
+        .unwrap();
+    let warm_shape = warm.profile.expect("profile requested").shape();
+    assert!(warm_shape.contains("path=cache"), "{warm_shape}");
+}
+
+#[test]
+fn observability_never_changes_results() {
+    let _guard = OBS_FLAGS.lock().unwrap();
+    let engine = Engine::new(shop_db());
+    let prepared = engine.prepare(&q2()).unwrap();
+
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    let off = prepared.execute(&EvalOptions::default()).unwrap();
+
+    // Metrics + global tracing on: same bits.
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+    let on = prepared.execute(&EvalOptions::default()).unwrap();
+    assert_bit_identical(&off, &on);
+    assert!(on.profile.is_none(), "profiles are opt-in per query");
+
+    // Full per-query profiling, sequential and parallel: same bits.
+    let profiled = prepared
+        .execute(&EvalOptions::default().with_profile())
+        .unwrap();
+    assert_bit_identical(&off, &profiled);
+    let profiled_mt = prepared
+        .execute(&EvalOptions::default().with_threads(4).with_profile())
+        .unwrap();
+    assert_bit_identical(&off, &profiled_mt);
+
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+    obs::reset();
+}
+
+#[test]
+fn tiny_span_ring_drops_oldest_without_panic() {
+    let trace = obs::Trace::new(2);
+    let seqs: Vec<usize> = (0..100).map(|_| trace.start("tuple")).collect();
+    for seq in seqs {
+        trace.finish(seq);
+    }
+    assert_eq!(trace.len(), 2, "ring keeps only the newest spans");
+    assert_eq!(trace.dropped(), 98);
+    // Building profile trees from a truncated ring must not panic; the
+    // dropped count survives into the profile.
+    let (roots, dropped) = obs::profile_nodes(&trace);
+    assert!(!roots.is_empty());
+    assert_eq!(dropped, 98);
+}
+
+#[test]
+fn emitted_metrics_match_the_documented_catalog() {
+    let _guard = OBS_FLAGS.lock().unwrap();
+    obs::reset();
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+
+    let engine = Engine::new(shop_db());
+    let prepared = engine.prepare(&q2()).unwrap();
+    prepared.execute(&EvalOptions::default()).unwrap();
+    prepared
+        .execute(&EvalOptions::default().with_threads(2))
+        .unwrap();
+
+    obs::set_metrics_enabled(false);
+    obs::set_tracing_enabled(false);
+
+    let snapshot = obs::snapshot();
+    let documented = |name: &str| {
+        [
+            "cache.", "kernel.", "arena.", "pool.", "persist.", "serve.", "span.",
+        ]
+        .iter()
+        .any(|prefix| name.starts_with(prefix))
+    };
+    for name in snapshot.counters.keys() {
+        assert!(documented(name), "undocumented counter {name}");
+    }
+    for name in snapshot.gauges.keys() {
+        assert!(documented(name), "undocumented gauge {name}");
+    }
+    for name in snapshot.histograms.keys() {
+        assert!(documented(name), "undocumented histogram {name}");
+    }
+    // The lifecycle spans of this execution were all counted.
+    let count = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    for span in [
+        "span.prepare",
+        "span.query",
+        "span.rewrite",
+        "span.evaluate",
+    ] {
+        assert!(count(span) > 0, "{span} never fired");
+    }
+    assert!(count("span.tuple") > 0);
+    assert!(count("cache.semiring.miss") + count("cache.semiring.hit") > 0);
+    obs::reset();
+}
