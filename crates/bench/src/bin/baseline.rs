@@ -44,6 +44,8 @@ fn main() {
     let kernel = pvc_bench::experiment_kernel(scale);
     eprintln!("running the warm-restart experiment ...");
     let warm_restart = pvc_bench::experiment_warm_restart(scale);
+    eprintln!("running the incremental-update experiment ...");
+    let incremental = pvc_bench::experiment_incremental(scale);
     eprintln!("running the serving experiment ...");
     let serve = pvc_bench::experiment_serve(scale);
     // Last: it toggles the process-wide observability flags while it measures.
@@ -64,6 +66,8 @@ fn main() {
     out.push_str(&kernel.to_json());
     out.push_str(",\n  \"experiment_warm_restart\": ");
     out.push_str(&warm_restart.to_json());
+    out.push_str(",\n  \"experiment_incremental\": ");
+    out.push_str(&incremental.to_json());
     out.push_str(",\n  \"experiment_serve\": ");
     out.push_str(&serve.to_json());
     out.push_str(",\n  \"experiment_obs\": ");

@@ -1,0 +1,50 @@
+//! CI smoke check for the delta-update path: runs the incremental-update
+//! experiment (warm a query, apply a 1-tuple delta into an *unrelated* table,
+//! re-run) and **fails (exit 1)** if the delta triggered any recompilation of
+//! the repeated query's artifacts, or if no cached artifacts survived the
+//! delta at all (invalidation fell back to dropping everything).
+//!
+//! ```text
+//! cargo run --release --bin delta_smoke
+//! ```
+
+use pvc_bench::{experiment_incremental, Scale, INCREMENTAL_HEADER};
+
+fn main() {
+    let report = experiment_incremental(Scale::from_env());
+    println!("{}", INCREMENTAL_HEADER.join("\t"));
+    println!("{}", report.cells().join("\t"));
+    if report.recompiles_after_delta > 0 {
+        eprintln!(
+            "FAIL: {} artifacts were recompiled after a 1-tuple delta into an unrelated \
+             table — selective invalidation is not keeping disjoint queries warm",
+            report.recompiles_after_delta
+        );
+        std::process::exit(1);
+    }
+    if report.kept_artifacts == 0 {
+        eprintln!(
+            "FAIL: zero cached artifacts survived the delta (evicted: {}) — invalidation \
+             dropped everything instead of invalidating by var-set overlap",
+            report.evicted_artifacts
+        );
+        std::process::exit(1);
+    }
+    if report.warm_after_delta_s > report.cold_first_s {
+        // Informational only: timing inversions can happen on noisy CI machines.
+        eprintln!(
+            "warning: post-delta query ({:.4}s) was not faster than the cold first query \
+             ({:.4}s)",
+            report.warm_after_delta_s, report.cold_first_s
+        );
+    }
+    println!(
+        "OK: delta applied in {:.4}s, {} artifacts kept ({} evicted), post-delta query \
+         {:.4}s at {:.2}x warm with 0 recompilations",
+        report.delta_apply_s,
+        report.kept_artifacts,
+        report.evicted_artifacts,
+        report.warm_after_delta_s,
+        report.after_vs_warm
+    );
+}

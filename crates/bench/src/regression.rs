@@ -23,6 +23,11 @@
 //!   recompilations, within `PVC_MAX_DISK_WARM_RATIO` (default 2×) of the
 //!   in-process warm latency (floored at `PVC_WARM_FLOOR_S`, default 5 ms) and
 //!   below the cold first query;
+//! * updates must invalidate selectively: after `experiment_incremental`'s
+//!   1-tuple delta into an unrelated table, the repeated query must run with
+//!   **zero** recompilations, with surviving cache entries, within
+//!   `PVC_MAX_DELTA_WARM_RATIO` (default 2×) of the fully-warm latency
+//!   (floored at `PVC_WARM_FLOOR_S`);
 //! * the serving runtime must sustain traffic: `experiment_serve` must report
 //!   nonzero QPS, zero admission rejections at the default queue depth, zero
 //!   engine errors, and a p99 submit-to-drained latency within
@@ -58,6 +63,11 @@ pub struct GateConfig {
     /// tighter floor still absorbs scheduler jitter while catching a disk-warm
     /// path that silently falls back to full recompilation.
     pub warm_floor_s: f64,
+    /// Maximum tolerated ratio of the first-query latency *after* an unrelated
+    /// 1-tuple delta over the fully-warm latency in `experiment_incremental`
+    /// (`PVC_MAX_DELTA_WARM_RATIO`). A delta to one table must not cool the
+    /// cached artifacts of queries over other tables.
+    pub max_delta_warm_ratio: f64,
     /// Maximum tolerated ratio of the fresh `experiment_serve` p99 latency over
     /// the committed baseline's p99 (`PVC_MAX_P99_RATIO`). Looser than the mean
     /// tolerance because tails are dominated by the slowest query in the mix
@@ -80,6 +90,7 @@ impl Default for GateConfig {
             min_parallel_speedup: 1.3,
             min_dense_speedup: 1.0,
             max_disk_warm_ratio: 2.0,
+            max_delta_warm_ratio: 2.0,
             warm_floor_s: 0.005,
             max_p99_ratio: 3.0,
             max_obs_overhead_ratio: 1.05,
@@ -103,6 +114,7 @@ impl GateConfig {
             min_parallel_speedup: read("PVC_MIN_PARALLEL_SPEEDUP", defaults.min_parallel_speedup),
             min_dense_speedup: read("PVC_MIN_DENSE_SPEEDUP", defaults.min_dense_speedup),
             max_disk_warm_ratio: read("PVC_MAX_DISK_WARM_RATIO", defaults.max_disk_warm_ratio),
+            max_delta_warm_ratio: read("PVC_MAX_DELTA_WARM_RATIO", defaults.max_delta_warm_ratio),
             warm_floor_s: read("PVC_WARM_FLOOR_S", defaults.warm_floor_s),
             max_p99_ratio: read("PVC_MAX_P99_RATIO", defaults.max_p99_ratio),
             max_obs_overhead_ratio: read(
@@ -292,6 +304,73 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
             if let Some(ratio) = slowdown_violation(cfg, base, new) {
                 violations.push(format!(
                     "experiment_warm_restart.{field}: {ratio:.2}x slowdown ({base:.4}s -> \
+                     {new:.4}s, tolerance {:.2}x)",
+                    cfg.tolerance
+                ));
+            }
+        }
+    }
+
+    // --- incremental updates: a delta must invalidate selectively. -------------
+    // Behavioural counters are exact (zero recompilations, surviving cache
+    // entries); the post-delta latency ratio uses the tighter `warm_floor_s`
+    // like the other warm paths.
+    if let Some(section) = fresh.get("experiment_incremental") {
+        match section.get("recompiles_after_delta").and_then(Json::as_f64) {
+            Some(v) if v <= 0.0 => {}
+            Some(v) => violations.push(format!(
+                "experiment_incremental: {v} artifacts were recompiled after a delta into \
+                 an unrelated table (selective invalidation must keep this at 0)"
+            )),
+            None => violations.push(
+                "experiment_incremental: fresh run is missing `recompiles_after_delta`".to_string(),
+            ),
+        }
+        match section.get("kept_artifacts").and_then(Json::as_f64) {
+            Some(v) if v >= 1.0 => {}
+            Some(_) => violations.push(
+                "experiment_incremental: zero cached artifacts survived the delta \
+                 (invalidation is not selective)"
+                    .to_string(),
+            ),
+            None => violations
+                .push("experiment_incremental: fresh run is missing `kept_artifacts`".to_string()),
+        }
+        match (
+            number(fresh, "experiment_incremental", "warm_after_delta_s"),
+            number(fresh, "experiment_incremental", "warm_s"),
+        ) {
+            (Some(after), Some(warm)) => {
+                let ratio = after.max(cfg.warm_floor_s) / warm.max(cfg.warm_floor_s);
+                if ratio > cfg.max_delta_warm_ratio {
+                    violations.push(format!(
+                        "experiment_incremental: post-delta query is {ratio:.2}x the fully-warm \
+                         latency ({after:.4}s vs {warm:.4}s, tolerance {:.2}x)",
+                        cfg.max_delta_warm_ratio
+                    ));
+                } else {
+                    compared_timings += 1;
+                }
+            }
+            _ => violations
+                .push("experiment_incremental: fresh run is missing warm latencies".to_string()),
+        }
+        // The absolute cold/apply timings ride the normal floored ratio check.
+        for field in ["cold_first_s", "delta_apply_s"] {
+            let (Some(base), Some(new)) = (
+                number(baseline, "experiment_incremental", field),
+                number(fresh, "experiment_incremental", field),
+            ) else {
+                continue;
+            };
+            if new.max(base) < cfg.time_floor_s {
+                floored_timings += 1;
+                continue;
+            }
+            compared_timings += 1;
+            if let Some(ratio) = slowdown_violation(cfg, base, new) {
+                violations.push(format!(
+                    "experiment_incremental.{field}: {ratio:.2}x slowdown ({base:.4}s -> \
                      {new:.4}s, tolerance {:.2}x)",
                     cfg.tolerance
                 ));
@@ -612,6 +691,61 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.contains("not") && v.contains("cold")));
+    }
+
+    #[test]
+    fn incremental_gate_checks_recompiles_kept_artifacts_and_latency_ratio() {
+        let with_incremental = |recompiles: u64, kept: u64, after_s: f64| {
+            doc(&format!(
+                r#"{{
+              "experiment_cache": {{"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001, "cross_query_hits": 24}},
+              "experiment_incremental": {{"cold_first_s": 0.2, "warm_s": 0.001,
+                                          "delta_apply_s": 0.001,
+                                          "warm_after_delta_s": {after_s},
+                                          "evicted_artifacts": 0,
+                                          "kept_artifacts": {kept},
+                                          "recompiles_after_delta": {recompiles}}}
+            }}"#
+            ))
+        };
+        let base = with_incremental(0, 4, 0.002);
+        let (violations, _) = compare(
+            &base,
+            &with_incremental(0, 4, 0.002),
+            &GateConfig::default(),
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+        // Recompilation after a delta into an unrelated table: fail.
+        let (violations, _) = compare(
+            &base,
+            &with_incremental(2, 4, 0.002),
+            &GateConfig::default(),
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("recompiled")),
+            "{violations:?}"
+        );
+        // Everything evicted: invalidation is not selective.
+        let (violations, _) = compare(
+            &base,
+            &with_incremental(0, 0, 0.002),
+            &GateConfig::default(),
+        );
+        assert!(violations.iter().any(|v| v.contains("survived")));
+        // Post-delta latency way above the warm path (2x tolerance after the
+        // 5 ms floor): fail.
+        let (violations, _) = compare(&base, &with_incremental(0, 4, 0.05), &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("post-delta")),
+            "{violations:?}"
+        );
+        // Sub-floor jitter on both sides: pass.
+        let (violations, _) = compare(
+            &base,
+            &with_incremental(0, 4, 0.004),
+            &GateConfig::default(),
+        );
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -198,6 +198,19 @@ impl<V> Lru<V> {
         out
     }
 
+    /// Remove one entry by key, leaving the recency order of the others intact.
+    /// Returns true if the key was present.
+    fn remove(&mut self, key: u32) -> bool {
+        let Some(slot) = self.map.remove(&key) else {
+            return false;
+        };
+        self.unlink(slot);
+        let e = self.slots[slot].take().expect("mapped slot");
+        self.bytes -= e.bytes;
+        self.free.push(slot);
+        true
+    }
+
     /// Insert or replace; evicts least-recently-used entries beyond the bounds.
     /// Returns the number of evictions performed.
     fn insert(
@@ -762,6 +775,17 @@ pub struct CompactionStats {
     pub generation: u64,
 }
 
+/// What one [`SharedArtifacts::evict_touching`] pass removed and retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvictionStats {
+    /// Cache entries (distributions + arenas) whose variable set intersected the
+    /// touched set and were therefore dropped.
+    pub evicted: usize,
+    /// Cache entries retained verbatim (variable set disjoint from the touched
+    /// set).
+    pub kept: usize,
+}
+
 impl SharedArtifacts {
     /// An empty store with the given cache bounds.
     pub fn new(config: CacheConfig) -> Self {
@@ -884,6 +908,88 @@ impl SharedArtifacts {
             entries_kept,
             generation,
         }
+    }
+
+    /// Selectively drop every cache entry whose expression mentions one of the
+    /// `touched` variables, keeping all disjoint entries verbatim — the delta
+    /// invalidation primitive behind `Engine::apply_delta` in `pvc-db`.
+    ///
+    /// Soundness rests on the cache contract: artifacts are pure functions of
+    /// (expression structure, variable distributions, semiring). A delta that
+    /// changes the distributions of exactly the `touched` variables leaves every
+    /// disjoint entry's inputs — and hence its distribution — unchanged, so those
+    /// entries stay valid without recomputation. The membership test uses the
+    /// var-sets the interner precomputed at intern time; no tree is re-walked.
+    ///
+    /// The interner itself is left alone (it is append-only; dead nodes are
+    /// reclaimed by the next [`compact`](Self::compact)). Both locks are held for
+    /// the duration (interner before cache, the sanctioned order), so concurrent
+    /// workers never observe a half-evicted store. Behaviour counters are not
+    /// reset; these evictions are reported through the returned
+    /// [`EvictionStats`], not through [`CacheCounters::evictions`] (which counts
+    /// capacity evictions only).
+    pub fn evict_touching(&self, touched: &VarSet) -> EvictionStats {
+        let interner = self.interner();
+        let mut cache = self.cache();
+        let mut evicted = 0usize;
+        if !touched.is_empty() {
+            let keys: Vec<u32> = cache
+                .semiring
+                .entries_oldest_first()
+                .into_iter()
+                .map(|(k, _, _)| k)
+                .collect();
+            for k in keys {
+                if !interner.var_set(ExprId(k)).is_disjoint(touched) && cache.semiring.remove(k) {
+                    evicted += 1;
+                }
+            }
+            let keys: Vec<u32> = cache
+                .sem_arenas
+                .entries_oldest_first()
+                .into_iter()
+                .map(|(k, _, _)| k)
+                .collect();
+            for k in keys {
+                if !interner.var_set(ExprId(k)).is_disjoint(touched) && cache.sem_arenas.remove(k) {
+                    evicted += 1;
+                }
+            }
+            let keys: Vec<u32> = cache
+                .aggregate
+                .entries_oldest_first()
+                .into_iter()
+                .map(|(k, _, _)| k)
+                .collect();
+            for k in keys {
+                if !interner.agg_var_set(AggExprId(k)).is_disjoint(touched)
+                    && cache.aggregate.remove(k)
+                {
+                    evicted += 1;
+                }
+            }
+            let keys: Vec<u32> = cache
+                .agg_arenas
+                .entries_oldest_first()
+                .into_iter()
+                .map(|(k, _, _)| k)
+                .collect();
+            for k in keys {
+                if !interner.agg_var_set(AggExprId(k)).is_disjoint(touched)
+                    && cache.agg_arenas.remove(k)
+                {
+                    evicted += 1;
+                }
+            }
+            crate::obs::core_metrics()
+                .cache_eviction
+                .add(evicted as u64);
+        }
+        let kept = cache.semiring.len()
+            + cache.aggregate.len()
+            + cache.sem_arenas.len()
+            + cache.agg_arenas.len();
+        EvictionStats { evicted, kept }
     }
 
     /// Intern a semiring expression into its canonical id.
@@ -1178,14 +1284,17 @@ impl SharedArtifacts {
     /// Serialise the whole store into snapshot bytes (see [`crate::persist`]),
     /// returning the bytes together with the exact content counts of the
     /// snapshot. `fingerprint` identifies the database the artifacts were
-    /// computed under; `extra` is an opaque caller section stored verbatim (the
-    /// engine persists its step-I rewrite cache there). Both locks are held for
-    /// the duration (interner before cache, the same order as
-    /// [`clear`](Self::clear)), so the snapshot — and the returned counts — are
-    /// a consistent point-in-time view even while other sharers keep inserting.
+    /// computed under and `table_fingerprints` is its per-table refinement
+    /// (stored so loaders can pinpoint which tables diverged); `extra` is an
+    /// opaque caller section stored verbatim (the engine persists its step-I
+    /// rewrite cache there). Both locks are held for the duration (interner
+    /// before cache, the same order as [`clear`](Self::clear)), so the
+    /// snapshot — and the returned counts — are a consistent point-in-time view
+    /// even while other sharers keep inserting.
     pub fn snapshot_bytes(
         &self,
         fingerprint: u64,
+        table_fingerprints: &[(String, u64)],
         extra: Option<&[u8]>,
     ) -> (Vec<u8>, crate::persist::RestoreStats) {
         let interner = self.interner();
@@ -1197,7 +1306,13 @@ impl SharedArtifacts {
             arenas: cache.arena_entries(),
         };
         (
-            crate::persist::encode_snapshot(&interner, &cache, fingerprint, extra),
+            crate::persist::encode_snapshot(
+                &interner,
+                &cache,
+                fingerprint,
+                table_fingerprints,
+                extra,
+            ),
             counts,
         )
     }
@@ -1429,6 +1544,89 @@ mod tests {
         assert!(lru.get(2).is_none());
         assert_eq!(lru.get(1).map(|(v, _)| *v), Some(10));
         assert_eq!(lru.get(3).map(|(v, _)| *v), Some(30));
+    }
+
+    #[test]
+    fn lru_remove_preserves_order_and_bytes() {
+        let mut lru: Lru<u32> = Lru::new();
+        let config = CacheConfig {
+            max_entries: usize::MAX,
+            max_bytes: usize::MAX,
+        };
+        lru.insert(1, 10, 5, 0, &config);
+        lru.insert(2, 20, 7, 0, &config);
+        lru.insert(3, 30, 11, 0, &config);
+        assert!(lru.remove(2));
+        assert!(!lru.remove(2), "double remove is a no-op");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.bytes(), 16);
+        assert!(lru.get(2).is_none());
+        // The survivors keep their values and relative recency (1 is the LRU).
+        let keys: Vec<u32> = lru
+            .entries_oldest_first()
+            .into_iter()
+            .map(|(k, _, _)| k)
+            .collect();
+        assert_eq!(keys, vec![1, 3]);
+        // A removed slot is recycled by the next insert.
+        lru.insert(4, 40, 1, 0, &config);
+        assert_eq!(lru.get(4).map(|(v, _)| *v), Some(40));
+        assert_eq!(lru.get(1).map(|(v, _)| *v), Some(10));
+    }
+
+    #[test]
+    fn evict_touching_keeps_disjoint_entries() {
+        let (vt, xs) = setup();
+        let shared = SharedArtifacts::default();
+        // Two var-disjoint expressions plus an aggregate over the first pair.
+        let left = v(xs[0]) * v(xs[1]);
+        let right = v(xs[2]) + v(xs[3]);
+        let alpha =
+            SemimoduleExpr::from_terms(AggOp::Min, vec![(v(xs[2]), Fin(1)), (v(xs[3]), Fin(2))]);
+        let lid = shared.intern(&left);
+        let rid = shared.intern(&right);
+        let aid = shared.intern_semimodule(&alpha);
+        shared
+            .evaluate_semiring(lid, &vt, SemiringKind::Bool, &CompileOptions::default(), 1)
+            .unwrap();
+        shared
+            .evaluate_semiring(rid, &vt, SemiringKind::Bool, &CompileOptions::default(), 1)
+            .unwrap();
+        shared
+            .evaluate_aggregate(aid, &vt, SemiringKind::Bool, &CompileOptions::default(), 1)
+            .unwrap();
+        let entries_before = shared.semiring_entries() + shared.aggregate_entries();
+        // An empty touched set keeps everything.
+        let noop = shared.evict_touching(&VarSet::new());
+        assert_eq!(noop.evicted, 0);
+        assert_eq!(
+            shared.semiring_entries() + shared.aggregate_entries(),
+            entries_before
+        );
+        // Touching x0 drops exactly the entries mentioning x0.
+        let stats = shared.evict_touching(&VarSet::singleton(xs[0]));
+        assert!(stats.evicted >= 1, "{stats:?}");
+        assert!(stats.kept >= 2, "{stats:?}");
+        let hits_before = shared.counters().hits;
+        // `right` and the aggregate survive: pure hits, no recomputation.
+        let d = shared
+            .evaluate_semiring(rid, &vt, SemiringKind::Bool, &CompileOptions::default(), 2)
+            .unwrap();
+        let expected = oracle::semiring_dist_by_enumeration(&right, &vt, SemiringKind::Bool);
+        assert!(d.approx_eq(&expected, 1e-9));
+        shared
+            .evaluate_aggregate(aid, &vt, SemiringKind::Bool, &CompileOptions::default(), 2)
+            .unwrap();
+        assert!(shared.counters().hits > hits_before);
+        // `left` was evicted: recomputing it under a changed distribution for x0
+        // yields the new correct value (the stale artifact is gone).
+        let mut vt2 = vt.clone();
+        vt2.set_dist(xs[0], pvc_prob::make::bernoulli(0.95));
+        let d = shared
+            .evaluate_semiring(lid, &vt2, SemiringKind::Bool, &CompileOptions::default(), 2)
+            .unwrap();
+        let expected = oracle::semiring_dist_by_enumeration(&left, &vt2, SemiringKind::Bool);
+        assert!(d.approx_eq(&expected, 1e-9));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod prune;
 pub use arena::DTreeArena;
 pub use cache::{
     confidence_of, CacheConfig, CacheCounters, CachedEvaluator, CompactionStats, CompilationCache,
-    EvalError, SharedArtifacts,
+    EvalError, EvictionStats, SharedArtifacts,
 };
 pub use compile::{
     compile_semimodule, compile_semiring, BudgetExceeded, CompileOptions, CompileStats, Compiler,

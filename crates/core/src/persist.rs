@@ -55,7 +55,10 @@ pub const MAGIC: [u8; 8] = *b"PVCSNAP\0";
 /// The current snapshot format version. Bumped on **every** layout change; a
 /// reader never attempts to migrate another version (the snapshot is a cache —
 /// regenerating it is always safe).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: v1 — initial layout; v2 — per-table fingerprint vector
+/// inserted after the cache bounds (delta-aware warm restarts).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors of the snapshot codec. Every failure mode of loading — I/O, bad
 /// magic, truncation, version or checksum mismatch, a snapshot recorded against
@@ -690,16 +693,21 @@ fn take_cache(
 // ---------------------------------------------------------------------------
 
 /// Serialise an interner + cache pair into a self-contained snapshot byte
-/// vector (magic, version, fingerprint, cache bounds, artifact sections, an
-/// opaque `extra` section, trailing checksum).
+/// vector (magic, version, fingerprint, cache bounds, per-table fingerprint
+/// vector, artifact sections, an opaque `extra` section, trailing checksum).
 ///
 /// `fingerprint` identifies the probability space / database the artifacts were
-/// computed under; `extra` is an opaque caller section (the engine's step-I
-/// rewrite cache) returned verbatim by [`Snapshot::extra`] on load.
+/// computed under; `table_fingerprints` is the per-table refinement of that
+/// digest (name → 64-bit content fingerprint, returned verbatim by
+/// [`Snapshot::table_fingerprints`]) that lets a loader pinpoint *which* tables
+/// diverged instead of rejecting the whole snapshot; `extra` is an opaque
+/// caller section (the engine's step-I rewrite cache) returned verbatim by
+/// [`Snapshot::extra`] on load.
 pub fn encode_snapshot(
     interner: &Interner,
     cache: &CompilationCache,
     fingerprint: u64,
+    table_fingerprints: &[(String, u64)],
     extra: Option<&[u8]>,
 ) -> Vec<u8> {
     let mut w = Writer::new();
@@ -709,6 +717,11 @@ pub fn encode_snapshot(
     let config = cache.config();
     w.put_u64(config.max_entries as u64);
     w.put_u64(config.max_bytes as u64);
+    w.put_u64(table_fingerprints.len() as u64);
+    for (name, fp) in table_fingerprints {
+        w.put_str(name);
+        w.put_u64(*fp);
+    }
     put_interner(&mut w, interner);
     put_cache(&mut w, cache);
     match extra {
@@ -729,6 +742,7 @@ pub fn encode_snapshot(
 pub struct Snapshot {
     fingerprint: u64,
     config: CacheConfig,
+    table_fingerprints: Vec<(String, u64)>,
     exprs: Vec<RawExpr>,
     aggs: Vec<RawAgg>,
     cache: CacheEntries,
@@ -791,6 +805,13 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, PersistError> {
         max_bytes: usize::try_from(r.take_u64()?)
             .map_err(|_| PersistError::Format("cache byte bound overflows usize".into()))?,
     };
+    let n_tables = r.take_count(9)?;
+    let mut table_fingerprints = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let name = r.take_str()?.to_string();
+        let fp = r.take_u64()?;
+        table_fingerprints.push((name, fp));
+    }
     let (exprs, aggs) = take_interner(&mut r)?;
     let cache = take_cache(&mut r, exprs.len(), aggs.len())?;
     let extra = match r.take_u8()? {
@@ -807,6 +828,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, PersistError> {
     Ok(Snapshot {
         fingerprint,
         config,
+        table_fingerprints,
         exprs,
         aggs,
         cache,
@@ -823,6 +845,15 @@ impl Snapshot {
     /// The cache bounds the snapshot was recorded under.
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// The per-table fingerprint vector embedded at save time (empty for
+    /// callers that only track the whole-database digest). Loaders compare it
+    /// against the live database's vector to pinpoint which tables diverged —
+    /// the delta-aware warm-restart path keeps artifacts of matching tables and
+    /// evicts only the rest.
+    pub fn table_fingerprints(&self) -> &[(String, u64)] {
+        &self.table_fingerprints
     }
 
     /// The opaque caller section, if one was stored.
@@ -1107,9 +1138,11 @@ mod tests {
     #[test]
     fn roundtrip_into_fresh_store_is_identity() {
         let (_vt, interner, cache) = populated();
-        let bytes = encode_snapshot(&interner, &cache, 0xfeed, Some(b"hello"));
+        let tables = vec![("S".to_string(), 0x1111), ("PS".to_string(), 0x2222)];
+        let bytes = encode_snapshot(&interner, &cache, 0xfeed, &tables, Some(b"hello"));
         let snap = decode_snapshot(&bytes).unwrap();
         assert_eq!(snap.fingerprint(), 0xfeed);
+        assert_eq!(snap.table_fingerprints(), &tables[..]);
         assert_eq!(snap.extra(), Some(&b"hello"[..]));
         snap.verify_fingerprint(0xfeed).unwrap();
         assert!(matches!(
@@ -1123,7 +1156,7 @@ mod tests {
         assert_eq!(stats.interned_aggs, interner.agg_len());
         // A fresh replay assigns identical ids, so the second snapshot is
         // byte-identical (counters are not persisted).
-        let bytes2 = encode_snapshot(&interner2, &cache2, 0xfeed, Some(b"hello"));
+        let bytes2 = encode_snapshot(&interner2, &cache2, 0xfeed, &tables, Some(b"hello"));
         assert_eq!(bytes, bytes2);
         assert_eq!(cache2.semiring_entries(), cache.semiring_entries());
         assert_eq!(cache2.aggregate_entries(), cache.aggregate_entries());
@@ -1133,7 +1166,7 @@ mod tests {
     #[test]
     fn restore_composes_with_a_live_arena() {
         let (vt, interner, cache) = populated();
-        let bytes = encode_snapshot(&interner, &cache, 1, None);
+        let bytes = encode_snapshot(&interner, &cache, 1, &[], None);
         // The live store already interned something unrelated, shifting ids.
         let mut live_interner = Interner::new();
         let mut live_cache = CompilationCache::default();
@@ -1177,7 +1210,7 @@ mod tests {
     #[test]
     fn corrupted_snapshots_surface_typed_errors() {
         let (_vt, interner, cache) = populated();
-        let bytes = encode_snapshot(&interner, &cache, 7, None);
+        let bytes = encode_snapshot(&interner, &cache, 7, &[], None);
         // Not a snapshot at all.
         assert!(matches!(
             decode_snapshot(b"short"),
@@ -1219,7 +1252,7 @@ mod tests {
     #[test]
     fn out_of_range_variables_are_refused() {
         let (vt, interner, cache) = populated();
-        let bytes = encode_snapshot(&interner, &cache, 7, None);
+        let bytes = encode_snapshot(&interner, &cache, 7, &[], None);
         let snap = decode_snapshot(&bytes).unwrap();
         // The populated store uses 6 variables (ids 0..=5).
         snap.verify_variables(vt.len()).unwrap();
@@ -1233,7 +1266,7 @@ mod tests {
     #[test]
     fn restore_honours_target_lru_bounds() {
         let (_vt, interner, cache) = populated();
-        let bytes = encode_snapshot(&interner, &cache, 7, None);
+        let bytes = encode_snapshot(&interner, &cache, 7, &[], None);
         let snap = decode_snapshot(&bytes).unwrap();
         let mut interner2 = Interner::new();
         let mut cache2 = CompilationCache::new(CacheConfig {
@@ -1249,7 +1282,7 @@ mod tests {
     fn empty_store_roundtrips() {
         let interner = Interner::new();
         let cache = CompilationCache::default();
-        let bytes = encode_snapshot(&interner, &cache, 0, None);
+        let bytes = encode_snapshot(&interner, &cache, 0, &[], None);
         let snap = decode_snapshot(&bytes).unwrap();
         let mut interner2 = Interner::new();
         let mut cache2 = CompilationCache::default();

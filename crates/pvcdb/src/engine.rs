@@ -79,7 +79,7 @@ use pvc_core::{
 };
 use pvc_expr::{SemimoduleExpr, SemiringExpr, VarSet, VarTable};
 use pvc_prob::{Dist, MonoidDist, SemiringDist};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -307,10 +307,208 @@ pub struct SnapshotStats {
     pub bytes: usize,
 }
 
+/// A typed batch of mutations against the engine's database, built with
+/// [`Delta::insert`] / [`Delta::delete`] / [`Delta::set_probability`] and applied
+/// atomically by [`Engine::apply_delta`] — the replacement for the
+/// detach-everything [`Engine::database_mut`] escape hatch.
+///
+/// Row indices refer to the table **as it is when the delta is applied** (before
+/// any of the delta's own operations): probability updates run first, then
+/// deletes (highest row first, so the indices stay meaningful), then inserts are
+/// appended. Validation runs before anything is mutated, so an `Err` from
+/// `apply_delta` leaves the database and every cache untouched.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    ops: Vec<DeltaOp>,
+}
+
+#[derive(Debug, Clone)]
+struct DeltaOp {
+    table: String,
+    kind: DeltaKind,
+}
+
+#[derive(Debug, Clone)]
+enum DeltaKind {
+    Insert {
+        values: Vec<Value>,
+        probability: f64,
+    },
+    Delete {
+        row: usize,
+    },
+    SetProbability {
+        row: usize,
+        probability: f64,
+    },
+}
+
+impl Delta {
+    /// An empty delta (applying it is a no-op).
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Append a tuple-independent insert: a fresh presence variable with
+    /// `P[⊤] = probability` annotates `values` (exactly like
+    /// [`PvcTable::push_independent`]).
+    pub fn insert(
+        mut self,
+        table: impl Into<String>,
+        values: Vec<Value>,
+        probability: f64,
+    ) -> Self {
+        self.ops.push(DeltaOp {
+            table: table.into(),
+            kind: DeltaKind::Insert {
+                values,
+                probability,
+            },
+        });
+        self
+    }
+
+    /// Delete the tuple at `row` (pre-delta index). The tuple's presence
+    /// variable stays registered — interned expressions may still mention it —
+    /// but no longer annotates anything.
+    pub fn delete(mut self, table: impl Into<String>, row: usize) -> Self {
+        self.ops.push(DeltaOp {
+            table: table.into(),
+            kind: DeltaKind::Delete { row },
+        });
+        self
+    }
+
+    /// Re-weight the tuple at `row` (pre-delta index) to `P[⊤] = probability`.
+    /// The tuple's annotation must be a single presence variable (as produced by
+    /// [`PvcTable::push_independent`]); anything else is a validation error.
+    pub fn set_probability(
+        mut self,
+        table: impl Into<String>,
+        row: usize,
+        probability: f64,
+    ) -> Self {
+        self.ops.push(DeltaOp {
+            table: table.into(),
+            kind: DeltaKind::SetProbability { row, probability },
+        });
+        self
+    }
+
+    /// True when the delta holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations in the delta.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// What one [`Engine::apply_delta`] changed and — the point of the API — what it
+/// managed to **keep**: every cache entry whose variable set (artifacts) or base
+/// tables (rewrites) were disjoint from the delta survives verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Tuples inserted.
+    pub inserted: usize,
+    /// Tuples deleted.
+    pub deleted: usize,
+    /// Tuples whose presence probability was updated.
+    pub reprobed: usize,
+    /// Distinct tables the delta touched.
+    pub tables_touched: usize,
+    /// Size of the touched variable set (`set_probability` targets plus the
+    /// variables of deleted tuples; inserts only create fresh variables and
+    /// touch nothing).
+    pub touched_vars: usize,
+    /// Artifact-cache entries (distributions + compiled arenas) evicted because
+    /// their variable set intersected the delta.
+    pub evicted_artifacts: usize,
+    /// Artifact-cache entries kept (disjoint variable sets).
+    pub kept_artifacts: usize,
+    /// Step-I rewrites evicted because a base table was touched.
+    pub evicted_rewrites: usize,
+    /// Step-I rewrites kept.
+    pub kept_rewrites: usize,
+}
+
+/// Cumulative [`Engine::apply_delta`] activity (see [`EngineStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaTotals {
+    /// Deltas applied successfully.
+    pub applied: u64,
+    /// Tuples inserted across all deltas.
+    pub inserted: u64,
+    /// Tuples deleted across all deltas.
+    pub deleted: u64,
+    /// Probability updates across all deltas.
+    pub reprobed: u64,
+    /// Artifact-cache entries evicted by delta invalidation.
+    pub evicted_artifacts: u64,
+    /// Step-I rewrites evicted by delta invalidation.
+    pub evicted_rewrites: u64,
+}
+
+/// Cumulative snapshot activity of this engine (see [`EngineStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotTotals {
+    /// Snapshot files written by [`Engine::save_artifacts`].
+    pub saves: u64,
+    /// Snapshots loaded into this engine ([`Engine::with_artifacts_from`] counts
+    /// as one restore on the new engine).
+    pub restores: u64,
+    /// Bytes written across all saves.
+    pub bytes_written: u64,
+    /// Bytes read across all restores.
+    pub bytes_read: u64,
+}
+
+/// Every counter the engine keeps, in one struct: cache/arena behaviour, delta
+/// activity and snapshot activity (see [`Engine::stats`]). The older
+/// [`Engine::cache_stats`] getter remains as a thin delegate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Sizes and hit/miss/eviction counters of the compile-artifact caches.
+    pub cache: CacheStats,
+    /// Cumulative [`Engine::apply_delta`] counters.
+    pub deltas: DeltaTotals,
+    /// Cumulative snapshot save/restore counters.
+    pub snapshots: SnapshotTotals,
+}
+
+/// Interior-mutability counters backing [`EngineStats`] (updated from `&self`
+/// methods like [`Engine::save_artifacts`]).
+#[derive(Debug, Default)]
+struct EngineCounters {
+    deltas_applied: std::sync::atomic::AtomicU64,
+    delta_inserted: std::sync::atomic::AtomicU64,
+    delta_deleted: std::sync::atomic::AtomicU64,
+    delta_reprobed: std::sync::atomic::AtomicU64,
+    delta_evicted_artifacts: std::sync::atomic::AtomicU64,
+    delta_evicted_rewrites: std::sync::atomic::AtomicU64,
+    snapshot_saves: std::sync::atomic::AtomicU64,
+    snapshot_restores: std::sync::atomic::AtomicU64,
+    snapshot_bytes_written: std::sync::atomic::AtomicU64,
+    snapshot_bytes_read: std::sync::atomic::AtomicU64,
+}
+
+impl EngineCounters {
+    fn add(counter: &std::sync::atomic::AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// One step-I rewrite held by the bounded [`RewriteCache`].
 #[derive(Debug)]
 struct RewriteEntry {
     table: Arc<PvcTable>,
+    /// The base tables the rewrite was computed from (the plan's, with
+    /// multiplicity collapsed) — the invalidation key for [`Engine::apply_delta`]:
+    /// a delta against any of them evicts this entry, a delta against none keeps
+    /// it verbatim.
+    base_tables: Vec<String>,
     /// Serialized size, the byte measure charged against the cache bound.
     bytes: usize,
     /// Recency stamp for LRU eviction (monotone per cache).
@@ -361,13 +559,14 @@ impl RewriteCache {
         })
     }
 
-    fn insert(&mut self, key: Vec<u8>, table: Arc<PvcTable>) {
+    fn insert(&mut self, key: Vec<u8>, table: Arc<PvcTable>, base_tables: Vec<String>) {
         self.stamp += 1;
         let bytes = crate::snapshot::table_bytes(&table);
         if let Some(old) = self.entries.insert(
             key,
             RewriteEntry {
                 table,
+                base_tables,
                 bytes,
                 last_used: self.stamp,
             },
@@ -380,10 +579,27 @@ impl RewriteCache {
 
     /// Insert only if the key is absent (snapshot restore must not displace live
     /// entries), still charging the bounds.
-    fn insert_if_absent(&mut self, key: Vec<u8>, table: Arc<PvcTable>) {
+    fn insert_if_absent(&mut self, key: Vec<u8>, table: Arc<PvcTable>, base_tables: Vec<String>) {
         if !self.entries.contains_key(&key) {
-            self.insert(key, table);
+            self.insert(key, table, base_tables);
         }
+    }
+
+    /// Drop every entry whose base tables intersect `touched`, keep the rest
+    /// verbatim — the step-I half of delta invalidation. Returns
+    /// `(evicted, kept)`.
+    fn evict_tables(&mut self, touched: &std::collections::BTreeSet<String>) -> (usize, usize) {
+        let before = self.entries.len();
+        let mut freed = 0usize;
+        self.entries.retain(|_, e| {
+            let stale = e.base_tables.iter().any(|t| touched.contains(t));
+            if stale {
+                freed += e.bytes;
+            }
+            !stale
+        });
+        self.bytes -= freed;
+        (before - self.entries.len(), self.entries.len())
     }
 
     /// Evict least-recently-used entries until both bounds hold. An entry larger
@@ -406,10 +622,10 @@ impl RewriteCache {
     }
 
     /// A snapshot view for the persistence codec (cheap: clones `Arc`s only).
-    fn tables(&self) -> BTreeMap<Vec<u8>, Arc<PvcTable>> {
+    fn tables(&self) -> BTreeMap<Vec<u8>, (Arc<PvcTable>, Vec<String>)> {
         self.entries
             .iter()
-            .map(|(k, e)| (k.clone(), Arc::clone(&e.table)))
+            .map(|(k, e)| (k.clone(), (Arc::clone(&e.table), e.base_tables.clone())))
             .collect()
     }
 }
@@ -474,12 +690,70 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The table names on which a saved per-table fingerprint vector disagrees with
+/// the live one: differing digests, or present on only one side. Empty iff the
+/// vectors agree entry-for-entry.
+fn mismatched_tables(saved: &[(String, u64)], live: &[(String, u64)]) -> BTreeSet<String> {
+    let saved_map: BTreeMap<&str, u64> = saved.iter().map(|(n, f)| (n.as_str(), *f)).collect();
+    let live_map: BTreeMap<&str, u64> = live.iter().map(|(n, f)| (n.as_str(), *f)).collect();
+    let mut mismatch = BTreeSet::new();
+    for (name, fp) in &saved_map {
+        if live_map.get(name) != Some(fp) {
+            mismatch.insert(name.to_string());
+        }
+    }
+    for name in live_map.keys() {
+        if !saved_map.contains_key(name) {
+            mismatch.insert(name.to_string());
+        }
+    }
+    mismatch
+}
+
+/// Decide how much of a snapshot is loadable against `db`: `Ok(empty set)` for
+/// an exact fingerprint match, `Ok(mismatched tables)` for a usable partial
+/// per-table match (at least one live table agrees), `Err` when nothing is
+/// salvageable — every table diverged, or the divergence is invisible to the
+/// per-table vector (e.g. a different semiring kind).
+fn partial_match(
+    snapshot: &pvc_core::Snapshot,
+    db: &Database,
+    fingerprint: u64,
+) -> Result<BTreeSet<String>, Error> {
+    if snapshot.fingerprint() == fingerprint {
+        return Ok(BTreeSet::new());
+    }
+    let live = crate::snapshot::database_table_fingerprints(db);
+    let mismatch = mismatched_tables(snapshot.table_fingerprints(), &live);
+    let matched = live.iter().filter(|(n, _)| !mismatch.contains(n)).count();
+    if mismatch.is_empty() || matched == 0 {
+        // Refuse with the honest fingerprint diagnosis.
+        snapshot.verify_fingerprint(fingerprint)?;
+    }
+    Ok(mismatch)
+}
+
+/// The union of the variable sets of the **live** mismatched tables: every
+/// variable a snapshot/database divergence can possibly have re-weighted.
+/// (Variables referenced by no live table cannot appear in any future query's
+/// provenance, so entries over them are unreachable and need no eviction.)
+fn mismatch_var_set(db: &Database, mismatch: &BTreeSet<String>) -> VarSet {
+    let mut touched = VarSet::new();
+    for name in mismatch {
+        if let Some(table) = db.table(name) {
+            touched = touched.union(&crate::snapshot::table_var_set(table));
+        }
+    }
+    touched
+}
+
 /// The query engine: owns a [`Database`] and a cache of compile artifacts, and hands
 /// out validated [`PreparedQuery`] values.
 #[derive(Debug)]
 pub struct Engine {
     db: Arc<Database>,
     caches: Caches,
+    counters: EngineCounters,
 }
 
 impl Engine {
@@ -488,6 +762,7 @@ impl Engine {
         Engine {
             db: Arc::new(db),
             caches: Caches::default(),
+            counters: EngineCounters::default(),
         }
     }
 
@@ -497,6 +772,7 @@ impl Engine {
         Engine {
             db: Arc::new(db),
             caches: Caches::with_config(config),
+            counters: EngineCounters::default(),
         }
     }
 
@@ -515,6 +791,7 @@ impl Engine {
         Engine {
             db: Arc::new(db),
             caches: Caches::with_artifacts(artifacts),
+            counters: EngineCounters::default(),
         }
     }
 
@@ -539,9 +816,194 @@ impl Engine {
     /// references to both, which stay mutually consistent); engines sharing the
     /// old store via [`Engine::with_shared_artifacts`] likewise keep it, together
     /// with their own unmutated databases.
+    ///
+    /// Deprecated: this is the detach-*everything* escape hatch. Prefer
+    /// [`Engine::apply_delta`], which applies a typed batch of mutations and
+    /// keeps every cache entry the delta cannot have invalidated.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::apply_delta`, which invalidates selectively instead of detaching everything"
+    )]
     pub fn database_mut(&mut self) -> &mut Database {
         self.caches.detach();
         Arc::make_mut(&mut self.db)
+    }
+
+    /// Apply a typed batch of mutations — inserts, deletes, probability updates
+    /// (see [`Delta`]) — and invalidate **only** what the delta can have touched:
+    ///
+    /// * artifact-cache entries (cached distributions and compiled d-tree
+    ///   arenas) are evicted iff their interned variable set intersects the
+    ///   delta's touched variables (`set_probability` targets and the variables
+    ///   of deleted tuples; inserts create only fresh variables and touch
+    ///   nothing), via [`SharedArtifacts::evict_touching`];
+    /// * step-I rewrites are evicted iff one of their base tables was mutated
+    ///   (a rewrite depends on table *content*, so any mutation of a base table
+    ///   invalidates it);
+    /// * everything else — the overwhelming majority under localized updates —
+    ///   is kept verbatim, so a prepared query over untouched tables answers
+    ///   with zero recompilations.
+    ///
+    /// Validation runs first and nothing is mutated on error. Ordering within
+    /// one delta: probability updates, then deletes (descending row order), then
+    /// inserts; all row indices refer to the pre-delta tables.
+    ///
+    /// Concurrency contract (as for [`Engine::compact_artifacts`]): when the
+    /// artifact store is shared via [`Engine::with_shared_artifacts`], no
+    /// execution may be in flight on any sharer while a delta that deletes or
+    /// re-weights tuples is applied — a concurrent worker could re-insert a
+    /// distribution computed from the pre-delta variable table. Insert-only
+    /// deltas are safe under sharing (fresh variables cannot collide).
+    /// `pvc-serve` enforces this by gating writes on `in_flight == 0`.
+    pub fn apply_delta(&mut self, delta: Delta) -> Result<DeltaStats, Error> {
+        if delta.is_empty() {
+            return Ok(DeltaStats::default());
+        }
+
+        // -- Validate everything against the pre-delta database; build the
+        // -- mutation plan. Nothing is mutated until validation has passed.
+        fn valid_probability(p: f64) -> bool {
+            p.is_finite() && (0.0..=1.0).contains(&p)
+        }
+        let mut inserts: Vec<(String, Vec<Value>, f64)> = Vec::new();
+        let mut deletes: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut reprobes: Vec<(pvc_expr::Var, f64)> = Vec::new();
+        let mut touched_tables: BTreeSet<String> = BTreeSet::new();
+        let mut touched = VarSet::new();
+        for op in &delta.ops {
+            let table = self.db.table_or_err(&op.table)?;
+            touched_tables.insert(op.table.clone());
+            let delta_err = |message: String| Error::Delta {
+                table: op.table.clone(),
+                message,
+            };
+            match &op.kind {
+                DeltaKind::Insert {
+                    values,
+                    probability,
+                } => {
+                    if values.len() != table.schema.arity() {
+                        return Err(delta_err(format!(
+                            "insert arity {} does not match schema arity {}",
+                            values.len(),
+                            table.schema.arity()
+                        )));
+                    }
+                    if !valid_probability(*probability) {
+                        return Err(delta_err(format!(
+                            "insert probability {probability} is not in [0, 1]"
+                        )));
+                    }
+                    inserts.push((op.table.clone(), values.clone(), *probability));
+                }
+                DeltaKind::Delete { row } => {
+                    if *row >= table.len() {
+                        return Err(delta_err(format!(
+                            "delete row {row} out of range (table has {} tuples)",
+                            table.len()
+                        )));
+                    }
+                    let rows = deletes.entry(op.table.clone()).or_default();
+                    if rows.contains(row) {
+                        return Err(delta_err(format!("row {row} deleted twice")));
+                    }
+                    rows.push(*row);
+                    let tuple = &table.tuples[*row];
+                    touched = touched.union(&tuple.annotation.vars());
+                    for value in &tuple.values {
+                        if let Value::Agg(agg) = value {
+                            for term in &agg.terms {
+                                touched = touched.union(&term.vars());
+                            }
+                        }
+                    }
+                }
+                DeltaKind::SetProbability { row, probability } => {
+                    if *row >= table.len() {
+                        return Err(delta_err(format!(
+                            "set_probability row {row} out of range (table has {} tuples)",
+                            table.len()
+                        )));
+                    }
+                    if !valid_probability(*probability) {
+                        return Err(delta_err(format!(
+                            "probability {probability} is not in [0, 1]"
+                        )));
+                    }
+                    let var = match &table.tuples[*row].annotation {
+                        SemiringExpr::Var(v) => *v,
+                        other => {
+                            return Err(delta_err(format!(
+                                "set_probability requires a single presence variable; \
+                                 row {row} is annotated with {other}"
+                            )));
+                        }
+                    };
+                    if self.db.vars.kind(var) != SemiringKind::Bool {
+                        return Err(delta_err(format!(
+                            "set_probability requires a Boolean presence variable; \
+                             `{}` is natural-valued",
+                            self.db.vars.name(var)
+                        )));
+                    }
+                    reprobes.push((var, *probability));
+                    touched.insert(var);
+                }
+            }
+        }
+
+        // -- Mutate (clone-on-write if the database Arc is shared with streams).
+        let stats_reprobed = reprobes.len();
+        let mut stats_deleted = 0usize;
+        let db = Arc::make_mut(&mut self.db);
+        for (var, p) in reprobes {
+            db.vars.set_dist(var, pvc_prob::make::bernoulli(p));
+        }
+        for (name, mut rows) in deletes {
+            rows.sort_unstable_by(|a, b| b.cmp(a)); // descending: indices stay valid
+            let table = db.table_mut(&name).expect("validated table exists");
+            for row in rows {
+                table.tuples.remove(row);
+                stats_deleted += 1;
+            }
+        }
+        let stats_inserted = inserts.len();
+        for (name, values, p) in inserts {
+            let (table, vars) = db
+                .table_and_vars_mut(&name)
+                .expect("validated table exists");
+            table.push_independent(values, p, vars);
+        }
+
+        // -- Invalidate selectively: artifacts by variable set, rewrites by base
+        // -- table. Disjoint entries survive verbatim.
+        let eviction = self.caches.artifacts.evict_touching(&touched);
+        let (evicted_rewrites, kept_rewrites) =
+            self.caches.rewrites().evict_tables(&touched_tables);
+
+        EngineCounters::add(&self.counters.deltas_applied, 1);
+        EngineCounters::add(&self.counters.delta_inserted, stats_inserted as u64);
+        EngineCounters::add(&self.counters.delta_deleted, stats_deleted as u64);
+        EngineCounters::add(&self.counters.delta_reprobed, stats_reprobed as u64);
+        EngineCounters::add(
+            &self.counters.delta_evicted_artifacts,
+            eviction.evicted as u64,
+        );
+        EngineCounters::add(
+            &self.counters.delta_evicted_rewrites,
+            evicted_rewrites as u64,
+        );
+        Ok(DeltaStats {
+            inserted: stats_inserted,
+            deleted: stats_deleted,
+            reprobed: stats_reprobed,
+            tables_touched: touched_tables.len(),
+            touched_vars: touched.len(),
+            evicted_artifacts: eviction.evicted,
+            kept_artifacts: eviction.kept,
+            evicted_rewrites,
+            kept_rewrites,
+        })
     }
 
     /// Consume the engine, returning the database.
@@ -566,29 +1028,55 @@ impl Engine {
         self.caches.artifacts.compact()
     }
 
-    /// Current sizes and behaviour counters of the compile-artifact caches.
-    pub fn cache_stats(&self) -> CacheStats {
+    /// Every counter the engine keeps, in one struct: cache/arena sizes and
+    /// behaviour, cumulative delta activity and cumulative snapshot activity.
+    /// This is the consolidated retrieval surface; [`Engine::cache_stats`]
+    /// remains as a thin delegate to the `cache` section.
+    pub fn stats(&self) -> EngineStats {
         let artifacts = &self.caches.artifacts;
         let counters = artifacts.counters();
         let (rewrites, rewrite_bytes) = {
             let rw = self.caches.rewrites();
             (rw.len(), rw.bytes())
         };
-        CacheStats {
-            rewrites,
-            rewrite_bytes,
-            confidences: artifacts.semiring_entries(),
-            aggregates: artifacts.aggregate_entries(),
-            interned: artifacts.interned_nodes(),
-            bytes: artifacts.bytes(),
-            hits: counters.hits,
-            misses: counters.misses,
-            cross_query_hits: counters.cross_scope_hits,
-            evictions: counters.evictions,
-            arenas: artifacts.arena_entries(),
-            arena_hits: counters.arena_hits,
-            arena_misses: counters.arena_misses,
+        let load = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        EngineStats {
+            cache: CacheStats {
+                rewrites,
+                rewrite_bytes,
+                confidences: artifacts.semiring_entries(),
+                aggregates: artifacts.aggregate_entries(),
+                interned: artifacts.interned_nodes(),
+                bytes: artifacts.bytes(),
+                hits: counters.hits,
+                misses: counters.misses,
+                cross_query_hits: counters.cross_scope_hits,
+                evictions: counters.evictions,
+                arenas: artifacts.arena_entries(),
+                arena_hits: counters.arena_hits,
+                arena_misses: counters.arena_misses,
+            },
+            deltas: DeltaTotals {
+                applied: load(&self.counters.deltas_applied),
+                inserted: load(&self.counters.delta_inserted),
+                deleted: load(&self.counters.delta_deleted),
+                reprobed: load(&self.counters.delta_reprobed),
+                evicted_artifacts: load(&self.counters.delta_evicted_artifacts),
+                evicted_rewrites: load(&self.counters.delta_evicted_rewrites),
+            },
+            snapshots: SnapshotTotals {
+                saves: load(&self.counters.snapshot_saves),
+                restores: load(&self.counters.snapshot_restores),
+                bytes_written: load(&self.counters.snapshot_bytes_written),
+                bytes_read: load(&self.counters.snapshot_bytes_read),
+            },
         }
+    }
+
+    /// Current sizes and behaviour counters of the compile-artifact caches
+    /// (the `cache` section of [`Engine::stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats().cache
     }
 
     /// Persist every compile artifact of this engine — the hash-consed
@@ -641,17 +1129,20 @@ impl Engine {
         path: impl AsRef<std::path::Path>,
     ) -> Result<SnapshotStats, Error> {
         let fingerprint = crate::snapshot::database_fingerprint(&self.db);
+        let table_fps = crate::snapshot::database_table_fingerprints(&self.db);
         let tables = self.caches.rewrites().tables();
         let extra = crate::snapshot::encode_rewrites(&tables);
         let n_rewrites = tables.len();
         drop(tables);
         // The counts come from the same locked view as the bytes, so they are
         // exact even when another engine shares (and keeps filling) the store.
-        let (bytes, counts) = self
-            .caches
-            .artifacts
-            .snapshot_bytes(fingerprint, Some(&extra));
+        let (bytes, counts) =
+            self.caches
+                .artifacts
+                .snapshot_bytes(fingerprint, &table_fps, Some(&extra));
         pvc_core::persist::write_snapshot_file(path, &bytes)?;
+        EngineCounters::add(&self.counters.snapshot_saves, 1);
+        EngineCounters::add(&self.counters.snapshot_bytes_written, bytes.len() as u64);
         Ok(SnapshotStats {
             interned: counts.interned_exprs + counts.interned_aggs,
             distributions: counts.distributions,
@@ -673,6 +1164,13 @@ impl Engine {
     /// only the first-query latency changes. See [`Engine::save_artifacts`] for
     /// a runnable end-to-end example and [`Engine::restore_artifacts`] for
     /// merging a snapshot into an already-running engine.
+    /// **Delta survival**: when the database diverges from the snapshot on only
+    /// *some* tables (the typical post-[`Engine::apply_delta`] restart), the
+    /// snapshot's per-table fingerprint vector pinpoints them, and the load
+    /// proceeds **partially**: artifacts over the mismatched tables' variables
+    /// and rewrites over mismatched base tables are dropped, everything else is
+    /// restored warm. Only when *no* table matches (a genuinely different
+    /// database) is the snapshot refused outright.
     pub fn with_artifacts_from(
         db: Database,
         path: impl AsRef<std::path::Path>,
@@ -683,17 +1181,25 @@ impl Engine {
         // bound (defence in depth against crafted files — the checksum is
         // integrity, not authentication).
         let fingerprint = crate::snapshot::database_fingerprint(&db);
-        snapshot.verify_fingerprint(fingerprint)?;
+        let mismatch = partial_match(&snapshot, &db, fingerprint)?;
         snapshot.verify_variables(db.vars.len())?;
-        let (store, _) = SharedArtifacts::from_snapshot(&snapshot, fingerprint)?;
+        let (store, _) = SharedArtifacts::from_snapshot(&snapshot, snapshot.fingerprint())?;
+        if !mismatch.is_empty() {
+            store.evict_touching(&mismatch_var_set(&db, &mismatch));
+        }
         let engine = Engine::with_shared_artifacts(db, Arc::new(store));
         if let Some(extra) = snapshot.extra() {
             let rewrites = crate::snapshot::decode_rewrites(extra, engine.db.vars.len())?;
             let mut live = engine.caches.rewrites();
-            for (key, table) in rewrites {
-                live.insert(key, table);
+            for (key, (table, bases)) in rewrites {
+                if bases.iter().any(|b| mismatch.contains(b)) {
+                    continue; // rewrites depend on base-table content
+                }
+                live.insert(key, table, bases);
             }
         }
+        EngineCounters::add(&engine.counters.snapshot_restores, 1);
+        EngineCounters::add(&engine.counters.snapshot_bytes_read, bytes.len() as u64);
         Ok(engine)
     }
 
@@ -706,6 +1212,9 @@ impl Engine {
     /// This is the multi-tenant / already-running variant of
     /// [`Engine::with_artifacts_from`]; every engine sharing this store (via
     /// [`Engine::with_shared_artifacts`]) sees the restored artifacts.
+    /// Like [`Engine::with_artifacts_from`], a **partial** per-table fingerprint
+    /// match is honoured: entries over diverged tables are skipped/evicted, the
+    /// rest merges in warm.
     pub fn restore_artifacts(
         &self,
         path: impl AsRef<std::path::Path>,
@@ -713,21 +1222,31 @@ impl Engine {
         let bytes = pvc_core::persist::read_snapshot_file(path)?;
         let snapshot = pvc_core::persist::decode_snapshot(&bytes)?;
         let fingerprint = crate::snapshot::database_fingerprint(&self.db);
-        snapshot.verify_fingerprint(fingerprint)?;
+        let mismatch = partial_match(&snapshot, &self.db, fingerprint)?;
         snapshot.verify_variables(self.db.vars.len())?;
         let stats = self
             .caches
             .artifacts
-            .restore_snapshot(&snapshot, fingerprint)?;
+            .restore_snapshot(&snapshot, snapshot.fingerprint())?;
+        if !mismatch.is_empty() {
+            self.caches
+                .artifacts
+                .evict_touching(&mismatch_var_set(&self.db, &mismatch));
+        }
         let mut rewrites = 0usize;
         if let Some(extra) = snapshot.extra() {
             let restored = crate::snapshot::decode_rewrites(extra, self.db.vars.len())?;
-            rewrites = restored.len();
             let mut live = self.caches.rewrites();
-            for (key, table) in restored {
-                live.insert_if_absent(key, table);
+            for (key, (table, bases)) in restored {
+                if bases.iter().any(|b| mismatch.contains(b)) {
+                    continue;
+                }
+                rewrites += 1;
+                live.insert_if_absent(key, table, bases);
             }
         }
+        EngineCounters::add(&self.counters.snapshot_restores, 1);
+        EngineCounters::add(&self.counters.snapshot_bytes_read, bytes.len() as u64);
         Ok(SnapshotStats {
             interned: stats.interned_exprs + stats.interned_aggs,
             distributions: stats.distributions,
@@ -980,7 +1499,8 @@ fn step_one(
             table.name = "result".to_string();
             let table = Arc::new(table);
             if let Some(c) = caches {
-                c.rewrites().insert(key, Arc::clone(&table));
+                c.rewrites()
+                    .insert(key, Arc::clone(&table), plan.base_tables.clone());
             }
             table
         }
@@ -1986,9 +2506,320 @@ mod tests {
         assert_eq!(warm.misses, stats.misses);
         assert!(warm.hits > stats.hits);
         assert_eq!(warm.cross_query_hits, stats.cross_query_hits);
-        // Touching the database invalidates everything, counters included.
+        drop(prepared);
+
+        // The typed update path invalidates *selectively*: a delta against S
+        // evicts the paper_q1 rewrite (S is a base table) and the artifacts over
+        // S's variables, but artifacts over PS/P1/P2-only provenance survive.
+        let delta_stats = engine
+            .apply_delta(Delta::new().insert("S", vec![6i64.into(), "Gap".into()], 0.5))
+            .unwrap();
+        assert_eq!(delta_stats.inserted, 1);
+        assert_eq!(delta_stats.evicted_rewrites, 1);
+        assert_eq!(delta_stats.kept_rewrites, 0);
+        // An insert touches no existing variable, so every artifact survives.
+        assert_eq!(delta_stats.touched_vars, 0);
+        assert_eq!(delta_stats.evicted_artifacts, 0);
+        let after_delta = engine.cache_stats();
+        assert_eq!(after_delta.rewrites, 0);
+        assert_eq!(after_delta.confidences, warm.confidences);
+
+        // The legacy shim keeps today's detach-everything semantics, counters
+        // included.
+        #[allow(deprecated)]
         engine.database_mut();
         assert_eq!(engine.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn unrelated_insert_keeps_other_tables_warm() {
+        // The acceptance scenario: after a 1-tuple insert into one table, a
+        // prepared query over *other* tables answers with zero recompilations.
+        let mut engine = Engine::new(figure1_db());
+        let q = Query::table("S").project(["shop"]);
+        engine
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let warm = engine.cache_stats();
+        assert!(warm.misses + warm.hits > 0);
+
+        let stats = engine
+            .apply_delta(Delta::new().insert("P1", vec![9i64.into(), 99i64.into()], 0.25))
+            .unwrap();
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.evicted_artifacts, 0);
+        assert_eq!(stats.evicted_rewrites, 0);
+        assert_eq!(stats.kept_rewrites, 1, "the S rewrite must survive");
+
+        let reference = engine
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let after = engine.cache_stats();
+        // Exact counters: not a single recomputation — no new misses, no new
+        // rewrite entries, only hits.
+        assert_eq!(after.misses, warm.misses);
+        assert_eq!(after.arena_misses, warm.arena_misses);
+        assert_eq!(after.rewrites, warm.rewrites);
+        assert_eq!(after.confidences, warm.confidences);
+        assert!(after.hits > warm.hits);
+        // And the answers match a cold engine on the mutated database exactly.
+        let cold = Engine::new(engine.database().clone());
+        let cold_result = cold
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        assert_eq!(reference.tuples.len(), cold_result.tuples.len());
+        for (a, b) in reference.tuples.iter().zip(&cold_result.tuples) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn apply_delta_is_bit_identical_to_cold_rebuild() {
+        // All three strategies, sequential and parallel: results after a mixed
+        // delta must be bit-identical to a cold engine built on the mutated
+        // database — surviving cache entries never leak pre-delta state.
+        let queries = [
+            Query::table("S").project(["shop"]), // Q_ind
+            Query::table("S")
+                .join(Query::table("PS"), &[("sid", "ps_sid")])
+                .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")]), // Q_hie
+            paper_q1()
+                .group_agg(["shop"], vec![AggSpec::new(AggOp::Max, "price", "P")])
+                .select(Predicate::AggCmpConst("P".into(), CmpOp::Le, 50))
+                .project(["shop"]), // general
+        ];
+        let mut engine = Engine::new(figure1_db());
+        let mut strategies = std::collections::BTreeSet::new();
+        // Warm every query pre-delta so stale entries would be caught.
+        for q in &queries {
+            let prepared = engine.prepare(q).unwrap();
+            strategies.insert(format!("{:?}", prepared.plan().strategy));
+            prepared.execute(&EvalOptions::default()).unwrap();
+        }
+        assert_eq!(strategies.len(), 3, "queries must cover all strategies");
+
+        let delta = Delta::new()
+            .insert("S", vec![6i64.into(), "Gap".into()], 0.7)
+            .set_probability("PS", 0, 0.9)
+            .delete("P1", 1);
+        let stats = engine.apply_delta(delta).unwrap();
+        assert_eq!(stats.tables_touched, 3);
+        assert!(stats.touched_vars >= 2);
+
+        let cold = Engine::new(engine.database().clone());
+        for q in &queries {
+            for threads in [1, 4] {
+                let options = EvalOptions::default().with_threads(threads);
+                let warm = engine.prepare(q).unwrap().execute(&options).unwrap();
+                let reference = cold.prepare(q).unwrap().execute(&options).unwrap();
+                assert_eq!(warm.tuples.len(), reference.tuples.len());
+                for (a, b) in warm.tuples.iter().zip(&reference.tuples) {
+                    assert_eq!(a.values, b.values);
+                    assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+                    assert_eq!(a.aggregate_distributions, b.aggregate_distributions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_validation_is_atomic_and_typed() {
+        let mut engine = Engine::new(figure1_db());
+        let q = paper_q1();
+        engine
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let warm = engine.cache_stats();
+        let tuples_before = engine.database().total_tuples();
+
+        // A delta with one valid and one invalid op must change *nothing*.
+        let cases = [
+            Delta::new()
+                .insert("S", vec![7i64.into(), "Gap".into()], 0.5)
+                .insert("missing", vec![1i64.into()], 0.5),
+            Delta::new().insert("S", vec![7i64.into()], 0.5), // arity
+            Delta::new().insert("S", vec![7i64.into(), "Gap".into()], 1.5), // probability
+            Delta::new().delete("S", 99),                     // range
+            Delta::new().delete("S", 0).delete("S", 0),       // duplicate
+            Delta::new().set_probability("S", 0, f64::NAN),   // NaN
+        ];
+        for delta in cases {
+            let err = engine.apply_delta(delta).unwrap_err();
+            assert!(
+                matches!(err, Error::Delta { .. } | Error::UnknownTable { .. }),
+                "unexpected error: {err}"
+            );
+            assert_eq!(engine.database().total_tuples(), tuples_before);
+            assert_eq!(engine.cache_stats(), warm);
+        }
+        assert_eq!(engine.stats().deltas.applied, 0);
+
+        // An empty delta is a no-op, not an error.
+        let stats = engine.apply_delta(Delta::new()).unwrap();
+        assert_eq!(stats, DeltaStats::default());
+    }
+
+    #[test]
+    fn set_probability_evicts_only_intersecting_artifacts() {
+        let mut engine = Engine::new(figure1_db());
+        let q_s = Query::table("S").project(["shop"]);
+        let q_p = Query::table("P1").project(["pid"]);
+        for q in [&q_s, &q_p] {
+            engine
+                .prepare(q)
+                .unwrap()
+                .execute(&EvalOptions::default())
+                .unwrap();
+        }
+        let warm = engine.cache_stats();
+
+        // Re-weight one S tuple: S-provenance artifacts go, P1's survive, and
+        // the P1 query stays miss-free while the S query recomputes.
+        let stats = engine
+            .apply_delta(Delta::new().set_probability("S", 0, 0.9))
+            .unwrap();
+        assert_eq!(stats.reprobed, 1);
+        assert_eq!(stats.touched_vars, 1);
+        assert!(stats.evicted_artifacts >= 1);
+        assert!(stats.kept_artifacts >= 1);
+        assert_eq!(stats.evicted_rewrites, 1);
+        assert_eq!(stats.kept_rewrites, 1);
+
+        let p_warm = engine
+            .prepare(&q_p)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        assert_eq!(engine.cache_stats().misses, warm.misses, "P1 stays warm");
+        assert_eq!(p_warm.tuples.len(), 4);
+
+        let s_result = engine
+            .prepare(&q_s)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        // The M&S tuple's confidence reflects the new probability exactly as a
+        // cold engine computes it.
+        let cold = Engine::new(engine.database().clone());
+        let s_cold = cold
+            .prepare(&q_s)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        for (a, b) in s_result.tuples.iter().zip(&s_cold.tuples) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn engine_stats_consolidates_the_scattered_getters() {
+        let mut engine = Engine::new(figure1_db());
+        assert_eq!(engine.stats(), EngineStats::default());
+        engine
+            .prepare(&paper_q1())
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let stats = engine.stats();
+        // The old getter is a thin delegate of the consolidated struct.
+        assert_eq!(stats.cache, engine.cache_stats());
+        assert_eq!(stats.deltas, DeltaTotals::default());
+        engine
+            .apply_delta(Delta::new().insert("P2", vec![9i64.into(), 9i64.into()], 0.5))
+            .unwrap();
+        let after = engine.stats();
+        assert_eq!(after.deltas.applied, 1);
+        assert_eq!(after.deltas.inserted, 1);
+        assert_eq!(after.deltas.evicted_rewrites, 1); // paper_q1 reads P2
+        let dir = std::env::temp_dir().join(format!("pvc-stats-{}.snap", std::process::id()));
+        engine.save_artifacts(&dir).unwrap();
+        let saved = engine.stats().snapshots;
+        assert_eq!(saved.saves, 1);
+        assert!(saved.bytes_written > 0);
+        engine.restore_artifacts(&dir).unwrap();
+        let restored = engine.stats().snapshots;
+        assert_eq!(restored.restores, 1);
+        assert!(restored.bytes_read > 0);
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_survives_compatible_delta() {
+        // Disk-warm restart across a delta: snapshot before, mutate, reload on
+        // the mutated database — unaffected tables come back warm.
+        let path = std::env::temp_dir().join(format!("pvc-delta-{}.snap", std::process::id()));
+        let q_s = Query::table("S").project(["shop"]);
+        let q_p = Query::table("P1").project(["pid"]);
+        let mut engine = Engine::new(figure1_db());
+        for q in [&q_s, &q_p] {
+            engine
+                .prepare(q)
+                .unwrap()
+                .execute(&EvalOptions::default())
+                .unwrap();
+        }
+        engine.save_artifacts(&path).unwrap();
+        engine
+            .apply_delta(Delta::new().insert("P1", vec![9i64.into(), 99i64.into()], 0.25))
+            .unwrap();
+        let mutated = engine.database().clone();
+
+        // Partial restore: P1 diverged (its rewrite and artifacts are dropped),
+        // S matches (restored warm: the S query runs without a single miss).
+        let restarted = Engine::with_artifacts_from(mutated.clone(), &path).unwrap();
+        let warm = restarted
+            .prepare(&q_s)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let stats = restarted.cache_stats();
+        assert_eq!(stats.misses, 0, "S must be answered from the snapshot");
+        assert!(stats.hits > 0);
+        let cold = Engine::new(mutated.clone());
+        let cold_s = cold
+            .prepare(&q_s)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        for (a, b) in warm.tuples.iter().zip(&cold_s.tuples) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+        // The P1 query recomputes (its artifacts were selectively dropped) and
+        // agrees with the cold engine bit-for-bit.
+        let p_warm = restarted
+            .prepare(&q_p)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let p_cold = cold
+            .prepare(&q_p)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        assert_eq!(p_warm.tuples.len(), 5);
+        for (a, b) in p_warm.tuples.iter().zip(&p_cold.tuples) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+
+        // A fully diverged database (fresh ids, every table different) is still
+        // refused outright — the cold-start fallback, never a wrong warm cache.
+        let mut other = Database::new();
+        other.create_table("S", crate::schema::Schema::new(["sid", "shop"]));
+        let (s, vars) = other.table_and_vars_mut("S").unwrap();
+        s.push_independent(vec![1i64.into(), "X".into()], 0.1, vars);
+        assert!(matches!(
+            Engine::with_artifacts_from(other, &path),
+            Err(Error::Snapshot(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -2452,6 +3283,7 @@ mod tests {
         // Mutating A's database must not invalidate B's artifacts (B's database is
         // unchanged, so its cached distributions are still correct) — A simply
         // walks away onto a fresh, empty store.
+        #[allow(deprecated)]
         engine_a.database_mut();
         assert_eq!(engine_a.cache_stats(), CacheStats::default());
         assert_eq!(engine_b.cache_stats(), b_before);
@@ -2463,5 +3295,44 @@ mod tests {
             .unwrap();
         assert!(engine_a.cache_stats().confidences > 0);
         assert_eq!(engine_b.cache_stats(), b_before);
+    }
+
+    #[test]
+    fn apply_delta_on_a_shared_store_keeps_disjoint_entries() {
+        // The apply_delta counterpart of the detach test: the store stays
+        // shared, and only intersecting entries are evicted — for an insert-only
+        // delta, none. (Deltas that re-weight or delete run strictly between
+        // batches; see the `apply_delta` concurrency contract.)
+        let db = figure1_db();
+        let mut engine_a = Engine::new(db.clone());
+        let engine_b = Engine::with_shared_artifacts(db, engine_a.shared_artifacts());
+        let q = paper_q1();
+        engine_b
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        let b_before = engine_b.cache_stats();
+        let stats = engine_a
+            .apply_delta(Delta::new().insert("S", vec![6i64.into(), "Gap".into()], 0.4))
+            .unwrap();
+        assert_eq!(stats.evicted_artifacts, 0);
+        // Still the same store, with every artifact intact: B's view of the
+        // artifact caches is unchanged (hit/miss counters included).
+        assert!(Arc::ptr_eq(
+            &engine_a.shared_artifacts(),
+            &engine_b.shared_artifacts()
+        ));
+        assert_eq!(engine_b.cache_stats(), b_before);
+        // A's next execution of the same query re-runs step I (its rewrite was
+        // evicted — S changed) but reuses every artifact whose provenance did
+        // not gain the new tuple's variable.
+        let result = engine_a
+            .prepare(&q)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        // The new S tuple (sid 6) has no PS join partner: still 9 result tuples.
+        assert_eq!(result.tuples.len(), 9);
     }
 }

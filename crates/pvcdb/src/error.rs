@@ -47,6 +47,16 @@ pub enum Error {
     /// against a different database (see [`pvc_core::persist`] and
     /// [`crate::Engine::save_artifacts`] / [`crate::Engine::with_artifacts_from`]).
     Snapshot(PersistError),
+    /// A [`Delta`](crate::Delta) failed validation (bad arity, out-of-range row,
+    /// non-probability, or a `set_probability` on a tuple whose annotation is not
+    /// a single presence variable). Validation runs before anything is mutated,
+    /// so the database and the caches are untouched when this is returned.
+    Delta {
+        /// The table the offending operation targeted.
+        table: String,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -66,6 +76,9 @@ impl fmt::Display for Error {
             }
             Error::Worker(detail) => write!(f, "parallel execution failed: {detail}"),
             Error::Snapshot(e) => write!(f, "artifact snapshot failed: {e}"),
+            Error::Delta { table, message } => {
+                write!(f, "invalid delta against table `{table}`: {message}")
+            }
         }
     }
 }

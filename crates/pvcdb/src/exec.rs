@@ -62,7 +62,10 @@ fn evaluate_rec(db: &Database, query: &Query) -> Result<PvcTable, Error> {
         Query::Rename(mapping, input) => {
             let mut table = evaluate_rec(db, input)?;
             for (old, new) in mapping {
-                table.schema = table.schema.rename(old, new);
+                table.schema = table
+                    .schema
+                    .try_rename(old, new)
+                    .map_err(|c| Error::Validation(QueryError::UnknownColumn(c)))?;
             }
             Ok(table)
         }
@@ -227,7 +230,10 @@ fn eval_project(table: &PvcTable, cols: &[String], kind: SemiringKind) -> Result
         .iter()
         .map(|c| col_index(&table.schema, c))
         .collect::<Result<_, _>>()?;
-    let schema = table.schema.project(cols);
+    let schema = table
+        .schema
+        .try_project(cols)
+        .map_err(|c| Error::Validation(QueryError::UnknownColumn(c)))?;
     let mut groups: BTreeMap<Vec<KeyValue>, (Vec<Value>, Vec<SemiringExpr>)> = BTreeMap::new();
     for tuple in &table.tuples {
         let projected: Vec<Value> = indices.iter().map(|i| tuple.values[*i].clone()).collect();
@@ -293,7 +299,10 @@ fn split_equijoin_predicate(
 /// Hash equi-join: equivalent to `σ_{⋀ L=R}(left × right)` but in time proportional to
 /// the input plus output size.
 fn eval_hash_join(left: &PvcTable, right: &PvcTable, pairs: &[(usize, usize)]) -> PvcTable {
-    let schema = left.schema.concat(&right.schema);
+    let schema = left
+        .schema
+        .try_concat(&right.schema)
+        .unwrap_or_else(|dup| panic!("duplicate column `{dup}` in validated join"));
     let left_idx: Vec<usize> = pairs.iter().map(|(l, _)| *l).collect();
     let right_idx: Vec<usize> = pairs.iter().map(|(_, r)| *r).collect();
     let mut index: BTreeMap<Vec<KeyValue>, Vec<usize>> = BTreeMap::new();
@@ -318,7 +327,10 @@ fn eval_hash_join(left: &PvcTable, right: &PvcTable, pairs: &[(usize, usize)]) -
 }
 
 fn eval_product(a: &PvcTable, b: &PvcTable) -> PvcTable {
-    let schema = a.schema.concat(&b.schema);
+    let schema = a
+        .schema
+        .try_concat(&b.schema)
+        .unwrap_or_else(|dup| panic!("duplicate column `{dup}` in validated product"));
     let mut out = PvcTable::new(format!("{}x{}", a.name, b.name), schema);
     for ta in &a.tuples {
         for tb in &b.tuples {

@@ -57,7 +57,8 @@ pub mod value;
 
 pub use database::Database;
 pub use engine::{
-    CacheStats, Engine, EvalOptions, Plan, PreparedQuery, SnapshotStats, Strategy, TupleStream,
+    CacheStats, Delta, DeltaStats, DeltaTotals, Engine, EngineStats, EvalOptions, Plan,
+    PreparedQuery, SnapshotStats, SnapshotTotals, Strategy, TupleStream,
 };
 pub use error::Error;
 pub use exec::try_evaluate;

@@ -405,7 +405,9 @@ impl Query {
                     if new != old && schema.index_of(new).is_some() {
                         return Err(QueryError::DuplicateColumn(new.clone()));
                     }
-                    schema = schema.rename(old, new);
+                    schema = schema
+                        .try_rename(old, new)
+                        .map_err(QueryError::UnknownColumn)?;
                 }
                 Ok(schema)
             }
@@ -425,7 +427,7 @@ impl Query {
                         Some(_) => {}
                     }
                 }
-                Ok(schema.project(cols))
+                schema.try_project(cols).map_err(QueryError::UnknownColumn)
             }
             Query::Product(a, b) => {
                 let sa = a.output_schema(db)?;
@@ -473,7 +475,7 @@ impl Query {
                 }
                 let mut columns: Vec<Column> = group_by
                     .iter()
-                    .map(|c| schema.columns()[schema.expect_index(c)].clone())
+                    .map(|c| schema.columns()[schema.require_index(c)].clone())
                     .collect();
                 columns.extend(aggs.iter().map(|a| Column::aggregation(a.alias.clone())));
                 Ok(Schema::from_columns(columns))

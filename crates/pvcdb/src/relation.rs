@@ -53,16 +53,31 @@ impl PvcTable {
         self.tuples.is_empty()
     }
 
-    /// Append a tuple with an explicit annotation.
-    pub fn push(&mut self, values: Vec<Value>, annotation: SemiringExpr) {
-        assert_eq!(
-            values.len(),
-            self.schema.arity(),
-            "tuple arity does not match schema {} of table {}",
-            self.schema,
-            self.name
-        );
+    /// Append a tuple with an explicit annotation, reporting an arity mismatch
+    /// against the schema instead of panicking.
+    pub fn try_push(&mut self, values: Vec<Value>, annotation: SemiringExpr) -> Result<(), String> {
+        if values.len() != self.schema.arity() {
+            return Err(format!(
+                "tuple arity {} does not match schema {} of table {}",
+                values.len(),
+                self.schema,
+                self.name
+            ));
+        }
         self.tuples.push(Tuple::new(values, annotation));
+        Ok(())
+    }
+
+    /// Append a tuple with an explicit annotation. Panics on an arity mismatch — use
+    /// [`PvcTable::try_push`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PvcTable::try_push`, which reports arity mismatches instead of panicking"
+    )]
+    pub fn push(&mut self, values: Vec<Value>, annotation: SemiringExpr) {
+        if let Err(message) = self.try_push(values, annotation) {
+            panic!("{message}");
+        }
     }
 
     /// Append a tuple annotated with a *fresh* Boolean random variable with
@@ -77,19 +92,35 @@ impl PvcTable {
         let label = format!("{}#{}", self.name, self.tuples.len());
         let var = vars.boolean(label, p);
         let annotation = SemiringExpr::Var(var);
-        self.push(values, annotation.clone());
+        if let Err(message) = self.try_push(values, annotation.clone()) {
+            panic!("{message}");
+        }
         annotation
     }
 
     /// Append a deterministic tuple (annotation `1_S` in the Boolean semiring).
     pub fn push_certain(&mut self, values: Vec<Value>) {
         let annotation = SemiringExpr::Const(pvc_algebra::SemiringValue::Bool(true));
-        self.push(values, annotation);
+        if let Err(message) = self.try_push(values, annotation) {
+            panic!("{message}");
+        }
     }
 
-    /// The value of a named column in a given tuple.
+    /// The value of a named column in a given tuple, or `None` if the row is out of
+    /// range or the column does not exist.
+    pub fn try_value(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.schema.index_of(column)?;
+        self.tuples.get(row).map(|t| &t.values[idx])
+    }
+
+    /// The value of a named column in a given tuple. Panics on an unknown column or
+    /// an out-of-range row — use [`PvcTable::try_value`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PvcTable::try_value`, which returns `None` instead of panicking"
+    )]
     pub fn value(&self, row: usize, column: &str) -> &Value {
-        &self.tuples[row].values[self.schema.expect_index(column)]
+        &self.tuples[row].values[self.schema.require_index(column)]
     }
 
     /// Iterate over the tuples.
@@ -165,8 +196,10 @@ mod tests {
         t.push_independent(vec![1i64.into(), "M&S".into()], 0.5, &mut vars);
         t.push_independent(vec![2i64.into(), "Gap".into()], 0.7, &mut vars);
         assert_eq!(t.len(), 2);
-        assert_eq!(t.value(0, "shop").as_str(), Some("M&S"));
-        assert_eq!(t.value(1, "sid").as_int(), Some(2));
+        assert_eq!(t.try_value(0, "shop").and_then(Value::as_str), Some("M&S"));
+        assert_eq!(t.try_value(1, "sid").and_then(Value::as_int), Some(2));
+        assert_eq!(t.try_value(2, "sid"), None);
+        assert_eq!(t.try_value(0, "nope"), None);
         assert!(t.is_tuple_independent());
         assert_eq!(vars.len(), 2);
     }
@@ -183,19 +216,42 @@ mod tests {
         let mut vars = VarTable::new();
         let x = vars.boolean("x", 0.5);
         let mut t = PvcTable::new("R", Schema::new(["a"]));
-        t.push(vec![1i64.into()], SemiringExpr::Var(x));
-        t.push(vec![2i64.into()], SemiringExpr::Var(x));
+        t.try_push(vec![1i64.into()], SemiringExpr::Var(x)).unwrap();
+        t.try_push(vec![2i64.into()], SemiringExpr::Var(x)).unwrap();
         assert!(!t.is_tuple_independent());
     }
 
     #[test]
+    fn try_push_reports_arity_mismatches() {
+        let mut t = PvcTable::new("R", Schema::new(["a", "b"]));
+        let err = t
+            .try_push(
+                vec![1i64.into()],
+                SemiringExpr::Const(SemiringValue::Bool(true)),
+            )
+            .unwrap_err();
+        assert!(err.contains("arity 1"), "unexpected message: {err}");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "arity")]
-    fn arity_mismatch_panics() {
+    fn deprecated_push_still_panics_on_arity_mismatch() {
         let mut t = PvcTable::new("R", Schema::new(["a", "b"]));
         t.push(
             vec![1i64.into()],
             SemiringExpr::Const(SemiringValue::Bool(true)),
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "not found")]
+    fn deprecated_value_still_panics_on_unknown_column() {
+        let mut t = PvcTable::new("R", Schema::new(["a"]));
+        t.push_certain(vec![1i64.into()]);
+        t.value(0, "nope");
     }
 
     #[test]

@@ -220,12 +220,22 @@ pub(crate) fn table_bytes(table: &PvcTable) -> usize {
     w.into_bytes().len()
 }
 
-/// Encode the step-I rewrite cache (structural keys → result tables).
-pub(crate) fn encode_rewrites(rewrites: &BTreeMap<Vec<u8>, Arc<PvcTable>>) -> Vec<u8> {
+/// A step-I rewrite cache in snapshot form: structural key → (result table,
+/// the base tables its rewriting read).
+pub(crate) type RewriteMap = BTreeMap<Vec<u8>, (Arc<PvcTable>, Vec<String>)>;
+
+/// Encode the step-I rewrite cache. The base-table list is what lets a
+/// delta-aware loader keep rewrites whose inputs did not change and drop only
+/// the rest.
+pub(crate) fn encode_rewrites(rewrites: &RewriteMap) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u64(rewrites.len() as u64);
-    for (key, table) in rewrites {
+    for (key, (table, base_tables)) in rewrites {
         w.put_bytes(key);
+        w.put_u64(base_tables.len() as u64);
+        for base in base_tables {
+            w.put_str(base);
+        }
         put_table(&mut w, table);
     }
     w.into_bytes()
@@ -234,18 +244,20 @@ pub(crate) fn encode_rewrites(rewrites: &BTreeMap<Vec<u8>, Arc<PvcTable>>) -> Ve
 /// Decode a rewrite cache written by [`encode_rewrites`], refusing tables that
 /// reference variables `>= var_count` (the checksum only protects against
 /// accidents; an out-of-range variable would panic at evaluation time).
-pub(crate) fn decode_rewrites(
-    bytes: &[u8],
-    var_count: usize,
-) -> Result<BTreeMap<Vec<u8>, Arc<PvcTable>>, PersistError> {
+pub(crate) fn decode_rewrites(bytes: &[u8], var_count: usize) -> Result<RewriteMap, PersistError> {
     let mut r = Reader::new(bytes);
     let n = r.take_count(2)?;
     let mut out = BTreeMap::new();
     for _ in 0..n {
         let key = r.take_bytes()?.to_vec();
+        let n_bases = r.take_count(8)?;
+        let mut base_tables = Vec::with_capacity(n_bases);
+        for _ in 0..n_bases {
+            base_tables.push(r.take_str()?.to_string());
+        }
         let table = take_table(&mut r)?;
         verify_table_variables(&table, var_count)?;
-        out.insert(key, Arc::new(table));
+        out.insert(key, (Arc::new(table), base_tables));
     }
     if !r.is_empty() {
         return Err(PersistError::Format(format!(
@@ -282,27 +294,111 @@ fn verify_table_variables(table: &PvcTable, var_count: usize) -> Result<(), Pers
 }
 
 // ---------------------------------------------------------------------------
-// Database fingerprint
+// Database fingerprints (whole-database, per-table, per-partition)
 // ---------------------------------------------------------------------------
 
-/// A stable 64-bit digest of everything the cached artifacts depend on: the
-/// annotation semiring, the variable table (names + exact distribution bits,
-/// via [`pvc_expr::VarTable::fingerprint`]) and the full content of every
-/// table (the rewrite cache depends on table data, not just the probability
-/// space). A database rebuilt by the same deterministic loading code
-/// fingerprints identically across processes; any change refuses the snapshot.
+/// Row-count granularity of partition fingerprints: tables are digested in
+/// fixed-size row chunks so a localised mutation of a large table re-hashes
+/// only the affected chunks (plus the cheap fold combining them).
+pub(crate) const PARTITION_ROWS: usize = 1024;
+
+/// The set of variables a table's annotations and aggregate cell values
+/// mention — the lineage footprint a delta to this table can possibly touch.
+pub(crate) fn table_var_set(table: &PvcTable) -> pvc_expr::VarSet {
+    let mut vars = pvc_expr::VarSet::new();
+    for tuple in &table.tuples {
+        vars = vars.union(&tuple.annotation.vars());
+        for value in &tuple.values {
+            if let Value::Agg(agg) = value {
+                for term in &agg.terms {
+                    vars = vars.union(&term.vars());
+                }
+            }
+        }
+    }
+    vars
+}
+
+/// Digest of one fixed-size row partition: the tuples' values and annotations,
+/// byte-exact.
+fn partition_fingerprint(rows: &[crate::relation::Tuple]) -> u64 {
+    let mut w = Writer::new();
+    for tuple in rows {
+        for value in &tuple.values {
+            put_value(&mut w, value);
+        }
+        put_semiring_expr(&mut w, &tuple.annotation);
+    }
+    pvc_core::persist::fnv64(&w.into_bytes())
+}
+
+/// A stable 64-bit digest of everything artifacts over **one table** depend
+/// on: its name and schema, its content (folded from [`PARTITION_ROWS`]-sized
+/// partition digests) and the exact distribution bits of every variable the
+/// table mentions. A `set_probability` on a referenced variable, an insert and
+/// a delete all change the fingerprint; mutations of *other* tables (including
+/// fresh variables they register) do not — the property the delta-aware
+/// snapshot loader relies on to keep per-table artifacts selectively.
+pub(crate) fn table_fingerprint(db: &Database, table: &PvcTable) -> u64 {
+    let mut w = Writer::new();
+    w.put_str(&table.name);
+    let columns = table.schema.columns();
+    w.put_u64(columns.len() as u64);
+    for column in columns {
+        w.put_str(&column.name);
+        w.put_u8(column.is_aggregation as u8);
+    }
+    w.put_u64(table.tuples.len() as u64);
+    for chunk in table.tuples.chunks(PARTITION_ROWS.max(1)) {
+        w.put_u64(partition_fingerprint(chunk));
+    }
+    let vars = table_var_set(table);
+    w.put_u64(vars.len() as u64);
+    for v in vars.iter() {
+        w.put_u32(v.0);
+        if (v.0 as usize) < db.vars.len() {
+            w.put_str(db.vars.name(v));
+            let dist = db.vars.dist(v);
+            w.put_u64(dist.support_size() as u64);
+            for (value, p) in dist.iter() {
+                put_semiring_value(&mut w, value);
+                w.put_f64(p);
+            }
+        }
+    }
+    pvc_core::persist::fnv64(&w.into_bytes())
+}
+
+/// The per-table fingerprint vector of a database, in table-name order — the
+/// refinement persisted in snapshots so a loader can pinpoint which tables
+/// diverged.
+pub(crate) fn database_table_fingerprints(db: &Database) -> Vec<(String, u64)> {
+    db.table_names()
+        .into_iter()
+        .map(|name| {
+            let table = db.table(name).expect("listed table exists");
+            (name.to_string(), table_fingerprint(db, table))
+        })
+        .collect()
+}
+
+/// A stable 64-bit digest of everything the cached artifacts depend on,
+/// composed from the annotation semiring and the per-table fingerprints (which
+/// cover table contents and the distributions of every referenced variable).
+/// A database rebuilt by the same deterministic loading code fingerprints
+/// identically across processes; any content or probability change refuses (or,
+/// with a partial per-table match, selectively invalidates) the snapshot.
 pub(crate) fn database_fingerprint(db: &Database) -> u64 {
     let mut w = Writer::new();
     w.put_u8(match db.kind {
         pvc_algebra::SemiringKind::Bool => 0,
         pvc_algebra::SemiringKind::Nat => 1,
     });
-    w.put_u64(db.vars.fingerprint());
-    let names = db.table_names();
-    w.put_u64(names.len() as u64);
-    for name in names {
-        let table = db.table(name).expect("listed table exists");
-        put_table(&mut w, table);
+    let tables = database_table_fingerprints(db);
+    w.put_u64(tables.len() as u64);
+    for (name, fp) in &tables {
+        w.put_str(name);
+        w.put_u64(*fp);
     }
     pvc_core::persist::fnv64(&w.into_bytes())
 }
@@ -334,23 +430,32 @@ mod tests {
             SemimoduleExpr::constant(AggOp::Sum, MonoidValue::Fin(5)),
         ) * (SemiringExpr::Var(x)
             + SemiringExpr::Const(SemiringValue::Bool(false)));
-        table.push(vec!["M&S".into(), agg.into()], annotation);
+        table
+            .try_push(vec!["M&S".into(), agg.into()], annotation)
+            .unwrap();
         table
     }
 
     #[test]
     fn rewrites_roundtrip_exactly() {
         let mut rewrites = BTreeMap::new();
-        rewrites.insert(vec![1u8, 2, 3], Arc::new(sample_table()));
+        rewrites.insert(
+            vec![1u8, 2, 3],
+            (Arc::new(sample_table()), vec!["S".to_string()]),
+        );
         rewrites.insert(
             vec![9u8],
-            Arc::new(PvcTable::new("empty", Schema::new(["a"]))),
+            (
+                Arc::new(PvcTable::new("empty", Schema::new(["a"]))),
+                Vec::new(),
+            ),
         );
         let bytes = encode_rewrites(&rewrites);
         let back = decode_rewrites(&bytes, 2).unwrap();
         assert_eq!(back.len(), 2);
-        for (key, table) in &rewrites {
-            assert_eq!(back[key].as_ref(), table.as_ref());
+        for (key, (table, bases)) in &rewrites {
+            assert_eq!(back[key].0.as_ref(), table.as_ref());
+            assert_eq!(&back[key].1, bases);
         }
         // Truncation surfaces as a typed error, not a panic.
         assert!(decode_rewrites(&bytes[..bytes.len() - 3], 2).is_err());
@@ -381,6 +486,115 @@ mod tests {
         assert_ne!(
             database_fingerprint(&build(0.5, 10)),
             database_fingerprint(&build(0.5, 11))
+        );
+    }
+
+    #[test]
+    fn table_fingerprints_are_independent_per_table() {
+        // Two tables; mutating one leaves the other's fingerprint untouched even
+        // though the variable table grows.
+        let build = |s_rows: usize, ps_rows: usize, s_p: f64| {
+            let mut db = Database::new();
+            db.create_table("S", Schema::new(["sid"]));
+            db.create_table("PS", Schema::new(["pid"]));
+            {
+                let (s, vars) = db.table_and_vars_mut("S").unwrap();
+                for i in 0..s_rows {
+                    s.push_independent(vec![(i as i64).into()], s_p, vars);
+                }
+            }
+            {
+                let (ps, vars) = db.table_and_vars_mut("PS").unwrap();
+                for i in 0..ps_rows {
+                    ps.push_independent(vec![(i as i64).into()], 0.5, vars);
+                }
+            }
+            db
+        };
+        let base = build(2, 2, 0.3);
+        let fp = |db: &Database, name: &str| table_fingerprint(db, db.table(name).unwrap());
+
+        // Insert into S (in place, as a delta would — the fresh variable is
+        // appended at the end): S's fingerprint changes, PS's does not.
+        let mut more_s = base.clone();
+        {
+            let (s, vars) = more_s.table_and_vars_mut("S").unwrap();
+            s.push_independent(vec![99i64.into()], 0.3, vars);
+        }
+        assert_ne!(fp(&base, "S"), fp(&more_s, "S"));
+        assert_eq!(fp(&base, "PS"), fp(&more_s, "PS"));
+
+        // Probability change in S: same story.
+        let mut hotter_s = base.clone();
+        let x = match &hotter_s.table("S").unwrap().tuples[0].annotation {
+            SemiringExpr::Var(v) => *v,
+            other => panic!("unexpected annotation {other:?}"),
+        };
+        hotter_s.vars.set_dist(x, pvc_prob::make::bernoulli(0.9));
+        assert_ne!(fp(&base, "S"), fp(&hotter_s, "S"));
+        assert_eq!(fp(&base, "PS"), fp(&hotter_s, "PS"));
+
+        // The whole-database digest changes whenever any table's does.
+        assert_ne!(database_fingerprint(&base), database_fingerprint(&more_s));
+        assert_ne!(database_fingerprint(&base), database_fingerprint(&hotter_s));
+
+        // The published vector refines the digest: one mismatched entry.
+        let v_base = database_table_fingerprints(&base);
+        let v_more = database_table_fingerprints(&more_s);
+        assert_eq!(v_base.len(), 2);
+        let diffs = v_base.iter().zip(&v_more).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn set_probability_via_vars_changes_referencing_table_only() {
+        let mut db = Database::new();
+        db.create_table("S", Schema::new(["sid"]));
+        db.create_table("PS", Schema::new(["pid"]));
+        let x = {
+            let (s, vars) = db.table_and_vars_mut("S").unwrap();
+            s.push_independent(vec![1i64.into()], 0.4, vars);
+            match &s.tuples[0].annotation {
+                SemiringExpr::Var(v) => *v,
+                other => panic!("unexpected annotation {other:?}"),
+            }
+        };
+        {
+            let (ps, vars) = db.table_and_vars_mut("PS").unwrap();
+            ps.push_independent(vec![7i64.into()], 0.6, vars);
+        }
+        let s_before = table_fingerprint(&db, db.table("S").unwrap());
+        let ps_before = table_fingerprint(&db, db.table("PS").unwrap());
+        db.vars.set_dist(x, pvc_prob::make::bernoulli(0.8));
+        assert_ne!(s_before, table_fingerprint(&db, db.table("S").unwrap()));
+        assert_eq!(ps_before, table_fingerprint(&db, db.table("PS").unwrap()));
+    }
+
+    #[test]
+    fn partitions_digest_large_tables_chunkwise() {
+        let build = |rows: usize, flip_last: bool| {
+            let mut db = Database::new();
+            db.create_table("big", Schema::new(["k"]));
+            let (t, vars) = db.table_and_vars_mut("big").unwrap();
+            for i in 0..rows {
+                let key = if flip_last && i == rows - 1 {
+                    -1
+                } else {
+                    i as i64
+                };
+                t.push_independent(vec![key.into()], 0.5, vars);
+            }
+            db
+        };
+        let rows = PARTITION_ROWS + 7;
+        let a = build(rows, false);
+        let b = build(rows, true);
+        let fp = |db: &Database| table_fingerprint(db, db.table("big").unwrap());
+        assert_eq!(fp(&a), fp(&build(rows, false)));
+        assert_ne!(
+            fp(&a),
+            fp(&b),
+            "a one-row change in the tail partition must show"
         );
     }
 }

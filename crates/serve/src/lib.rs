@@ -22,6 +22,10 @@
 //! * per-tenant [`SharedArtifacts`] with **generation-based compaction**
 //!   ([`Engine::compact_artifacts`]) run strictly between batches, so a
 //!   long-lived process's expression arena stays bounded, not just its caches;
+//! * a **typed write path** ([`Server::apply_delta`]): a [`pvc_db::Delta`]
+//!   is admitted only while the tenant is idle (the compaction gate) and
+//!   invalidates selectively, so cached artifacts over untouched tables keep
+//!   answering warm across updates;
 //! * a **background snapshot thread** doing periodic, atomic
 //!   (temp-file + `rename`) [`Engine::save_artifacts`] saves, so a crashed or
 //!   killed server restarts **warm** from the last complete snapshot.
@@ -62,7 +66,10 @@
 pub mod loadgen;
 
 use pvc_core::{obs, CacheConfig, CompactionStats, WorkerPool};
-use pvc_db::{CacheStats, Database, Engine, Error as DbError, EvalOptions, ProbTuple, Query};
+use pvc_db::{
+    CacheStats, Database, Delta, DeltaStats, Engine, Error as DbError, EvalOptions, ProbTuple,
+    Query,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
@@ -181,6 +188,13 @@ pub enum ServeError {
     UnknownTenant(String),
     /// The server is shutting down and no longer accepts or answers requests.
     ShuttingDown,
+    /// A write ([`Server::apply_delta`]) found the tenant with live result
+    /// streams. Deltas only run on idle tenants (like compaction); drain or
+    /// drop the streams and retry.
+    TenantBusy {
+        /// Result streams alive when the write was rejected.
+        in_flight: usize,
+    },
     /// The underlying engine failed (validation, compile budget, worker error…).
     Engine(DbError),
     /// The runtime itself failed to start (e.g. thread spawning).
@@ -196,6 +210,10 @@ impl fmt::Display for ServeError {
             ),
             ServeError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::TenantBusy { in_flight } => write!(
+                f,
+                "write rejected: tenant has {in_flight} live result streams (drain and retry)"
+            ),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Runtime(msg) => write!(f, "serving runtime error: {msg}"),
         }
@@ -300,7 +318,10 @@ fn admit(queue: &mut SubmitQueue, limit: usize, request: Request) -> Result<(), 
 /// Per-tenant serving state.
 #[derive(Debug)]
 struct Tenant {
-    engine: Engine,
+    /// The tenant's engine. The scheduler locks it per dispatch;
+    /// [`Server::apply_delta`] locks it for the whole write, and its idle
+    /// check runs under this lock so it can never race a dispatch.
+    engine: Mutex<Engine>,
     /// Live [`ResultStream`]s of this tenant. Compaction remaps interned ids,
     /// so it only runs when this is zero (each stream's drop has already
     /// quiesced its pool jobs by the time it decrements).
@@ -332,6 +353,7 @@ struct ServerCounters {
     engine_errors: AtomicU64,
     batches: AtomicU64,
     compactions: AtomicU64,
+    deltas: AtomicU64,
     snapshots: AtomicU64,
     snapshot_failures: AtomicU64,
 }
@@ -366,6 +388,8 @@ pub struct ServerStats {
     pub batches: u64,
     /// Tenant artifact-store compactions performed.
     pub compactions: u64,
+    /// Deltas applied through [`Server::apply_delta`].
+    pub deltas: u64,
     /// Tenant snapshots written (background + explicit).
     pub snapshots: u64,
     /// Snapshot attempts that failed (the previous snapshot stays intact).
@@ -488,7 +512,7 @@ impl Server {
             tenant_map.insert(
                 name,
                 Tenant {
-                    engine,
+                    engine: Mutex::new(engine),
                     in_flight: Arc::new(AtomicUsize::new(0)),
                     batches_since_compaction: AtomicU64::new(0),
                     last_compaction: Mutex::new(None),
@@ -597,6 +621,7 @@ impl Server {
             engine_errors: c.engine_errors.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             compactions: c.compactions.load(Ordering::Relaxed),
+            deltas: c.deltas.load(Ordering::Relaxed),
             snapshots: c.snapshots.load(Ordering::Relaxed),
             snapshot_failures: c.snapshot_failures.load(Ordering::Relaxed),
             queued: self
@@ -644,12 +669,46 @@ impl Server {
         out
     }
 
+    /// Apply a typed [`Delta`] to one tenant's database between batches.
+    ///
+    /// The write runs under the tenant's engine lock and only when the tenant
+    /// is **idle** (`in_flight == 0`, the same gate as compaction): a tenant
+    /// with live [`ResultStream`]s returns [`ServeError::TenantBusy`] without
+    /// touching anything — drain or drop the streams and retry. Queued but
+    /// not-yet-dispatched requests are fine; they simply execute against the
+    /// post-delta database. Cached artifacts whose variables are disjoint
+    /// from the delta survive, so the next queries over untouched tables stay
+    /// warm (see [`Engine::apply_delta`]).
+    pub fn apply_delta(&self, tenant: &str, delta: Delta) -> Result<DeltaStats, ServeError> {
+        let tenant_state = self
+            .shared
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))?;
+        let mut engine = tenant_state.engine.lock().expect("tenant engine poisoned");
+        // Sound for the same reason as compaction: dispatch increments
+        // in-flight while holding the engine lock, so under this lock zero
+        // means no stream's workers can be touching the artifact store.
+        let in_flight = tenant_state.in_flight.load(Ordering::SeqCst);
+        if in_flight > 0 {
+            return Err(ServeError::TenantBusy { in_flight });
+        }
+        let stats = engine.apply_delta(delta)?;
+        self.shared.counters.deltas.fetch_add(1, Ordering::Relaxed);
+        Ok(stats)
+    }
+
     /// Cache statistics of one tenant's engine.
     pub fn cache_stats(&self, tenant: &str) -> Result<CacheStats, ServeError> {
         self.shared
             .tenants
             .get(tenant)
-            .map(|t| t.engine.cache_stats())
+            .map(|t| {
+                t.engine
+                    .lock()
+                    .expect("tenant engine poisoned")
+                    .cache_stats()
+            })
             .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))
     }
 
@@ -792,13 +851,17 @@ fn dispatch(shared: &ServerShared, request: Request) {
     if let Some(budget) = shared.config.compile_budget {
         options = options.with_node_budget(budget);
     }
-    let outcome = tenant
-        .engine
+    let engine = tenant.engine.lock().expect("tenant engine poisoned");
+    let outcome = engine
         .prepare(&request.query)
         .and_then(|prepared| prepared.execute_streaming(&options));
     match outcome {
         Ok(stream) => {
+            // Increment in-flight *before* releasing the engine lock:
+            // `Server::apply_delta` checks idleness under the same lock, so a
+            // just-dispatched stream can never be missed by its gate.
             tenant.in_flight.fetch_add(1, Ordering::SeqCst);
+            drop(engine);
             let stream = ResultStream {
                 inner: stream,
                 _in_flight: InFlightGuard(Arc::clone(&tenant.in_flight)),
@@ -832,7 +895,11 @@ fn compact_due_tenants(shared: &ServerShared) {
         if tenant.batches_since_compaction.load(Ordering::Relaxed) >= every
             && tenant.in_flight.load(Ordering::SeqCst) == 0
         {
-            let stats = tenant.engine.compact_artifacts();
+            let stats = tenant
+                .engine
+                .lock()
+                .expect("tenant engine poisoned")
+                .compact_artifacts();
             *tenant
                 .last_compaction
                 .lock()
@@ -855,7 +922,12 @@ fn snapshot_all(shared: &ServerShared) -> usize {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        match tenant.engine.save_artifacts(&path) {
+        let saved = tenant
+            .engine
+            .lock()
+            .expect("tenant engine poisoned")
+            .save_artifacts(&path);
+        match saved {
             Ok(_) => {
                 written += 1;
                 shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);

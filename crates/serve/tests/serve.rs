@@ -3,7 +3,7 @@
 //! crash/warm-restart story around atomic snapshots.
 
 use pvc_core::CacheConfig;
-use pvc_db::{Engine, EvalOptions, Query};
+use pvc_db::{Delta, Engine, EvalOptions, Query, Value};
 use pvc_serve::loadgen::{query_mix, workload_db};
 use pvc_serve::{ServeConfig, ServeError, Server};
 use std::time::Duration;
@@ -238,6 +238,74 @@ fn background_snapshot_thread_writes_periodically() {
     let stats = server.shutdown();
     assert_eq!(stats.snapshot_failures, 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn apply_delta_takes_writes_between_batches_and_keeps_other_tables_warm() {
+    let server = Server::start(vec![("t0".into(), workload_db(4, 2))], quick_config()).unwrap();
+    let q_s = Query::table("S").project(["shop"]);
+    let q_p = Query::table("P1").project(["pid"]);
+    // Warm both queries.
+    let s_count = server
+        .submit("t0", q_s.clone())
+        .unwrap()
+        .wait()
+        .unwrap()
+        .count();
+    let _ = server
+        .submit("t0", q_p.clone())
+        .unwrap()
+        .wait()
+        .unwrap()
+        .count();
+
+    // A held (un-drained) stream makes the tenant busy: the write is rejected
+    // without touching anything.
+    let held = server.submit("t0", q_s.clone()).unwrap().wait().unwrap();
+    let delta = Delta::new().insert("P1", vec![999i64.into(), 1i64.into()], 0.7);
+    match server.apply_delta("t0", delta.clone()) {
+        Err(ServeError::TenantBusy { in_flight }) => assert_eq!(in_flight, 1),
+        other => panic!("expected TenantBusy, got {other:?}"),
+    }
+    // Dropping the stream quiesces its workers and releases the in-flight
+    // guard; the retry then succeeds.
+    drop(held);
+    let stats = server.apply_delta("t0", delta).unwrap();
+    assert_eq!(stats.inserted, 1);
+
+    // The repeated query over the *untouched* table answers with zero new
+    // compilations.
+    let misses_before = server.cache_stats("t0").unwrap().misses;
+    let s_tuples = server
+        .submit("t0", q_s.clone())
+        .unwrap()
+        .wait()
+        .unwrap()
+        .count();
+    assert_eq!(s_tuples, s_count);
+    let cache = server.cache_stats("t0").unwrap();
+    assert_eq!(
+        cache.misses, misses_before,
+        "query over untouched table must stay warm after the delta: {cache:?}"
+    );
+
+    // The mutated table recomputes and sees the inserted row.
+    let p_tuples: Vec<_> = server
+        .submit("t0", q_p)
+        .unwrap()
+        .wait()
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert!(p_tuples.iter().any(|t| t.values[0] == Value::from(999i64)));
+
+    // Unknown tenants are a typed error, and the delta counter advanced once.
+    assert!(matches!(
+        server.apply_delta("nobody", Delta::new()),
+        Err(ServeError::UnknownTenant(_))
+    ));
+    let stats = server.shutdown();
+    assert_eq!(stats.deltas, 1);
 }
 
 #[test]

@@ -15,9 +15,12 @@
 //!    zero arena rebuilds, bit-identical results.
 //!
 //! A snapshot is refused (with a typed `Error::Snapshot`) when it is corrupted,
-//! written by another format version, or recorded against a different database —
-//! a warm cache that silently served wrong numbers would be far worse than a
-//! cold start.
+//! written by another format version, or recorded against a database that no
+//! longer matches in any table — a warm cache that silently served wrong
+//! numbers would be far worse than a cold start. When only *some* tables
+//! diverged, the per-table fingerprint vector lets the loader restore
+//! partially: artifacts over the unchanged tables stay warm, the rest are
+//! dropped and recomputed on demand.
 //!
 //! Run with: `cargo run --release --example warm_restart`
 
@@ -92,6 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let warm_live = start.elapsed();
     println!("warm (same process):    {warm_live:>10.2?}  (served from in-process caches)");
 
+    // Also warm a query whose lineage never touches S — it demonstrates the
+    // partial-restore path at the end of this example.
+    let p_only = Query::table("P").project(["pid"]);
+    engine.prepare(&p_only)?.execute(&options)?;
+
     let start = Instant::now();
     let stats = engine.save_artifacts(&snapshot_path)?;
     println!(
@@ -137,16 +145,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cold_time.as_secs_f64() / warm_disk_time.as_secs_f64().max(1e-9)
     );
 
-    // A snapshot for a *different* database is refused, not silently served.
-    let mut other = build_database()?;
+    // A database that diverged in one table still restores *partially*: the
+    // per-table fingerprint vector pinpoints the divergence, artifacts over
+    // the untouched tables stay warm, and only those touching the mutated
+    // table's variables are dropped (recomputed on demand — never served
+    // stale).
+    let mut grown = build_database()?;
     {
-        let (s, vars) = other.table_and_vars_mut("S")?;
+        let (s, vars) = grown.table_and_vars_mut("S")?;
         s.push_independent(vec![99i64.into(), "new-shop".into()], 0.5, vars);
     }
-    match Engine::with_artifacts_from(other, &snapshot_path) {
-        Err(Error::Snapshot(e)) => println!("mutated database refused: {e}"),
-        other => panic!("expected a fingerprint refusal, got {other:?}"),
-    }
+    let partial = Engine::with_artifacts_from(grown, &snapshot_path)?;
+    let stats = partial.cache_stats();
+    println!(
+        "partial restore after mutating S: {} confidence artifacts kept warm \
+         (the P-only query's), the S-touching rest dropped",
+        stats.confidences
+    );
+    assert!(stats.confidences > 0, "P-only artifacts must survive");
 
     std::fs::remove_file(&snapshot_path).ok();
     Ok(())

@@ -55,10 +55,22 @@
 //!   executions and *structurally equal queries under different renderings* hit the
 //!   same entries. [`db::CacheStats`] reports entries, bytes, hits, misses,
 //!   evictions and cross-query hits; `Engine::with_cache_config` bounds the
-//!   artifact payloads (the heavy part — distributions). Note that the arena
-//!   itself and the per-query rewrite cache grow with the number of distinct
-//!   expressions/queries seen; mutating the database (`Engine::database_mut`)
-//!   resets all of it.
+//!   artifact payloads (the heavy part — distributions). The arena itself and
+//!   the per-query rewrite cache grow with the number of distinct
+//!   expressions/queries seen.
+//!
+//! ## Updates
+//!
+//! Databases are mutated through the typed **delta API**: `Delta` is a
+//! validated, atomic batch of inserts, deletes and variable re-weightings that
+//! `Engine::apply_delta` applies with **selective invalidation** — only cached
+//! artifacts whose variable set intersects the delta (and step-I rewrites
+//! whose base tables were touched) are evicted, so queries over untouched
+//! tables keep answering with zero recompilations ([`db::DeltaStats`] counts
+//! exactly what was evicted vs. kept). Under serving,
+//! `serve::Server::apply_delta` applies a delta to an idle tenant between
+//! batches. The old escape hatch `Engine::database_mut` (drop every cache) is
+//! deprecated; see `docs/ARCHITECTURE.md` §"Updates and invalidation".
 //!
 //! For tractable plans the engine also skips compilation entirely where closed
 //! forms exist: read-once confidences, and MIN/MAX aggregate distributions over
@@ -103,9 +115,9 @@ pub mod prelude {
     };
     pub use pvc_db::{
         classify, try_evaluate, try_tuple_confidences, AggSpec, CacheConfig, CacheStats, Database,
-        Engine, Error, EvalOptions, PersistError, Plan, Predicate, PreparedQuery, ProbTuple,
-        PvcTable, Query, QueryClass, QueryResult, Schema, SharedArtifacts, SnapshotStats, Strategy,
-        TupleStream, Value,
+        Delta, DeltaStats, DeltaTotals, Engine, EngineStats, Error, EvalOptions, PersistError,
+        Plan, Predicate, PreparedQuery, ProbTuple, PvcTable, Query, QueryClass, QueryResult,
+        Schema, SharedArtifacts, SnapshotStats, SnapshotTotals, Strategy, TupleStream, Value,
     };
     #[allow(deprecated)]
     pub use pvc_db::{evaluate, evaluate_with_probabilities, tuple_confidences};

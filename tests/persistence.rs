@@ -5,8 +5,11 @@
 //!   results to both the engine that wrote the snapshot and a never-persisted
 //!   cold engine, across all three `Strategy` variants, without recompiling a
 //!   single d-tree;
-//! * **typed failure** — corrupted, truncated, wrong-version and
-//!   wrong-database snapshots are refused with `Error::Snapshot`, never a panic;
+//! * **typed failure** — corrupted, truncated and wrong-version snapshots are
+//!   refused with `Error::Snapshot`, never a panic; a partially diverged
+//!   database restores warm for the tables that still match (evicting only
+//!   artifacts over the diverged tables' variables), and is refused outright
+//!   only when no table matches;
 //! * **bounds** — restoring honours the target engine's LRU bounds;
 //! * **sharing** — one restored `SharedArtifacts` store serves several engines.
 
@@ -207,17 +210,46 @@ fn corrupt_truncated_and_wrong_version_snapshots_are_typed_errors() {
 }
 
 #[test]
-fn snapshots_for_a_different_database_are_refused() {
+fn diverged_databases_restore_partially_or_are_refused() {
     let snap = TempSnapshot::new("fingerprint");
     let engine = Engine::new(shop_db());
     run_all(&engine);
+    // Warm one query whose lineage never touches S: its artifacts must
+    // survive a divergence that is confined to S.
+    let p1_only = Query::table("P1").project(["pid"]);
+    engine
+        .prepare(&p1_only)
+        .unwrap()
+        .execute(&EvalOptions::default())
+        .unwrap();
     engine.save_artifacts(&snap.0).unwrap();
 
-    // Same schema, one probability nudged: the artifacts are invalid for it.
-    let mut other = shop_db();
-    {
-        let (s, vars) = other.table_and_vars_mut("S").unwrap();
+    // One table grew a tuple: the per-table fingerprint vector pinpoints the
+    // divergence to S, so the snapshot loads *partially* — artifacts disjoint
+    // from S's variables survive, the rest are evicted — and results are still
+    // exact: bit-identical to a cold engine over the same grown database.
+    let grown = || {
+        let mut db = shop_db();
+        let (s, vars) = db.table_and_vars_mut("S").unwrap();
         s.push_independent(vec![9i64.into(), "Zara".into()], 0.3, vars);
+        db
+    };
+    let warm = Engine::with_artifacts_from(grown(), &snap.0).unwrap();
+    let stats = warm.cache_stats();
+    assert!(
+        stats.confidences + stats.aggregates > 0,
+        "artifacts disjoint from the diverged table must survive a partial restore"
+    );
+    let cold = Engine::new(grown());
+    assert_bit_identical(&run_all(&warm), &run_all(&cold));
+
+    // Every table diverged: nothing is salvageable, so the load is refused —
+    // a cold start beats a silently wrong warm cache.
+    let mut other = shop_db();
+    for name in ["S", "PS", "P1", "P2"] {
+        let (table, vars) = other.table_and_vars_mut(name).unwrap();
+        let arity = table.schema.columns().len();
+        table.push_independent(vec![99i64.into(); arity], 0.5, vars);
     }
     match Engine::with_artifacts_from(other, &snap.0) {
         Err(Error::Snapshot(PersistError::Fingerprint { .. })) => {}
