@@ -48,6 +48,8 @@ fn main() {
     let incremental = pvc_bench::experiment_incremental(scale);
     eprintln!("running the serving experiment ...");
     let serve = pvc_bench::experiment_serve(scale);
+    eprintln!("running the durability experiment ...");
+    let durability = pvc_bench::experiment_durability(scale);
     // Last: it toggles the process-wide observability flags while it measures.
     eprintln!("running the observability-overhead experiment ...");
     let obs = pvc_bench::experiment_obs(scale);
@@ -70,6 +72,8 @@ fn main() {
     out.push_str(&incremental.to_json());
     out.push_str(",\n  \"experiment_serve\": ");
     out.push_str(&serve.to_json());
+    out.push_str(",\n  \"experiment_durability\": ");
+    out.push_str(&durability.to_json());
     out.push_str(",\n  \"experiment_obs\": ");
     out.push_str(&obs.to_json());
     out.push_str("\n}\n");

@@ -980,6 +980,7 @@ pub fn experiment_serve(scale: Scale) -> LoadReport {
         shops: if full { 24 } else { 12 },
         per_shop: 3,
         serve: ServeConfig::default().with_compact_every(4),
+        timeout: None,
     };
     pvc_serve::loadgen::run(&config).expect("load run completes")
 }
@@ -1449,6 +1450,233 @@ pub fn experiment_obs(scale: Scale) -> ObsReport {
         metrics_overhead: metrics_s / disabled_s.max(1e-9),
         tracing_overhead: tracing_s / disabled_s.max(1e-9),
         span_push_ns,
+    }
+}
+
+/// The report of the durability experiment: per-delta apply cost without a
+/// log and under each WAL fsync discipline, the resulting overhead ratios,
+/// full-log replay time and the recovery-to-first-warm-query latency of a
+/// journalled snapshot restore.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// Deltas applied per mode (`PVC_BENCH_FULL=1` uses 1000).
+    pub deltas: u64,
+    /// Total wall-clock of applying every delta with no WAL attached.
+    pub no_wal_total_s: f64,
+    /// Same deltas with a WAL under `Durability::None` (append, never fsync).
+    pub wal_none_total_s: f64,
+    /// Under `Durability::Batch` (one fsync at the end of the run).
+    pub wal_batch_total_s: f64,
+    /// Under `Durability::Always` (fsync per acknowledged delta).
+    pub wal_always_total_s: f64,
+    /// `wal_none_total_s / no_wal_total_s` — pure logging overhead; the CI
+    /// gate bounds this (`PVC_MAX_WAL_OVERHEAD_RATIO`).
+    pub overhead_none: f64,
+    /// `wal_always_total_s / no_wal_total_s` — the price of per-delta fsync.
+    pub overhead_always: f64,
+    /// Bytes in the WAL after the `Always` run.
+    pub wal_bytes: u64,
+    /// Records replayed by recovery (must equal [`deltas`](Self::deltas)).
+    pub replayed: u64,
+    /// Wall-clock of cold recovery: open + replay the full log.
+    pub replay_s: f64,
+    /// Wall-clock from `Engine::recover_with` on a post-delta snapshot
+    /// (journal restore, rotated log) through the first warm query.
+    pub recover_first_query_s: f64,
+}
+
+impl DurabilityReport {
+    /// The report as `(field name, JSON-ready value)` pairs.
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("deltas", format!("{}", self.deltas)),
+            ("no_wal_total_s", format!("{:.6}", self.no_wal_total_s)),
+            ("wal_none_total_s", format!("{:.6}", self.wal_none_total_s)),
+            (
+                "wal_batch_total_s",
+                format!("{:.6}", self.wal_batch_total_s),
+            ),
+            (
+                "wal_always_total_s",
+                format!("{:.6}", self.wal_always_total_s),
+            ),
+            ("overhead_none", format!("{:.2}", self.overhead_none)),
+            ("overhead_always", format!("{:.2}", self.overhead_always)),
+            ("wal_bytes", format!("{}", self.wal_bytes)),
+            ("replayed", format!("{}", self.replayed)),
+            ("replay_s", format!("{:.6}", self.replay_s)),
+            (
+                "recover_first_query_s",
+                format!("{:.6}", self.recover_first_query_s),
+            ),
+        ]
+    }
+
+    /// Format as a table row (same order as [`fields`](Self::fields)).
+    pub fn cells(&self) -> Vec<String> {
+        self.fields().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .fields()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Header of the durability experiment table.
+pub const DURABILITY_HEADER: [&str; 11] = [
+    "deltas",
+    "no_wal_s",
+    "wal_none_s",
+    "wal_batch_s",
+    "wal_always_s",
+    "ovh_none",
+    "ovh_always",
+    "wal_bytes",
+    "replayed",
+    "replay_s",
+    "recover_q1_s",
+];
+
+/// **Durability experiment** (not in the paper): what crash safety costs. The
+/// same insert stream is applied four times — no WAL, then logged under each
+/// fsync discipline — on fresh engines; the `Always` log is then recovered
+/// twice: cold (full replay, timing `replay_s`) and warm from a post-delta
+/// snapshot whose embedded journal re-derives the mutated state against the
+/// base database, through the first query (`recover_first_query_s`).
+pub fn experiment_durability(scale: Scale) -> DurabilityReport {
+    use pvc_db::{Delta, DeltaWal, Durability, RecoverOptions};
+    use std::sync::Arc;
+    let full = scale.is_full();
+    let n: u64 = if full { 1000 } else { 200 };
+    let (shops, per_shop) = if full { (24, 5) } else { (12, 3) };
+    let dir = std::env::temp_dir().join(format!("pvc-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let storage = pvc_core::FsStorage::shared();
+
+    let deltas: Vec<Delta> = (0..n)
+        .map(|i| {
+            Delta::new().insert(
+                "P1",
+                vec![(100_000 + i as i64).into(), ((i % 7) as i64).into()],
+                0.25 + (i % 50) as f64 / 100.0,
+            )
+        })
+        .collect();
+
+    // Baseline: the same applies with no log attached.
+    let mut engine = Engine::new(cache_workload_db(shops, per_shop));
+    let start = std::time::Instant::now();
+    for delta in &deltas {
+        engine.apply_delta(delta.clone()).expect("delta applies");
+    }
+    let no_wal_total_s = start.elapsed().as_secs_f64();
+    drop(engine);
+
+    let run_mode = |mode: Durability, name: &str| -> (f64, u64) {
+        let path = dir.join(format!("{name}.wal"));
+        let mut engine = Engine::new(cache_workload_db(shops, per_shop));
+        let (wal, logged) =
+            DeltaWal::open(Arc::clone(&storage), &path, String::new(), mode).expect("wal opens");
+        assert!(logged.is_empty(), "fresh log must be empty");
+        engine.attach_wal(wal);
+        let start = std::time::Instant::now();
+        for delta in &deltas {
+            engine.apply_delta(delta.clone()).expect("delta applies");
+        }
+        // Under Batch this is the end-of-run fsync the serve layer issues per
+        // mutation batch; under None/Always it is a no-op.
+        engine.sync_wal().expect("wal syncs");
+        let total = start.elapsed().as_secs_f64();
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        (total, bytes)
+    };
+    let (wal_none_total_s, _) = run_mode(Durability::None, "none");
+    let (wal_batch_total_s, _) = run_mode(Durability::Batch, "batch");
+    let (wal_always_total_s, wal_bytes) = run_mode(Durability::Always, "always");
+
+    // Cold recovery: open the full log and replay every record.
+    let options = RecoverOptions::new(dir.join("always.wal")).with_durability(Durability::Always);
+    let start = std::time::Instant::now();
+    let (mut engine, report) = Engine::recover_with(
+        Arc::clone(&storage),
+        cache_workload_db(shops, per_shop),
+        &options,
+    )
+    .expect("cold recovery");
+    let replay_s = start.elapsed().as_secs_f64();
+    let replayed = report.wal_replayed as u64;
+    assert_eq!(replayed, n, "every logged delta must replay");
+
+    // Warm the workload query, snapshot (journal included), rotate the log.
+    let query = cache_workload_query(false);
+    let eval = EvalOptions::default();
+    let reference = engine
+        .prepare(&query)
+        .expect("workload query prepares")
+        .execute(&eval)
+        .expect("warm-up run");
+    let snap = dir.join("always.snap");
+    engine
+        .save_artifacts_with(storage.as_ref(), &snap)
+        .expect("snapshot saves");
+    let hwm = engine.wal_high_water();
+    engine
+        .wal_mut()
+        .expect("wal attached")
+        .rotate(hwm)
+        .expect("log rotates");
+    drop(engine);
+
+    // Recovery-to-first-warm-query: journalled snapshot restore, empty log.
+    let options = options.with_snapshot(&snap);
+    let start = std::time::Instant::now();
+    let (engine, report) = Engine::recover_with(
+        Arc::clone(&storage),
+        cache_workload_db(shops, per_shop),
+        &options,
+    )
+    .expect("warm recovery");
+    let first = engine
+        .prepare(&query)
+        .expect("workload query re-prepares")
+        .execute(&eval)
+        .expect("first warm query");
+    let recover_first_query_s = start.elapsed().as_secs_f64();
+    assert!(
+        report.snapshot_restored,
+        "post-delta snapshot must restore against the base db: {report:?}"
+    );
+    assert_eq!(report.wal_replayed, 0, "rotated log must be empty");
+    assert_eq!(first.tuples.len(), reference.tuples.len());
+    for (a, b) in first.tuples.iter().zip(&reference.tuples) {
+        assert_eq!(
+            a.confidence.to_bits(),
+            b.confidence.to_bits(),
+            "recovered results must be bit-identical"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    DurabilityReport {
+        deltas: n,
+        no_wal_total_s,
+        wal_none_total_s,
+        wal_batch_total_s,
+        wal_always_total_s,
+        // Clamp divisors so the ratios stay finite below clock resolution.
+        overhead_none: wal_none_total_s / no_wal_total_s.max(1e-9),
+        overhead_always: wal_always_total_s / no_wal_total_s.max(1e-9),
+        wal_bytes,
+        replayed,
+        replay_s,
+        recover_first_query_s,
     }
 }
 

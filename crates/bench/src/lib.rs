@@ -27,11 +27,12 @@ pub mod stats;
 
 pub use experiments::{
     cache_workload_db, cache_workload_query, experiment_a, experiment_b, experiment_c,
-    experiment_cache, experiment_cache_threads, experiment_d, experiment_e, experiment_f,
-    experiment_incremental, experiment_kernel, experiment_obs, experiment_parallel,
-    experiment_serve, experiment_warm_restart, CacheHitReport, IncrementalReport, KernelReport,
-    ObsReport, ParallelReport, Scale, WarmRestartReport, CACHE_HEADER, INCREMENTAL_HEADER,
-    KERNEL_HEADER, OBS_HEADER, PARALLEL_HEADER, WARM_RESTART_HEADER,
+    experiment_cache, experiment_cache_threads, experiment_d, experiment_durability, experiment_e,
+    experiment_f, experiment_incremental, experiment_kernel, experiment_obs, experiment_parallel,
+    experiment_serve, experiment_warm_restart, CacheHitReport, DurabilityReport, IncrementalReport,
+    KernelReport, ObsReport, ParallelReport, Scale, WarmRestartReport, CACHE_HEADER,
+    DURABILITY_HEADER, INCREMENTAL_HEADER, KERNEL_HEADER, OBS_HEADER, PARALLEL_HEADER,
+    WARM_RESTART_HEADER,
 };
 pub use json::{Json, JsonError};
 pub use stats::{bench_case, mean_std, print_table, Measurement};

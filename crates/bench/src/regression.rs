@@ -33,7 +33,12 @@
 //!   engine errors, and a p99 submit-to-drained latency within
 //!   `PVC_MAX_P99_RATIO` (default 3×) of the committed baseline's p99 (floored
 //!   at `PVC_WARM_FLOOR_S` — tail latencies sit below the global noise floor,
-//!   and tails are noisier than means, hence the looser default ratio).
+//!   and tails are noisier than means, hence the looser default ratio);
+//! * durability must stay affordable and complete: `experiment_durability`'s
+//!   un-fsynced WAL appends must keep the delta run within
+//!   `PVC_MAX_WAL_OVERHEAD_RATIO` (default 3×) of the log-free run, every
+//!   logged delta must replay (exact counter), and the fsync-heavy totals plus
+//!   replay/recovery latencies ride the ordinary floored slowdown check.
 
 use crate::json::Json;
 
@@ -80,6 +85,15 @@ pub struct GateConfig {
     /// ratios. Falls back to the baseline's `experiment_cache.warm_s` when the
     /// committed baseline predates `experiment_obs`.
     pub max_obs_overhead_ratio: f64,
+    /// Maximum tolerated ratio of `experiment_durability`'s logged
+    /// (`Durability::None`) apply total over the no-WAL apply total
+    /// (`PVC_MAX_WAL_OVERHEAD_RATIO`, default 3x). This bounds the pure
+    /// serialization + append cost of write-ahead logging; fsync cost is
+    /// hardware-dependent and rides the ordinary floored slowdown check
+    /// against the committed baseline instead. Floored at
+    /// [`warm_floor_s`](Self::warm_floor_s), since a short run's apply totals
+    /// sit near clock resolution.
+    pub max_wal_overhead_ratio: f64,
 }
 
 impl Default for GateConfig {
@@ -94,6 +108,7 @@ impl Default for GateConfig {
             warm_floor_s: 0.005,
             max_p99_ratio: 3.0,
             max_obs_overhead_ratio: 1.05,
+            max_wal_overhead_ratio: 3.0,
         }
     }
 }
@@ -120,6 +135,10 @@ impl GateConfig {
             max_obs_overhead_ratio: read(
                 "PVC_MAX_OBS_OVERHEAD_RATIO",
                 defaults.max_obs_overhead_ratio,
+            ),
+            max_wal_overhead_ratio: read(
+                "PVC_MAX_WAL_OVERHEAD_RATIO",
+                defaults.max_wal_overhead_ratio,
             ),
         }
     }
@@ -437,6 +456,65 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
                 violations.push(format!(
                     "experiment_serve.{field}: {ratio:.2}x slowdown ({base:.4}s -> {new:.4}s, \
                      tolerance {:.2}x)",
+                    cfg.tolerance
+                ));
+            }
+        }
+    }
+
+    // --- durability: logging must stay cheap, recovery must stay complete. -----
+    // The WAL-append overhead is a self-contained ratio of the fresh run (both
+    // totals measured on the same machine in the same process); replay and
+    // recovery latencies ride the ordinary floored slowdown check.
+    if let Some(section) = fresh.get("experiment_durability") {
+        match (
+            section.get("wal_none_total_s").and_then(Json::as_f64),
+            section.get("no_wal_total_s").and_then(Json::as_f64),
+        ) {
+            (Some(logged), Some(bare)) => {
+                let ratio = logged.max(cfg.warm_floor_s) / bare.max(cfg.warm_floor_s);
+                if ratio > cfg.max_wal_overhead_ratio {
+                    violations.push(format!(
+                        "experiment_durability: WAL appends make deltas {ratio:.2}x slower \
+                         ({bare:.4}s -> {logged:.4}s over the run, tolerance {:.2}x)",
+                        cfg.max_wal_overhead_ratio
+                    ));
+                } else {
+                    compared_timings += 1;
+                }
+            }
+            _ => violations
+                .push("experiment_durability: fresh run is missing apply totals".to_string()),
+        }
+        // Replay completeness is exact: recovery that silently drops
+        // acknowledged deltas must never pass the gate.
+        match (
+            section.get("replayed").and_then(Json::as_f64),
+            section.get("deltas").and_then(Json::as_f64),
+        ) {
+            (Some(replayed), Some(deltas)) if replayed >= deltas => {}
+            (Some(replayed), Some(deltas)) => violations.push(format!(
+                "experiment_durability: only {replayed} of {deltas} logged deltas replayed"
+            )),
+            _ => violations
+                .push("experiment_durability: fresh run is missing replay counters".to_string()),
+        }
+        for field in ["wal_always_total_s", "replay_s", "recover_first_query_s"] {
+            let (Some(base), Some(new)) = (
+                number(baseline, "experiment_durability", field),
+                number(fresh, "experiment_durability", field),
+            ) else {
+                continue;
+            };
+            if new.max(base) < cfg.time_floor_s {
+                floored_timings += 1;
+                continue;
+            }
+            compared_timings += 1;
+            if let Some(ratio) = slowdown_violation(cfg, base, new) {
+                violations.push(format!(
+                    "experiment_durability.{field}: {ratio:.2}x slowdown ({base:.4}s -> \
+                     {new:.4}s, tolerance {:.2}x)",
                     cfg.tolerance
                 ));
             }
@@ -802,6 +880,37 @@ mod tests {
             &GateConfig::default(),
         );
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn durability_gate_checks_overhead_and_replay_completeness() {
+        let with_durability = |none_total: f64, replayed: u64| {
+            doc(&format!(
+                r#"{{
+              "experiment_cache": {{"cold_s": 0.2, "warm_s": 0.0001, "cross_s": 0.001, "cross_query_hits": 24}},
+              "experiment_durability": {{"deltas": 200, "no_wal_total_s": 0.05,
+                                         "wal_none_total_s": {none_total},
+                                         "wal_always_total_s": 0.4,
+                                         "replayed": {replayed},
+                                         "replay_s": 0.1, "recover_first_query_s": 0.05}}
+            }}"#
+            ))
+        };
+        let base = with_durability(0.08, 200);
+        let (violations, _) = compare(&base, &with_durability(0.08, 200), &GateConfig::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        // Logging blowing past 3x the log-free run: fail.
+        let (violations, _) = compare(&base, &with_durability(0.4, 200), &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("WAL appends")),
+            "{violations:?}"
+        );
+        // Dropped acknowledged deltas during replay: fail regardless of timing.
+        let (violations, _) = compare(&base, &with_durability(0.08, 199), &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("replayed")),
+            "{violations:?}"
+        );
     }
 
     #[test]

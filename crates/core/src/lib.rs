@@ -65,6 +65,8 @@ pub use obs::{
     SpanGuard, Trace,
 };
 pub use parallel::{parallel_map, resolve_threads, OrderedReassembly, WorkerPool};
+pub use persist::storage::{FaultConfig, FaultyStorage, FsStorage, Storage};
+pub use persist::wal::{Durability, WalRecord, WalRecovery, WalWriter};
 pub use persist::{PersistError, RestoreStats, Snapshot};
 pub use prune::{prune_against_constant, prune_conditional, PruneResult};
 

@@ -574,6 +574,17 @@ pub struct CoreMetrics {
     pub persist_restore_bytes: Histogram,
     /// `persist.restore.us`
     pub persist_restore_us: Histogram,
+    /// `persist.wal.append.bytes` — framed record sizes appended to the WAL.
+    pub wal_append_bytes: Histogram,
+    /// `persist.wal.append.us` — append latency including any fsync.
+    pub wal_append_us: Histogram,
+    /// `persist.wal.replayed` — records recovered from WAL files at open.
+    pub wal_replayed_records: Counter,
+    /// `persist.wal.torn_tails` — WAL opens that found (and amputated) a torn
+    /// or corrupt tail.
+    pub wal_torn_tails: Counter,
+    /// `persist.wal.rotations` — post-snapshot log rotations.
+    pub wal_rotations: Counter,
 }
 
 /// The lazily-registered [`CoreMetrics`] handles.
@@ -597,6 +608,11 @@ pub fn core_metrics() -> &'static CoreMetrics {
             persist_save_us: r.histogram("persist.save.us"),
             persist_restore_bytes: r.histogram("persist.restore.bytes"),
             persist_restore_us: r.histogram("persist.restore.us"),
+            wal_append_bytes: r.histogram("persist.wal.append.bytes"),
+            wal_append_us: r.histogram("persist.wal.append.us"),
+            wal_replayed_records: r.counter("persist.wal.replayed"),
+            wal_torn_tails: r.counter("persist.wal.torn_tails"),
+            wal_rotations: r.counter("persist.wal.rotations"),
         }
     })
 }

@@ -40,6 +40,9 @@
 //! snapshots **compose with a live arena**: restoring into a non-empty store
 //! deduplicates shared structure and simply adds the missing artifacts.
 
+pub mod storage;
+pub mod wal;
+
 use crate::arena::DTreeArena;
 use crate::cache::{CacheConfig, CompilationCache};
 use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringValue};
@@ -57,8 +60,10 @@ pub const MAGIC: [u8; 8] = *b"PVCSNAP\0";
 /// regenerating it is always safe).
 ///
 /// Version history: v1 — initial layout; v2 — per-table fingerprint vector
-/// inserted after the cache bounds (delta-aware warm restarts).
-pub const FORMAT_VERSION: u32 = 2;
+/// inserted after the cache bounds (delta-aware warm restarts); v3 — the
+/// engine's `extra` section gained a leading WAL high-water mark (crash-safe
+/// durability), so v2 extras no longer parse.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Errors of the snapshot codec. Every failure mode of loading — I/O, bad
 /// magic, truncation, version or checksum mismatch, a snapshot recorded against
@@ -1021,27 +1026,23 @@ pub fn write_snapshot_file(
     path: impl AsRef<std::path::Path>,
     bytes: &[u8],
 ) -> Result<(), PersistError> {
-    let path = path.as_ref();
-    let io_err = |stage: &str, e: std::io::Error| {
+    write_snapshot_file_with(&storage::FsStorage, path.as_ref(), bytes)
+}
+
+/// [`write_snapshot_file`] through a pluggable [`storage::Storage`] — the
+/// variant the serve runtime uses so fault-injection tests can interpose on
+/// the write path.
+pub fn write_snapshot_file_with(
+    storage: &dyn storage::Storage,
+    path: &std::path::Path,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
+    let started = std::time::Instant::now();
+    storage.write_atomic(path, bytes).map_err(|e| {
         PersistError::Io(format!(
-            "failed to {stage} snapshot {}: {e}",
+            "failed to publish snapshot {}: {e}",
             path.display()
         ))
-    };
-    let mut file_name = path
-        .file_name()
-        .ok_or_else(|| {
-            PersistError::Io(format!("snapshot path {} has no file name", path.display()))
-        })?
-        .to_os_string();
-    file_name.push(format!(".tmp.{}", std::process::id()));
-    let tmp = path.with_file_name(file_name);
-    let started = std::time::Instant::now();
-    std::fs::write(&tmp, bytes).map_err(|e| io_err("write", e))?;
-    std::fs::rename(&tmp, path).map_err(|e| {
-        // Leave no stray temp file behind a failed rename.
-        let _ = std::fs::remove_file(&tmp);
-        io_err("publish", e)
     })?;
     let metrics = crate::obs::core_metrics();
     metrics.persist_save_bytes.record(bytes.len() as u64);
@@ -1053,12 +1054,17 @@ pub fn write_snapshot_file(
 
 /// Read snapshot bytes from a file.
 pub fn read_snapshot_file(path: impl AsRef<std::path::Path>) -> Result<Vec<u8>, PersistError> {
+    read_snapshot_file_with(&storage::FsStorage, path.as_ref())
+}
+
+/// [`read_snapshot_file`] through a pluggable [`storage::Storage`].
+pub fn read_snapshot_file_with(
+    storage: &dyn storage::Storage,
+    path: &std::path::Path,
+) -> Result<Vec<u8>, PersistError> {
     let started = std::time::Instant::now();
-    let bytes = std::fs::read(path.as_ref()).map_err(|e| {
-        PersistError::Io(format!(
-            "failed to read snapshot {}: {e}",
-            path.as_ref().display()
-        ))
+    let bytes = storage.read(path).map_err(|e| {
+        PersistError::Io(format!("failed to read snapshot {}: {e}", path.display()))
     })?;
     let metrics = crate::obs::core_metrics();
     metrics.persist_restore_bytes.record(bytes.len() as u64);
@@ -1133,6 +1139,81 @@ mod tests {
         );
         eval.aggregate_distribution(aid).unwrap();
         (vt, interner, cache)
+    }
+
+    #[test]
+    fn fuzz_snapshot_single_bit_flips_are_always_rejected() {
+        // The trailing FNV checksum covers every byte before it, so *any*
+        // single-bit flip — body, header or the checksum itself — must turn
+        // into a typed error, never a silently-wrong snapshot. This pins the
+        // corruption-detection guarantee `docs/DURABILITY.md` documents.
+        let (_vt, interner, cache) = populated();
+        let tables = vec![("S".to_string(), 0x1111)];
+        let bytes = encode_snapshot(&interner, &cache, 0xfeed, &tables, Some(b"extra"));
+        decode_snapshot(&bytes).expect("pristine snapshot must decode");
+        let mut rng = pvc_prob::SeededRng::seed_from_u64(0xf1ee7);
+        for trial in 0..300 {
+            let bit = rng.gen_range(0..(bytes.len() as i64 * 8)) as usize;
+            let mut corrupted = bytes.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_snapshot(&corrupted).is_err(),
+                "trial {trial}: flipped bit {bit} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzz_snapshot_truncations_are_typed_errors() {
+        let (_vt, interner, cache) = populated();
+        let bytes = encode_snapshot(&interner, &cache, 1, &[], None);
+        let mut rng = pvc_prob::SeededRng::seed_from_u64(0x7a11);
+        // Sample truncation points (plus the edges) instead of all lengths:
+        // decode cost is linear, the property is identical at each cut.
+        let mut cuts: Vec<usize> = (0..64)
+            .map(|_| rng.gen_range(0..(bytes.len() as i64)) as usize)
+            .collect();
+        cuts.extend([0, 1, bytes.len() - 1]);
+        for cut in cuts {
+            match decode_snapshot(&bytes[..cut]) {
+                Err(
+                    PersistError::Format(_)
+                    | PersistError::Checksum { .. }
+                    | PersistError::Version { .. },
+                ) => {}
+                Err(e) => panic!("cut {cut}: unexpected error kind {e}"),
+                Ok(_) => panic!("cut {cut}: truncated snapshot decoded successfully"),
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_reader_on_random_bytes_never_panics_or_over_reads() {
+        let mut rng = pvc_prob::SeededRng::seed_from_u64(0x000d_ecaf);
+        for _ in 0..300 {
+            let len = rng.gen_range(0..96usize);
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let mut r = Reader::new(&data);
+            for _ in 0..24 {
+                let before = r.remaining();
+                // Every take either succeeds consuming at most what is there,
+                // or returns a typed error — never panics.
+                let consumed_ok = match rng.gen_range(0..8usize) {
+                    0 => r.take_u8().is_ok(),
+                    1 => r.take_u32().is_ok(),
+                    2 => r.take_u64().is_ok(),
+                    3 => r.take_i64().is_ok(),
+                    4 => r.take_f64().is_ok(),
+                    5 => r.take_bytes().is_ok(),
+                    6 => r.take_str().is_ok(),
+                    _ => r.take_count(8).is_ok(),
+                };
+                assert!(r.remaining() <= before);
+                if !consumed_ok && r.remaining() == 0 {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

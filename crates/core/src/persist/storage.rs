@@ -1,0 +1,449 @@
+//! Pluggable file storage for the persist layer: a small [`Storage`] trait that
+//! every snapshot and write-ahead-log path goes through, with a production
+//! [`FsStorage`] and a deterministic fault-injecting [`FaultyStorage`] for tests.
+//!
+//! The trait is deliberately **path-based** (no open handles): each operation
+//! names the file it touches, which keeps implementations trivial and makes the
+//! fault injector able to interpose on *every* byte that would reach disk —
+//! short writes, `ErrorKind::Interrupted` / `ErrorKind::Other` failures, torn
+//! renames that strand a `.tmp.<pid>` sibling, and stale temp litter. Every
+//! fault is drawn from a seeded [`SeededRng`], so a failing sequence replays
+//! bit-identically from its seed.
+
+use pvc_prob::SeededRng;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The operations the persist layer needs from a file system.
+///
+/// Implementations must be `Send + Sync`: the serve runtime shares one storage
+/// handle between the snapshot thread and the request path.
+pub trait Storage: std::fmt::Debug + Send + Sync {
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Write `bytes` to `path` **atomically**: stage into a sibling
+    /// `<name>.tmp.<pid>` file, then `rename` into place. After a crash the
+    /// destination holds either the previous complete image or the new one,
+    /// never a torn file.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Append `bytes` to the file at `path`, creating it if missing. When
+    /// `sync` is true the data (and on creation, ideally the directory entry)
+    /// is flushed with `fsync` before returning.
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> io::Result<()>;
+
+    /// `fsync` the file at `path` (used by [`Durability::Batch`] flushes).
+    ///
+    /// [`Durability::Batch`]: super::wal::Durability::Batch
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Truncate the file at `path` to `len` bytes (torn-tail amputation).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Remove the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    /// List the entries of directory `dir` (non-recursive, files only).
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// The suffix that marks an in-flight atomic-write staging file: the staged
+/// name is `<file_name>.tmp.<pid>`. [`is_stale_temp`] recognises the pattern so
+/// startup can sweep litter left by a crashed predecessor process.
+pub const TEMP_INFIX: &str = ".tmp.";
+
+/// Whether `path` looks like an atomic-write staging file (`*.tmp.<pid>`)
+/// regardless of which process id wrote it.
+pub fn is_stale_temp(path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    match name.rfind(TEMP_INFIX) {
+        Some(at) => {
+            let digits = &name[at + TEMP_INFIX.len()..];
+            !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+fn temp_sibling(path: &Path) -> io::Result<PathBuf> {
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("path {} has no file name", path.display()),
+            )
+        })?
+        .to_os_string();
+    file_name.push(format!("{}{}", TEMP_INFIX, std::process::id()));
+    Ok(path.with_file_name(file_name))
+}
+
+/// The production [`Storage`]: plain `std::fs`, atomic publication via a
+/// sibling temp file + `rename`, `fsync` through `File::sync_all`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FsStorage;
+
+impl FsStorage {
+    /// A shared handle to the process-wide default storage.
+    pub fn shared() -> Arc<dyn Storage> {
+        Arc::new(FsStorage)
+    }
+}
+
+impl Storage for FsStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = temp_sibling(path)?;
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            // Leave no stray temp file behind a failed rename.
+            let _ = std::fs::remove_file(&tmp);
+            e
+        })
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> io::Result<()> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(bytes)?;
+        if sync {
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        OpenOptions::new().append(true).open(path)?.sync_all()
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Which faults a [`FaultyStorage`] may inject, as per-operation probabilities
+/// in `[0, 1]`. Every draw comes from the seeded generator, so a given seed
+/// yields one reproducible fault schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability that an `append` writes only a prefix of the record and
+    /// fails with [`io::ErrorKind::Interrupted`] — a torn WAL tail.
+    pub short_append: f64,
+    /// Probability that a `write_atomic` fails after staging the temp file but
+    /// before the `rename` — a stranded `.tmp.<pid>` sibling plus an
+    /// [`io::ErrorKind::Other`] error.
+    pub torn_rename: f64,
+    /// Probability that any mutating operation fails cleanly (no bytes
+    /// reach disk) with [`io::ErrorKind::Interrupted`] — a transient error the
+    /// caller is expected to retry.
+    pub transient: f64,
+    /// Probability that a `write_atomic` additionally leaves a stale
+    /// `.tmp.<pid>` litter file (as if an unrelated crashed process had died
+    /// mid-stage) even when the write itself succeeds.
+    pub stale_litter: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all (behaves exactly like [`FsStorage`]).
+    pub fn none() -> Self {
+        FaultConfig {
+            short_append: 0.0,
+            torn_rename: 0.0,
+            transient: 0.0,
+            stale_litter: 0.0,
+        }
+    }
+}
+
+/// Counters of the faults a [`FaultyStorage`] actually injected, so tests can
+/// assert the schedule exercised the paths they care about.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Appends that tore mid-record.
+    pub short_appends: u64,
+    /// Atomic writes that failed between stage and rename.
+    pub torn_renames: u64,
+    /// Clean transient failures.
+    pub transients: u64,
+    /// Stale `.tmp.<pid>` files planted next to successful writes.
+    pub stale_litter: u64,
+}
+
+/// A deterministic fault-injecting [`Storage`] for tests: wraps [`FsStorage`]
+/// and, driven by a [`SeededRng`], injects short writes, transient
+/// `Interrupted` failures, torn renames, and stale `.tmp.<pid>` litter
+/// according to a [`FaultConfig`]. Reads are never corrupted — corruption of
+/// *images* is the fuzz tests' job; this type models a misbehaving disk on the
+/// write path.
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: FsStorage,
+    rng: Mutex<SeededRng>,
+    config: FaultConfig,
+    short_appends: AtomicU64,
+    torn_renames: AtomicU64,
+    transients: AtomicU64,
+    stale_litter: AtomicU64,
+}
+
+impl FaultyStorage {
+    /// A fault injector with the given seed and fault probabilities.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultyStorage {
+            inner: FsStorage,
+            rng: Mutex::new(SeededRng::seed_from_u64(seed)),
+            config,
+            short_appends: AtomicU64::new(0),
+            torn_renames: AtomicU64::new(0),
+            transients: AtomicU64::new(0),
+            stale_litter: AtomicU64::new(0),
+        }
+    }
+
+    /// What was injected so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            short_appends: self.short_appends.load(Ordering::Relaxed),
+            torn_renames: self.torn_renames.load(Ordering::Relaxed),
+            transients: self.transients.load(Ordering::Relaxed),
+            stale_litter: self.stale_litter.load(Ordering::Relaxed),
+        }
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        p > 0.0 && self.rng.lock().expect("rng lock").next_f64() < p
+    }
+
+    fn transient_err(&self, what: &str) -> io::Error {
+        self.transients.fetch_add(1, Ordering::Relaxed);
+        io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("injected transient fault during {what}"),
+        )
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if self.roll(self.config.transient) {
+            return Err(self.transient_err("write_atomic"));
+        }
+        if self.roll(self.config.torn_rename) {
+            // Stage the temp file, then "crash" before the rename: the litter
+            // stays behind and the destination is untouched.
+            let tmp = temp_sibling(path)?;
+            std::fs::write(&tmp, bytes)?;
+            self.torn_renames.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(
+                "injected torn rename (temp file stranded)",
+            ));
+        }
+        if self.roll(self.config.stale_litter) {
+            // Plant litter as if a crashed sibling process (pid 0 never runs)
+            // had died mid-stage.
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                let litter = path.with_file_name(format!("{name}{TEMP_INFIX}0"));
+                let _ = std::fs::write(litter, b"stale");
+                self.stale_litter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inner.write_atomic(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8], sync: bool) -> io::Result<()> {
+        if self.roll(self.config.transient) {
+            return Err(self.transient_err("append"));
+        }
+        if self.roll(self.config.short_append) && bytes.len() > 1 {
+            // Tear the record: persist only a prefix, then fail.
+            let cut = {
+                let span = bytes.len() as i64;
+                self.rng.lock().expect("rng lock").gen_range(1..span) as usize
+            };
+            self.inner.append(path, &bytes[..cut], false)?;
+            self.short_appends.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected short append ({cut} of {} bytes)", bytes.len()),
+            ));
+        }
+        self.inner.append(path, bytes, sync)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if self.roll(self.config.transient) {
+            return Err(self.transient_err("sync"));
+        }
+        self.inner.sync_file(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(dir)
+    }
+}
+
+/// Remove every stale `*.tmp.<pid>` staging file in `dir`, returning how many
+/// were swept. A missing directory sweeps nothing. Called by `Server::start`
+/// (and usable by any embedder) so litter from a crashed predecessor does not
+/// accumulate forever.
+pub fn sweep_stale_temps(storage: &dyn Storage, dir: &Path) -> io::Result<usize> {
+    let entries = match storage.list_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let mut swept = 0;
+    for path in entries {
+        if is_stale_temp(&path) {
+            storage.remove(&path)?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pvc-storage-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn fs_storage_roundtrip_and_append() {
+        let dir = scratch("fs");
+        let file = dir.join("a.bin");
+        let s = FsStorage;
+        s.write_atomic(&file, b"hello").unwrap();
+        assert_eq!(s.read(&file).unwrap(), b"hello");
+        s.append(&file, b" world", true).unwrap();
+        assert_eq!(s.read(&file).unwrap(), b"hello world");
+        s.truncate(&file, 5).unwrap();
+        assert_eq!(s.read(&file).unwrap(), b"hello");
+        assert!(s.exists(&file));
+        s.remove(&file).unwrap();
+        assert!(!s.exists(&file));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_temp_recognition() {
+        assert!(is_stale_temp(Path::new("/x/t0.snap.tmp.12345")));
+        assert!(is_stale_temp(Path::new("t0.wal.tmp.1")));
+        assert!(!is_stale_temp(Path::new("/x/t0.snap")));
+        assert!(!is_stale_temp(Path::new("/x/t0.snap.tmp.")));
+        assert!(!is_stale_temp(Path::new("/x/t0.snap.tmp.abc")));
+    }
+
+    #[test]
+    fn torn_rename_strands_temp_and_keeps_destination() {
+        let dir = scratch("torn");
+        let file = dir.join("t.snap");
+        FsStorage.write_atomic(&file, b"old").unwrap();
+        let faulty = FaultyStorage::new(
+            7,
+            FaultConfig {
+                torn_rename: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let err = faulty.write_atomic(&file, b"new").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(std::fs::read(&file).unwrap(), b"old");
+        let litter: Vec<_> = FsStorage
+            .list_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .filter(|p| is_stale_temp(p))
+            .collect();
+        assert_eq!(litter.len(), 1);
+        assert_eq!(faulty.stats().torn_renames, 1);
+        assert_eq!(sweep_stale_temps(&FsStorage, &dir).unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_append_persists_only_a_prefix() {
+        let dir = scratch("short");
+        let file = dir.join("t.wal");
+        let faulty = FaultyStorage::new(
+            11,
+            FaultConfig {
+                short_append: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let record = vec![0xABu8; 64];
+        let err = faulty.append(&file, &record, true).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        let on_disk = std::fs::read(&file).unwrap();
+        assert!(!on_disk.is_empty() && on_disk.len() < record.len());
+        assert_eq!(faulty.stats().short_appends, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            transient: 0.5,
+            ..FaultConfig::none()
+        };
+        let dir = scratch("det");
+        let file = dir.join("t.bin");
+        let run = |seed: u64| {
+            let s = FaultyStorage::new(seed, cfg);
+            (0..32)
+                .map(|_| s.write_atomic(&file, b"x").is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

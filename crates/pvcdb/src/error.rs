@@ -47,6 +47,11 @@ pub enum Error {
     /// against a different database (see [`pvc_core::persist`] and
     /// [`crate::Engine::save_artifacts`] / [`crate::Engine::with_artifacts_from`]).
     Snapshot(PersistError),
+    /// A write-ahead-log operation failed: the append of a delta record (the
+    /// delta was **not** applied — WAL-before-apply means a mutation that
+    /// cannot be made durable is refused atomically), a log rotation, or the
+    /// decode of a logged record during replay (see [`crate::wal`]).
+    Wal(PersistError),
     /// A [`Delta`](crate::Delta) failed validation (bad arity, out-of-range row,
     /// non-probability, or a `set_probability` on a tuple whose annotation is not
     /// a single presence variable). Validation runs before anything is mutated,
@@ -76,6 +81,7 @@ impl fmt::Display for Error {
             }
             Error::Worker(detail) => write!(f, "parallel execution failed: {detail}"),
             Error::Snapshot(e) => write!(f, "artifact snapshot failed: {e}"),
+            Error::Wal(e) => write!(f, "write-ahead log operation failed: {e}"),
             Error::Delta { table, message } => {
                 write!(f, "invalid delta against table `{table}`: {message}")
             }
@@ -89,6 +95,7 @@ impl std::error::Error for Error {
             Error::Validation(e) => Some(e),
             Error::Compile(e) => Some(e),
             Error::Snapshot(e) => Some(e),
+            Error::Wal(e) => Some(e),
             _ => None,
         }
     }

@@ -54,23 +54,26 @@ pub mod schema;
 pub(crate) mod snapshot;
 pub mod tractable;
 pub mod value;
+pub mod wal;
 
 pub use database::Database;
 pub use engine::{
     CacheStats, Delta, DeltaStats, DeltaTotals, Engine, EngineStats, EvalOptions, Plan,
-    PreparedQuery, SnapshotStats, SnapshotTotals, Strategy, TupleStream,
+    PreparedQuery, RecoverOptions, RecoveryReport, SnapshotStats, SnapshotTotals, Strategy,
+    TupleStream,
 };
 pub use error::Error;
 pub use exec::try_evaluate;
 pub use prob_eval::{try_tuple_confidences, ProbTuple, QueryResult};
 // Re-exported so engine users can bound/share the caches (and inspect snapshot
 // failures) without depending on `pvc-core`.
-pub use pvc_core::{CacheConfig, PersistError, SharedArtifacts};
+pub use pvc_core::{CacheConfig, Durability, PersistError, SharedArtifacts, Storage};
 pub use query::{AggSpec, Predicate, Query, QueryError};
 pub use relation::{PvcTable, Tuple};
 pub use schema::{Column, Schema};
 pub use tractable::{classify, flatten_spj, QueryClass, SpjBlock};
 pub use value::{KeyValue, Value};
+pub use wal::{DeltaWal, LoggedDelta};
 
 #[allow(deprecated)]
 pub use exec::evaluate;

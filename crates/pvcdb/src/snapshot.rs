@@ -136,7 +136,7 @@ fn take_semimodule_expr(r: &mut Reader<'_>) -> Result<SemimoduleExpr, PersistErr
 // Tables
 // ---------------------------------------------------------------------------
 
-fn put_value(w: &mut Writer, value: &Value) {
+pub(crate) fn put_value(w: &mut Writer, value: &Value) {
     match value {
         Value::Str(s) => {
             w.put_u8(0);
@@ -153,7 +153,7 @@ fn put_value(w: &mut Writer, value: &Value) {
     }
 }
 
-fn take_value(r: &mut Reader<'_>) -> Result<Value, PersistError> {
+pub(crate) fn take_value(r: &mut Reader<'_>) -> Result<Value, PersistError> {
     Ok(match r.take_u8()? {
         0 => Value::Str(r.take_str()?.to_string()),
         1 => Value::Int(r.take_i64()?),
@@ -266,6 +266,78 @@ pub(crate) fn decode_rewrites(bytes: &[u8], var_count: usize) -> Result<RewriteM
         )));
     }
     Ok(out)
+}
+
+/// Encode the engine's applied-delta **journal**: every delta applied since
+/// the base database, with its WAL sequence number. Snapshots embed it so a
+/// restart handed the *base* database (the normal crash-recovery setup —
+/// tenant data is rebuilt by deterministic loading code, not persisted) can
+/// re-derive the exact snapshotted state before fingerprint verification,
+/// which is what makes WAL rotation after a snapshot safe: the snapshot, not
+/// the truncated log, now carries those acknowledged deltas.
+pub(crate) fn encode_journal(journal: &[(u64, crate::engine::Delta)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(journal.len() as u64);
+    for (seq, delta) in journal {
+        w.put_u64(*seq);
+        w.put_bytes(&crate::wal::encode_delta(delta));
+    }
+    w.into_bytes()
+}
+
+/// Decode a journal written by [`encode_journal`].
+pub(crate) fn decode_journal(
+    bytes: &[u8],
+) -> Result<Vec<(u64, crate::engine::Delta)>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let count = r.take_u64()? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let seq = r.take_u64()?;
+        let payload = r.take_bytes()?;
+        out.push((seq, crate::wal::decode_delta(payload)?));
+    }
+    if !r.is_empty() {
+        return Err(PersistError::Format(format!(
+            "{} trailing bytes after the delta journal",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
+/// Encode the engine's snapshot **extra section** (format v3): the WAL
+/// sequence high-water mark — the last delta sequence number the snapshotted
+/// state already contains, so replay-on-startup skips everything at or below
+/// it — then the applied-delta journal (see [`encode_journal`]), then the
+/// step-I rewrite cache.
+pub(crate) fn encode_extra(
+    wal_high_water: u64,
+    journal: &[(u64, crate::engine::Delta)],
+    rewrites: &RewriteMap,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(wal_high_water);
+    w.put_bytes(&encode_journal(journal));
+    w.put_bytes(&encode_rewrites(rewrites));
+    w.into_bytes()
+}
+
+/// Decode an extra section written by [`encode_extra`]: the WAL high-water
+/// mark, the raw journal bytes (pass them to [`decode_journal`]) and the raw
+/// rewrite bytes (pass them to [`decode_rewrites`]).
+pub(crate) fn decode_extra(extra: &[u8]) -> Result<(u64, &[u8], &[u8]), PersistError> {
+    let mut r = Reader::new(extra);
+    let hwm = r.take_u64()?;
+    let journal = r.take_bytes()?;
+    let rewrites = r.take_bytes()?;
+    if !r.is_empty() {
+        return Err(PersistError::Format(format!(
+            "{} trailing bytes after the extra section",
+            r.remaining()
+        )));
+    }
+    Ok((hwm, journal, rewrites))
 }
 
 /// Refuse a restored rewrite table whose annotations or aggregate values

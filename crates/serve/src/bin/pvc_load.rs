@@ -5,8 +5,14 @@
 //!
 //! ```text
 //! pvc-load clients=4 requests=50 tenants=2 shops=24 per_shop=3 \
-//!          threads=0 queue_depth=64 compact_every=4 snapshot_dir=/tmp/pvc-snaps
+//!          threads=0 queue_depth=64 compact_every=4 snapshot_dir=/tmp/pvc-snaps \
+//!          durability=always timeout_ms=5000
 //! ```
+//!
+//! `--timeout-ms=N` (or `timeout_ms=N`) bounds each ticket wait with
+//! [`pvc_serve::Ticket::wait_timeout`]; expiries are reported as `timeouts`.
+//! `durability=` selects the write-ahead-log fsync mode (`none`, `batch`,
+//! `always`) when a `snapshot_dir` is configured.
 //!
 //! With `--metrics` (or `metrics=1`) the process-wide observability registry
 //! and span counting are enabled for the run, and the output becomes
@@ -39,6 +45,8 @@ fn main() {
             eprintln!("ignoring argument without '=': {arg:?}");
             continue;
         };
+        let normalized = key.strip_prefix("--").unwrap_or(key).replace('-', "_");
+        let key = normalized.as_str();
         match key {
             "metrics" => metrics = value == "1" || value == "true",
             "clients" => config.clients = parse_usize(value, key),
@@ -54,6 +62,15 @@ fn main() {
             "snapshot_interval_ms" => {
                 serve.snapshot_interval =
                     std::time::Duration::from_millis(parse_usize(value, key) as u64)
+            }
+            "durability" => {
+                serve.durability = pvc_core::Durability::parse(value)
+                    .unwrap_or_else(|| panic!("invalid value for durability: {value:?}"))
+            }
+            "timeout_ms" => {
+                config.timeout = Some(std::time::Duration::from_millis(
+                    parse_usize(value, key) as u64
+                ))
             }
             _ => eprintln!("ignoring unknown parameter {key:?}"),
         }

@@ -27,8 +27,16 @@
 //!   invalidates selectively, so cached artifacts over untouched tables keep
 //!   answering warm across updates;
 //! * a **background snapshot thread** doing periodic, atomic
-//!   (temp-file + `rename`) [`Engine::save_artifacts`] saves, so a crashed or
-//!   killed server restarts **warm** from the last complete snapshot.
+//!   (temp-file + `rename`) [`Engine::save_artifacts`] saves — with
+//!   retry-and-backoff and graceful degradation to WAL-only durability when
+//!   storage misbehaves — so a crashed or killed server restarts **warm**
+//!   from the last complete snapshot;
+//! * **crash-safe durability** (see `docs/DURABILITY.md`): every acknowledged
+//!   delta is appended to a per-tenant write-ahead log *before* it is applied
+//!   (fsync discipline per [`ServeConfig::durability`]), logs rotate after
+//!   each successful snapshot, and [`Server::start`] sweeps stale temp files,
+//!   restores the newest snapshot and replays the log past its high-water
+//!   mark — so a `kill -9` at any point loses no acknowledged write.
 //!
 //! The request lifecycle is `submit → admit → batch → pool → stream`: a
 //! submitted query is admission-checked, queued, picked up by the scheduler in
@@ -65,10 +73,11 @@
 
 pub mod loadgen;
 
-use pvc_core::{obs, CacheConfig, CompactionStats, WorkerPool};
+use pvc_core::persist::storage::sweep_stale_temps;
+use pvc_core::{obs, CacheConfig, CompactionStats, Durability, FsStorage, Storage, WorkerPool};
 use pvc_db::{
     CacheStats, Database, Delta, DeltaStats, Engine, Error as DbError, EvalOptions, ProbTuple,
-    Query,
+    Query, RecoverOptions, RecoveryReport,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -104,14 +113,32 @@ pub struct ServeConfig {
     /// Entry/byte bounds for each tenant's artifact caches (and, via the
     /// engine, its step-I rewrite cache).
     pub cache: CacheConfig,
-    /// Directory for periodic artifact snapshots (`<dir>/<tenant>.snap`).
-    /// `None` disables snapshotting. On start, tenants restore warm from an
-    /// existing readable snapshot; unreadable or mismatched files fall back to
-    /// a cold start (never an aborted server).
+    /// Directory for durable state: periodic artifact snapshots
+    /// (`<dir>/<tenant>.snap`) **and** per-tenant delta write-ahead logs
+    /// (`<dir>/<tenant>.wal`). `None` disables both. On start, tenants restore
+    /// warm from an existing readable snapshot and replay logged deltas past
+    /// its high-water mark; an unreadable or mismatched snapshot falls back to
+    /// a cold start with full replay (never an aborted server).
     pub snapshot_dir: Option<PathBuf>,
     /// Interval between background snapshot passes (ignored without
     /// [`ServeConfig::snapshot_dir`]).
     pub snapshot_interval: Duration,
+    /// Fsync discipline of the per-tenant write-ahead logs (ignored without
+    /// [`ServeConfig::snapshot_dir`]). [`Durability::Always`] — the default —
+    /// fsyncs before a delta is acknowledged; [`Durability::Batch`] defers the
+    /// fsync to the next snapshot pass or shutdown; [`Durability::None`]
+    /// leaves flushing to the OS.
+    pub durability: Durability,
+    /// Additional attempts per tenant when a background snapshot save fails
+    /// transiently (capped exponential backoff between attempts). After the
+    /// last attempt the server degrades to WAL-only durability for that pass
+    /// — surfaced as `persist.degraded` in [`Server::metrics_snapshot`] — and
+    /// keeps serving.
+    pub snapshot_retries: u32,
+    /// The storage backend every durable write goes through. The default
+    /// [`FsStorage`] is the real filesystem; tests inject
+    /// [`pvc_core::FaultyStorage`] to exercise crash/fault paths.
+    pub storage: Arc<dyn Storage>,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +152,9 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             snapshot_dir: None,
             snapshot_interval: Duration::from_secs(30),
+            durability: Durability::Always,
+            snapshot_retries: 2,
+            storage: FsStorage::shared(),
         }
     }
 }
@@ -171,6 +201,24 @@ impl ServeConfig {
         self.snapshot_interval = interval;
         self
     }
+
+    /// Set the write-ahead-log fsync discipline.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Set the per-tenant snapshot retry count.
+    pub fn with_snapshot_retries(mut self, retries: u32) -> Self {
+        self.snapshot_retries = retries;
+        self
+    }
+
+    /// Set the storage backend for snapshots and write-ahead logs.
+    pub fn with_storage(mut self, storage: Arc<dyn Storage>) -> Self {
+        self.storage = storage;
+        self
+    }
 }
 
 /// Typed failures of the serving runtime.
@@ -195,6 +243,14 @@ pub enum ServeError {
         /// Result streams alive when the write was rejected.
         in_flight: usize,
     },
+    /// [`Ticket::wait_timeout`] gave up before the scheduler dispatched the
+    /// request. The request itself is **still queued** and will execute; only
+    /// this waiter stopped listening (its result stream is dropped on arrival,
+    /// cancelling the work).
+    Timeout {
+        /// How long the waiter was prepared to wait.
+        waited: Duration,
+    },
     /// The underlying engine failed (validation, compile budget, worker error…).
     Engine(DbError),
     /// The runtime itself failed to start (e.g. thread spawning).
@@ -214,6 +270,9 @@ impl fmt::Display for ServeError {
                 f,
                 "write rejected: tenant has {in_flight} live result streams (drain and retry)"
             ),
+            ServeError::Timeout { waited } => {
+                write!(f, "request not dispatched within {waited:?}")
+            }
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Runtime(msg) => write!(f, "serving runtime error: {msg}"),
         }
@@ -247,6 +306,13 @@ struct ServeMetrics {
     queue_depth: obs::Gauge,
     /// `serve.batch.size` — scheduler batch sizes.
     batch_size: obs::Histogram,
+    /// `persist.snapshot_failures` — failed snapshot save attempts (each retry
+    /// that fails counts), across all tenants.
+    snapshot_failures: obs::Counter,
+    /// `persist.degraded` — 1 while the server is degraded to WAL-only
+    /// durability (the last snapshot pass left at least one tenant without a
+    /// fresh snapshot), 0 once a pass fully succeeds again.
+    degraded: obs::Gauge,
 }
 
 fn serve_metrics() -> &'static ServeMetrics {
@@ -257,6 +323,8 @@ fn serve_metrics() -> &'static ServeMetrics {
             admission_rejected: registry.counter("serve.admission.rejected"),
             queue_depth: registry.gauge("serve.queue.depth"),
             batch_size: registry.histogram("serve.batch.size"),
+            snapshot_failures: registry.counter("persist.snapshot_failures"),
+            degraded: registry.gauge("persist.degraded"),
         }
     })
 }
@@ -343,6 +411,9 @@ struct Tenant {
     rejected_metric: obs::Counter,
     /// Registry mirror of `queue_hwm` (`serve.tenant.<name>.queue_hwm`).
     queue_hwm_metric: obs::Gauge,
+    /// What crash recovery found for this tenant at start (all-default when
+    /// durability is disabled). Immutable after construction.
+    recovery: RecoveryReport,
 }
 
 #[derive(Debug, Default)]
@@ -356,6 +427,11 @@ struct ServerCounters {
     deltas: AtomicU64,
     snapshots: AtomicU64,
     snapshot_failures: AtomicU64,
+    /// 1 while the last snapshot pass left a tenant unsaved (WAL-only
+    /// durability), 0 otherwise. Gauge semantics in an atomic.
+    degraded: AtomicU64,
+    swept_temps: AtomicU64,
+    wal_replayed: AtomicU64,
 }
 
 /// State shared by the public handle, the scheduler and the snapshot thread.
@@ -394,6 +470,14 @@ pub struct ServerStats {
     pub snapshots: u64,
     /// Snapshot attempts that failed (the previous snapshot stays intact).
     pub snapshot_failures: u64,
+    /// Whether the server is currently degraded to WAL-only durability (the
+    /// last snapshot pass could not save every tenant even with retries).
+    pub degraded: bool,
+    /// Stale temp files (`*.tmp.<pid>`) swept from the snapshot directory at
+    /// start — litter from a previous process killed mid-publish.
+    pub swept_temps: u64,
+    /// Write-ahead-log records replayed across all tenants at start.
+    pub wal_replayed: u64,
     /// Requests currently pending in the submission queue.
     pub queued: usize,
     /// Width of the persistent worker pool.
@@ -423,6 +507,19 @@ impl Ticket {
         self.receiver
             .recv()
             .unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Wait at most `timeout` for the request to be dispatched. On expiry the
+    /// ticket is consumed and [`ServeError::Timeout`] is returned; the request
+    /// stays queued, but its result stream is dropped on arrival (cancelling
+    /// the work) since nobody holds the receiver anymore.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ResultStream, ServeError> {
+        use std::sync::mpsc::RecvTimeoutError;
+        match self.receiver.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::Timeout { waited: timeout }),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+        }
     }
 }
 
@@ -479,11 +576,17 @@ impl Iterator for ResultStream {
 impl Server {
     /// Start a server over the given tenants (name → database).
     ///
-    /// When [`ServeConfig::snapshot_dir`] is set, each tenant first tries to
-    /// restore **warm** from `<dir>/<tenant>.snap`; a missing, truncated or
-    /// mismatched snapshot falls back to a cold engine (the server always
-    /// starts). The worker pool, scheduler thread and — with a snapshot dir —
-    /// the background snapshot thread are all running when this returns.
+    /// When [`ServeConfig::snapshot_dir`] is set, start first sweeps stale
+    /// temp files a killed predecessor left behind, then recovers each tenant:
+    /// restore **warm** from `<dir>/<tenant>.snap` when it exists and
+    /// verifies, replay the write-ahead log `<dir>/<tenant>.wal` past the
+    /// snapshot's high-water mark, and keep the log attached for future
+    /// writes. A missing, truncated or mismatched snapshot falls back to a
+    /// cold start with full replay (the server still starts); only a WAL whose
+    /// acknowledged records cannot be re-applied fails the start — serving a
+    /// silently stale database would be data loss. The worker pool, scheduler
+    /// thread and — with a snapshot dir — the background snapshot thread are
+    /// all running when this returns.
     pub fn start(
         tenants: Vec<(String, Database)>,
         config: ServeConfig,
@@ -492,21 +595,35 @@ impl Server {
             WorkerPool::new(config.threads)
                 .map_err(|e| ServeError::Runtime(format!("failed to start worker pool: {e}")))?,
         );
+        let mut swept_temps = 0u64;
+        if let Some(dir) = config.snapshot_dir.as_ref() {
+            let _ = std::fs::create_dir_all(dir);
+            // Litter from a process killed between staging and rename; the
+            // rename either happened (the snapshot is whole) or did not (the
+            // old snapshot is whole), so temps are always safe to delete.
+            swept_temps = sweep_stale_temps(config.storage.as_ref(), dir).unwrap_or(0) as u64;
+        }
+        let mut wal_replayed = 0u64;
         let mut tenant_map = BTreeMap::new();
         for (name, db) in tenants {
-            let engine = match snapshot_path(&config, &name) {
-                Some(path) if path.exists() => {
-                    // A readable snapshot starts this tenant warm; anything
-                    // else (corrupt file, different database) starts it cold —
-                    // the atomic writer guarantees the file at this path is a
-                    // *complete* snapshot or absent, never a torn one.
-                    match Engine::with_artifacts_from(db.clone(), &path) {
-                        Ok(engine) => engine,
-                        Err(_) => Engine::with_cache_config(db, config.cache),
+            let (engine, recovery) = match wal_path(&config, &name) {
+                Some(wal) => {
+                    let mut options = RecoverOptions::new(wal)
+                        .with_durability(config.durability)
+                        .with_cache(config.cache)
+                        .with_tenant(name.clone());
+                    if let Some(snap) = snapshot_path(&config, &name) {
+                        options = options.with_snapshot(snap);
                     }
+                    Engine::recover_with(Arc::clone(&config.storage), db, &options)
+                        .map_err(ServeError::Engine)?
                 }
-                _ => Engine::with_cache_config(db, config.cache),
+                None => (
+                    Engine::with_cache_config(db, config.cache),
+                    RecoveryReport::default(),
+                ),
             };
+            wal_replayed += recovery.wal_replayed as u64;
             let rejected_metric = obs::global().counter(&format!("serve.tenant.{name}.rejected"));
             let queue_hwm_metric = obs::global().gauge(&format!("serve.tenant.{name}.queue_hwm"));
             tenant_map.insert(
@@ -520,16 +637,20 @@ impl Server {
                     queue_hwm: AtomicUsize::new(0),
                     rejected_metric,
                     queue_hwm_metric,
+                    recovery,
                 },
             );
         }
+        let counters = ServerCounters::default();
+        counters.swept_temps.store(swept_temps, Ordering::Relaxed);
+        counters.wal_replayed.store(wal_replayed, Ordering::Relaxed);
         let shared = Arc::new(ServerShared {
             tenants: tenant_map,
             queue: Mutex::new(SubmitQueue::default()),
             work_ready: Condvar::new(),
             pool,
             config,
-            counters: ServerCounters::default(),
+            counters,
             snapshot_stop: Mutex::new(false),
             snapshot_wake: Condvar::new(),
         });
@@ -624,6 +745,9 @@ impl Server {
             deltas: c.deltas.load(Ordering::Relaxed),
             snapshots: c.snapshots.load(Ordering::Relaxed),
             snapshot_failures: c.snapshot_failures.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed) != 0,
+            swept_temps: c.swept_temps.load(Ordering::Relaxed),
+            wal_replayed: c.wal_replayed.load(Ordering::Relaxed),
             queued: self
                 .shared
                 .queue
@@ -679,6 +803,14 @@ impl Server {
     /// post-delta database. Cached artifacts whose variables are disjoint
     /// from the delta survive, so the next queries over untouched tables stay
     /// warm (see [`Engine::apply_delta`]).
+    ///
+    /// With a [`ServeConfig::snapshot_dir`], the delta is appended to the
+    /// tenant's write-ahead log **before** it is applied: under
+    /// [`Durability::Always`] an `Ok` here means the write is on stable
+    /// storage and survives any crash; under [`Durability::Batch`] it is
+    /// logged but only fsynced at the next snapshot pass or shutdown. An
+    /// append failure refuses the delta atomically ([`ServeError::Engine`]
+    /// wrapping [`pvc_db::Error::Wal`]) without touching the database.
     pub fn apply_delta(&self, tenant: &str, delta: Delta) -> Result<DeltaStats, ServeError> {
         let tenant_state = self
             .shared
@@ -709,6 +841,18 @@ impl Server {
                     .expect("tenant engine poisoned")
                     .cache_stats()
             })
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))
+    }
+
+    /// What crash recovery found for one tenant at start: whether the
+    /// snapshot restored, how many logged deltas replayed, and how many torn
+    /// bytes the write-ahead-log open truncated. All-default when the server
+    /// runs without a [`ServeConfig::snapshot_dir`].
+    pub fn recovery_report(&self, tenant: &str) -> Result<RecoveryReport, ServeError> {
+        self.shared
+            .tenants
+            .get(tenant)
+            .map(|t| t.recovery.clone())
             .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))
     }
 
@@ -773,6 +917,14 @@ fn snapshot_path(config: &ServeConfig, tenant: &str) -> Option<PathBuf> {
         .snapshot_dir
         .as_ref()
         .map(|dir| dir.join(format!("{tenant}.snap")))
+}
+
+/// The per-tenant write-ahead log, when durability is configured.
+fn wal_path(config: &ServeConfig, tenant: &str) -> Option<PathBuf> {
+    config
+        .snapshot_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("{tenant}.wal")))
 }
 
 /// Flag both background threads to stop and wake them.
@@ -910,11 +1062,64 @@ fn compact_due_tenants(shared: &ServerShared) {
     }
 }
 
-/// Write one snapshot per tenant (each atomic: temp file + rename), returning
-/// how many succeeded. Failures leave the previous snapshot intact and are
-/// only counted — the server keeps serving.
+/// Base backoff between snapshot retry attempts (doubled per retry, capped).
+const SNAPSHOT_BACKOFF_BASE: Duration = Duration::from_millis(25);
+const SNAPSHOT_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
+/// Save one tenant's snapshot with retry-and-backoff, rotating its
+/// write-ahead log past the snapshotted high-water mark on success. Every
+/// failed attempt counts in `snapshot_failures`; the engine lock is released
+/// between attempts so serving continues while this backs off.
+fn snapshot_tenant(shared: &ServerShared, tenant: &Tenant, path: &std::path::Path) -> bool {
+    let mut backoff = SNAPSHOT_BACKOFF_BASE;
+    for attempt in 0..=shared.config.snapshot_retries {
+        let saved = {
+            let mut engine = tenant.engine.lock().expect("tenant engine poisoned");
+            // Flush pending Batch-durability appends first: the snapshot's
+            // high-water mark must never be ahead of the durable log.
+            engine
+                .sync_wal()
+                .and_then(|_| {
+                    engine.save_artifacts_with(shared.config.storage.as_ref(), path)?;
+                    Ok(engine.wal_high_water())
+                })
+                .map(|hwm| {
+                    // The snapshot at `path` now durably covers every record
+                    // up to `hwm`: drop them from the log. A rotation failure
+                    // (or a crash mid-rotation) only leaves the log longer
+                    // than needed — replay filters on the high-water mark, so
+                    // it stays idempotent.
+                    if let Some(wal) = engine.wal_mut() {
+                        let _ = wal.rotate(hwm);
+                    }
+                })
+        };
+        match saved {
+            Ok(()) => return true,
+            Err(_) => {
+                shared
+                    .counters
+                    .snapshot_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                serve_metrics().snapshot_failures.inc();
+                if attempt < shared.config.snapshot_retries {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(SNAPSHOT_BACKOFF_CAP);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Write one snapshot per tenant (each atomic: temp file + rename, with
+/// retries — see [`snapshot_tenant`]), returning how many succeeded. A tenant
+/// whose save keeps failing leaves its previous snapshot intact and degrades
+/// to WAL-only durability until the next pass: the server keeps serving, with
+/// `persist.degraded` set to 1 so operators can see the state.
 fn snapshot_all(shared: &ServerShared) -> usize {
     let mut written = 0usize;
+    let mut failed = 0usize;
     for (name, tenant) in &shared.tenants {
         let Some(path) = snapshot_path(&shared.config, name) else {
             continue;
@@ -922,24 +1127,19 @@ fn snapshot_all(shared: &ServerShared) -> usize {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        let saved = tenant
-            .engine
-            .lock()
-            .expect("tenant engine poisoned")
-            .save_artifacts(&path);
-        match saved {
-            Ok(_) => {
-                written += 1;
-                shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                shared
-                    .counters
-                    .snapshot_failures
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+        if snapshot_tenant(shared, tenant, &path) {
+            written += 1;
+            shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+        } else {
+            failed += 1;
         }
     }
+    let degraded = failed > 0;
+    shared
+        .counters
+        .degraded
+        .store(degraded as u64, Ordering::Relaxed);
+    serve_metrics().degraded.set(degraded as u64);
     written
 }
 
@@ -1011,6 +1211,31 @@ mod tests {
         queue.shutdown = true;
         assert!(matches!(
             admit(&mut queue, 3, dummy_request()),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn ticket_wait_timeout_returns_typed_errors() {
+        // Nobody ever replies: the wait must come back as a typed Timeout
+        // carrying the bound it honoured, not block or panic.
+        let (reply, receiver) = std::sync::mpsc::sync_channel(1);
+        let ticket = Ticket { receiver };
+        let bound = Duration::from_millis(10);
+        match ticket.wait_timeout(bound) {
+            Err(ServeError::Timeout { waited }) => assert_eq!(waited, bound),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        drop(reply);
+
+        // A dropped reply half (server tore down the queue) is ShuttingDown,
+        // distinguishable from expiry.
+        let (reply, receiver) =
+            std::sync::mpsc::sync_channel::<Result<ResultStream, ServeError>>(1);
+        drop(reply);
+        let ticket = Ticket { receiver };
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_secs(1)),
             Err(ServeError::ShuttingDown)
         ));
     }

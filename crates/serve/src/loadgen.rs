@@ -31,6 +31,10 @@ pub struct LoadConfig {
     pub shops: usize,
     /// Workload database scale: listings per shop.
     pub per_shop: usize,
+    /// Per-request dispatch timeout: `Some(t)` waits on each ticket with
+    /// [`crate::Ticket::wait_timeout`] and counts an expiry as a timeout
+    /// (the request is abandoned, not retried); `None` waits unboundedly.
+    pub timeout: Option<Duration>,
     /// Server configuration (pool width, queue depth, compaction epoch, …).
     pub serve: ServeConfig,
 }
@@ -43,6 +47,7 @@ impl Default for LoadConfig {
             requests_per_client: 50,
             shops: 24,
             per_shop: 3,
+            timeout: None,
             serve: ServeConfig::default().with_compact_every(4),
         }
     }
@@ -59,6 +64,9 @@ pub struct LoadReport {
     pub rejected: u64,
     /// Requests that failed in the engine.
     pub errors: u64,
+    /// Requests abandoned because [`LoadConfig::timeout`] expired before
+    /// dispatch (always 0 without a timeout).
+    pub timeouts: u64,
     /// Wall-clock duration of the run in seconds.
     pub elapsed_s: f64,
     /// Completed requests per second, sustained over the whole run.
@@ -81,6 +89,7 @@ impl LoadReport {
         format!(
             concat!(
                 "{{\"requests\": {}, \"completed\": {}, \"rejected\": {}, \"errors\": {}, ",
+                "\"timeouts\": {}, ",
                 "\"elapsed_s\": {:.6}, \"qps\": {:.3}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, ",
                 "\"mean_s\": {:.6}, \"max_s\": {:.6}, \"batches\": {}, \"compactions\": {}, ",
                 "\"snapshots\": {}, \"pool_threads\": {}, \"pool_executed_jobs\": {}}}"
@@ -89,6 +98,7 @@ impl LoadReport {
             self.completed,
             self.rejected,
             self.errors,
+            self.timeouts,
             self.elapsed_s,
             self.qps,
             self.p50_s,
@@ -229,10 +239,12 @@ fn run_inner(
         let mix = Arc::clone(&mix);
         let tenant_names = Arc::clone(&tenant_names);
         let requests = config.requests_per_client;
+        let timeout = config.timeout;
         handles.push(std::thread::spawn(move || {
             let mut latencies = Vec::with_capacity(requests);
             let mut rejected = 0u64;
             let mut errors = 0u64;
+            let mut timeouts = 0u64;
             for i in 0..requests {
                 let query = mix[(client * 3 + i) % mix.len()].clone();
                 let tenant = &tenant_names[(client + i) % tenant_names.len()];
@@ -242,13 +254,23 @@ fn run_inner(
                 // rejection count measures the admission pressure.
                 let stream = loop {
                     match server.submit(tenant, query.clone()) {
-                        Ok(ticket) => match ticket.wait() {
-                            Ok(stream) => break Some(stream),
-                            Err(_) => {
-                                errors += 1;
-                                break None;
+                        Ok(ticket) => {
+                            let waited = match timeout {
+                                Some(t) => ticket.wait_timeout(t),
+                                None => ticket.wait(),
+                            };
+                            match waited {
+                                Ok(stream) => break Some(stream),
+                                Err(ServeError::Timeout { .. }) => {
+                                    timeouts += 1;
+                                    break None;
+                                }
+                                Err(_) => {
+                                    errors += 1;
+                                    break None;
+                                }
                             }
-                        },
+                        }
                         Err(ServeError::Overloaded { .. }) => {
                             rejected += 1;
                             std::thread::sleep(Duration::from_micros(200));
@@ -273,19 +295,21 @@ fn run_inner(
                     }
                 }
             }
-            (latencies, rejected, errors)
+            (latencies, rejected, errors, timeouts)
         }));
     }
 
     let mut latencies = Vec::new();
     let mut rejected = 0u64;
     let mut errors = 0u64;
+    let mut timeouts = 0u64;
     for handle in handles {
-        let (client_latencies, client_rejected, client_errors) =
+        let (client_latencies, client_rejected, client_errors, client_timeouts) =
             handle.join().expect("load client panicked");
         latencies.extend(client_latencies);
         rejected += client_rejected;
         errors += client_errors;
+        timeouts += client_timeouts;
     }
     let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
     let server = Arc::try_unwrap(server).expect("load clients have exited");
@@ -306,6 +330,7 @@ fn run_inner(
         completed,
         rejected,
         errors,
+        timeouts,
         elapsed_s,
         qps: completed as f64 / elapsed_s,
         p50_s: percentile(&latencies, 0.50),
@@ -351,6 +376,7 @@ mod tests {
             requests_per_client: 4,
             shops: 4,
             per_shop: 2,
+            timeout: Some(Duration::from_secs(60)),
             serve: ServeConfig::default().with_threads(2).with_compact_every(1),
         };
         let report = run(&config).unwrap();

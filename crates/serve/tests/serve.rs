@@ -2,10 +2,11 @@
 //! engine, admission control, bounded compaction across generations, and the
 //! crash/warm-restart story around atomic snapshots.
 
-use pvc_core::CacheConfig;
+use pvc_core::{CacheConfig, Durability, FaultConfig, FaultyStorage, Storage};
 use pvc_db::{Delta, Engine, EvalOptions, Query, Value};
 use pvc_serve::loadgen::{query_mix, workload_db};
 use pvc_serve::{ServeConfig, ServeError, Server};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn quick_config() -> ServeConfig {
@@ -306,6 +307,205 @@ fn apply_delta_takes_writes_between_batches_and_keeps_other_tables_warm() {
     ));
     let stats = server.shutdown();
     assert_eq!(stats.deltas, 1);
+}
+
+/// Reference confidences for `query` on `db` after applying `deltas`, as raw
+/// bits so comparisons are exact.
+fn reference_bits(db: pvc_db::Database, deltas: &[Delta], query: &Query) -> Vec<(Vec<Value>, u64)> {
+    let mut engine = Engine::new(db);
+    for delta in deltas {
+        engine.apply_delta(delta.clone()).unwrap();
+    }
+    engine
+        .prepare(query)
+        .unwrap()
+        .execute(&EvalOptions::default())
+        .unwrap()
+        .tuples
+        .iter()
+        .map(|t| (t.values.clone(), t.confidence.to_bits()))
+        .collect()
+}
+
+/// Served confidences for `query`, as raw bits.
+fn served_bits(server: &Server, query: &Query) -> Vec<(Vec<Value>, u64)> {
+    server
+        .submit("t0", query.clone())
+        .unwrap()
+        .wait()
+        .unwrap()
+        .map(|t| t.map(|t| (t.values, t.confidence.to_bits())))
+        .collect::<Result<_, _>>()
+        .unwrap()
+}
+
+#[test]
+fn startup_sweeps_stale_temp_litter() {
+    let dir = scratch_dir("sweep-litter");
+    // Litter as left by predecessors killed mid-publish (any pid, snapshots
+    // and WALs alike); a non-temp file must survive the sweep.
+    std::fs::write(dir.join("t0.snap.tmp.4242"), b"torn snapshot half").unwrap();
+    std::fs::write(dir.join("t0.wal.tmp.777"), b"stray").unwrap();
+    std::fs::write(dir.join("README"), b"not litter").unwrap();
+    let config = quick_config()
+        .with_snapshot_dir(&dir)
+        .with_snapshot_interval(Duration::from_secs(3600));
+    let server = Server::start(vec![("t0".into(), workload_db(2, 1))], config).unwrap();
+    assert_eq!(server.stats().swept_temps, 2);
+    assert!(!dir.join("t0.snap.tmp.4242").exists());
+    assert!(!dir.join("t0.wal.tmp.777").exists());
+    assert!(dir.join("README").exists());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn acknowledged_deltas_survive_an_unclean_restart() {
+    let dir = scratch_dir("wal-restart");
+    let config = quick_config()
+        .with_snapshot_dir(&dir)
+        .with_snapshot_interval(Duration::from_secs(3600)) // only explicit saves
+        .with_durability(Durability::Always);
+    let query = Query::table("P1").project(["pid", "weight"]);
+    let deltas = vec![
+        Delta::new().insert("P1", vec![901i64.into(), 1i64.into()], 0.7),
+        Delta::new().insert("P1", vec![902i64.into(), 2i64.into()], 0.4),
+        Delta::new().set_probability("P1", 0, 0.9),
+    ];
+    let reference = reference_bits(workload_db(4, 2), &deltas, &query);
+
+    // First "process": acknowledge three deltas, then die without shutdown —
+    // no final snapshot, no WAL rotation. Under Durability::Always the log is
+    // the only durable record.
+    {
+        let server = Server::start(vec![("t0".into(), workload_db(4, 2))], config.clone()).unwrap();
+        for delta in &deltas {
+            server.apply_delta("t0", delta.clone()).unwrap();
+        }
+        drop(server); // crash: Drop joins threads but persists nothing
+    }
+    assert!(!dir.join("t0.snap").exists(), "no snapshot must exist yet");
+
+    // Second "process": replay rebuilds every acknowledged delta,
+    // bit-identically.
+    {
+        let server = Server::start(vec![("t0".into(), workload_db(4, 2))], config.clone()).unwrap();
+        let report = server.recovery_report("t0").unwrap();
+        assert!(!report.snapshot_restored);
+        assert_eq!(report.wal_replayed, 3);
+        assert_eq!(server.stats().wal_replayed, 3);
+        assert_eq!(served_bits(&server, &query), reference);
+        // Clean shutdown: final snapshot + WAL rotation.
+        server.shutdown();
+    }
+    assert!(dir.join("t0.snap").exists());
+
+    // Third "process": the snapshot now carries the deltas (its embedded
+    // journal re-derives them from the base database); nothing replays from
+    // the rotated log, and results are still bit-identical.
+    {
+        let server = Server::start(vec![("t0".into(), workload_db(4, 2))], config).unwrap();
+        let report = server.recovery_report("t0").unwrap();
+        assert!(
+            report.snapshot_restored,
+            "post-delta snapshot must restore against the base db: {report:?}"
+        );
+        assert_eq!(report.wal_replayed, 0);
+        assert_eq!(served_bits(&server, &query), reference);
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_drops_only_the_unacknowledged_record() {
+    let dir = scratch_dir("wal-torn");
+    let config = quick_config()
+        .with_snapshot_dir(&dir)
+        .with_snapshot_interval(Duration::from_secs(3600))
+        .with_durability(Durability::Always);
+    let query = Query::table("P1").project(["pid", "weight"]);
+    let deltas = vec![
+        Delta::new().insert("P1", vec![901i64.into(), 1i64.into()], 0.7),
+        Delta::new().insert("P1", vec![902i64.into(), 2i64.into()], 0.4),
+    ];
+    {
+        let server = Server::start(vec![("t0".into(), workload_db(4, 2))], config.clone()).unwrap();
+        for delta in &deltas {
+            server.apply_delta("t0", delta.clone()).unwrap();
+        }
+        drop(server);
+    }
+    // Amputate the record the "crash" interrupted mid-append.
+    let wal = dir.join("t0.wal");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+
+    let server = Server::start(vec![("t0".into(), workload_db(4, 2))], config).unwrap();
+    let report = server.recovery_report("t0").unwrap();
+    assert_eq!(report.wal_replayed, 1, "{report:?}");
+    assert!(report.wal_tail_dropped_bytes > 0);
+    let reference = reference_bits(workload_db(4, 2), &deltas[..1], &query);
+    assert_eq!(served_bits(&server, &query), reference);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_faults_degrade_to_wal_only_and_recover_after_restart() {
+    let dir = scratch_dir("degraded");
+    let faulty: Arc<dyn Storage> = Arc::new(FaultyStorage::new(
+        7,
+        FaultConfig {
+            torn_rename: 1.0, // every snapshot publish dies before the rename
+            ..FaultConfig::none()
+        },
+    ));
+    let config = quick_config()
+        .with_snapshot_dir(&dir)
+        .with_snapshot_interval(Duration::from_secs(3600))
+        .with_durability(Durability::Always)
+        .with_snapshot_retries(1);
+    let query = Query::table("P1").project(["pid", "weight"]);
+    let delta = Delta::new().insert("P1", vec![901i64.into(), 1i64.into()], 0.7);
+    {
+        let server = Server::start(
+            vec![("t0".into(), workload_db(4, 2))],
+            config.clone().with_storage(Arc::clone(&faulty)),
+        )
+        .unwrap();
+        // WAL appends are unaffected: the delta is acknowledged durably.
+        server.apply_delta("t0", delta.clone()).unwrap();
+        // Every snapshot attempt (initial + retry) fails; the server degrades
+        // to WAL-only durability instead of dying.
+        assert_eq!(server.snapshot_now().unwrap(), 0);
+        let stats = server.stats();
+        assert!(
+            stats.degraded,
+            "failed snapshot pass must degrade: {stats:?}"
+        );
+        assert!(stats.snapshot_failures >= 2, "{stats:?}");
+        // Still serving, with the delta visible.
+        let reference = reference_bits(workload_db(4, 2), std::slice::from_ref(&delta), &query);
+        assert_eq!(served_bits(&server, &query), reference);
+        drop(server); // crash while degraded
+    }
+    assert!(!dir.join("t0.snap").exists(), "no publish ever completed");
+
+    // Restart on healthy storage: the stranded temp litter is swept and the
+    // WAL alone rebuilds the acknowledged state.
+    let server = Server::start(vec![("t0".into(), workload_db(4, 2))], config).unwrap();
+    let stats = server.stats();
+    assert!(
+        stats.swept_temps > 0,
+        "torn publishes leave temps: {stats:?}"
+    );
+    assert!(!stats.degraded);
+    assert_eq!(server.recovery_report("t0").unwrap().wal_replayed, 1);
+    let reference = reference_bits(workload_db(4, 2), &[delta], &query);
+    assert_eq!(served_bits(&server, &query), reference);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
