@@ -9,7 +9,10 @@ use crate::stats::{timed_over_seeds, Measurement};
 use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind};
 use pvc_core::{obs, CompileOptions, Compiler};
 use pvc_db::{try_evaluate, Engine, EvalOptions};
-use pvc_prob::{convolve_additive, Dist, DistRepr, MonoidDist};
+use pvc_prob::{
+    convolve_additive, convolve_additive_chained, fft_would_run, ChainVal, DenseDist, Dist,
+    DistRepr, MonoidDist,
+};
 use pvc_serve::loadgen::{LoadConfig, LoadReport};
 use pvc_serve::ServeConfig;
 use pvc_tpch::{deterministic_copy, generate, TpchConfig};
@@ -1166,10 +1169,36 @@ pub struct KernelReport {
     /// Whether [`DistRepr::of`] chose the dense representation for the contiguous
     /// operand (behavioural regression guard).
     pub dense_chosen: bool,
+    /// Cell count of each operand in the FFT crossover probe.
+    pub fft_support: usize,
+    /// Seconds per convolution of the FFT-probe operands through the adaptive
+    /// kernel (the spectral path past the crossover).
+    pub fft_conv_s: f64,
+    /// Seconds per convolution of the same operands through the exact chunked
+    /// kernel (what the spectral path replaces).
+    pub fft_naive_s: f64,
+    /// `fft_naive_s / fft_conv_s` — the spectral path's win past the crossover.
+    pub fft_speedup: f64,
+    /// Whether [`fft_would_run`] selects the spectral path for the probe
+    /// operands (behavioural regression guard).
+    pub fft_chosen: bool,
+    /// Number of terms in the dense-chain fold scenario.
+    pub chain_len: usize,
+    /// Seconds per full fold with the accumulator threaded through the chained
+    /// kernel (dense end to end, one materialisation at the root).
+    pub chain_chained_s: f64,
+    /// Seconds per full fold with a dense→sparse round-trip after every step
+    /// (the pre-chaining behaviour).
+    pub chain_stepwise_s: f64,
+    /// `chain_stepwise_s / chain_chained_s` — what staying dense buys.
+    pub chain_speedup: f64,
     /// Cold streaming latency to the first tuple of the threshold MIN query.
     pub min_first_tuple_s: f64,
     /// Cold wall-clock of the full threshold MIN query.
     pub min_total_s: f64,
+    /// Why the FFT speedup gate is dormant for this run (operands below the
+    /// crossover), or `None` when the gate should be enforced.
+    pub skipped_reason: Option<String>,
 }
 
 impl KernelReport {
@@ -1185,11 +1214,27 @@ impl KernelReport {
             ),
             ("dense_speedup", format!("{:.2}", self.dense_speedup)),
             ("dense_chosen", format!("{}", u8::from(self.dense_chosen))),
+            ("fft_support", format!("{}", self.fft_support)),
+            ("fft_conv_s", format!("{:.9}", self.fft_conv_s)),
+            ("fft_naive_s", format!("{:.9}", self.fft_naive_s)),
+            ("fft_speedup", format!("{:.2}", self.fft_speedup)),
+            ("fft_chosen", format!("{}", u8::from(self.fft_chosen))),
+            ("chain_len", format!("{}", self.chain_len)),
+            ("chain_chained_s", format!("{:.9}", self.chain_chained_s)),
+            ("chain_stepwise_s", format!("{:.9}", self.chain_stepwise_s)),
+            ("chain_speedup", format!("{:.2}", self.chain_speedup)),
             (
                 "min_first_tuple_s",
                 format!("{:.6}", self.min_first_tuple_s),
             ),
             ("min_total_s", format!("{:.6}", self.min_total_s)),
+            (
+                "skipped_reason",
+                match &self.skipped_reason {
+                    Some(reason) => format!("{:?}", reason),
+                    None => "null".to_string(),
+                },
+            ),
         ]
     }
 
@@ -1210,15 +1255,25 @@ impl KernelReport {
 }
 
 /// Header of the kernel experiment table.
-pub const KERNEL_HEADER: [&str; 8] = [
+pub const KERNEL_HEADER: [&str; 18] = [
     "support",
     "sparse_conv_s",
     "dense_conv_s",
     "dense_in_sparse_s",
     "dense_speedup",
     "dense_chosen",
+    "fft_support",
+    "fft_conv_s",
+    "fft_naive_s",
+    "fft_speedup",
+    "fft_chosen",
+    "chain_len",
+    "chain_chained_s",
+    "chain_stepwise_s",
+    "chain_speedup",
     "min_first_s",
     "min_total_s",
+    "skipped_reason",
 ];
 
 /// A uniform COUNT-style distribution over the contiguous range `0..=n`.
@@ -1284,6 +1339,43 @@ pub fn experiment_kernel(scale: Scale) -> KernelReport {
         std::hint::black_box(contiguous.convolve(&contiguous, |x, y| x.saturating_add(y)));
     });
 
+    // FFT crossover probe: operands long enough that the adaptive kernel takes
+    // the spectral path, timed against the exact chunked loop on the same
+    // input. Lengths are scale-independent floors — below the crossover the
+    // comparison would measure two runs of the same code.
+    let fft_n: i64 = if full { 4096 } else { 2048 };
+    let fft_iters = if full { 40 } else { 60 };
+    let fft_operand =
+        DenseDist::from_dist(&contiguous_dist(fft_n - 1)).expect("contiguous support is dense");
+    let fft_chosen = fft_would_run(fft_operand.len(), fft_operand.len());
+    let fft_conv_s = time_per_iter(fft_iters, || {
+        std::hint::black_box(fft_operand.convolve_add(&fft_operand));
+    });
+    let fft_naive_s = time_per_iter(fft_iters, || {
+        std::hint::black_box(fft_operand.convolve_add_exact(&fft_operand));
+    });
+
+    // Dense-chain fold: many small additive convolutions in sequence — the
+    // aggregate-evaluation shape — with the accumulator either kept dense end
+    // to end or round-tripped through the sparse form after every step.
+    let chain_len = if full { 96 } else { 48 };
+    let term = contiguous_dist(3);
+    let chain_chained_s = time_per_iter(iters, || {
+        let mut scratch = Vec::new();
+        let mut acc = ChainVal::Sparse(term.clone());
+        for _ in 1..chain_len {
+            acc = convolve_additive_chained(acc, ChainVal::Sparse(term.clone()), &mut scratch);
+        }
+        std::hint::black_box(acc.into_dist());
+    });
+    let chain_stepwise_s = time_per_iter(iters, || {
+        let mut acc = term.clone();
+        for _ in 1..chain_len {
+            acc = convolve_additive(&acc, &term);
+        }
+        std::hint::black_box(acc);
+    });
+
     // Threshold MIN query: cold engine, streaming first-tuple latency plus the
     // full cold execution.
     let (shops, per_shop) = if full { (60, 8) } else { (24, 5) };
@@ -1317,8 +1409,23 @@ pub fn experiment_kernel(scale: Scale) -> KernelReport {
         dense_input_sparse_s,
         dense_speedup: dense_input_sparse_s / dense_conv_s.max(1e-12),
         dense_chosen: DistRepr::of(&contiguous).is_dense(),
+        fft_support: fft_n as usize,
+        fft_conv_s,
+        fft_naive_s,
+        fft_speedup: fft_naive_s / fft_conv_s.max(1e-12),
+        fft_chosen,
+        chain_len,
+        chain_chained_s,
+        chain_stepwise_s,
+        chain_speedup: chain_stepwise_s / chain_chained_s.max(1e-12),
         min_first_tuple_s,
         min_total_s,
+        skipped_reason: (!fft_chosen).then(|| {
+            format!(
+                "probe operands ({fft_n} cells) sit below the FFT crossover; \
+                 the fft_speedup gate needs the spectral path"
+            )
+        }),
     }
 }
 
@@ -1771,13 +1878,39 @@ mod tests {
             dense_input_sparse_s: 5e-6,
             dense_speedup: 5.0,
             dense_chosen: true,
+            fft_support: 2048,
+            fft_conv_s: 2e-4,
+            fft_naive_s: 1e-3,
+            fft_speedup: 5.0,
+            fft_chosen: true,
+            chain_len: 48,
+            chain_chained_s: 1e-4,
+            chain_stepwise_s: 3e-4,
+            chain_speedup: 3.0,
             min_first_tuple_s: 0.01,
             min_total_s: 0.05,
+            skipped_reason: None,
         };
         let names: Vec<&str> = report.fields().into_iter().map(|(k, _)| k).collect();
         assert_eq!(names.len(), KERNEL_HEADER.len());
         assert_eq!(names[0], KERNEL_HEADER[0]);
         assert!(report.to_json().contains("\"dense_chosen\": 1"));
+        assert!(report.to_json().contains("\"fft_chosen\": 1"));
+        assert!(report.to_json().contains("\"skipped_reason\": null"));
+        let mut skipped = report.clone();
+        skipped.skipped_reason = Some("below the crossover".to_string());
+        assert!(skipped
+            .to_json()
+            .contains("\"skipped_reason\": \"below the crossover\""));
+    }
+
+    #[test]
+    fn kernel_fft_probe_shapes_cross_the_cutoff() {
+        // Both scales' probe operands must actually reach the spectral path,
+        // or the fft_speedup gate silently compares the exact kernel to itself.
+        for n in [2048usize, 4096] {
+            assert!(fft_would_run(n, n), "{n}-cell probe fell below the cutoff");
+        }
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub struct GateConfig {
     /// input in `experiment_kernel` (`PVC_MIN_DENSE_SPEEDUP`). The direct-index
     /// path must at least not lose to the sort-based kernel it replaces.
     pub min_dense_speedup: f64,
+    /// Minimum required FFT-vs-exact convolution speedup past the adaptive
+    /// crossover in `experiment_kernel` (`PVC_MIN_FFT_SPEEDUP`, default
+    /// break-even). Dormant — with the fresh report's own `skipped_reason` —
+    /// when the probe operands sit below the crossover (`fft_chosen = 0`), so
+    /// the check never compares two runs of the same exact kernel.
+    pub min_fft_speedup: f64,
     /// Maximum tolerated ratio of warm-from-disk first-query latency over the
     /// in-process warm latency in `experiment_warm_restart`
     /// (`PVC_MAX_DISK_WARM_RATIO`). A restored engine must answer its first
@@ -103,6 +109,7 @@ impl Default for GateConfig {
             time_floor_s: 0.05,
             min_parallel_speedup: 1.3,
             min_dense_speedup: 1.0,
+            min_fft_speedup: 1.0,
             max_disk_warm_ratio: 2.0,
             max_delta_warm_ratio: 2.0,
             warm_floor_s: 0.005,
@@ -128,6 +135,7 @@ impl GateConfig {
             time_floor_s: read("PVC_BENCH_TIME_FLOOR_S", defaults.time_floor_s),
             min_parallel_speedup: read("PVC_MIN_PARALLEL_SPEEDUP", defaults.min_parallel_speedup),
             min_dense_speedup: read("PVC_MIN_DENSE_SPEEDUP", defaults.min_dense_speedup),
+            min_fft_speedup: read("PVC_MIN_FFT_SPEEDUP", defaults.min_fft_speedup),
             max_disk_warm_ratio: read("PVC_MAX_DISK_WARM_RATIO", defaults.max_disk_warm_ratio),
             max_delta_warm_ratio: read("PVC_MAX_DELTA_WARM_RATIO", defaults.max_delta_warm_ratio),
             warm_floor_s: read("PVC_WARM_FLOOR_S", defaults.warm_floor_s),
@@ -229,6 +237,28 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> (Vec<String>,
             )),
             None => violations
                 .push("experiment_kernel: fresh run is missing `dense_speedup`".to_string()),
+        }
+        // FFT crossover: once the adaptive kernel selects the spectral path for
+        // the probe operands, it must actually beat the exact loop it replaces.
+        // Below the crossover the fresh report explains the dormancy itself
+        // (`skipped_reason`); a baseline predating the probe carries no
+        // `fft_chosen` and the gate stays off until one is committed.
+        let fft_chosen = section.get("fft_chosen").and_then(Json::as_f64);
+        match (
+            fft_chosen,
+            section.get("fft_speedup").and_then(Json::as_f64),
+        ) {
+            (Some(chosen), Some(s)) if chosen >= 1.0 && s < cfg.min_fft_speedup => {
+                violations.push(format!(
+                    "experiment_kernel: fft_speedup = {s:.2}x past the crossover \
+                     (required >= {:.2}x)",
+                    cfg.min_fft_speedup
+                ));
+            }
+            (Some(chosen), None) if chosen >= 1.0 => {
+                violations.push("experiment_kernel: fresh run is missing `fft_speedup`".to_string())
+            }
+            _ => {}
         }
         // Latency fields ride the normal floored ratio check.
         for field in ["min_first_tuple_s", "min_total_s"] {
@@ -661,6 +691,45 @@ mod tests {
         let fresh = doc(&BASE.replace("\"cross_query_hits\": 24", "\"cross_query_hits\": 0"));
         let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
         assert!(violations.iter().any(|v| v.contains("cross-query")));
+    }
+
+    #[test]
+    fn fft_speedup_below_threshold_fails_once_the_spectral_path_is_chosen() {
+        let fresh = doc(
+            r#"{"experiment_kernel": {"dense_chosen": 1, "dense_speedup": 2.0,
+                "fft_chosen": 1, "fft_speedup": 0.8}}"#,
+        );
+        let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
+        assert!(
+            violations.iter().any(|v| v.contains("fft_speedup")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn fft_gate_is_dormant_below_the_crossover() {
+        // fft_chosen = 0: the probe never reached the spectral path, so a low
+        // "speedup" is two runs of the same exact kernel — not a regression.
+        let fresh = doc(
+            r#"{"experiment_kernel": {"dense_chosen": 1, "dense_speedup": 2.0,
+                "fft_chosen": 0, "fft_speedup": 0.5,
+                "skipped_reason": "probe operands sit below the FFT crossover"}}"#,
+        );
+        let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
+        assert!(
+            !violations.iter().any(|v| v.contains("fft_speedup")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn fft_gate_stays_off_when_the_fresh_run_predates_the_probe() {
+        let fresh = doc(r#"{"experiment_kernel": {"dense_chosen": 1, "dense_speedup": 2.0}}"#);
+        let (violations, _) = compare(&doc(BASE), &fresh, &GateConfig::default());
+        assert!(
+            !violations.iter().any(|v| v.contains("fft")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ use crate::node::{DTree, DTreeError};
 use crate::persist;
 use pvc_algebra::{AggOp, CmpOp, MonoidValue, SemiringKind, SemiringValue};
 use pvc_expr::{Var, VarTable};
-use pvc_prob::{Dist, DistValue, MixedDist, MonoidDist, SemiringDist, PROB_EPS};
+use pvc_prob::repr::{convolve_additive_chained, dense_mix_bounded, mix_dense_chained, ChainVal};
+use pvc_prob::{
+    record_dense_chain, DenseDist, Dist, DistValue, MixedDist, MonoidDist, SemiringDist, PROB_EPS,
+};
 
 /// One node of the flattened tree. Child fields are indices into the arena's
 /// post-order node vector.
@@ -124,11 +127,19 @@ enum Phase {
 /// `Empty` is the sort-less empty distribution (a `⊔` node with no surviving
 /// branches); `Mixed` only arises when a hand-built tree genuinely mixes sorts
 /// under one `⊔` node, where the recursive evaluator also produced a mixed
-/// distribution.
+/// distribution. `MD` is a monoid distribution still in the **dense** form of
+/// the convolution kernel: SUM/COUNT `⊕` chains and dense-friendly `⊔` nodes
+/// pass it from node to node without the dense → sparse → dense round-trip the
+/// stack used to force at every exit (tracked by `kernel.dense_chain.*`). A
+/// consumer that needs the sparse form demotes it — counting a chain *break*
+/// when that happens mid-evaluation, but not at the root, where
+/// materialisation is the point.
 #[derive(Debug, Clone)]
 enum Val {
     S(SemiringDist),
     M(MonoidDist),
+    /// Monoid distribution in dense (offset-indexed) form.
+    MD(DenseDist),
     Empty,
     Mixed(MixedDist),
 }
@@ -138,6 +149,7 @@ impl Val {
         match self {
             Val::S(d) => d.is_empty(),
             Val::M(d) => d.is_empty(),
+            Val::MD(d) => d.is_empty(),
             Val::Empty => true,
             Val::Mixed(d) => d.is_empty(),
         }
@@ -151,7 +163,8 @@ impl Val {
             Val::S(d) => Ok(d),
             Val::Empty => Ok(Dist::empty()),
             Val::M(d) if d.is_empty() => Ok(Dist::empty()),
-            Val::M(_) => Err(DTreeError::ExpectedSemiring(ctx)),
+            Val::MD(d) if d.is_empty() => Ok(Dist::empty()),
+            Val::M(_) | Val::MD(_) => Err(DTreeError::ExpectedSemiring(ctx)),
             Val::Mixed(d) => {
                 let mut out = Vec::with_capacity(d.support_size());
                 for (v, p) in d.iter() {
@@ -169,6 +182,9 @@ impl Val {
     fn into_monoid(self, ctx: &'static str) -> Result<MonoidDist, DTreeError> {
         match self {
             Val::M(d) => Ok(d),
+            // Plain materialisation — callers that demote mid-chain record the
+            // break themselves (see `demote_monoid`); the root does not.
+            Val::MD(d) => Ok(d.to_dist()),
             Val::Empty => Ok(Dist::empty()),
             Val::S(d) if d.is_empty() => Ok(Dist::empty()),
             Val::S(_) => Err(DTreeError::ExpectedMonoid(ctx)),
@@ -190,9 +206,21 @@ impl Val {
         match self {
             Val::S(d) => d.map(|v| DistValue::S(*v)),
             Val::M(d) => d.map(|v| DistValue::M(*v)),
+            Val::MD(d) => d.to_dist().map(|v| DistValue::M(*v)),
             Val::Empty => Dist::empty(),
             Val::Mixed(d) => d,
         }
+    }
+
+    /// Demote to the sparse monoid form at a mid-chain consumer that cannot use
+    /// the dense form, counting the chain break; sparse values pass through.
+    fn demote_monoid(self, ctx: &'static str) -> Result<MonoidDist, DTreeError> {
+        if let Val::MD(d) = &self {
+            if !d.is_empty() {
+                record_dense_chain(false);
+            }
+        }
+        self.into_monoid(ctx)
     }
 }
 
@@ -735,29 +763,39 @@ impl DTreeArena {
                 ArenaNode::SumM { op, .. } => {
                     let right = scratch.stack.pop().expect("⊕ right operand");
                     let left = scratch.stack.pop().expect("⊕ left operand");
-                    let da = left.into_monoid("⊕(semimodule)")?;
-                    let db = right.into_monoid("⊕(semimodule)")?;
-                    Val::M(match op {
-                        // SUM/COUNT: adaptive dense/sparse kernel.
+                    match op {
+                        // SUM/COUNT: adaptive dense/sparse kernel, and a dense
+                        // operand stays dense across the node boundary.
                         AggOp::Sum | AggOp::Count => {
-                            pvc_prob::repr::convolve_additive_with_scratch(
-                                &da,
-                                &db,
-                                &mut scratch.m_pairs,
-                            )
+                            let to_chain = |v: Val| -> Result<ChainVal, DTreeError> {
+                                Ok(match v {
+                                    Val::MD(d) => ChainVal::Dense(d),
+                                    other => ChainVal::Sparse(other.into_monoid("⊕(semimodule)")?),
+                                })
+                            };
+                            let ca = to_chain(left)?;
+                            let cb = to_chain(right)?;
+                            match convolve_additive_chained(ca, cb, &mut scratch.m_pairs) {
+                                ChainVal::Dense(d) => Val::MD(d),
+                                ChainVal::Sparse(d) => Val::M(d),
+                            }
                         }
-                        _ => da.convolve_with_scratch(
-                            &db,
-                            |x, y| op.combine(x, y),
-                            &mut scratch.m_pairs,
-                        ),
-                    })
+                        _ => {
+                            let da = left.demote_monoid("⊕(semimodule)")?;
+                            let db = right.demote_monoid("⊕(semimodule)")?;
+                            Val::M(da.convolve_with_scratch(
+                                &db,
+                                |x, y| op.combine(x, y),
+                                &mut scratch.m_pairs,
+                            ))
+                        }
+                    }
                 }
                 ArenaNode::Tensor { op, .. } => {
                     let value = scratch.stack.pop().expect("⊗ value operand");
                     let scalar = scratch.stack.pop().expect("⊗ scalar operand");
                     let ds = scalar.into_semiring("⊗ scalar")?;
-                    let dm = value.into_monoid("⊗ value")?;
+                    let dm = value.demote_monoid("⊗ value")?;
                     Val::M(ds.convolve_with_scratch(
                         &dm,
                         |s, m| op.scalar_action(s, m),
@@ -820,9 +858,20 @@ impl DTreeArena {
         if left.is_empty() || right.is_empty() {
             return Ok(Val::Empty);
         }
+        // A comparison convolves value-by-value: dense operands demote here
+        // (counted as chain breaks — the chain genuinely ends mid-evaluation).
+        let demote = |v: Val| -> Result<Val, DTreeError> {
+            Ok(match v {
+                Val::MD(_) => Val::M(v.demote_monoid("[θ]")?),
+                other => other,
+            })
+        };
+        let left = demote(left)?;
+        let right = demote(right)?;
         let is_semiring = |v: &Val| match v {
             Val::S(_) => true,
             Val::M(_) => false,
+            Val::MD(_) => unreachable!("dense sides demoted above"),
             Val::Empty => unreachable!("empty sides handled above"),
             Val::Mixed(d) => matches!(d.support().next(), Some(DistValue::S(_))),
         };
@@ -913,6 +962,14 @@ impl DTreeArena {
                 let p = p_zero * if id_true { mv } else { 0.0 } + (mass_s - p_zero) * pv;
                 Ok((p, mass_s * mv))
             }
+            ArenaNode::Tensor { op, scalar, value } if matches!(op, AggOp::Sum | AggOp::Count) => {
+                match self.threshold_tensor_additive(
+                    scalar, value, op, theta, bound, table, kind, scratch,
+                )? {
+                    Some(result) => Ok(result),
+                    None => self.threshold_by_scan(idx, theta, bound, table, kind, scratch),
+                }
+            }
             ArenaNode::Exclusive {
                 var,
                 branches_start,
@@ -937,6 +994,77 @@ impl DTreeArena {
         }
     }
 
+    /// One-sided CDF propagation through a SUM/COUNT `⊗` node: under the
+    /// semimodule action `n ⊗ m = n·m` (with `n ≥ 1` and finite `m`), the
+    /// comparison `n·m θ c` is equivalent to `m θ' c'` with an integer-rescaled
+    /// bound (`≥` takes `⌈c/n⌉`, `>` and `≤` take `⌊c/n⌋`, `<` takes `⌈c/n⌉` —
+    /// `±∞` values pass the action unchanged and satisfy the rescaled
+    /// comparison identically), so the value subtree can keep the scalar walk
+    /// with one recursion **per distinct multiplicity** instead of
+    /// materialising its full distribution. Multiplicity `0` contributes the
+    /// monoid identity, exactly as in the MIN/MAX arm.
+    ///
+    /// Returns `None` (caller scans) when the bound is not finite or the scalar
+    /// carries more than [`MAX_TENSOR_FOLD_MULTIPLICITIES`] distinct non-zero
+    /// multiplicities — the rescaled recursions would outweigh one evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn threshold_tensor_additive(
+        &self,
+        scalar: u32,
+        value: u32,
+        op: AggOp,
+        theta: CmpOp,
+        bound: MonoidValue,
+        table: &VarTable,
+        kind: SemiringKind,
+        scratch: &mut EvalScratch,
+    ) -> Result<Option<(f64, f64)>, DTreeError> {
+        let Some(c) = bound.finite() else {
+            return Ok(None);
+        };
+        let scalar_val = self.eval_from(scalar, table, kind, scratch)?;
+        let ds = scalar_val.into_semiring("⊗ scalar")?;
+        let mass_s = ds.total_mass();
+        // Group the scalar's mass by multiplicity and rescale the bound once
+        // per distinct non-zero multiplicity.
+        let mut p_zero = 0.0;
+        let mut groups: Vec<(u64, MonoidValue, f64)> = Vec::new();
+        for (s, p) in ds.iter() {
+            let n = s.as_multiplicity();
+            if n == 0 {
+                p_zero += p;
+                continue;
+            }
+            if let Some(group) = groups.iter_mut().find(|(m, _, _)| *m == n) {
+                group.2 += p;
+                continue;
+            }
+            if groups.len() == MAX_TENSOR_FOLD_MULTIPLICITIES {
+                return Ok(None);
+            }
+            let Some(rescaled) = rescale_bound(theta, c, n) else {
+                return Ok(None);
+            };
+            groups.push((n, MonoidValue::Fin(rescaled), p));
+        }
+        let mut p = 0.0;
+        let mut mv = None;
+        for (_, rescaled, weight) in &groups {
+            let (pg, mg) = self.threshold(value, theta, *rescaled, table, kind, scratch)?;
+            p += weight * pg;
+            mv = Some(mg);
+        }
+        let mv = match mv {
+            Some(m) => m,
+            // All multiplicities were zero: one walk just for the value mass.
+            None => self.threshold(value, theta, bound, table, kind, scratch)?.1,
+        };
+        if theta.eval(&op.identity(), &bound) {
+            p += p_zero * mv;
+        }
+        Ok(Some((p, mass_s * mv)))
+    }
+
     /// Threshold fallback: evaluate the subtree fully, then accumulate the scalar
     /// CDF with one linear scan (still cheaper than convolving against the
     /// constant and materialising the two-point comparison distribution).
@@ -950,9 +1078,21 @@ impl DTreeArena {
         scratch: &mut EvalScratch,
     ) -> Result<(f64, f64), DTreeError> {
         let val = self.eval_from(idx, table, kind, scratch)?;
-        let d = val.into_monoid("[θ]")?;
         let mut p = 0.0;
         let mut mass = 0.0;
+        // A dense subtree result is scanned in place — ascending non-zero cells
+        // are exactly the sparse iteration order, so the accumulation is
+        // bit-identical and no chain break happens here.
+        if let Val::MD(d) = &val {
+            for (v, pm) in d.iter() {
+                mass += pm;
+                if theta.eval(&MonoidValue::Fin(v), &bound) {
+                    p += pm;
+                }
+            }
+            return Ok((p, mass));
+        }
+        let d = val.into_monoid("[θ]")?;
         for (m, pm) in d.iter() {
             mass += pm;
             if theta.eval(m, &bound) {
@@ -961,6 +1101,25 @@ impl DTreeArena {
         }
         Ok((p, mass))
     }
+}
+
+/// Cap on distinct non-zero multiplicities a SUM/COUNT `⊗` threshold fold will
+/// recurse for; scalars more varied than this fall back to the full scan.
+const MAX_TENSOR_FOLD_MULTIPLICITIES: usize = 4;
+
+/// The rescaled bound `c'` with `n·m θ c ⇔ m θ c'` for integers `m`, `n ≥ 1`:
+/// `≥` and `<` round the quotient up, `>` and `≤` round it down (Euclidean
+/// division over `i128` so `i64::MIN` bounds cannot overflow). `None` for
+/// two-sided comparisons, which do not rescale.
+fn rescale_bound(theta: CmpOp, c: i64, n: u64) -> Option<i64> {
+    let c = i128::from(c);
+    let n = i128::from(n);
+    let scaled = match theta {
+        CmpOp::Ge | CmpOp::Lt => -((-c).div_euclid(n)),
+        CmpOp::Gt | CmpOp::Le => c.div_euclid(n),
+        CmpOp::Eq | CmpOp::Ne => return None,
+    };
+    i64::try_from(scaled).ok()
 }
 
 /// The two-point comparison distribution `{(1_S, p_true), (0_S, mass − p_true)}`
@@ -981,11 +1140,14 @@ fn comparison_dist(kind: SemiringKind, p_true: f64, mass: f64) -> SemiringDist {
 
 /// Mix `next`, scaled by `weight`, into the accumulator, staying in the native
 /// sort while both sides agree and widening to the mixed sum type only when a
-/// `⊔` node genuinely mixes sorts.
+/// `⊔` node genuinely mixes sorts. Dense monoid values stay dense while the
+/// union range remains bounded (chain extends); otherwise they demote (chain
+/// breaks) and the sparse mix runs — both paths bit-identical in value.
 fn mix_scaled(acc: Val, next: Val, weight: f64) -> Val {
     let scaled = match next {
         Val::S(d) => Val::S(d.scale(weight)),
         Val::M(d) => Val::M(d.scale(weight)),
+        Val::MD(d) => Val::MD(d.scale(weight)),
         Val::Empty => Val::Empty,
         Val::Mixed(d) => Val::Mixed(d.scale(weight)),
     };
@@ -994,8 +1156,70 @@ fn mix_scaled(acc: Val, next: Val, weight: f64) -> Val {
         (acc, next) if acc.is_empty() => next,
         (Val::S(a), Val::S(b)) => Val::S(a.mix(&b)),
         (Val::M(a), Val::M(b)) => Val::M(a.mix(&b)),
-        (a, b) => Val::Mixed(a.into_mixed().mix(&b.into_mixed())),
+        (Val::MD(a), Val::MD(b)) => match mix_dense_chained(&a, &b) {
+            Some(mixed) => Val::MD(mixed),
+            None => {
+                record_dense_chain(false);
+                record_dense_chain(false);
+                Val::M(a.to_dist().mix(&b.to_dist()))
+            }
+        },
+        (Val::MD(a), Val::M(b)) => match promote_for_mix(&a, &b) {
+            Some(db) => match mix_dense_chained(&a, &db) {
+                Some(mixed) => Val::MD(mixed),
+                None => {
+                    record_dense_chain(false);
+                    Val::M(a.to_dist().mix(&b))
+                }
+            },
+            None => {
+                record_dense_chain(false);
+                Val::M(a.to_dist().mix(&b))
+            }
+        },
+        (Val::M(a), Val::MD(b)) => match promote_for_mix(&b, &a) {
+            Some(da) => match mix_dense_chained(&da, &b) {
+                Some(mixed) => Val::MD(mixed),
+                None => {
+                    record_dense_chain(false);
+                    Val::M(a.mix(&b.to_dist()))
+                }
+            },
+            None => {
+                record_dense_chain(false);
+                Val::M(a.mix(&b.to_dist()))
+            }
+        },
+        (a, b) => {
+            for v in [&a, &b] {
+                if let Val::MD(d) = v {
+                    if !d.is_empty() {
+                        record_dense_chain(false);
+                    }
+                }
+            }
+            Val::Mixed(a.into_mixed().mix(&b.into_mixed()))
+        }
     }
+}
+
+/// Lift a sparse `⊔` operand into the dense form so it can mix with a dense
+/// accumulator, guarded by the same union bound [`DenseDist::mix`] applies —
+/// checked *before* the dense materialisation so a scattered operand never
+/// allocates a huge cell vector.
+fn promote_for_mix(dense: &DenseDist, sparse: &MonoidDist) -> Option<DenseDist> {
+    let lo = sparse.min_value()?.finite()?;
+    let hi = sparse.max_value()?.finite()?;
+    let range = usize::try_from(hi.checked_sub(lo)?).ok()?.checked_add(1)?;
+    let union_lo = lo.min(dense.offset());
+    let union_hi = hi.max(dense.offset() + dense.len() as i64 - 1);
+    let union = usize::try_from(union_hi.checked_sub(union_lo)?)
+        .ok()?
+        .checked_add(1)?;
+    if !dense_mix_bounded(dense.len(), range, union) {
+        return None;
+    }
+    DenseDist::from_dist(sparse)
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ use pvc_algebra::{AggOp, SemiringKind};
 use pvc_expr::independence::connected_components;
 use pvc_expr::intern::{AggExprId, ExprId, InternedExpr, Interner};
 use pvc_expr::{SemimoduleExpr, SemiringExpr, VarSet, VarTable};
-use pvc_prob::{MonoidDist, SemiringDist};
+use pvc_prob::{convolve_additive_chained, ChainVal, MonoidDist, SemiringDist};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -684,17 +684,14 @@ impl<'a> CachedEvaluator<'a> {
             let components = connected_components(&sets);
             if components.len() > 1 {
                 let op = node.op;
-                let mut acc: Option<MonoidDist> = None;
-                for component in components {
-                    let terms = component.iter().map(|&i| node.terms[i]).collect();
-                    let gid = self.interner.intern_agg(op, terms);
-                    let d = self.aggregate_distribution(gid)?;
-                    acc = Some(match acc {
-                        None => d,
-                        Some(a) => a.convolve(&d, |x, y| op.combine(x, y)),
-                    });
-                }
-                return Ok(acc.expect("at least one component"));
+                return fold_components(
+                    op,
+                    components.into_iter().map(|component| {
+                        let terms = component.iter().map(|&i| node.terms[i]).collect();
+                        let gid = self.interner.intern_agg(op, terms);
+                        self.aggregate_distribution(gid)
+                    }),
+                );
             }
         }
         let arena = match self.cache.get_aggregate_arena(id) {
@@ -717,6 +714,41 @@ impl<'a> CachedEvaluator<'a> {
     fn independent_groups(&self, children: &[ExprId]) -> Option<Vec<Vec<ExprId>>> {
         independent_groups(self.interner, children)
     }
+}
+
+/// Fold the distributions of pairwise-independent aggregate components into
+/// one. For the additive operators (SUM, COUNT) the accumulator is threaded
+/// through the chained dense kernel: it stays in offset-indexed dense form
+/// across the *whole* fold instead of round-tripping to sorted-vector form
+/// after every component, and materialises exactly once at the end (that final
+/// hand-off is the natural end of the chain, not a demotion — same convention
+/// as the arena's root hand-off). Bit-identical to the stepwise sparse fold
+/// below the FFT crossover; ε-close above it.
+fn fold_components<E>(
+    op: AggOp,
+    dists: impl Iterator<Item = Result<MonoidDist, E>>,
+) -> Result<MonoidDist, E> {
+    if matches!(op, AggOp::Sum | AggOp::Count) {
+        let mut scratch = Vec::new();
+        let mut acc: Option<ChainVal> = None;
+        for d in dists {
+            let d = ChainVal::Sparse(d?);
+            acc = Some(match acc {
+                None => d,
+                Some(a) => convolve_additive_chained(a, d, &mut scratch),
+            });
+        }
+        return Ok(acc.expect("at least one component").into_dist());
+    }
+    let mut acc: Option<MonoidDist> = None;
+    for d in dists {
+        let d = d?;
+        acc = Some(match acc {
+            None => d,
+            Some(a) => a.convolve(&d, |x, y| op.combine(x, y)),
+        });
+    }
+    Ok(acc.expect("at least one component"))
 }
 
 /// The total mass of non-`0_S` outcomes — the tuple-confidence reading of a
@@ -1209,15 +1241,12 @@ impl SharedArtifacts {
             }
         };
         if let Some((op, group_ids)) = split {
-            let mut acc: Option<MonoidDist> = None;
-            for gid in group_ids {
-                let d = self.evaluate_aggregate(gid, vars, kind, options, scope)?;
-                acc = Some(match acc {
-                    None => d,
-                    Some(a) => a.convolve(&d, |x, y| op.combine(x, y)),
-                });
-            }
-            return Ok(acc.expect("at least one component"));
+            return fold_components(
+                op,
+                group_ids
+                    .into_iter()
+                    .map(|gid| self.evaluate_aggregate(gid, vars, kind, options, scope)),
+            );
         }
         let span = crate::obs::span("compile");
         let cached = self.cache().get_aggregate_arena(id);

@@ -510,6 +510,18 @@ pub fn snapshot() -> MetricsSnapshot {
     snap.counters
         .insert("kernel.conv.sparse".into(), kernel.conv_sparse);
     snap.counters
+        .insert("kernel.conv.fft".into(), kernel.conv_fft);
+    snap.counters
+        .insert("kernel.fft.fallbacks".into(), kernel.fft_fallbacks);
+    snap.counters.insert(
+        "kernel.dense_chain.extends".into(),
+        kernel.dense_chain_extends,
+    );
+    snap.counters.insert(
+        "kernel.dense_chain.breaks".into(),
+        kernel.dense_chain_breaks,
+    );
+    snap.counters
         .insert("kernel.repr.dense".into(), kernel.repr_dense);
     snap.counters
         .insert("kernel.repr.sparse".into(), kernel.repr_sparse);

@@ -1,0 +1,170 @@
+//! Zero-dependency iterative radix-2 FFT over `f64`, used by the dense
+//! convolution kernel of [`repr`](crate::repr) when support sizes make the
+//! `O(N log N)` spectral path cheaper than the direct `O(|p|·|q|)` loop.
+//!
+//! The convolution entry point packs both real inputs into **one** complex
+//! transform (`z = a + i·b`), separates the two spectra through conjugate
+//! symmetry, multiplies pointwise, and inverts — two FFTs total instead of
+//! three. The result carries the usual floating-point error of a spectral
+//! convolution (roughly `‖a‖·‖b‖·ε·log N` per cell), which is why
+//! [`repr`](crate::repr) wraps it in an explicit accuracy policy
+//! (mass-conservation check, clamping, renormalisation, exact fallback)
+//! instead of trusting it blindly.
+
+use std::f64::consts::PI;
+
+/// Refuse transforms beyond this length (2²² complex points ≈ 64 MiB of
+/// scratch): supports that large indicate a runaway query, and the direct
+/// kernel's own memory would explode long before this.
+const MAX_FFT_LEN: usize = 1 << 22;
+
+/// Linear convolution of two non-empty real sequences via one packed complex
+/// FFT round-trip. Returns `None` when the padded transform length would
+/// exceed [`MAX_FFT_LEN`] (callers fall back to the exact kernel).
+///
+/// The output has length `a.len() + b.len() − 1`.
+pub(crate) fn convolve(a: &[f64], b: &[f64]) -> Option<Vec<f64>> {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+    if n > MAX_FFT_LEN {
+        return None;
+    }
+    // Pack: z = a + i·b, zero-padded to n.
+    let mut re = vec![0.0f64; n];
+    let mut im = vec![0.0f64; n];
+    re[..a.len()].copy_from_slice(a);
+    im[..b.len()].copy_from_slice(b);
+    fft_in_place(&mut re, &mut im, false);
+    // With A = FFT(a) and B = FFT(b) (both conjugate-symmetric):
+    //   A[k] = (Z[k] + conj(Z[n−k])) / 2
+    //   B[k] = (Z[k] − conj(Z[n−k])) / (2i)
+    // and the convolution spectrum is C[k] = A[k]·B[k].
+    let mut cr = vec![0.0f64; n];
+    let mut ci = vec![0.0f64; n];
+    for k in 0..n {
+        let j = (n - k) % n;
+        let (zr, zi) = (re[k], im[k]);
+        let (wr, wi) = (re[j], -im[j]);
+        let (ar, ai) = ((zr + wr) * 0.5, (zi + wi) * 0.5);
+        // (z − w) / (2i) = (im(z−w) − i·re(z−w)) / 2
+        let (br, bi) = ((zi - wi) * 0.5, -(zr - wr) * 0.5);
+        cr[k] = ar * br - ai * bi;
+        ci[k] = ar * bi + ai * br;
+    }
+    fft_in_place(&mut cr, &mut ci, true);
+    cr.truncate(out_len);
+    Some(cr)
+}
+
+/// In-place iterative radix-2 Cooley–Tukey transform of `(re, im)`; lengths
+/// must be equal powers of two. `invert` runs the inverse transform including
+/// the `1/n` scaling.
+fn fft_in_place(re: &mut [f64], im: &mut [f64], invert: bool) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two() && im.len() == n);
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterfly stages; the twiddle runs by multiplicative recurrence (one
+    // sin/cos pair per stage), whose accumulated error stays far inside the
+    // accuracy policy's ε for any length this kernel accepts.
+    let mut len = 2usize;
+    while len <= n {
+        let ang = 2.0 * PI / len as f64 * if invert { 1.0 } else { -1.0 };
+        let (step_r, step_i) = (ang.cos(), ang.sin());
+        let half = len / 2;
+        let mut base = 0usize;
+        while base < n {
+            let (mut w_r, mut w_i) = (1.0f64, 0.0f64);
+            for k in base..base + half {
+                let (ur, ui) = (re[k], im[k]);
+                let (xr, xi) = (re[k + half], im[k + half]);
+                let (vr, vi) = (xr * w_r - xi * w_i, xr * w_i + xi * w_r);
+                re[k] = ur + vr;
+                im[k] = ui + vi;
+                re[k + half] = ur - vr;
+                im[k + half] = ui - vi;
+                let next_r = w_r * step_r - w_i * step_i;
+                w_i = w_r * step_i + w_i * step_r;
+                w_r = next_r;
+            }
+            base += len;
+        }
+        len <<= 1;
+    }
+    if invert {
+        let inv = 1.0 / n as f64;
+        for x in re.iter_mut() {
+            *x *= inv;
+        }
+        for x in im.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] += x * y;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_direct_convolution() {
+        let a: Vec<f64> = (0..37).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let b: Vec<f64> = (0..53).map(|i| ((i * 7) % 11) as f64 / 11.0).collect();
+        let fft = convolve(&a, &b).unwrap();
+        let exact = direct(&a, &b);
+        assert_eq!(fft.len(), exact.len());
+        for (f, e) in fft.iter().zip(&exact) {
+            assert!((f - e).abs() < 1e-10, "{f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn single_cell_inputs() {
+        let out = convolve(&[0.25], &[0.5]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_lengths() {
+        let a = vec![0.5, 0.5];
+        let b: Vec<f64> = (0..100).map(|_| 0.01).collect();
+        let fft = convolve(&a, &b).unwrap();
+        let exact = direct(&a, &b);
+        for (f, e) in fft.iter().zip(&exact) {
+            assert!((f - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refuses_oversized_transforms() {
+        // Fabricate lengths whose padded size exceeds the cap without
+        // allocating: `convolve` checks before it allocates.
+        let a = vec![0.0; 2];
+        let b = vec![0.0; MAX_FFT_LEN];
+        assert!(convolve(&a, &b).is_none());
+    }
+}

@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+mod fft;
 pub mod moments;
+pub mod oracle;
 pub mod repr;
 pub mod rng;
 pub mod space;
@@ -21,11 +23,14 @@ pub mod values;
 
 pub use dist::{Dist, PROB_EPS};
 pub use moments::{cdf, expectation, moments, quantile, Moments};
-pub use repr::{convolve_additive, DenseDist, DistRepr};
+pub use repr::{
+    convolve_additive, convolve_additive_chained, fft_would_run, mix_dense_chained,
+    record_chain_break, ChainVal, DenseDist, DistRepr, FFT_MIN_LEN, FFT_RELATIVE_EPS,
+};
 pub use rng::SeededRng;
 pub use space::{ProbabilitySpace, World};
 pub use stats::{
-    begin_tuple_capture, kernel_stats, kernel_stats_enabled, reset_kernel_stats,
-    set_kernel_stats_enabled, take_tuple_capture, KernelStats, SUPPORT_BUCKETS,
+    begin_tuple_capture, kernel_stats, kernel_stats_enabled, record_dense_chain,
+    reset_kernel_stats, set_kernel_stats_enabled, take_tuple_capture, KernelStats, SUPPORT_BUCKETS,
 };
 pub use values::{make, ops, DistValue, MixedDist, MonoidDist, SemiringDist};

@@ -18,16 +18,53 @@
 //! **bit-identical** to the sparse kernel because equal-valued products accumulate
 //! in the same (outer-operand-major) order and the same [`PROB_EPS`] drop rule
 //! applies on the way out.
+//!
+//! # Chained dense evaluation
+//!
+//! A SUM/COUNT `⊕` chain used to round-trip dense → sparse → dense at every node
+//! exit. [`convolve_additive_chained`] keeps the dense form alive across node
+//! boundaries: its operands and result are [`ChainVal`]s, and it applies exactly
+//! the same pairwise eligibility rule as [`convolve_additive`] (computed from
+//! bounds and support sizes that the trimmed dense form carries natively), so a
+//! chained evaluation is bit-identical to the round-tripping one. Dense results
+//! are **trimmed** — leading and trailing zero cells are removed and the offset
+//! adjusted — so a dense value's bounds always equal its true support bounds and
+//! every later eligibility decision matches the sparse path's. Chain fates are
+//! counted by [`stats::record_dense_chain`](crate::stats::record_dense_chain)
+//! (`kernel.dense_chain.extends` / `.breaks` after the obs bridge).
+//!
+//! # FFT convolution and its accuracy policy
+//!
+//! Past the crossover where the direct dense loop's `O(|p|·|q|)` products exceed
+//! `O(N log N)` butterfly work ([`fft_would_run`]), [`DenseDist::convolve_add`]
+//! switches to the spectral kernel of the internal `fft` module. Spectral results
+//! carry rounding error, so they pass an explicit **accuracy policy** before
+//! being accepted:
+//!
+//! 1. every cell must be finite, and no cell may be more negative than `−1e-12`
+//!    (tiny negatives are clamped to zero);
+//! 2. the total mass must equal the exact product of the input masses within a
+//!    relative [`FFT_RELATIVE_EPS`] (`1e-9`);
+//! 3. the surviving cells are **renormalised** to that exact product mass, and
+//!    the usual [`PROB_EPS`] drop rule is applied.
+//!
+//! Any violation falls back to the exact chunked kernel
+//! ([`DenseDist::convolve_add_exact`]) and is counted in
+//! `kernel.conv.fft_fallbacks`. FFT selection is a pure function of the two
+//! dense lengths, so results stay deterministic across runs and thread counts;
+//! they are *not* bit-identical to the exact kernel, only ε-close (the
+//! differential oracle asserts both regimes).
 
 use crate::dist::{Dist, PROB_EPS};
+use crate::values::MonoidDist;
 use pvc_algebra::MonoidValue;
-
-/// A distribution over monoid values in sparse form.
-pub type MonoidDist = Dist<MonoidValue>;
 
 /// A dense distribution over a contiguous range of finite integer values:
 /// `probs[i]` is the probability of `Fin(offset + i)`. Cells at or below
-/// [`PROB_EPS`] are kept as `0.0` (absent).
+/// [`PROB_EPS`] are kept as `0.0` (absent). Every constructor and combinator
+/// maintains the **trim invariant**: the first and last cells are non-zero (or
+/// the cell vector is empty), so `offset` and `offset + len − 1` are the true
+/// support bounds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseDist {
     offset: i64,
@@ -71,6 +108,21 @@ impl DenseDist {
         self.probs.iter().filter(|p| **p > PROB_EPS).count()
     }
 
+    /// Total probability mass.
+    pub fn total_mass(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// The non-zero cells as `(value, probability)` pairs in ascending value
+    /// order — the same sequence the sparse form's `iter` would yield.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p != 0.0)
+            .map(|(i, p)| (self.offset + i as i64, *p))
+    }
+
     /// Convert back to the sparse form (cells at or below [`PROB_EPS`] are dropped).
     /// The cells are scanned in ascending value order, so the output needs no sort.
     pub fn to_dist(&self) -> MonoidDist {
@@ -84,38 +136,168 @@ impl DenseDist {
         )
     }
 
+    /// Re-establish the trim invariant on a freshly built cell vector.
+    fn trimmed(offset: i64, mut probs: Vec<f64>) -> DenseDist {
+        let Some(first) = probs.iter().position(|p| *p != 0.0) else {
+            return DenseDist {
+                offset: 0,
+                probs: Vec::new(),
+            };
+        };
+        let last = probs.iter().rposition(|p| *p != 0.0).expect("nonzero cell");
+        probs.truncate(last + 1);
+        probs.drain(..first);
+        DenseDist {
+            offset: offset + first as i64,
+            probs,
+        }
+    }
+
+    /// Adaptive additive convolution: the spectral (FFT) kernel past the
+    /// [`fft_would_run`] crossover (subject to the accuracy policy, see the
+    /// [module docs](self)), the exact chunked kernel otherwise.
+    pub fn convolve_add(&self, other: &DenseDist) -> DenseDist {
+        if fft_would_run(self.probs.len(), other.probs.len()) {
+            if let Some(out) = self.convolve_add_fft(other) {
+                crate::stats::record_fft(true);
+                return out;
+            }
+            crate::stats::record_fft(false);
+        }
+        self.convolve_add_exact(other)
+    }
+
     /// Direct-index additive convolution: `out[i + j] += self[i] · other[j]`.
     ///
     /// Accumulation at each output cell runs in ascending `self`-index order —
     /// the same order the sparse generate–sort–coalesce kernel sums equal-valued
-    /// candidates — so the result is bit-identical to the sparse path.
-    pub fn convolve_add(&self, other: &DenseDist) -> DenseDist {
+    /// candidates — so the result is bit-identical to the sparse path. The inner
+    /// row update is written as four independent accumulator lanes over
+    /// `chunks_exact(4)`: each output cell is touched exactly once per `i`, so
+    /// the lanes never reassociate a sum and the compiler is free to emit packed
+    /// `mulpd`/`addpd` (or fused) instructions for the whole row.
+    pub fn convolve_add_exact(&self, other: &DenseDist) -> DenseDist {
         if self.probs.is_empty() || other.probs.is_empty() {
             return DenseDist {
                 offset: 0,
                 probs: Vec::new(),
             };
         }
-        let mut probs = vec![0.0; self.probs.len() + other.probs.len() - 1];
+        let n = other.probs.len();
+        let mut probs = vec![0.0; self.probs.len() + n - 1];
         for (i, pa) in self.probs.iter().enumerate() {
-            if *pa == 0.0 {
+            let pa = *pa;
+            if pa == 0.0 {
                 continue;
             }
-            for (j, pb) in other.probs.iter().enumerate() {
-                probs[i + j] += pa * pb;
+            let row = &mut probs[i..i + n];
+            let mut rows = row.chunks_exact_mut(4);
+            let mut cols = other.probs.chunks_exact(4);
+            for (r, o) in rows.by_ref().zip(cols.by_ref()) {
+                r[0] += pa * o[0];
+                r[1] += pa * o[1];
+                r[2] += pa * o[2];
+                r[3] += pa * o[3];
+            }
+            for (r, o) in rows.into_remainder().iter_mut().zip(cols.remainder()) {
+                *r += pa * *o;
             }
         }
         // Apply the sparse kernel's drop rule so later convolutions see the same
-        // support either way.
+        // support either way, then trim so the bounds are true support bounds.
         for p in &mut probs {
             if *p <= PROB_EPS {
                 *p = 0.0;
             }
         }
-        DenseDist {
-            offset: self.offset + other.offset,
-            probs,
+        Self::trimmed(self.offset + other.offset, probs)
+    }
+
+    /// The spectral convolution attempt: `None` when the transform is
+    /// oversized or the result violates the accuracy policy (the caller then
+    /// runs the exact kernel).
+    fn convolve_add_fft(&self, other: &DenseDist) -> Option<DenseDist> {
+        if self.probs.is_empty() || other.probs.is_empty() {
+            return None;
         }
+        let mut cells = crate::fft::convolve(&self.probs, &other.probs)?;
+        let target = self.total_mass() * other.total_mass();
+        let mut sum = 0.0;
+        for p in cells.iter_mut() {
+            if !p.is_finite() || *p < -FFT_NEGATIVE_TOLERANCE {
+                return None;
+            }
+            if *p < 0.0 {
+                *p = 0.0;
+            }
+            sum += *p;
+        }
+        // `sum` is a sum of finite non-negative cells, so comparing against
+        // zero directly is NaN-safe here.
+        if sum <= 0.0 || (sum - target).abs() > FFT_RELATIVE_EPS * target {
+            return None;
+        }
+        let scale = target / sum;
+        for p in cells.iter_mut() {
+            *p *= scale;
+            if *p <= PROB_EPS {
+                *p = 0.0;
+            }
+        }
+        Some(Self::trimmed(self.offset + other.offset, cells))
+    }
+
+    /// Scale every cell by `factor`, applying the sparse kernel's drop rule
+    /// (scaled cells at or below [`PROB_EPS`] become zero) and re-trimming —
+    /// bit-identical to `to_dist().scale(factor)` re-densified.
+    pub fn scale(&self, factor: f64) -> DenseDist {
+        let probs = self
+            .probs
+            .iter()
+            .map(|p| {
+                let scaled = p * factor;
+                if scaled > PROB_EPS {
+                    scaled
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self::trimmed(self.offset, probs)
+    }
+
+    /// Pointwise mixture of two dense distributions (the `⊔` combination),
+    /// staying dense only while the union range is bounded by
+    /// [`dense_mix_bounded`]; `self`'s cell is the left addend, matching the
+    /// sparse [`Dist::mix`] accumulation order bit-for-bit.
+    pub fn mix(&self, other: &DenseDist) -> Option<DenseDist> {
+        if self.probs.is_empty() {
+            return Some(other.clone());
+        }
+        if other.probs.is_empty() {
+            return Some(self.clone());
+        }
+        let lo = self.offset.min(other.offset);
+        let hi = (self.offset + self.probs.len() as i64 - 1)
+            .max(other.offset + other.probs.len() as i64 - 1);
+        let union = usize::try_from(hi.checked_sub(lo)?).ok()?.checked_add(1)?;
+        if !dense_mix_bounded(self.probs.len(), other.probs.len(), union) {
+            return None;
+        }
+        let mut probs = vec![0.0f64; union];
+        let base = (self.offset - lo) as usize;
+        probs[base..base + self.probs.len()].copy_from_slice(&self.probs);
+        let base = (other.offset - lo) as usize;
+        for (cell, p) in probs[base..base + other.probs.len()]
+            .iter_mut()
+            .zip(&other.probs)
+        {
+            *cell += p;
+        }
+        // Both sides' cells exceed PROB_EPS individually, so no sum can fall
+        // under the drop rule and the union's end cells are non-zero: the trim
+        // invariant holds without another pass.
+        Some(DenseDist { offset: lo, probs })
     }
 }
 
@@ -131,6 +313,50 @@ pub enum DistRepr {
 /// Minimum spanned range below which the dense form is always chosen (the vector is
 /// so small that direct indexing beats any sort regardless of density).
 const DENSE_ALWAYS_RANGE: usize = 64;
+
+/// Minimum dense length on **both** operands before the spectral kernel is
+/// considered: below this the direct loop's cache behaviour wins regardless of
+/// the op-count model.
+pub const FFT_MIN_LEN: usize = 64;
+
+/// The spectral kernel runs when the direct loop's `|p|·|q|` cell products
+/// exceed this multiple of the padded transform's `N log₂ N` butterflies.
+const FFT_COST_FACTOR: usize = 8;
+
+/// Documented ε of the FFT accuracy policy: the spectral result's total mass
+/// must match the exact product of the operand masses within this relative
+/// tolerance, and the accepted result is renormalised to that exact mass.
+pub const FFT_RELATIVE_EPS: f64 = 1e-9;
+
+/// Cells more negative than this are a policy violation; anything in
+/// `(−tolerance, 0)` is clamped to zero before renormalisation.
+const FFT_NEGATIVE_TOLERANCE: f64 = 1e-12;
+
+/// Whether the adaptive kernel would pick the spectral path for dense operands
+/// of the given lengths — a pure function of the two lengths, so chained and
+/// round-tripping evaluations make identical choices. Exposed for the bench
+/// crossover scenario and the property tests.
+pub fn fft_would_run(len_a: usize, len_b: usize) -> bool {
+    if len_a.min(len_b) < FFT_MIN_LEN {
+        return false;
+    }
+    let out_len = len_a + len_b - 1;
+    let n = out_len.next_power_of_two();
+    let log2n = n.trailing_zeros() as usize;
+    len_a
+        .checked_mul(len_b)
+        .map_or(true, |direct| direct > FFT_COST_FACTOR * n * log2n)
+}
+
+/// Whether a `⊔` mixture of dense operands may stay dense: the union range may
+/// not exceed `max(4 × (cells_a + cells_b), 64)`, so the dense result stays
+/// within a constant factor of the inputs' combined footprint.
+pub fn dense_mix_bounded(len_a: usize, len_b: usize, union_range: usize) -> bool {
+    union_range
+        <= 4usize
+            .saturating_mul(len_a.saturating_add(len_b))
+            .max(DENSE_ALWAYS_RANGE)
+}
 
 impl DistRepr {
     /// Choose a representation adaptively by support density: dense when the
@@ -187,12 +413,50 @@ fn finite_bounds(dist: &MonoidDist) -> Option<(i64, i64)> {
     Some((lo, hi))
 }
 
+/// `(lo, hi, support)` of one convolution operand, from whichever form it is
+/// in; `None` when empty or non-finite (dense values are always finite, and
+/// their trim invariant makes the bounds exact).
+fn operand_profile(v: &ChainVal) -> Option<(i64, i64, usize)> {
+    match v {
+        ChainVal::Dense(d) => {
+            if d.probs.is_empty() {
+                None
+            } else {
+                Some((
+                    d.offset,
+                    d.offset + d.probs.len() as i64 - 1,
+                    d.support_size(),
+                ))
+            }
+        }
+        ChainVal::Sparse(d) => {
+            let (lo, hi) = finite_bounds(d)?;
+            Some((lo, hi, d.support_size()))
+        }
+    }
+}
+
+/// The pairwise dense-eligibility rule shared by [`convolve_additive`] and the
+/// chained evaluator: the output range must not exceed the candidate-pair
+/// count (so the dense pass is never more work than the sparse sort), with the
+/// [`DENSE_ALWAYS_RANGE`] floor.
+fn pair_eligible(a: (i64, i64, usize), b: (i64, i64, usize)) -> Option<()> {
+    let lo = a.0.checked_add(b.0)?;
+    let hi = a.1.checked_add(b.1)?;
+    let range = usize::try_from(hi.checked_sub(lo)?).ok()?.checked_add(1)?;
+    let candidates = a.2.checked_mul(b.2)?;
+    (range <= candidates.max(DENSE_ALWAYS_RANGE)).then_some(())
+}
+
 /// Additive (SUM/COUNT) convolution with adaptive representation choice:
 /// direct-index dense convolution when both supports are all-finite and the output
 /// range is no larger than the candidate-pair count (so the dense pass is never
-/// more work than the sparse sort), sparse generate–sort–coalesce otherwise.
+/// more work than the sparse sort), sparse generate–sort–coalesce otherwise. Past
+/// the [`fft_would_run`] crossover the dense pass runs spectrally under the
+/// accuracy policy (see the [module docs](self)).
 ///
-/// Bit-identical to `a.convolve(&b, |x, y| x.saturating_add(y))` on every input.
+/// Below the FFT crossover, bit-identical to
+/// `a.convolve(&b, |x, y| x.saturating_add(y))` on every input.
 pub fn convolve_additive(a: &MonoidDist, b: &MonoidDist) -> MonoidDist {
     if let Some(out) = try_convolve_dense(a, b) {
         crate::stats::record_conv(true, a.support_size(), b.support_size());
@@ -219,39 +483,121 @@ pub fn convolve_additive_with_scratch(
 fn try_convolve_dense(a: &MonoidDist, b: &MonoidDist) -> Option<MonoidDist> {
     let (la, ha) = finite_bounds(a)?;
     let (lb, hb) = finite_bounds(b)?;
-    let lo = la.checked_add(lb)?;
-    let hi = ha.checked_add(hb)?;
-    let range = usize::try_from(hi.checked_sub(lo)?).ok()?.checked_add(1)?;
-    let candidates = a.support_size().checked_mul(b.support_size())?;
-    if range > candidates.max(DENSE_ALWAYS_RANGE) {
-        return None;
+    pair_eligible((la, ha, a.support_size()), (lb, hb, b.support_size()))?;
+    let da = DenseDist::from_dist(a)?;
+    let db = DenseDist::from_dist(b)?;
+    let out = da.convolve_add(&db);
+    #[cfg(debug_assertions)]
+    if !fft_would_run(da.len(), db.len()) {
+        debug_assert!(
+            bit_equal(&out.to_dist(), &a.convolve(b, |x, y| x.saturating_add(y))),
+            "dense convolution diverged from the sparse kernel"
+        );
     }
-    let mut cells = vec![0.0f64; range];
-    for (va, pa) in a.iter() {
-        let MonoidValue::Fin(x) = va else {
-            unreachable!("finite_bounds verified an all-finite support")
-        };
-        for (vb, pb) in b.iter() {
-            let MonoidValue::Fin(y) = vb else {
-                unreachable!("finite_bounds verified an all-finite support")
-            };
-            cells[(x + y - lo) as usize] += pa * pb;
+    Some(out.to_dist())
+}
+
+/// One operand or result of a chained adaptive convolution: a dense value kept
+/// alive across node boundaries, or a sparse one.
+#[derive(Debug, Clone)]
+pub enum ChainVal {
+    /// Offset-indexed dense form (trimmed: bounds are true support bounds).
+    Dense(DenseDist),
+    /// Sorted-vector sparse form.
+    Sparse(MonoidDist),
+}
+
+impl ChainVal {
+    /// Materialise the sparse form (the dense case is the end of a chain — the
+    /// caller decides whether that counts as a break).
+    pub fn into_dist(self) -> MonoidDist {
+        match self {
+            ChainVal::Dense(d) => d.to_dist(),
+            ChainVal::Sparse(d) => d,
         }
     }
-    let out = Dist::from_sorted_unique(
-        cells
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| **p > PROB_EPS)
-            .map(|(i, p)| (MonoidValue::Fin(lo + i as i64), *p))
-            .collect(),
-    );
-    #[cfg(debug_assertions)]
-    debug_assert!(
-        bit_equal(&out, &a.convolve(b, |x, y| x.saturating_add(y))),
-        "dense convolution diverged from the sparse kernel"
-    );
+
+    /// True when no value has non-zero probability.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ChainVal::Dense(d) => d.is_empty(),
+            ChainVal::Sparse(d) => d.is_empty(),
+        }
+    }
+}
+
+/// Additive convolution for chained dense evaluation: applies the same pairwise
+/// eligibility rule as [`convolve_additive`], but keeps an eligible result in
+/// dense form for the next node instead of materialising it sparse — and
+/// accepts operands that are still dense from the previous node. Bit-identical
+/// to materialising both operands and calling
+/// [`convolve_additive_with_scratch`] (below the FFT crossover; ε-close above
+/// it, with identical path selection either way).
+///
+/// Chain bookkeeping: a dense result records one *extend*; a dense **operand**
+/// forced sparse because the pair is ineligible records one *break* (see
+/// [`stats::record_dense_chain`](crate::stats::record_dense_chain)).
+pub fn convolve_additive_chained(
+    a: ChainVal,
+    b: ChainVal,
+    scratch: &mut Vec<(MonoidValue, f64)>,
+) -> ChainVal {
+    if a.is_empty() || b.is_empty() {
+        // Counter parity with the non-chained kernel, which records a sparse
+        // dispatch for empty operands too.
+        let size = |v: &ChainVal| match v {
+            ChainVal::Dense(d) => d.support_size(),
+            ChainVal::Sparse(d) => d.support_size(),
+        };
+        crate::stats::record_conv(false, size(&a), size(&b));
+        return ChainVal::Sparse(Dist::empty());
+    }
+    if let (Some(pa), Some(pb)) = (operand_profile(&a), operand_profile(&b)) {
+        if pair_eligible(pa, pb).is_some() {
+            let da = match &a {
+                ChainVal::Dense(d) => d.clone(),
+                ChainVal::Sparse(d) => DenseDist::from_dist(d).expect("profiled finite support"),
+            };
+            let db = match &b {
+                ChainVal::Dense(d) => d.clone(),
+                ChainVal::Sparse(d) => DenseDist::from_dist(d).expect("profiled finite support"),
+            };
+            crate::stats::record_conv(true, pa.2, pb.2);
+            let out = da.convolve_add(&db);
+            crate::stats::record_dense_chain(true);
+            return ChainVal::Dense(out);
+        }
+    }
+    // Sparse fallback: any dense operand breaks its chain here.
+    let demote = |v: ChainVal| match v {
+        ChainVal::Dense(d) => {
+            crate::stats::record_dense_chain(false);
+            d.to_dist()
+        }
+        ChainVal::Sparse(d) => d,
+    };
+    let da = demote(a);
+    let db = demote(b);
+    crate::stats::record_conv(false, da.support_size(), db.support_size());
+    ChainVal::Sparse(da.convolve_with_scratch(&db, |x, y| x.saturating_add(y), scratch))
+}
+
+/// `⊔` mixture step for chained dense evaluation: keeps the mixture dense when
+/// [`DenseDist::mix`] accepts it (recording one chain *extend*), otherwise
+/// returns `None` and the caller demotes (recording the breaks itself).
+pub fn mix_dense_chained(a: &DenseDist, b: &DenseDist) -> Option<DenseDist> {
+    let out = a.mix(b)?;
+    crate::stats::record_dense_chain(true);
     Some(out)
+}
+
+/// Record a forced dense→sparse demotion at a chain boundary — for evaluator
+/// layers that materialise a dense intermediate outside
+/// [`convolve_additive_chained`] (comparisons, tensor operands, mixed `⊔`
+/// sorts). Root materialisation at the end of an evaluation is *not* a break
+/// and must not be recorded.
+pub fn record_chain_break() {
+    crate::stats::record_dense_chain(false);
 }
 
 #[cfg(debug_assertions)]
@@ -341,5 +687,114 @@ mod tests {
         let b = uniform(0, 3);
         assert!(convolve_additive(&a, &b).is_empty());
         assert!(convolve_additive(&b, &a).is_empty());
+    }
+
+    #[test]
+    fn convolution_output_is_trimmed() {
+        let a = uniform(5, 9);
+        let da = DenseDist::from_dist(&a).unwrap();
+        let out = da.convolve_add_exact(&da);
+        // Bounds are true support bounds: 10..=18.
+        assert_eq!(out.offset(), 10);
+        assert_eq!(out.len(), 9);
+        assert!(out.iter().next().unwrap().1 > 0.0);
+    }
+
+    #[test]
+    fn fft_crossover_is_length_driven() {
+        assert!(!fft_would_run(8, 8));
+        assert!(!fft_would_run(1024, 4)); // one tiny operand: direct wins
+        assert!(fft_would_run(512, 512));
+    }
+
+    #[test]
+    fn fft_matches_exact_within_eps() {
+        let a = uniform(0, 299);
+        let da = DenseDist::from_dist(&a).unwrap();
+        assert!(fft_would_run(da.len(), da.len()));
+        let spectral = da.convolve_add(&db_clone(&da));
+        let exact = da.convolve_add_exact(&db_clone(&da));
+        assert_eq!(spectral.offset(), exact.offset());
+        assert_eq!(spectral.len(), exact.len());
+        // Mass is renormalised to the exact product; cells agree within ε.
+        assert!((spectral.total_mass() - exact.total_mass()).abs() < 1e-12);
+        for ((v1, p1), (v2, p2)) in spectral.iter().zip(exact.iter()) {
+            assert_eq!(v1, v2);
+            assert!((p1 - p2).abs() < 1e-9, "{v1}: {p1} vs {p2}");
+        }
+    }
+
+    fn db_clone(d: &DenseDist) -> DenseDist {
+        d.clone()
+    }
+
+    #[test]
+    fn chained_convolution_matches_round_trip_bitwise() {
+        // A COUNT-style chain: fold 20 two-point tensors. Chained-dense vs
+        // materialise-at-every-step must agree bit-for-bit.
+        let mut scratch = Vec::new();
+        let term = |p: f64| Dist::from_pairs([(Fin(0), 1.0 - p), (Fin(1), p)]);
+        let mut chained = ChainVal::Sparse(term(0.3));
+        let mut stepwise = term(0.3);
+        for i in 1..20 {
+            let p = 0.05 + 0.04 * i as f64;
+            chained = convolve_additive_chained(chained, ChainVal::Sparse(term(p)), &mut scratch);
+            stepwise = convolve_additive_with_scratch(&stepwise, &term(p), &mut scratch);
+        }
+        let chained = chained.into_dist();
+        assert!(bit_equal_pub(&chained, &stepwise));
+    }
+
+    fn bit_equal_pub(a: &MonoidDist, b: &MonoidDist) -> bool {
+        a.support_size() == b.support_size()
+            && a.iter()
+                .zip(b.iter())
+                .all(|((av, ap), (bv, bp))| av == bv && ap.to_bits() == bp.to_bits())
+    }
+
+    #[test]
+    fn chained_convolution_demotes_on_ineligible_pairs() {
+        // A scattered operand forces the sparse path; the result must still
+        // match the plain adaptive kernel bitwise.
+        let mut scratch = Vec::new();
+        let contiguous = uniform(0, 10);
+        let scattered = Dist::from_pairs((0..40).map(|i| (Fin(i * 1_000_000), 1.0 / 40.0)));
+        let dense = DenseDist::from_dist(&contiguous).unwrap();
+        let out = convolve_additive_chained(
+            ChainVal::Dense(dense),
+            ChainVal::Sparse(scattered.clone()),
+            &mut scratch,
+        );
+        assert!(matches!(out, ChainVal::Sparse(_)));
+        let expected = convolve_additive(&contiguous, &scattered);
+        assert!(bit_equal_pub(&out.into_dist(), &expected));
+    }
+
+    #[test]
+    fn dense_mix_matches_sparse_mix_bitwise() {
+        let a = uniform(0, 6).scale(0.4);
+        let b = uniform(3, 12).scale(0.6);
+        let da = DenseDist::from_dist(&a).unwrap();
+        let db = DenseDist::from_dist(&b).unwrap();
+        let mixed = da.mix(&db).expect("bounded union");
+        assert!(bit_equal_pub(&mixed.to_dist(), &a.mix(&b)));
+    }
+
+    #[test]
+    fn dense_mix_refuses_unbounded_unions() {
+        let a = DenseDist::from_dist(&uniform(0, 6)).unwrap();
+        let b = DenseDist::from_dist(&Dist::from_pairs([(Fin(1_000_000), 1.0)])).unwrap();
+        assert!(a.mix(&b).is_none());
+    }
+
+    #[test]
+    fn dense_scale_applies_drop_rule_and_trims() {
+        let d = Dist::from_pairs([(Fin(0), 1e-8), (Fin(5), 0.9)]);
+        let dense = DenseDist::from_dist(&d).unwrap();
+        let scaled = dense.scale(0.01);
+        // The first cell (1e-10) falls under PROB_EPS: dropped and trimmed.
+        assert_eq!(scaled.offset(), 5);
+        assert_eq!(scaled.len(), 1);
+        assert!(bit_equal_pub(&scaled.to_dist(), &d.scale(0.01)));
     }
 }

@@ -24,8 +24,12 @@ pub const SUPPORT_BUCKETS: usize = 33;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static CONV_DENSE: AtomicU64 = AtomicU64::new(0);
 static CONV_SPARSE: AtomicU64 = AtomicU64::new(0);
+static CONV_FFT: AtomicU64 = AtomicU64::new(0);
+static FFT_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 static REPR_DENSE: AtomicU64 = AtomicU64::new(0);
 static REPR_SPARSE: AtomicU64 = AtomicU64::new(0);
+static CHAIN_EXTENDS: AtomicU64 = AtomicU64::new(0);
+static CHAIN_BREAKS: AtomicU64 = AtomicU64::new(0);
 static SUPPORT_COUNT: AtomicU64 = AtomicU64::new(0);
 static SUPPORT_SUM: AtomicU64 = AtomicU64::new(0);
 #[allow(clippy::declare_interior_mutable_const)]
@@ -52,8 +56,12 @@ pub fn kernel_stats_enabled() -> bool {
 pub fn reset_kernel_stats() {
     CONV_DENSE.store(0, Ordering::Relaxed);
     CONV_SPARSE.store(0, Ordering::Relaxed);
+    CONV_FFT.store(0, Ordering::Relaxed);
+    FFT_FALLBACKS.store(0, Ordering::Relaxed);
     REPR_DENSE.store(0, Ordering::Relaxed);
     REPR_SPARSE.store(0, Ordering::Relaxed);
+    CHAIN_EXTENDS.store(0, Ordering::Relaxed);
+    CHAIN_BREAKS.store(0, Ordering::Relaxed);
     SUPPORT_COUNT.store(0, Ordering::Relaxed);
     SUPPORT_SUM.store(0, Ordering::Relaxed);
     for bucket in &SUPPORT_HIST {
@@ -68,6 +76,18 @@ pub struct KernelStats {
     pub conv_dense: u64,
     /// Additive convolutions that fell back to sparse generate–sort–coalesce.
     pub conv_sparse: u64,
+    /// Dense convolutions that ran the spectral (FFT) kernel — a subset of
+    /// [`conv_dense`](Self::conv_dense).
+    pub conv_fft: u64,
+    /// FFT attempts rejected by the accuracy policy (the exact kernel ran
+    /// instead; these are *not* counted in [`conv_fft`](Self::conv_fft)).
+    pub fft_fallbacks: u64,
+    /// `⊕`/`⊔` node exits where a dense intermediate stayed dense for the next
+    /// node instead of round-tripping through the sparse form.
+    pub dense_chain_extends: u64,
+    /// Dense intermediates forced back to the sparse form mid-chain because the
+    /// consuming node could not use them (root materialisation not counted).
+    pub dense_chain_breaks: u64,
     /// [`DistRepr::of`](crate::DistRepr::of) choices that picked the dense form.
     pub repr_dense: u64,
     /// [`DistRepr::of`](crate::DistRepr::of) choices that picked the sparse form.
@@ -90,6 +110,10 @@ pub fn kernel_stats() -> KernelStats {
     KernelStats {
         conv_dense: CONV_DENSE.load(Ordering::Relaxed),
         conv_sparse: CONV_SPARSE.load(Ordering::Relaxed),
+        conv_fft: CONV_FFT.load(Ordering::Relaxed),
+        fft_fallbacks: FFT_FALLBACKS.load(Ordering::Relaxed),
+        dense_chain_extends: CHAIN_EXTENDS.load(Ordering::Relaxed),
+        dense_chain_breaks: CHAIN_BREAKS.load(Ordering::Relaxed),
         repr_dense: REPR_DENSE.load(Ordering::Relaxed),
         repr_sparse: REPR_SPARSE.load(Ordering::Relaxed),
         support_count: SUPPORT_COUNT.load(Ordering::Relaxed),
@@ -143,6 +167,35 @@ pub(crate) fn record_conv(dense: bool, support_a: usize, support_b: usize) {
 pub(crate) fn record_repr(dense: bool) {
     if ENABLED.load(Ordering::Relaxed) {
         let counter = if dense { &REPR_DENSE } else { &REPR_SPARSE };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Record one spectral-convolution outcome: `ran` when the FFT result passed
+/// the accuracy policy, otherwise a fallback to the exact kernel.
+#[inline]
+pub(crate) fn record_fft(ran: bool) {
+    if ENABLED.load(Ordering::Relaxed) {
+        let counter = if ran { &CONV_FFT } else { &FFT_FALLBACKS };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Record the fate of a dense intermediate at a `⊕`/`⊔` node boundary:
+/// `extended` when it survives into the next node in dense form, a **break**
+/// when the consumer forces it back to sparse mid-chain.
+///
+/// Public because the chained evaluator lives above this crate (the d-tree
+/// arena in `pvc-core`); bridged into the `kernel.dense_chain.*` metric names
+/// by `pvc_core::obs::snapshot`.
+#[inline]
+pub fn record_dense_chain(extended: bool) {
+    if ENABLED.load(Ordering::Relaxed) {
+        let counter = if extended {
+            &CHAIN_EXTENDS
+        } else {
+            &CHAIN_BREAKS
+        };
         counter.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -275,3 +275,137 @@ fn mass_is_preserved_through_mix_scale_chains() {
         assert!((flat.total_mass() - 1.0).abs() < 1e-6);
     }
 }
+
+// ---------------------------------------------------------------------------
+// The adaptive FFT kernel vs. the exact chunked kernel, across the crossover.
+// ---------------------------------------------------------------------------
+
+use pvc_prob::{fft_would_run, DenseDist, FFT_MIN_LEN, FFT_RELATIVE_EPS};
+
+/// A normalized dense distribution spanning exactly `len` contiguous cells,
+/// with a random sprinkling of interior gaps (endpoints always occupied, so the
+/// operand length — and with it the FFT crossover — is under the test's
+/// control, and the chunked kernel's zero-cell skip gets exercised).
+fn dense_span(rng: &mut SeededRng, len: usize) -> DenseDist {
+    let base = rng.gen_range(-20i64..20);
+    let mut pairs: Vec<(MonoidValue, f64)> = Vec::with_capacity(len);
+    for i in 0..len as i64 {
+        if i != 0 && i != len as i64 - 1 && rng.gen_range(0u32..5) == 0 {
+            continue;
+        }
+        pairs.push((MonoidValue::Fin(base + i), 0.05 + rng.next_f64()));
+    }
+    let total: f64 = pairs.iter().map(|(_, p)| p).sum();
+    let d = Dist::from_pairs(pairs.into_iter().map(|(v, p)| (v, p / total)));
+    DenseDist::from_dist(&d).expect("finite non-empty support")
+}
+
+/// Trim invariant: the bounds reported by `offset`/`len` are *true* support
+/// bounds — the first and last cells hold mass.
+fn assert_trimmed(d: &DenseDist) {
+    if d.is_empty() {
+        return;
+    }
+    let cells: Vec<(i64, f64)> = d.iter().collect();
+    assert_eq!(
+        cells.first().map(|c| c.0),
+        Some(d.offset()),
+        "leading zeros"
+    );
+    assert_eq!(
+        cells.last().map(|c| c.0),
+        Some(d.offset() + d.len() as i64 - 1),
+        "trailing zeros"
+    );
+}
+
+#[test]
+fn adaptive_convolution_agrees_with_exact_across_the_fft_cutoff() {
+    let mut rng = SeededRng::seed_from_u64(0xD1);
+    // Operand lengths straddling the crossover: below FFT_MIN_LEN, at it but
+    // with the cost model refusing, and comfortably past it.
+    let shapes = [
+        (8, 8),
+        (FFT_MIN_LEN - 1, 512),
+        (FFT_MIN_LEN, FFT_MIN_LEN),
+        (100, 100),
+        (256, 256),
+        (320, 190),
+    ];
+    let mut took_fft = false;
+    for _ in 0..8 {
+        for &(la, lb) in &shapes {
+            let a = dense_span(&mut rng, la);
+            let b = dense_span(&mut rng, lb);
+            let adaptive = a.convolve_add(&b);
+            let exact = a.convolve_add_exact(&b);
+            assert_trimmed(&adaptive);
+            assert_trimmed(&exact);
+            for (_, p) in adaptive.iter() {
+                assert!(p.is_finite() && p > 0.0, "non-finite or negative cell {p}");
+            }
+            assert!(
+                (adaptive.total_mass() - exact.total_mass()).abs() < 1e-6,
+                "mass drifted: fft={} exact={} ({la}×{lb})",
+                adaptive.total_mass(),
+                exact.total_mass()
+            );
+            if fft_would_run(a.len(), b.len()) {
+                took_fft = true;
+                // ε-close per cell under the documented accuracy policy.
+                assert_eq!(adaptive.offset(), exact.offset(), "{la}×{lb}");
+                assert_eq!(adaptive.len(), exact.len(), "{la}×{lb}");
+                let tol = FFT_RELATIVE_EPS.max(1e-12);
+                for ((va, pa), (ve, pe)) in adaptive.iter().zip(exact.iter()) {
+                    assert_eq!(va, ve);
+                    assert!(
+                        (pa - pe).abs() <= tol,
+                        "cell {va}: fft={pa} exact={pe} ({la}×{lb})"
+                    );
+                }
+            } else {
+                // Below the crossover the adaptive kernel *is* the exact one.
+                assert_eq!(adaptive, exact, "{la}×{lb}");
+            }
+        }
+    }
+    assert!(took_fft, "no shape reached the FFT path — cutoff drifted?");
+}
+
+#[test]
+fn chunked_kernel_conserves_mass_and_stays_finite() {
+    let mut rng = SeededRng::seed_from_u64(0xD2);
+    for _ in 0..CASES {
+        // Lengths below, at, and above the 4-lane width, so both the packed
+        // loop and the scalar remainder run.
+        let la = rng.gen_range(1usize..40);
+        let lb = rng.gen_range(1usize..40);
+        let a = dense_span(&mut rng, la);
+        let b = dense_span(&mut rng, lb);
+        let out = a.convolve_add_exact(&b);
+        assert_trimmed(&out);
+        // Mass is the product of the operand masses, up to the drop rule
+        // zeroing cells at or below PROB_EPS.
+        let expected = a.total_mass() * b.total_mass();
+        let slack = 1e-9 * (out.len() as f64 + 1.0) + 1e-12;
+        assert!(
+            (out.total_mass() - expected).abs() <= slack,
+            "mass: got {} want {expected} ({la}×{lb})",
+            out.total_mass()
+        );
+        for (_, p) in out.iter() {
+            assert!(p.is_finite() && p > 0.0);
+        }
+        // Bit-for-bit agreement with the sparse kernel (same accumulation
+        // order by construction).
+        let sparse = a
+            .to_dist()
+            .convolve(&b.to_dist(), |x, y| x.saturating_add(y));
+        let dense_cells: Vec<(i64, f64)> = out.iter().collect();
+        assert_eq!(dense_cells.len(), sparse.support_size());
+        for ((dv, dp), (sv, sp)) in dense_cells.iter().zip(sparse.iter()) {
+            assert_eq!(MonoidValue::Fin(*dv), *sv);
+            assert_eq!(dp.to_bits(), sp.to_bits(), "value {dv}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Regression contract for chained dense evaluation: a pure SUM/COUNT
+//! workload must keep its intermediates dense across every `⊕` node boundary —
+//! **zero** `kernel.dense_chain.breaks` — instead of round-tripping
+//! dense → sparse → dense at each node exit, which is exactly the defect the
+//! chained value stack removed.
+//!
+//! This test binary exists on its own (rather than inside `tests/obs.rs`)
+//! because the assertions read process-wide kernel counters: cargo runs test
+//! *binaries* sequentially, so a dedicated binary keeps the counters
+//! attributable. The tests inside it still serialise on one mutex.
+
+use pvc_suite::obs;
+use pvc_suite::prelude::*;
+use std::sync::Mutex;
+
+/// Serialises tests that read the process-wide kernel counters.
+static COUNTERS: Mutex<()> = Mutex::new(());
+
+/// `n` independent tuples in one group with values in `[1, spread]`.
+fn sum_db(n: usize, spread: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table("T", Schema::new(["g", "v"]));
+    let (t, vars) = db.table_and_vars_mut("T").unwrap();
+    for i in 0..n {
+        let p = 0.2 + 0.6 * (i as f64 / n as f64);
+        let v = 1 + (i as i64 * 7) % spread;
+        t.push_independent(vec!["G".into(), v.into()], p, vars);
+    }
+    db
+}
+
+fn run_agg(op: AggOp, db: Database) -> QueryResult {
+    let engine = Engine::new(db);
+    let query = Query::table("T").group_agg(Vec::<String>::new(), vec![AggSpec::new(op, "v", "m")]);
+    engine
+        .prepare(&query)
+        .unwrap()
+        // Force full compilation so the d-tree arena (the chained evaluator)
+        // runs instead of a closed-form fast path.
+        .execute(&EvalOptions::default().without_fast_path())
+        .unwrap()
+}
+
+#[test]
+fn pure_sum_and_count_chains_never_break() {
+    let _guard = COUNTERS.lock().unwrap();
+    for op in [AggOp::Sum, AggOp::Count] {
+        obs::reset();
+        obs::set_metrics_enabled(true);
+        let result = run_agg(op, sum_db(14, 5));
+        obs::set_metrics_enabled(false);
+        assert_eq!(result.tuples.len(), 1);
+        let snapshot = obs::snapshot();
+        let extends = snapshot.counters["kernel.dense_chain.extends"];
+        let breaks = snapshot.counters["kernel.dense_chain.breaks"];
+        assert!(
+            extends > 0,
+            "{op}: a pure additive chain must extend dense intermediates (got {extends})"
+        );
+        assert_eq!(
+            breaks, 0,
+            "{op}: a pure additive chain must never demote mid-chain"
+        );
+        // Every ⊕ node took the dense kernel; none fell back to sparse.
+        assert!(snapshot.counters["kernel.conv.dense"] > 0, "{op}");
+        assert_eq!(snapshot.counters["kernel.conv.sparse"], 0, "{op}");
+    }
+}
+
+/// `n` independent tuples whose values are spread over ~10^6, so SUM supports
+/// are far too scattered for the dense representation.
+fn scattered_db(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table("T", Schema::new(["g", "v"]));
+    let (t, vars) = db.table_and_vars_mut("T").unwrap();
+    for i in 0..n {
+        let v = 1 + (i as i64) * 137_101;
+        t.push_independent(vec!["G".into(), v.into()], 0.5, vars);
+    }
+    db
+}
+
+#[test]
+fn scattered_sums_take_the_sparse_kernel_and_metrics_stay_observational() {
+    let _guard = COUNTERS.lock().unwrap();
+    obs::reset();
+    obs::set_metrics_enabled(true);
+    let counted = run_agg(AggOp::Sum, scattered_db(10));
+    obs::set_metrics_enabled(false);
+    let snapshot = obs::snapshot();
+    // Scattered supports never qualify for the dense chain: every ⊕ node
+    // takes the sparse kernel and no chain ever starts (so none can break).
+    assert!(snapshot.counters["kernel.conv.sparse"] > 0);
+    assert_eq!(snapshot.counters["kernel.dense_chain.extends"], 0);
+    // Counters are observational: a metrics-off replay must agree bit for bit.
+    let replay = run_agg(AggOp::Sum, scattered_db(10));
+    assert_eq!(
+        counted.tuples[0].aggregate_distributions, replay.tuples[0].aggregate_distributions,
+        "metrics collection must not perturb results"
+    );
+}

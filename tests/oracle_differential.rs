@@ -1,0 +1,304 @@
+//! Differential testing against the brute-force world-enumeration oracle.
+//!
+//! `pvc_prob::oracle` computes aggregate distributions the dumbest possible
+//! way — enumerate all `2^n` worlds of a group's independent tuples and sum
+//! world probabilities per outcome. These tests pin the engine's entire
+//! evaluation stack (rewriting, compilation, arena evaluation, the adaptive
+//! dense/sparse/FFT convolution kernel, threshold folds) against that ground
+//! truth, across:
+//!
+//! * every aggregate operator (MIN, MAX, SUM, COUNT, PROD);
+//! * dense-friendly (small contiguous values) and sparse-forcing (scattered
+//!   values) data shapes;
+//! * fast-path and full-compilation execution;
+//! * thread counts 1 vs 4, which must agree **bit-for-bit** — evaluation
+//!   per tuple is single-threaded and kernel-path selection (including the
+//!   FFT crossover) is a pure function of operand shapes;
+//! * one-sided aggregate threshold predicates, whose confidences must match
+//!   the oracle's comparison mass over present worlds.
+//!
+//! Oracle-vs-engine agreement is `1e-9`-bounded (the two sides legitimately
+//! accumulate in different orders; the FFT path's documented accuracy policy
+//! is also `1e-9`-relative). Seeds can be extended from the environment:
+//! `PVC_ORACLE_SEED=<u64>` adds one more instance to every sweep, which is how
+//! the CI `oracle-smoke` job runs two extra seeded rounds.
+
+use pvc_suite::prelude::*;
+use pvc_suite::prob::oracle;
+
+/// Deterministic pseudo-random stream (splitmix64) — no RNG dependency, stable
+/// across platforms, distinct per seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0.05, 0.95)` — away from 0/1 so no tuple is (near-)certain.
+    fn prob(&mut self) -> f64 {
+        0.05 + 0.9 * (self.next() % 1_000_000) as f64 / 1_000_000.0
+    }
+
+    fn value(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
+
+/// Seeds every sweep runs: two fixed, plus `PVC_ORACLE_SEED` when set.
+fn seeds() -> Vec<u64> {
+    let mut seeds = vec![1, 42];
+    if let Ok(extra) = std::env::var("PVC_ORACLE_SEED") {
+        seeds.push(extra.parse().expect("PVC_ORACLE_SEED must be a u64"));
+    }
+    seeds
+}
+
+/// A single-group database of `n` independent tuples with values in
+/// `[lo, hi]`; returns the `(probability, value)` list the oracle needs.
+fn seeded_db(seed: u64, n: usize, lo: i64, hi: i64) -> (Database, Vec<(f64, i64)>) {
+    let mut mix = Mix(seed);
+    let mut db = Database::new();
+    db.create_table("T", Schema::new(["g", "v"]));
+    let mut tuples = Vec::with_capacity(n);
+    let (t, vars) = db.table_and_vars_mut("T").unwrap();
+    for _ in 0..n {
+        let p = mix.prob();
+        let v = mix.value(lo, hi);
+        t.push_independent(vec!["G".into(), v.into()], p, vars);
+        tuples.push((p, v));
+    }
+    (db, tuples)
+}
+
+/// The oracle's view of the group for one operator: COUNT aggregates the
+/// constant 1 per tuple, everything else the column value.
+fn oracle_tuples(op: AggOp, tuples: &[(f64, i64)]) -> Vec<(f64, MonoidValue)> {
+    tuples
+        .iter()
+        .map(|&(p, v)| {
+            let contributed = if op.is_count() { 1 } else { v };
+            (p, MonoidValue::Fin(contributed))
+        })
+        .collect()
+}
+
+fn agg_query(op: AggOp) -> Query {
+    Query::table("T").group_agg(Vec::<String>::new(), vec![AggSpec::new(op, "v", "m")])
+}
+
+/// `|engine − oracle|` must stay within `tol` on the union of both supports.
+fn assert_dist_close(engine: &MonoidDist, expected: &MonoidDist, tol: f64, context: &str) {
+    for (v, p) in expected.iter() {
+        assert!(
+            (engine.prob(v) - p).abs() <= tol,
+            "{context}: P[{v}] engine={} oracle={p}",
+            engine.prob(v)
+        );
+    }
+    for (v, p) in engine.iter() {
+        assert!(
+            (expected.prob(v) - p).abs() <= tol,
+            "{context}: P[{v}] engine={p} oracle={}",
+            expected.prob(v)
+        );
+    }
+}
+
+#[test]
+fn every_aggregate_matches_the_enumeration_oracle() {
+    for seed in seeds() {
+        // Dense-friendly values (contiguous SUM supports) and scattered values
+        // (forces the sparse kernel) — the oracle doesn't care, the engine's
+        // kernel takes different paths.
+        for (lo, hi, shape) in [(1, 6, "dense"), (1_000, 900_000, "sparse")] {
+            let (db, tuples) = seeded_db(seed, 10, lo, hi);
+            let engine = Engine::new(db);
+            for op in [
+                AggOp::Min,
+                AggOp::Max,
+                AggOp::Sum,
+                AggOp::Count,
+                AggOp::Prod,
+            ] {
+                // PROD over ten ~10^5-scale factors overflows i64 in engine
+                // and oracle alike; keep it to the small-value shape.
+                if op == AggOp::Prod && shape == "sparse" {
+                    continue;
+                }
+                let context = format!("seed={seed} shape={shape} op={op}");
+                let result = engine
+                    .prepare(&agg_query(op))
+                    .unwrap()
+                    .execute(&EvalOptions::default())
+                    .unwrap();
+                assert_eq!(result.tuples.len(), 1, "{context}");
+                let expected = oracle::aggregate_by_enumeration(op, &oracle_tuples(op, &tuples));
+                assert_dist_close(
+                    &result.tuples[0].aggregate_distributions["m"],
+                    &expected,
+                    1e-9,
+                    &context,
+                );
+                // A group-free aggregate always produces its one row: the
+                // empty world contributes the monoid identity, not absence.
+                assert!(
+                    (result.tuples[0].confidence - 1.0).abs() < 1e-9,
+                    "{context}: confidence"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_path_and_full_compilation_agree_with_the_oracle() {
+    for seed in seeds() {
+        let (db, tuples) = seeded_db(seed, 8, 1, 50);
+        let engine = Engine::new(db);
+        for op in [AggOp::Min, AggOp::Max, AggOp::Sum] {
+            let prepared = engine.prepare(&agg_query(op)).unwrap();
+            let expected = oracle::aggregate_by_enumeration(op, &oracle_tuples(op, &tuples));
+            for (label, options) in [
+                ("fast", EvalOptions::default()),
+                ("compiled", EvalOptions::default().without_fast_path()),
+            ] {
+                let context = format!("seed={seed} op={op} path={label}");
+                let result = prepared.execute(&options).unwrap();
+                assert_dist_close(
+                    &result.tuples[0].aggregate_distributions["m"],
+                    &expected,
+                    1e-9,
+                    &context,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_counts_agree_bitwise_and_match_the_oracle() {
+    for seed in seeds() {
+        for (lo, hi) in [(1, 6), (200, 90_000)] {
+            let (db, tuples) = seeded_db(seed, 12, lo, hi);
+            let reference_engine = Engine::new(db.clone());
+            for op in [AggOp::Sum, AggOp::Count, AggOp::Min] {
+                let prepared = reference_engine.prepare(&agg_query(op)).unwrap();
+                let reference = prepared
+                    .execute(&EvalOptions::default().with_threads(1))
+                    .unwrap();
+                // Cold engine per thread count: identical results, bit for bit.
+                for threads in [2, 4] {
+                    let engine = Engine::new(db.clone());
+                    let result = engine
+                        .prepare(&agg_query(op))
+                        .unwrap()
+                        .execute(&EvalOptions::default().with_threads(threads))
+                        .unwrap();
+                    assert_eq!(
+                        reference.tuples[0].aggregate_distributions,
+                        result.tuples[0].aggregate_distributions,
+                        "seed={seed} op={op} threads={threads}: distributions must be identical"
+                    );
+                    assert_eq!(
+                        reference.tuples[0].confidence.to_bits(),
+                        result.tuples[0].confidence.to_bits(),
+                        "seed={seed} op={op} threads={threads}: confidence bits"
+                    );
+                }
+                let expected = oracle::aggregate_by_enumeration(op, &oracle_tuples(op, &tuples));
+                assert_dist_close(
+                    &reference.tuples[0].aggregate_distributions["m"],
+                    &expected,
+                    1e-9,
+                    &format!("seed={seed} op={op} oracle"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threshold_predicates_match_the_oracle_comparison_mass() {
+    for seed in seeds() {
+        let (db, tuples) = seeded_db(seed, 9, 1, 20);
+        let engine = Engine::new(db);
+        for op in [AggOp::Sum, AggOp::Count, AggOp::Min, AggOp::Max] {
+            // Group-free aggregates follow the total-distribution semantics
+            // (the empty world contributes the identity), so the predicate's
+            // confidence is the oracle's comparison mass over *all* worlds.
+            let base = oracle::aggregate_by_enumeration(op, &oracle_tuples(op, &tuples));
+            for theta in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt] {
+                for c in [1, 5, 40] {
+                    let query = agg_query(op).select(Predicate::AggCmpConst("m".into(), theta, c));
+                    let result = engine
+                        .prepare(&query)
+                        .unwrap()
+                        .execute(&EvalOptions::default())
+                        .unwrap();
+                    let probs = oracle::comparison_probabilities(&base, MonoidValue::Fin(c));
+                    let expected = match theta {
+                        CmpOp::Le => probs.le(),
+                        CmpOp::Lt => probs.lt,
+                        CmpOp::Ge => probs.ge(),
+                        CmpOp::Gt => probs.gt,
+                        _ => unreachable!(),
+                    };
+                    let got = result.tuples.first().map_or(0.0, |t| t.confidence);
+                    assert!(
+                        (got - expected).abs() < 1e-9,
+                        "seed={seed} op={op} {theta:?} {c}: engine={got} oracle={expected}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grouped_queries_match_per_group_oracles() {
+    for seed in seeds() {
+        let mut mix = Mix(seed.wrapping_mul(31).wrapping_add(5));
+        let mut db = Database::new();
+        db.create_table("T", Schema::new(["g", "v"]));
+        let mut groups: std::collections::BTreeMap<String, Vec<(f64, i64)>> =
+            std::collections::BTreeMap::new();
+        {
+            let (t, vars) = db.table_and_vars_mut("T").unwrap();
+            for i in 0..12 {
+                let g = format!("g{}", i % 3);
+                let p = mix.prob();
+                let v = mix.value(1, 8);
+                t.push_independent(vec![g.as_str().into(), v.into()], p, vars);
+                groups.entry(g).or_default().push((p, v));
+            }
+        }
+        let engine = Engine::new(db);
+        let query = Query::table("T").group_agg(["g"], vec![AggSpec::new(AggOp::Sum, "v", "m")]);
+        let result = engine
+            .prepare(&query)
+            .unwrap()
+            .execute(&EvalOptions::default())
+            .unwrap();
+        assert_eq!(result.tuples.len(), groups.len(), "seed={seed}");
+        for tuple in &result.tuples {
+            let Value::Str(g) = &tuple.values[0] else {
+                panic!("group key must be text");
+            };
+            let expected = oracle::aggregate_by_enumeration(
+                AggOp::Sum,
+                &oracle_tuples(AggOp::Sum, &groups[g.as_str()]),
+            );
+            assert_dist_close(
+                &tuple.aggregate_distributions["m"],
+                &expected,
+                1e-9,
+                &format!("seed={seed} group={g}"),
+            );
+        }
+    }
+}
